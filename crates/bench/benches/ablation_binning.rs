@@ -1,0 +1,50 @@
+//! Ablation: bin size. The paper settled on 10k bins "after
+//! experimenting with different bin sizes" — this bench repeats that
+//! experiment on Figure 2's valid series: the head-vs-tail trend must be
+//! robust across bin widths, while per-bin noise shrinks as bins grow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::figures::fig2_rpki_outcome;
+use ripki::stats::trend_slope;
+use ripki_bench::Study;
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let n = study.results.domains.len();
+    // Bin widths proportional to the paper's 1k/5k/10k/50k over 1M.
+    let widths = [n / 100, n / 20, n / 10, n / 2];
+
+    println!("\n=== ablation: bin size (Figure 2 valid series) ===");
+    println!("bin width   bins   head%   tail%   slope sign");
+    for w in widths {
+        let w = w.max(1);
+        let fig = fig2_rpki_outcome(&study.results, w);
+        let head = fig.valid.range_mean(0, n / 10).unwrap_or(0.0);
+        let tail = fig.valid.range_mean(n * 9 / 10, n).unwrap_or(0.0);
+        let slope = trend_slope(&fig.valid);
+        println!(
+            "{:>9}   {:>4}   {:>5.2}   {:>5.2}   {}",
+            w,
+            fig.valid.len(),
+            head * 100.0,
+            tail * 100.0,
+            match slope {
+                Some(s) if s > 0.0 => "rising",
+                Some(s) if s < 0.0 => "falling",
+                _ => "flat",
+            }
+        );
+    }
+    println!("(the rank trend must not be an artifact of the bin width)");
+
+    c.bench_function("ablation_binning/four_widths", |b| {
+        b.iter(|| {
+            for w in widths {
+                let _ = fig2_rpki_outcome(&study.results, w.max(1));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: strict vs relaxed manifest handling (RFC 6486 left the
+//! policy local). On a healthy repository both modes agree; after fault
+//! injection, strict validation drops whole publication points while
+//! relaxed validation salvages intact objects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki_bench::Study;
+use ripki_rpki::faults;
+use ripki_rpki::validate::{validate_with, ValidationOptions};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let now = study.scenario.now;
+    let strict = ValidationOptions { strict_manifests: true };
+    let relaxed = ValidationOptions { strict_manifests: false };
+
+    let healthy_strict = validate_with(&study.scenario.repository, now, strict);
+    let healthy_relaxed = validate_with(&study.scenario.repository, now, relaxed);
+
+    // Withhold one ROA from every ROA-publishing point.
+    let mut broken = study.scenario.repository.clone();
+    let mut damaged_points = 0;
+    for ca in faults::publication_points(&broken) {
+        if !broken.points[&ca].roas.is_empty() {
+            faults::withhold_roa(&mut broken, ca, 0);
+            damaged_points += 1;
+        }
+    }
+    let broken_strict = validate_with(&broken, now, strict);
+    let broken_relaxed = validate_with(&broken, now, relaxed);
+
+    println!("\n=== ablation: manifest strictness ===");
+    println!("repository   mode      VRPs   rejected objects");
+    println!(
+        "healthy      strict   {:>5}   {:>5}",
+        healthy_strict.vrps.len(),
+        healthy_strict.rejected_count()
+    );
+    println!(
+        "healthy      relaxed  {:>5}   {:>5}",
+        healthy_relaxed.vrps.len(),
+        healthy_relaxed.rejected_count()
+    );
+    println!(
+        "damaged({damaged_points:>2})  strict   {:>5}   {:>5}",
+        broken_strict.vrps.len(),
+        broken_strict.rejected_count()
+    );
+    println!(
+        "damaged({damaged_points:>2})  relaxed  {:>5}   {:>5}",
+        broken_relaxed.vrps.len(),
+        broken_relaxed.rejected_count()
+    );
+    println!("(strict mode trades availability for withheld-object detection)");
+
+    let mut group = c.benchmark_group("manifest_strictness");
+    group.sample_size(10);
+    group.bench_function("validate_strict", |b| {
+        b.iter(|| validate_with(&study.scenario.repository, now, strict))
+    });
+    group.bench_function("validate_relaxed", |b| {
+        b.iter(|| validate_with(&study.scenario.repository, now, relaxed))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

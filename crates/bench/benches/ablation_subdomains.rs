@@ -1,0 +1,81 @@
+//! Ablation (paper §5.3): does measuring only the registered domain
+//! understate exposure? "A commercially motivated attacker may
+//! explicitly target subdomains, e.g. those hosting adverts."
+//!
+//! The crawler probes `static.<domain>` like a real measurement
+//! extension would (no ground truth consulted), measures the asset
+//! subdomains through the identical pipeline, and compares their RPKI
+//! coverage against the apex domains'.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::figures::fig2_rpki_outcome;
+use ripki_bench::Study;
+use ripki_dns::DomainName;
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let pipeline = study.pipeline();
+
+    // Discover asset subdomains by probing, crawler-style.
+    let static_names: Vec<(usize, DomainName)> = study
+        .scenario
+        .ranking
+        .iter()
+        .enumerate()
+        .filter_map(|(rank, listed)| {
+            let name = DomainName::parse(&format!("static.{}", listed.without_www())).ok()?;
+            study.scenario.zones.contains(&name).then_some((rank, name))
+        })
+        .collect();
+    println!("\n=== ablation: subdomain sharding (§5.3) ===");
+    println!(
+        "{} of {} domains expose a static. asset subdomain",
+        static_names.len(),
+        study.scenario.ranking.len()
+    );
+
+    // Measure the subdomains with the same pipeline.
+    let mut covered_apex = Vec::new();
+    let mut covered_static = Vec::new();
+    for (rank, name) in &static_names {
+        let m = pipeline.measure_domain(*rank, name);
+        if let Some(f) = m.bare.covered_fraction() {
+            covered_static.push(f);
+        }
+        if let Some(f) = study.results.domains[*rank].bare.covered_fraction() {
+            covered_apex.push(f);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "RPKI coverage among sharding domains: apex {:.2}%  vs  static subdomain {:.2}%",
+        mean(&covered_apex) * 100.0,
+        mean(&covered_static) * 100.0
+    );
+    let overall = fig2_rpki_outcome(&study.results, study.bin)
+        .valid
+        .overall_mean()
+        .unwrap_or(0.0);
+    println!(
+        "(whole-ranking apex valid share for reference: {:.2}%)",
+        overall * 100.0
+    );
+    println!("asset subdomains ride CDNs → their routing protection is the CDN's,");
+    println!("i.e. almost none — an apex-only crawl overstates a site's protection.");
+
+    let mut group = c.benchmark_group("ablation_subdomains");
+    group.sample_size(10);
+    group.bench_function("probe_and_measure", |b| {
+        b.iter(|| {
+            static_names
+                .iter()
+                .take(500)
+                .map(|(rank, name)| pipeline.measure_domain(*rank, name))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

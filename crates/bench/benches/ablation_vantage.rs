@@ -1,0 +1,66 @@
+//! Ablation: resolver vantage. The paper argues "our main results remain
+//! independent of the DNS server selection because CDNs are reluctant to
+//! create ROAs at all" — re-run the pipeline from all three resolver
+//! vantages and compare the Figure 2 means.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::figures::fig2_rpki_outcome;
+use ripki::pipeline::{Pipeline, PipelineConfig};
+use ripki_bench::Study;
+use ripki_dns::Vantage;
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let vantages = [
+        Vantage::GOOGLE_DNS_BERLIN,
+        Vantage::OPEN_DNS,
+        Vantage::LOOKING_GLASS_US01,
+    ];
+
+    println!("\n=== ablation: DNS vantage (Figure 2 overall means) ===");
+    println!("vantage                     valid%   invalid%   notfound%");
+    for vantage in vantages {
+        let pipeline = Pipeline::new(
+            &study.scenario.zones,
+            &study.scenario.rib,
+            &study.scenario.repository,
+            PipelineConfig {
+                vantage,
+                bogus_dns_ppm: 0,
+                now: study.scenario.now,
+                ..Default::default()
+            },
+        );
+        let results = pipeline.run(&study.scenario.ranking);
+        let fig = fig2_rpki_outcome(&results, study.bin);
+        println!(
+            "{:<26}  {:>6.2}   {:>8.3}   {:>9.2}",
+            vantage.to_string(),
+            fig.valid.overall_mean().unwrap_or(0.0) * 100.0,
+            fig.invalid.overall_mean().unwrap_or(0.0) * 100.0,
+            fig.not_found.overall_mean().unwrap_or(0.0) * 100.0,
+        );
+    }
+    println!("(the conclusions must agree across vantages)");
+
+    let mut group = c.benchmark_group("ablation_vantage");
+    group.sample_size(10);
+    group.bench_function("one_extra_vantage_run", |b| {
+        let pipeline = Pipeline::new(
+            &study.scenario.zones,
+            &study.scenario.rib,
+            &study.scenario.repository,
+            PipelineConfig {
+                vantage: Vantage::OPEN_DNS,
+                bogus_dns_ppm: 0,
+                now: study.scenario.now,
+                ..Default::default()
+            },
+        );
+        b.iter(|| pipeline.run(&study.scenario.ranking))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

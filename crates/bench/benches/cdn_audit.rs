@@ -1,0 +1,46 @@
+//! §4.2: "CDN Content Benefits from 3rd Party ISPs" — the keyword audit.
+//!
+//! Paper: 199 CDN ASes, four RPKI entries (all Internap, three origin
+//! ASes), ISPs/webhosters >5% penetration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::cdn_audit::{audit_cdns, summarize};
+use ripki_bench::Study;
+use ripki_rpki::validate;
+use ripki_websim::operators::CDN_SPECS;
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let report = validate(&study.scenario.repository, study.scenario.now);
+    let names: Vec<&str> = CDN_SPECS.iter().map(|(n, _, _)| *n).collect();
+    let rows = audit_cdns(&study.scenario.registry, &report.vrps, &names);
+    let summary = summarize(&rows, &study.scenario.registry, &report.vrps);
+
+    println!("\n=== §4.2 CDN audit ===");
+    for row in &rows {
+        println!("  {row}");
+    }
+    println!(
+        "total CDN ASes {}   RPKI entries {}   deployers {:?}",
+        summary.total_cdn_asns, summary.total_rpki_entries, summary.cdns_with_deployment
+    );
+    println!(
+        "ISP penetration {:.1}%   webhoster penetration {:.1}%   (paper: 199 ASes, 4 entries, only Internap, >5%)",
+        summary.isp_penetration * 100.0,
+        summary.webhoster_penetration * 100.0,
+    );
+
+    c.bench_function("cdn_audit/keyword_spotting", |b| {
+        b.iter(|| audit_cdns(&study.scenario.registry, &report.vrps, &names))
+    });
+
+    let mut group = c.benchmark_group("cdn_audit/rpki");
+    group.sample_size(10);
+    group.bench_function("validate_repository", |b| {
+        b.iter(|| validate(&study.scenario.repository, study.scenario.now))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

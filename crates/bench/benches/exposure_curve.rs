@@ -1,0 +1,72 @@
+//! Derived experiment: hijack exposure across the ranking — §2.3's
+//! attacker turned loose on §4's measured web, on the scenario's real AS
+//! topology with the measured VRPs and 50% ROV deployment.
+//!
+//! The expected result is the paper's thesis as a routing outcome: the
+//! popular (CDN-heavy, ROA-poor) head of the ranking is *more* capturable
+//! than the tail.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::exposure::{binned, exposure_curve, ExposureConfig};
+use ripki_bench::{print_bin_header, print_percent_series, Study};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let pipeline = study.pipeline();
+    let config = ExposureConfig { stride: 40, ..Default::default() };
+    let exposures = exposure_curve(
+        &study.results.domains,
+        &study.scenario.topology,
+        pipeline.validator(),
+        &config,
+    );
+    let series = binned(&exposures, study.results.domains.len(), study.bin);
+
+    println!("\n=== exposure: mean hijack capture rate across the ranking ===");
+    println!(
+        "({} domains sampled, ROV at {:.0}% of {} ASes, {} attackers each)",
+        exposures.len(),
+        config.rov_deployment * 100.0,
+        study.scenario.topology.len(),
+        config.attackers_per_domain,
+    );
+    print_bin_header(study.bin, series.len());
+    print_percent_series("capture rate %", &series);
+    let covered: Vec<f64> = exposures
+        .iter()
+        .filter(|e| e.fully_covered)
+        .map(|e| e.capture_rate)
+        .collect();
+    let uncovered: Vec<f64> = exposures
+        .iter()
+        .filter(|e| !e.fully_covered)
+        .map(|e| e.capture_rate)
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "fully ROA-covered domains: {:.1}% mean capture  |  uncovered: {:.1}%",
+        mean(&covered) * 100.0,
+        mean(&uncovered) * 100.0
+    );
+    assert!(
+        covered.is_empty() || uncovered.is_empty() || mean(&covered) < mean(&uncovered),
+        "ROA coverage must reduce capture under partial ROV"
+    );
+
+    let mut group = c.benchmark_group("exposure");
+    group.sample_size(10);
+    group.bench_function("curve_40_stride", |b| {
+        b.iter(|| {
+            exposure_curve(
+                &study.results.domains,
+                &study.scenario.topology,
+                pipeline.validator(),
+                &config,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

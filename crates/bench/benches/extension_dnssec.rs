@@ -1,0 +1,30 @@
+//! Extension (paper §7): "we will compare RPKI deployment with the
+//! adoption of other core protocols such as DNSSEC." The scenario signs
+//! second-level zones at per-TLD 2015-era rates; the pipeline records a
+//! validating resolver's AD bit alongside the RPKI outcome.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::figures::ext_dnssec_comparison;
+use ripki_bench::{print_bin_header, print_percent_series, Study};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let ext = ext_dnssec_comparison(&study.results, study.bin);
+
+    println!("\n=== extension: RPKI vs DNSSEC adoption across the ranking ===");
+    print_bin_header(study.bin, ext.rpki_covered.len());
+    print_percent_series("RPKI-covered %", &ext.rpki_covered);
+    print_percent_series("DNSSEC-signed %", &ext.dnssec_signed);
+    println!(
+        "overall: RPKI {:.2}% vs DNSSEC {:.2}% — both niche, DNSSEC the rarer at the SLD level",
+        ext.rpki_covered.overall_mean().unwrap_or(0.0) * 100.0,
+        ext.dnssec_signed.overall_mean().unwrap_or(0.0) * 100.0,
+    );
+
+    c.bench_function("extension_dnssec/build_series", |b| {
+        b.iter(|| ext_dnssec_comparison(&study.results, study.bin))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

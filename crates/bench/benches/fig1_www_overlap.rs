@@ -1,0 +1,30 @@
+//! Figure 1: "Comparison of IP deployment for www and w/o www domain
+//! names" — fraction of domains with equal prefix sets per rank bin.
+//!
+//! Paper: >76% equality in the first 100k, >94% afterwards.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::figures::fig1_www_overlap;
+use ripki_bench::{print_bin_header, print_percent_series, Study};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let n = study.results.domains.len();
+    let fig = fig1_www_overlap(&study.results, study.bin);
+
+    println!("\n=== Figure 1: www vs w/o-www equal prefixes ===");
+    print_bin_header(study.bin, fig.len());
+    print_percent_series("equal prefixes %", &fig);
+    println!(
+        "head (first 10%): {:.1}%   tail (last 10%): {:.1}%   (paper: >76% head, >94% tail)",
+        fig.range_mean(0, n / 10).unwrap_or(0.0) * 100.0,
+        fig.range_mean(n * 9 / 10, n).unwrap_or(0.0) * 100.0,
+    );
+
+    c.bench_function("fig1/build_series", |b| {
+        b.iter(|| fig1_www_overlap(&study.results, study.bin))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 2: "RPKI validation outcome for the 1 million Alexa domains" —
+//! valid / invalid / not-found per rank bin.
+//!
+//! Paper: valid ≈4.0% in the top 100k rising to ≈5.5% in the last 100k;
+//! invalid ≈0.09%, flat; the rest not found.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::figures::fig2_rpki_outcome;
+use ripki_bench::{print_bin_header, print_percent_series, Study};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let n = study.results.domains.len();
+    let fig = fig2_rpki_outcome(&study.results, study.bin);
+
+    println!("\n=== Figure 2: RPKI validation outcome ===");
+    print_bin_header(study.bin, fig.valid.len());
+    print_percent_series("valid %", &fig.valid);
+    print_percent_series("invalid %", &fig.invalid);
+    print_percent_series("not found %", &fig.not_found);
+    println!(
+        "valid head {:.2}% → tail {:.2}%   invalid avg {:.3}%   (paper: 4.0% → 5.5%, 0.09%)",
+        fig.valid.range_mean(0, n / 10).unwrap_or(0.0) * 100.0,
+        fig.valid.range_mean(n * 9 / 10, n).unwrap_or(0.0) * 100.0,
+        fig.invalid.overall_mean().unwrap_or(0.0) * 100.0,
+    );
+
+    c.bench_function("fig2/build_series", |b| {
+        b.iter(|| fig2_rpki_outcome(&study.results, study.bin))
+    });
+
+    // The expensive part Figure 2 sits on: the full pipeline run.
+    let mut group = c.benchmark_group("fig2/pipeline");
+    group.sample_size(10);
+    group.bench_function("measure_all_domains", |b| {
+        let pipeline = study.pipeline();
+        b.iter(|| pipeline.run(&study.scenario.ranking))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 3: "Popularity of CDNs — comparison of CDN detection heuristics
+//! for 1M Alexa domains".
+//!
+//! Paper: both classifiers decay with rank; the CNAME-chain heuristic is
+//! a conservative underestimate of HTTPArchive's pattern matching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::figures::fig3_cdn_popularity;
+use ripki_bench::{print_bin_header, print_percent_series, Study};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let classifier = study.httparchive();
+    let fig = fig3_cdn_popularity(&study.results, &classifier, study.bin);
+
+    println!("\n=== Figure 3: CDN popularity by classifier ===");
+    print_bin_header(study.bin, fig.cname_heuristic.len());
+    print_percent_series("CNAME heuristic %", &fig.cname_heuristic);
+    print_percent_series("HTTPArchive %", &fig.httparchive);
+    println!(
+        "overall: heuristic {:.1}%, HTTPArchive {:.1}% (heuristic is the conservative lower bound)",
+        fig.cname_heuristic.overall_mean().unwrap_or(0.0) * 100.0,
+        fig.httparchive.overall_mean().unwrap_or(0.0) * 100.0,
+    );
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(20);
+    group.bench_function("build_both_series", |b| {
+        b.iter(|| fig3_cdn_popularity(&study.results, &classifier, study.bin))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

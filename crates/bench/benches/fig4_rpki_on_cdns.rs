@@ -1,0 +1,32 @@
+//! Figure 4: "RPKI deployment statistics on CDNs and for the
+//! unconditioned Web".
+//!
+//! Paper: CDN-hosted sites' RPKI share fluctuates around ≈0.9%,
+//! independent of rank — almost an order of magnitude below the overall
+//! share.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::figures::fig4_rpki_on_cdns;
+use ripki_bench::{print_bin_header, print_percent_series, Study};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let fig = fig4_rpki_on_cdns(&study.results, study.bin);
+
+    println!("\n=== Figure 4: RPKI-enabled, all vs CDN-hosted ===");
+    print_bin_header(study.bin, fig.rpki_enabled.len());
+    print_percent_series("RPKI-enabled %", &fig.rpki_enabled);
+    print_percent_series("RPKI-enabled on CDNs %", &fig.rpki_enabled_on_cdns);
+    println!(
+        "overall {:.2}% vs CDN-hosted {:.2}%   (paper: ≈5% vs ≈0.9%)",
+        fig.rpki_enabled.overall_mean().unwrap_or(0.0) * 100.0,
+        fig.rpki_enabled_on_cdns.overall_mean().unwrap_or(0.0) * 100.0,
+    );
+
+    c.bench_function("fig4/build_series", |b| {
+        b.iter(|| fig4_rpki_on_cdns(&study.results, study.bin))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

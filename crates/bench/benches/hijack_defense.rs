@@ -1,0 +1,57 @@
+//! §2.3 attacker model: prefix hijacks vs ROV deployment on an
+//! Internet-like topology — capture-rate series plus the cost of a
+//! policy-routing propagation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki_bgp::hijack::{deployment_sweep, HijackScenario};
+use ripki_bgp::propagate::{accept_all, propagate};
+use ripki_bgp::rov::{RouteOriginValidator, VrpTriple};
+use ripki_bgp::topology::Topology;
+use ripki_net::{Asn, IpPrefix};
+
+fn bench(c: &mut Criterion) {
+    let topology = Topology::generate(2015, 5, 40, 400, 0.08);
+    let victim = Asn::new(10_007);
+    let attacker = Asn::new(10_311);
+    let prefix: IpPrefix = "85.201.0.0/16".parse().unwrap();
+    let validator = RouteOriginValidator::from_vrps([VrpTriple {
+        prefix,
+        max_length: 16,
+        asn: victim,
+    }]);
+    let origin = HijackScenario::origin_hijack(victim, attacker, prefix);
+    let sub = HijackScenario::subprefix_hijack(
+        victim,
+        attacker,
+        prefix,
+        "85.201.128.0/17".parse().unwrap(),
+    );
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    println!("\n=== §2.3: hijack capture rate vs ROV deployment ===");
+    println!("ROV%      origin-hijack   subprefix-hijack");
+    let o = deployment_sweep(&topology, &origin, &validator, &fractions, 7);
+    let s = deployment_sweep(&topology, &sub, &validator, &fractions, 7);
+    for ((f, or), (_, sr)) in o.iter().zip(&s) {
+        println!(
+            "{:>4.0}%   {:>12.1}%   {:>15.1}%",
+            f * 100.0,
+            or * 100.0,
+            sr * 100.0
+        );
+    }
+    println!("(paper's premise: ROAs + ROV neutralise both attack shapes)");
+
+    let mut group = c.benchmark_group("hijack");
+    group.sample_size(20);
+    group.bench_function("propagate_450_as_topology", |b| {
+        b.iter(|| propagate(&topology, &[victim], &accept_all))
+    });
+    group.bench_function("full_sweep_5_points", |b| {
+        b.iter(|| deployment_sweep(&topology, &origin, &validator, &fractions, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! §5.2: how much does the ROA catalog reveal beyond what BGP collectors
+//! already show? Latent-relation share across a population of prefix
+//! owners with varying backup arrangements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki_bench::Study;
+use ripki_bgp::collector::Collector;
+use ripki_rpki::privacy::exposure;
+use ripki_rpki::validate;
+use std::collections::BTreeSet;
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let report = validate(&study.scenario.repository, study.scenario.now);
+
+    // The collector sees what the scenario's table announces.
+    let mut collector = Collector::new(
+        ripki_websim::scenario::COLLECTOR_PEERS
+            .iter()
+            .map(|a| ripki_net::Asn::new(*a)),
+    );
+    for po in study.scenario.rib.all_prefix_origins() {
+        collector.observe_raw(po.prefix, po.origin);
+    }
+    let observed: BTreeSet<_> = collector.observations().clone();
+    let exp = exposure(&report.vrps, &observed);
+
+    println!("\n=== §5.2: ROA catalog exposure vs BGP collectors ===");
+    println!("catalog relations:     {}", exp.total());
+    println!("operational (in BGP):  {}", exp.operational.len());
+    println!("latent (RPKI-only):    {}", exp.latent.len());
+    println!(
+        "latent fraction:       {:.1}%  (misconfigured + standby authorizations)",
+        exp.latent_fraction() * 100.0
+    );
+
+    c.bench_function("privacy/exposure_analysis", |b| {
+        b.iter(|| exposure(&report.vrps, &observed))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Substrate micro-benchmarks: the data-structure and crypto choices the
+//! pipeline's throughput rests on.
+//!
+//! * prefix-trie covering lookup vs a naive linear scan (the design
+//!   choice DESIGN.md calls out for step 3);
+//! * SHA-256 throughput (manifest hashing);
+//! * signature verification (certificate chain walking);
+//! * RFC 6811 validation per announcement.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ripki_bgp::rov::{RouteOriginValidator, VrpTriple};
+use ripki_crypto::schnorr::SecretKey;
+use ripki_crypto::sha256::sha256;
+use ripki_net::{Asn, IpPrefix, Ipv4Prefix, PrefixTrie};
+use std::net::{IpAddr, Ipv4Addr};
+
+fn random_prefixes(n: usize, seed: u64) -> Vec<IpPrefix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(12..=24);
+            IpPrefix::V4(Ipv4Prefix::new(Ipv4Addr::from(rng.gen::<u32>()), len).unwrap())
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    // --- trie vs linear scan -------------------------------------------
+    let prefixes = random_prefixes(100_000, 7);
+    let trie: PrefixTrie<usize> = prefixes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, i))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(9);
+    let queries: Vec<IpAddr> = (0..1024)
+        .map(|_| IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())))
+        .collect();
+
+    let mut group = c.benchmark_group("covering_lookup_100k_table");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("radix_trie", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for q in &queries {
+                found += trie.covering_addr(*q).len();
+            }
+            found
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for q in &queries {
+                found += prefixes.iter().filter(|p| p.contains_addr(*q)).count();
+            }
+            found
+        })
+    });
+    group.finish();
+
+    // --- SHA-256 throughput --------------------------------------------
+    let data = vec![0xabu8; 64 * 1024];
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("hash_64KiB", |b| b.iter(|| sha256(&data)));
+    group.finish();
+
+    // --- signatures ------------------------------------------------------
+    let sk = SecretKey::from_seed(b"bench");
+    let pk = sk.public_key();
+    let msg = vec![0x5au8; 512];
+    let sig = sk.sign(&msg);
+    let mut group = c.benchmark_group("sim_signature");
+    group.bench_function("sign_512B", |b| b.iter(|| sk.sign(&msg)));
+    group.bench_function("verify_512B", |b| b.iter(|| pk.verify(&msg, &sig)));
+    group.finish();
+
+    // --- RFC 6811 --------------------------------------------------------
+    let vrps: Vec<VrpTriple> = random_prefixes(50_000, 11)
+        .into_iter()
+        .enumerate()
+        .map(|(i, prefix)| VrpTriple {
+            prefix,
+            max_length: prefix.len().saturating_add(4).min(32),
+            asn: Asn::new(i as u32 % 5_000),
+        })
+        .collect();
+    let validator = RouteOriginValidator::from_vrps(vrps);
+    let announcements = random_prefixes(1024, 13);
+    let mut group = c.benchmark_group("rfc6811");
+    group.throughput(Throughput::Elements(announcements.len() as u64));
+    group.bench_function("validate_50k_vrps", |b| {
+        b.iter(|| {
+            announcements
+                .iter()
+                .enumerate()
+                .map(|(i, p)| validator.validate(p, Asn::new(i as u32 % 5_000)) as u8 as u64)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

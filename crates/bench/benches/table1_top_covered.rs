@@ -1,0 +1,24 @@
+//! Table 1: "Top 10 Alexa domains that have partial or full RPKI
+//! coverage, including number of prefixes."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::tables::{render_table1, table1_top_covered};
+use ripki_bench::Study;
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let rows = table1_top_covered(&study.results, 10);
+
+    println!("\n=== Table 1: top domains with RPKI coverage ===");
+    print!("{}", render_table1(&rows));
+    println!(
+        "(paper: facebook.com full, most others partial; lowest listed rank 130)"
+    );
+
+    c.bench_function("table1/scan_ranking", |b| {
+        b.iter(|| table1_top_covered(&study.results, 10))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

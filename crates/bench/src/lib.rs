@@ -1,0 +1,136 @@
+//! # ripki-bench
+//!
+//! Shared machinery for the benchmark/experiment harness. Every figure
+//! and table of the paper has a Criterion bench under `benches/` that
+//!
+//! 1. builds a calibrated study at `RIPKI_BENCH_DOMAINS` scale
+//!    (default 20,000 — override for the paper's full 1M run),
+//! 2. **prints the regenerated series** (the rows the paper plots), so
+//!    `cargo bench` output doubles as the experiment record, and
+//! 3. measures the cost of the regenerating computation.
+//!
+//! The standalone `experiments` binary prints everything in one pass and
+//! dumps machine-readable JSON next to it.
+
+use ripki::classify::HttpArchiveClassifier;
+use ripki::pipeline::{Pipeline, PipelineConfig, StudyResults};
+use ripki::stats::BinnedSeries;
+use ripki_websim::{Scenario, ScenarioConfig};
+
+/// Default domain count for benches.
+pub const DEFAULT_DOMAINS: usize = 20_000;
+
+/// Scale taken from `RIPKI_BENCH_DOMAINS`, or the default.
+pub fn bench_domains() -> usize {
+    std::env::var("RIPKI_BENCH_DOMAINS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_DOMAINS)
+}
+
+/// A fully built and measured study: the input to every figure builder.
+pub struct Study {
+    /// The generated world.
+    pub scenario: Scenario,
+    /// Pipeline output over the whole ranking.
+    pub results: StudyResults,
+    /// Bin width scaled so each study has 10 bins (mirrors the paper's
+    /// 10k bins over 1M domains).
+    pub bin: usize,
+}
+
+impl Study {
+    /// Build and measure at the given scale.
+    pub fn at_scale(domains: usize) -> Study {
+        let scenario = Scenario::build(ScenarioConfig::with_domains(domains));
+        let pipeline = Pipeline::new(
+            &scenario.zones,
+            &scenario.rib,
+            &scenario.repository,
+            PipelineConfig {
+                bogus_dns_ppm: scenario.config.bogus_dns_ppm,
+                now: scenario.now,
+                ..Default::default()
+            },
+        );
+        let results = pipeline.run(&scenario.ranking);
+        let bin = (domains / 10).max(1);
+        Study { scenario, results, bin }
+    }
+
+    /// Build at the env-configured bench scale.
+    pub fn at_bench_scale() -> Study {
+        Study::at_scale(bench_domains())
+    }
+
+    /// A pipeline borrowing this study's world (for re-runs in benches).
+    pub fn pipeline(&self) -> Pipeline<'_> {
+        Pipeline::new(
+            &self.scenario.zones,
+            &self.scenario.rib,
+            &self.scenario.repository,
+            PipelineConfig {
+                bogus_dns_ppm: self.scenario.config.bogus_dns_ppm,
+                now: self.scenario.now,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// The HTTPArchive classifier for this study's CDN namespace.
+    pub fn httparchive(&self) -> HttpArchiveClassifier<'_> {
+        HttpArchiveClassifier::new(&self.scenario.zones, self.cdn_patterns())
+    }
+
+    /// CDN DNS suffix patterns of the generated world.
+    pub fn cdn_patterns(&self) -> Vec<String> {
+        self.scenario
+            .cdn_infras
+            .iter()
+            .map(|i| format!("{}-sim.net", i.name))
+            .collect()
+    }
+}
+
+/// Print a series as one row of percentages, paper-style.
+pub fn print_percent_series(label: &str, series: &BinnedSeries) {
+    print!("{label:<26}");
+    for m in &series.means {
+        match m {
+            Some(v) => print!(" {:>6.2}", v * 100.0),
+            None => print!("      -"),
+        }
+    }
+    println!();
+}
+
+/// Print a bin-start header row aligned with [`print_percent_series`].
+pub fn print_bin_header(bin: usize, n_bins: usize) {
+    print!("{:<26}", "rank bin start");
+    for i in 0..n_bins {
+        print!(" {:>6}", i * bin / 1000);
+    }
+    println!("  (thousands)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_builds_at_small_scale() {
+        let s = Study::at_scale(400);
+        assert_eq!(s.results.domains.len(), 400);
+        assert_eq!(s.bin, 40);
+        assert_eq!(s.cdn_patterns().len(), 16);
+        // Re-running through a fresh pipeline gives identical counts.
+        let again = s.pipeline().run(&s.scenario.ranking);
+        assert_eq!(again.domains.len(), 400);
+    }
+
+    #[test]
+    fn bench_domains_env_override() {
+        // No env set in tests: default applies.
+        assert_eq!(bench_domains(), DEFAULT_DOMAINS);
+    }
+}

@@ -1,0 +1,164 @@
+//! Route aggregation (RFC 4271 §9.2.2.2).
+//!
+//! Proxy aggregation is where `AS_SET`s come from: a router combining two
+//! sibling routes into their covering prefix merges the differing path
+//! tails into an unordered set. The paper excludes such entries from the
+//! study because the origin becomes ambiguous — "which is why the
+//! function is deprecated with the deployment of RPKI" (RFC 6472).
+//!
+//! The scenario generator uses this module to create its occasional
+//! aggregate entries the way a real router would, instead of synthesising
+//! them ad hoc.
+
+use crate::path::{AsPath, Segment};
+use crate::rib::RibEntry;
+use ripki_net::Asn;
+
+/// Aggregate two routes for sibling prefixes into one route for the
+/// common parent.
+///
+/// Returns `None` when the prefixes are not siblings (same parent, both
+/// one bit longer) or either path is empty. The merged path keeps the
+/// longest common leading `AS_SEQUENCE` and collapses everything that
+/// differs into a single `AS_SET`, per RFC 4271's path-aggregation rules
+/// (simplified: segment structure beyond a leading sequence is flattened
+/// into the set).
+pub fn aggregate_siblings(a: &RibEntry, b: &RibEntry) -> Option<RibEntry> {
+    let parent_a = a.prefix.parent()?;
+    let parent_b = b.prefix.parent()?;
+    if parent_a != parent_b || a.prefix == b.prefix {
+        return None;
+    }
+    let path = merge_paths(&a.path, &b.path)?;
+    Some(RibEntry { prefix: parent_a, path, peer: a.peer })
+}
+
+/// Merge two AS paths: common leading sequence, then an `AS_SET` of all
+/// remaining ASes (deduplicated, sorted for determinism).
+pub fn merge_paths(a: &AsPath, b: &AsPath) -> Option<AsPath> {
+    let flat_a = flatten(a);
+    let flat_b = flatten(b);
+    if flat_a.is_empty() || flat_b.is_empty() {
+        return None;
+    }
+    let mut common = Vec::new();
+    for (x, y) in flat_a.iter().zip(flat_b.iter()) {
+        if x == y {
+            common.push(*x);
+        } else {
+            break;
+        }
+    }
+    let mut rest: Vec<Asn> = flat_a[common.len()..]
+        .iter()
+        .chain(flat_b[common.len()..].iter())
+        .copied()
+        .collect();
+    rest.sort();
+    rest.dedup();
+    let mut segments = Vec::new();
+    if !common.is_empty() {
+        segments.push(Segment::Sequence(common));
+    }
+    if !rest.is_empty() {
+        segments.push(Segment::Set(rest));
+    }
+    Some(AsPath::from_segments(segments))
+}
+
+fn flatten(path: &AsPath) -> Vec<Asn> {
+    let mut out = Vec::new();
+    for seg in path.segments() {
+        match seg {
+            Segment::Sequence(seq) => out.extend_from_slice(seq),
+            Segment::Set(set) => out.extend_from_slice(set),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(prefix: &str, path: &[u32]) -> RibEntry {
+        RibEntry {
+            prefix: prefix.parse().unwrap(),
+            path: AsPath::sequence(path.iter().copied()),
+            peer: Asn::new(64_496),
+        }
+    }
+
+    #[test]
+    fn siblings_aggregate_to_parent_with_set() {
+        let a = entry("10.0.0.0/17", &[100, 200, 300]);
+        let b = entry("10.0.128.0/17", &[100, 200, 400]);
+        let agg = aggregate_siblings(&a, &b).unwrap();
+        assert_eq!(agg.prefix, "10.0.0.0/16".parse().unwrap());
+        assert_eq!(agg.path.to_string(), "100 200 {300,400}");
+        // The aggregate's origin is ambiguous — exactly what the
+        // methodology excludes.
+        assert_eq!(agg.path.origin().asn(), None);
+    }
+
+    #[test]
+    fn identical_tails_do_not_create_a_set() {
+        let a = entry("10.0.0.0/17", &[100, 200]);
+        let b = entry("10.0.128.0/17", &[100, 200]);
+        let agg = aggregate_siblings(&a, &b).unwrap();
+        assert_eq!(agg.path.to_string(), "100 200");
+        assert_eq!(agg.path.origin().asn(), Some(Asn::new(200)));
+    }
+
+    #[test]
+    fn non_siblings_refused() {
+        let a = entry("10.0.0.0/17", &[1]);
+        let b = entry("10.1.0.0/17", &[2]);
+        assert!(aggregate_siblings(&a, &b).is_none());
+        // Same prefix is not a sibling pair either.
+        let c = entry("10.0.0.0/17", &[3]);
+        assert!(aggregate_siblings(&a, &c).is_none());
+        // Different lengths.
+        let d = entry("10.0.0.0/18", &[4]);
+        assert!(aggregate_siblings(&a, &d).is_none());
+    }
+
+    #[test]
+    fn default_routes_cannot_aggregate() {
+        let a = entry("0.0.0.0/0", &[1]);
+        let b = entry("128.0.0.0/1", &[2]);
+        assert!(aggregate_siblings(&a, &b).is_none());
+    }
+
+    #[test]
+    fn merge_dedups_shared_tail_ases() {
+        let a = AsPath::sequence([100, 300]);
+        let b = AsPath::sequence([100, 400, 300]);
+        let merged = merge_paths(&a, &b).unwrap();
+        assert_eq!(merged.to_string(), "100 {300,400}");
+    }
+
+    #[test]
+    fn empty_path_refused() {
+        let a = AsPath::empty();
+        let b = AsPath::sequence([1]);
+        assert!(merge_paths(&a, &b).is_none());
+    }
+
+    #[test]
+    fn v6_siblings_aggregate() {
+        let a = RibEntry {
+            prefix: "2001:db8::/33".parse().unwrap(),
+            path: AsPath::sequence([1, 2]),
+            peer: Asn::new(9),
+        };
+        let b = RibEntry {
+            prefix: "2001:db8:8000::/33".parse().unwrap(),
+            path: AsPath::sequence([1, 3]),
+            peer: Asn::new(9),
+        };
+        let agg = aggregate_siblings(&a, &b).unwrap();
+        assert_eq!(agg.prefix, "2001:db8::/32".parse().unwrap());
+        assert!(agg.path.has_as_set());
+    }
+}

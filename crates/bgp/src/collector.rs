@@ -1,0 +1,153 @@
+//! Route collectors: after-the-fact routing visibility.
+//!
+//! The paper's §5.2 contrasts two information channels: "RPKI data differs
+//! from public routing data such as BGP collectors or looking glasses.
+//! Those sources also provide insights into peering relations but only
+//! after the event has occurred." A collector peers with a set of vantage
+//! ASes and records the routes *they selected* — nothing more. The privacy
+//! experiment joins this view against the proactive ROA catalog.
+
+use crate::propagate::RoutingOutcome;
+use ripki_net::{Asn, IpPrefix};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A route collector with a fixed set of peering vantages.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    /// The ASes feeding this collector.
+    pub vantages: BTreeSet<Asn>,
+    observed: BTreeSet<(IpPrefix, Asn)>,
+}
+
+impl Collector {
+    /// A collector fed by `vantages`.
+    pub fn new(vantages: impl IntoIterator<Item = Asn>) -> Collector {
+        Collector { vantages: vantages.into_iter().collect(), observed: BTreeSet::new() }
+    }
+
+    /// Record what the vantages see for one propagated prefix.
+    ///
+    /// Only vantages that actually selected a route contribute; the
+    /// recorded origin is the one *their* best path leads to — a local
+    /// (possibly hijacked) view, exactly like real collectors.
+    pub fn observe(&mut self, prefix: IpPrefix, outcome: &RoutingOutcome) {
+        for v in &self.vantages {
+            if let Some(origin) = outcome.reaches(*v) {
+                self.observed.insert((prefix, origin));
+            }
+        }
+    }
+
+    /// Record a raw (prefix, origin) sighting (e.g. imported from a
+    /// table dump).
+    pub fn observe_raw(&mut self, prefix: IpPrefix, origin: Asn) {
+        self.observed.insert((prefix, origin));
+    }
+
+    /// Everything this collector has seen.
+    pub fn observations(&self) -> &BTreeSet<(IpPrefix, Asn)> {
+        &self.observed
+    }
+
+    /// Whether `(prefix, origin)` was ever observed.
+    pub fn has_seen(&self, prefix: IpPrefix, origin: Asn) -> bool {
+        self.observed.contains(&(prefix, origin))
+    }
+
+    /// Number of distinct observations.
+    pub fn len(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.observed.is_empty()
+    }
+}
+
+impl fmt::Display for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "collector: {} vantages, {} observations",
+            self.vantages.len(),
+            self.observed.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::{accept_all, propagate};
+    use crate::topology::Topology;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn collector_sees_only_selected_routes() {
+        // victim and backup both authorized, but only victim announces.
+        let mut t = Topology::new();
+        let provider = Asn::new(10);
+        let victim = Asn::new(100);
+        let backup = Asn::new(200);
+        t.add_customer_provider(victim, provider);
+        t.add_customer_provider(backup, provider);
+        let outcome = propagate(&t, &[victim], &accept_all);
+
+        let mut c = Collector::new([provider]);
+        c.observe(p("203.0.113.0/24"), &outcome);
+        assert!(c.has_seen(p("203.0.113.0/24"), victim));
+        // The backup relation is invisible to the collector.
+        assert!(!c.has_seen(p("203.0.113.0/24"), backup));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn vantage_without_route_contributes_nothing() {
+        let mut t = Topology::new();
+        let isolated = Asn::new(999);
+        let origin = Asn::new(100);
+        t.add_as(isolated);
+        t.add_as(origin);
+        let outcome = propagate(&t, &[origin], &accept_all);
+        let mut c = Collector::new([isolated]);
+        c.observe(p("203.0.113.0/24"), &outcome);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn hijacked_vantage_records_attacker_origin() {
+        let mut t = Topology::new();
+        let provider = Asn::new(10);
+        let victim = Asn::new(100);
+        let attacker = Asn::new(200);
+        // Attacker is provider's customer too — it wins at the provider
+        // only if policy prefers it; with both customer routes, shorter
+        // path ties break on lower next-hop ASN (victim:100), so victim
+        // wins at the provider. Put the vantage under the attacker
+        // instead.
+        let vantage = Asn::new(300);
+        t.add_customer_provider(victim, provider);
+        t.add_customer_provider(attacker, provider);
+        t.add_customer_provider(vantage, attacker);
+        let outcome = propagate(&t, &[victim, attacker], &accept_all);
+        let mut c = Collector::new([vantage, provider]);
+        c.observe(p("203.0.113.0/24"), &outcome);
+        assert!(c.has_seen(p("203.0.113.0/24"), attacker));
+        assert!(c.has_seen(p("203.0.113.0/24"), victim));
+    }
+
+    #[test]
+    fn observe_raw_and_display() {
+        let mut c = Collector::new([Asn::new(1)]);
+        c.observe_raw(p("10.0.0.0/8"), Asn::new(5));
+        c.observe_raw(p("10.0.0.0/8"), Asn::new(5)); // dedup
+        assert_eq!(c.len(), 1);
+        assert!(c.to_string().contains("1 vantages"));
+        assert_eq!(c.observations().len(), 1);
+    }
+}

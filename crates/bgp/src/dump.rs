@@ -1,0 +1,184 @@
+//! RIS-style table dumps.
+//!
+//! The original study consumed `bgpdump -m` text renderings of RIPE RIS
+//! MRT files. This module defines an equivalent line-oriented format so
+//! that tables can be exported, archived, and re-imported exactly like
+//! the paper's inputs:
+//!
+//! ```text
+//! TABLE_DUMP_SIM|<peer-asn>|<prefix>|<as-path>
+//! TABLE_DUMP_SIM|64500|193.0.0.0/16|64500 3320 3333
+//! TABLE_DUMP_SIM|64500|2001:db8::/32|64500 {100,200}
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored on input.
+
+use crate::path::AsPath;
+use crate::rib::{Rib, RibEntry};
+use ripki_net::{Asn, IpPrefix};
+use std::fmt;
+
+/// Marker at the start of every record line.
+pub const RECORD_TAG: &str = "TABLE_DUMP_SIM";
+
+/// Errors from parsing a dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DumpError {
+    /// A line did not have the `TAG|peer|prefix|path` shape.
+    BadRecord { line: usize, content: String },
+    /// The peer ASN field did not parse.
+    BadPeer { line: usize },
+    /// The prefix field did not parse.
+    BadPrefix { line: usize },
+    /// The AS-path field did not parse.
+    BadPath { line: usize },
+}
+
+impl fmt::Display for DumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DumpError::BadRecord { line, content } => {
+                write!(f, "line {line}: malformed record {content:?}")
+            }
+            DumpError::BadPeer { line } => write!(f, "line {line}: bad peer ASN"),
+            DumpError::BadPrefix { line } => write!(f, "line {line}: bad prefix"),
+            DumpError::BadPath { line } => write!(f, "line {line}: bad AS path"),
+        }
+    }
+}
+
+impl std::error::Error for DumpError {}
+
+/// Serializer/parser for table dumps.
+pub struct TableDump;
+
+impl TableDump {
+    /// Render a table to the dump format. Entries are emitted in trie
+    /// order (IPv4 first), which is deterministic.
+    pub fn to_string(rib: &Rib) -> String {
+        let mut out = String::new();
+        out.push_str("# ripki simulated RIS table dump\n");
+        for entry in rib.iter() {
+            out.push_str(&format!(
+                "{RECORD_TAG}|{}|{}|{}\n",
+                entry.peer.value(),
+                entry.prefix,
+                entry.path,
+            ));
+        }
+        out
+    }
+
+    /// Parse a dump back into a table.
+    pub fn parse(input: &str) -> Result<Rib, DumpError> {
+        let mut rib = Rib::new();
+        for (idx, raw) in input.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split('|');
+            let tag = fields.next().unwrap_or("");
+            let peer = fields.next();
+            let prefix = fields.next();
+            let path = fields.next();
+            let (Some(peer), Some(prefix), Some(path)) = (peer, prefix, path) else {
+                return Err(DumpError::BadRecord { line: line_no, content: raw.to_string() });
+            };
+            if tag != RECORD_TAG || fields.next().is_some() {
+                return Err(DumpError::BadRecord { line: line_no, content: raw.to_string() });
+            }
+            let peer: Asn =
+                peer.parse().map_err(|_| DumpError::BadPeer { line: line_no })?;
+            let prefix: IpPrefix =
+                prefix.parse().map_err(|_| DumpError::BadPrefix { line: line_no })?;
+            let path: AsPath =
+                path.parse().map_err(|_| DumpError::BadPath { line: line_no })?;
+            rib.insert(RibEntry { prefix, path, peer });
+        }
+        Ok(rib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rib() -> Rib {
+        let mut rib = Rib::new();
+        rib.insert(RibEntry {
+            prefix: "193.0.0.0/16".parse().unwrap(),
+            path: AsPath::sequence([64500, 3320, 3333]),
+            peer: Asn::new(64500),
+        });
+        rib.insert(RibEntry {
+            prefix: "2001:db8:4::/48".parse().unwrap(),
+            path: "64500 {100,200}".parse().unwrap(),
+            peer: Asn::new(64500),
+        });
+        rib.insert(RibEntry {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            path: AsPath::sequence([64501, 7]),
+            peer: Asn::new(64501),
+        });
+        rib
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries() {
+        let rib = sample_rib();
+        let text = TableDump::to_string(&rib);
+        let back = TableDump::parse(&text).unwrap();
+        assert_eq!(back.len(), rib.len());
+        assert_eq!(back.prefix_count(), rib.prefix_count());
+        // Same rendering → identical canonical dump.
+        assert_eq!(TableDump::to_string(&back), text);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n  \nTABLE_DUMP_SIM|1|10.0.0.0/8|1 2\n";
+        let rib = TableDump::parse(text).unwrap();
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_numbers() {
+        let text = "# ok\nWRONG|1|10.0.0.0/8|1 2\n";
+        match TableDump::parse(text) {
+            Err(DumpError::BadRecord { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            TableDump::parse("TABLE_DUMP_SIM|x|10.0.0.0/8|1"),
+            Err(DumpError::BadPeer { line: 1 })
+        ));
+        assert!(matches!(
+            TableDump::parse("TABLE_DUMP_SIM|1|10.0.0.0|1"),
+            Err(DumpError::BadPrefix { line: 1 })
+        ));
+        assert!(matches!(
+            TableDump::parse("TABLE_DUMP_SIM|1|10.0.0.0/8|x y"),
+            Err(DumpError::BadPath { line: 1 })
+        ));
+        assert!(matches!(
+            TableDump::parse("TABLE_DUMP_SIM|1|10.0.0.0/8"),
+            Err(DumpError::BadRecord { .. })
+        ));
+        assert!(matches!(
+            TableDump::parse("TABLE_DUMP_SIM|1|10.0.0.0/8|1 2|extra"),
+            Err(DumpError::BadRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn as_set_survives_roundtrip() {
+        let rib = sample_rib();
+        let text = TableDump::to_string(&rib);
+        let back = TableDump::parse(&text).unwrap();
+        let m = back.origins_for_addr("2001:db8:4::1".parse().unwrap());
+        assert_eq!(m.as_set_skipped, 1);
+        assert!(m.pairs.is_empty());
+    }
+}

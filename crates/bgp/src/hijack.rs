@@ -1,0 +1,430 @@
+//! Prefix-hijack experiments (the paper's attacker model, §2.3).
+//!
+//! "We assume an attacker who is able to redirect network traffic destined
+//! to the web server by manipulating Internet routing." Two classic
+//! attack shapes are modelled:
+//!
+//! * **Origin hijack** — the attacker announces the victim's exact prefix
+//!   from its own AS. Victims and attackers compete on routing policy;
+//!   the attacker captures the ASes that are policy-closer to it.
+//! * **Subprefix hijack** — the attacker announces a more-specific. By
+//!   longest-prefix match every AS that accepts the announcement routes
+//!   to the attacker, regardless of path length.
+//!
+//! Route origin validation changes both pictures: an AS that deploys ROV
+//! drops announcements that validate **Invalid** against the VRP set. The
+//! experiment sweeps ROV deployment and reports the attacker's capture
+//! rate — quantifying the paper's claim that a ROA-covered prefix plus
+//! deployed ROV blunts hijacks, and that "the attacker can harm specific
+//! subsets of clients" when propagation stays local.
+
+use crate::propagate::{propagate, RoutingOutcome};
+use crate::rov::{RouteOriginValidator, RpkiState};
+use crate::topology::Topology;
+use ripki_net::{Asn, IpPrefix};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which attack is simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Attacker announces the victim's exact prefix.
+    OriginHijack,
+    /// Attacker announces a more-specific of the victim's prefix.
+    SubprefixHijack,
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackKind::OriginHijack => write!(f, "origin hijack"),
+            AttackKind::SubprefixHijack => write!(f, "subprefix hijack"),
+        }
+    }
+}
+
+/// The experiment definition.
+#[derive(Debug, Clone)]
+pub struct HijackScenario {
+    /// The legitimate origin AS.
+    pub victim: Asn,
+    /// The attacking AS.
+    pub attacker: Asn,
+    /// The victim's announced prefix.
+    pub victim_prefix: IpPrefix,
+    /// The attacker's announcement (equal to `victim_prefix` for origin
+    /// hijacks; a more-specific for subprefix hijacks).
+    pub attacker_prefix: IpPrefix,
+    /// Attack shape.
+    pub kind: AttackKind,
+}
+
+impl HijackScenario {
+    /// An origin hijack of `prefix`.
+    pub fn origin_hijack(victim: Asn, attacker: Asn, prefix: IpPrefix) -> HijackScenario {
+        HijackScenario {
+            victim,
+            attacker,
+            victim_prefix: prefix,
+            attacker_prefix: prefix,
+            kind: AttackKind::OriginHijack,
+        }
+    }
+
+    /// A subprefix hijack: the attacker announces `subprefix` (must be
+    /// strictly more specific than `prefix`).
+    pub fn subprefix_hijack(
+        victim: Asn,
+        attacker: Asn,
+        prefix: IpPrefix,
+        subprefix: IpPrefix,
+    ) -> HijackScenario {
+        debug_assert!(prefix.covers(&subprefix) && subprefix.len() > prefix.len());
+        HijackScenario {
+            victim,
+            attacker,
+            victim_prefix: prefix,
+            attacker_prefix: subprefix,
+            kind: AttackKind::SubprefixHijack,
+        }
+    }
+}
+
+/// Outcome of one hijack experiment.
+#[derive(Debug, Clone)]
+pub struct HijackOutcome {
+    /// ASes whose traffic for the victim's addresses reaches the victim.
+    pub safe: BTreeSet<Asn>,
+    /// ASes whose traffic reaches the attacker.
+    pub hijacked: BTreeSet<Asn>,
+    /// ASes with no route at all to the affected space.
+    pub disconnected: BTreeSet<Asn>,
+}
+
+impl HijackOutcome {
+    /// Fraction of ASes captured by the attacker, over all ASes that had
+    /// any route (attacker and victim excluded from the denominator).
+    pub fn capture_rate(&self) -> f64 {
+        let safe = self.safe.len() as f64;
+        let hijacked = self.hijacked.len() as f64;
+        let total = safe + hijacked - 2.0; // exclude victim + attacker selves
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let hijacked_others = hijacked - 1.0; // the attacker itself
+        (hijacked_others / total).clamp(0.0, 1.0)
+    }
+}
+
+/// Run a hijack experiment.
+///
+/// `rov_deployed` is the set of ASes filtering RFC-6811-Invalid routes;
+/// `validator` carries the VRPs (possibly empty — no ROAs, nothing is
+/// ever Invalid, ROV is inert: the paper's "unprotected website" case).
+pub fn run(
+    topology: &Topology,
+    scenario: &HijackScenario,
+    validator: &RouteOriginValidator,
+    rov_deployed: &BTreeSet<Asn>,
+) -> HijackOutcome {
+    match scenario.kind {
+        AttackKind::OriginHijack => run_origin_hijack(topology, scenario, validator, rov_deployed),
+        AttackKind::SubprefixHijack => {
+            run_subprefix_hijack(topology, scenario, validator, rov_deployed)
+        }
+    }
+}
+
+fn rov_filter<'a>(
+    prefix: IpPrefix,
+    victim: Asn,
+    attacker: Asn,
+    validator: &'a RouteOriginValidator,
+    rov_deployed: &'a BTreeSet<Asn>,
+) -> impl Fn(Asn, Asn) -> bool + 'a {
+    move |importer: Asn, origin: Asn| {
+        if !rov_deployed.contains(&importer) {
+            return true;
+        }
+        // Which prefix the route is for depends on the origin: both
+        // compete on the same prefix here, so validate (prefix, origin).
+        let _ = (victim, attacker);
+        validator.validate(&prefix, origin) != RpkiState::Invalid
+    }
+}
+
+fn run_origin_hijack(
+    topology: &Topology,
+    scenario: &HijackScenario,
+    validator: &RouteOriginValidator,
+    rov_deployed: &BTreeSet<Asn>,
+) -> HijackOutcome {
+    let filter = rov_filter(
+        scenario.victim_prefix,
+        scenario.victim,
+        scenario.attacker,
+        validator,
+        rov_deployed,
+    );
+    let outcome = propagate(topology, &[scenario.victim, scenario.attacker], &filter);
+    classify(topology, &outcome, scenario.victim, scenario.attacker)
+}
+
+fn run_subprefix_hijack(
+    topology: &Topology,
+    scenario: &HijackScenario,
+    validator: &RouteOriginValidator,
+    rov_deployed: &BTreeSet<Asn>,
+) -> HijackOutcome {
+    // The more-specific wins by longest-prefix match wherever it is
+    // accepted, so propagate the two prefixes independently.
+    let sub_filter = rov_filter(
+        scenario.attacker_prefix,
+        scenario.victim,
+        scenario.attacker,
+        validator,
+        rov_deployed,
+    );
+    let sub_outcome = propagate(topology, &[scenario.attacker], &sub_filter);
+    let cover_filter = rov_filter(
+        scenario.victim_prefix,
+        scenario.victim,
+        scenario.attacker,
+        validator,
+        rov_deployed,
+    );
+    let cover_outcome = propagate(topology, &[scenario.victim], &cover_filter);
+
+    let mut out = HijackOutcome {
+        safe: BTreeSet::new(),
+        hijacked: BTreeSet::new(),
+        disconnected: BTreeSet::new(),
+    };
+    for asn in topology.asns() {
+        if asn == scenario.victim {
+            // The victim delivers its own address space locally; the
+            // imported more-specific never beats a connected route.
+            out.safe.insert(asn);
+        } else if sub_outcome.reaches(asn) == Some(scenario.attacker) {
+            out.hijacked.insert(asn);
+        } else if cover_outcome.reaches(asn) == Some(scenario.victim) {
+            out.safe.insert(asn);
+        } else {
+            out.disconnected.insert(asn);
+        }
+    }
+    out
+}
+
+fn classify(
+    topology: &Topology,
+    outcome: &RoutingOutcome,
+    victim: Asn,
+    attacker: Asn,
+) -> HijackOutcome {
+    let mut out = HijackOutcome {
+        safe: BTreeSet::new(),
+        hijacked: BTreeSet::new(),
+        disconnected: BTreeSet::new(),
+    };
+    for asn in topology.asns() {
+        match outcome.reaches(asn) {
+            Some(o) if o == victim => {
+                out.safe.insert(asn);
+            }
+            Some(o) if o == attacker => {
+                out.hijacked.insert(asn);
+            }
+            _ => {
+                out.disconnected.insert(asn);
+            }
+        }
+    }
+    out
+}
+
+/// Sweep ROV deployment at the given fractions (deterministic adopter
+/// selection by seed) and report `(fraction, capture_rate)` pairs.
+pub fn deployment_sweep(
+    topology: &Topology,
+    scenario: &HijackScenario,
+    validator: &RouteOriginValidator,
+    fractions: &[f64],
+    seed: u64,
+) -> Vec<(f64, f64)> {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed ^ ROV_SWEEP_SALT);
+    let mut asns: Vec<Asn> = topology.asns().collect();
+    asns.shuffle(&mut rng);
+    fractions
+        .iter()
+        .map(|f| {
+            let n = ((asns.len() as f64) * f).round() as usize;
+            let deployed: BTreeSet<Asn> = asns.iter().take(n).copied().collect();
+            let outcome = run(topology, scenario, validator, &deployed);
+            (*f, outcome.capture_rate())
+        })
+        .collect()
+}
+
+/// Salt so that adopter selection differs from other seeded draws.
+const ROV_SWEEP_SALT: u64 = 0x0520_1337;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rov::VrpTriple;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    /// Victim stub and attacker stub on opposite sides of two tier-1s.
+    fn arena() -> (Topology, Asn, Asn) {
+        let mut t = Topology::new();
+        let t1a = Asn::new(10);
+        let t1b = Asn::new(11);
+        let m1 = Asn::new(1000);
+        let m2 = Asn::new(1001);
+        let victim = Asn::new(10_000);
+        let attacker = Asn::new(10_001);
+        t.add_peering(t1a, t1b);
+        t.add_customer_provider(m1, t1a);
+        t.add_customer_provider(m2, t1b);
+        t.add_customer_provider(victim, m1);
+        t.add_customer_provider(attacker, m2);
+        (t, victim, attacker)
+    }
+
+    #[test]
+    fn origin_hijack_without_rov_splits_the_world() {
+        let (t, victim, attacker) = arena();
+        let scenario =
+            HijackScenario::origin_hijack(victim, attacker, p("203.0.113.0/24"));
+        let out = run(&t, &scenario, &RouteOriginValidator::new(), &BTreeSet::new());
+        // Victim side: victim, m1, t1a. Attacker side: attacker, m2, t1b.
+        assert!(out.safe.contains(&victim));
+        assert!(out.safe.contains(&Asn::new(1000)));
+        assert!(out.safe.contains(&Asn::new(10)));
+        assert!(out.hijacked.contains(&attacker));
+        assert!(out.hijacked.contains(&Asn::new(1001)));
+        assert!(out.hijacked.contains(&Asn::new(11)));
+        assert!(out.disconnected.is_empty());
+        assert!(out.capture_rate() > 0.0);
+    }
+
+    #[test]
+    fn full_rov_with_roa_stops_origin_hijack() {
+        let (t, victim, attacker) = arena();
+        let prefix = p("203.0.113.0/24");
+        let scenario = HijackScenario::origin_hijack(victim, attacker, prefix);
+        let validator = RouteOriginValidator::from_vrps([VrpTriple {
+            prefix,
+            max_length: 24,
+            asn: victim,
+        }]);
+        let everyone: BTreeSet<Asn> = t.asns().collect();
+        let out = run(&t, &scenario, &validator, &everyone);
+        // The attacker still "hijacks" itself (it originates), everyone
+        // else routes to the victim.
+        assert_eq!(out.hijacked.len(), 1);
+        assert!(out.hijacked.contains(&attacker));
+        assert_eq!(out.capture_rate(), 0.0);
+        assert_eq!(out.safe.len(), t.len() - 1);
+    }
+
+    #[test]
+    fn rov_without_roa_is_inert() {
+        let (t, victim, attacker) = arena();
+        let prefix = p("203.0.113.0/24");
+        let scenario = HijackScenario::origin_hijack(victim, attacker, prefix);
+        let everyone: BTreeSet<Asn> = t.asns().collect();
+        let no_roas = RouteOriginValidator::new();
+        let out = run(&t, &scenario, &no_roas, &everyone);
+        // NotFound is not filtered; hijack proceeds as without ROV.
+        assert!(out.capture_rate() > 0.0);
+    }
+
+    #[test]
+    fn subprefix_hijack_captures_everything_without_rov() {
+        let (t, victim, attacker) = arena();
+        let scenario = HijackScenario::subprefix_hijack(
+            victim,
+            attacker,
+            p("203.0.113.0/24"),
+            p("203.0.113.0/25"),
+        );
+        let out = run(&t, &scenario, &RouteOriginValidator::new(), &BTreeSet::new());
+        // Longest-prefix match: every AS with the /25 routes to the
+        // attacker — including the victim's own providers.
+        assert_eq!(out.hijacked.len(), t.len() - 1);
+        assert!(out.safe.contains(&victim));
+        assert!((out.capture_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxlength_roa_plus_rov_stops_subprefix_hijack() {
+        let (t, victim, attacker) = arena();
+        let prefix = p("203.0.113.0/24");
+        let scenario = HijackScenario::subprefix_hijack(
+            victim,
+            attacker,
+            prefix,
+            p("203.0.113.0/25"),
+        );
+        // ROA pins maxLength to 24: the /25 is Invalid for everyone.
+        let validator = RouteOriginValidator::from_vrps([VrpTriple {
+            prefix,
+            max_length: 24,
+            asn: victim,
+        }]);
+        let everyone: BTreeSet<Asn> = t.asns().collect();
+        let out = run(&t, &scenario, &validator, &everyone);
+        assert_eq!(out.hijacked.len(), 1); // only the attacker itself
+        assert_eq!(out.capture_rate(), 0.0);
+    }
+
+    #[test]
+    fn partial_rov_partial_protection() {
+        let (t, victim, attacker) = arena();
+        let prefix = p("203.0.113.0/24");
+        let scenario = HijackScenario::origin_hijack(victim, attacker, prefix);
+        let validator = RouteOriginValidator::from_vrps([VrpTriple {
+            prefix,
+            max_length: 24,
+            asn: victim,
+        }]);
+        // Only t1b (attacker's transit) filters: the attacker's own
+        // announcement dies at its first upstream hop beyond m2.
+        let deployed: BTreeSet<Asn> = [Asn::new(11)].into_iter().collect();
+        let out = run(&t, &scenario, &validator, &deployed);
+        // m2 still routes to the attacker (no ROV there)…
+        assert!(out.hijacked.contains(&Asn::new(1001)));
+        // …but t1b and everything beyond is safe.
+        assert!(out.safe.contains(&Asn::new(11)));
+        let none = run(&t, &scenario, &validator, &BTreeSet::new());
+        assert!(out.capture_rate() < none.capture_rate());
+    }
+
+    #[test]
+    fn deployment_sweep_is_monotone_here() {
+        let t = Topology::generate(11, 3, 15, 150, 0.1);
+        let victim = Asn::new(10_000);
+        let attacker = Asn::new(10_100);
+        let prefix = p("198.51.100.0/24");
+        let scenario = HijackScenario::origin_hijack(victim, attacker, prefix);
+        let validator = RouteOriginValidator::from_vrps([VrpTriple {
+            prefix,
+            max_length: 24,
+            asn: victim,
+        }]);
+        let sweep = deployment_sweep(&t, &scenario, &validator, &[0.0, 1.0], 5);
+        assert_eq!(sweep.len(), 2);
+        let (_, at_zero) = sweep[0];
+        let (_, at_full) = sweep[1];
+        assert!(at_zero > 0.0, "hijack must capture someone with no ROV");
+        assert_eq!(at_full, 0.0, "full ROV must stop the origin hijack");
+    }
+}

@@ -1,0 +1,54 @@
+//! # ripki-bgp
+//!
+//! The inter-domain routing substrate of the `ripki` workspace: everything
+//! the paper's steps 3–4 and its attacker model (§2.3) need from BGP,
+//! without the wire protocol.
+//!
+//! ## Measurement side (paper §3, steps 3–4)
+//!
+//! * [`path::AsPath`] — AS paths with `AS_SEQUENCE` and `AS_SET` segments
+//!   and origin extraction; entries whose origin is an `AS_SET` are
+//!   excluded per the methodology (RFC 6472 deprecates `AS_SET`).
+//! * [`rib::Rib`] — a routing table over a prefix trie; step 3's
+//!   "extract **all covering prefixes** and derive the origin AS" is
+//!   [`rib::Rib::lookup_addr`].
+//! * [`dump::TableDump`] — a RIS/`bgpdump -m`-flavoured text format so
+//!   that tables can be round-tripped like the paper's RIS dumps.
+//! * [`rov`] — RFC 6811 prefix origin validation: `Valid` / `Invalid` /
+//!   `NotFound` against a set of VRPs.
+//!
+//! ## Simulation side (paper §2.3, §5)
+//!
+//! * [`topology::Topology`] — an AS-level graph with customer/provider and
+//!   peer relationships, plus a deterministic generator producing
+//!   tiered Internet-like topologies.
+//! * [`propagate`] — Gao–Rexford policy routing (customer > peer >
+//!   provider preference, valley-free export) to a fixed point.
+//! * [`hijack`] — origin- and subprefix-hijack experiments, with
+//!   configurable ROV deployment, measuring how many ASes an attacker
+//!   captures ("the attacker can harm specific subsets of clients").
+//! * [`collector`] — route collectors: the after-the-fact visibility the
+//!   paper contrasts with the RPKI's proactive catalog (§5.2).
+//!
+//! ## Omissions
+//!
+//! * No RFC 4271 message formats, FSM, or timers — the paper's pipeline
+//!   reads table *dumps*, not live sessions.
+//! * No intra-AS detail (IGP, route reflectors): one AS, one best route.
+//! * No MRT binary format; [`dump`] is a text equivalent.
+
+pub mod aggregate;
+pub mod collector;
+pub mod dump;
+pub mod hijack;
+pub mod path;
+pub mod propagate;
+pub mod rib;
+pub mod rov;
+pub mod topology;
+
+pub use dump::TableDump;
+pub use path::{AsPath, Origin, Segment};
+pub use rib::{Rib, RibEntry};
+pub use rov::{RouteOriginValidator, RpkiState};
+pub use topology::{Relationship, Topology};

@@ -1,0 +1,312 @@
+//! AS paths and origin extraction.
+//!
+//! The paper's step 3 derives "the origin AS from the AS path (i.e., the
+//! right most ASN in the AS path)" and notes that "entries with an AS_SET
+//! are excluded from our study as this leads to an ambiguity of the
+//! attribute, which is why the function is deprecated with the deployment
+//! of RPKI (RFC 6472)". [`AsPath::origin`] implements exactly that
+//! distinction.
+
+use ripki_net::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One segment of an AS path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Ordered sequence of traversed ASes.
+    Sequence(Vec<Asn>),
+    /// Unordered set (produced by proxy aggregation; deprecated).
+    Set(Vec<Asn>),
+}
+
+/// What sits at the right-most position of a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Origin {
+    /// A single, unambiguous origin AS.
+    Asn(Asn),
+    /// The path ends in an `AS_SET`: ambiguous, excluded from the study.
+    Set(Vec<Asn>),
+    /// The path is empty (internal announcement).
+    None,
+}
+
+impl Origin {
+    /// The unambiguous origin, if there is one.
+    pub fn asn(&self) -> Option<Asn> {
+        match self {
+            Origin::Asn(a) => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+/// A full AS path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct AsPath {
+    segments: Vec<Segment>,
+}
+
+impl AsPath {
+    /// An empty path.
+    pub fn empty() -> AsPath {
+        AsPath::default()
+    }
+
+    /// A path that is a single `AS_SEQUENCE`.
+    pub fn sequence(asns: impl IntoIterator<Item = u32>) -> AsPath {
+        AsPath {
+            segments: vec![Segment::Sequence(
+                asns.into_iter().map(Asn::new).collect(),
+            )],
+        }
+    }
+
+    /// Build from raw segments.
+    pub fn from_segments(segments: Vec<Segment>) -> AsPath {
+        AsPath { segments }
+    }
+
+    /// The raw segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Prepend `asn` (what a BGP speaker does when propagating).
+    pub fn prepend(&self, asn: Asn) -> AsPath {
+        let mut segments = self.segments.clone();
+        match segments.first_mut() {
+            Some(Segment::Sequence(seq)) => seq.insert(0, asn),
+            _ => segments.insert(0, Segment::Sequence(vec![asn])),
+        }
+        AsPath { segments }
+    }
+
+    /// Total number of ASes counted for path length (an `AS_SET` counts
+    /// as one hop, per RFC 4271 route selection).
+    pub fn hop_count(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Sequence(seq) => seq.len(),
+                Segment::Set(_) => 1,
+            })
+            .sum()
+    }
+
+    /// The right-most element of the path.
+    pub fn origin(&self) -> Origin {
+        match self.segments.last() {
+            None => Origin::None,
+            Some(Segment::Sequence(seq)) => match seq.last() {
+                Some(a) => Origin::Asn(*a),
+                None => Origin::None,
+            },
+            Some(Segment::Set(set)) => Origin::Set(set.clone()),
+        }
+    }
+
+    /// The left-most AS (the neighbor that sent us the route).
+    pub fn first_hop(&self) -> Option<Asn> {
+        match self.segments.first() {
+            Some(Segment::Sequence(seq)) => seq.first().copied(),
+            Some(Segment::Set(set)) => set.first().copied(),
+            None => None,
+        }
+    }
+
+    /// Whether `asn` appears anywhere in the path (loop detection).
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.segments.iter().any(|s| match s {
+            Segment::Sequence(seq) => seq.contains(&asn),
+            Segment::Set(set) => set.contains(&asn),
+        })
+    }
+
+    /// Whether the path is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hop_count() == 0
+    }
+
+    /// Whether the path contains any `AS_SET` segment.
+    pub fn has_as_set(&self) -> bool {
+        self.segments.iter().any(|s| matches!(s, Segment::Set(_)))
+    }
+}
+
+impl fmt::Display for AsPath {
+    /// `bgpdump -m` style: space-separated ASNs, sets in braces:
+    /// `3320 1299 {64500,64501}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            match seg {
+                Segment::Sequence(seq) => {
+                    for asn in seq {
+                        if !first {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{}", asn.value())?;
+                        first = false;
+                    }
+                }
+                Segment::Set(set) => {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{{")?;
+                    for (i, asn) in set.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{}", asn.value())?;
+                    }
+                    write!(f, "}}")?;
+                    first = false;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing an AS-path string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathParseError(pub String);
+
+impl fmt::Display for PathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AS path: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for PathParseError {}
+
+impl FromStr for AsPath {
+    type Err = PathParseError;
+
+    fn from_str(s: &str) -> Result<AsPath, PathParseError> {
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut current_seq: Vec<Asn> = Vec::new();
+        for token in s.split_whitespace() {
+            if let Some(inner) = token.strip_prefix('{') {
+                let inner = inner
+                    .strip_suffix('}')
+                    .ok_or_else(|| PathParseError(s.to_string()))?;
+                if !current_seq.is_empty() {
+                    segments.push(Segment::Sequence(std::mem::take(&mut current_seq)));
+                }
+                let set: Result<Vec<Asn>, _> = inner
+                    .split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(|t| t.parse::<Asn>())
+                    .collect();
+                segments.push(Segment::Set(
+                    set.map_err(|_| PathParseError(s.to_string()))?,
+                ));
+            } else {
+                current_seq.push(
+                    token
+                        .parse::<Asn>()
+                        .map_err(|_| PathParseError(s.to_string()))?,
+                );
+            }
+        }
+        if !current_seq.is_empty() {
+            segments.push(Segment::Sequence(current_seq));
+        }
+        Ok(AsPath { segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_of_sequence() {
+        let p = AsPath::sequence([3320, 1299, 65000]);
+        assert_eq!(p.origin(), Origin::Asn(Asn::new(65000)));
+        assert_eq!(p.origin().asn(), Some(Asn::new(65000)));
+        assert_eq!(p.first_hop(), Some(Asn::new(3320)));
+        assert_eq!(p.hop_count(), 3);
+    }
+
+    #[test]
+    fn origin_of_as_set_is_ambiguous() {
+        let p = AsPath::from_segments(vec![
+            Segment::Sequence(vec![Asn::new(3320)]),
+            Segment::Set(vec![Asn::new(100), Asn::new(200)]),
+        ]);
+        assert_eq!(p.origin(), Origin::Set(vec![Asn::new(100), Asn::new(200)]));
+        assert_eq!(p.origin().asn(), None);
+        assert!(p.has_as_set());
+        // Set counts as one hop.
+        assert_eq!(p.hop_count(), 2);
+    }
+
+    #[test]
+    fn empty_path() {
+        let p = AsPath::empty();
+        assert_eq!(p.origin(), Origin::None);
+        assert!(p.is_empty());
+        assert_eq!(p.first_hop(), None);
+        assert!(!p.has_as_set());
+    }
+
+    #[test]
+    fn prepend_builds_propagation_path() {
+        let p = AsPath::sequence([65000]);
+        let p = p.prepend(Asn::new(1299)).prepend(Asn::new(3320));
+        assert_eq!(p.to_string(), "3320 1299 65000");
+        assert_eq!(p.origin(), Origin::Asn(Asn::new(65000)));
+        // Prepend onto an empty path.
+        let q = AsPath::empty().prepend(Asn::new(7));
+        assert_eq!(q.to_string(), "7");
+    }
+
+    #[test]
+    fn contains_for_loop_detection() {
+        let p = AsPath::sequence([1, 2, 3]);
+        assert!(p.contains(Asn::new(2)));
+        assert!(!p.contains(Asn::new(4)));
+        let with_set = AsPath::from_segments(vec![Segment::Set(vec![Asn::new(9)])]);
+        assert!(with_set.contains(Asn::new(9)));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["3320 1299 65000", "{100,200}", "3320 {100,200}", "7"] {
+            let p: AsPath = s.parse().unwrap();
+            assert_eq!(p.to_string(), s, "roundtrip {s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("33x20".parse::<AsPath>().is_err());
+        assert!("{100,200".parse::<AsPath>().is_err());
+        assert!("{100,abc}".parse::<AsPath>().is_err());
+    }
+
+    #[test]
+    fn parse_empty_is_empty_path() {
+        let p: AsPath = "".parse().unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.to_string(), "");
+    }
+
+    #[test]
+    fn sequence_after_set_roundtrip() {
+        let p = AsPath::from_segments(vec![
+            Segment::Set(vec![Asn::new(1)]),
+            Segment::Sequence(vec![Asn::new(2), Asn::new(3)]),
+        ]);
+        let s = p.to_string();
+        assert_eq!(s, "{1} 2 3");
+        let back: AsPath = s.parse().unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.origin(), Origin::Asn(Asn::new(3)));
+    }
+}

@@ -1,0 +1,286 @@
+//! The Routing Information Base: what a route server's "active table"
+//! dump contains.
+//!
+//! The paper takes "dumps of the active tables of the RIPE RIS route
+//! servers" and, for each IP address of a domain, extracts "all covering
+//! prefixes" and their origin ASes. [`Rib::lookup_addr`] is that
+//! operation; [`Rib::origins_for_addr`] additionally applies the AS_SET
+//! exclusion and reports what was skipped.
+
+use crate::path::{AsPath, Origin};
+use ripki_net::{Asn, IpPrefix, PrefixTrie};
+use std::fmt;
+use std::net::IpAddr;
+
+/// One table entry: a prefix announced with an AS path, as seen from a
+/// collector peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry {
+    /// The announced prefix.
+    pub prefix: IpPrefix,
+    /// The AS path as received.
+    pub path: AsPath,
+    /// The collector peer that contributed the entry (vantage point).
+    pub peer: Asn,
+}
+
+impl RibEntry {
+    /// The entry's unambiguous origin AS, if any.
+    pub fn origin(&self) -> Option<Asn> {
+        self.path.origin().asn()
+    }
+}
+
+impl fmt::Display for RibEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} via [{}] (peer AS{})", self.prefix, self.path, self.peer.value())
+    }
+}
+
+/// A prefix/origin pair extracted for the measurement pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrefixOrigin {
+    /// The covering prefix found in the table.
+    pub prefix: IpPrefix,
+    /// Its origin AS.
+    pub origin: Asn,
+}
+
+impl fmt::Display for PrefixOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ← {}", self.prefix, self.origin)
+    }
+}
+
+/// Outcome of mapping one address through the table (methodology step 3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AddressMapping {
+    /// All distinct (covering prefix, origin) pairs.
+    pub pairs: Vec<PrefixOrigin>,
+    /// Entries skipped because the origin was an `AS_SET`.
+    pub as_set_skipped: usize,
+}
+
+impl AddressMapping {
+    /// Whether the address is reachable at all from this table.
+    pub fn is_reachable(&self) -> bool {
+        !self.pairs.is_empty()
+    }
+}
+
+/// A full table: multiple entries may exist per prefix (one per peer).
+#[derive(Debug, Clone, Default)]
+pub struct Rib {
+    trie: PrefixTrie<Vec<RibEntry>>,
+    entry_count: usize,
+}
+
+impl Rib {
+    /// An empty table.
+    pub fn new() -> Rib {
+        Rib::default()
+    }
+
+    /// Insert an entry.
+    pub fn insert(&mut self, entry: RibEntry) {
+        self.entry_count += 1;
+        if let Some(existing) = self.trie.get(&entry.prefix) {
+            // Avoid trie remove/insert churn: get_mut is not offered, so
+            // re-insert the extended vector.
+            let mut v = existing.clone();
+            v.push(entry.clone());
+            self.trie.insert(entry.prefix, v);
+        } else {
+            self.trie.insert(entry.prefix, vec![entry]);
+        }
+    }
+
+    /// Number of entries (not distinct prefixes).
+    pub fn len(&self) -> usize {
+        self.entry_count
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count == 0
+    }
+
+    /// Number of distinct prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// All entries for covering prefixes of `addr` (most general first).
+    pub fn lookup_addr(&self, addr: IpAddr) -> Vec<&RibEntry> {
+        self.trie
+            .covering_addr(addr)
+            .into_iter()
+            .flat_map(|(_, v)| v.iter())
+            .collect()
+    }
+
+    /// All entries stored under exactly `prefix`.
+    pub fn entries_for(&self, prefix: &IpPrefix) -> &[RibEntry] {
+        self.trie.get(prefix).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Step 3 of the methodology: all (covering prefix, origin AS) pairs
+    /// for `addr`, deduplicated; AS_SET-origin entries excluded and
+    /// counted.
+    pub fn origins_for_addr(&self, addr: IpAddr) -> AddressMapping {
+        let mut mapping = AddressMapping::default();
+        for entry in self.lookup_addr(addr) {
+            match entry.path.origin() {
+                Origin::Asn(origin) => {
+                    mapping.pairs.push(PrefixOrigin { prefix: entry.prefix, origin });
+                }
+                Origin::Set(_) => mapping.as_set_skipped += 1,
+                Origin::None => {}
+            }
+        }
+        mapping.pairs.sort();
+        mapping.pairs.dedup();
+        mapping
+    }
+
+    /// Iterate every entry (grouped by prefix, IPv4 first).
+    pub fn iter(&self) -> impl Iterator<Item = &RibEntry> {
+        self.trie.iter().into_iter().flat_map(|(_, v)| v.iter())
+    }
+
+    /// All distinct (prefix, origin) pairs in the whole table — the
+    /// "entire BGP table" view used for general deployment statistics and
+    /// the route-collector emulation.
+    pub fn all_prefix_origins(&self) -> Vec<PrefixOrigin> {
+        let mut out: Vec<PrefixOrigin> = self
+            .iter()
+            .filter_map(|e| {
+                e.origin().map(|origin| PrefixOrigin { prefix: e.prefix, origin })
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl FromIterator<RibEntry> for Rib {
+    fn from_iter<I: IntoIterator<Item = RibEntry>>(iter: I) -> Rib {
+        let mut rib = Rib::new();
+        for e in iter {
+            rib.insert(e);
+        }
+        rib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Segment;
+
+    fn entry(prefix: &str, path: &[u32], peer: u32) -> RibEntry {
+        RibEntry {
+            prefix: prefix.parse().unwrap(),
+            path: AsPath::sequence(path.iter().copied()),
+            peer: Asn::new(peer),
+        }
+    }
+
+    fn a(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_and_counts() {
+        let mut rib = Rib::new();
+        assert!(rib.is_empty());
+        rib.insert(entry("10.0.0.0/8", &[1, 2], 100));
+        rib.insert(entry("10.0.0.0/8", &[3, 2], 200)); // second peer
+        rib.insert(entry("10.1.0.0/16", &[1, 5], 100));
+        assert_eq!(rib.len(), 3);
+        assert_eq!(rib.prefix_count(), 2);
+        assert_eq!(rib.entries_for(&"10.0.0.0/8".parse().unwrap()).len(), 2);
+        assert_eq!(rib.entries_for(&"99.0.0.0/8".parse().unwrap()).len(), 0);
+    }
+
+    #[test]
+    fn lookup_addr_finds_all_covering() {
+        let mut rib = Rib::new();
+        rib.insert(entry("10.0.0.0/8", &[1, 2], 100));
+        rib.insert(entry("10.1.0.0/16", &[1, 5], 100));
+        rib.insert(entry("10.2.0.0/16", &[1, 6], 100));
+        let found = rib.lookup_addr(a("10.1.2.3"));
+        assert_eq!(found.len(), 2);
+        assert!(rib.lookup_addr(a("11.0.0.1")).is_empty());
+    }
+
+    #[test]
+    fn origins_dedup_across_peers() {
+        let mut rib = Rib::new();
+        // Same prefix+origin via two peers → one pair.
+        rib.insert(entry("10.0.0.0/8", &[1, 2], 100));
+        rib.insert(entry("10.0.0.0/8", &[3, 9, 2], 200));
+        let m = rib.origins_for_addr(a("10.5.5.5"));
+        assert_eq!(m.pairs.len(), 1);
+        assert_eq!(m.pairs[0].origin, Asn::new(2));
+        assert!(m.is_reachable());
+    }
+
+    #[test]
+    fn moas_yields_multiple_pairs() {
+        // Multi-origin AS conflict: two different origins for one prefix.
+        let mut rib = Rib::new();
+        rib.insert(entry("10.0.0.0/8", &[1, 2], 100));
+        rib.insert(entry("10.0.0.0/8", &[3, 7], 200));
+        let m = rib.origins_for_addr(a("10.5.5.5"));
+        assert_eq!(m.pairs.len(), 2);
+    }
+
+    #[test]
+    fn as_set_entries_skipped_and_counted() {
+        let mut rib = Rib::new();
+        rib.insert(RibEntry {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            path: AsPath::from_segments(vec![
+                Segment::Sequence(vec![Asn::new(1)]),
+                Segment::Set(vec![Asn::new(2), Asn::new(3)]),
+            ]),
+            peer: Asn::new(100),
+        });
+        rib.insert(entry("10.0.0.0/9", &[1, 4], 100));
+        let m = rib.origins_for_addr(a("10.5.5.5"));
+        assert_eq!(m.as_set_skipped, 1);
+        assert_eq!(m.pairs.len(), 1);
+        assert_eq!(m.pairs[0].origin, Asn::new(4));
+    }
+
+    #[test]
+    fn unreachable_address() {
+        let rib = Rib::new();
+        let m = rib.origins_for_addr(a("8.8.8.8"));
+        assert!(!m.is_reachable());
+        assert_eq!(m.as_set_skipped, 0);
+    }
+
+    #[test]
+    fn all_prefix_origins_dedups() {
+        let mut rib = Rib::new();
+        rib.insert(entry("10.0.0.0/8", &[1, 2], 100));
+        rib.insert(entry("10.0.0.0/8", &[9, 2], 200));
+        rib.insert(entry("2001:db8::/32", &[1, 3], 100));
+        let pairs = rib.all_prefix_origins();
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let rib: Rib = vec![
+            entry("10.0.0.0/8", &[1, 2], 100),
+            entry("11.0.0.0/8", &[1, 3], 100),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(rib.len(), 2);
+    }
+}

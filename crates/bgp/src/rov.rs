@@ -1,0 +1,217 @@
+//! RFC 6811 BGP prefix origin validation.
+//!
+//! Given the validated ROA payloads (VRPs) from the RPKI, a route
+//! `(prefix, origin)` is classified:
+//!
+//! * **NotFound** — no VRP covers the prefix;
+//! * **Valid** — some covering VRP matches the origin AS and the
+//!   announced length does not exceed its `maxLength`;
+//! * **Invalid** — covering VRPs exist but none matches.
+//!
+//! This is the paper's step 4 per prefix-AS pair, and the import filter
+//! the hijack simulation applies at ROV-deploying ASes.
+
+use ripki_net::{Asn, IpPrefix, PrefixTrie};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three RFC 6811 validation states.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum RpkiState {
+    /// A covering VRP authorizes this exact (prefix length, origin).
+    Valid,
+    /// Covering VRPs exist, none authorizes this announcement.
+    Invalid,
+    /// The prefix is not covered by the RPKI at all.
+    NotFound,
+}
+
+impl fmt::Display for RpkiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpkiState::Valid => write!(f, "valid"),
+            RpkiState::Invalid => write!(f, "invalid"),
+            RpkiState::NotFound => write!(f, "not found"),
+        }
+    }
+}
+
+/// A VRP triple as the validator consumes it. (Mirror of
+/// `ripki_rpki::Vrp`, kept separate so this crate does not depend on the
+/// RPKI object model.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VrpTriple {
+    /// Authorized prefix.
+    pub prefix: IpPrefix,
+    /// Maximum authorized announcement length.
+    pub max_length: u8,
+    /// Authorized origin.
+    pub asn: Asn,
+}
+
+/// An origin validator over an indexed VRP set.
+#[derive(Debug, Clone, Default)]
+pub struct RouteOriginValidator {
+    trie: PrefixTrie<Vec<(u8, Asn)>>,
+    count: usize,
+}
+
+impl RouteOriginValidator {
+    /// Empty validator (everything is NotFound).
+    pub fn new() -> RouteOriginValidator {
+        RouteOriginValidator::default()
+    }
+
+    /// Build from VRP triples.
+    pub fn from_vrps<I: IntoIterator<Item = VrpTriple>>(iter: I) -> RouteOriginValidator {
+        let mut v = RouteOriginValidator::new();
+        for vrp in iter {
+            v.add(vrp);
+        }
+        v
+    }
+
+    /// Add one VRP.
+    pub fn add(&mut self, vrp: VrpTriple) {
+        self.count += 1;
+        if let Some(existing) = self.trie.get(&vrp.prefix) {
+            let mut v = existing.clone();
+            v.push((vrp.max_length, vrp.asn));
+            self.trie.insert(vrp.prefix, v);
+        } else {
+            self.trie.insert(vrp.prefix, vec![(vrp.max_length, vrp.asn)]);
+        }
+    }
+
+    /// Number of VRPs loaded.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no VRPs are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// RFC 6811 validation of an announcement.
+    pub fn validate(&self, prefix: &IpPrefix, origin: Asn) -> RpkiState {
+        let covering = self.trie.covering(prefix);
+        if covering.is_empty() {
+            return RpkiState::NotFound;
+        }
+        for (_, vrps) in &covering {
+            for (max_length, asn) in vrps.iter() {
+                if *asn == origin && prefix.len() <= *max_length {
+                    return RpkiState::Valid;
+                }
+            }
+        }
+        RpkiState::Invalid
+    }
+
+    /// Whether any VRP covers `prefix` (i.e. validation would not be
+    /// NotFound).
+    pub fn is_covered(&self, prefix: &IpPrefix) -> bool {
+        !self.trie.covering(prefix).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    fn vrp(prefix: &str, ml: u8, asn: u32) -> VrpTriple {
+        VrpTriple { prefix: p(prefix), max_length: ml, asn: Asn::new(asn) }
+    }
+
+    #[test]
+    fn not_found_when_uncovered() {
+        let v = RouteOriginValidator::from_vrps([vrp("10.0.0.0/16", 16, 100)]);
+        assert_eq!(v.validate(&p("11.0.0.0/16"), Asn::new(100)), RpkiState::NotFound);
+        assert!(!v.is_covered(&p("11.0.0.0/16")));
+        // A *less specific* announcement than any VRP is also uncovered.
+        assert_eq!(v.validate(&p("10.0.0.0/8"), Asn::new(100)), RpkiState::NotFound);
+    }
+
+    #[test]
+    fn valid_exact_match() {
+        let v = RouteOriginValidator::from_vrps([vrp("10.0.0.0/16", 16, 100)]);
+        assert_eq!(v.validate(&p("10.0.0.0/16"), Asn::new(100)), RpkiState::Valid);
+    }
+
+    #[test]
+    fn invalid_wrong_origin() {
+        let v = RouteOriginValidator::from_vrps([vrp("10.0.0.0/16", 16, 100)]);
+        assert_eq!(v.validate(&p("10.0.0.0/16"), Asn::new(200)), RpkiState::Invalid);
+    }
+
+    #[test]
+    fn maxlength_controls_more_specifics() {
+        let v = RouteOriginValidator::from_vrps([vrp("10.0.0.0/16", 20, 100)]);
+        assert_eq!(v.validate(&p("10.0.0.0/20"), Asn::new(100)), RpkiState::Valid);
+        assert_eq!(v.validate(&p("10.0.0.0/18"), Asn::new(100)), RpkiState::Valid);
+        // Too specific: the classic subprefix-hijack defence.
+        assert_eq!(v.validate(&p("10.0.0.0/24"), Asn::new(100)), RpkiState::Invalid);
+    }
+
+    #[test]
+    fn multiple_vrps_any_match_suffices() {
+        let v = RouteOriginValidator::from_vrps([
+            vrp("10.0.0.0/16", 16, 100),
+            vrp("10.0.0.0/16", 16, 200),
+        ]);
+        assert_eq!(v.validate(&p("10.0.0.0/16"), Asn::new(100)), RpkiState::Valid);
+        assert_eq!(v.validate(&p("10.0.0.0/16"), Asn::new(200)), RpkiState::Valid);
+        assert_eq!(v.validate(&p("10.0.0.0/16"), Asn::new(300)), RpkiState::Invalid);
+    }
+
+    #[test]
+    fn covering_vrp_from_shorter_prefix() {
+        // VRP for /8 with maxlen 16 covers /12 announcements.
+        let v = RouteOriginValidator::from_vrps([vrp("10.0.0.0/8", 16, 100)]);
+        assert_eq!(v.validate(&p("10.16.0.0/12"), Asn::new(100)), RpkiState::Valid);
+        assert_eq!(v.validate(&p("10.16.0.0/12"), Asn::new(9)), RpkiState::Invalid);
+        assert_eq!(v.validate(&p("10.0.0.0/24"), Asn::new(100)), RpkiState::Invalid);
+    }
+
+    #[test]
+    fn as0_roa_invalidates_everything() {
+        // RFC 7607: AS0 ROAs state "do not route"; any real origin is
+        // invalid because AS0 never matches an announcement's origin.
+        let v = RouteOriginValidator::from_vrps([vrp("192.0.2.0/24", 24, 0)]);
+        assert_eq!(v.validate(&p("192.0.2.0/24"), Asn::new(100)), RpkiState::Invalid);
+    }
+
+    #[test]
+    fn empty_validator_finds_nothing() {
+        let v = RouteOriginValidator::new();
+        assert!(v.is_empty());
+        assert_eq!(v.validate(&p("10.0.0.0/8"), Asn::new(1)), RpkiState::NotFound);
+    }
+
+    #[test]
+    fn families_do_not_interfere() {
+        let v = RouteOriginValidator::from_vrps([vrp("10.0.0.0/8", 8, 100)]);
+        assert_eq!(
+            v.validate(&p("2001:db8::/32"), Asn::new(100)),
+            RpkiState::NotFound
+        );
+    }
+
+    #[test]
+    fn len_counts_vrps() {
+        let v = RouteOriginValidator::from_vrps([
+            vrp("10.0.0.0/16", 16, 100),
+            vrp("10.0.0.0/16", 16, 200),
+            vrp("11.0.0.0/16", 16, 100),
+        ]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! AS-level topology: who connects to whom, and how.
+//!
+//! Inter-domain routing policy is driven by business relationships
+//! (Gao–Rexford): an edge is either **customer–provider** (the customer
+//! pays) or **peer–peer** (settlement-free). The hijack experiments of
+//! the paper's attacker model run on such a graph.
+//!
+//! [`Topology::generate`] produces a deterministic, Internet-like tiered
+//! topology: a clique of tier-1 transit providers, a middle tier of
+//! regional ISPs multi-homed to tier-1s with some lateral peering, and a
+//! large fringe of stub ASes (eyeballs, hosters, enterprises) multi-homed
+//! to the middle tier.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ripki_net::Asn;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The relationship of an edge, read from the first AS's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relationship {
+    /// The other AS is my provider (I am the customer).
+    Provider,
+    /// The other AS is my customer.
+    Customer,
+    /// Settlement-free peer.
+    Peer,
+}
+
+/// Adjacency of one AS.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AsNode {
+    /// ASes this AS buys transit from.
+    pub providers: BTreeSet<Asn>,
+    /// ASes buying transit from this AS.
+    pub customers: BTreeSet<Asn>,
+    /// Settlement-free peers.
+    pub peers: BTreeSet<Asn>,
+}
+
+impl AsNode {
+    /// Total degree.
+    pub fn degree(&self) -> usize {
+        self.providers.len() + self.customers.len() + self.peers.len()
+    }
+
+    /// Whether this AS has no customers (a stub / edge network).
+    pub fn is_stub(&self) -> bool {
+        self.customers.is_empty()
+    }
+}
+
+/// The AS graph.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: BTreeMap<Asn, AsNode>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Ensure `asn` exists (isolated if no edges are added).
+    pub fn add_as(&mut self, asn: Asn) {
+        self.nodes.entry(asn).or_default();
+    }
+
+    /// Add a customer→provider edge (`customer` buys transit from
+    /// `provider`). Idempotent.
+    pub fn add_customer_provider(&mut self, customer: Asn, provider: Asn) {
+        debug_assert_ne!(customer, provider);
+        self.nodes.entry(customer).or_default().providers.insert(provider);
+        self.nodes.entry(provider).or_default().customers.insert(customer);
+    }
+
+    /// Add a peer–peer edge. Idempotent.
+    pub fn add_peering(&mut self, a: Asn, b: Asn) {
+        debug_assert_ne!(a, b);
+        self.nodes.entry(a).or_default().peers.insert(b);
+        self.nodes.entry(b).or_default().peers.insert(a);
+    }
+
+    /// Look up an AS's adjacency.
+    pub fn node(&self, asn: Asn) -> Option<&AsNode> {
+        self.nodes.get(&asn)
+    }
+
+    /// Whether the AS exists.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.nodes.contains_key(&asn)
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate all ASNs in sorted order.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Iterate `(asn, node)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, &AsNode)> {
+        self.nodes.iter().map(|(a, n)| (*a, n))
+    }
+
+    /// Total number of edges (each counted once).
+    pub fn edge_count(&self) -> usize {
+        let cp: usize = self.nodes.values().map(|n| n.customers.len()).sum();
+        let peer: usize = self.nodes.values().map(|n| n.peers.len()).sum();
+        cp + peer / 2
+    }
+
+    /// The relationship of `a` towards `b`, if adjacent.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        let node = self.nodes.get(&a)?;
+        if node.providers.contains(&b) {
+            Some(Relationship::Provider)
+        } else if node.customers.contains(&b) {
+            Some(Relationship::Customer)
+        } else if node.peers.contains(&b) {
+            Some(Relationship::Peer)
+        } else {
+            None
+        }
+    }
+
+    /// Generate a deterministic tiered topology.
+    ///
+    /// * `tier1` ASes form a full peering clique (ASNs 10, 11, …).
+    /// * `mid` regional ISPs each buy transit from 1–3 tier-1s and peer
+    ///   laterally with probability `peer_prob`.
+    /// * `stubs` edge ASes each buy transit from 1–2 regional ISPs.
+    ///
+    /// ASN layout: tier-1s start at 10, mid tier at 1000, stubs at 10000.
+    pub fn generate(seed: u64, tier1: usize, mid: usize, stubs: usize, peer_prob: f64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7090_11ee);
+        let mut topo = Topology::new();
+        let t1: Vec<Asn> = (0..tier1).map(|i| Asn::new(10 + i as u32)).collect();
+        for a in &t1 {
+            topo.add_as(*a);
+        }
+        for (i, a) in t1.iter().enumerate() {
+            for b in &t1[i + 1..] {
+                topo.add_peering(*a, *b);
+            }
+        }
+        let mids: Vec<Asn> = (0..mid).map(|i| Asn::new(1000 + i as u32)).collect();
+        for m in &mids {
+            let n_upstreams = rng.gen_range(1..=3.min(t1.len().max(1)));
+            for up in t1.choose_multiple(&mut rng, n_upstreams) {
+                topo.add_customer_provider(*m, *up);
+            }
+        }
+        for (i, a) in mids.iter().enumerate() {
+            for b in &mids[i + 1..] {
+                if rng.gen_bool(peer_prob) {
+                    topo.add_peering(*a, *b);
+                }
+            }
+        }
+        for s in 0..stubs {
+            let stub = Asn::new(10_000 + s as u32);
+            let n_upstreams = rng.gen_range(1..=2.min(mids.len().max(1)));
+            if mids.is_empty() {
+                // Degenerate topology: stubs hang off tier-1s.
+                for up in t1.choose_multiple(&mut rng, 1) {
+                    topo.add_customer_provider(stub, *up);
+                }
+            } else {
+                for up in mids.choose_multiple(&mut rng, n_upstreams) {
+                    topo.add_customer_provider(stub, *up);
+                }
+            }
+        }
+        topo
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topology: {} ASes, {} edges", self.len(), self.edge_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_edges_and_relationships() {
+        let mut t = Topology::new();
+        let (a, b, c) = (Asn::new(1), Asn::new(2), Asn::new(3));
+        t.add_customer_provider(a, b); // a buys from b
+        t.add_peering(b, c);
+        assert_eq!(t.relationship(a, b), Some(Relationship::Provider));
+        assert_eq!(t.relationship(b, a), Some(Relationship::Customer));
+        assert_eq!(t.relationship(b, c), Some(Relationship::Peer));
+        assert_eq!(t.relationship(c, b), Some(Relationship::Peer));
+        assert_eq!(t.relationship(a, c), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.edge_count(), 2);
+        assert!(t.node(a).unwrap().is_stub());
+        assert!(!t.node(b).unwrap().is_stub());
+    }
+
+    #[test]
+    fn idempotent_edges() {
+        let mut t = Topology::new();
+        t.add_customer_provider(Asn::new(1), Asn::new(2));
+        t.add_customer_provider(Asn::new(1), Asn::new(2));
+        t.add_peering(Asn::new(1), Asn::new(3));
+        t.add_peering(Asn::new(3), Asn::new(1));
+        assert_eq!(t.edge_count(), 2);
+    }
+
+    #[test]
+    fn generated_topology_shape() {
+        let t = Topology::generate(42, 4, 20, 200, 0.05);
+        assert_eq!(t.len(), 4 + 20 + 200);
+        // Tier-1 clique.
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    assert_eq!(
+                        t.relationship(Asn::new(10 + i), Asn::new(10 + j)),
+                        Some(Relationship::Peer)
+                    );
+                }
+            }
+        }
+        // Every mid has at least one tier-1 provider.
+        for i in 0..20u32 {
+            let node = t.node(Asn::new(1000 + i)).unwrap();
+            assert!(!node.providers.is_empty());
+            assert!(node.providers.iter().all(|p| p.value() < 1000));
+        }
+        // Every stub has providers in the mid tier and no customers.
+        for i in 0..200u32 {
+            let node = t.node(Asn::new(10_000 + i)).unwrap();
+            assert!(node.is_stub());
+            assert!(!node.providers.is_empty());
+            assert!(node
+                .providers
+                .iter()
+                .all(|p| (1000..10_000).contains(&p.value())));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Topology::generate(7, 3, 10, 50, 0.1);
+        let b = Topology::generate(7, 3, 10, 50, 0.1);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (asn, node) in a.iter() {
+            assert_eq!(Some(node), b.node(asn), "mismatch at {asn}");
+        }
+        let c = Topology::generate(8, 3, 10, 50, 0.1);
+        // Different seed very likely differs in some edge.
+        let differs = a.iter().any(|(asn, node)| c.node(asn) != Some(node));
+        assert!(differs);
+    }
+
+    #[test]
+    fn degenerate_no_mid_tier() {
+        let t = Topology::generate(1, 2, 0, 10, 0.0);
+        for i in 0..10u32 {
+            let node = t.node(Asn::new(10_000 + i)).unwrap();
+            assert_eq!(node.providers.len(), 1);
+            assert!(node.providers.iter().all(|p| p.value() < 1000));
+        }
+    }
+
+    #[test]
+    fn display() {
+        let t = Topology::generate(1, 2, 2, 2, 0.0);
+        let s = t.to_string();
+        assert!(s.contains("6 ASes"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for `ripki-bgp`: ROV against a naive oracle,
+//! valley-free propagation invariants, and dump round-trips.
+
+use proptest::prelude::*;
+use ripki_bgp::dump::TableDump;
+use ripki_bgp::path::AsPath;
+use ripki_bgp::propagate::{accept_all, propagate, RouteKind};
+use ripki_bgp::rib::{Rib, RibEntry};
+use ripki_bgp::rov::{RouteOriginValidator, RpkiState, VrpTriple};
+use ripki_bgp::topology::{Relationship, Topology};
+use ripki_net::{Asn, IpPrefix, Ipv4Prefix};
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = IpPrefix> {
+    (any::<u32>(), 8u8..=28).prop_map(|(bits, len)| {
+        IpPrefix::V4(Ipv4Prefix::new(Ipv4Addr::from(bits), len).unwrap())
+    })
+}
+
+fn arb_vrp() -> impl Strategy<Value = (IpPrefix, u8, u32)> {
+    (any::<u32>(), 8u8..=24, 0u8..=8, 1u32..50).prop_map(|(bits, len, extra, asn)| {
+        let p = IpPrefix::V4(Ipv4Prefix::new(Ipv4Addr::from(bits), len).unwrap());
+        ((p), (len + extra).min(32), asn)
+    })
+}
+
+proptest! {
+    /// ROV agrees with the RFC 6811 definition evaluated naively.
+    #[test]
+    fn rov_matches_naive_oracle(
+        vrps in prop::collection::vec(arb_vrp(), 0..40),
+        route_prefix in arb_prefix(),
+        origin in 1u32..50,
+    ) {
+        let validator = RouteOriginValidator::from_vrps(
+            vrps.iter().map(|(p, ml, a)| VrpTriple {
+                prefix: *p,
+                max_length: *ml,
+                asn: Asn::new(*a),
+            }),
+        );
+        let origin = Asn::new(origin);
+        let covering: Vec<_> = vrps
+            .iter()
+            .filter(|(p, _, _)| p.covers(&route_prefix))
+            .collect();
+        let expected = if covering.is_empty() {
+            RpkiState::NotFound
+        } else if covering.iter().any(|(_, ml, a)| {
+            Asn::new(*a) == origin && route_prefix.len() <= *ml
+        }) {
+            RpkiState::Valid
+        } else {
+            RpkiState::Invalid
+        };
+        prop_assert_eq!(validator.validate(&route_prefix, origin), expected);
+    }
+
+    /// Propagation over random topologies produces valley-free,
+    /// loop-free, connected-to-origin routes.
+    #[test]
+    fn propagation_invariants(
+        seed in 0u64..500,
+        tier1 in 2usize..4,
+        mid in 2usize..12,
+        stubs in 2usize..40,
+        origin_pick in any::<prop::sample::Index>(),
+    ) {
+        let topo = Topology::generate(seed, tier1, mid, stubs, 0.1);
+        let asns: Vec<Asn> = topo.asns().collect();
+        let origin = asns[origin_pick.index(asns.len())];
+        let out = propagate(&topo, &[origin], &accept_all);
+
+        // Everyone is routed: generated topologies are connected.
+        prop_assert_eq!(out.routed_count(), topo.len());
+
+        for (asn, route) in out.iter() {
+            prop_assert_eq!(route.origin, origin);
+            if route.kind == RouteKind::Origin {
+                prop_assert_eq!(asn, origin);
+                continue;
+            }
+            // Path ends at the origin and starts at the next hop.
+            prop_assert_eq!(*route.path.last().unwrap(), origin);
+            prop_assert_eq!(route.path.first().copied(), route.next_hop);
+            // Loop-free.
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(asn);
+            for hop in &route.path {
+                prop_assert!(seen.insert(*hop));
+            }
+            // Valley-free along the full path: once the walk (from the
+            // traffic's perspective) goes down (provider→customer) or
+            // sideways (peer), it may never go up or sideways again.
+            let full: Vec<Asn> = std::iter::once(asn).chain(route.path.iter().copied()).collect();
+            let mut descending = false;
+            let mut peer_used = false;
+            for w in full.windows(2) {
+                let rel = topo.relationship(w[0], w[1]).expect("adjacent hops");
+                match rel {
+                    Relationship::Provider => {
+                        // Traffic goes from customer up to provider.
+                        prop_assert!(!descending && !peer_used, "valley in path");
+                    }
+                    Relationship::Peer => {
+                        prop_assert!(!descending && !peer_used, "second lateral move");
+                        peer_used = true;
+                    }
+                    Relationship::Customer => {
+                        descending = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Table dumps round-trip arbitrary RIBs.
+    #[test]
+    fn dump_roundtrip(
+        entries in prop::collection::vec(
+            (arb_prefix(), prop::collection::vec(1u32..100_000, 1..6), 1u32..100),
+            0..40,
+        )
+    ) {
+        let mut rib = Rib::new();
+        for (prefix, path, peer) in &entries {
+            rib.insert(RibEntry {
+                prefix: *prefix,
+                path: AsPath::sequence(path.iter().copied()),
+                peer: Asn::new(*peer),
+            });
+        }
+        let text = TableDump::to_string(&rib);
+        let back = TableDump::parse(&text).unwrap();
+        prop_assert_eq!(back.len(), rib.len());
+        prop_assert_eq!(TableDump::to_string(&back), text);
+    }
+
+    /// Step-3 lookups return exactly the covering prefixes of an address.
+    #[test]
+    fn rib_lookup_matches_filter(
+        entries in prop::collection::vec((arb_prefix(), 1u32..1000), 1..60),
+        addr in any::<u32>(),
+    ) {
+        let mut rib = Rib::new();
+        for (prefix, origin) in &entries {
+            rib.insert(RibEntry {
+                prefix: *prefix,
+                path: AsPath::sequence([100, *origin]),
+                peer: Asn::new(1),
+            });
+        }
+        let addr = std::net::IpAddr::V4(Ipv4Addr::from(addr));
+        let mapping = rib.origins_for_addr(addr);
+        let mut expected: Vec<(IpPrefix, Asn)> = entries
+            .iter()
+            .filter(|(p, _)| p.contains_addr(addr))
+            .map(|(p, o)| (*p, Asn::new(*o)))
+            .collect();
+        expected.sort();
+        expected.dedup();
+        let got: Vec<(IpPrefix, Asn)> =
+            mapping.pairs.iter().map(|po| (po.prefix, po.origin)).collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,548 @@
+//! # ripki-cli
+//!
+//! The command-line face of the workspace — what an operator or
+//! researcher would actually run. Everything is file-based, using the
+//! workspace's interchange formats (zone files, RIS-style table dumps,
+//! RPKI archives), so worlds can be generated once and re-analysed many
+//! times:
+//!
+//! ```text
+//! ripki-cli generate --domains 20000 --seed 42 --out world/
+//! ripki-cli validate --data world/
+//! ripki-cli rov --data world/ 85.1.0.0/16 AS100
+//! ripki-cli study --data world/ --bin 2000
+//! ripki-cli rtr-serve --data world/ --listen 127.0.0.1:8282
+//! ```
+//!
+//! The library exposes [`run`] so tests drive the exact code path the
+//! binary uses, with output captured.
+
+use ripki::classify::HttpArchiveClassifier;
+use ripki::figures;
+use ripki::pipeline::{Pipeline, PipelineConfig};
+use ripki::report::HeadlineStats;
+use ripki::tables;
+use ripki_bgp::dump::TableDump;
+use ripki_bgp::rov::{RouteOriginValidator, VrpTriple};
+use ripki_dns::DomainName;
+use ripki_net::{Asn, IpPrefix};
+use ripki_rpki::time::SimTime;
+use ripki_rpki::validate;
+use ripki_websim::{Scenario, ScenarioConfig};
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// CLI failures, each mapping to a non-zero exit.
+#[derive(Debug)]
+pub enum CliError {
+    /// No or unknown subcommand.
+    Usage(String),
+    /// A flag was malformed or missing its value.
+    BadFlag(String),
+    /// Filesystem problem.
+    Io(std::io::Error),
+    /// A data file failed to parse.
+    Data(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(s) => write!(f, "{s}\n\n{USAGE}"),
+            CliError::BadFlag(s) => write!(f, "bad flag: {s}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Data(s) => write!(f, "data error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Io(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ripki-cli — the RiPKI reproduction toolbox
+
+USAGE:
+  ripki-cli generate --out DIR [--domains N] [--seed S]
+      build a synthetic world and write its data files
+  ripki-cli validate --data DIR
+      cryptographically validate the RPKI archive, print VRPs
+  ripki-cli rov --data DIR PREFIX ASN
+      RFC 6811 validation state of one announcement
+  ripki-cli study --data DIR [--bin N]
+      run the full four-step measurement from the data files
+  ripki-cli rtr-serve --data DIR --listen ADDR
+      validate, then serve the VRPs over RPKI-to-Router (RFC 6810)
+  ripki-cli help
+      this text";
+
+/// Tiny flag parser: `--key value` pairs plus positionals.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut pairs = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::BadFlag(format!("--{key} needs a value")))?;
+                pairs.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Flags { pairs, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::BadFlag(format!("--{key} {v}: cannot parse"))),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError::BadFlag(format!("--{key} is required")))
+    }
+}
+
+/// Dispatch a full argument vector (without the program name).
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage("no subcommand".into()));
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&flags, out),
+        "validate" => cmd_validate(&flags, out),
+        "rov" => cmd_rov(&flags, out),
+        "study" => cmd_study(&flags, out),
+        "rtr-serve" => cmd_rtr_serve(&flags, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+// ---- data directory layout -------------------------------------------------
+
+fn ranking_path(dir: &Path) -> PathBuf {
+    dir.join("ranking.txt")
+}
+fn zones_path(dir: &Path) -> PathBuf {
+    dir.join("zones.zone")
+}
+fn table_path(dir: &Path) -> PathBuf {
+    dir.join("table.dump")
+}
+fn rpki_path(dir: &Path) -> PathBuf {
+    dir.join("rpki")
+}
+fn meta_path(dir: &Path) -> PathBuf {
+    dir.join("meta.txt")
+}
+
+struct World {
+    ranking: Vec<DomainName>,
+    zones: ripki_dns::ZoneStore,
+    rib: ripki_bgp::Rib,
+    repository: ripki_rpki::Repository,
+    now: SimTime,
+}
+
+fn load_world(dir: &Path) -> Result<World, CliError> {
+    let ranking_text = std::fs::read_to_string(ranking_path(dir))?;
+    let ranking: Result<Vec<DomainName>, _> = ranking_text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(DomainName::parse)
+        .collect();
+    let ranking = ranking.map_err(|e| CliError::Data(format!("ranking.txt: {e}")))?;
+    let zones = ripki_dns::zonefile::parse(&std::fs::read_to_string(zones_path(dir))?)
+        .map_err(|e| CliError::Data(format!("zones.zone: {e}")))?;
+    let rib = TableDump::parse(&std::fs::read_to_string(table_path(dir))?)
+        .map_err(|e| CliError::Data(format!("table.dump: {e}")))?;
+    let repository = ripki_rpki::load_archive(&rpki_path(dir))
+        .map_err(|e| CliError::Data(format!("rpki/: {e}")))?;
+    let meta = std::fs::read_to_string(meta_path(dir)).unwrap_or_default();
+    let now = meta
+        .lines()
+        .find_map(|l| l.strip_prefix("now: "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(SimTime)
+        .unwrap_or_else(SimTime::start_of_study);
+    Ok(World { ranking, zones, rib, repository, now })
+}
+
+// ---- subcommands -----------------------------------------------------------
+
+fn cmd_generate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let dir = PathBuf::from(flags.require("out")?);
+    let domains: usize = flags.get_parsed("domains", 20_000)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    writeln!(out, "generating world: {domains} domains, seed {seed}")?;
+    let scenario = Scenario::build(ScenarioConfig { seed, ..ScenarioConfig::with_domains(domains) });
+
+    std::fs::create_dir_all(&dir)?;
+    let mut ranking_text = String::new();
+    for name in &scenario.ranking {
+        ranking_text.push_str(name.as_str());
+        ranking_text.push('\n');
+    }
+    std::fs::write(ranking_path(&dir), ranking_text)?;
+
+    // Export every name the resolver may touch: listed names, both
+    // forms, their chains, and asset subdomains.
+    let mut all_names: Vec<DomainName> = Vec::new();
+    let resolver =
+        ripki_dns::Resolver::new(&scenario.zones, ripki_dns::Vantage::GOOGLE_DNS_BERLIN);
+    for listed in &scenario.ranking {
+        let bare = listed.without_www();
+        for form in [bare.clone(), bare.with_www()] {
+            if let Ok(res) = resolver.resolve(&form) {
+                all_names.push(form);
+                all_names.extend(res.cname_chain);
+            }
+        }
+        if let Ok(static_name) = DomainName::parse(&format!("static.{bare}")) {
+            if let Ok(res) = resolver.resolve(&static_name) {
+                all_names.push(static_name);
+                all_names.extend(res.cname_chain);
+            }
+        }
+    }
+    let zone_text = ripki_dns::zonefile::export(&scenario.zones, &mut all_names.iter());
+    std::fs::write(zones_path(&dir), zone_text)?;
+    std::fs::write(table_path(&dir), TableDump::to_string(&scenario.rib))?;
+    ripki_rpki::save_archive(&scenario.repository, &rpki_path(&dir))
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    std::fs::write(
+        meta_path(&dir),
+        format!("now: {}\nseed: {seed}\ndomains: {domains}\n", scenario.now.as_secs()),
+    )?;
+    writeln!(
+        out,
+        "wrote {}: {} names, {} table entries, {} ROAs",
+        dir.display(),
+        scenario.ranking.len(),
+        scenario.rib.len(),
+        scenario.repository.roa_count(),
+    )?;
+    Ok(())
+}
+
+fn cmd_validate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let dir = PathBuf::from(flags.require("data")?);
+    let repository = ripki_rpki::load_archive(&rpki_path(&dir))
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    let meta = std::fs::read_to_string(meta_path(&dir)).unwrap_or_default();
+    let now = meta
+        .lines()
+        .find_map(|l| l.strip_prefix("now: "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(SimTime)
+        .unwrap_or_else(SimTime::start_of_study);
+    let report = validate(&repository, now);
+    writeln!(
+        out,
+        "validated at T+{}s: {} accepted, {} rejected, {} VRPs",
+        now.as_secs(),
+        report.accepted_count(),
+        report.rejected_count(),
+        report.vrps.len(),
+    )?;
+    for vrp in &report.vrps {
+        writeln!(out, "  {vrp}")?;
+    }
+    for event in report.rejections() {
+        writeln!(
+            out,
+            "  REJECTED {} — {}",
+            event.object,
+            event.rejected.as_ref().expect("rejections() filters")
+        )?;
+    }
+    Ok(())
+}
+
+fn build_validator(dir: &Path) -> Result<(RouteOriginValidator, SimTime), CliError> {
+    let repository = ripki_rpki::load_archive(&rpki_path(dir))
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    let meta = std::fs::read_to_string(meta_path(dir)).unwrap_or_default();
+    let now = meta
+        .lines()
+        .find_map(|l| l.strip_prefix("now: "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(SimTime)
+        .unwrap_or_else(SimTime::start_of_study);
+    let report = validate(&repository, now);
+    let validator = RouteOriginValidator::from_vrps(report.vrps.iter().map(|v| VrpTriple {
+        prefix: v.prefix,
+        max_length: v.max_length,
+        asn: v.asn,
+    }));
+    Ok((validator, now))
+}
+
+fn cmd_rov(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let dir = PathBuf::from(flags.require("data")?);
+    if flags.positional.len() != 2 {
+        return Err(CliError::Usage("rov needs PREFIX and ASN".into()));
+    }
+    let prefix: IpPrefix = flags.positional[0]
+        .parse()
+        .map_err(|e| CliError::Data(format!("prefix: {e}")))?;
+    let asn: Asn = flags.positional[1]
+        .parse()
+        .map_err(|e| CliError::Data(format!("asn: {e}")))?;
+    let (validator, _) = build_validator(&dir)?;
+    writeln!(out, "{} from {} → {}", prefix, asn, validator.validate(&prefix, asn))?;
+    Ok(())
+}
+
+fn cmd_study(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let dir = PathBuf::from(flags.require("data")?);
+    let world = load_world(&dir)?;
+    let bin: usize = flags.get_parsed("bin", (world.ranking.len() / 10).max(1))?;
+    let pipeline = Pipeline::new(
+        &world.zones,
+        &world.rib,
+        &world.repository,
+        PipelineConfig { bogus_dns_ppm: 0, now: world.now, ..Default::default() },
+    );
+    let results = pipeline.run(&world.ranking);
+    writeln!(out, "{}", HeadlineStats::compute(&results))?;
+
+    let fig2 = figures::fig2_rpki_outcome(&results, bin);
+    writeln!(out, "\nFigure 2 (valid % per {bin}-rank bin):")?;
+    for (i, m) in fig2.valid.means.iter().enumerate() {
+        if let Some(v) = m {
+            writeln!(out, "  {:>8}  {:.3}%", i * bin, v * 100.0)?;
+        }
+    }
+    let fig1 = figures::fig1_www_overlap(&results, bin);
+    writeln!(
+        out,
+        "\nFigure 1 overall www/bare equality: {:.1}%",
+        fig1.overall_mean().unwrap_or(0.0) * 100.0
+    )?;
+    // Fig 3 needs the CDN pattern table; infer patterns from the zone
+    // data (names matching the simulated CDN namespace).
+    let patterns: Vec<String> = ripki_websim::operators::CDN_SPECS
+        .iter()
+        .map(|(n, _, _)| format!("{}-sim.net", n.to_ascii_lowercase()))
+        .collect();
+    let classifier = HttpArchiveClassifier::new(&world.zones, patterns);
+    let fig3 = figures::fig3_cdn_popularity(&results, &classifier, bin);
+    writeln!(
+        out,
+        "Figure 3 overall CDN share: heuristic {:.1}%, HTTPArchive {:.1}%",
+        fig3.cname_heuristic.overall_mean().unwrap_or(0.0) * 100.0,
+        fig3.httparchive.overall_mean().unwrap_or(0.0) * 100.0
+    )?;
+    let fig4 = figures::fig4_rpki_on_cdns(&results, bin);
+    writeln!(
+        out,
+        "Figure 4: RPKI-enabled {:.2}% overall vs {:.2}% on CDNs",
+        fig4.rpki_enabled.overall_mean().unwrap_or(0.0) * 100.0,
+        fig4.rpki_enabled_on_cdns.overall_mean().unwrap_or(0.0) * 100.0
+    )?;
+    let rows = tables::table1_top_covered(&results, 10);
+    writeln!(out, "\n{}", tables::render_table1(&rows))?;
+    Ok(())
+}
+
+fn cmd_rtr_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let dir = PathBuf::from(flags.require("data")?);
+    let listen = flags.require("listen")?;
+    let repository = ripki_rpki::load_archive(&rpki_path(&dir))
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    let meta = std::fs::read_to_string(meta_path(&dir)).unwrap_or_default();
+    let now = meta
+        .lines()
+        .find_map(|l| l.strip_prefix("now: "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(SimTime)
+        .unwrap_or_else(SimTime::start_of_study);
+    let report = validate(&repository, now);
+    let cache = std::sync::Arc::new(ripki_rtr::CacheServer::new(0x1715));
+    cache.update(report.vrps.iter().map(|v| VrpTriple {
+        prefix: v.prefix,
+        max_length: v.max_length,
+        asn: v.asn,
+    }));
+    let listener = std::net::TcpListener::bind(listen)?;
+    writeln!(
+        out,
+        "RTR cache serving {} VRPs on {} (session {:#06x}); ctrl-c to stop",
+        cache.vrp_count(),
+        listener.local_addr()?,
+        cache.session_id(),
+    )?;
+    for conn in listener.incoming().flatten() {
+        let cache = cache.clone();
+        std::thread::spawn(move || {
+            // TCP transport: serve with unsolicited Serial Notify.
+            let _ = cache
+                .serve_tcp_with_notify(conn, std::time::Duration::from_secs(1));
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn scratch() -> PathBuf {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("ripki-cli-test-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("command succeeds");
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_ok(&["help"]);
+        assert!(text.contains("ripki-cli"));
+        assert!(text.contains("generate"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let args = vec!["frobnicate".to_string()];
+        let mut out = Vec::new();
+        assert!(matches!(run(&args, &mut out), Err(CliError::Usage(_))));
+        let mut out = Vec::new();
+        assert!(matches!(run(&[], &mut out), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn flag_errors() {
+        let mut out = Vec::new();
+        let args: Vec<String> =
+            ["generate", "--out"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(run(&args, &mut out), Err(CliError::BadFlag(_))));
+        let args: Vec<String> = ["generate"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(run(&args, &mut out), Err(CliError::BadFlag(_))));
+        let args: Vec<String> = ["generate", "--out", "/tmp/x", "--domains", "many"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&args, &mut out), Err(CliError::BadFlag(_))));
+    }
+
+    #[test]
+    fn generate_validate_rov_study_end_to_end() {
+        let dir = scratch();
+        let dir_s = dir.to_str().unwrap();
+        let text = run_ok(&[
+            "generate", "--out", dir_s, "--domains", "1500", "--seed", "7",
+        ]);
+        assert!(text.contains("wrote"));
+        assert!(dir.join("ranking.txt").is_file());
+        assert!(dir.join("zones.zone").is_file());
+        assert!(dir.join("table.dump").is_file());
+        assert!(dir.join("rpki/tals").is_dir());
+
+        let text = run_ok(&["validate", "--data", dir_s]);
+        assert!(text.contains("0 rejected"), "{text}");
+        assert!(text.contains("VRPs"));
+
+        // Pick a VRP line and check `rov` agrees it is valid.
+        let vrp_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+            .expect("some VRP printed");
+        // Format: "  <prefix>-<ml> => AS<asn>"
+        let parts: Vec<&str> = vrp_line.trim().split(" => ").collect();
+        let prefix = parts[0].rsplit_once('-').unwrap().0;
+        let asn = parts[1];
+        let text = run_ok(&["rov", "--data", dir_s, prefix, asn]);
+        assert!(text.contains("valid"), "{text}");
+        let text = run_ok(&["rov", "--data", dir_s, prefix, "AS4294000000"]);
+        assert!(text.contains("invalid"), "{text}");
+        let text = run_ok(&["rov", "--data", dir_s, "198.51.100.0/24", "AS1"]);
+        assert!(text.contains("not found"), "{text}");
+
+        let text = run_ok(&["study", "--data", dir_s, "--bin", "300"]);
+        assert!(text.contains("Figure 2"));
+        assert!(text.contains("Figure 4"));
+        assert!(text.contains("domains measured:          1500"));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn study_from_files_matches_in_memory_study() {
+        let dir = scratch();
+        let dir_s = dir.to_str().unwrap();
+        run_ok(&["generate", "--out", dir_s, "--domains", "800", "--seed", "9"]);
+
+        // File-based.
+        let world = load_world(&dir).unwrap();
+        let pipeline = Pipeline::new(
+            &world.zones,
+            &world.rib,
+            &world.repository,
+            PipelineConfig { bogus_dns_ppm: 0, now: world.now, ..Default::default() },
+        );
+        let file_results = pipeline.run(&world.ranking);
+
+        // In-memory.
+        let scenario = Scenario::build(ScenarioConfig {
+            seed: 9,
+            ..ScenarioConfig::with_domains(800)
+        });
+        let pipeline = Pipeline::new(
+            &scenario.zones,
+            &scenario.rib,
+            &scenario.repository,
+            PipelineConfig { bogus_dns_ppm: 0, now: scenario.now, ..Default::default() },
+        );
+        let mem_results = pipeline.run(&scenario.ranking);
+
+        assert_eq!(file_results.domains.len(), mem_results.domains.len());
+        for (a, b) in file_results.domains.iter().zip(&mem_results.domains) {
+            assert_eq!(a.bare.pairs, b.bare.pairs, "rank {}", a.rank);
+            assert_eq!(a.www.pairs, b.www.pairs, "rank {}", a.rank);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,158 @@
+//! Key identifiers, keypairs, and a process-local key store.
+//!
+//! Real RPKI certificates embed the subject's public key and reference the
+//! issuer by Authority Key Identifier (a hash of the issuer key). We keep
+//! the same shape: a [`KeyId`] is the SHA-256 of the public key bytes, and
+//! a [`KeyStore`] maps identifiers to public keys so that validators can
+//! resolve issuer references (simulating out-of-band TAL distribution for
+//! trust anchors).
+
+use crate::schnorr::{PublicKey, SecretKey};
+use crate::sha256::{sha256, Digest};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a public key: SHA-256 over its canonical encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub Digest);
+
+impl KeyId {
+    /// Compute the identifier of `key`.
+    pub fn of(key: &PublicKey) -> KeyId {
+        KeyId(sha256(&key.to_bytes()))
+    }
+
+    /// Short display form for reports.
+    pub fn short(&self) -> String {
+        self.0.short()
+    }
+}
+
+impl fmt::Display for KeyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key:{}", self.0.short())
+    }
+}
+
+/// A secret/public key pair plus its identifier.
+#[derive(Debug, Clone)]
+pub struct Keypair {
+    /// The secret half. Kept accessible: simulations *are* the CA.
+    pub secret: SecretKey,
+    /// The public half.
+    pub public: PublicKey,
+    /// Identifier of the public half.
+    pub key_id: KeyId,
+}
+
+impl Keypair {
+    /// Deterministically derive a keypair from a seed and a label.
+    ///
+    /// The label keeps independently-seeded actors (trust anchors, CAs,
+    /// operators) from colliding even when they share a master seed.
+    pub fn derive(master_seed: u64, label: &str) -> Keypair {
+        let mut seed = Vec::with_capacity(8 + label.len());
+        seed.extend_from_slice(&master_seed.to_be_bytes());
+        seed.extend_from_slice(label.as_bytes());
+        let secret = SecretKey::from_seed(&seed);
+        let public = secret.public_key();
+        let key_id = KeyId::of(&public);
+        Keypair { secret, public, key_id }
+    }
+}
+
+/// A registry of known public keys.
+#[derive(Debug, Default, Clone)]
+pub struct KeyStore {
+    keys: HashMap<KeyId, PublicKey>,
+}
+
+impl KeyStore {
+    /// Empty store.
+    pub fn new() -> KeyStore {
+        KeyStore::default()
+    }
+
+    /// Register a public key, returning its identifier.
+    pub fn register(&mut self, key: PublicKey) -> KeyId {
+        let id = KeyId::of(&key);
+        self.keys.insert(id, key);
+        id
+    }
+
+    /// Look up a key by identifier.
+    pub fn get(&self, id: &KeyId) -> Option<&PublicKey> {
+        self.keys.get(id)
+    }
+
+    /// Whether the store knows `id`.
+    pub fn contains(&self, id: &KeyId) -> bool {
+        self.keys.contains_key(id)
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_deterministic_and_label_sensitive() {
+        let a1 = Keypair::derive(42, "ta/ripe");
+        let a2 = Keypair::derive(42, "ta/ripe");
+        let b = Keypair::derive(42, "ta/arin");
+        let c = Keypair::derive(43, "ta/ripe");
+        assert_eq!(a1.key_id, a2.key_id);
+        assert_ne!(a1.key_id, b.key_id);
+        assert_ne!(a1.key_id, c.key_id);
+    }
+
+    #[test]
+    fn key_id_matches_public_key_hash() {
+        let kp = Keypair::derive(1, "x");
+        assert_eq!(kp.key_id, KeyId::of(&kp.public));
+        assert_eq!(kp.key_id.short().len(), 8);
+    }
+
+    #[test]
+    fn store_register_and_lookup() {
+        let mut store = KeyStore::new();
+        assert!(store.is_empty());
+        let kp = Keypair::derive(7, "ca");
+        let id = store.register(kp.public);
+        assert_eq!(id, kp.key_id);
+        assert_eq!(store.get(&id), Some(&kp.public));
+        assert!(store.contains(&id));
+        assert_eq!(store.len(), 1);
+        // Re-registering is idempotent.
+        store.register(kp.public);
+        assert_eq!(store.len(), 1);
+        let other = Keypair::derive(7, "other");
+        assert!(!store.contains(&other.key_id));
+        assert!(store.get(&other.key_id).is_none());
+    }
+
+    #[test]
+    fn derived_keys_sign_and_verify() {
+        let kp = Keypair::derive(99, "signer");
+        let sig = kp.secret.sign(b"hello");
+        assert!(kp.public.verify(b"hello", &sig).is_ok());
+    }
+
+    #[test]
+    fn display_form() {
+        let kp = Keypair::derive(1, "d");
+        let s = kp.key_id.to_string();
+        assert!(s.starts_with("key:"));
+        assert_eq!(s.len(), 4 + 8);
+    }
+}

@@ -1,0 +1,48 @@
+//! # ripki-crypto
+//!
+//! Self-contained cryptographic primitives for the `ripki` workspace.
+//!
+//! The original RiPKI study validated real RPKI objects: X.509 resource
+//! certificates with RSA signatures over DER encodings. This environment
+//! has no crypto dependencies, so this crate implements the minimum
+//! structurally-faithful replacements from scratch:
+//!
+//! * [`mod@sha256`] — a complete FIPS 180-4 SHA-256, verified against the NIST
+//!   test vectors. Used for object digests (manifests list hashes of
+//!   repository objects) and key identifiers.
+//! * [`hmac`] — HMAC-SHA-256 (RFC 2104), used to derive deterministic
+//!   per-message nonces for signatures (in the spirit of RFC 6979).
+//! * [`tlv`] — a small canonical tag-length-value encoding standing in for
+//!   DER. Every signed RPKI object is serialised to TLV bytes and the
+//!   signature is computed over those bytes, so tampering with any field
+//!   breaks the signature — exactly as with real DER + RSA.
+//! * [`schnorr`] — a Schnorr-style signature scheme over the multiplicative
+//!   group modulo the Mersenne prime `p = 2^127 - 1`.
+//!
+//! ## Security disclaimer
+//!
+//! **The signature scheme is NOT cryptographically secure.** A 127-bit
+//! discrete-log group is trivially breakable, and the group order is not
+//! prime. It *is* a mathematically real signature scheme: keys are
+//! asymmetric, signatures verify only with the right public key, and any
+//! bit flip in message or signature causes rejection. That is what the
+//! RPKI validator in `ripki-rpki` needs in order for every validation
+//! code path (chain building, expiry, revocation, resource containment,
+//! manifest hashes, *and* signature checking) to be genuinely exercised.
+//!
+//! ## What is omitted
+//!
+//! * No X.509/DER, no ASN.1 — replaced by [`tlv`].
+//! * No RSA/ECDSA — replaced by [`schnorr`].
+//! * No randomised nonces — signing is deterministic (a feature: the whole
+//!   workspace is reproducible from seeds).
+
+pub mod hmac;
+pub mod keystore;
+pub mod schnorr;
+pub mod sha256;
+pub mod tlv;
+
+pub use keystore::{KeyId, Keypair, KeyStore};
+pub use schnorr::{PublicKey, SecretKey, Signature, SignatureError};
+pub use sha256::{sha256, Digest};

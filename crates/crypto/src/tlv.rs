@@ -1,0 +1,337 @@
+//! A canonical tag-length-value encoding, standing in for DER.
+//!
+//! Real RPKI objects are DER-encoded ASN.1; signatures cover the exact
+//! byte encoding, so any field change invalidates the signature. This
+//! module provides the same property with a far simpler, fully canonical
+//! format:
+//!
+//! ```text
+//! element := tag(1 byte) length(4 bytes, big-endian u32) value(length bytes)
+//! ```
+//!
+//! Fixed-width lengths make the encoding trivially canonical: a given
+//! value tree has exactly one encoding, so "encode then sign" and
+//! "re-encode then verify" agree byte-for-byte.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Errors produced while reading TLV data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlvError {
+    /// Ran out of bytes mid-element.
+    Truncated,
+    /// The element found does not carry the expected tag.
+    UnexpectedTag { expected: u8, found: u8 },
+    /// A fixed-width value had the wrong length.
+    BadLength { tag: u8, expected: usize, found: usize },
+    /// Trailing bytes remained after a complete parse.
+    TrailingData(usize),
+    /// A string value was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for TlvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlvError::Truncated => write!(f, "TLV data truncated"),
+            TlvError::UnexpectedTag { expected, found } => {
+                write!(f, "expected tag {expected:#04x}, found {found:#04x}")
+            }
+            TlvError::BadLength { tag, expected, found } => write!(
+                f,
+                "tag {tag:#04x}: expected {expected} value bytes, found {found}"
+            ),
+            TlvError::TrailingData(n) => write!(f, "{n} trailing bytes"),
+            TlvError::BadUtf8 => write!(f, "string value is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for TlvError {}
+
+/// Append-only TLV writer.
+///
+/// ```
+/// use ripki_crypto::tlv::{Writer, Reader};
+/// let mut w = Writer::new();
+/// w.put_u32(0x01, 42).put_str(0x02, "hello");
+/// let bytes = w.finish();
+/// let mut r = Reader::new(&bytes);
+/// assert_eq!(r.get_u32(0x01).unwrap(), 42);
+/// assert_eq!(r.get_str(0x02).unwrap(), "hello");
+/// r.finish().unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Writer {
+        Writer { buf: BytesMut::new() }
+    }
+
+    fn header(&mut self, tag: u8, len: usize) -> &mut Self {
+        self.buf.put_u8(tag);
+        self.buf.put_u32(len as u32);
+        self
+    }
+
+    /// Write raw bytes under `tag`.
+    pub fn put_bytes(&mut self, tag: u8, value: &[u8]) -> &mut Self {
+        self.header(tag, value.len());
+        self.buf.put_slice(value);
+        self
+    }
+
+    /// Write a `u8` under `tag`.
+    pub fn put_u8(&mut self, tag: u8, value: u8) -> &mut Self {
+        self.put_bytes(tag, &[value])
+    }
+
+    /// Write a big-endian `u32` under `tag`.
+    pub fn put_u32(&mut self, tag: u8, value: u32) -> &mut Self {
+        self.put_bytes(tag, &value.to_be_bytes())
+    }
+
+    /// Write a big-endian `u64` under `tag`.
+    pub fn put_u64(&mut self, tag: u8, value: u64) -> &mut Self {
+        self.put_bytes(tag, &value.to_be_bytes())
+    }
+
+    /// Write a big-endian `u128` under `tag`.
+    pub fn put_u128(&mut self, tag: u8, value: u128) -> &mut Self {
+        self.put_bytes(tag, &value.to_be_bytes())
+    }
+
+    /// Write a UTF-8 string under `tag`.
+    pub fn put_str(&mut self, tag: u8, value: &str) -> &mut Self {
+        self.put_bytes(tag, value.as_bytes())
+    }
+
+    /// Write a nested TLV structure under `tag`.
+    pub fn put_nested(&mut self, tag: u8, inner: Writer) -> &mut Self {
+        let bytes = inner.finish();
+        self.put_bytes(tag, &bytes)
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Sequential TLV reader.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Read from `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Peek at the next element's tag without consuming it.
+    pub fn peek_tag(&self) -> Option<u8> {
+        self.buf.first().copied()
+    }
+
+    /// Read the next element, requiring tag `tag`; returns the value bytes.
+    pub fn get_bytes(&mut self, tag: u8) -> Result<&'a [u8], TlvError> {
+        if self.buf.len() < 5 {
+            return Err(TlvError::Truncated);
+        }
+        let found = self.buf[0];
+        if found != tag {
+            return Err(TlvError::UnexpectedTag { expected: tag, found });
+        }
+        let mut len_bytes = &self.buf[1..5];
+        let len = len_bytes.get_u32() as usize;
+        if self.buf.len() < 5 + len {
+            return Err(TlvError::Truncated);
+        }
+        let value = &self.buf[5..5 + len];
+        self.buf = &self.buf[5 + len..];
+        Ok(value)
+    }
+
+    fn get_fixed<const N: usize>(&mut self, tag: u8) -> Result<[u8; N], TlvError> {
+        let v = self.get_bytes(tag)?;
+        if v.len() != N {
+            return Err(TlvError::BadLength { tag, expected: N, found: v.len() });
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(v);
+        Ok(out)
+    }
+
+    /// Read a `u8` under `tag`.
+    pub fn get_u8(&mut self, tag: u8) -> Result<u8, TlvError> {
+        Ok(self.get_fixed::<1>(tag)?[0])
+    }
+
+    /// Read a big-endian `u32` under `tag`.
+    pub fn get_u32(&mut self, tag: u8) -> Result<u32, TlvError> {
+        Ok(u32::from_be_bytes(self.get_fixed::<4>(tag)?))
+    }
+
+    /// Read a big-endian `u64` under `tag`.
+    pub fn get_u64(&mut self, tag: u8) -> Result<u64, TlvError> {
+        Ok(u64::from_be_bytes(self.get_fixed::<8>(tag)?))
+    }
+
+    /// Read a big-endian `u128` under `tag`.
+    pub fn get_u128(&mut self, tag: u8) -> Result<u128, TlvError> {
+        Ok(u128::from_be_bytes(self.get_fixed::<16>(tag)?))
+    }
+
+    /// Read a UTF-8 string under `tag`.
+    pub fn get_str(&mut self, tag: u8) -> Result<&'a str, TlvError> {
+        std::str::from_utf8(self.get_bytes(tag)?).map_err(|_| TlvError::BadUtf8)
+    }
+
+    /// Read a nested TLV structure under `tag`, returning a sub-reader.
+    pub fn get_nested(&mut self, tag: u8) -> Result<Reader<'a>, TlvError> {
+        Ok(Reader::new(self.get_bytes(tag)?))
+    }
+
+    /// Assert that all input was consumed.
+    pub fn finish(self) -> Result<(), TlvError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(TlvError::TrailingData(self.buf.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut w = Writer::new();
+        w.put_u8(1, 0xab)
+            .put_u32(2, 0xdead_beef)
+            .put_u64(3, u64::MAX)
+            .put_u128(4, u128::MAX - 1)
+            .put_str(5, "héllo")
+            .put_bytes(6, &[]);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8(1).unwrap(), 0xab);
+        assert_eq!(r.get_u32(2).unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64(3).unwrap(), u64::MAX);
+        assert_eq!(r.get_u128(4).unwrap(), u128::MAX - 1);
+        assert_eq!(r.get_str(5).unwrap(), "héllo");
+        assert_eq!(r.get_bytes(6).unwrap(), &[] as &[u8]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn nested_structures() {
+        let mut inner = Writer::new();
+        inner.put_u32(10, 7);
+        let mut w = Writer::new();
+        w.put_nested(1, inner).put_u8(2, 9);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        let mut sub = r.get_nested(1).unwrap();
+        assert_eq!(sub.get_u32(10).unwrap(), 7);
+        sub.finish().unwrap();
+        assert_eq!(r.get_u8(2).unwrap(), 9);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn wrong_tag_reported() {
+        let mut w = Writer::new();
+        w.put_u8(1, 0);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            r.get_u8(2),
+            Err(TlvError::UnexpectedTag { expected: 2, found: 1 })
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.put_u32(1, 5);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(r.get_u32(1).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let mut w = Writer::new();
+        w.put_bytes(1, &[1, 2, 3]);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            r.get_u32(1),
+            Err(TlvError::BadLength { tag: 1, expected: 4, found: 3 })
+        );
+    }
+
+    #[test]
+    fn trailing_data_detected() {
+        let mut w = Writer::new();
+        w.put_u8(1, 0).put_u8(2, 0);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        r.get_u8(1).unwrap();
+        assert_eq!(r.clone_finish_err(), Some(TlvError::TrailingData(6)));
+    }
+
+    impl<'a> Reader<'a> {
+        fn clone_finish_err(&self) -> Option<TlvError> {
+            Reader::new(self.buf).finish().err()
+        }
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        let mut w = Writer::new();
+        w.put_bytes(1, &[0xff, 0xfe]);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_str(1), Err(TlvError::BadUtf8));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let build = || {
+            let mut w = Writer::new();
+            w.put_str(1, "same").put_u64(2, 99);
+            w.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut w = Writer::new();
+        w.put_u8(7, 1);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.peek_tag(), Some(7));
+        assert_eq!(r.peek_tag(), Some(7));
+        r.get_u8(7).unwrap();
+        assert_eq!(r.peek_tag(), None);
+    }
+}

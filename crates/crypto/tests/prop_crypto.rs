@@ -1,0 +1,132 @@
+//! Property-based tests for `ripki-crypto`.
+
+use proptest::prelude::*;
+use ripki_crypto::schnorr::{mul_mod_p, pow_mod_p, SecretKey, Signature, P, Q};
+use ripki_crypto::sha256::{sha256, Sha256};
+use ripki_crypto::tlv::{Reader, Writer};
+
+proptest! {
+    /// Incremental hashing equals one-shot for arbitrary chunkings.
+    #[test]
+    fn sha256_chunking_invariant(
+        data in prop::collection::vec(any::<u8>(), 0..600),
+        splits in prop::collection::vec(0usize..600, 0..6),
+    ) {
+        let want = sha256(&data);
+        let mut points: Vec<usize> =
+            splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+        points.sort_unstable();
+        points.dedup();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for p in points {
+            h.update(&data[prev..p]);
+            prev = p;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), want);
+    }
+
+    /// Multiplication mod p is commutative, associative, and has identity.
+    #[test]
+    fn field_mul_laws(a in 0u128..P, b in 0u128..P, c in 0u128..P) {
+        prop_assert_eq!(mul_mod_p(a, b), mul_mod_p(b, a));
+        prop_assert_eq!(
+            mul_mod_p(mul_mod_p(a, b), c),
+            mul_mod_p(a, mul_mod_p(b, c))
+        );
+        prop_assert_eq!(mul_mod_p(a, 1), a % P);
+    }
+
+    /// Exponent laws: g^(a+b) = g^a · g^b.
+    #[test]
+    fn pow_exponent_additivity(a in 0u128..1_000_000_000, b in 0u128..1_000_000_000) {
+        let g = 7u128;
+        prop_assert_eq!(
+            pow_mod_p(g, a + b),
+            mul_mod_p(pow_mod_p(g, a), pow_mod_p(g, b))
+        );
+    }
+
+    /// Fermat: nonzero a has a^(p-1) = 1.
+    #[test]
+    fn fermat(a in 1u128..P) {
+        prop_assert_eq!(pow_mod_p(a, Q), 1);
+    }
+
+    /// Sign/verify succeeds for arbitrary seeds and messages; verification
+    /// fails whenever a single message byte is flipped.
+    #[test]
+    fn sign_verify_and_tamper(
+        seed in prop::collection::vec(any::<u8>(), 1..32),
+        mut msg in prop::collection::vec(any::<u8>(), 1..128),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let sk = SecretKey::from_seed(&seed);
+        let pk = sk.public_key();
+        let sig = sk.sign(&msg);
+        prop_assert!(pk.verify(&msg, &sig).is_ok());
+        let i = flip_at % msg.len();
+        msg[i] ^= 1 << flip_bit;
+        prop_assert!(pk.verify(&msg, &sig).is_err());
+    }
+
+    /// Signature byte encoding round-trips.
+    #[test]
+    fn signature_bytes_roundtrip(e in any::<u128>(), s in any::<u128>()) {
+        let sig = Signature { e, s };
+        prop_assert_eq!(Signature::from_bytes(&sig.to_bytes()), sig);
+    }
+
+    /// TLV: a sequence of (tag, bytes) writes reads back identically.
+    #[test]
+    fn tlv_roundtrip(
+        fields in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..64)),
+            0..12,
+        )
+    ) {
+        let mut w = Writer::new();
+        for (tag, bytes) in &fields {
+            w.put_bytes(*tag, bytes);
+        }
+        let encoded = w.finish();
+        let mut r = Reader::new(&encoded);
+        for (tag, bytes) in &fields {
+            let got = r.get_bytes(*tag).unwrap();
+            prop_assert_eq!(got, bytes.as_slice());
+        }
+        prop_assert!(r.finish().is_ok());
+    }
+
+    /// TLV truncation at any point either errors or (at a field boundary)
+    /// yields a strict prefix of the fields — never garbage.
+    #[test]
+    fn tlv_truncation_never_misparses(
+        fields in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..16)),
+            1..6,
+        ),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut w = Writer::new();
+        for (tag, bytes) in &fields {
+            w.put_bytes(*tag, bytes);
+        }
+        let encoded = w.finish();
+        let cut = ((encoded.len() as f64) * cut_frac) as usize;
+        let mut r = Reader::new(&encoded[..cut]);
+        let mut ok_fields = 0;
+        for (tag, bytes) in &fields {
+            match r.get_bytes(*tag) {
+                Ok(got) => {
+                    prop_assert_eq!(got, bytes.as_slice());
+                    ok_fields += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        prop_assert!(ok_fields <= fields.len());
+    }
+}

@@ -1,0 +1,107 @@
+//! Resource record data.
+//!
+//! Only the three types the paper collects: `A`, `AAAA`, `CNAME`.
+
+use crate::name::DomainName;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Record data (the right-hand side of a record).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordData {
+    /// IPv4 address record.
+    A(Ipv4Addr),
+    /// IPv6 address record.
+    Aaaa(Ipv6Addr),
+    /// Canonical-name alias.
+    Cname(DomainName),
+}
+
+impl RecordData {
+    /// The record type mnemonic.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            RecordData::A(_) => "A",
+            RecordData::Aaaa(_) => "AAAA",
+            RecordData::Cname(_) => "CNAME",
+        }
+    }
+
+    /// The address, for address records.
+    pub fn addr(&self) -> Option<IpAddr> {
+        match self {
+            RecordData::A(a) => Some(IpAddr::V4(*a)),
+            RecordData::Aaaa(a) => Some(IpAddr::V6(*a)),
+            RecordData::Cname(_) => None,
+        }
+    }
+
+    /// The alias target, for CNAME records.
+    pub fn cname(&self) -> Option<&DomainName> {
+        match self {
+            RecordData::Cname(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Wrap any IP address in the right record type.
+    pub fn from_addr(addr: IpAddr) -> RecordData {
+        match addr {
+            IpAddr::V4(a) => RecordData::A(a),
+            IpAddr::V6(a) => RecordData::Aaaa(a),
+        }
+    }
+}
+
+impl fmt::Display for RecordData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordData::A(a) => write!(f, "A {a}"),
+            RecordData::Aaaa(a) => write!(f, "AAAA {a}"),
+            RecordData::Cname(n) => write!(f, "CNAME {n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = RecordData::A("1.2.3.4".parse().unwrap());
+        let aaaa = RecordData::Aaaa("2001:db8::1".parse().unwrap());
+        let cn = RecordData::Cname(DomainName::parse("cdn.example").unwrap());
+        assert_eq!(a.type_name(), "A");
+        assert_eq!(aaaa.type_name(), "AAAA");
+        assert_eq!(cn.type_name(), "CNAME");
+        assert_eq!(a.addr(), Some("1.2.3.4".parse().unwrap()));
+        assert_eq!(aaaa.addr(), Some("2001:db8::1".parse().unwrap()));
+        assert_eq!(cn.addr(), None);
+        assert_eq!(cn.cname().unwrap().as_str(), "cdn.example");
+        assert_eq!(a.cname(), None);
+    }
+
+    #[test]
+    fn from_addr_picks_type() {
+        assert_eq!(
+            RecordData::from_addr("9.9.9.9".parse().unwrap()).type_name(),
+            "A"
+        );
+        assert_eq!(
+            RecordData::from_addr("::1".parse().unwrap()).type_name(),
+            "AAAA"
+        );
+    }
+
+    #[test]
+    fn display() {
+        let cn = RecordData::Cname(DomainName::parse("cdn.example").unwrap());
+        assert_eq!(cn.to_string(), "CNAME cdn.example");
+        assert_eq!(
+            RecordData::A("1.2.3.4".parse().unwrap()).to_string(),
+            "A 1.2.3.4"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! The resolver simulator.
+//!
+//! Resolves a name from one vantage point, chasing CNAME chains with loop
+//! detection, and returns everything step 2 of the methodology needs:
+//! the terminal addresses *and* the chain of canonical names (the CDN
+//! classification heuristic counts DNS indirections).
+
+use crate::name::DomainName;
+use crate::record::RecordData;
+use crate::vantage::Vantage;
+use crate::zone::ZoneStore;
+use std::fmt;
+use std::net::IpAddr;
+
+/// Longest CNAME chain a resolver will follow (BIND uses a similar bound).
+pub const MAX_CHAIN: usize = 16;
+
+/// Resolution failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The name (or a CNAME target) does not exist.
+    NxDomain(DomainName),
+    /// CNAMEs formed a loop.
+    CnameLoop(DomainName),
+    /// Chain exceeded [`MAX_CHAIN`].
+    ChainTooLong(DomainName),
+    /// The name exists but has no address records (only unfollowable
+    /// data).
+    NoAddress(DomainName),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::NxDomain(n) => write!(f, "NXDOMAIN {n}"),
+            ResolveError::CnameLoop(n) => write!(f, "CNAME loop at {n}"),
+            ResolveError::ChainTooLong(n) => write!(f, "CNAME chain too long at {n}"),
+            ResolveError::NoAddress(n) => write!(f, "no address records for {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// A successful resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// The name queried.
+    pub query: DomainName,
+    /// Canonical names traversed, in order (empty when the query name
+    /// carried address records directly).
+    pub cname_chain: Vec<DomainName>,
+    /// Terminal addresses (A and AAAA), in zone order.
+    pub addresses: Vec<IpAddr>,
+    /// Whether every zone on the resolution path (query name and each
+    /// CNAME target) is DNSSEC-signed — a validating resolver's AD bit.
+    pub authenticated: bool,
+}
+
+impl Resolution {
+    /// Number of DNS indirections. The paper classifies a domain as
+    /// CDN-served "if the IP address of its domain name is indirectly
+    /// accessed via two or more CNAMEs".
+    pub fn indirections(&self) -> usize {
+        self.cname_chain.len()
+    }
+
+    /// The terminal canonical name (query name if no CNAMEs).
+    pub fn canonical_name(&self) -> &DomainName {
+        self.cname_chain.last().unwrap_or(&self.query)
+    }
+}
+
+/// A resolver bound to a zone store and a vantage point.
+#[derive(Debug, Clone, Copy)]
+pub struct Resolver<'z> {
+    zones: &'z ZoneStore,
+    vantage: Vantage,
+}
+
+impl<'z> Resolver<'z> {
+    /// A resolver at `vantage` over `zones`.
+    pub fn new(zones: &'z ZoneStore, vantage: Vantage) -> Resolver<'z> {
+        Resolver { zones, vantage }
+    }
+
+    /// The vantage this resolver answers from.
+    pub fn vantage(&self) -> Vantage {
+        self.vantage
+    }
+
+    /// Resolve `name`, chasing CNAMEs.
+    pub fn resolve(&self, name: &DomainName) -> Result<Resolution, ResolveError> {
+        let mut chain: Vec<DomainName> = Vec::new();
+        let mut current = name.clone();
+        let mut authenticated = self.zones.is_signed(name);
+        loop {
+            let Some(records) = self.zones.lookup(&current, self.vantage) else {
+                return Err(ResolveError::NxDomain(current));
+            };
+            // Real DNS forbids CNAME alongside other data; the generator
+            // conforms, but be defensive: a CNAME wins if present.
+            if let Some(target) = records.iter().find_map(RecordData::cname) {
+                if chain.len() + 1 > MAX_CHAIN {
+                    return Err(ResolveError::ChainTooLong(name.clone()));
+                }
+                if *target == *name || chain.contains(target) {
+                    return Err(ResolveError::CnameLoop(target.clone()));
+                }
+                authenticated &= self.zones.is_signed(target);
+                chain.push(target.clone());
+                current = target.clone();
+                continue;
+            }
+            let addresses: Vec<IpAddr> =
+                records.iter().filter_map(RecordData::addr).collect();
+            if addresses.is_empty() {
+                return Err(ResolveError::NoAddress(current));
+            }
+            return Ok(Resolution {
+                query: name.clone(),
+                cname_chain: chain,
+                addresses,
+                authenticated,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn store() -> ZoneStore {
+        let mut z = ZoneStore::new();
+        // Direct A/AAAA.
+        z.add_addr(n("direct.example"), "192.0.2.10".parse().unwrap());
+        z.add_addr(n("direct.example"), "2001:db8::10".parse().unwrap());
+        // CDN-style chain: www.shop.example → shop.cdnprovider.net →
+        // edge7.cdnprovider.net → A
+        z.add_cname(n("www.shop.example"), n("shop.cdnprovider.net"));
+        z.add_cname(n("shop.cdnprovider.net"), n("edge7.cdnprovider.net"));
+        z.add_addr(n("edge7.cdnprovider.net"), "198.51.100.7".parse().unwrap());
+        // Loop: a → b → a
+        z.add_cname(n("a.loop.example"), n("b.loop.example"));
+        z.add_cname(n("b.loop.example"), n("a.loop.example"));
+        // Dangling CNAME.
+        z.add_cname(n("dangling.example"), n("void.example"));
+        z
+    }
+
+    #[test]
+    fn direct_resolution() {
+        let z = store();
+        let r = Resolver::new(&z, Vantage::GOOGLE_DNS_BERLIN);
+        let res = r.resolve(&n("direct.example")).unwrap();
+        assert_eq!(res.indirections(), 0);
+        assert_eq!(res.addresses.len(), 2);
+        assert_eq!(res.canonical_name(), &n("direct.example"));
+    }
+
+    #[test]
+    fn cname_chain_followed_and_counted() {
+        let z = store();
+        let r = Resolver::new(&z, Vantage::GOOGLE_DNS_BERLIN);
+        let res = r.resolve(&n("www.shop.example")).unwrap();
+        assert_eq!(res.indirections(), 2);
+        assert_eq!(
+            res.cname_chain,
+            vec![n("shop.cdnprovider.net"), n("edge7.cdnprovider.net")]
+        );
+        assert_eq!(res.addresses, vec!["198.51.100.7".parse::<IpAddr>().unwrap()]);
+        assert_eq!(res.canonical_name(), &n("edge7.cdnprovider.net"));
+    }
+
+    #[test]
+    fn loop_detected() {
+        let z = store();
+        let r = Resolver::new(&z, Vantage::OPEN_DNS);
+        assert!(matches!(
+            r.resolve(&n("a.loop.example")),
+            Err(ResolveError::CnameLoop(_))
+        ));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut z = ZoneStore::new();
+        z.add_cname(n("self.example"), n("self.example"));
+        let r = Resolver::new(&z, Vantage::OPEN_DNS);
+        assert!(matches!(
+            r.resolve(&n("self.example")),
+            Err(ResolveError::CnameLoop(_))
+        ));
+    }
+
+    #[test]
+    fn nxdomain_and_dangling() {
+        let z = store();
+        let r = Resolver::new(&z, Vantage::OPEN_DNS);
+        assert_eq!(
+            r.resolve(&n("missing.example")),
+            Err(ResolveError::NxDomain(n("missing.example")))
+        );
+        assert_eq!(
+            r.resolve(&n("dangling.example")),
+            Err(ResolveError::NxDomain(n("void.example")))
+        );
+    }
+
+    #[test]
+    fn chain_too_long() {
+        let mut z = ZoneStore::new();
+        for i in 0..=MAX_CHAIN {
+            z.add_cname(
+                n(&format!("h{i}.example")),
+                n(&format!("h{}.example", i + 1)),
+            );
+        }
+        z.add_addr(
+            n(&format!("h{}.example", MAX_CHAIN + 1)),
+            "10.0.0.1".parse().unwrap(),
+        );
+        let r = Resolver::new(&z, Vantage::OPEN_DNS);
+        assert!(matches!(
+            r.resolve(&n("h0.example")),
+            Err(ResolveError::ChainTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn vantage_dependent_answers() {
+        let mut z = ZoneStore::new();
+        z.add_cname(n("www.geo.example"), n("geo.cdn.example"));
+        z.add_addr(n("geo.cdn.example"), "203.0.113.1".parse().unwrap());
+        z.add_override(
+            n("geo.cdn.example"),
+            Vantage::HTTPARCHIVE_REDWOOD,
+            RecordData::A("203.0.113.2".parse().unwrap()),
+        );
+        let berlin = Resolver::new(&z, Vantage::GOOGLE_DNS_BERLIN)
+            .resolve(&n("www.geo.example"))
+            .unwrap();
+        let redwood = Resolver::new(&z, Vantage::HTTPARCHIVE_REDWOOD)
+            .resolve(&n("www.geo.example"))
+            .unwrap();
+        assert_ne!(berlin.addresses, redwood.addresses);
+        // Same chain, different terminal addresses — like a real CDN.
+        assert_eq!(berlin.cname_chain, redwood.cname_chain);
+    }
+
+    #[test]
+    fn empty_record_set_reports_no_address() {
+        let mut z = ZoneStore::new();
+        // A name with an empty record vector (possible via direct API use).
+        z.add(n("odd.example"), RecordData::A("10.0.0.1".parse().unwrap()));
+        let r = Resolver::new(&z, Vantage::OPEN_DNS);
+        assert!(r.resolve(&n("odd.example")).is_ok());
+    }
+}

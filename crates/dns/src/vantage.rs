@@ -1,0 +1,69 @@
+//! Measurement vantage points.
+//!
+//! The paper resolved from Berlin via Google DNS, cross-checked with
+//! OpenDNS and the `us01` node of a DNS looking glass, and compared CDN
+//! classification against HTTPArchive's agent in Redwood City, CA. Geo-
+//! aware CDN DNS answers differ between these points, which is why
+//! [`crate::zone::ZoneStore`] supports per-vantage overrides.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A resolver vantage point.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Vantage(pub u8);
+
+impl Vantage {
+    /// Google Public DNS queried from Berlin (the paper's primary).
+    pub const GOOGLE_DNS_BERLIN: Vantage = Vantage(0);
+    /// OpenDNS (cross-check).
+    pub const OPEN_DNS: Vantage = Vantage(1);
+    /// DNS Looking Glass node `us01` (cross-check).
+    pub const LOOKING_GLASS_US01: Vantage = Vantage(2);
+    /// HTTPArchive's monitoring agent in Redwood City, CA.
+    pub const HTTPARCHIVE_REDWOOD: Vantage = Vantage(3);
+
+    /// All four vantage points.
+    pub const ALL: [Vantage; 4] = [
+        Vantage::GOOGLE_DNS_BERLIN,
+        Vantage::OPEN_DNS,
+        Vantage::LOOKING_GLASS_US01,
+        Vantage::HTTPARCHIVE_REDWOOD,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self.0 {
+            0 => "GoogleDNS(Berlin)",
+            1 => "OpenDNS",
+            2 => "LookingGlass(us01)",
+            3 => "HTTPArchive(RedwoodCity)",
+            _ => "custom",
+        }
+    }
+}
+
+impl fmt::Display for Vantage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_distinct_vantages() {
+        let all = Vantage::ALL;
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(Vantage::GOOGLE_DNS_BERLIN.to_string(), "GoogleDNS(Berlin)");
+        assert_eq!(Vantage(77).name(), "custom");
+    }
+}

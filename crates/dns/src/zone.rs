@@ -1,0 +1,207 @@
+//! Authoritative zone data.
+//!
+//! One store holds all simulated zones (the generator writes into it
+//! directly; there is no delegation tree to traverse). Per-vantage
+//! overrides model geo-DNS: a CDN name resolves to a nearby edge cache,
+//! so different vantage points receive different `A` records.
+
+use crate::name::DomainName;
+use crate::record::RecordData;
+use crate::vantage::Vantage;
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+/// The authoritative record store.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneStore {
+    base: HashMap<DomainName, Vec<RecordData>>,
+    overrides: HashMap<(DomainName, Vantage), Vec<RecordData>>,
+    /// Zone apexes whose operators sign with DNSSEC. A name is
+    /// authenticatable when it or a parent is listed here (modelling a
+    /// validating resolver's AD bit, not the full DS/DNSKEY machinery).
+    signed_zones: HashSet<DomainName>,
+}
+
+impl ZoneStore {
+    /// Empty store.
+    pub fn new() -> ZoneStore {
+        ZoneStore::default()
+    }
+
+    /// Append a record for `name` (visible from every vantage unless an
+    /// override exists for that vantage).
+    pub fn add(&mut self, name: DomainName, data: RecordData) {
+        self.base.entry(name).or_default().push(data);
+    }
+
+    /// Append an address record for `name`.
+    pub fn add_addr(&mut self, name: DomainName, addr: IpAddr) {
+        self.add(name, RecordData::from_addr(addr));
+    }
+
+    /// Append a CNAME for `name`.
+    pub fn add_cname(&mut self, name: DomainName, target: DomainName) {
+        self.add(name, RecordData::Cname(target));
+    }
+
+    /// Append a record visible only from `vantage` (replacing the base
+    /// answer for that vantage entirely).
+    pub fn add_override(&mut self, name: DomainName, vantage: Vantage, data: RecordData) {
+        self.overrides.entry((name, vantage)).or_default().push(data);
+    }
+
+    /// The records `vantage` receives for `name`.
+    pub fn lookup(&self, name: &DomainName, vantage: Vantage) -> Option<&[RecordData]> {
+        if let Some(v) = self.overrides.get(&(name.clone(), vantage)) {
+            return Some(v);
+        }
+        self.base.get(name).map(Vec::as_slice)
+    }
+
+    /// Whether any record exists for `name` from any vantage.
+    pub fn contains(&self, name: &DomainName) -> bool {
+        self.base.contains_key(name)
+            || self.overrides.keys().any(|(n, _)| n == name)
+    }
+
+    /// Number of names with base records.
+    pub fn name_count(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Total base records.
+    pub fn record_count(&self) -> usize {
+        self.base.values().map(Vec::len).sum()
+    }
+
+    /// Mark `apex` as a DNSSEC-signed zone.
+    pub fn set_signed(&mut self, apex: DomainName) {
+        self.signed_zones.insert(apex);
+    }
+
+    /// Whether `name` belongs to a signed zone (itself or any ancestor).
+    pub fn is_signed(&self, name: &DomainName) -> bool {
+        if self.signed_zones.contains(name) {
+            return true;
+        }
+        let mut cursor = name.clone();
+        while let Some(parent) = cursor.parent() {
+            if self.signed_zones.contains(&parent) {
+                return true;
+            }
+            cursor = parent;
+        }
+        false
+    }
+
+    /// Number of signed zone apexes.
+    pub fn signed_zone_count(&self) -> usize {
+        self.signed_zones.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut z = ZoneStore::new();
+        z.add_addr(n("example.com"), "93.184.216.34".parse().unwrap());
+        z.add_addr(n("example.com"), "2606:2800::1".parse().unwrap());
+        let recs = z.lookup(&n("example.com"), Vantage::GOOGLE_DNS_BERLIN).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(z.contains(&n("example.com")));
+        assert!(!z.contains(&n("absent.example")));
+        assert_eq!(z.name_count(), 1);
+        assert_eq!(z.record_count(), 2);
+        assert!(z.lookup(&n("absent.example"), Vantage::OPEN_DNS).is_none());
+    }
+
+    #[test]
+    fn overrides_replace_per_vantage() {
+        let mut z = ZoneStore::new();
+        z.add_addr(n("edge.cdn.example"), "198.18.252.1".parse().unwrap());
+        z.add_override(
+            n("edge.cdn.example"),
+            Vantage::HTTPARCHIVE_REDWOOD,
+            RecordData::A("198.18.252.2".parse().unwrap()),
+        );
+        let berlin = z
+            .lookup(&n("edge.cdn.example"), Vantage::GOOGLE_DNS_BERLIN)
+            .unwrap();
+        let redwood = z
+            .lookup(&n("edge.cdn.example"), Vantage::HTTPARCHIVE_REDWOOD)
+            .unwrap();
+        assert_ne!(berlin, redwood);
+        assert_eq!(redwood.len(), 1);
+        assert_eq!(redwood[0].addr().unwrap().to_string(), "198.18.252.2");
+    }
+
+    #[test]
+    fn override_only_name_is_contained() {
+        let mut z = ZoneStore::new();
+        z.add_override(
+            n("geo.example"),
+            Vantage::OPEN_DNS,
+            RecordData::A("10.0.0.1".parse().unwrap()),
+        );
+        assert!(z.contains(&n("geo.example")));
+        assert!(z.lookup(&n("geo.example"), Vantage::GOOGLE_DNS_BERLIN).is_none());
+        assert!(z.lookup(&n("geo.example"), Vantage::OPEN_DNS).is_some());
+    }
+
+    #[test]
+    fn cname_records_stored() {
+        let mut z = ZoneStore::new();
+        z.add_cname(n("www.shop.example"), n("shop.cdn.example"));
+        let recs = z.lookup(&n("www.shop.example"), Vantage::OPEN_DNS).unwrap();
+        assert_eq!(recs[0].cname().unwrap().as_str(), "shop.cdn.example");
+    }
+}
+
+#[cfg(test)]
+mod dnssec_tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn signed_zone_covers_subdomains() {
+        let mut z = ZoneStore::new();
+        z.set_signed(n("example.org"));
+        assert!(z.is_signed(&n("example.org")));
+        assert!(z.is_signed(&n("www.example.org")));
+        assert!(z.is_signed(&n("a.b.example.org")));
+        assert!(!z.is_signed(&n("example.com")));
+        assert!(!z.is_signed(&n("org")));
+        assert_eq!(z.signed_zone_count(), 1);
+    }
+
+    #[test]
+    fn resolver_sets_ad_bit_only_when_whole_chain_signed() {
+        use crate::resolver::Resolver;
+        let mut z = ZoneStore::new();
+        z.set_signed(n("shop.example"));
+        z.set_signed(n("signedcdn.net"));
+        // Fully signed chain.
+        z.add_cname(n("www.shop.example"), n("e1.signedcdn.net"));
+        z.add_addr(n("e1.signedcdn.net"), "9.9.9.9".parse().unwrap());
+        // Chain escaping into an unsigned zone.
+        z.add_cname(n("img.shop.example"), n("e1.plaincdn.net"));
+        z.add_addr(n("e1.plaincdn.net"), "9.9.9.8".parse().unwrap());
+        // Unsigned origin.
+        z.add_addr(n("other.example"), "9.9.9.7".parse().unwrap());
+
+        let r = Resolver::new(&z, Vantage::GOOGLE_DNS_BERLIN);
+        assert!(r.resolve(&n("www.shop.example")).unwrap().authenticated);
+        assert!(!r.resolve(&n("img.shop.example")).unwrap().authenticated);
+        assert!(!r.resolve(&n("other.example")).unwrap().authenticated);
+    }
+}

@@ -1,0 +1,245 @@
+//! Zone file export and import.
+//!
+//! A BIND-flavoured master-file rendering of the [`ZoneStore`], so that
+//! generated worlds can be archived and re-measured ("All data will be
+//! made available"). One file carries the base records; per-vantage
+//! overrides are written as separate files, since standard zone syntax
+//! has no notion of geo-DNS views:
+//!
+//! ```text
+//! ; ripki simulated zone data
+//! example.com.            IN A      93.184.216.34
+//! example.com.            IN AAAA   2606:2800:220:1::1946
+//! www.shop.example.       IN CNAME  shop.cdn-sim.net.
+//! ; $SIGNED example.com.      — DNSSEC marker (non-standard)
+//! ```
+//!
+//! TTLs and classes other than `IN` are not modelled; a fixed TTL column
+//! is emitted for familiarity and ignored on input.
+
+use crate::name::DomainName;
+use crate::record::RecordData;
+use crate::vantage::Vantage;
+use crate::zone::ZoneStore;
+use std::fmt;
+
+/// Fixed TTL written on every line (ignored on input).
+pub const EXPORT_TTL: u32 = 300;
+
+/// Zone file parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneFileError {
+    /// A line did not have `name TTL IN TYPE data` shape.
+    BadLine { line: usize, content: String },
+    /// The owner or target name did not parse.
+    BadName { line: usize },
+    /// The record data did not parse for its type.
+    BadData { line: usize },
+    /// Unknown record type.
+    UnknownType { line: usize, rtype: String },
+}
+
+impl fmt::Display for ZoneFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZoneFileError::BadLine { line, content } => {
+                write!(f, "line {line}: malformed record {content:?}")
+            }
+            ZoneFileError::BadName { line } => write!(f, "line {line}: bad domain name"),
+            ZoneFileError::BadData { line } => write!(f, "line {line}: bad record data"),
+            ZoneFileError::UnknownType { line, rtype } => {
+                write!(f, "line {line}: unknown record type {rtype:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZoneFileError {}
+
+fn fqdn(name: &DomainName) -> String {
+    format!("{name}.")
+}
+
+fn render_record(out: &mut String, name: &DomainName, data: &RecordData) {
+    match data {
+        RecordData::A(a) => {
+            out.push_str(&format!("{:<40} {EXPORT_TTL} IN A     {a}\n", fqdn(name)))
+        }
+        RecordData::Aaaa(a) => {
+            out.push_str(&format!("{:<40} {EXPORT_TTL} IN AAAA  {a}\n", fqdn(name)))
+        }
+        RecordData::Cname(t) => out.push_str(&format!(
+            "{:<40} {EXPORT_TTL} IN CNAME {}\n",
+            fqdn(name),
+            fqdn(t)
+        )),
+    }
+}
+
+/// Render the base records (and DNSSEC markers) of `zones`.
+///
+/// Iteration order is sorted by name, so output is canonical.
+pub fn export(zones: &ZoneStore, names: &mut dyn Iterator<Item = &DomainName>) -> String {
+    let mut sorted: Vec<&DomainName> = names.collect();
+    sorted.sort();
+    sorted.dedup();
+    let mut out = String::from("; ripki simulated zone data\n");
+    for name in sorted {
+        if let Some(records) = zones.lookup(name, Vantage::GOOGLE_DNS_BERLIN) {
+            for r in records {
+                render_record(&mut out, name, r);
+            }
+        }
+        if zones.is_signed(name) {
+            out.push_str(&format!("; $SIGNED {}\n", fqdn(name)));
+        }
+    }
+    out
+}
+
+/// Parse zone file text into a fresh [`ZoneStore`] (base records only).
+pub fn parse(input: &str) -> Result<ZoneStore, ZoneFileError> {
+    let mut zones = ZoneStore::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("; $SIGNED") {
+            let name = rest.trim().trim_end_matches('.');
+            let apex = DomainName::parse(name)
+                .map_err(|_| ZoneFileError::BadName { line: line_no })?;
+            zones.set_signed(apex);
+            continue;
+        }
+        if line.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 5 || fields[2] != "IN" {
+            return Err(ZoneFileError::BadLine { line: line_no, content: raw.to_string() });
+        }
+        let name = DomainName::parse(fields[0].trim_end_matches('.'))
+            .map_err(|_| ZoneFileError::BadName { line: line_no })?;
+        let data = match fields[3] {
+            "A" => RecordData::A(
+                fields[4].parse().map_err(|_| ZoneFileError::BadData { line: line_no })?,
+            ),
+            "AAAA" => RecordData::Aaaa(
+                fields[4].parse().map_err(|_| ZoneFileError::BadData { line: line_no })?,
+            ),
+            "CNAME" => RecordData::Cname(
+                DomainName::parse(fields[4].trim_end_matches('.'))
+                    .map_err(|_| ZoneFileError::BadName { line: line_no })?,
+            ),
+            other => {
+                return Err(ZoneFileError::UnknownType {
+                    line: line_no,
+                    rtype: other.to_string(),
+                })
+            }
+        };
+        zones.add(name, data);
+    }
+    Ok(zones)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::Resolver;
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn sample() -> (ZoneStore, Vec<DomainName>) {
+        let mut z = ZoneStore::new();
+        z.add_addr(n("example.com"), "93.184.216.34".parse().unwrap());
+        z.add_addr(n("example.com"), "2606:2800:220:1::1946".parse().unwrap());
+        z.add_cname(n("www.shop.example"), n("shop.cdn-sim.net"));
+        z.add_addr(n("shop.cdn-sim.net"), "198.51.100.9".parse().unwrap());
+        z.set_signed(n("example.com"));
+        let names = vec![
+            n("example.com"),
+            n("www.shop.example"),
+            n("shop.cdn-sim.net"),
+        ];
+        (z, names)
+    }
+
+    #[test]
+    fn export_parse_roundtrip() {
+        let (z, names) = sample();
+        let text = export(&z, &mut names.iter());
+        let back = parse(&text).unwrap();
+        for name in &names {
+            assert_eq!(
+                back.lookup(name, Vantage::OPEN_DNS),
+                z.lookup(name, Vantage::OPEN_DNS),
+                "mismatch at {name}"
+            );
+        }
+        assert!(back.is_signed(&n("example.com")));
+        assert!(!back.is_signed(&n("shop.cdn-sim.net")));
+        // Canonical: exporting the reload gives identical text.
+        let again = export(&back, &mut names.iter());
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn reloaded_zones_resolve_identically() {
+        let (z, names) = sample();
+        let text = export(&z, &mut names.iter());
+        let back = parse(&text).unwrap();
+        let r1 = Resolver::new(&z, Vantage::GOOGLE_DNS_BERLIN);
+        let r2 = Resolver::new(&back, Vantage::GOOGLE_DNS_BERLIN);
+        let a = r1.resolve(&n("www.shop.example")).unwrap();
+        let b = r2.resolve(&n("www.shop.example")).unwrap();
+        assert_eq!(a.addresses, b.addresses);
+        assert_eq!(a.cname_chain, b.cname_chain);
+    }
+
+    #[test]
+    fn format_shape() {
+        let (z, names) = sample();
+        let text = export(&z, &mut names.iter());
+        assert!(text.contains("example.com."));
+        assert!(text.contains("IN A     93.184.216.34"));
+        assert!(text.contains("IN AAAA  2606:2800:220:1::1946"));
+        assert!(text.contains("IN CNAME shop.cdn-sim.net."));
+        assert!(text.contains("; $SIGNED example.com."));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert!(matches!(
+            parse("example.com. 300 IN A"),
+            Err(ZoneFileError::BadLine { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("\nexample.com. 300 XX A 1.2.3.4"),
+            Err(ZoneFileError::BadLine { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse("example.com. 300 IN MX mail.example.com."),
+            Err(ZoneFileError::UnknownType { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("example.com. 300 IN A not-an-ip"),
+            Err(ZoneFileError::BadData { line: 1 })
+        ));
+        assert!(matches!(
+            parse("-bad-. 300 IN A 1.2.3.4"),
+            Err(ZoneFileError::BadName { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let z = parse("; header\n\nexample.com. 300 IN A 1.2.3.4\n").unwrap();
+        assert!(z.contains(&n("example.com")));
+        assert_eq!(z.record_count(), 1);
+    }
+}

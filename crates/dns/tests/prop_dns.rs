@@ -1,0 +1,81 @@
+//! Property-based tests for `ripki-dns`.
+
+use proptest::prelude::*;
+use ripki_dns::name::DomainName;
+use ripki_dns::resolver::{ResolveError, Resolver};
+use ripki_dns::vantage::Vantage;
+use ripki_dns::zone::ZoneStore;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_label(), 1..5).prop_map(|ls| ls.join("."))
+}
+
+proptest! {
+    /// Valid names parse; parse→display→parse is stable.
+    #[test]
+    fn name_parse_stable(s in arb_name()) {
+        let d = DomainName::parse(&s).unwrap();
+        let d2 = DomainName::parse(d.as_str()).unwrap();
+        prop_assert_eq!(&d, &d2);
+        prop_assert_eq!(d.as_str(), s.to_ascii_lowercase());
+    }
+
+    /// with_www and without_www are inverses on non-www names, and both
+    /// are idempotent where applicable.
+    #[test]
+    fn www_pairing_laws(s in arb_name()) {
+        let d = DomainName::parse(&s).unwrap();
+        let www = d.with_www();
+        prop_assert!(www.is_www());
+        prop_assert_eq!(www.with_www(), www.clone());
+        if !d.is_www() {
+            prop_assert_eq!(www.without_www(), d);
+        }
+    }
+
+    /// Any CNAME chain of length <= MAX_CHAIN resolves with the exact
+    /// chain recorded; loops always error.
+    #[test]
+    fn chains_resolve_fully(len in 0usize..10, make_loop in any::<bool>()) {
+        let mut z = ZoneStore::new();
+        let names: Vec<DomainName> = (0..=len)
+            .map(|i| DomainName::parse(&format!("n{i}.example")).unwrap())
+            .collect();
+        for w in names.windows(2) {
+            z.add_cname(w[0].clone(), w[1].clone());
+        }
+        if make_loop && len > 0 {
+            // Close the chain into a cycle.
+            z.add_cname(names[len].clone(), names[0].clone());
+        } else {
+            z.add_addr(names[len].clone(), "93.184.216.34".parse().unwrap());
+        }
+        let r = Resolver::new(&z, Vantage::GOOGLE_DNS_BERLIN);
+        match r.resolve(&names[0]) {
+            Ok(res) => {
+                prop_assert!(!(make_loop && len > 0));
+                prop_assert_eq!(res.indirections(), len);
+                prop_assert_eq!(res.canonical_name(), &names[len]);
+                prop_assert_eq!(res.addresses.len(), 1);
+            }
+            Err(e) => {
+                prop_assert!(make_loop && len > 0, "unexpected error {e}");
+                prop_assert!(matches!(e, ResolveError::CnameLoop(_)));
+            }
+        }
+    }
+
+    /// Subdomain relation is consistent with textual suffix semantics.
+    #[test]
+    fn subdomain_consistency(a in arb_name(), b in arb_name()) {
+        let da = DomainName::parse(&a).unwrap();
+        let db = DomainName::parse(&b).unwrap();
+        let textual = da.as_str() == db.as_str()
+            || da.as_str().ends_with(&format!(".{}", db.as_str()));
+        prop_assert_eq!(da.is_subdomain_of(&db), textual);
+    }
+}

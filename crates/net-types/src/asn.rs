@@ -1,0 +1,270 @@
+//! Autonomous System Numbers.
+//!
+//! BGP identifies networks by a 32-bit AS number (RFC 6793 extended the
+//! original 16-bit space). The RiPKI methodology manipulates ASNs in three
+//! places: extracting the origin AS from AS paths (step 3), matching origin
+//! ASes against ROAs (step 4), and keyword-spotting AS assignment lists for
+//! the CDN audit (§4.2).
+
+use crate::error::NetParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 32-bit Autonomous System Number.
+///
+/// Displayed in the canonical `AS64496` notation ("asplain" with the `AS`
+/// prefix). Parsing accepts both `AS64496` (case-insensitive) and bare
+/// `64496`.
+///
+/// ```
+/// use ripki_net::Asn;
+/// let asn: Asn = "AS65000".parse().unwrap();
+/// assert_eq!(asn, Asn::new(65000));
+/// assert_eq!(asn.to_string(), "AS65000");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Asn(u32);
+
+impl Asn {
+    /// AS0, reserved by RFC 7607. A ROA for AS0 is a statement that the
+    /// prefix must *not* be routed ("AS0 ROA").
+    pub const RESERVED_AS0: Asn = Asn(0);
+
+    /// Wrap a raw 32-bit AS number.
+    pub const fn new(value: u32) -> Asn {
+        Asn(value)
+    }
+
+    /// The raw 32-bit value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is a 16-bit ("2-byte") AS number.
+    pub fn is_16bit(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+
+    /// Whether the ASN falls in an IANA private-use range
+    /// (64512–65534 or 4200000000–4294967294, RFC 6996).
+    pub fn is_private_use(self) -> bool {
+        (64512..=65534).contains(&self.0) || (4_200_000_000..=4_294_967_294).contains(&self.0)
+    }
+
+    /// Whether the ASN falls in a documentation range
+    /// (64496–64511 or 65536–65551, RFC 5398).
+    pub fn is_documentation(self) -> bool {
+        (64496..=64511).contains(&self.0) || (65536..=65551).contains(&self.0)
+    }
+
+    /// Whether the ASN is reserved (AS0, AS23456 "AS_TRANS", 65535,
+    /// 4294967295, or a private-use/documentation value).
+    pub fn is_reserved(self) -> bool {
+        self.0 == 0
+            || self.0 == 23456
+            || self.0 == 65535
+            || self.0 == u32::MAX
+            || self.is_private_use()
+            || self.is_documentation()
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(value: u32) -> Asn {
+        Asn(value)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(asn: Asn) -> u32 {
+        asn.0
+    }
+}
+
+impl FromStr for Asn {
+    type Err = NetParseError;
+
+    fn from_str(s: &str) -> Result<Asn, NetParseError> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .or_else(|| s.strip_prefix("As"))
+            .or_else(|| s.strip_prefix("aS"))
+            .unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| NetParseError::InvalidAsn(s.to_string()))
+    }
+}
+
+/// An inclusive range of AS numbers, as used in RFC 3779 resource
+/// extensions ("ASIdentifiers" may carry ranges, not just single ASNs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsnRange {
+    /// Lowest ASN in the range.
+    pub start: Asn,
+    /// Highest ASN in the range (inclusive).
+    pub end: Asn,
+}
+
+impl AsnRange {
+    /// Build a range; `start` must not exceed `end`.
+    pub fn new(start: Asn, end: Asn) -> Result<AsnRange, NetParseError> {
+        if start > end {
+            return Err(NetParseError::InvertedRange(format!("{start}-{end}")));
+        }
+        Ok(AsnRange { start, end })
+    }
+
+    /// A range holding a single ASN.
+    pub fn single(asn: Asn) -> AsnRange {
+        AsnRange { start: asn, end: asn }
+    }
+
+    /// Whether `asn` falls within the range.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.start <= asn && asn <= self.end
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    pub fn contains_range(&self, other: &AsnRange) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two ranges share at least one ASN.
+    pub fn overlaps(&self, other: &AsnRange) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Number of ASNs in the range.
+    pub fn len(&self) -> u64 {
+        (self.end.value() as u64) - (self.start.value() as u64) + 1
+    }
+
+    /// Ranges are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for AsnRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start == self.end {
+            write!(f, "{}", self.start)
+        } else {
+            write!(f, "{}-{}", self.start, self.end)
+        }
+    }
+}
+
+impl FromStr for AsnRange {
+    type Err = NetParseError;
+
+    /// Parses `AS10-AS20`, `10-20`, or a single `AS10`.
+    fn from_str(s: &str) -> Result<AsnRange, NetParseError> {
+        match s.split_once('-') {
+            Some((a, b)) => AsnRange::new(a.trim().parse()?, b.trim().parse()?),
+            None => Ok(AsnRange::single(s.trim().parse()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_and_prefixed() {
+        assert_eq!("65000".parse::<Asn>().unwrap(), Asn::new(65000));
+        assert_eq!("AS65000".parse::<Asn>().unwrap(), Asn::new(65000));
+        assert_eq!("as65000".parse::<Asn>().unwrap(), Asn::new(65000));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ASfoo".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+        assert!("AS".parse::<Asn>().is_err());
+        assert!("-5".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err()); // > u32::MAX
+    }
+
+    #[test]
+    fn parse_accepts_full_32bit_space() {
+        assert_eq!(
+            "AS4294967295".parse::<Asn>().unwrap(),
+            Asn::new(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let asn = Asn::new(3320);
+        assert_eq!(asn.to_string(), "AS3320");
+        assert_eq!(asn.to_string().parse::<Asn>().unwrap(), asn);
+    }
+
+    #[test]
+    fn sixteen_bit_classification() {
+        assert!(Asn::new(65535).is_16bit());
+        assert!(!Asn::new(65536).is_16bit());
+    }
+
+    #[test]
+    fn reserved_ranges() {
+        assert!(Asn::RESERVED_AS0.is_reserved());
+        assert!(Asn::new(23456).is_reserved()); // AS_TRANS
+        assert!(Asn::new(64512).is_private_use());
+        assert!(Asn::new(65534).is_private_use());
+        assert!(!Asn::new(65535).is_private_use());
+        assert!(Asn::new(65535).is_reserved());
+        assert!(Asn::new(4_200_000_000).is_private_use());
+        assert!(Asn::new(64496).is_documentation());
+        assert!(Asn::new(65551).is_documentation());
+        assert!(!Asn::new(3320).is_reserved());
+    }
+
+    #[test]
+    fn range_contains_and_overlap() {
+        let r = AsnRange::new(Asn::new(10), Asn::new(20)).unwrap();
+        assert!(r.contains(Asn::new(10)));
+        assert!(r.contains(Asn::new(20)));
+        assert!(!r.contains(Asn::new(21)));
+        assert!(r.contains_range(&AsnRange::new(Asn::new(12), Asn::new(18)).unwrap()));
+        assert!(!r.contains_range(&AsnRange::new(Asn::new(12), Asn::new(21)).unwrap()));
+        assert!(r.overlaps(&AsnRange::new(Asn::new(20), Asn::new(30)).unwrap()));
+        assert!(!r.overlaps(&AsnRange::new(Asn::new(21), Asn::new(30)).unwrap()));
+    }
+
+    #[test]
+    fn range_rejects_inversion() {
+        assert!(AsnRange::new(Asn::new(20), Asn::new(10)).is_err());
+    }
+
+    #[test]
+    fn range_parse_and_display() {
+        let r: AsnRange = "AS10-AS20".parse().unwrap();
+        assert_eq!(r, AsnRange::new(Asn::new(10), Asn::new(20)).unwrap());
+        assert_eq!(r.to_string(), "AS10-AS20");
+        let single: AsnRange = "AS7".parse().unwrap();
+        assert_eq!(single.to_string(), "AS7");
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn range_len_full_space() {
+        let r = AsnRange::new(Asn::new(0), Asn::new(u32::MAX)).unwrap();
+        assert_eq!(r.len(), 1u64 << 32);
+    }
+}

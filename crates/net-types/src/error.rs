@@ -1,0 +1,54 @@
+//! Error types for parsing network resources.
+
+use std::fmt;
+
+/// An error produced while parsing an ASN, address, or prefix from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetParseError {
+    /// The ASN was not a number, or exceeded 32 bits.
+    InvalidAsn(String),
+    /// The address part of a prefix did not parse.
+    InvalidAddress(String),
+    /// The prefix length was missing, not a number, or out of range for
+    /// the address family.
+    InvalidPrefixLength(String),
+    /// The input had a shape we do not recognise at all.
+    Malformed(String),
+    /// An ASN or prefix range had its endpoints in the wrong order.
+    InvertedRange(String),
+}
+
+impl fmt::Display for NetParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetParseError::InvalidAsn(s) => write!(f, "invalid AS number: {s:?}"),
+            NetParseError::InvalidAddress(s) => write!(f, "invalid IP address: {s:?}"),
+            NetParseError::InvalidPrefixLength(s) => {
+                write!(f, "invalid prefix length: {s:?}")
+            }
+            NetParseError::Malformed(s) => write!(f, "malformed input: {s:?}"),
+            NetParseError::InvertedRange(s) => write!(f, "inverted range: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offending_input() {
+        let e = NetParseError::InvalidAsn("ASfoo".into());
+        assert!(e.to_string().contains("ASfoo"));
+        let e = NetParseError::InvalidPrefixLength("/129".into());
+        assert!(e.to_string().contains("/129"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&NetParseError::Malformed("x".into()));
+    }
+}

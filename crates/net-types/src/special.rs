@@ -1,0 +1,214 @@
+//! IANA special-purpose address registries.
+//!
+//! The RiPKI methodology (step 2) excludes "all special-purpose IPv4 and
+//! IPv6 addresses reserved by the IANA" from the DNS answers before
+//! mapping them to BGP prefixes. This module reproduces the two registries
+//! (RFC 6890 and successors) as they stood around the paper's measurement
+//! period (2014–2015).
+//!
+//! The table entries carry the registry name so that reports can say *why*
+//! an address was excluded, mirroring the paper's "0.07% incorrect DNS
+//! answers" accounting.
+
+use crate::prefix::IpPrefix;
+use crate::trie::PrefixTrie;
+use std::net::IpAddr;
+use std::sync::OnceLock;
+
+/// One entry of a special-purpose registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecialEntry {
+    /// The reserved block, e.g. `192.0.2.0/24`.
+    pub block: &'static str,
+    /// The registry name, e.g. "Documentation (TEST-NET-1)".
+    pub name: &'static str,
+    /// Whether addresses in the block can ever appear as a *global*
+    /// destination (e.g. `192.88.99.0/24` 6to4 relay anycast was globally
+    /// routable). The pipeline excludes non-global blocks.
+    pub globally_reachable: bool,
+}
+
+/// IPv4 special-purpose address registry (RFC 6890 et al.).
+pub const IPV4_SPECIAL: &[SpecialEntry] = &[
+    SpecialEntry { block: "0.0.0.0/8", name: "This host on this network (RFC 1122)", globally_reachable: false },
+    SpecialEntry { block: "10.0.0.0/8", name: "Private-Use (RFC 1918)", globally_reachable: false },
+    SpecialEntry { block: "100.64.0.0/10", name: "Shared Address Space / CGN (RFC 6598)", globally_reachable: false },
+    SpecialEntry { block: "127.0.0.0/8", name: "Loopback (RFC 1122)", globally_reachable: false },
+    SpecialEntry { block: "169.254.0.0/16", name: "Link Local (RFC 3927)", globally_reachable: false },
+    SpecialEntry { block: "172.16.0.0/12", name: "Private-Use (RFC 1918)", globally_reachable: false },
+    SpecialEntry { block: "192.0.0.0/24", name: "IETF Protocol Assignments (RFC 6890)", globally_reachable: false },
+    SpecialEntry { block: "192.0.2.0/24", name: "Documentation TEST-NET-1 (RFC 5737)", globally_reachable: false },
+    SpecialEntry { block: "192.88.99.0/24", name: "6to4 Relay Anycast (RFC 3068)", globally_reachable: true },
+    SpecialEntry { block: "192.168.0.0/16", name: "Private-Use (RFC 1918)", globally_reachable: false },
+    SpecialEntry { block: "198.18.0.0/15", name: "Benchmarking (RFC 2544)", globally_reachable: false },
+    SpecialEntry { block: "198.51.100.0/24", name: "Documentation TEST-NET-2 (RFC 5737)", globally_reachable: false },
+    SpecialEntry { block: "203.0.113.0/24", name: "Documentation TEST-NET-3 (RFC 5737)", globally_reachable: false },
+    SpecialEntry { block: "224.0.0.0/4", name: "Multicast (RFC 5771)", globally_reachable: false },
+    SpecialEntry { block: "240.0.0.0/4", name: "Reserved (RFC 1112)", globally_reachable: false },
+    SpecialEntry { block: "255.255.255.255/32", name: "Limited Broadcast (RFC 919)", globally_reachable: false },
+];
+
+/// IPv6 special-purpose address registry (RFC 6890 et al.).
+pub const IPV6_SPECIAL: &[SpecialEntry] = &[
+    SpecialEntry { block: "::/128", name: "Unspecified Address (RFC 4291)", globally_reachable: false },
+    SpecialEntry { block: "::1/128", name: "Loopback Address (RFC 4291)", globally_reachable: false },
+    SpecialEntry { block: "::ffff:0:0/96", name: "IPv4-mapped Address (RFC 4291)", globally_reachable: false },
+    SpecialEntry { block: "64:ff9b::/96", name: "IPv4-IPv6 Translation (RFC 6052)", globally_reachable: true },
+    SpecialEntry { block: "100::/64", name: "Discard-Only Address Block (RFC 6666)", globally_reachable: false },
+    SpecialEntry { block: "2001::/32", name: "TEREDO (RFC 4380)", globally_reachable: true },
+    SpecialEntry { block: "2001:2::/48", name: "Benchmarking (RFC 5180)", globally_reachable: false },
+    SpecialEntry { block: "2001:db8::/32", name: "Documentation (RFC 3849)", globally_reachable: false },
+    SpecialEntry { block: "2001:10::/28", name: "ORCHID (RFC 4843)", globally_reachable: false },
+    SpecialEntry { block: "2002::/16", name: "6to4 (RFC 3056)", globally_reachable: true },
+    SpecialEntry { block: "fc00::/7", name: "Unique-Local (RFC 4193)", globally_reachable: false },
+    SpecialEntry { block: "fe80::/10", name: "Linked-Scoped Unicast (RFC 4291)", globally_reachable: false },
+    SpecialEntry { block: "ff00::/8", name: "Multicast (RFC 4291)", globally_reachable: false },
+];
+
+/// Pre-built lookup structure over both registries.
+pub struct SpecialRegistry {
+    trie: PrefixTrie<&'static SpecialEntry>,
+}
+
+impl SpecialRegistry {
+    fn build() -> SpecialRegistry {
+        let mut trie = PrefixTrie::new();
+        for entry in IPV4_SPECIAL.iter().chain(IPV6_SPECIAL.iter()) {
+            let prefix: IpPrefix = entry
+                .block
+                .parse()
+                .expect("registry literals are well-formed");
+            trie.insert(prefix, entry);
+        }
+        SpecialRegistry { trie }
+    }
+
+    /// The process-wide registry instance.
+    pub fn global() -> &'static SpecialRegistry {
+        static REGISTRY: OnceLock<SpecialRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(SpecialRegistry::build)
+    }
+
+    /// The most specific special-purpose entry covering `addr`, if any.
+    pub fn lookup(&self, addr: IpAddr) -> Option<&'static SpecialEntry> {
+        self.trie.longest_match_addr(addr).map(|(_, entry)| *entry)
+    }
+
+    /// Whether `addr` must be excluded from measurements as an invalid DNS
+    /// answer (special-purpose and not globally reachable).
+    pub fn is_invalid_answer(&self, addr: IpAddr) -> bool {
+        self.lookup(addr)
+            .map(|entry| !entry.globally_reachable)
+            .unwrap_or(false)
+    }
+}
+
+/// Convenience: whether `addr` is an acceptable, globally-routable DNS
+/// answer for the measurement pipeline.
+pub fn is_global_unicast(addr: IpAddr) -> bool {
+    !SpecialRegistry::global().is_invalid_answer(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn registry_literals_parse() {
+        // `SpecialRegistry::build` would panic otherwise, but make the
+        // check explicit and count entries.
+        let reg = SpecialRegistry::global();
+        assert!(reg.lookup(a("10.1.2.3")).is_some());
+        assert_eq!(
+            IPV4_SPECIAL.len() + IPV6_SPECIAL.len(),
+            16 + 13
+        );
+    }
+
+    #[test]
+    fn private_and_documentation_are_invalid() {
+        let reg = SpecialRegistry::global();
+        for s in [
+            "10.0.0.1",
+            "172.16.0.1",
+            "172.31.255.255",
+            "192.168.1.1",
+            "127.0.0.1",
+            "169.254.0.5",
+            "192.0.2.1",
+            "198.51.100.7",
+            "203.0.113.250",
+            "224.0.0.1",
+            "240.0.0.1",
+            "255.255.255.255",
+            "0.1.2.3",
+            "100.64.0.1",
+            "198.18.0.1",
+        ] {
+            assert!(reg.is_invalid_answer(a(s)), "{s} should be invalid");
+        }
+    }
+
+    #[test]
+    fn boundaries_of_172_slash_12() {
+        let reg = SpecialRegistry::global();
+        assert!(reg.is_invalid_answer(a("172.16.0.0")));
+        assert!(reg.is_invalid_answer(a("172.31.255.255")));
+        assert!(!reg.is_invalid_answer(a("172.15.255.255")));
+        assert!(!reg.is_invalid_answer(a("172.32.0.0")));
+    }
+
+    #[test]
+    fn global_unicast_passes() {
+        for s in ["8.8.8.8", "93.184.216.34", "1.1.1.1", "2606:2800:220:1::1946"] {
+            assert!(is_global_unicast(a(s)), "{s} should be global");
+        }
+    }
+
+    #[test]
+    fn v6_special_blocks_are_invalid() {
+        let reg = SpecialRegistry::global();
+        for s in [
+            "::",
+            "::1",
+            "::ffff:10.0.0.1",
+            "100::1",
+            "2001:db8::1",
+            "2001:2::1",
+            "fc00::1",
+            "fdff::1",
+            "fe80::1",
+            "ff02::1",
+        ] {
+            assert!(reg.is_invalid_answer(a(s)), "{s} should be invalid");
+        }
+    }
+
+    #[test]
+    fn globally_reachable_transition_blocks_pass() {
+        // 6to4, Teredo, and NAT64 well-known prefixes were globally routed;
+        // the paper's exclusion list targets *reserved* space only.
+        for s in ["2002::1", "2001::1", "64:ff9b::a00:1"] {
+            assert!(is_global_unicast(a(s)), "{s} should pass");
+        }
+        // But the benchmarking block inside 2001::/23 region stays invalid.
+        assert!(!is_global_unicast(a("2001:2::5")));
+    }
+
+    #[test]
+    fn lookup_reports_most_specific_entry() {
+        let reg = SpecialRegistry::global();
+        // 2001:2::/48 (benchmarking) is inside no other block; Teredo is
+        // 2001::/32 and must not swallow it.
+        assert_eq!(
+            reg.lookup(a("2001:2::1")).unwrap().name,
+            "Benchmarking (RFC 5180)"
+        );
+        assert_eq!(reg.lookup(a("2001::1")).unwrap().name, "TEREDO (RFC 4380)");
+        assert!(reg.lookup(a("8.8.8.8")).is_none());
+    }
+}

@@ -1,0 +1,686 @@
+//! A path-compressed binary radix trie ("Patricia trie") keyed by CIDR
+//! prefixes.
+//!
+//! This is the workhorse of the RiPKI pipeline:
+//!
+//! * step 3 asks, for each resolved IP address, for **all covering
+//!   prefixes** present in a BGP table dump ([`PrefixTrie::covering`]);
+//! * step 4 (RFC 6811 origin validation) asks, for each announced prefix,
+//!   for all **covering VRPs** ([`PrefixTrie::covering`] again);
+//! * the ecosystem generator asks which allocations are **covered by** a
+//!   block ([`PrefixTrie::covered_by`]).
+//!
+//! The trie stores IPv4 and IPv6 entries in two separate trees internally,
+//! so cross-family queries never match. Nodes are path-compressed: a chain
+//! of single-child internal nodes collapses into one node, which keeps
+//! memory proportional to the number of stored prefixes rather than to the
+//! address-space depth.
+
+use crate::prefix::{IpPrefix, Ipv4Prefix, Ipv6Prefix};
+use crate::Family;
+use std::net::IpAddr;
+
+/// Internal key: prefix bits left-aligned in 128 bits plus a length.
+///
+/// IPv4 prefixes are shifted into the top 32 bits; both families then share
+/// one node representation while living in distinct trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Key {
+    bits: u128,
+    len: u8,
+}
+
+impl Key {
+    fn from_v4(p: &Ipv4Prefix) -> Key {
+        Key { bits: (p.raw_bits() as u128) << 96, len: p.len() }
+    }
+
+    fn from_v6(p: &Ipv6Prefix) -> Key {
+        Key { bits: p.raw_bits(), len: p.len() }
+    }
+
+    fn from_prefix(p: &IpPrefix) -> Key {
+        match p {
+            IpPrefix::V4(p) => Key::from_v4(p),
+            IpPrefix::V6(p) => Key::from_v6(p),
+        }
+    }
+
+    fn to_prefix(self, family: Family) -> IpPrefix {
+        match family {
+            Family::V4 => IpPrefix::V4(
+                Ipv4Prefix::new(((self.bits >> 96) as u32).into(), self.len)
+                    .expect("key length is valid by construction"),
+            ),
+            Family::V6 => IpPrefix::V6(
+                Ipv6Prefix::new(self.bits.into(), self.len)
+                    .expect("key length is valid by construction"),
+            ),
+        }
+    }
+
+    fn mask(len: u8) -> u128 {
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len)
+        }
+    }
+
+    /// Whether `self` covers `other` (is equal or less specific).
+    fn covers(&self, other: &Key) -> bool {
+        self.len <= other.len && (other.bits & Key::mask(self.len)) == self.bits
+    }
+
+    /// Bit of `self.bits` at position `index` (0 = most significant).
+    fn bit(&self, index: u8) -> bool {
+        (self.bits >> (127 - index)) & 1 == 1
+    }
+
+    /// The longest prefix both keys share.
+    fn common_prefix(&self, other: &Key) -> Key {
+        let max = self.len.min(other.len);
+        let diff = self.bits ^ other.bits;
+        let agree = if diff == 0 { 128 } else { diff.leading_zeros() as u8 };
+        let len = agree.min(max);
+        Key { bits: self.bits & Key::mask(len), len }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    key: Key,
+    value: Option<T>,
+    left: Option<Box<Node<T>>>,
+    right: Option<Box<Node<T>>>,
+}
+
+impl<T> Node<T> {
+    fn leaf(key: Key, value: Option<T>) -> Box<Node<T>> {
+        Box::new(Node { key, value, left: None, right: None })
+    }
+
+    fn child_mut(&mut self, bit: bool) -> &mut Option<Box<Node<T>>> {
+        if bit {
+            &mut self.right
+        } else {
+            &mut self.left
+        }
+    }
+
+    fn child(&self, bit: bool) -> Option<&Node<T>> {
+        if bit {
+            self.right.as_deref()
+        } else {
+            self.left.as_deref()
+        }
+    }
+}
+
+/// One tree (one address family).
+#[derive(Debug, Clone)]
+struct Tree<T> {
+    root: Option<Box<Node<T>>>,
+    len: usize,
+}
+
+impl<T> Default for Tree<T> {
+    fn default() -> Tree<T> {
+        Tree { root: None, len: 0 }
+    }
+}
+
+impl<T> Tree<T> {
+    fn insert(&mut self, key: Key, value: T) -> Option<T> {
+        let replaced = Self::insert_rec(&mut self.root, key, value);
+        if replaced.is_none() {
+            self.len += 1;
+        }
+        replaced
+    }
+
+    fn insert_rec(slot: &mut Option<Box<Node<T>>>, key: Key, value: T) -> Option<T> {
+        let Some(node) = slot else {
+            *slot = Some(Node::leaf(key, Some(value)));
+            return None;
+        };
+        if node.key == key {
+            return node.value.replace(value);
+        }
+        if node.key.covers(&key) {
+            // Descend; choose child by the first bit of `key` below the
+            // node's length.
+            let bit = key.bit(node.key.len);
+            return Self::insert_rec(node.child_mut(bit), key, value);
+        }
+        if key.covers(&node.key) {
+            // The new key becomes an ancestor of the existing node.
+            let old = slot.take().expect("checked Some above");
+            let bit = old.key.bit(key.len);
+            let mut fresh = Node::leaf(key, Some(value));
+            *fresh.child_mut(bit) = Some(old);
+            *slot = Some(fresh);
+            return None;
+        }
+        // Diverging keys: create a join node at the common prefix.
+        let join = node.key.common_prefix(&key);
+        let old = slot.take().expect("checked Some above");
+        let mut fresh = Node::leaf(join, None);
+        let old_bit = old.key.bit(join.len);
+        *fresh.child_mut(old_bit) = Some(old);
+        *fresh.child_mut(!old_bit) = Some(Node::leaf(key, Some(value)));
+        *slot = Some(fresh);
+        None
+    }
+
+    fn get(&self, key: Key) -> Option<&T> {
+        let mut node = self.root.as_deref()?;
+        loop {
+            if node.key == key {
+                return node.value.as_ref();
+            }
+            if !node.key.covers(&key) || node.key.len >= key.len {
+                return None;
+            }
+            node = node.child(key.bit(node.key.len))?;
+        }
+    }
+
+    fn remove(&mut self, key: Key) -> Option<T> {
+        let removed = Self::remove_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_rec(slot: &mut Option<Box<Node<T>>>, key: Key) -> Option<T> {
+        let node = slot.as_deref_mut()?;
+        let removed = if node.key == key {
+            node.value.take()
+        } else if node.key.covers(&key) && node.key.len < key.len {
+            let bit = key.bit(node.key.len);
+            Self::remove_rec(node.child_mut(bit), key)
+        } else {
+            None
+        };
+        if removed.is_some() {
+            Self::prune(slot);
+        }
+        removed
+    }
+
+    /// Collapse a valueless node with fewer than two children.
+    fn prune(slot: &mut Option<Box<Node<T>>>) {
+        let Some(node) = slot.as_deref_mut() else { return };
+        if node.value.is_some() {
+            return;
+        }
+        match (node.left.is_some(), node.right.is_some()) {
+            (false, false) => *slot = None,
+            (true, false) => {
+                let child = node.left.take().expect("checked above");
+                *slot = Some(child);
+            }
+            (false, true) => {
+                let child = node.right.take().expect("checked above");
+                *slot = Some(child);
+            }
+            (true, true) => {}
+        }
+    }
+
+    /// Visit every entry whose key covers `key`, most general first.
+    fn covering<'a>(&'a self, key: Key, out: &mut Vec<(Key, &'a T)>) {
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if !n.key.covers(&key) {
+                return;
+            }
+            if let Some(v) = &n.value {
+                out.push((n.key, v));
+            }
+            if n.key.len >= key.len {
+                return;
+            }
+            node = n.child(key.bit(n.key.len));
+        }
+    }
+
+    /// Visit every entry whose key is covered by `key` (including equal).
+    fn covered_by<'a>(&'a self, key: Key, out: &mut Vec<(Key, &'a T)>) {
+        // Walk down while the node still covers the query region.
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if key.covers(&n.key) {
+                Self::collect_subtree(n, out);
+                return;
+            }
+            if !n.key.covers(&key) {
+                return;
+            }
+            node = n.child(key.bit(n.key.len));
+        }
+    }
+
+    fn collect_subtree<'a>(node: &'a Node<T>, out: &mut Vec<(Key, &'a T)>) {
+        if let Some(v) = &node.value {
+            out.push((node.key, v));
+        }
+        if let Some(l) = node.left.as_deref() {
+            Self::collect_subtree(l, out);
+        }
+        if let Some(r) = node.right.as_deref() {
+            Self::collect_subtree(r, out);
+        }
+    }
+
+    fn longest_match(&self, key: Key) -> Option<(Key, &T)> {
+        let mut best = None;
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if !n.key.covers(&key) {
+                break;
+            }
+            if let Some(v) = &n.value {
+                best = Some((n.key, v));
+            }
+            if n.key.len >= key.len {
+                break;
+            }
+            node = n.child(key.bit(n.key.len));
+        }
+        best
+    }
+
+    fn iter<'a>(&'a self, out: &mut Vec<(Key, &'a T)>) {
+        if let Some(root) = self.root.as_deref() {
+            Self::collect_subtree(root, out);
+        }
+    }
+}
+
+/// A map from CIDR prefixes (of either family) to values, supporting the
+/// covering/covered queries of longest-prefix routing.
+///
+/// ```
+/// use ripki_net::{IpPrefix, PrefixTrie};
+/// let mut t: PrefixTrie<&str> = PrefixTrie::new();
+/// t.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+/// t.insert("10.1.0.0/16".parse().unwrap(), "fine");
+/// let addr: std::net::IpAddr = "10.1.2.3".parse().unwrap();
+/// let (p, v) = t.longest_match_addr(addr).unwrap();
+/// assert_eq!(*v, "fine");
+/// assert_eq!(p, "10.1.0.0/16".parse::<IpPrefix>().unwrap());
+/// assert_eq!(t.covering_addr(addr).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    v4: Tree<T>,
+    v6: Tree<T>,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> PrefixTrie<T> {
+        PrefixTrie::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Create an empty trie.
+    pub fn new() -> PrefixTrie<T> {
+        PrefixTrie { v4: Tree::default(), v6: Tree::default() }
+    }
+
+    fn tree(&self, family: Family) -> &Tree<T> {
+        match family {
+            Family::V4 => &self.v4,
+            Family::V6 => &self.v6,
+        }
+    }
+
+    fn tree_mut(&mut self, family: Family) -> &mut Tree<T> {
+        match family {
+            Family::V4 => &mut self.v4,
+            Family::V6 => &mut self.v6,
+        }
+    }
+
+    /// Insert a value under `prefix`, returning any value it replaces.
+    pub fn insert(&mut self, prefix: IpPrefix, value: T) -> Option<T> {
+        let key = Key::from_prefix(&prefix);
+        self.tree_mut(prefix.family()).insert(key, value)
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, prefix: &IpPrefix) -> Option<&T> {
+        self.tree(prefix.family()).get(Key::from_prefix(prefix))
+    }
+
+    /// Remove the entry stored exactly at `prefix`.
+    pub fn remove(&mut self, prefix: &IpPrefix) -> Option<T> {
+        let key = Key::from_prefix(prefix);
+        self.tree_mut(prefix.family()).remove(key)
+    }
+
+    /// Number of entries across both families.
+    pub fn len(&self) -> usize {
+        self.v4.len + self.v6.len
+    }
+
+    /// Whether the trie holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All entries whose prefix covers `prefix` (equal or less specific),
+    /// ordered most general first.
+    pub fn covering(&self, prefix: &IpPrefix) -> Vec<(IpPrefix, &T)> {
+        let key = Key::from_prefix(prefix);
+        let family = prefix.family();
+        let mut out = Vec::new();
+        self.tree(family).covering(key, &mut out);
+        out.into_iter().map(|(k, v)| (k.to_prefix(family), v)).collect()
+    }
+
+    /// All entries whose prefix covers the single address `addr`.
+    pub fn covering_addr(&self, addr: IpAddr) -> Vec<(IpPrefix, &T)> {
+        self.covering(&IpPrefix::host(addr))
+    }
+
+    /// All entries covered by `prefix` (equal or more specific).
+    pub fn covered_by(&self, prefix: &IpPrefix) -> Vec<(IpPrefix, &T)> {
+        let key = Key::from_prefix(prefix);
+        let family = prefix.family();
+        let mut out = Vec::new();
+        self.tree(family).covered_by(key, &mut out);
+        out.into_iter().map(|(k, v)| (k.to_prefix(family), v)).collect()
+    }
+
+    /// The most specific entry covering `prefix`, if any.
+    pub fn longest_match(&self, prefix: &IpPrefix) -> Option<(IpPrefix, &T)> {
+        let key = Key::from_prefix(prefix);
+        let family = prefix.family();
+        self.tree(family)
+            .longest_match(key)
+            .map(|(k, v)| (k.to_prefix(family), v))
+    }
+
+    /// The most specific entry covering the address `addr`, if any.
+    pub fn longest_match_addr(&self, addr: IpAddr) -> Option<(IpPrefix, &T)> {
+        self.longest_match(&IpPrefix::host(addr))
+    }
+
+    /// Every `(prefix, value)` pair in the trie, IPv4 first.
+    pub fn iter(&self) -> Vec<(IpPrefix, &T)> {
+        let mut out = Vec::new();
+        let mut raw = Vec::new();
+        self.v4.iter(&mut raw);
+        out.extend(raw.drain(..).map(|(k, v)| (k.to_prefix(Family::V4), v)));
+        self.v6.iter(&mut raw);
+        out.extend(raw.into_iter().map(|(k, v)| (k.to_prefix(Family::V6), v)));
+        out
+    }
+}
+
+impl<T> FromIterator<(IpPrefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (IpPrefix, T)>>(iter: I) -> PrefixTrie<T> {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in iter {
+            trie.insert(p, v);
+        }
+        trie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn default_route_storable() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "d4");
+        t.insert(p("::/0"), "d6");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&p("0.0.0.0/0")), Some(&"d4"));
+        assert_eq!(
+            t.longest_match_addr("9.9.9.9".parse().unwrap()).unwrap().1,
+            &"d4"
+        );
+        assert_eq!(
+            t.longest_match_addr("2001:db8::1".parse().unwrap()).unwrap().1,
+            &"d6"
+        );
+    }
+
+    #[test]
+    fn families_are_disjoint() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "v4");
+        assert!(t.covering_addr("::1".parse().unwrap()).is_empty());
+        assert!(t.longest_match_addr("::1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn covering_returns_general_to_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        t.insert(p("10.2.0.0/16"), 99);
+        let cov = t.covering_addr("10.1.2.3".parse().unwrap());
+        let lens: Vec<u8> = cov.iter().map(|(pfx, _)| pfx.len()).collect();
+        assert_eq!(lens, vec![8, 16, 24]);
+        let cov = t.covering(&p("10.1.0.0/16"));
+        assert_eq!(cov.len(), 2);
+    }
+
+    #[test]
+    fn covered_by_returns_subtree() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        t.insert(p("10.1.0.0/16"), ());
+        t.insert(p("10.1.2.0/24"), ());
+        t.insert(p("11.0.0.0/8"), ());
+        let mut covered: Vec<String> = t
+            .covered_by(&p("10.0.0.0/8"))
+            .into_iter()
+            .map(|(pfx, _)| pfx.to_string())
+            .collect();
+        covered.sort();
+        assert_eq!(covered, vec!["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"]);
+        assert_eq!(t.covered_by(&p("12.0.0.0/8")).len(), 0);
+        // Query prefix need not itself be present.
+        assert_eq!(t.covered_by(&p("10.1.0.0/12")).len(), 2);
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "a");
+        t.insert(p("10.1.0.0/16"), "b");
+        assert_eq!(
+            t.longest_match_addr("10.1.9.9".parse().unwrap()).unwrap().1,
+            &"b"
+        );
+        assert_eq!(
+            t.longest_match_addr("10.2.9.9".parse().unwrap()).unwrap().1,
+            &"a"
+        );
+        assert!(t.longest_match_addr("11.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn join_nodes_do_not_leak_into_results() {
+        let mut t = PrefixTrie::new();
+        // These two force a valueless join node at 192.0.2.0/25.
+        t.insert(p("192.0.2.0/26"), 1);
+        t.insert(p("192.0.2.64/26"), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.iter().len(), 2);
+        assert!(t.get(&p("192.0.2.0/25")).is_none());
+        let cov = t.covering_addr("192.0.2.65".parse().unwrap());
+        assert_eq!(cov.len(), 1);
+        assert_eq!(*cov[0].1, 2);
+    }
+
+    #[test]
+    fn insert_ancestor_after_descendants() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.0.0.0/8"), 8);
+        let cov = t.covering_addr("10.1.0.1".parse().unwrap());
+        let lens: Vec<u8> = cov.iter().map(|(pfx, _)| pfx.len()).collect();
+        assert_eq!(lens, vec![8, 16]);
+    }
+
+    #[test]
+    fn remove_and_prune() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("192.0.2.0/26"), 1);
+        t.insert(p("192.0.2.64/26"), 2);
+        assert_eq!(t.remove(&p("192.0.2.0/26")), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(&p("192.0.2.0/26")), None);
+        assert_eq!(t.get(&p("192.0.2.64/26")), Some(&2));
+        assert_eq!(t.remove(&p("192.0.2.64/26")), Some(2));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_interior_value_keeps_children() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(8));
+        assert_eq!(t.get(&p("10.1.0.0/16")), Some(&16));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ipv6_operations() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8::/32"), "doc");
+        t.insert(p("2001:db8:1::/48"), "sub");
+        let cov = t.covering_addr("2001:db8:1::1".parse().unwrap());
+        assert_eq!(cov.len(), 2);
+        let cov = t.covering_addr("2001:db8:2::1".parse().unwrap());
+        assert_eq!(cov.len(), 1);
+        assert_eq!(
+            t.longest_match(&p("2001:db8:1:2::/64")).unwrap().1,
+            &"sub"
+        );
+    }
+
+    #[test]
+    fn from_iterator_and_iter() {
+        let t: PrefixTrie<u32> = vec![
+            (p("10.0.0.0/8"), 1),
+            (p("2001:db8::/32"), 2),
+            (p("172.16.0.0/12"), 3),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 3);
+        let all = t.iter();
+        assert_eq!(all.len(), 3);
+        // IPv4 entries come first.
+        assert!(all[0].0.family() == Family::V4);
+        assert!(all[2].0.family() == Family::V6);
+    }
+
+    /// Randomised comparison with a naive oracle over all four queries.
+    #[test]
+    fn randomized_against_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x51d2_31a7);
+        for _ in 0..20 {
+            let mut trie = PrefixTrie::new();
+            let mut oracle: Vec<(IpPrefix, u32)> = Vec::new();
+            for i in 0..300u32 {
+                let len = rng.gen_range(0..=32u8);
+                let addr = std::net::Ipv4Addr::from(rng.gen::<u32>());
+                let pfx = IpPrefix::new(addr.into(), len).unwrap();
+                if oracle.iter().all(|(q, _)| *q != pfx) {
+                    oracle.push((pfx, i));
+                }
+                trie.insert(pfx, i);
+            }
+            assert_eq!(trie.len(), oracle.len());
+            for _ in 0..100 {
+                let addr: IpAddr = std::net::Ipv4Addr::from(rng.gen::<u32>()).into();
+                let q = IpPrefix::host(addr);
+                let mut want: Vec<IpPrefix> = oracle
+                    .iter()
+                    .filter(|(pfx, _)| pfx.covers(&q))
+                    .map(|(pfx, _)| *pfx)
+                    .collect();
+                want.sort_by_key(|pfx| pfx.len());
+                let got: Vec<IpPrefix> =
+                    trie.covering(&q).into_iter().map(|(pfx, _)| pfx).collect();
+                assert_eq!(got, want, "covering mismatch for {q}");
+                let want_lm = want.last().copied();
+                let got_lm = trie.longest_match(&q).map(|(pfx, _)| pfx);
+                assert_eq!(got_lm, want_lm, "longest-match mismatch for {q}");
+            }
+            for _ in 0..50 {
+                let len = rng.gen_range(0..=16u8);
+                let addr = std::net::Ipv4Addr::from(rng.gen::<u32>());
+                let q = IpPrefix::new(addr.into(), len).unwrap();
+                let mut want: Vec<IpPrefix> = oracle
+                    .iter()
+                    .filter(|(pfx, _)| q.covers(pfx))
+                    .map(|(pfx, _)| *pfx)
+                    .collect();
+                want.sort();
+                let mut got: Vec<IpPrefix> =
+                    trie.covered_by(&q).into_iter().map(|(pfx, _)| pfx).collect();
+                got.sort();
+                assert_eq!(got, want, "covered_by mismatch for {q}");
+            }
+        }
+    }
+
+    /// Randomised removal keeps the trie consistent with the oracle.
+    #[test]
+    fn randomized_removal_against_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xdead_cafe);
+        let mut trie = PrefixTrie::new();
+        let mut oracle: std::collections::HashMap<IpPrefix, u32> = Default::default();
+        for i in 0..500u32 {
+            let len = rng.gen_range(8..=28u8);
+            let addr = std::net::Ipv4Addr::from(rng.gen::<u32>() & 0x0fff_ffff);
+            let pfx = IpPrefix::new(addr.into(), len).unwrap();
+            trie.insert(pfx, i);
+            oracle.insert(pfx, i);
+        }
+        let keys: Vec<IpPrefix> = oracle.keys().copied().collect();
+        for (n, key) in keys.iter().enumerate() {
+            if n % 2 == 0 {
+                assert_eq!(trie.remove(key), oracle.remove(key));
+            }
+        }
+        assert_eq!(trie.len(), oracle.len());
+        for (key, val) in &oracle {
+            assert_eq!(trie.get(key), Some(val));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for `ripki-net` invariants.
+
+use proptest::prelude::*;
+use ripki_net::{Asn, AsnRange, AsnSet, IpPrefix, Ipv4Prefix, Ipv6Prefix, PrefixSet, PrefixTrie};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn arb_v4_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| {
+        Ipv4Prefix::new(Ipv4Addr::from(bits), len).unwrap()
+    })
+}
+
+fn arb_v6_prefix() -> impl Strategy<Value = Ipv6Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| {
+        Ipv6Prefix::new(Ipv6Addr::from(bits), len).unwrap()
+    })
+}
+
+fn arb_prefix() -> impl Strategy<Value = IpPrefix> {
+    prop_oneof![
+        arb_v4_prefix().prop_map(IpPrefix::V4),
+        arb_v6_prefix().prop_map(IpPrefix::V6),
+    ]
+}
+
+fn arb_addr() -> impl Strategy<Value = IpAddr> {
+    prop_oneof![
+        any::<u32>().prop_map(|b| IpAddr::V4(Ipv4Addr::from(b))),
+        any::<u128>().prop_map(|b| IpAddr::V6(Ipv6Addr::from(b))),
+    ]
+}
+
+proptest! {
+    /// Display → parse is the identity for all prefixes.
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: IpPrefix = s.parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    /// A prefix always covers itself and anything it covers has >= length.
+    #[test]
+    fn covers_reflexive_and_monotone(a in arb_prefix(), b in arb_prefix()) {
+        prop_assert!(a.covers(&a));
+        if a.covers(&b) {
+            prop_assert!(a.len() <= b.len());
+            if a.len() == b.len() {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// Covering is antisymmetric: mutual cover implies equality.
+    #[test]
+    fn covers_antisymmetric(a in arb_prefix(), b in arb_prefix()) {
+        if a.covers(&b) && b.covers(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The parent of a prefix covers it.
+    #[test]
+    fn parent_covers_child(p in arb_prefix()) {
+        if let Some(parent) = p.parent() {
+            prop_assert!(parent.covers(&p));
+            prop_assert_eq!(parent.len() + 1, p.len());
+        } else {
+            prop_assert_eq!(p.len(), 0);
+        }
+    }
+
+    /// contains_addr agrees with covers-of-host-route.
+    #[test]
+    fn contains_addr_equals_covers_host(p in arb_prefix(), addr in arb_addr()) {
+        prop_assert_eq!(p.contains_addr(addr), p.covers(&IpPrefix::host(addr)));
+    }
+
+    /// Trie longest-match returns the maximum-length member of covering().
+    #[test]
+    fn trie_longest_match_is_max_covering(
+        prefixes in prop::collection::vec(arb_v4_prefix(), 1..120),
+        addr in any::<u32>(),
+    ) {
+        let trie: PrefixTrie<usize> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (IpPrefix::V4(*p), i))
+            .collect();
+        let addr = IpAddr::V4(Ipv4Addr::from(addr));
+        let covering = trie.covering_addr(addr);
+        // covering() is ordered most-general first.
+        for w in covering.windows(2) {
+            prop_assert!(w[0].0.len() < w[1].0.len());
+            prop_assert!(w[0].0.covers(&w[1].0));
+        }
+        let lm = trie.longest_match_addr(addr).map(|(p, _)| p);
+        prop_assert_eq!(lm, covering.last().map(|(p, _)| *p));
+    }
+
+    /// Every inserted prefix is retrievable exactly, and len() matches the
+    /// number of distinct keys.
+    #[test]
+    fn trie_insert_get_consistency(
+        prefixes in prop::collection::vec(arb_prefix(), 0..150),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut seen = std::collections::HashSet::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+            seen.insert(*p);
+        }
+        prop_assert_eq!(trie.len(), seen.len());
+        for p in &seen {
+            prop_assert!(trie.get(p).is_some());
+        }
+        prop_assert_eq!(trie.iter().len(), seen.len());
+    }
+
+    /// covered_by and covering are adjoint: q covers p in trie iff p
+    /// appears in covered_by(q).
+    #[test]
+    fn trie_covered_by_matches_filter(
+        prefixes in prop::collection::vec(arb_v4_prefix(), 1..100),
+        qbits in any::<u32>(),
+        qlen in 0u8..=24,
+    ) {
+        let trie: PrefixTrie<()> = prefixes
+            .iter()
+            .map(|p| (IpPrefix::V4(*p), ()))
+            .collect();
+        let q = IpPrefix::V4(Ipv4Prefix::new(Ipv4Addr::from(qbits), qlen).unwrap());
+        let mut got: Vec<IpPrefix> =
+            trie.covered_by(&q).into_iter().map(|(p, _)| p).collect();
+        got.sort();
+        let mut want: Vec<IpPrefix> = trie
+            .iter()
+            .into_iter()
+            .map(|(p, _)| p)
+            .filter(|p| q.covers(p))
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// PrefixSet normalisation is idempotent and order-insensitive.
+    #[test]
+    fn prefix_set_canonical(mut prefixes in prop::collection::vec(arb_prefix(), 0..60)) {
+        let a = PrefixSet::from_prefixes(prefixes.clone());
+        prefixes.reverse();
+        let b = PrefixSet::from_prefixes(prefixes.clone());
+        prop_assert_eq!(&a, &b);
+        let c = PrefixSet::from_prefixes(a.members().iter().copied());
+        prop_assert_eq!(&a, &c);
+        // No member covers another.
+        for (i, x) in a.members().iter().enumerate() {
+            for (j, y) in a.members().iter().enumerate() {
+                if i != j {
+                    prop_assert!(!x.covers(y));
+                }
+            }
+        }
+    }
+
+    /// Union encompasses both operands; encompasses is transitive through
+    /// union.
+    #[test]
+    fn prefix_set_union_encompasses(
+        xs in prop::collection::vec(arb_prefix(), 0..30),
+        ys in prop::collection::vec(arb_prefix(), 0..30),
+    ) {
+        let a = PrefixSet::from_prefixes(xs);
+        let b = PrefixSet::from_prefixes(ys);
+        let u = a.union(&b);
+        prop_assert!(u.encompasses(&a));
+        prop_assert!(u.encompasses(&b));
+    }
+
+    /// AsnSet membership agrees with the raw ranges it was built from.
+    #[test]
+    fn asn_set_membership(
+        ranges in prop::collection::vec((any::<u32>(), any::<u32>()), 0..40),
+        probe in any::<u32>(),
+    ) {
+        let ranges: Vec<AsnRange> = ranges
+            .into_iter()
+            .map(|(a, b)| {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                AsnRange::new(Asn::new(lo), Asn::new(hi)).unwrap()
+            })
+            .collect();
+        let set = AsnSet::from_ranges(ranges.clone());
+        let want = ranges.iter().any(|r| r.contains(Asn::new(probe)));
+        prop_assert_eq!(set.contains(Asn::new(probe)), want);
+        // Merged ranges are sorted and disjoint with gaps.
+        for w in set.ranges().windows(2) {
+            prop_assert!(w[0].end.value() + 1 < w[1].start.value());
+        }
+    }
+
+    /// ASN display/parse round-trip.
+    #[test]
+    fn asn_roundtrip(v in any::<u32>()) {
+        let asn = Asn::new(v);
+        prop_assert_eq!(asn.to_string().parse::<Asn>().unwrap(), asn);
+    }
+}

@@ -1,0 +1,225 @@
+//! CDN classification (paper §4.3).
+//!
+//! Two independent classifiers, compared in Fig 3:
+//!
+//! * [`cname_chain_is_cdn`] — the paper's own heuristic: "We say a domain
+//!   is served by a CDN, if the IP address of its domain name is
+//!   indirectly accessed via two or more CNAMEs." Conservative: misses
+//!   single-CNAME and direct-A CDN deployments.
+//! * [`HttpArchiveClassifier`] — the cross-check: "HTTPArchive classifies
+//!   the first 300k Alexa domains based on DNS pattern matching of
+//!   CNAMEs", from a geographically distinct vantage (Redwood City).
+
+use crate::pipeline::DomainMeasurement;
+use ripki_dns::resolver::Resolver;
+use ripki_dns::vantage::Vantage;
+use ripki_dns::zone::ZoneStore;
+use ripki_dns::DomainName;
+
+/// HTTPArchive's classification covered only the first 300k ranks.
+pub const HTTPARCHIVE_LIMIT: usize = 300_000;
+
+/// The paper's CNAME-chain heuristic over a measured domain: CDN-served
+/// iff either name form needed ≥ `threshold` DNS indirections
+/// (paper value: 2).
+pub fn cname_chain_is_cdn(m: &DomainMeasurement, threshold: usize) -> bool {
+    m.www.indirections() >= threshold || m.bare.indirections() >= threshold
+}
+
+/// An HTTPArchive-style classifier: pattern matching of CNAME targets
+/// against known CDN domain suffixes, resolved from its own vantage.
+pub struct HttpArchiveClassifier<'z> {
+    zones: &'z ZoneStore,
+    patterns: Vec<String>,
+    vantage: Vantage,
+    /// Rank limit (HTTPArchive covered 300k; tests may shrink it).
+    pub limit: usize,
+}
+
+impl<'z> HttpArchiveClassifier<'z> {
+    /// Build a classifier with the given CDN suffix patterns (e.g.
+    /// `"akamai-sim.net"`).
+    pub fn new(zones: &'z ZoneStore, patterns: Vec<String>) -> HttpArchiveClassifier<'z> {
+        HttpArchiveClassifier {
+            zones,
+            patterns: patterns.into_iter().map(|p| p.to_ascii_lowercase()).collect(),
+            vantage: Vantage::HTTPARCHIVE_REDWOOD,
+            limit: HTTPARCHIVE_LIMIT,
+        }
+    }
+
+    /// Whether a CNAME target matches any CDN pattern.
+    fn matches_pattern(&self, name: &DomainName) -> bool {
+        self.patterns.iter().any(|p| name.has_suffix(p))
+    }
+
+    /// Classify one domain: `None` if out of coverage (rank ≥ limit),
+    /// otherwise whether any CNAME in either name form's chain matches a
+    /// CDN pattern.
+    pub fn classify(&self, rank: usize, listed: &DomainName) -> Option<bool> {
+        if rank >= self.limit {
+            return None;
+        }
+        let resolver = Resolver::new(self.zones, self.vantage);
+        let bare = listed.without_www();
+        let www = bare.with_www();
+        let mut is_cdn = false;
+        for name in [&www, &bare] {
+            if let Ok(res) = resolver.resolve(name) {
+                if res.cname_chain.iter().any(|c| self.matches_pattern(c)) {
+                    is_cdn = true;
+                }
+            }
+        }
+        Some(is_cdn)
+    }
+}
+
+/// Precision/recall of a classifier against ground truth — used by the
+/// threshold ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassifierScore {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl ClassifierScore {
+    /// Add one (predicted, actual) observation.
+    pub fn observe(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Precision (1.0 when no positives were predicted).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall (1.0 when there were no actual positives).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::NameMeasurement;
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn measurement(www_chain: &[&str], bare_chain: &[&str]) -> DomainMeasurement {
+        let chain = |names: &[&str]| NameMeasurement {
+            cname_chain: names.iter().map(|s| n(s)).collect(),
+            ..Default::default()
+        };
+        DomainMeasurement {
+            rank: 0,
+            listed: n("x.example"),
+            www: chain(www_chain),
+            bare: chain(bare_chain),
+        }
+    }
+
+    #[test]
+    fn chain_heuristic_threshold() {
+        let two = measurement(&["a.cdn.net", "edge.cdn.net"], &[]);
+        assert!(cname_chain_is_cdn(&two, 2));
+        let one = measurement(&["edge.cdn.net"], &[]);
+        assert!(!cname_chain_is_cdn(&one, 2));
+        assert!(cname_chain_is_cdn(&one, 1));
+        let none = measurement(&[], &[]);
+        assert!(!cname_chain_is_cdn(&none, 1));
+        // Either form suffices.
+        let bare_only = measurement(&[], &["a.cdn.net", "b.cdn.net"]);
+        assert!(cname_chain_is_cdn(&bare_only, 2));
+    }
+
+    fn zones() -> ZoneStore {
+        let mut z = ZoneStore::new();
+        // CDN chain visible from the HTTPArchive vantage.
+        z.add_cname(n("www.shop.example"), n("shop.edgesuite.akamai-sim.net"));
+        z.add_cname(n("shop.edgesuite.akamai-sim.net"), n("a9.g.akamai-sim.net"));
+        z.add_addr(n("a9.g.akamai-sim.net"), "8.8.8.8".parse().unwrap());
+        z.add_addr(n("shop.example"), "9.9.9.9".parse().unwrap());
+        // Plain host.
+        z.add_addr(n("plain.example"), "9.9.9.1".parse().unwrap());
+        z.add_addr(n("www.plain.example"), "9.9.9.1".parse().unwrap());
+        // Single CNAME into CDN space: pattern classifier catches it,
+        // chain-length-2 heuristic would not.
+        z.add_cname(n("www.single.example"), n("e1.g.cloudflare-sim.net"));
+        z.add_addr(n("e1.g.cloudflare-sim.net"), "7.7.7.7".parse().unwrap());
+        z.add_addr(n("single.example"), "7.7.7.8".parse().unwrap());
+        z
+    }
+
+    #[test]
+    fn httparchive_matches_patterns() {
+        let z = zones();
+        let c = HttpArchiveClassifier::new(
+            &z,
+            vec!["akamai-sim.net".into(), "cloudflare-sim.net".into()],
+        );
+        assert_eq!(c.classify(0, &n("shop.example")), Some(true));
+        assert_eq!(c.classify(1, &n("plain.example")), Some(false));
+        assert_eq!(c.classify(2, &n("single.example")), Some(true));
+    }
+
+    #[test]
+    fn httparchive_limit_respected() {
+        let z = zones();
+        let mut c = HttpArchiveClassifier::new(&z, vec!["akamai-sim.net".into()]);
+        c.limit = 2;
+        assert!(c.classify(1, &n("shop.example")).is_some());
+        assert_eq!(c.classify(2, &n("shop.example")), None);
+    }
+
+    #[test]
+    fn pattern_match_respects_label_boundaries() {
+        let z = {
+            let mut z = ZoneStore::new();
+            z.add_cname(n("www.t.example"), n("notakamai-sim.net"));
+            z.add_addr(n("notakamai-sim.net"), "5.5.5.5".parse().unwrap());
+            z.add_addr(n("t.example"), "5.5.5.6".parse().unwrap());
+            z
+        };
+        let c = HttpArchiveClassifier::new(&z, vec!["akamai-sim.net".into()]);
+        assert_eq!(c.classify(0, &n("t.example")), Some(false));
+    }
+
+    #[test]
+    fn classifier_score_math() {
+        let mut s = ClassifierScore::default();
+        s.observe(true, true);
+        s.observe(true, true);
+        s.observe(true, false);
+        s.observe(false, true);
+        s.observe(false, false);
+        assert_eq!(s.tp, 2);
+        assert!((s.precision() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.recall() - 2.0 / 3.0).abs() < 1e-9);
+        let empty = ClassifierScore::default();
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+    }
+}

@@ -1,0 +1,553 @@
+//! The four-step measurement pipeline.
+
+use crossbeam::thread;
+use ripki_bgp::rib::Rib;
+use ripki_bgp::rov::{RouteOriginValidator, RpkiState, VrpTriple};
+use ripki_dns::faults::FaultyResolver;
+use ripki_dns::resolver::Resolver;
+use ripki_dns::vantage::Vantage;
+use ripki_dns::zone::ZoneStore;
+use ripki_dns::DomainName;
+use ripki_net::special::SpecialRegistry;
+use ripki_net::{Asn, IpPrefix};
+use ripki_rpki::repo::Repository;
+use ripki_rpki::time::SimTime;
+use ripki_rpki::validate::validate;
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+/// One (covering prefix, origin AS) pair with its RFC 6811 state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairState {
+    /// The covering prefix found in the table dump.
+    pub prefix: IpPrefix,
+    /// Its origin AS.
+    pub origin: Asn,
+    /// Validation outcome.
+    pub state: RpkiState,
+}
+
+/// Step 2–4 results for one name form (`www` or bare).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NameMeasurement {
+    /// Addresses kept after excluding special-purpose answers.
+    pub addresses: Vec<IpAddr>,
+    /// Special-purpose answers discarded (the paper's "incorrect DNS
+    /// answers", 0.07%).
+    pub excluded_invalid: usize,
+    /// Addresses with no covering prefix in the table (the paper's
+    /// "0.01% … not reachable from our BGP vantage points").
+    pub unreachable: usize,
+    /// CNAME chain traversed during resolution.
+    pub cname_chain: Vec<DomainName>,
+    /// Distinct (prefix, origin) pairs with validation state.
+    pub pairs: Vec<PairState>,
+    /// Table entries skipped because their origin was an `AS_SET`.
+    pub as_set_skipped: usize,
+    /// Resolution failed entirely (NXDOMAIN etc.).
+    pub resolve_failed: bool,
+    /// Whether the resolution was DNSSEC-authenticated end to end
+    /// (extension: the paper's future-work DNSSEC comparison).
+    #[serde(default)]
+    pub dnssec_authenticated: bool,
+}
+
+impl NameMeasurement {
+    /// Distinct prefixes among the pairs.
+    pub fn prefixes(&self) -> Vec<IpPrefix> {
+        let mut v: Vec<IpPrefix> = self.pairs.iter().map(|p| p.prefix).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Fraction of pairs in `state` (`None` if no pairs — the paper
+    /// assigns per-domain probabilities like "3/5 RPKI coverage").
+    pub fn state_fraction(&self, state: RpkiState) -> Option<f64> {
+        if self.pairs.is_empty() {
+            return None;
+        }
+        let n = self.pairs.iter().filter(|p| p.state == state).count();
+        Some(n as f64 / self.pairs.len() as f64)
+    }
+
+    /// Fraction of pairs covered by the RPKI (Valid or Invalid) — the
+    /// paper's "RPKI coverage" of a name.
+    pub fn covered_fraction(&self) -> Option<f64> {
+        self.state_fraction(RpkiState::NotFound).map(|nf| 1.0 - nf)
+    }
+
+    /// Covered/total prefix counts as printed in Table 1, e.g. `(1, 3)`.
+    pub fn coverage_counts(&self) -> (usize, usize) {
+        let covered = self
+            .pairs
+            .iter()
+            .filter(|p| p.state != RpkiState::NotFound)
+            .count();
+        (covered, self.pairs.len())
+    }
+
+    /// DNS indirection count (the CDN heuristic input).
+    pub fn indirections(&self) -> usize {
+        self.cname_chain.len()
+    }
+}
+
+/// Full measurement of one ranked domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainMeasurement {
+    /// Rank in the input list (0-based).
+    pub rank: usize,
+    /// The name as listed.
+    pub listed: DomainName,
+    /// Measurement of the `www.`-prefixed form.
+    pub www: NameMeasurement,
+    /// Measurement of the bare ("w/o www") form.
+    pub bare: NameMeasurement,
+}
+
+impl DomainMeasurement {
+    /// Whether both name forms mapped to exactly equal prefix sets
+    /// (Fig 1's quantity).
+    pub fn equal_prefixes(&self) -> bool {
+        self.www.prefixes() == self.bare.prefixes()
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Resolver vantage (the paper's default: Google DNS from Berlin).
+    pub vantage: Vantage,
+    /// DNS corruption rate in ppm (700 = the paper's 0.07%).
+    pub bogus_dns_ppm: u32,
+    /// Seed for the deterministic DNS corruption.
+    pub dns_fault_seed: u64,
+    /// Simulated instant at which the RPKI is validated.
+    pub now: SimTime,
+    /// Number of worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            vantage: Vantage::GOOGLE_DNS_BERLIN,
+            bogus_dns_ppm: 700,
+            dns_fault_seed: 0x0ddf_a017,
+            now: SimTime::start_of_study(),
+            threads: 0,
+        }
+    }
+}
+
+/// Aggregate study output.
+#[derive(Debug, Clone, Default)]
+pub struct StudyResults {
+    /// Per-domain measurements in rank order.
+    pub domains: Vec<DomainMeasurement>,
+    /// Count of VRPs used for validation.
+    pub vrp_count: usize,
+    /// Objects rejected during cryptographic RPKI validation.
+    pub rpki_rejected: usize,
+}
+
+/// The configured pipeline, borrowing its substrate inputs.
+pub struct Pipeline<'w> {
+    zones: &'w ZoneStore,
+    rib: &'w Rib,
+    validator: RouteOriginValidator,
+    vrp_count: usize,
+    rpki_rejected: usize,
+    config: PipelineConfig,
+}
+
+impl<'w> Pipeline<'w> {
+    /// Build a pipeline: validates `repository` cryptographically (step
+    /// 4's ROA collection) and indexes the VRPs for origin validation.
+    pub fn new(
+        zones: &'w ZoneStore,
+        rib: &'w Rib,
+        repository: &Repository,
+        config: PipelineConfig,
+    ) -> Pipeline<'w> {
+        let report = validate(repository, config.now);
+        let validator = RouteOriginValidator::from_vrps(report.vrps.iter().map(|v| {
+            VrpTriple { prefix: v.prefix, max_length: v.max_length, asn: v.asn }
+        }));
+        Pipeline {
+            zones,
+            rib,
+            vrp_count: report.vrps.len(),
+            rpki_rejected: report.rejected_count(),
+            validator,
+            config,
+        }
+    }
+
+    /// Access the origin validator (for hijack experiments etc.).
+    pub fn validator(&self) -> &RouteOriginValidator {
+        &self.validator
+    }
+
+    /// Measure one name form.
+    fn measure_name(&self, name: &DomainName) -> NameMeasurement {
+        let resolver = FaultyResolver::new(
+            Resolver::new(self.zones, self.config.vantage),
+            self.config.bogus_dns_ppm,
+            self.config.dns_fault_seed,
+        );
+        let mut m = NameMeasurement::default();
+        let resolution = match resolver.resolve(name) {
+            Ok(r) => r,
+            Err(_) => {
+                m.resolve_failed = true;
+                return m;
+            }
+        };
+        m.cname_chain = resolution.cname_chain;
+        m.dnssec_authenticated = resolution.authenticated;
+        let registry = SpecialRegistry::global();
+        for addr in resolution.addresses {
+            // Step 2 exclusion: special-purpose answers are invalid.
+            if registry.is_invalid_answer(addr) {
+                m.excluded_invalid += 1;
+                continue;
+            }
+            m.addresses.push(addr);
+            // Step 3: all covering prefixes and origins.
+            let mapping = self.rib.origins_for_addr(addr);
+            m.as_set_skipped += mapping.as_set_skipped;
+            if !mapping.is_reachable() {
+                m.unreachable += 1;
+                continue;
+            }
+            for po in mapping.pairs {
+                // Step 4: RFC 6811 per pair.
+                let state = self.validator.validate(&po.prefix, po.origin);
+                let pair = PairState { prefix: po.prefix, origin: po.origin, state };
+                if !m.pairs.contains(&pair) {
+                    m.pairs.push(pair);
+                }
+            }
+        }
+        m
+    }
+
+    /// Measure one ranked domain (both name forms).
+    pub fn measure_domain(&self, rank: usize, listed: &DomainName) -> DomainMeasurement {
+        let bare = listed.without_www();
+        let www = bare.with_www();
+        DomainMeasurement {
+            rank,
+            listed: listed.clone(),
+            www: self.measure_name(&www),
+            bare: self.measure_name(&bare),
+        }
+    }
+
+    /// Re-apply this pipeline's VRPs to an existing study's (prefix,
+    /// origin) pairs without repeating DNS resolution or table lookups —
+    /// what a longitudinal study does when only the RPKI changed between
+    /// observations (ROAs are re-fetched daily; crawls are expensive).
+    ///
+    /// Equivalent to a full [`run`](Self::run) whenever only the
+    /// repository differs between the two pipelines.
+    pub fn revalidate(&self, results: &mut StudyResults) {
+        for d in &mut results.domains {
+            for m in [&mut d.www, &mut d.bare] {
+                for pair in &mut m.pairs {
+                    pair.state = self.validator.validate(&pair.prefix, pair.origin);
+                }
+            }
+        }
+        results.vrp_count = self.vrp_count;
+        results.rpki_rejected = self.rpki_rejected;
+    }
+
+    /// Run the full study over a ranked list, sharded across threads.
+    pub fn run(&self, ranking: &[DomainName]) -> StudyResults {
+        let threads = if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        };
+        let threads = threads.clamp(1, 64);
+        let chunk = ranking.len().div_ceil(threads).max(1);
+        let mut domains: Vec<DomainMeasurement> = Vec::with_capacity(ranking.len());
+        if ranking.is_empty() {
+            return StudyResults {
+                domains,
+                vrp_count: self.vrp_count,
+                rpki_rejected: self.rpki_rejected,
+            };
+        }
+        let shards: Vec<Vec<DomainMeasurement>> = thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, part) in ranking.chunks(chunk).enumerate() {
+                let base = i * chunk;
+                handles.push(scope.spawn(move |_| {
+                    part.iter()
+                        .enumerate()
+                        .map(|(k, name)| self.measure_domain(base + k, name))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("scope panicked");
+        for shard in shards {
+            domains.extend(shard);
+        }
+        StudyResults {
+            domains,
+            vrp_count: self.vrp_count,
+            rpki_rejected: self.rpki_rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripki_bgp::path::AsPath;
+    use ripki_bgp::rib::RibEntry;
+    use ripki_rpki::repo::RepositoryBuilder;
+    use ripki_rpki::resources::Resources;
+    use ripki_rpki::roa::RoaPrefix;
+    use ripki_rpki::time::Duration;
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    /// Small hand-built world: two domains, one ROA-covered prefix.
+    fn world() -> (ZoneStore, Rib, Repository, SimTime) {
+        let mut zones = ZoneStore::new();
+        // covered.example on 85.1.0.0/16 (valid ROA, AS100)
+        zones.add_addr(n("covered.example"), "85.1.2.3".parse().unwrap());
+        zones.add_cname(n("www.covered.example"), n("covered.example"));
+        // plain.example on 9.9.0.0/16 (no ROA)
+        zones.add_addr(n("plain.example"), "9.9.1.1".parse().unwrap());
+        zones.add_addr(n("www.plain.example"), "9.9.1.1".parse().unwrap());
+        // hijacked.example on 85.2.0.0/16 announced by wrong AS
+        zones.add_addr(n("hijacked.example"), "85.2.9.9".parse().unwrap());
+        zones.add_addr(n("www.hijacked.example"), "85.2.9.9".parse().unwrap());
+        // bogus.example answers a reserved address
+        zones.add_addr(n("bogus.example"), "127.0.0.1".parse().unwrap());
+        zones.add_addr(n("www.bogus.example"), "127.0.0.1".parse().unwrap());
+        // dark.example resolves to unannounced space
+        zones.add_addr(n("dark.example"), "77.7.7.7".parse().unwrap());
+        zones.add_addr(n("www.dark.example"), "77.7.7.7".parse().unwrap());
+
+        let mut rib = Rib::new();
+        for (pfx, origin) in [
+            ("85.1.0.0/16", 100u32),
+            ("85.2.0.0/16", 666),
+            ("9.9.0.0/16", 9),
+        ] {
+            rib.insert(RibEntry {
+                prefix: pfx.parse().unwrap(),
+                path: AsPath::sequence([64601, origin]),
+                peer: Asn::new(64496),
+            });
+        }
+
+        let mut b = RepositoryBuilder::new(1, SimTime::EPOCH);
+        let ta = b.add_trust_anchor(
+            "RIPE",
+            Resources::from_prefixes(vec!["80.0.0.0/4".parse().unwrap()]),
+        );
+        let isp = b
+            .add_ca(ta, "ISP-1", Resources::from_prefixes(vec!["85.0.0.0/8".parse().unwrap()]))
+            .unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact("85.1.0.0/16".parse().unwrap())])
+            .unwrap();
+        b.add_roa(isp, Asn::new(555), vec![RoaPrefix::exact("85.2.0.0/16".parse().unwrap())])
+            .unwrap();
+        (zones, rib, b.finalize(), SimTime::EPOCH + Duration::days(1))
+    }
+
+    fn pipeline_cfg(now: SimTime) -> PipelineConfig {
+        PipelineConfig { bogus_dns_ppm: 0, now, threads: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn states_assigned_correctly() {
+        let (zones, rib, repo, now) = world();
+        let p = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(now));
+        let covered = p.measure_domain(0, &n("covered.example"));
+        assert_eq!(covered.bare.pairs.len(), 1);
+        assert_eq!(covered.bare.pairs[0].state, RpkiState::Valid);
+        assert_eq!(covered.bare.coverage_counts(), (1, 1));
+        // www form CNAMEs to bare: one indirection, same pairs.
+        assert_eq!(covered.www.indirections(), 1);
+        assert!(covered.equal_prefixes());
+
+        let plain = p.measure_domain(1, &n("plain.example"));
+        assert_eq!(plain.bare.pairs[0].state, RpkiState::NotFound);
+        assert_eq!(plain.bare.covered_fraction(), Some(0.0));
+
+        let hijacked = p.measure_domain(2, &n("hijacked.example"));
+        assert_eq!(hijacked.bare.pairs[0].state, RpkiState::Invalid);
+        assert_eq!(hijacked.bare.covered_fraction(), Some(1.0));
+    }
+
+    #[test]
+    fn special_purpose_answers_excluded() {
+        let (zones, rib, repo, now) = world();
+        let p = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(now));
+        let m = p.measure_domain(0, &n("bogus.example"));
+        assert_eq!(m.bare.excluded_invalid, 1);
+        assert!(m.bare.addresses.is_empty());
+        assert!(m.bare.pairs.is_empty());
+        assert_eq!(m.bare.state_fraction(RpkiState::Valid), None);
+    }
+
+    #[test]
+    fn unreachable_addresses_counted() {
+        let (zones, rib, repo, now) = world();
+        let p = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(now));
+        let m = p.measure_domain(0, &n("dark.example"));
+        assert_eq!(m.bare.unreachable, 1);
+        assert_eq!(m.bare.addresses.len(), 1);
+        assert!(m.bare.pairs.is_empty());
+    }
+
+    #[test]
+    fn nxdomain_reported() {
+        let (zones, rib, repo, now) = world();
+        let p = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(now));
+        let m = p.measure_domain(0, &n("missing.example"));
+        assert!(m.bare.resolve_failed);
+        assert!(m.www.resolve_failed);
+    }
+
+    #[test]
+    fn run_preserves_rank_order_across_threads() {
+        let (zones, rib, repo, now) = world();
+        let p = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(now));
+        let ranking = vec![
+            n("covered.example"),
+            n("plain.example"),
+            n("hijacked.example"),
+            n("dark.example"),
+            n("bogus.example"),
+        ];
+        let results = p.run(&ranking);
+        assert_eq!(results.domains.len(), 5);
+        for (i, d) in results.domains.iter().enumerate() {
+            assert_eq!(d.rank, i);
+            assert_eq!(&d.listed, &ranking[i]);
+        }
+        assert_eq!(results.vrp_count, 2);
+        assert_eq!(results.rpki_rejected, 0);
+    }
+
+    #[test]
+    fn run_empty_ranking() {
+        let (zones, rib, repo, now) = world();
+        let p = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(now));
+        let results = p.run(&[]);
+        assert!(results.domains.is_empty());
+    }
+
+    #[test]
+    fn single_thread_equals_multi_thread() {
+        let (zones, rib, repo, now) = world();
+        let ranking = vec![n("covered.example"), n("plain.example")];
+        let single = Pipeline::new(
+            &zones,
+            &rib,
+            &repo,
+            PipelineConfig { threads: 1, bogus_dns_ppm: 0, now, ..Default::default() },
+        )
+        .run(&ranking);
+        let multi = Pipeline::new(
+            &zones,
+            &rib,
+            &repo,
+            PipelineConfig { threads: 4, bogus_dns_ppm: 0, now, ..Default::default() },
+        )
+        .run(&ranking);
+        assert_eq!(single.domains.len(), multi.domains.len());
+        for (a, b) in single.domains.iter().zip(&multi.domains) {
+            assert_eq!(a.bare, b.bare);
+            assert_eq!(a.www, b.www);
+        }
+    }
+
+    #[test]
+    fn www_listed_input_measured_same_as_bare_listed() {
+        let (zones, rib, repo, now) = world();
+        let p = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(now));
+        let from_bare = p.measure_domain(0, &n("covered.example"));
+        let from_www = p.measure_domain(0, &n("www.covered.example"));
+        assert_eq!(from_bare.bare, from_www.bare);
+        assert_eq!(from_bare.www, from_www.www);
+    }
+
+    #[test]
+    fn revalidate_matches_full_rerun() {
+        let (zones, rib, repo, now) = world();
+        // First observation: RPKI expired (everything NotFound).
+        let late = SimTime::EPOCH + Duration::years(30);
+        let stale = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(late));
+        let ranking = vec![n("covered.example"), n("hijacked.example"), n("plain.example")];
+        let mut results = stale.run(&ranking);
+        assert!(results
+            .domains
+            .iter()
+            .flat_map(|d| d.bare.pairs.iter())
+            .all(|p| p.state == RpkiState::NotFound));
+
+        // Second observation: fresh VRPs, same crawl.
+        let fresh = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(now));
+        fresh.revalidate(&mut results);
+        let full = fresh.run(&ranking);
+        assert_eq!(results.vrp_count, full.vrp_count);
+        for (a, b) in results.domains.iter().zip(&full.domains) {
+            assert_eq!(a.bare.pairs, b.bare.pairs);
+            assert_eq!(a.www.pairs, b.www.pairs);
+        }
+    }
+
+    #[test]
+    fn ipv6_pairs_validated() {
+        let mut zones = ZoneStore::new();
+        zones.add_addr(n("six.example"), "2001:600::1".parse().unwrap());
+        zones.add_addr(n("www.six.example"), "2001:600::1".parse().unwrap());
+        let mut rib = Rib::new();
+        rib.insert(RibEntry {
+            prefix: "2001:600::/32".parse().unwrap(),
+            path: AsPath::sequence([64601, 700]),
+            peer: Asn::new(64496),
+        });
+        let mut b = RepositoryBuilder::new(2, SimTime::EPOCH);
+        let ta = b.add_trust_anchor(
+            "RIPE",
+            Resources::from_prefixes(vec!["2001::/16".parse().unwrap()]),
+        );
+        let isp = b
+            .add_ca(ta, "v6-ISP", Resources::from_prefixes(vec!["2001:600::/24".parse().unwrap()]))
+            .unwrap();
+        b.add_roa(isp, Asn::new(700), vec![RoaPrefix::exact("2001:600::/32".parse().unwrap())])
+            .unwrap();
+        let repo = b.finalize();
+        let p = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(SimTime::EPOCH + Duration::days(1)));
+        let m = p.measure_domain(0, &n("six.example"));
+        assert_eq!(m.bare.pairs.len(), 1);
+        assert_eq!(m.bare.pairs[0].state, RpkiState::Valid);
+        assert!(matches!(m.bare.pairs[0].prefix, ripki_net::IpPrefix::V6(_)));
+    }
+
+    #[test]
+    fn expired_rpki_yields_all_notfound() {
+        let (zones, rib, repo, _) = world();
+        let late = SimTime::EPOCH + Duration::years(30);
+        let p = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(late));
+        assert_eq!(p.validator().len(), 0);
+        let m = p.measure_domain(0, &n("covered.example"));
+        assert_eq!(m.bare.pairs[0].state, RpkiState::NotFound);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the core measurement crate: binning algebra,
+//! coverage accounting, and classification scoring.
+
+use proptest::prelude::*;
+use ripki::classify::ClassifierScore;
+use ripki::pipeline::{NameMeasurement, PairState};
+use ripki::stats::{trend_slope, BinnedSeries};
+use ripki_bgp::rov::RpkiState;
+use ripki_net::Asn;
+
+fn arb_states() -> impl Strategy<Value = Vec<RpkiState>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(RpkiState::Valid),
+            Just(RpkiState::Invalid),
+            Just(RpkiState::NotFound),
+        ],
+        0..12,
+    )
+}
+
+fn measurement(states: &[RpkiState]) -> NameMeasurement {
+    NameMeasurement {
+        pairs: states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| PairState {
+                prefix: format!("10.{}.{}.0/24", i / 250, i % 250).parse().unwrap(),
+                origin: Asn::new(i as u32 + 1),
+                state: *s,
+            })
+            .collect(),
+        ..Default::default()
+    }
+}
+
+proptest! {
+    /// The three state fractions always sum to 1 (when defined), and
+    /// covered = valid + invalid.
+    #[test]
+    fn state_fractions_partition(states in arb_states()) {
+        let m = measurement(&states);
+        match (
+            m.state_fraction(RpkiState::Valid),
+            m.state_fraction(RpkiState::Invalid),
+            m.state_fraction(RpkiState::NotFound),
+        ) {
+            (Some(v), Some(i), Some(n)) => {
+                prop_assert!((v + i + n - 1.0).abs() < 1e-9);
+                prop_assert!((m.covered_fraction().unwrap() - (v + i)).abs() < 1e-9);
+                let (covered, total) = m.coverage_counts();
+                prop_assert_eq!(total, states.len());
+                prop_assert!((covered as f64 / total as f64 - (v + i)).abs() < 1e-9);
+            }
+            (None, None, None) => prop_assert!(states.is_empty()),
+            other => prop_assert!(false, "inconsistent definedness {other:?}"),
+        }
+    }
+
+    /// Binned means lie in the convex hull of the samples, and the
+    /// overall mean equals the plain average of defined samples.
+    #[test]
+    fn binning_is_an_average(
+        samples in prop::collection::vec(prop::option::of(0.0f64..1.0), 1..300),
+        bin in 1usize..50,
+    ) {
+        let total = samples.len();
+        let series = BinnedSeries::from_samples(
+            samples.iter().enumerate().map(|(r, v)| (r, *v)),
+            total,
+            bin,
+        );
+        let defined: Vec<f64> = samples.iter().flatten().copied().collect();
+        if defined.is_empty() {
+            prop_assert_eq!(series.overall_mean(), None);
+        } else {
+            let want = defined.iter().sum::<f64>() / defined.len() as f64;
+            prop_assert!((series.overall_mean().unwrap() - want).abs() < 1e-9);
+            let lo = defined.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = defined.iter().cloned().fold(f64::MIN, f64::max);
+            for m in series.means.iter().flatten() {
+                prop_assert!(*m >= lo - 1e-12 && *m <= hi + 1e-12);
+            }
+        }
+        // Bin count is ceil(total / bin).
+        prop_assert_eq!(series.len(), total.div_ceil(bin));
+        // range_mean over everything equals overall mean.
+        prop_assert_eq!(series.range_mean(0, total), series.overall_mean());
+    }
+
+    /// Adding a constant to every sample shifts means but zeroes no
+    /// trend; scaling preserves the slope's sign.
+    #[test]
+    fn trend_slope_sign_invariance(
+        base in prop::collection::vec(0.0f64..1.0, 4..60),
+        shift in 0.0f64..10.0,
+        scale in 0.1f64..10.0,
+    ) {
+        let total = base.len();
+        let mk = |f: &dyn Fn(f64) -> f64| {
+            BinnedSeries::from_samples(
+                base.iter().enumerate().map(|(r, v)| (r, Some(f(*v)))),
+                total,
+                1,
+            )
+        };
+        let s0 = trend_slope(&mk(&|v| v));
+        let s_shift = trend_slope(&mk(&|v| v + shift));
+        let s_scale = trend_slope(&mk(&|v| v * scale));
+        if let (Some(a), Some(b), Some(c)) = (s0, s_shift, s_scale) {
+            prop_assert!((a - b).abs() < 1e-6, "shift changed slope: {a} vs {b}");
+            prop_assert!(
+                (a * scale - c).abs() < 1e-6,
+                "scale broke linearity: {a}*{scale} vs {c}"
+            );
+        }
+    }
+
+    /// Classifier score counts always total the number of observations,
+    /// and precision/recall stay within [0, 1].
+    #[test]
+    fn classifier_score_invariants(
+        observations in prop::collection::vec((any::<bool>(), any::<bool>()), 0..200)
+    ) {
+        let mut score = ClassifierScore::default();
+        for (pred, act) in &observations {
+            score.observe(*pred, *act);
+        }
+        prop_assert_eq!(
+            score.tp + score.fp + score.fn_ + score.tn,
+            observations.len()
+        );
+        prop_assert!((0.0..=1.0).contains(&score.precision()));
+        prop_assert!((0.0..=1.0).contains(&score.recall()));
+        // Perfect predictor sanity.
+        let mut perfect = ClassifierScore::default();
+        for (_, act) in &observations {
+            perfect.observe(*act, *act);
+        }
+        prop_assert_eq!(perfect.precision(), 1.0);
+        prop_assert_eq!(perfect.recall(), 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! # ripki-rpki
+//!
+//! A Resource Public Key Infrastructure (RFC 6480 family) in miniature:
+//! the object model, repository structure, and top-down validation that
+//! RiPKI's measurement step 4 performs ("ROA data of all trust anchors
+//! are collected and validated; only cryptographically correct ROAs are
+//! further used").
+//!
+//! ## Object model
+//!
+//! * [`cert::Cert`] — resource certificates with RFC 3779 resource
+//!   extensions ([`resources::Resources`]), both CA and end-entity (EE).
+//! * [`roa::Roa`] — Route Origin Authorizations: a signed object binding
+//!   an origin AS to a set of prefixes with `maxLength`, wrapped in a
+//!   one-time EE certificate, as in RFC 6482.
+//! * [`crl::Crl`] — certificate revocation lists per CA.
+//! * [`manifest::Manifest`] — per-publication-point listings with SHA-256
+//!   hashes of every published object (RFC 6486).
+//! * [`ta::TrustAnchor`] — self-signed roots; the builder in
+//!   [`repo::RepositoryBuilder`] models the five RIR trust anchors.
+//!
+//! ## Validation
+//!
+//! [`validate::validate`] walks from the trust anchors down, checking
+//! signatures, validity windows, revocation, RFC 3779 resource
+//! encompassment, and manifest completeness/hashes, and emits the set of
+//! Validated ROA Payloads ([`validate::Vrp`]) together with a full audit
+//! log of every accepted and rejected object.
+//!
+//! ## Fault injection
+//!
+//! [`faults`] mutates finished repositories the way misbehaving or sloppy
+//! authorities would (expired certificates, overclaimed resources, revoked
+//! EEs, manifest mismatches, bit-flipped signatures), so tests can assert
+//! that each rejection path actually fires — in the spirit of the paper's
+//! citation of "On the Risk of Misbehaving RPKI Authorities" (HotNets'13).
+//!
+//! ## Omissions (vs. the real RPKI)
+//!
+//! * No RRDP/rsync transports; repositories are in-memory values.
+//! * DER/X.509 replaced by the canonical TLV encoding of `ripki-crypto`.
+//! * Manifests are signed directly by the CA key rather than by one-time
+//!   EE certificates (the completeness/hash semantics are unchanged).
+//! * No Ghostbusters records, no BGPsec router certificates.
+
+pub mod archive;
+pub mod cert;
+pub mod crl;
+pub mod faults;
+pub mod manifest;
+pub mod privacy;
+pub mod repo;
+pub mod resources;
+pub mod roa;
+pub mod ta;
+pub mod time;
+pub mod validate;
+
+pub use archive::{load as load_archive, save as save_archive, ArchiveError};
+pub use cert::Cert;
+pub use crl::Crl;
+pub use manifest::Manifest;
+pub use repo::{PublicationPoint, Repository, RepositoryBuilder};
+pub use resources::Resources;
+pub use roa::{Roa, RoaPrefix};
+pub use ta::TrustAnchor;
+pub use time::{SimTime, Validity};
+pub use validate::{validate, RejectReason, ValidationEvent, ValidationReport, Vrp};

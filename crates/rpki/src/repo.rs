@@ -1,0 +1,474 @@
+//! The repository: publication points and a builder that plays the CA.
+//!
+//! A real relying party rsyncs a tree of files per CA ("publication
+//! point"): the CA's issued certificates, its ROAs, one CRL, and one
+//! manifest. [`Repository`] is that tree in memory; [`RepositoryBuilder`]
+//! is the issuing side — it owns the keys, hands out certificates down a
+//! hierarchy, signs ROAs via one-time EE certificates, and emits
+//! consistent CRLs and manifests at [`RepositoryBuilder::finalize`].
+
+use crate::cert::Cert;
+use crate::crl::Crl;
+use crate::manifest::Manifest;
+use crate::resources::Resources;
+use crate::roa::{Roa, RoaPrefix};
+use crate::ta::TrustAnchor;
+use crate::time::{Duration, SimTime, Validity};
+use ripki_crypto::keystore::{KeyId, Keypair};
+use ripki_net::Asn;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Everything one CA publishes.
+#[derive(Debug, Clone)]
+pub struct PublicationPoint {
+    /// Certificates this CA issued to subordinate CAs.
+    pub child_certs: Vec<Cert>,
+    /// ROAs published by this CA.
+    pub roas: Vec<Roa>,
+    /// The CA's current CRL.
+    pub crl: Crl,
+    /// The CA's current manifest.
+    pub manifest: Manifest,
+}
+
+impl PublicationPoint {
+    /// Canonical file name for a child certificate.
+    pub fn cert_file_name(cert: &Cert) -> String {
+        format!("cert-{}.cer", cert.serial)
+    }
+
+    /// Canonical file name for a ROA (keyed by its EE serial).
+    pub fn roa_file_name(roa: &Roa) -> String {
+        format!("roa-{}.roa", roa.ee.serial)
+    }
+
+    /// Canonical file name of the CRL.
+    pub const CRL_FILE_NAME: &'static str = "ca.crl";
+}
+
+/// A complete RPKI repository: trust anchors plus one publication point
+/// per CA (keyed by the CA's subject key id).
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    /// The trust anchors (the five RIRs in full scenarios).
+    pub trust_anchors: Vec<TrustAnchor>,
+    /// Publication points by CA subject key id.
+    pub points: HashMap<KeyId, PublicationPoint>,
+}
+
+impl Repository {
+    /// Total number of ROAs across all publication points.
+    pub fn roa_count(&self) -> usize {
+        self.points.values().map(|p| p.roas.len()).sum()
+    }
+
+    /// Total number of CA certificates (trust anchors + issued).
+    pub fn ca_count(&self) -> usize {
+        self.trust_anchors.len()
+            + self
+                .points
+                .values()
+                .flat_map(|p| &p.child_certs)
+                .filter(|c| c.is_ca)
+                .count()
+    }
+
+    /// Iterate all ROAs (regardless of validity — validation is the
+    /// relying party's job).
+    pub fn all_roas(&self) -> impl Iterator<Item = &Roa> {
+        self.points.values().flat_map(|p| p.roas.iter())
+    }
+}
+
+impl fmt::Display for Repository {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "repository: {} TAs, {} publication points, {} ROAs",
+            self.trust_anchors.len(),
+            self.points.len(),
+            self.roa_count(),
+        )
+    }
+}
+
+/// Errors from the building side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Referenced CA does not exist.
+    UnknownCa(KeyId),
+    /// The requested resources are not encompassed by the parent's.
+    ResourcesExceedParent { parent: String, requested: String },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownCa(id) => write!(f, "unknown CA {id}"),
+            BuildError::ResourcesExceedParent { parent, requested } => write!(
+                f,
+                "requested resources {requested} exceed parent's {parent}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Internal per-CA issuing state.
+struct CaState {
+    name: String,
+    keys: Keypair,
+    cert: Cert,
+    children: Vec<Cert>,
+    roas: Vec<Roa>,
+    revoked: BTreeSet<u64>,
+    is_trust_anchor: bool,
+}
+
+/// The issuing side of the RPKI: builds a consistent [`Repository`].
+///
+/// All keys are derived deterministically from `master_seed`, so the same
+/// build program yields byte-identical repositories.
+pub struct RepositoryBuilder {
+    master_seed: u64,
+    now: SimTime,
+    cert_validity: Duration,
+    crl_validity: Duration,
+    serial_counter: u64,
+    cas: HashMap<KeyId, CaState>,
+    /// Insertion order of CAs, for deterministic iteration.
+    order: Vec<KeyId>,
+}
+
+impl RepositoryBuilder {
+    /// Start building; certificates issued from `now`.
+    pub fn new(master_seed: u64, now: SimTime) -> RepositoryBuilder {
+        RepositoryBuilder {
+            master_seed,
+            now,
+            cert_validity: Duration::years(1),
+            crl_validity: Duration::days(7),
+            serial_counter: 0,
+            cas: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Override the certificate validity span (default one year).
+    pub fn cert_validity(mut self, dur: Duration) -> RepositoryBuilder {
+        self.cert_validity = dur;
+        self
+    }
+
+    /// Override CRL/manifest currency span (default seven days).
+    pub fn crl_validity(mut self, dur: Duration) -> RepositoryBuilder {
+        self.crl_validity = dur;
+        self
+    }
+
+    /// The simulated instant this builder issues at.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn next_serial(&mut self) -> u64 {
+        self.serial_counter += 1;
+        self.serial_counter
+    }
+
+    /// Create a self-signed trust anchor holding `resources`.
+    pub fn add_trust_anchor(&mut self, name: &str, resources: Resources) -> KeyId {
+        let keys = Keypair::derive(self.master_seed, &format!("ta/{name}"));
+        let serial = self.next_serial();
+        let cert = Cert::issue(
+            serial,
+            name,
+            keys.public,
+            &keys.secret,
+            keys.key_id,
+            Validity::starting(self.now, Duration::years(10)),
+            resources,
+            true,
+        );
+        let id = keys.key_id;
+        self.cas.insert(
+            id,
+            CaState {
+                name: name.to_string(),
+                keys,
+                cert,
+                children: Vec::new(),
+                roas: Vec::new(),
+                revoked: BTreeSet::new(),
+                is_trust_anchor: true,
+            },
+        );
+        self.order.push(id);
+        id
+    }
+
+    /// Issue a subordinate CA certificate under `parent`.
+    pub fn add_ca(
+        &mut self,
+        parent: KeyId,
+        name: &str,
+        resources: Resources,
+    ) -> Result<KeyId, BuildError> {
+        let serial = self.next_serial();
+        let parent_state = self.cas.get(&parent).ok_or(BuildError::UnknownCa(parent))?;
+        if !parent_state.cert.resources.encompasses(&resources) {
+            return Err(BuildError::ResourcesExceedParent {
+                parent: parent_state.cert.resources.to_string(),
+                requested: resources.to_string(),
+            });
+        }
+        let keys = Keypair::derive(self.master_seed, &format!("ca/{name}"));
+        let cert = Cert::issue(
+            serial,
+            name,
+            keys.public,
+            &parent_state.keys.secret,
+            parent,
+            Validity::starting(self.now, self.cert_validity),
+            resources,
+            true,
+        );
+        let id = keys.key_id;
+        self.cas
+            .get_mut(&parent)
+            .expect("parent just looked up")
+            .children
+            .push(cert.clone());
+        self.cas.insert(
+            id,
+            CaState {
+                name: name.to_string(),
+                keys,
+                cert,
+                children: Vec::new(),
+                roas: Vec::new(),
+                revoked: BTreeSet::new(),
+                is_trust_anchor: false,
+            },
+        );
+        self.order.push(id);
+        Ok(id)
+    }
+
+    /// Publish a ROA at `ca` authorizing `asn` for `prefixes`.
+    ///
+    /// The ROA's one-time EE certificate is issued by `ca`; its resources
+    /// are exactly the ROA's prefixes, which must be encompassed by the
+    /// CA's own resources.
+    pub fn add_roa(
+        &mut self,
+        ca: KeyId,
+        asn: Asn,
+        prefixes: Vec<RoaPrefix>,
+    ) -> Result<(), BuildError> {
+        let serial = self.next_serial();
+        let seed = self.master_seed;
+        let validity_dur = self.cert_validity;
+        let now = self.now;
+        let state = self.cas.get_mut(&ca).ok_or(BuildError::UnknownCa(ca))?;
+        let claimed = Resources::from_prefixes(prefixes.iter().map(|rp| rp.prefix));
+        if !state.cert.resources.encompasses(&claimed) {
+            return Err(BuildError::ResourcesExceedParent {
+                parent: state.cert.resources.to_string(),
+                requested: claimed.to_string(),
+            });
+        }
+        let roa = Roa::create(
+            &state.keys.secret,
+            ca,
+            serial,
+            (seed, &format!("ee/{serial}")),
+            asn,
+            prefixes,
+            Validity::starting(now, validity_dur),
+        );
+        state.roas.push(roa);
+        Ok(())
+    }
+
+    /// Mark `serial` as revoked in `ca`'s next CRL.
+    pub fn revoke(&mut self, ca: KeyId, serial: u64) -> Result<(), BuildError> {
+        let state = self.cas.get_mut(&ca).ok_or(BuildError::UnknownCa(ca))?;
+        state.revoked.insert(serial);
+        Ok(())
+    }
+
+    /// The public key id of a CA added earlier, by name (test helper).
+    pub fn find_ca(&self, name: &str) -> Option<KeyId> {
+        self.order
+            .iter()
+            .find(|id| self.cas[id].name == name)
+            .copied()
+    }
+
+    /// Sign CRLs and manifests everywhere and emit the repository.
+    pub fn finalize(self) -> Repository {
+        let mut repo = Repository::default();
+        let crl_window = Validity::starting(self.now, self.crl_validity);
+        for id in &self.order {
+            let state = &self.cas[id];
+            if state.is_trust_anchor {
+                repo.trust_anchors
+                    .push(TrustAnchor::new(state.name.clone(), state.cert.clone()));
+            }
+            let crl = Crl::issue(
+                &state.keys.secret,
+                *id,
+                state.revoked.iter().copied(),
+                crl_window,
+            );
+            let mut entries: Vec<(String, ripki_crypto::sha256::Digest)> = Vec::new();
+            entries.push((PublicationPoint::CRL_FILE_NAME.to_string(), crl.digest()));
+            for cert in &state.children {
+                entries.push((PublicationPoint::cert_file_name(cert), cert.digest()));
+            }
+            for roa in &state.roas {
+                entries.push((PublicationPoint::roa_file_name(roa), roa.digest()));
+            }
+            let manifest = Manifest::issue(
+                &state.keys.secret,
+                *id,
+                1,
+                entries,
+                crl_window,
+            );
+            repo.points.insert(
+                *id,
+                PublicationPoint {
+                    child_certs: state.children.clone(),
+                    roas: state.roas.clone(),
+                    crl,
+                    manifest,
+                },
+            );
+        }
+        repo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripki_net::IpPrefix;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    fn res(prefixes: &[&str]) -> Resources {
+        Resources::from_prefixes(prefixes.iter().map(|s| p(s)))
+    }
+
+    #[test]
+    fn build_small_hierarchy() {
+        let mut b = RepositoryBuilder::new(1, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4", "2001::/16"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        let repo = b.finalize();
+        assert_eq!(repo.trust_anchors.len(), 1);
+        assert_eq!(repo.points.len(), 2);
+        assert_eq!(repo.roa_count(), 1);
+        assert_eq!(repo.ca_count(), 2);
+        // Manifest of the ISP lists exactly the CRL and the ROA.
+        let pp = &repo.points[&isp];
+        assert_eq!(pp.manifest.entries.len(), 2);
+        assert!(pp.manifest.digest_of("ca.crl").is_some());
+        // TA's point lists CRL + the ISP cert.
+        let tapp = &repo.points[&ta];
+        assert_eq!(tapp.manifest.entries.len(), 2);
+        assert_eq!(tapp.child_certs.len(), 1);
+    }
+
+    #[test]
+    fn overclaiming_ca_rejected_at_build_time() {
+        let mut b = RepositoryBuilder::new(1, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let err = b.add_ca(ta, "greedy", res(&["10.0.0.0/8"])).unwrap_err();
+        assert!(matches!(err, BuildError::ResourcesExceedParent { .. }));
+    }
+
+    #[test]
+    fn roa_beyond_ca_resources_rejected() {
+        let mut b = RepositoryBuilder::new(1, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        let err = b
+            .add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("9.9.9.0/24"))])
+            .unwrap_err();
+        assert!(matches!(err, BuildError::ResourcesExceedParent { .. }));
+    }
+
+    #[test]
+    fn unknown_ca_errors() {
+        let mut b = RepositoryBuilder::new(1, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let repo_key = {
+            let mut other = RepositoryBuilder::new(2, SimTime::EPOCH);
+            other.add_trust_anchor("GHOST", Resources::empty())
+        };
+        assert_eq!(
+            b.add_ca(repo_key, "x", Resources::empty()).unwrap_err(),
+            BuildError::UnknownCa(repo_key)
+        );
+        assert!(b.add_roa(repo_key, Asn::new(1), vec![]).is_err());
+        assert!(b.revoke(repo_key, 1).is_err());
+        let _ = ta;
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut b = RepositoryBuilder::new(7, SimTime::EPOCH);
+            let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+            let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+            b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+                .unwrap();
+            b.finalize()
+        };
+        let a = build();
+        let b = build();
+        let ka: Vec<_> = a.points[&a.trust_anchors[0].cert.subject_key_id()]
+            .manifest
+            .tbs_bytes();
+        let kb: Vec<_> = b.points[&b.trust_anchors[0].cert.subject_key_id()]
+            .manifest
+            .tbs_bytes();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn find_ca_by_name() {
+        let mut b = RepositoryBuilder::new(1, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        assert_eq!(b.find_ca("ISP-1"), Some(isp));
+        assert_eq!(b.find_ca("RIPE"), Some(ta));
+        assert_eq!(b.find_ca("nope"), None);
+    }
+
+    #[test]
+    fn revocations_land_in_crl() {
+        let mut b = RepositoryBuilder::new(1, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        // Revoke the ISP's cert at the TA.
+        let isp_serial = {
+            let repo = RepositoryBuilder::new(1, SimTime::EPOCH); // placeholder
+            drop(repo);
+            2u64 // TA cert got serial 1, ISP cert serial 2
+        };
+        b.revoke(ta, isp_serial).unwrap();
+        let repo = b.finalize();
+        assert!(repo.points[&ta].crl.is_revoked(isp_serial));
+        assert!(!repo.points[&isp].crl.is_revoked(isp_serial));
+    }
+}

@@ -1,0 +1,197 @@
+//! RFC 3779 resource extensions: the Internet number resources a
+//! certificate speaks for.
+//!
+//! Every resource certificate carries a set of IP address blocks and a set
+//! of AS numbers. Validation (RFC 6487 §7.2) requires each certificate's
+//! resources to be *encompassed* by its issuer's — a CA cannot delegate
+//! space it does not hold. The paper's §5.2 privacy discussion hinges on
+//! exactly these objects: ROAs make (prefix owner → authorized AS)
+//! relations public.
+
+use ripki_crypto::tlv::{Reader, TlvError, Writer};
+use ripki_net::{Asn, AsnRange, AsnSet, IpPrefix, PrefixSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The resources carried by a certificate: prefixes and ASNs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Resources {
+    /// IP address blocks (IPv4 and IPv6).
+    pub prefixes: PrefixSet,
+    /// AS number resources.
+    pub asns: AsnSet,
+}
+
+impl Resources {
+    /// Empty resource set.
+    pub fn empty() -> Resources {
+        Resources::default()
+    }
+
+    /// Resources holding only prefixes.
+    pub fn from_prefixes<I: IntoIterator<Item = IpPrefix>>(iter: I) -> Resources {
+        Resources { prefixes: PrefixSet::from_prefixes(iter), asns: AsnSet::empty() }
+    }
+
+    /// Resources holding prefixes and ASNs.
+    pub fn new(prefixes: PrefixSet, asns: AsnSet) -> Resources {
+        Resources { prefixes, asns }
+    }
+
+    /// RFC 3779 encompassment: every resource of `other` is contained in
+    /// `self`.
+    pub fn encompasses(&self, other: &Resources) -> bool {
+        self.prefixes.encompasses(&other.prefixes) && self.asns.encompasses(&other.asns)
+    }
+
+    /// Whether no resources are held at all.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty() && self.asns.is_empty()
+    }
+
+    /// Union with another resource set.
+    pub fn union(&self, other: &Resources) -> Resources {
+        Resources {
+            prefixes: self.prefixes.union(&other.prefixes),
+            asns: self.asns.union(&other.asns),
+        }
+    }
+
+    /// Canonical TLV encoding, included in certificate to-be-signed bytes.
+    pub fn encode(&self, w: &mut Writer) {
+        let mut inner = Writer::new();
+        inner.put_u32(0x01, self.prefixes.len() as u32);
+        for p in self.prefixes.members() {
+            inner.put_str(0x02, &p.to_string());
+        }
+        inner.put_u32(0x03, self.asns.ranges().len() as u32);
+        for r in self.asns.ranges() {
+            inner.put_u32(0x04, r.start.value());
+            inner.put_u32(0x05, r.end.value());
+        }
+        w.put_nested(0x10, inner);
+    }
+
+    /// Decode the TLV produced by [`encode`](Self::encode).
+    pub fn decode(r: &mut Reader<'_>) -> Result<Resources, TlvError> {
+        let mut inner = r.get_nested(0x10)?;
+        let n_prefixes = inner.get_u32(0x01)?;
+        let mut prefixes = Vec::with_capacity(n_prefixes as usize);
+        for _ in 0..n_prefixes {
+            let s = inner.get_str(0x02)?;
+            prefixes.push(s.parse::<IpPrefix>().map_err(|_| TlvError::BadUtf8)?);
+        }
+        let n_ranges = inner.get_u32(0x03)?;
+        let mut ranges = Vec::with_capacity(n_ranges as usize);
+        for _ in 0..n_ranges {
+            let start = inner.get_u32(0x04)?;
+            let end = inner.get_u32(0x05)?;
+            ranges.push(
+                AsnRange::new(Asn::new(start), Asn::new(end))
+                    .map_err(|_| TlvError::BadUtf8)?,
+            );
+        }
+        inner.finish()?;
+        Ok(Resources {
+            prefixes: PrefixSet::from_prefixes(prefixes),
+            asns: AsnSet::from_ranges(ranges),
+        })
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prefixes={} asns={}", self.prefixes, self.asns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> Resources {
+        Resources::new(
+            PrefixSet::from_prefixes(vec![p("10.0.0.0/8"), p("2001:db8::/32")]),
+            AsnSet::from_ranges(vec![AsnRange::new(Asn::new(100), Asn::new(200)).unwrap()]),
+        )
+    }
+
+    #[test]
+    fn encompasses_requires_both_dimensions() {
+        let issuer = sample();
+        let ok = Resources::new(
+            PrefixSet::from_prefixes(vec![p("10.5.0.0/16")]),
+            AsnSet::from_asns(vec![Asn::new(150)]),
+        );
+        let bad_prefix = Resources::new(
+            PrefixSet::from_prefixes(vec![p("11.0.0.0/16")]),
+            AsnSet::from_asns(vec![Asn::new(150)]),
+        );
+        let bad_asn = Resources::new(
+            PrefixSet::from_prefixes(vec![p("10.5.0.0/16")]),
+            AsnSet::from_asns(vec![Asn::new(201)]),
+        );
+        assert!(issuer.encompasses(&ok));
+        assert!(!issuer.encompasses(&bad_prefix));
+        assert!(!issuer.encompasses(&bad_asn));
+        assert!(issuer.encompasses(&Resources::empty()));
+    }
+
+    #[test]
+    fn tlv_roundtrip() {
+        let res = sample();
+        let mut w = Writer::new();
+        res.encode(&mut w);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        let back = Resources::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, res);
+    }
+
+    #[test]
+    fn tlv_roundtrip_empty() {
+        let res = Resources::empty();
+        let mut w = Writer::new();
+        res.encode(&mut w);
+        let bytes = w.finish();
+        let back = Resources::decode(&mut Reader::new(&bytes)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn encoding_canonical_under_input_order() {
+        let a = Resources::from_prefixes(vec![p("10.0.0.0/8"), p("192.0.2.0/24")]);
+        let b = Resources::from_prefixes(vec![p("192.0.2.0/24"), p("10.0.0.0/8")]);
+        let enc = |r: &Resources| {
+            let mut w = Writer::new();
+            r.encode(&mut w);
+            w.finish()
+        };
+        assert_eq!(enc(&a), enc(&b));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = Resources::from_prefixes(vec![p("10.0.0.0/8")]);
+        let b = Resources::new(
+            PrefixSet::from_prefixes(vec![p("172.16.0.0/12")]),
+            AsnSet::from_asns(vec![Asn::new(1)]),
+        );
+        let u = a.union(&b);
+        assert!(u.encompasses(&a));
+        assert!(u.encompasses(&b));
+        assert_eq!(u.prefixes.len(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample().to_string();
+        assert!(s.contains("10.0.0.0/8"));
+        assert!(s.contains("AS100-AS200"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulated time.
+//!
+//! RPKI validity is wall-clock-based (notBefore/notAfter, CRL and manifest
+//! currency). The workspace is fully deterministic, so time is a plain
+//! counter of simulated seconds owned by the scenario, not the OS clock.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// An instant in simulated time (seconds since the simulation epoch).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// A convenient "now" for scenarios: one simulated year in.
+    pub fn start_of_study() -> SimTime {
+        SimTime::EPOCH + Duration::days(365)
+    }
+
+    /// Seconds since the epoch.
+    pub fn as_secs(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A span of simulated time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// A span of `n` seconds.
+    pub const fn secs(n: u64) -> Duration {
+        Duration(n)
+    }
+
+    /// A span of `n` hours.
+    pub const fn hours(n: u64) -> Duration {
+        Duration(n * 3600)
+    }
+
+    /// A span of `n` days.
+    pub const fn days(n: u64) -> Duration {
+        Duration(n * 86_400)
+    }
+
+    /// A span of `n` 365-day years.
+    pub const fn years(n: u64) -> Duration {
+        Duration(n * 365 * 86_400)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let days = self.0 / 86_400;
+        let rem = self.0 % 86_400;
+        write!(f, "T+{days}d{:02}h", rem / 3600)
+    }
+}
+
+/// A notBefore/notAfter validity window (inclusive on both ends, like
+/// X.509).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Validity {
+    /// First instant at which the object is valid.
+    pub not_before: SimTime,
+    /// Last instant at which the object is valid.
+    pub not_after: SimTime,
+}
+
+impl Validity {
+    /// Build a window; callers must keep `not_before <= not_after`.
+    pub fn new(not_before: SimTime, not_after: SimTime) -> Validity {
+        debug_assert!(not_before <= not_after);
+        Validity { not_before, not_after }
+    }
+
+    /// A window starting at `from` and lasting `dur`.
+    pub fn starting(from: SimTime, dur: Duration) -> Validity {
+        Validity { not_before: from, not_after: from + dur }
+    }
+
+    /// Whether `now` lies within the window.
+    pub fn contains(&self, now: SimTime) -> bool {
+        self.not_before <= now && now <= self.not_after
+    }
+
+    /// Whether the window has already ended at `now`.
+    pub fn expired(&self, now: SimTime) -> bool {
+        now > self.not_after
+    }
+
+    /// Whether the window has not yet begun at `now`.
+    pub fn premature(&self, now: SimTime) -> bool {
+        now < self.not_before
+    }
+}
+
+impl fmt::Display for Validity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.not_before, self.not_after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(100) + Duration::secs(50);
+        assert_eq!(t, SimTime(150));
+        assert_eq!(t - Duration::secs(150), SimTime::EPOCH);
+        // Saturation, no panic.
+        assert_eq!(SimTime(10) - Duration::secs(100), SimTime(0));
+        assert_eq!(Duration::days(1).0, 86_400);
+        assert_eq!(Duration::hours(2).0, 7_200);
+        assert_eq!(Duration::years(1).0, 365 * 86_400);
+    }
+
+    #[test]
+    fn validity_window_inclusive() {
+        let v = Validity::starting(SimTime(100), Duration::secs(10));
+        assert!(!v.contains(SimTime(99)));
+        assert!(v.contains(SimTime(100)));
+        assert!(v.contains(SimTime(110)));
+        assert!(!v.contains(SimTime(111)));
+        assert!(v.premature(SimTime(99)));
+        assert!(v.expired(SimTime(111)));
+        assert!(!v.expired(SimTime(110)));
+        assert!(!v.premature(SimTime(100)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SimTime(86_400 + 3_600).to_string(), "T+1d01h");
+        let v = Validity::starting(SimTime::EPOCH, Duration::days(2));
+        assert_eq!(v.to_string(), "[T+0d00h .. T+2d00h]");
+    }
+}

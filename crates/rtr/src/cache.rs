@@ -1,0 +1,420 @@
+//! The cache side of RTR: versioned VRP state and query handling.
+//!
+//! A relying-party cache validates the RPKI periodically; each validation
+//! run becomes a new **serial**. Routers either fetch everything (Reset
+//! Query) or ask for the delta since the serial they hold (Serial
+//! Query). The cache keeps a bounded delta history; askers that fall
+//! off the end get a Cache Reset and start over — exactly RFC 6810 §5.
+
+use crate::pdu::{read_pdu, ErrorCode, Pdu, PduError};
+use parking_lot::Mutex;
+use ripki_bgp::rov::VrpTriple;
+use ripki_net::IpPrefix;
+use std::collections::{BTreeSet, VecDeque};
+use std::io::{Read, Write};
+
+/// One serial increment's changes.
+#[derive(Debug, Clone, Default)]
+struct Delta {
+    to_serial: u32,
+    announced: Vec<VrpTriple>,
+    withdrawn: Vec<VrpTriple>,
+}
+
+struct CacheState {
+    session_id: u16,
+    serial: u32,
+    has_data: bool,
+    current: BTreeSet<VrpTriple>,
+    history: VecDeque<Delta>,
+}
+
+/// A shareable RTR cache server.
+pub struct CacheServer {
+    state: Mutex<CacheState>,
+    max_history: usize,
+}
+
+/// Turn a VRP into its announce/withdraw PDU.
+fn vrp_pdu(vrp: &VrpTriple, announce: bool) -> Pdu {
+    match vrp.prefix {
+        IpPrefix::V4(p) => Pdu::Ipv4Prefix {
+            announce,
+            prefix_len: p.len(),
+            max_len: vrp.max_length,
+            prefix: p.network(),
+            asn: vrp.asn,
+        },
+        IpPrefix::V6(p) => Pdu::Ipv6Prefix {
+            announce,
+            prefix_len: p.len(),
+            max_len: vrp.max_length,
+            prefix: p.network(),
+            asn: vrp.asn,
+        },
+    }
+}
+
+impl CacheServer {
+    /// A fresh cache with no data (Serial/Reset queries answer
+    /// "No Data Available" until the first [`update`](Self::update)).
+    pub fn new(session_id: u16) -> CacheServer {
+        CacheServer {
+            state: Mutex::new(CacheState {
+                session_id,
+                serial: 0,
+                has_data: false,
+                current: BTreeSet::new(),
+                history: VecDeque::new(),
+            }),
+            max_history: 16,
+        }
+    }
+
+    /// Cap on retained deltas (default 16).
+    pub fn with_max_history(mut self, n: usize) -> CacheServer {
+        self.max_history = n;
+        self
+    }
+
+    /// Install a new validation result; returns the new serial.
+    pub fn update<I: IntoIterator<Item = VrpTriple>>(&self, vrps: I) -> u32 {
+        let new: BTreeSet<VrpTriple> = vrps.into_iter().collect();
+        let mut st = self.state.lock();
+        let announced: Vec<VrpTriple> =
+            new.difference(&st.current).copied().collect();
+        let withdrawn: Vec<VrpTriple> =
+            st.current.difference(&new).copied().collect();
+        st.serial = st.serial.wrapping_add(1);
+        let serial = st.serial;
+        if st.has_data {
+            st.history.push_back(Delta { to_serial: serial, announced, withdrawn });
+            while st.history.len() > self.max_history {
+                st.history.pop_front();
+            }
+        }
+        st.current = new;
+        st.has_data = true;
+        serial
+    }
+
+    /// Current serial.
+    pub fn serial(&self) -> u32 {
+        self.state.lock().serial
+    }
+
+    /// Session id.
+    pub fn session_id(&self) -> u16 {
+        self.state.lock().session_id
+    }
+
+    /// Number of VRPs currently served.
+    pub fn vrp_count(&self) -> usize {
+        self.state.lock().current.len()
+    }
+
+    /// Compute the response PDUs for one router query. Pure function of
+    /// the current state — the unit-testable heart of the server.
+    pub fn handle_query(&self, query: &Pdu) -> Vec<Pdu> {
+        let st = self.state.lock();
+        match query {
+            Pdu::ResetQuery => {
+                if !st.has_data {
+                    return vec![Pdu::ErrorReport {
+                        code: ErrorCode::NoDataAvailable,
+                        erroneous_pdu: query.encode(),
+                        text: "cache has not completed a validation run".into(),
+                    }];
+                }
+                let mut out = vec![Pdu::CacheResponse { session_id: st.session_id }];
+                out.extend(st.current.iter().map(|v| vrp_pdu(v, true)));
+                out.push(Pdu::EndOfData { session_id: st.session_id, serial: st.serial });
+                out
+            }
+            Pdu::SerialQuery { session_id, serial } => {
+                if !st.has_data {
+                    return vec![Pdu::ErrorReport {
+                        code: ErrorCode::NoDataAvailable,
+                        erroneous_pdu: query.encode(),
+                        text: "cache has not completed a validation run".into(),
+                    }];
+                }
+                if *session_id != st.session_id {
+                    return vec![Pdu::ErrorReport {
+                        code: ErrorCode::CorruptData,
+                        erroneous_pdu: query.encode(),
+                        text: "session id mismatch".into(),
+                    }];
+                }
+                if *serial == st.serial {
+                    // Router is current: empty delta.
+                    return vec![
+                        Pdu::CacheResponse { session_id: st.session_id },
+                        Pdu::EndOfData { session_id: st.session_id, serial: st.serial },
+                    ];
+                }
+                // Collect deltas (serial, current]: they must chain
+                // contiguously from the router's serial.
+                let mut chain: Vec<&Delta> = Vec::new();
+                let mut expect = serial.wrapping_add(1);
+                for d in &st.history {
+                    if d.to_serial == expect {
+                        chain.push(d);
+                        expect = expect.wrapping_add(1);
+                    }
+                }
+                if chain.is_empty() || chain.last().map(|d| d.to_serial) != Some(st.serial) {
+                    // Too old (or future serial): make the router restart.
+                    return vec![Pdu::CacheReset];
+                }
+                let mut out = vec![Pdu::CacheResponse { session_id: st.session_id }];
+                for d in chain {
+                    out.extend(d.announced.iter().map(|v| vrp_pdu(v, true)));
+                    out.extend(d.withdrawn.iter().map(|v| vrp_pdu(v, false)));
+                }
+                out.push(Pdu::EndOfData { session_id: st.session_id, serial: st.serial });
+                out
+            }
+            other => vec![Pdu::ErrorReport {
+                code: ErrorCode::InvalidRequest,
+                erroneous_pdu: other.encode(),
+                text: format!("unexpected PDU type {} from router", other.type_byte()),
+            }],
+        }
+    }
+
+    /// The Serial Notify PDU for the current state, if any data exists.
+    pub fn notify_pdu(&self) -> Option<Pdu> {
+        let st = self.state.lock();
+        st.has_data.then_some(Pdu::SerialNotify {
+            session_id: st.session_id,
+            serial: st.serial,
+        })
+    }
+
+    /// Serve one router connection over TCP with unsolicited Serial
+    /// Notify (RFC 6810 §5.2): between queries, the cache polls its own
+    /// serial every `poll` and pushes a Serial Notify when new data
+    /// arrived since the last notification.
+    pub fn serve_tcp_with_notify(
+        &self,
+        stream: std::net::TcpStream,
+        poll: std::time::Duration,
+    ) -> Result<(), PduError> {
+        stream
+            .set_read_timeout(Some(poll))
+            .map_err(|e| PduError::Io(e.to_string()))?;
+        let mut read_half = stream
+            .try_clone()
+            .map_err(|e| PduError::Io(e.to_string()))?;
+        let mut write_half = stream;
+        let mut buf = Vec::new();
+        let mut notified_serial = self.serial();
+        loop {
+            match read_pdu(&mut read_half, &mut buf) {
+                Ok(query) => {
+                    for pdu in self.handle_query(&query) {
+                        write_half
+                            .write_all(&pdu.encode())
+                            .map_err(|e| PduError::Io(e.to_string()))?;
+                    }
+                    write_half.flush().map_err(|e| PduError::Io(e.to_string()))?;
+                    notified_serial = self.serial();
+                }
+                Err(PduError::Io(msg))
+                    if msg.contains("timed out") || msg.contains("WouldBlock") || msg.contains("Resource temporarily unavailable") =>
+                {
+                    // Idle: push a notify if the world moved on.
+                    let current = self.serial();
+                    if current != notified_serial {
+                        if let Some(pdu) = self.notify_pdu() {
+                            write_half
+                                .write_all(&pdu.encode())
+                                .map_err(|e| PduError::Io(e.to_string()))?;
+                            write_half
+                                .flush()
+                                .map_err(|e| PduError::Io(e.to_string()))?;
+                            notified_serial = current;
+                        }
+                    }
+                }
+                Err(PduError::Io(_)) => return Ok(()), // closed
+                Err(e) => {
+                    let report = Pdu::ErrorReport {
+                        code: ErrorCode::CorruptData,
+                        erroneous_pdu: Vec::new(),
+                        text: e.to_string(),
+                    };
+                    let _ = write_half.write_all(&report.encode());
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Serve one router connection until it closes: read a query,
+    /// write the response PDUs, repeat.
+    pub fn serve_connection<S: Read + Write>(&self, mut stream: S) -> Result<(), PduError> {
+        let mut buf = Vec::new();
+        loop {
+            let query = match read_pdu(&mut stream, &mut buf) {
+                Ok(pdu) => pdu,
+                Err(PduError::Io(_)) => return Ok(()), // clean close
+                Err(e) => {
+                    // Protocol error: report and drop the session.
+                    let report = Pdu::ErrorReport {
+                        code: ErrorCode::CorruptData,
+                        erroneous_pdu: Vec::new(),
+                        text: e.to_string(),
+                    };
+                    let _ = stream.write_all(&report.encode());
+                    return Err(e);
+                }
+            };
+            for pdu in self.handle_query(&query) {
+                stream
+                    .write_all(&pdu.encode())
+                    .map_err(|e| PduError::Io(e.to_string()))?;
+            }
+            stream.flush().map_err(|e| PduError::Io(e.to_string()))?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripki_net::Asn;
+
+    fn vrp(prefix: &str, ml: u8, asn: u32) -> VrpTriple {
+        VrpTriple { prefix: prefix.parse().unwrap(), max_length: ml, asn: Asn::new(asn) }
+    }
+
+    #[test]
+    fn empty_cache_reports_no_data() {
+        let cache = CacheServer::new(7);
+        let out = cache.handle_query(&Pdu::ResetQuery);
+        assert!(matches!(
+            out[0],
+            Pdu::ErrorReport { code: ErrorCode::NoDataAvailable, .. }
+        ));
+        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 0 });
+        assert!(matches!(
+            out[0],
+            Pdu::ErrorReport { code: ErrorCode::NoDataAvailable, .. }
+        ));
+    }
+
+    #[test]
+    fn reset_query_returns_everything() {
+        let cache = CacheServer::new(7);
+        let serial = cache.update([vrp("10.0.0.0/16", 16, 1), vrp("2001:db8::/32", 48, 2)]);
+        assert_eq!(serial, 1);
+        let out = cache.handle_query(&Pdu::ResetQuery);
+        assert_eq!(out.len(), 4); // response + 2 prefixes + EOD
+        assert!(matches!(out[0], Pdu::CacheResponse { session_id: 7 }));
+        assert!(matches!(out[3], Pdu::EndOfData { serial: 1, session_id: 7 }));
+        let announce_count = out
+            .iter()
+            .filter(|p| matches!(p, Pdu::Ipv4Prefix { announce: true, .. } | Pdu::Ipv6Prefix { announce: true, .. }))
+            .count();
+        assert_eq!(announce_count, 2);
+    }
+
+    #[test]
+    fn serial_query_current_gets_empty_delta() {
+        let cache = CacheServer::new(7);
+        cache.update([vrp("10.0.0.0/16", 16, 1)]);
+        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 1 });
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[1], Pdu::EndOfData { serial: 1, .. }));
+    }
+
+    #[test]
+    fn serial_query_gets_incremental_delta() {
+        let cache = CacheServer::new(7);
+        cache.update([vrp("10.0.0.0/16", 16, 1), vrp("11.0.0.0/16", 16, 2)]);
+        cache.update([vrp("10.0.0.0/16", 16, 1), vrp("12.0.0.0/16", 16, 3)]);
+        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 1 });
+        // response + announce 12/16 + withdraw 11/16 + EOD
+        assert_eq!(out.len(), 4);
+        let announces: Vec<_> = out
+            .iter()
+            .filter_map(|p| match p {
+                Pdu::Ipv4Prefix { announce, prefix, .. } => Some((*announce, *prefix)),
+                _ => None,
+            })
+            .collect();
+        assert!(announces.contains(&(true, "12.0.0.0".parse().unwrap())));
+        assert!(announces.contains(&(false, "11.0.0.0".parse().unwrap())));
+        assert!(matches!(out.last(), Some(Pdu::EndOfData { serial: 2, .. })));
+    }
+
+    #[test]
+    fn multi_step_deltas_chain() {
+        let cache = CacheServer::new(7);
+        cache.update([vrp("10.0.0.0/16", 16, 1)]); // serial 1
+        cache.update([vrp("10.0.0.0/16", 16, 1), vrp("11.0.0.0/16", 16, 2)]); // 2
+        cache.update([vrp("11.0.0.0/16", 16, 2)]); // 3: withdraw 10/16
+        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 1 });
+        let (mut ann, mut wit) = (0, 0);
+        for p in &out {
+            if let Pdu::Ipv4Prefix { announce, .. } = p {
+                if *announce {
+                    ann += 1;
+                } else {
+                    wit += 1;
+                }
+            }
+        }
+        assert_eq!((ann, wit), (1, 1));
+        assert!(matches!(out.last(), Some(Pdu::EndOfData { serial: 3, .. })));
+    }
+
+    #[test]
+    fn stale_serial_triggers_cache_reset() {
+        let cache = CacheServer::new(7).with_max_history(2);
+        cache.update([vrp("10.0.0.0/16", 16, 1)]);
+        for i in 0..5 {
+            cache.update([vrp(&format!("10.{i}.0.0/16"), 16, 1)]);
+        }
+        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 1 });
+        assert_eq!(out, vec![Pdu::CacheReset]);
+        // Future serial likewise.
+        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 99 });
+        assert_eq!(out, vec![Pdu::CacheReset]);
+    }
+
+    #[test]
+    fn session_mismatch_is_corrupt_data() {
+        let cache = CacheServer::new(7);
+        cache.update([vrp("10.0.0.0/16", 16, 1)]);
+        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 8, serial: 1 });
+        assert!(matches!(
+            out[0],
+            Pdu::ErrorReport { code: ErrorCode::CorruptData, .. }
+        ));
+    }
+
+    #[test]
+    fn unexpected_pdu_is_invalid_request() {
+        let cache = CacheServer::new(7);
+        cache.update([vrp("10.0.0.0/16", 16, 1)]);
+        let out = cache.handle_query(&Pdu::CacheReset);
+        assert!(matches!(
+            out[0],
+            Pdu::ErrorReport { code: ErrorCode::InvalidRequest, .. }
+        ));
+    }
+
+    #[test]
+    fn identical_update_produces_empty_delta() {
+        let cache = CacheServer::new(7);
+        cache.update([vrp("10.0.0.0/16", 16, 1)]);
+        cache.update([vrp("10.0.0.0/16", 16, 1)]);
+        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 1 });
+        assert_eq!(out.len(), 2); // response + EOD only
+        assert_eq!(cache.serial(), 2);
+        assert_eq!(cache.vrp_count(), 1);
+    }
+}

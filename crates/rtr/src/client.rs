@@ -1,0 +1,388 @@
+//! The router side of RTR: a synchronous client state machine.
+//!
+//! A router keeps `(session_id, serial)` plus the VRP set. Each
+//! [`Client::sync`] either performs a Reset Query (first contact, or
+//! after a Cache Reset) or a Serial Query, applies the announce/withdraw
+//! records, and hands back a summary. The resulting VRP set plugs
+//! straight into [`ripki_bgp::rov::RouteOriginValidator`].
+
+use crate::pdu::{read_pdu, ErrorCode, Pdu, PduError};
+use ripki_bgp::rov::{RouteOriginValidator, VrpTriple};
+use ripki_net::{IpPrefix, Ipv4Prefix, Ipv6Prefix};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Client-side failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport or decoding problem.
+    Pdu(PduError),
+    /// The cache sent an Error Report.
+    CacheError {
+        /// The reported code.
+        code: ErrorCode,
+        /// The reported diagnostic text.
+        text: String,
+    },
+    /// The cache sent something that violates the protocol state machine.
+    ProtocolViolation(&'static str),
+    /// A withdraw for a VRP we do not hold (RFC 6810 §10 code 6).
+    WithdrawalOfUnknown(VrpTriple),
+    /// An announce for a VRP we already hold (RFC 6810 §10 code 7).
+    DuplicateAnnouncement(VrpTriple),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Pdu(e) => write!(f, "{e}"),
+            ClientError::CacheError { code, text } => {
+                write!(f, "cache reported {code}: {text}")
+            }
+            ClientError::ProtocolViolation(what) => {
+                write!(f, "protocol violation: {what}")
+            }
+            ClientError::WithdrawalOfUnknown(v) => {
+                write!(f, "withdrawal of unknown record {v:?}")
+            }
+            ClientError::DuplicateAnnouncement(v) => {
+                write!(f, "duplicate announcement {v:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<PduError> for ClientError {
+    fn from(e: PduError) -> ClientError {
+        ClientError::Pdu(e)
+    }
+}
+
+/// What a sync accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// State updated to `serial`; counts of applied records.
+    Updated {
+        /// The serial now held.
+        serial: u32,
+        /// Announcements applied.
+        announced: usize,
+        /// Withdrawals applied.
+        withdrawn: usize,
+    },
+}
+
+/// An RTR client over any blocking byte stream.
+pub struct Client<S: Read + Write> {
+    stream: S,
+    buf: Vec<u8>,
+    /// `(session_id, serial)` once synchronized.
+    state: Option<(u16, u32)>,
+    vrps: BTreeSet<VrpTriple>,
+    /// Latest serial announced by an unsolicited Serial Notify.
+    notified_serial: Option<u32>,
+}
+
+fn pdu_vrp(
+    announce: bool,
+    prefix: IpPrefix,
+    max_len: u8,
+    asn: ripki_net::Asn,
+) -> (bool, VrpTriple) {
+    (announce, VrpTriple { prefix, max_length: max_len, asn })
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wrap a connected stream.
+    pub fn new(stream: S) -> Client<S> {
+        Client {
+            stream,
+            buf: Vec::new(),
+            state: None,
+            vrps: BTreeSet::new(),
+            notified_serial: None,
+        }
+    }
+
+    /// The `(session_id, serial)` pair, once synchronized.
+    pub fn state(&self) -> Option<(u16, u32)> {
+        self.state
+    }
+
+    /// The VRPs currently held.
+    pub fn vrps(&self) -> &BTreeSet<VrpTriple> {
+        &self.vrps
+    }
+
+    /// The serial most recently announced by an unsolicited Serial
+    /// Notify (RFC 6810 §5.2), if any arrived. A value newer than
+    /// [`state`](Self::state)'s serial means a [`sync`](Self::sync) is
+    /// due.
+    pub fn notified_serial(&self) -> Option<u32> {
+        self.notified_serial
+    }
+
+    /// Whether the cache has announced data newer than what we hold.
+    pub fn needs_sync(&self) -> bool {
+        match (self.notified_serial, self.state) {
+            (Some(n), Some((_, held))) => n != held,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+
+    /// Build an origin validator from the current VRP set.
+    pub fn to_validator(&self) -> RouteOriginValidator {
+        RouteOriginValidator::from_vrps(self.vrps.iter().copied())
+    }
+
+    /// Synchronize with the cache: Serial Query when we have state,
+    /// Reset Query otherwise; falls back to a Reset Query when the cache
+    /// answers Cache Reset.
+    pub fn sync(&mut self) -> Result<SyncOutcome, ClientError> {
+        let query = match self.state {
+            Some((session_id, serial)) => Pdu::SerialQuery { session_id, serial },
+            None => Pdu::ResetQuery,
+        };
+        match self.exchange(&query)? {
+            Some(outcome) => Ok(outcome),
+            None => {
+                // Cache Reset: drop state and start over.
+                self.state = None;
+                self.vrps.clear();
+                match self.exchange(&Pdu::ResetQuery)? {
+                    Some(outcome) => Ok(outcome),
+                    None => Err(ClientError::ProtocolViolation(
+                        "Cache Reset in response to Reset Query",
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Send one query and apply the response. `Ok(None)` means the cache
+    /// sent a Cache Reset.
+    fn exchange(&mut self, query: &Pdu) -> Result<Option<SyncOutcome>, ClientError> {
+        self.stream
+            .write_all(&query.encode())
+            .map_err(|e| PduError::Io(e.to_string()))?;
+        self.stream.flush().map_err(|e| PduError::Io(e.to_string()))?;
+
+        // Unsolicited Serial Notifies may arrive at any time; absorb them.
+        let first = loop {
+            match read_pdu(&mut self.stream, &mut self.buf)? {
+                Pdu::SerialNotify { serial, .. } => {
+                    self.notified_serial = Some(serial);
+                }
+                other => break other,
+            }
+        };
+        let session_id = match first {
+            Pdu::CacheResponse { session_id } => session_id,
+            Pdu::CacheReset => return Ok(None),
+            Pdu::ErrorReport { code, text, .. } => {
+                return Err(ClientError::CacheError { code, text })
+            }
+            _ => return Err(ClientError::ProtocolViolation("expected Cache Response")),
+        };
+        if let Some((held_session, _)) = self.state {
+            if held_session != session_id {
+                return Err(ClientError::ProtocolViolation(
+                    "session id changed mid-session",
+                ));
+            }
+        }
+
+        let mut announced = 0usize;
+        let mut withdrawn = 0usize;
+        // Stage records; apply only when End of Data arrives intact.
+        let mut staged: Vec<(bool, VrpTriple)> = Vec::new();
+        let serial = loop {
+            match read_pdu(&mut self.stream, &mut self.buf)? {
+                Pdu::SerialNotify { serial, .. } => {
+                    self.notified_serial = Some(serial);
+                }
+                Pdu::Ipv4Prefix { announce, prefix_len, max_len, prefix, asn } => {
+                    let prefix = IpPrefix::V4(
+                        Ipv4Prefix::new(prefix, prefix_len)
+                            .map_err(|_| ClientError::ProtocolViolation("bad v4 prefix"))?,
+                    );
+                    staged.push(pdu_vrp(announce, prefix, max_len, asn));
+                }
+                Pdu::Ipv6Prefix { announce, prefix_len, max_len, prefix, asn } => {
+                    let prefix = IpPrefix::V6(
+                        Ipv6Prefix::new(prefix, prefix_len)
+                            .map_err(|_| ClientError::ProtocolViolation("bad v6 prefix"))?,
+                    );
+                    staged.push(pdu_vrp(announce, prefix, max_len, asn));
+                }
+                Pdu::EndOfData { serial, session_id: eod_session } => {
+                    if eod_session != session_id {
+                        return Err(ClientError::ProtocolViolation(
+                            "End of Data session mismatch",
+                        ));
+                    }
+                    break serial;
+                }
+                Pdu::ErrorReport { code, text, .. } => {
+                    return Err(ClientError::CacheError { code, text })
+                }
+                _ => {
+                    return Err(ClientError::ProtocolViolation(
+                        "unexpected PDU inside response",
+                    ))
+                }
+            }
+        };
+        for (announce, vrp) in staged {
+            if announce {
+                if !self.vrps.insert(vrp) {
+                    return Err(ClientError::DuplicateAnnouncement(vrp));
+                }
+                announced += 1;
+            } else {
+                if !self.vrps.remove(&vrp) {
+                    return Err(ClientError::WithdrawalOfUnknown(vrp));
+                }
+                withdrawn += 1;
+            }
+        }
+        self.state = Some((session_id, serial));
+        Ok(Some(SyncOutcome::Updated { serial, announced, withdrawn }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheServer;
+    use ripki_net::Asn;
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+
+    fn vrp(prefix: &str, ml: u8, asn: u32) -> VrpTriple {
+        VrpTriple { prefix: prefix.parse().unwrap(), max_length: ml, asn: Asn::new(asn) }
+    }
+
+    /// Spin up a cache on one end of a socket pair.
+    fn connect(cache: Arc<CacheServer>) -> (Client<UnixStream>, std::thread::JoinHandle<()>) {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        let handle = std::thread::spawn(move || {
+            let _ = cache.serve_connection(b);
+        });
+        (Client::new(a), handle)
+    }
+
+    #[test]
+    fn initial_reset_sync() {
+        let cache = Arc::new(CacheServer::new(11));
+        cache.update([vrp("10.0.0.0/16", 20, 100), vrp("2001:db8::/32", 32, 200)]);
+        let (mut client, _h) = connect(cache.clone());
+        let outcome = client.sync().unwrap();
+        assert_eq!(
+            outcome,
+            SyncOutcome::Updated { serial: 1, announced: 2, withdrawn: 0 }
+        );
+        assert_eq!(client.state(), Some((11, 1)));
+        assert_eq!(client.vrps().len(), 2);
+        let validator = client.to_validator();
+        assert_eq!(
+            validator.validate(&"10.0.0.0/18".parse().unwrap(), Asn::new(100)),
+            ripki_bgp::rov::RpkiState::Valid
+        );
+    }
+
+    #[test]
+    fn incremental_sync_applies_delta() {
+        let cache = Arc::new(CacheServer::new(11));
+        cache.update([vrp("10.0.0.0/16", 16, 100)]);
+        let (mut client, _h) = connect(cache.clone());
+        client.sync().unwrap();
+
+        cache.update([vrp("11.0.0.0/16", 16, 200)]); // withdraw 10/16, announce 11/16
+        let outcome = client.sync().unwrap();
+        assert_eq!(
+            outcome,
+            SyncOutcome::Updated { serial: 2, announced: 1, withdrawn: 1 }
+        );
+        assert_eq!(client.vrps().len(), 1);
+        assert!(client.vrps().contains(&vrp("11.0.0.0/16", 16, 200)));
+    }
+
+    #[test]
+    fn noop_sync_when_current() {
+        let cache = Arc::new(CacheServer::new(11));
+        cache.update([vrp("10.0.0.0/16", 16, 100)]);
+        let (mut client, _h) = connect(cache);
+        client.sync().unwrap();
+        let outcome = client.sync().unwrap();
+        assert_eq!(
+            outcome,
+            SyncOutcome::Updated { serial: 1, announced: 0, withdrawn: 0 }
+        );
+    }
+
+    #[test]
+    fn stale_client_recovers_via_cache_reset() {
+        let cache = Arc::new(CacheServer::new(11).with_max_history(1));
+        cache.update([vrp("10.0.0.0/16", 16, 100)]);
+        let (mut client, _h) = connect(cache.clone());
+        client.sync().unwrap();
+        // Age the client's serial out of the history window.
+        for i in 0..4 {
+            cache.update([vrp(&format!("10.{i}.0.0/16"), 16, 100)]);
+        }
+        let outcome = client.sync().unwrap();
+        match outcome {
+            SyncOutcome::Updated { serial, announced, withdrawn } => {
+                assert_eq!(serial, 5);
+                assert_eq!(announced, 1, "full reload of the current set");
+                assert_eq!(withdrawn, 0);
+            }
+        }
+        assert_eq!(client.vrps().len(), 1);
+        assert!(client.vrps().contains(&vrp("10.3.0.0/16", 16, 100)));
+    }
+
+    #[test]
+    fn empty_cache_error_is_reported() {
+        let cache = Arc::new(CacheServer::new(11));
+        let (mut client, _h) = connect(cache);
+        match client.sync() {
+            Err(ClientError::CacheError { code, .. }) => {
+                assert_eq!(code, ErrorCode::NoDataAvailable)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn many_vrps_over_the_wire() {
+        let cache = Arc::new(CacheServer::new(3));
+        let vrps: Vec<VrpTriple> = (0..2000u32)
+            .map(|i| vrp(&format!("10.{}.{}.0/24", i / 256, i % 256), 24, i))
+            .collect();
+        cache.update(vrps.clone());
+        let (mut client, _h) = connect(cache);
+        let outcome = client.sync().unwrap();
+        assert_eq!(
+            outcome,
+            SyncOutcome::Updated { serial: 1, announced: 2000, withdrawn: 0 }
+        );
+        assert_eq!(client.vrps().len(), 2000);
+    }
+
+    #[test]
+    fn multiple_clients_share_one_cache() {
+        let cache = Arc::new(CacheServer::new(5));
+        cache.update([vrp("10.0.0.0/16", 16, 1)]);
+        let (mut c1, _h1) = connect(cache.clone());
+        let (mut c2, _h2) = connect(cache.clone());
+        c1.sync().unwrap();
+        c2.sync().unwrap();
+        assert_eq!(c1.vrps(), c2.vrps());
+    }
+}

@@ -1,0 +1,38 @@
+//! # ripki-rtr
+//!
+//! The RPKI-to-Router protocol, RFC 6810 (version 0): how validated ROA
+//! payloads travel from a relying-party cache to BGP routers. The paper's
+//! measurement step 4 "follows the necessary steps to perform origin
+//! validation at BGP routers" — in deployments, this protocol *is* that
+//! step's delivery path (cf. RTRlib, the authors' own implementation).
+//!
+//! Three layers, all synchronous std-networking (per the workspace's
+//! no-async policy — an RTR session is one long-lived TCP connection with
+//! strictly alternating request/response phases):
+//!
+//! * [`pdu`] — the nine PDU types with exact RFC 6810 wire encoding,
+//!   parsing, and error reporting;
+//! * [`cache`] — the cache side: versioned VRP state with serial-numbered
+//!   incremental deltas, answering Reset/Serial Queries;
+//! * [`client`] — the router side: sync state machine producing a VRP set
+//!   ready to feed [`ripki_bgp::RouteOriginValidator`].
+//!
+//! Works over any `Read + Write` transport: TCP sockets, Unix socket
+//! pairs (used by the tests), or in-memory streams.
+//!
+//! ## Omissions
+//!
+//! * No RFC 8210 (version 1) router-key PDUs; origin validation only.
+//! * Serial Notify push is supported on TCP transports
+//!   ([`cache::CacheServer::serve_tcp_with_notify`]); the generic
+//!   `Read + Write` server is strictly request/response.
+//! * No TCP-AO/SSH transport security (RFC 6810 §7 lists them as
+//!   options; the transport is pluggable).
+
+pub mod cache;
+pub mod client;
+pub mod pdu;
+
+pub use cache::CacheServer;
+pub use client::{Client, SyncOutcome};
+pub use pdu::{ErrorCode, Pdu, PduError, PROTOCOL_VERSION};

@@ -1,0 +1,77 @@
+//! Serial Notify over real TCP: the cache pushes when new data lands;
+//! the router absorbs the notify and pulls the delta.
+
+use ripki_bgp::rov::VrpTriple;
+use ripki_net::Asn;
+use ripki_rtr::{CacheServer, Client, SyncOutcome};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn vrp(prefix: &str, asn: u32) -> VrpTriple {
+    VrpTriple { prefix: prefix.parse().unwrap(), max_length: 24, asn: Asn::new(asn) }
+}
+
+#[test]
+fn notify_reaches_idle_router() {
+    let cache = Arc::new(CacheServer::new(5));
+    cache.update([vrp("10.0.0.0/24", 1)]);
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_cache = cache.clone();
+    std::thread::spawn(move || {
+        let (conn, _) = listener.accept().unwrap();
+        let _ = server_cache.serve_tcp_with_notify(conn, Duration::from_millis(20));
+    });
+
+    let mut router = Client::new(TcpStream::connect(addr).unwrap());
+    let outcome = router.sync().unwrap();
+    assert_eq!(outcome, SyncOutcome::Updated { serial: 1, announced: 1, withdrawn: 0 });
+    assert!(!router.needs_sync());
+
+    // New validation run while the router is idle.
+    cache.update([vrp("10.0.0.0/24", 1), vrp("10.0.1.0/24", 2)]);
+    // Give the notify poller time to fire, then sync: the client absorbs
+    // the pending Serial Notify before the Cache Response and applies the
+    // delta.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let outcome = loop {
+        match router.sync() {
+            Ok(o) => break o,
+            Err(e) => {
+                if std::time::Instant::now() > deadline {
+                    panic!("sync failed repeatedly: {e}");
+                }
+            }
+        }
+    };
+    assert_eq!(outcome, SyncOutcome::Updated { serial: 2, announced: 1, withdrawn: 0 });
+    assert_eq!(router.vrps().len(), 2);
+    // The notify was recorded at some point before or during the sync.
+    assert_eq!(router.state().unwrap().1, 2);
+    assert!(!router.needs_sync());
+}
+
+#[test]
+fn needs_sync_reflects_notified_serial() {
+    let cache = Arc::new(CacheServer::new(6));
+    cache.update([vrp("10.9.0.0/24", 9)]);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_cache = cache.clone();
+    std::thread::spawn(move || {
+        let (conn, _) = listener.accept().unwrap();
+        let _ = server_cache.serve_tcp_with_notify(conn, Duration::from_millis(10));
+    });
+    let mut router = Client::new(TcpStream::connect(addr).unwrap());
+    router.sync().unwrap();
+    assert!(!router.needs_sync());
+    cache.update([vrp("10.9.1.0/24", 9)]);
+    // Wait until the pushed notify sits in the socket, then do a no-op
+    // sync: the client reads the notify first and records it.
+    std::thread::sleep(Duration::from_millis(150));
+    router.sync().unwrap();
+    assert_eq!(router.notified_serial(), Some(2));
+    assert_eq!(router.state().unwrap().1, 2);
+}

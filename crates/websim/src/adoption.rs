@@ -1,0 +1,387 @@
+//! The RPKI adoption model: who creates ROAs, and how well.
+//!
+//! Calibrated to the paper's findings:
+//!
+//! * ISPs and webhosters "have started RPKI deployment" (>5%
+//!   penetration) — each operator adopts with a per-class probability,
+//!   and an adopter covers *all* of its announced prefixes;
+//! * "No other CDN has made any deployment" except Internap, which has
+//!   exactly **four** prefixes in the RPKI "tied to three origin ASes"
+//!   while operating 41 ASes — reproduced literally;
+//! * ≈0.09% of announcements validate Invalid due to misconfigured ROAs
+//!   (wrong origin AS), "spread evenly across all Alexa ranks" — each
+//!   adopter botches a ROA with a small per-prefix probability.
+
+use crate::allocation::{rir_prefixes, RIR_NAMES};
+use crate::operators::{Operator, OperatorClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ripki_net::{Asn, IpPrefix, PrefixSet};
+use ripki_rpki::repo::{Repository, RepositoryBuilder};
+use ripki_rpki::resources::Resources;
+use ripki_rpki::roa::RoaPrefix;
+use ripki_rpki::time::SimTime;
+use std::collections::BTreeSet;
+
+/// One announced prefix holding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixHolding {
+    /// Index of the owning operator in the scenario's operator list.
+    pub operator: usize,
+    /// The announcing AS.
+    pub asn: Asn,
+    /// The allocated/announced prefix.
+    pub prefix: IpPrefix,
+    /// Length of the deepest announced more-specific (equals
+    /// `prefix.len()` when only the aggregate is announced). Adopters set
+    /// their ROA `maxLength` here, so their own more-specifics stay
+    /// valid.
+    pub deepest_announced: u8,
+}
+
+/// Per-class adoption rates and the misconfiguration rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdoptionConfig {
+    /// Probability that an ISP operator creates ROAs.
+    pub isp: f64,
+    /// Probability that a webhoster creates ROAs.
+    pub webhoster: f64,
+    /// Probability that an enterprise creates ROAs.
+    pub enterprise: f64,
+    /// Per-prefix probability that an adopter's ROA carries a wrong
+    /// origin ASN (making the real announcement Invalid).
+    pub misconfig: f64,
+    /// Lower bound on misconfigured ROAs when there is at least one
+    /// adopter. Every real-world RPKI snapshot contains *some* invalids
+    /// (the paper measures ≈0.09%); at small simulation scales the
+    /// probabilistic draw alone would often produce none.
+    pub min_misconfigs: usize,
+}
+
+impl Default for AdoptionConfig {
+    fn default() -> AdoptionConfig {
+        AdoptionConfig {
+            isp: 0.068,
+            webhoster: 0.055,
+            enterprise: 0.022,
+            misconfig: 0.016,
+            min_misconfigs: 1,
+        }
+    }
+}
+
+/// What the adoption pass produced (for reports and tests).
+#[derive(Debug, Clone, Default)]
+pub struct AdoptionSummary {
+    /// Operators that created ROAs (by index).
+    pub adopters: BTreeSet<usize>,
+    /// Total ROAs published.
+    pub roa_count: usize,
+    /// Prefixes whose ROA deliberately carries a wrong origin.
+    pub misconfigured: Vec<IpPrefix>,
+    /// The Internap special-case prefixes (empty if Internap absent).
+    pub internap_prefixes: Vec<IpPrefix>,
+}
+
+/// Build the five-TA repository with the adoption model applied.
+pub fn build_repository(
+    operators: &[Operator],
+    holdings: &[PrefixHolding],
+    cfg: &AdoptionConfig,
+    seed: u64,
+    now: SimTime,
+) -> (Repository, AdoptionSummary) {
+    // Scenarios issue their repository some days before the measurement
+    // instant; keep CRLs/manifests current across that gap (real CAs
+    // re-sign on a schedule — we model the current snapshot).
+    let mut builder = RepositoryBuilder::new(seed, now)
+        .crl_validity(ripki_rpki::time::Duration::days(90));
+    let mut summary = AdoptionSummary::default();
+
+    let ta_ids: Vec<_> = (0..5)
+        .map(|rir| {
+            builder.add_trust_anchor(
+                RIR_NAMES[rir],
+                Resources::from_prefixes(rir_prefixes(rir)),
+            )
+        })
+        .collect();
+
+    // Group holdings by operator.
+    let mut by_op: Vec<Vec<&PrefixHolding>> = vec![Vec::new(); operators.len()];
+    for h in holdings {
+        by_op[h.operator].push(h);
+    }
+
+    // Phase 1: decide adopters and misconfiguration flags.
+    let mut plan: Vec<(usize, bool /*internap*/, Vec<(usize, bool /*misconfig*/)>)> = Vec::new();
+    let mut misconfig_total = 0usize;
+    for (idx, op) in operators.iter().enumerate() {
+        let op_holdings = &by_op[idx];
+        if op_holdings.is_empty() {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ 0xad09_7103 ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let adopts = match op.class {
+            OperatorClass::Isp => rng.gen_bool(cfg.isp),
+            OperatorClass::Webhoster => rng.gen_bool(cfg.webhoster),
+            OperatorClass::Enterprise => rng.gen_bool(cfg.enterprise),
+            // "these CDNs do not actively participate in the creation of
+            // RPKI attestation objects" — except Internap, handled below.
+            OperatorClass::Cdn => false,
+        };
+        let internap = op.class == OperatorClass::Cdn && op.name == "Internap";
+        if !adopts && !internap {
+            continue;
+        }
+        let flags: Vec<(usize, bool)> = op_holdings
+            .iter()
+            .enumerate()
+            .map(|(k, _)| {
+                let bad = !internap && rng.gen_bool(cfg.misconfig);
+                if bad {
+                    misconfig_total += 1;
+                }
+                (k, bad)
+            })
+            .collect();
+        plan.push((idx, internap, flags));
+    }
+
+    // Phase 2: enforce the misconfiguration floor over regular adopters.
+    if misconfig_total < cfg.min_misconfigs {
+        let mut needed = cfg.min_misconfigs - misconfig_total;
+        'outer: for (_, internap, flags) in plan.iter_mut() {
+            if *internap {
+                continue;
+            }
+            for (_, bad) in flags.iter_mut() {
+                if needed == 0 {
+                    break 'outer;
+                }
+                if !*bad {
+                    *bad = true;
+                    needed -= 1;
+                }
+            }
+        }
+    }
+
+    // Phase 3: issue certificates and ROAs.
+    for (idx, internap, flags) in plan {
+        let op = &operators[idx];
+        let op_holdings = &by_op[idx];
+        let resources = Resources {
+            prefixes: PrefixSet::from_prefixes(op_holdings.iter().map(|h| h.prefix)),
+            ..Default::default()
+        };
+        let ca = builder
+            .add_ca(ta_ids[op.rir], &format!("{}-{}", op.name, idx), resources)
+            .expect("operator resources are within the RIR's holdings");
+        summary.adopters.insert(idx);
+
+        if internap {
+            // Exactly four prefixes, tied to three origin ASes.
+            let chosen = pick_internap_prefixes(op_holdings);
+            for h in &chosen {
+                builder
+                    .add_roa(
+                        ca,
+                        h.asn,
+                        vec![RoaPrefix::up_to(h.prefix, h.deepest_announced)],
+                    )
+                    .expect("Internap ROA within CA resources");
+                summary.roa_count += 1;
+                summary.internap_prefixes.push(h.prefix);
+            }
+            continue;
+        }
+
+        for (k, bad) in flags {
+            let h = op_holdings[k];
+            let origin = if bad {
+                // Classic misconfiguration: the ROA names the provider's
+                // management ASN (here: a never-announced ASN) instead of
+                // the announcing AS.
+                summary.misconfigured.push(h.prefix);
+                Asn::new(h.asn.value().wrapping_add(3_000_000))
+            } else {
+                h.asn
+            };
+            builder
+                .add_roa(
+                    ca,
+                    origin,
+                    vec![RoaPrefix::up_to(h.prefix, h.deepest_announced)],
+                )
+                .expect("holding within CA resources");
+            summary.roa_count += 1;
+        }
+    }
+
+    (builder.finalize(), summary)
+}
+
+/// Pick four of Internap's holdings spanning exactly three ASes (or as
+/// close as its allocation allows).
+fn pick_internap_prefixes<'h>(holdings: &[&'h PrefixHolding]) -> Vec<&'h PrefixHolding> {
+    let mut by_asn: Vec<(Asn, Vec<&PrefixHolding>)> = Vec::new();
+    for h in holdings {
+        match by_asn.iter_mut().find(|(a, _)| *a == h.asn) {
+            Some((_, v)) => v.push(h),
+            None => by_asn.push((h.asn, vec![h])),
+        }
+    }
+    let mut chosen: Vec<&PrefixHolding> = Vec::new();
+    // Two from the first AS, one each from the next two.
+    for (i, (_, hs)) in by_asn.iter().enumerate().take(3) {
+        let want = if i == 0 { 2 } else { 1 };
+        chosen.extend(hs.iter().take(want));
+    }
+    // Top up to four if the AS spread was too thin.
+    for h in holdings {
+        if chosen.len() >= 4 {
+            break;
+        }
+        if !chosen.iter().any(|c| std::ptr::eq(*c, *h)) {
+            chosen.push(h);
+        }
+    }
+    chosen.truncate(4);
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::OperatorId;
+    use ripki_rpki::validate::validate;
+    use ripki_rpki::time::Duration;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    fn mk_op(idx: u32, name: &str, class: OperatorClass, asns: &[u32], rir: usize) -> Operator {
+        Operator {
+            id: OperatorId(idx),
+            name: name.into(),
+            class,
+            asns: asns.iter().map(|a| Asn::new(*a)).collect(),
+            rir,
+        }
+    }
+
+    fn holding(op: usize, asn: u32, prefix: &str) -> PrefixHolding {
+        let prefix = p(prefix);
+        PrefixHolding { operator: op, asn: Asn::new(asn), prefix, deepest_announced: prefix.len() }
+    }
+
+    #[test]
+    fn full_adoption_produces_valid_repository() {
+        let ops = vec![
+            mk_op(0, "ISP-0", OperatorClass::Isp, &[100], 4),
+            mk_op(1, "HOST-1", OperatorClass::Webhoster, &[200], 2),
+        ];
+        let holdings = vec![
+            holding(0, 100, "77.0.0.0/16"),
+            holding(0, 100, "77.1.0.0/16"),
+            holding(1, 200, "8.0.0.0/16"),
+        ];
+        let cfg = AdoptionConfig { isp: 1.0, webhoster: 1.0, enterprise: 1.0, misconfig: 0.0, min_misconfigs: 0 };
+        let (repo, summary) =
+            build_repository(&ops, &holdings, &cfg, 1, SimTime::EPOCH);
+        assert_eq!(summary.adopters.len(), 2);
+        assert_eq!(summary.roa_count, 3);
+        assert!(summary.misconfigured.is_empty());
+        let report = validate(&repo, SimTime::EPOCH + Duration::days(1));
+        assert_eq!(report.rejected_count(), 0, "{:?}", report.log);
+        assert_eq!(report.vrps.len(), 3);
+        assert!(report
+            .vrps
+            .iter()
+            .any(|v| v.prefix == p("8.0.0.0/16") && v.asn == Asn::new(200)));
+    }
+
+    #[test]
+    fn zero_adoption_produces_empty_rpki() {
+        let ops = vec![mk_op(0, "ISP-0", OperatorClass::Isp, &[100], 4)];
+        let holdings = vec![holding(0, 100, "77.0.0.0/16")];
+        let cfg = AdoptionConfig { isp: 0.0, webhoster: 0.0, enterprise: 0.0, misconfig: 0.0, min_misconfigs: 0 };
+        let (repo, summary) = build_repository(&ops, &holdings, &cfg, 1, SimTime::EPOCH);
+        assert!(summary.adopters.is_empty());
+        assert_eq!(repo.roa_count(), 0);
+        // TAs still exist.
+        assert_eq!(repo.trust_anchors.len(), 5);
+    }
+
+    #[test]
+    fn cdns_never_adopt_but_internap_places_four() {
+        let ops = vec![
+            mk_op(0, "Cloudflare", OperatorClass::Cdn, &[500], 2),
+            mk_op(1, "Internap", OperatorClass::Cdn, &[600, 601, 602, 603], 2),
+        ];
+        let mut holdings = vec![holding(0, 500, "8.0.0.0/16")];
+        // Internap: six holdings across four ASes.
+        holdings.push(holding(1, 600, "9.0.0.0/16"));
+        holdings.push(holding(1, 600, "9.1.0.0/16"));
+        holdings.push(holding(1, 601, "9.2.0.0/16"));
+        holdings.push(holding(1, 602, "9.3.0.0/16"));
+        holdings.push(holding(1, 603, "9.4.0.0/16"));
+        let cfg = AdoptionConfig { isp: 1.0, webhoster: 1.0, enterprise: 1.0, misconfig: 0.0, min_misconfigs: 0 };
+        let (repo, summary) = build_repository(&ops, &holdings, &cfg, 1, SimTime::EPOCH);
+        assert_eq!(summary.internap_prefixes.len(), 4);
+        assert_eq!(repo.roa_count(), 4);
+        // Tied to exactly three origin ASes.
+        let origins: BTreeSet<Asn> = repo.all_roas().map(|r| r.asn).collect();
+        assert_eq!(origins.len(), 3);
+        // Cloudflare contributed nothing.
+        assert!(!summary.adopters.contains(&0));
+    }
+
+    #[test]
+    fn misconfigured_roas_use_wrong_origin() {
+        let ops = vec![mk_op(0, "ISP-0", OperatorClass::Isp, &[100], 4)];
+        let holdings: Vec<PrefixHolding> =
+            (0..40).map(|i| holding(0, 100, &format!("77.{i}.0.0/16"))).collect();
+        let cfg = AdoptionConfig { isp: 1.0, webhoster: 0.0, enterprise: 0.0, misconfig: 0.5, min_misconfigs: 0 };
+        let (repo, summary) = build_repository(&ops, &holdings, &cfg, 3, SimTime::EPOCH);
+        assert!(!summary.misconfigured.is_empty());
+        assert!(summary.misconfigured.len() < 40);
+        let report = validate(&repo, SimTime::EPOCH + Duration::days(1));
+        // Misconfigured ROAs are still *cryptographically valid* — the
+        // paper's invalids come from wrong content, not broken crypto.
+        assert_eq!(report.rejected_count(), 0);
+        for pfx in &summary.misconfigured {
+            let vrp = report.vrps.iter().find(|v| v.prefix == *pfx).unwrap();
+            assert_ne!(vrp.asn, Asn::new(100));
+        }
+    }
+
+    #[test]
+    fn maxlength_covers_deepest_announcement() {
+        let ops = vec![mk_op(0, "ISP-0", OperatorClass::Isp, &[100], 4)];
+        let mut h = holding(0, 100, "77.0.0.0/16");
+        h.deepest_announced = 20;
+        let cfg = AdoptionConfig { isp: 1.0, webhoster: 0.0, enterprise: 0.0, misconfig: 0.0, min_misconfigs: 0 };
+        let (repo, _) = build_repository(&ops, &[h], &cfg, 1, SimTime::EPOCH);
+        let report = validate(&repo, SimTime::EPOCH + Duration::days(1));
+        assert_eq!(report.vrps[0].max_length, 20);
+    }
+
+    #[test]
+    fn adoption_rates_roughly_respected() {
+        let ops: Vec<Operator> = (0..400)
+            .map(|i| mk_op(i, &format!("ISP-{i}"), OperatorClass::Isp, &[1000 + i], 4))
+            .collect();
+        let holdings: Vec<PrefixHolding> = (0..400)
+            .map(|i| holding(i as usize, 1000 + i, &format!("77.{}.0.0/16", i % 256)))
+            .collect();
+        let cfg = AdoptionConfig { isp: 0.10, webhoster: 0.0, enterprise: 0.0, misconfig: 0.0, min_misconfigs: 0 };
+        let (_, summary) = build_repository(&ops, &holdings, &cfg, 9, SimTime::EPOCH);
+        let rate = summary.adopters.len() as f64 / 400.0;
+        assert!((rate - 0.10).abs() < 0.05, "rate {rate}");
+    }
+}

@@ -1,0 +1,217 @@
+//! RIR-style address allocation.
+//!
+//! Each of the five RIRs owns a set of IPv4 `/8`s and one IPv6 `/12`;
+//! the [`Allocator`] hands out aligned sub-blocks to ASes, bump-pointer
+//! style, never overlapping. Trust anchors in the RPKI repository are
+//! given exactly their RIR's blocks as certificate resources, so every
+//! allocation is certifiable under the correct anchor.
+//!
+//! The `/8` lists are loosely modelled on real RIR holdings but need only
+//! two properties: disjointness and absence from the IANA special-purpose
+//! registry.
+
+use ripki_net::{IpPrefix, Ipv4Prefix, Ipv6Prefix};
+use std::net::Ipv4Addr;
+
+/// RIR names, aligned with `ripki_rpki::ta::RIR_NAMES`.
+pub const RIR_NAMES: [&str; 5] = ["AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE"];
+
+/// IPv4 `/8` first-octet holdings per RIR.
+pub const RIR_V4_OCTETS: [&[u8]; 5] = [
+    &[41, 102, 105],                          // AFRINIC
+    &[1, 14, 27, 36, 43, 49, 58, 59, 60, 61], // APNIC
+    &[3, 4, 6, 8, 9, 12, 13, 15, 16],         // ARIN
+    &[177, 179, 181, 186, 187, 189, 190],     // LACNIC
+    &[31, 37, 46, 62, 77, 78, 79, 80, 81, 82, 83, 84, 85, 86, 87], // RIPE
+];
+
+/// IPv6 `/12` base per RIR (textual, parsed on demand).
+pub const RIR_V6_BLOCKS: [&str; 5] = [
+    "2c00::/12", // AFRINIC
+    "2400::/12", // APNIC
+    "2600::/12", // ARIN
+    "2800::/12", // LACNIC
+    "2a00::/12", // RIPE
+];
+
+/// All blocks (v4 + v6) a RIR holds, as prefixes — the trust anchor's
+/// certificate resources.
+pub fn rir_prefixes(rir: usize) -> Vec<IpPrefix> {
+    let mut out: Vec<IpPrefix> = RIR_V4_OCTETS[rir]
+        .iter()
+        .map(|o| {
+            IpPrefix::V4(Ipv4Prefix::new(Ipv4Addr::new(*o, 0, 0, 0), 8).expect("/8 valid"))
+        })
+        .collect();
+    out.push(RIR_V6_BLOCKS[rir].parse().expect("v6 block literal"));
+    out
+}
+
+/// Bump-pointer allocator over the RIR holdings.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    /// Next free IPv4 address per RIR (index into its /8 list implied by
+    /// the address itself).
+    v4_cursor: [Option<u32>; 5],
+    /// Index of the /8 currently being consumed per RIR.
+    v4_block: [usize; 5],
+    /// Next free /32 index within the RIR's /12 (IPv6).
+    v6_next: [u32; 5],
+}
+
+impl Default for Allocator {
+    fn default() -> Allocator {
+        Allocator::new()
+    }
+}
+
+impl Allocator {
+    /// Fresh allocator with all space free.
+    pub fn new() -> Allocator {
+        let mut v4_cursor = [None; 5];
+        for (rir, slot) in v4_cursor.iter_mut().enumerate() {
+            let first = RIR_V4_OCTETS[rir][0];
+            *slot = Some(u32::from(Ipv4Addr::new(first, 0, 0, 0)));
+        }
+        Allocator { v4_cursor, v4_block: [0; 5], v6_next: [0; 5] }
+    }
+
+    /// Allocate an aligned IPv4 block of length `len` (8–24) from `rir`.
+    /// Returns `None` when the RIR's space is exhausted.
+    pub fn allocate_v4(&mut self, rir: usize, len: u8) -> Option<Ipv4Prefix> {
+        assert!((8..=24).contains(&len), "allocation lengths 8..=24 supported");
+        let size = 1u32 << (32 - len);
+        loop {
+            let cursor = self.v4_cursor[rir]?;
+            // Align up.
+            let aligned = cursor.checked_add(size - 1)? & !(size - 1);
+            let block_octet = RIR_V4_OCTETS[rir][self.v4_block[rir]];
+            let block_base = u32::from(Ipv4Addr::new(block_octet, 0, 0, 0));
+            let block_end = block_base + (1u32 << 24); // exclusive
+            if aligned + size <= block_end && aligned >= block_base {
+                self.v4_cursor[rir] = Some(aligned + size);
+                return Some(
+                    Ipv4Prefix::new(Ipv4Addr::from(aligned), len).expect("aligned block"),
+                );
+            }
+            // Move to the next /8 of this RIR.
+            self.v4_block[rir] += 1;
+            match RIR_V4_OCTETS[rir].get(self.v4_block[rir]) {
+                Some(octet) => {
+                    self.v4_cursor[rir] =
+                        Some(u32::from(Ipv4Addr::new(*octet, 0, 0, 0)));
+                }
+                None => {
+                    self.v4_cursor[rir] = None;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Allocate the next `/32` IPv6 block from `rir`'s `/12`.
+    pub fn allocate_v6(&mut self, rir: usize) -> Option<Ipv6Prefix> {
+        let base: Ipv6Prefix = RIR_V6_BLOCKS[rir].parse().expect("v6 block literal");
+        let idx = self.v6_next[rir];
+        // A /12 holds 2^20 /32s.
+        if idx >= 1 << 20 {
+            return None;
+        }
+        self.v6_next[rir] = idx + 1;
+        let bits = base.raw_bits() | ((idx as u128) << 96);
+        Some(Ipv6Prefix::new(bits.into(), 32).expect("within the /12"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripki_net::special::SpecialRegistry;
+
+    #[test]
+    fn rir_blocks_are_disjoint_and_global() {
+        let mut seen = std::collections::HashSet::new();
+        for octets in RIR_V4_OCTETS {
+            for o in octets {
+                assert!(seen.insert(*o), "octet {o} assigned twice");
+                let probe: std::net::IpAddr = Ipv4Addr::new(*o, 1, 2, 3).into();
+                assert!(
+                    !SpecialRegistry::global().is_invalid_answer(probe),
+                    "{probe} is special-purpose"
+                );
+            }
+        }
+        let mut v6 = std::collections::HashSet::new();
+        for b in RIR_V6_BLOCKS {
+            assert!(v6.insert(b));
+            let p: IpPrefix = b.parse().unwrap();
+            assert_eq!(p.len(), 12);
+        }
+    }
+
+    #[test]
+    fn rir_prefixes_cover_allocations() {
+        for rir in 0..5 {
+            let holdings = rir_prefixes(rir);
+            let mut alloc = Allocator::new();
+            for _ in 0..50 {
+                let p = alloc.allocate_v4(rir, 16).unwrap();
+                assert!(
+                    holdings.iter().any(|h| h.covers(&IpPrefix::V4(p))),
+                    "{p} outside RIR {rir}"
+                );
+            }
+            let v6 = alloc.allocate_v6(rir).unwrap();
+            assert!(holdings.iter().any(|h| h.covers(&IpPrefix::V6(v6))));
+        }
+    }
+
+    #[test]
+    fn allocations_never_overlap() {
+        let mut alloc = Allocator::new();
+        let mut got: Vec<Ipv4Prefix> = Vec::new();
+        for i in 0..600 {
+            let len = 16 + (i % 5) as u8; // 16..20 mixed sizes
+            let p = alloc.allocate_v4(4, len).unwrap();
+            for q in &got {
+                assert!(!p.covers(q) && !q.covers(&p), "{p} overlaps {q}");
+            }
+            got.push(p);
+        }
+    }
+
+    #[test]
+    fn v4_exhaustion_moves_across_slash8s_then_ends() {
+        let mut alloc = Allocator::new();
+        // AFRINIC has 3 /8s → 3 * 256 /16s.
+        let mut count = 0;
+        while alloc.allocate_v4(0, 16).is_some() {
+            count += 1;
+            assert!(count <= 3 * 256, "over-allocated");
+        }
+        assert_eq!(count, 3 * 256);
+        assert!(alloc.allocate_v4(0, 16).is_none());
+        // Other RIRs unaffected.
+        assert!(alloc.allocate_v4(1, 16).is_some());
+    }
+
+    #[test]
+    fn v6_allocations_distinct_within_block() {
+        let mut alloc = Allocator::new();
+        let a = alloc.allocate_v6(2).unwrap();
+        let b = alloc.allocate_v6(2).unwrap();
+        assert_ne!(a, b);
+        assert!(!a.covers(&b) && !b.covers(&a));
+        let base: Ipv6Prefix = RIR_V6_BLOCKS[2].parse().unwrap();
+        assert!(base.covers(&a));
+    }
+
+    #[test]
+    fn alignment_is_respected() {
+        let mut alloc = Allocator::new();
+        // Allocate /18 then /16: the /16 must be /16-aligned.
+        let _small = alloc.allocate_v4(4, 18).unwrap();
+        let big = alloc.allocate_v4(4, 16).unwrap();
+        assert_eq!(big.raw_bits() & 0xffff, 0, "{big} misaligned");
+    }
+}

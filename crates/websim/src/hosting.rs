@@ -1,0 +1,146 @@
+//! Hosting assignment models.
+//!
+//! The rank-dependent knobs that give the paper its figures:
+//!
+//! * [`cdn_probability`] — popular sites are more likely CDN-served
+//!   (Fig 3's decaying curve);
+//! * [`www_equal_probability`] — popular sites more often serve `www` and
+//!   bare forms from *different* infrastructure (Fig 1: ≈76% equality in
+//!   the top 100k, >94% later);
+//! * the hoster-class mix for non-CDN sites (webhosters carry most of the
+//!   long tail).
+
+use crate::operators::OperatorClass;
+use crate::operators::OperatorId;
+use serde::{Deserialize, Serialize};
+
+/// Probability that the domain at `rank` (0-based, of `total`) is served
+/// by a CDN: `floor + (top - floor) · (1 - rank/total)³`.
+pub fn cdn_probability(rank: usize, total: usize, top: f64, floor: f64) -> f64 {
+    let x = 1.0 - (rank as f64) / (total.max(1) as f64);
+    floor + (top - floor) * x.powi(3)
+}
+
+/// Probability that `www.name` and `name` resolve into equal prefix sets:
+/// `floor_eq - (floor_eq - top_eq) · (1 - rank/total)²`.
+pub fn www_equal_probability(rank: usize, total: usize, top_eq: f64, floor_eq: f64) -> f64 {
+    let x = 1.0 - (rank as f64) / (total.max(1) as f64);
+    floor_eq - (floor_eq - top_eq) * x.powi(2)
+}
+
+/// How a non-CDN domain is hosted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HosterMix {
+    /// Share hosted by dedicated webhosters.
+    pub webhoster: f64,
+    /// Share hosted directly in ISP space.
+    pub isp: f64,
+    /// Share self-hosted by enterprises.
+    pub enterprise: f64,
+}
+
+impl Default for HosterMix {
+    fn default() -> HosterMix {
+        HosterMix { webhoster: 0.55, isp: 0.35, enterprise: 0.10 }
+    }
+}
+
+impl HosterMix {
+    /// Pick a class from a uniform draw in `[0, 1)`.
+    pub fn pick(&self, draw: f64) -> OperatorClass {
+        if draw < self.webhoster {
+            OperatorClass::Webhoster
+        } else if draw < self.webhoster + self.isp {
+            OperatorClass::Isp
+        } else {
+            OperatorClass::Enterprise
+        }
+    }
+}
+
+/// Ground truth for one domain, recorded by the generator and *never*
+/// read by the measurement pipeline — only by classifier-accuracy
+/// ablations and tests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainTruth {
+    /// CDN operator if CDN-served.
+    pub cdn: Option<OperatorId>,
+    /// If CDN-served, whether the deployment uses a CNAME chain (the
+    /// detectable kind); direct-A CDN deployments escape the heuristic.
+    pub via_cname: bool,
+    /// Primary hosting operator (the CDN for CDN-served domains).
+    pub hoster: OperatorId,
+    /// Whether `www`/bare forms were given equal prefix sets.
+    pub www_equal: bool,
+    /// Whether the domain's zone is DNSSEC-signed (extension: the
+    /// paper's future-work comparison of RPKI vs DNSSEC adoption).
+    pub dnssec_signed: bool,
+    /// Whether the domain shards content onto a `static.` subdomain
+    /// (paper §5.3: "the tendency to shard content across multiple
+    /// subdomains"; sharded assets typically ride a CDN).
+    pub sharded: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdn_probability_decays_with_rank() {
+        let total = 1_000_000;
+        let top = cdn_probability(0, total, 0.30, 0.05);
+        let mid = cdn_probability(total / 2, total, 0.30, 0.05);
+        let tail = cdn_probability(total - 1, total, 0.30, 0.05);
+        assert!((top - 0.30).abs() < 1e-9);
+        assert!(top > mid && mid > tail);
+        assert!((tail - 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn www_equality_rises_with_rank() {
+        let total = 1_000_000;
+        let top = www_equal_probability(0, total, 0.76, 0.95);
+        let tail = www_equal_probability(total - 1, total, 0.76, 0.95);
+        assert!((top - 0.76).abs() < 1e-9);
+        assert!(tail > 0.94);
+        // Monotone non-decreasing along rank.
+        let mut prev = top;
+        for r in (0..total).step_by(100_000) {
+            let q = www_equal_probability(r, total, 0.76, 0.95);
+            assert!(q + 1e-12 >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        for r in [0usize, 1, 500, 99_999] {
+            let p = cdn_probability(r, 100_000, 0.30, 0.05);
+            assert!((0.0..=1.0).contains(&p));
+            let q = www_equal_probability(r, 100_000, 0.76, 0.95);
+            assert!((0.0..=1.0).contains(&q));
+        }
+    }
+
+    #[test]
+    fn single_domain_total_does_not_divide_by_zero() {
+        let p = cdn_probability(0, 1, 0.3, 0.05);
+        assert!((p - 0.3).abs() < 1e-9);
+        // total = 0 guarded too.
+        let p = cdn_probability(0, 0, 0.3, 0.05);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn hoster_mix_partitions() {
+        let mix = HosterMix::default();
+        assert_eq!(mix.pick(0.0), OperatorClass::Webhoster);
+        assert_eq!(mix.pick(0.54), OperatorClass::Webhoster);
+        assert_eq!(mix.pick(0.56), OperatorClass::Isp);
+        assert_eq!(mix.pick(0.89), OperatorClass::Isp);
+        assert_eq!(mix.pick(0.91), OperatorClass::Enterprise);
+        assert_eq!(mix.pick(0.999), OperatorClass::Enterprise);
+        let sum = mix.webhoster + mix.isp + mix.enterprise;
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ripki-websim
+//!
+//! A synthetic-but-calibrated web ecosystem: the stand-in for the live
+//! Internet that the original RiPKI study measured. Given a seed and a
+//! scale, [`scenario::Scenario::build`] produces:
+//!
+//! * an Alexa-like **domain ranking** ([`ranking`]);
+//! * a population of **operators** — ISPs, webhosters, enterprises, and
+//!   the paper's sixteen named CDNs with their 199 ASes ([`operators`]);
+//! * an **AS registry** with RIR-style assignment names, supporting the
+//!   keyword spotting of §4.2 ([`registry`]);
+//! * RIR **address allocations** per AS ([`allocation`]);
+//! * a **hosting assignment** for every domain — which operator serves
+//!   it, on which addresses, with rank-dependent CDN usage and
+//!   `www`-vs-bare divergence ([`hosting`], [`cdn`]);
+//! * a global **BGP table** announcing the used prefixes (with aggregates
+//!   + more-specifics, occasional MOAS and `AS_SET` entries, and a tiny
+//!   unannounced remainder reproducing the paper's "0.01% unreachable");
+//! * an **RPKI repository** built by the five RIR trust anchors, with a
+//!   per-class adoption model and a misconfiguration rate calibrated to
+//!   the paper's ≈0.09% invalid announcements ([`adoption`]);
+//! * an AS-level **topology** for hijack experiments;
+//! * and the **ground truth** (who is really CDN-served), which the
+//!   measurement pipeline never reads — it is used only to score the
+//!   paper's classification heuristics.
+//!
+//! ## Calibration
+//!
+//! Model parameters default to values chosen so the measured outputs
+//! reproduce the paper's findings in shape (see `EXPERIMENTS.md` at the
+//! workspace root): rank-dependent CDN share ≈30%→≈5% (Fig 3), RPKI
+//! valid share rising ≈4%→≈5.5% with rank (Fig 2), CDN-hosted RPKI share
+//! flat ≈1% (Fig 4), `www` prefix-equality ≈76%→≈95% (Fig 1).
+//! Every knob lives in [`scenario::ScenarioConfig`].
+
+pub mod adoption;
+pub mod allocation;
+pub mod cdn;
+pub mod hosting;
+pub mod operators;
+pub mod ranking;
+pub mod registry;
+pub mod scenario;
+
+pub use operators::{Operator, OperatorClass, OperatorId};
+pub use registry::{AsInfo, AsRegistry};
+pub use scenario::{Scenario, ScenarioConfig};

@@ -1,0 +1,145 @@
+//! Operator population: ISPs, webhosters, enterprises, and the sixteen
+//! CDNs the paper audits.
+//!
+//! §4.2: "we inspect the infrastructures of Akamai, Amazon, Cdnetworks,
+//! Chinacache, Chinanet, Cloudflare, Cotendo, Edgecast, Highwinds,
+//! Instart, Internap, Limelight, Mirrorimage, Netdna, Simplecdn, and
+//! Yottaa. […] We discover 199 ASes operated by these CDNs. […] Internap
+//! operates at least 41 ASes." The AS-count split below preserves those
+//! two totals.
+
+use ripki_net::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The business class of an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum OperatorClass {
+    /// Access/transit network also selling hosting/colocation.
+    Isp,
+    /// Dedicated web hosting company.
+    Webhoster,
+    /// Content delivery network.
+    Cdn,
+    /// Enterprise hosting its own site.
+    Enterprise,
+}
+
+impl fmt::Display for OperatorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperatorClass::Isp => write!(f, "ISP"),
+            OperatorClass::Webhoster => write!(f, "webhoster"),
+            OperatorClass::Cdn => write!(f, "CDN"),
+            OperatorClass::Enterprise => write!(f, "enterprise"),
+        }
+    }
+}
+
+/// Stable operator identifier (index into the scenario's operator list).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct OperatorId(pub u32);
+
+/// One operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operator {
+    /// Stable id.
+    pub id: OperatorId,
+    /// Display name, e.g. `"Akamai"` or `"ISP-204"`.
+    pub name: String,
+    /// Business class.
+    pub class: OperatorClass,
+    /// The ASes the operator runs.
+    pub asns: Vec<Asn>,
+    /// Which RIR region the operator registers with (0–4, indexing
+    /// [`crate::allocation::RIR_NAMES`]).
+    pub rir: usize,
+}
+
+/// The sixteen CDNs of §4.2: `(name, AS count, traffic weight)`.
+///
+/// AS counts sum to 199 with Internap fixed at 41, matching the paper's
+/// keyword-spotting result. The *traffic weight* governs how many
+/// customer domains each CDN serves and is deliberately decoupled from
+/// the AS footprint: Akamai dominated web delivery in 2014/15, while
+/// Internap — despite its many ASes — served few of the top-1M sites.
+pub const CDN_SPECS: [(&str, usize, usize); 16] = [
+    ("Akamai", 32, 38),
+    ("Amazon", 20, 16),
+    ("Cdnetworks", 8, 3),
+    ("Chinacache", 7, 2),
+    ("Chinanet", 18, 5),
+    ("Cloudflare", 10, 14),
+    ("Cotendo", 4, 1),
+    ("Edgecast", 9, 8),
+    ("Highwinds", 12, 3),
+    ("Instart", 3, 1),
+    ("Internap", 41, 1),
+    ("Limelight", 14, 6),
+    ("Mirrorimage", 5, 1),
+    ("Netdna", 6, 2),
+    ("Simplecdn", 4, 1),
+    ("Yottaa", 6, 1),
+];
+
+/// Total CDN AS count claimed by [`CDN_SPECS`].
+pub fn cdn_as_total() -> usize {
+    CDN_SPECS.iter().map(|(_, n, _)| n).sum()
+}
+
+impl Operator {
+    /// Whether this operator is one of the audited CDNs.
+    pub fn is_cdn(&self) -> bool {
+        self.class == OperatorClass::Cdn
+    }
+
+    /// The operator's first (primary) AS.
+    pub fn primary_asn(&self) -> Asn {
+        self.asns[0]
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {} ASes)", self.name, self.class, self.asns.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdn_specs_match_paper_totals() {
+        assert_eq!(CDN_SPECS.len(), 16);
+        assert_eq!(cdn_as_total(), 199);
+        let internap = CDN_SPECS.iter().find(|(n, _, _)| *n == "Internap").unwrap();
+        assert_eq!(internap.1, 41);
+        // Traffic weights: Akamai dominates, Internap is marginal.
+        let akamai = CDN_SPECS.iter().find(|(n, _, _)| *n == "Akamai").unwrap();
+        assert!(akamai.2 > internap.2 * 20);
+    }
+
+    #[test]
+    fn operator_accessors() {
+        let op = Operator {
+            id: OperatorId(3),
+            name: "ISP-3".into(),
+            class: OperatorClass::Isp,
+            asns: vec![Asn::new(100), Asn::new(101)],
+            rir: 4,
+        };
+        assert!(!op.is_cdn());
+        assert_eq!(op.primary_asn(), Asn::new(100));
+        assert!(op.to_string().contains("ISP-3"));
+        assert!(op.to_string().contains("2 ASes"));
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(OperatorClass::Cdn.to_string(), "CDN");
+        assert_eq!(OperatorClass::Webhoster.to_string(), "webhoster");
+    }
+}

@@ -1,0 +1,152 @@
+//! The AS assignment registry.
+//!
+//! §4.2: "To derive the AS numbers of these CDNs, we apply keyword
+//! spotting on common AS assignment lists." RIRs publish per-ASN
+//! assignment records with organisation names; this registry reproduces
+//! that list for the simulated world, including realistic name formats
+//! (`"AKAMAI-SIM-3, Akamai International B.V."`), so the audit code can
+//! do exactly what the paper did: case-insensitive substring search.
+
+use crate::operators::{OperatorClass, OperatorId};
+use ripki_net::Asn;
+use std::collections::BTreeMap;
+
+/// One registry record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsInfo {
+    /// The assignment name as it would appear in the RIR list.
+    pub name: String,
+    /// The operator holding the assignment.
+    pub operator: OperatorId,
+    /// The operator's class (denormalised for convenience).
+    pub class: OperatorClass,
+    /// RIR region index (0–4).
+    pub rir: usize,
+}
+
+/// The full ASN → assignment mapping.
+#[derive(Debug, Clone, Default)]
+pub struct AsRegistry {
+    records: BTreeMap<Asn, AsInfo>,
+}
+
+impl AsRegistry {
+    /// Empty registry.
+    pub fn new() -> AsRegistry {
+        AsRegistry::default()
+    }
+
+    /// Register an assignment.
+    pub fn insert(&mut self, asn: Asn, info: AsInfo) {
+        self.records.insert(asn, info);
+    }
+
+    /// The record for `asn`, if assigned.
+    pub fn get(&self, asn: Asn) -> Option<&AsInfo> {
+        self.records.get(&asn)
+    }
+
+    /// Number of assignments.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Keyword spotting: all ASNs whose assignment name contains
+    /// `keyword`, case-insensitively — the paper's §4.2 method. "This
+    /// leads to a lower bound for the current state of deployment."
+    pub fn search(&self, keyword: &str) -> Vec<Asn> {
+        let needle = keyword.to_ascii_lowercase();
+        self.records
+            .iter()
+            .filter(|(_, info)| info.name.to_ascii_lowercase().contains(&needle))
+            .map(|(asn, _)| *asn)
+            .collect()
+    }
+
+    /// All ASNs of a given operator.
+    pub fn asns_of(&self, operator: OperatorId) -> Vec<Asn> {
+        self.records
+            .iter()
+            .filter(|(_, info)| info.operator == operator)
+            .map(|(asn, _)| *asn)
+            .collect()
+    }
+
+    /// All ASNs of a given class.
+    pub fn asns_of_class(&self, class: OperatorClass) -> Vec<Asn> {
+        self.records
+            .iter()
+            .filter(|(_, info)| info.class == class)
+            .map(|(asn, _)| *asn)
+            .collect()
+    }
+
+    /// Iterate all records, sorted by ASN.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, &AsInfo)> {
+        self.records.iter().map(|(a, i)| (*a, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AsRegistry {
+        let mut r = AsRegistry::new();
+        r.insert(
+            Asn::new(20940),
+            AsInfo {
+                name: "AKAMAI-SIM-1, Akamai International B.V.".into(),
+                operator: OperatorId(0),
+                class: OperatorClass::Cdn,
+                rir: 4,
+            },
+        );
+        r.insert(
+            Asn::new(20941),
+            AsInfo {
+                name: "AKAMAI-SIM-2, Akamai Technologies Inc.".into(),
+                operator: OperatorId(0),
+                class: OperatorClass::Cdn,
+                rir: 2,
+            },
+        );
+        r.insert(
+            Asn::new(3320),
+            AsInfo {
+                name: "DTAG-SIM, Deutsche Telekom AG".into(),
+                operator: OperatorId(1),
+                class: OperatorClass::Isp,
+                rir: 4,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn search_is_case_insensitive_substring() {
+        let r = sample();
+        assert_eq!(r.search("akamai").len(), 2);
+        assert_eq!(r.search("AKAMAI").len(), 2);
+        assert_eq!(r.search("telekom"), vec![Asn::new(3320)]);
+        assert!(r.search("cloudflare").is_empty());
+    }
+
+    #[test]
+    fn lookups_by_operator_and_class() {
+        let r = sample();
+        assert_eq!(r.asns_of(OperatorId(0)).len(), 2);
+        assert_eq!(r.asns_of(OperatorId(1)), vec![Asn::new(3320)]);
+        assert_eq!(r.asns_of_class(OperatorClass::Cdn).len(), 2);
+        assert_eq!(r.asns_of_class(OperatorClass::Webhoster).len(), 0);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert!(r.get(Asn::new(3320)).is_some());
+        assert!(r.get(Asn::new(1)).is_none());
+    }
+}

@@ -1,0 +1,980 @@
+//! Scenario assembly: one seed in, a whole measurable world out.
+//!
+//! [`Scenario::build`] wires every model of this crate together and
+//! returns the artifacts the measurement pipeline consumes — exactly the
+//! four inputs the original study had: a ranked domain list, resolvable
+//! DNS, a global BGP table, and the RPKI repositories — plus the AS
+//! registry for the CDN audit, an AS topology for hijack experiments, and
+//! the generator's ground truth for scoring classifiers.
+
+use crate::adoption::{build_repository, AdoptionConfig, AdoptionSummary, PrefixHolding};
+use crate::allocation::Allocator;
+use crate::cdn::{pick_cdn, CdnInfra};
+use crate::hosting::{cdn_probability, www_equal_probability, DomainTruth, HosterMix};
+use crate::operators::{cdn_as_total, Operator, OperatorClass, OperatorId, CDN_SPECS};
+use crate::ranking;
+use crate::registry::{AsInfo, AsRegistry};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ripki_bgp::path::AsPath;
+use ripki_bgp::rib::{Rib, RibEntry};
+use ripki_bgp::topology::Topology;
+use ripki_dns::vantage::Vantage;
+use ripki_dns::zone::ZoneStore;
+use ripki_dns::DomainName;
+use ripki_net::{Asn, IpPrefix, Ipv4Prefix};
+use ripki_rpki::repo::Repository;
+use ripki_rpki::time::{Duration, SimTime};
+use std::net::Ipv4Addr;
+
+/// The two RIS collector peers contributing table entries.
+pub const COLLECTOR_PEERS: [u32; 2] = [64_496, 64_497];
+
+/// Synthetic transit backbone ASNs used in AS paths and as the topology's
+/// tier-1 tier.
+pub const TRANSIT_POOL: [u32; 5] = [64_601, 64_602, 64_603, 64_604, 64_605];
+
+/// All tunables of the synthetic world. Defaults are calibrated to the
+/// paper (see `EXPERIMENTS.md`).
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed; everything is a pure function of it.
+    pub seed: u64,
+    /// Number of ranked domains (the paper: 1,000,000).
+    pub domains: usize,
+    /// ISP operator count (0 = scale with `domains`).
+    pub isps: usize,
+    /// Webhoster operator count (0 = scale with `domains`).
+    pub webhosters: usize,
+    /// Enterprise operator count (0 = scale with `domains`).
+    pub enterprises: usize,
+    /// CDN share of rank 0 (Fig 3 left edge).
+    pub cdn_share_top: f64,
+    /// CDN share of the last rank (Fig 3 right edge).
+    pub cdn_share_floor: f64,
+    /// Among CDN deployments: fraction using a 2-CNAME chain (detected
+    /// by the paper's heuristic AND HTTPArchive).
+    pub cdn_chain2_rate: f64,
+    /// Fraction using a single CNAME (detected by HTTPArchive's pattern
+    /// matching, missed by the ≥2-indirections heuristic).
+    pub cdn_chain1_rate: f64,
+    /// Fraction of CDN edge answers that land in third-party (eyeball
+    /// ISP) address space — the paper's "inherited RPKI" channel.
+    pub third_party_cache_rate: f64,
+    /// RPKI adoption rates.
+    pub adoption: AdoptionConfig,
+    /// `www`/bare prefix-equality probability at rank 0 (Fig 1 left).
+    pub www_equal_top: f64,
+    /// … and at the last rank (Fig 1 right).
+    pub www_equal_floor: f64,
+    /// Probability an announced aggregate also announces a more-specific.
+    pub more_specific_rate: f64,
+    /// Probability a prefix gains an extra RIB entry with an AS_SET
+    /// origin (excluded by the methodology).
+    pub as_set_rate: f64,
+    /// Probability an allocated prefix is NOT announced (paper: 0.01% of
+    /// addresses unreachable).
+    pub unreachable_rate: f64,
+    /// Probability of a second origin announcing the same prefix (MOAS).
+    pub moas_rate: f64,
+    /// DNS answer corruption in parts per million (paper: 0.07% ⇒ 700).
+    pub bogus_dns_ppm: u32,
+    /// Probability an operator also holds + announces an IPv6 block.
+    pub v6_rate: f64,
+    /// Probability that a v6-capable hosting gives a domain an AAAA.
+    pub aaaa_rate: f64,
+    /// Scale factor on the per-TLD DNSSEC signing rates (extension for
+    /// the paper's future-work RPKI-vs-DNSSEC comparison; 0 disables).
+    pub dnssec_scale: f64,
+    /// Fraction of CDN-served entries that are bare service names (like
+    /// the paper's rank-70 `cdncache1-a.akamaihd.net`): the `www.` form
+    /// does not exist, so Table 1 shows "n/a" for it.
+    pub service_name_rate: f64,
+    /// Subdomain sharding share at rank 0 (paper §5.3): popular sites
+    /// offload assets to `static.<domain>`, almost always CDN-served.
+    pub shard_top: f64,
+    /// … and at the last rank.
+    pub shard_floor: f64,
+    /// Rank-dependent stakeholder effect (paper §4.1: the rising valid
+    /// share "may reflect the deployment strategy of different
+    /// stakeholders"): at the last rank, this is the extra probability
+    /// that a non-CDN domain is hosted by an RPKI-adopting operator —
+    /// tail-of-the-ranking sites sit more often on the small regional
+    /// ISPs that adopted early. Scales linearly with rank from 0.
+    pub tail_adopter_tilt: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> ScenarioConfig {
+        ScenarioConfig {
+            seed: 42,
+            domains: 100_000,
+            isps: 0,
+            webhosters: 0,
+            enterprises: 0,
+            cdn_share_top: 0.30,
+            cdn_share_floor: 0.05,
+            cdn_chain2_rate: 0.80,
+            cdn_chain1_rate: 0.12,
+            third_party_cache_rate: 0.15,
+            adoption: AdoptionConfig::default(),
+            www_equal_top: 0.76,
+            www_equal_floor: 0.95,
+            more_specific_rate: 0.25,
+            as_set_rate: 0.002,
+            unreachable_rate: 0.0001,
+            moas_rate: 0.005,
+            bogus_dns_ppm: 700,
+            v6_rate: 0.25,
+            aaaa_rate: 0.5,
+            tail_adopter_tilt: 0.012,
+            dnssec_scale: 1.0,
+            service_name_rate: 0.02,
+            shard_top: 0.30,
+            shard_floor: 0.02,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Default config at a given scale.
+    pub fn with_domains(domains: usize) -> ScenarioConfig {
+        ScenarioConfig { domains, ..Default::default() }
+    }
+
+    fn isp_count(&self) -> usize {
+        if self.isps > 0 { self.isps } else { (self.domains / 500).max(40) }
+    }
+
+    fn webhoster_count(&self) -> usize {
+        if self.webhosters > 0 { self.webhosters } else { (self.domains / 400).max(40) }
+    }
+
+    fn enterprise_count(&self) -> usize {
+        if self.enterprises > 0 { self.enterprises } else { (self.domains / 1000).max(20) }
+    }
+}
+
+/// The generated world.
+pub struct Scenario {
+    /// The configuration it was built from.
+    pub config: ScenarioConfig,
+    /// Ranked domain list (step-1 input).
+    pub ranking: Vec<DomainName>,
+    /// Authoritative DNS (step-2 input).
+    pub zones: ZoneStore,
+    /// The global BGP table (step-3 input).
+    pub rib: Rib,
+    /// The RPKI repositories of the five RIRs (step-4 input).
+    pub repository: Repository,
+    /// AS assignment registry (§4.2 audit input).
+    pub registry: AsRegistry,
+    /// All operators.
+    pub operators: Vec<Operator>,
+    /// CDN infrastructure descriptions.
+    pub cdn_infras: Vec<CdnInfra>,
+    /// AS-level topology over the scenario's real ASNs (hijack input).
+    pub topology: Topology,
+    /// Per-domain ground truth, parallel to `ranking`.
+    pub truth: Vec<DomainTruth>,
+    /// What the adoption pass did.
+    pub adoption_summary: AdoptionSummary,
+    /// The instant the study "runs" at (validity windows are open).
+    pub now: SimTime,
+}
+
+/// Deterministic address inside a block (never the network address).
+fn ip_in(prefix: Ipv4Prefix, salt: u64) -> Ipv4Addr {
+    let size = 1u64 << (32 - prefix.len() as u64);
+    let mix = salt
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(17)
+        .wrapping_add(0x243f_6a88);
+    let offset = 1 + (mix % (size - 1)) as u32;
+    Ipv4Addr::from(prefix.raw_bits() | offset)
+}
+
+/// Deterministic IPv6 address inside a /32 block.
+fn ip6_in(prefix: ripki_net::Ipv6Prefix, salt: u64) -> std::net::Ipv6Addr {
+    let mix = (salt as u128).wrapping_mul(0x9e37_79b9_7f4a_7c15_85eb_ca6b) | 1;
+    std::net::Ipv6Addr::from(prefix.raw_bits() | (mix & ((1u128 << 96) - 1)))
+}
+
+impl Scenario {
+    /// Build the whole world from `config`.
+    pub fn build(config: ScenarioConfig) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ SCENARIO_SALT);
+        let now = SimTime::start_of_study();
+
+        // ---- 1. Operators ------------------------------------------------
+        let mut operators: Vec<Operator> = Vec::new();
+        let mut registry = AsRegistry::new();
+        let mut asn_counter: u32 = 100;
+        let next_asns = |n: usize, counter: &mut u32| -> Vec<Asn> {
+            let v: Vec<Asn> = (0..n).map(|i| Asn::new(*counter + i as u32)).collect();
+            *counter += n as u32;
+            v
+        };
+
+        let corp_suffix = ["Inc.", "International B.V.", "LLC", "Technologies Ltd."];
+        for (name, as_count, _) in CDN_SPECS {
+            let id = OperatorId(operators.len() as u32);
+            let rir = rng.gen_range(0..5);
+            let asns = next_asns(as_count, &mut asn_counter);
+            for (i, asn) in asns.iter().enumerate() {
+                registry.insert(
+                    *asn,
+                    AsInfo {
+                        name: format!(
+                            "{}-SIM-{}, {} {}",
+                            name.to_ascii_uppercase(),
+                            i + 1,
+                            name,
+                            corp_suffix[i % corp_suffix.len()],
+                        ),
+                        operator: id,
+                        class: OperatorClass::Cdn,
+                        rir,
+                    },
+                );
+            }
+            operators.push(Operator { id, name: name.to_string(), class: OperatorClass::Cdn, asns, rir });
+        }
+        debug_assert_eq!(
+            operators.iter().map(|o| o.asns.len()).sum::<usize>(),
+            cdn_as_total()
+        );
+
+        let spawn_class = |count: usize,
+                               class: OperatorClass,
+                               label: &str,
+                               operators: &mut Vec<Operator>,
+                               registry: &mut AsRegistry,
+                               rng: &mut StdRng,
+                               asn_counter: &mut u32| {
+            for i in 0..count {
+                let id = OperatorId(operators.len() as u32);
+                let rir = rng.gen_range(0..5);
+                let n_asns = if class == OperatorClass::Isp && rng.gen_bool(0.15) { 2 } else { 1 };
+                let asns = next_asns(n_asns, asn_counter);
+                let name = format!("{label}-{i}");
+                for (k, asn) in asns.iter().enumerate() {
+                    registry.insert(
+                        *asn,
+                        AsInfo {
+                            name: format!(
+                                "{}-NET-{}, {} {}",
+                                name.to_ascii_uppercase(),
+                                k + 1,
+                                name,
+                                match class {
+                                    OperatorClass::Isp => "Telecom",
+                                    OperatorClass::Webhoster => "Hosting GmbH",
+                                    _ => "Corp.",
+                                },
+                            ),
+                            operator: id,
+                            class,
+                            rir,
+                        },
+                    );
+                }
+                operators.push(Operator { id, name, class, asns, rir });
+            }
+        };
+        spawn_class(config.isp_count(), OperatorClass::Isp, "ISP", &mut operators, &mut registry, &mut rng, &mut asn_counter);
+        spawn_class(config.webhoster_count(), OperatorClass::Webhoster, "HOSTER", &mut operators, &mut registry, &mut rng, &mut asn_counter);
+        spawn_class(config.enterprise_count(), OperatorClass::Enterprise, "CORP", &mut operators, &mut registry, &mut rng, &mut asn_counter);
+
+        // ---- 2. Address allocation ---------------------------------------
+        let mut allocator = Allocator::new();
+        // (operator idx, asn, v4 prefix) usable for hosting.
+        let mut host_blocks: Vec<Vec<(Asn, Ipv4Prefix)>> = vec![Vec::new(); operators.len()];
+        let mut v6_blocks: Vec<Option<(Asn, ripki_net::Ipv6Prefix)>> = vec![None; operators.len()];
+        // ISP-held blocks earmarked for CDN cache placement.
+        let mut cache_blocks: Vec<(usize, Asn, Ipv4Prefix)> = Vec::new();
+        // Everything that exists, for BGP + RPKI.
+        let mut holdings: Vec<PrefixHolding> = Vec::new();
+
+        for (idx, op) in operators.iter().enumerate() {
+            for asn in &op.asns {
+                let (len, blocks) = match op.class {
+                    // A CDN's primary AS carries the larger anycast
+                    // pool (two blocks); this also lets the Internap
+                    // special case put four ROA'd prefixes on three
+                    // origin ASes.
+                    OperatorClass::Cdn if *asn == op.primary_asn() => (17u8, 2usize),
+                    OperatorClass::Cdn => (17u8, 1usize),
+                    OperatorClass::Isp => (16, if rng.gen_bool(0.3) { 2 } else { 1 }),
+                    OperatorClass::Webhoster => (17, 1),
+                    OperatorClass::Enterprise => (21, 1),
+                };
+                for _ in 0..blocks {
+                    let Some(p) = allocator.allocate_v4(op.rir, len) else { continue };
+                    host_blocks[idx].push((*asn, p));
+                    holdings.push(PrefixHolding {
+                        operator: idx,
+                        asn: *asn,
+                        prefix: IpPrefix::V4(p),
+                        deepest_announced: p.len(),
+                    });
+                }
+                // Eyeball ISPs sometimes host CDN caches in a dedicated
+                // block.
+                if op.class == OperatorClass::Isp && rng.gen_bool(0.25) {
+                    if let Some(p) = allocator.allocate_v4(op.rir, 19) {
+                        cache_blocks.push((idx, *asn, p));
+                        holdings.push(PrefixHolding {
+                            operator: idx,
+                            asn: *asn,
+                            prefix: IpPrefix::V4(p),
+                            deepest_announced: p.len(),
+                        });
+                    }
+                }
+            }
+            if op.class != OperatorClass::Cdn && rng.gen_bool(config.v6_rate) {
+                if let Some(p6) = allocator.allocate_v6(op.rir) {
+                    v6_blocks[idx] = Some((op.primary_asn(), p6));
+                    holdings.push(PrefixHolding {
+                        operator: idx,
+                        asn: op.primary_asn(),
+                        prefix: IpPrefix::V6(p6),
+                        deepest_announced: p6.len(),
+                    });
+                }
+            }
+        }
+
+        // ---- 3. BGP table -------------------------------------------------
+        let mut rib = Rib::new();
+        let mut announced = vec![true; holdings.len()];
+        for (i, h) in holdings.iter_mut().enumerate() {
+            if rng.gen_bool(config.unreachable_rate) {
+                announced[i] = false;
+                continue;
+            }
+            let transit = TRANSIT_POOL[(h.asn.value() as usize) % TRANSIT_POOL.len()];
+            let path = AsPath::sequence([transit, h.asn.value()]);
+            for peer in COLLECTOR_PEERS {
+                rib.insert(RibEntry { prefix: h.prefix, path: path.clone(), peer: Asn::new(peer) });
+            }
+            // More-specific of the lower half, same origin.
+            if rng.gen_bool(config.more_specific_rate) {
+                if let IpPrefix::V4(p4) = h.prefix {
+                    if let Some((lower, _)) = p4.children() {
+                        h.deepest_announced = lower.len();
+                        rib.insert(RibEntry {
+                            prefix: IpPrefix::V4(lower),
+                            path: path.clone(),
+                            peer: Asn::new(COLLECTOR_PEERS[0]),
+                        });
+                    }
+                }
+            }
+            // Occasional proxy-aggregated entry from the second peer
+            // (AS_SET origin — excluded by the methodology, must be
+            // harmless). Built with real RFC 4271 aggregation semantics
+            // over the block's two halves.
+            if rng.gen_bool(config.as_set_rate) {
+                if let IpPrefix::V4(p4) = h.prefix {
+                    if let Some((lo, hi)) = p4.children() {
+                        let left = RibEntry {
+                            prefix: IpPrefix::V4(lo),
+                            path: AsPath::sequence([transit, h.asn.value()]),
+                            peer: Asn::new(COLLECTOR_PEERS[1]),
+                        };
+                        let right = RibEntry {
+                            prefix: IpPrefix::V4(hi),
+                            path: AsPath::sequence([transit, h.asn.value() + 7]),
+                            peer: Asn::new(COLLECTOR_PEERS[1]),
+                        };
+                        if let Some(agg) =
+                            ripki_bgp::aggregate::aggregate_siblings(&left, &right)
+                        {
+                            rib.insert(agg);
+                        }
+                    }
+                }
+            }
+            // Occasional MOAS: the operator's second AS also originates.
+            if rng.gen_bool(config.moas_rate) {
+                let op = &operators[h.operator];
+                if op.asns.len() > 1 && op.asns[1] != h.asn {
+                    rib.insert(RibEntry {
+                        prefix: h.prefix,
+                        path: AsPath::sequence([transit, op.asns[1].value()]),
+                        peer: Asn::new(COLLECTOR_PEERS[1]),
+                    });
+                }
+            }
+        }
+
+        // ---- 4. CDN infrastructure ----------------------------------------
+        let mut cdn_infras: Vec<CdnInfra> = Vec::new();
+        let mut cdn_weights: Vec<usize> = Vec::new();
+        for (idx, op) in operators.iter().enumerate() {
+            if op.class != OperatorClass::Cdn {
+                continue;
+            }
+            let infra = CdnInfra::new(op, host_blocks[idx].clone());
+            let weight = CDN_SPECS
+                .iter()
+                .find(|(n, _, _)| *n == op.name)
+                .map(|(_, _, w)| *w)
+                .unwrap_or(1);
+            cdn_infras.push(infra);
+            cdn_weights.push(weight);
+        }
+        // Distribute ISP cache blocks round-robin over CDNs.
+        for (i, (_, asn, prefix)) in cache_blocks.iter().enumerate() {
+            let slot = i % cdn_infras.len();
+            cdn_infras[slot].third_party_edges.push((*asn, *prefix));
+        }
+
+        // ---- 5. RPKI ------------------------------------------------------
+        let (repository, adoption_summary) = build_repository(
+            &operators,
+            &holdings,
+            &config.adoption,
+            config.seed,
+            now - Duration::days(30),
+        );
+
+        // ---- 6. Ranking + hosting ------------------------------------------
+        let ranking_list = ranking::generate(config.seed, config.domains);
+        let mut zones = ZoneStore::new();
+        let mut truth: Vec<DomainTruth> = Vec::with_capacity(config.domains);
+        let mix = HosterMix::default();
+
+        let class_pool = |class: OperatorClass| -> Vec<usize> {
+            operators
+                .iter()
+                .enumerate()
+                .filter(|(i, o)| o.class == class && !host_blocks[*i].is_empty())
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let isp_pool = class_pool(OperatorClass::Isp);
+        let hoster_pool = class_pool(OperatorClass::Webhoster);
+        let corp_pool = class_pool(OperatorClass::Enterprise);
+        let adopter_subset = |pool: &[usize]| -> Vec<usize> {
+            pool.iter()
+                .copied()
+                .filter(|i| adoption_summary.adopters.contains(i))
+                .collect()
+        };
+        let isp_adopters = adopter_subset(&isp_pool);
+        let hoster_adopters = adopter_subset(&hoster_pool);
+        let corp_adopters = adopter_subset(&corp_pool);
+
+        for (rank, listed) in ranking_list.iter().enumerate() {
+            let mut drng = StdRng::seed_from_u64(
+                config.seed ^ (rank as u64).wrapping_mul(DOMAIN_SALT) ^ 0x05,
+            );
+            let bare = listed.without_www();
+            let www = bare.with_www();
+            let p_cdn = cdn_probability(rank, config.domains, config.cdn_share_top, config.cdn_share_floor);
+            let www_equal = drng.gen_bool(www_equal_probability(
+                rank,
+                config.domains,
+                config.www_equal_top,
+                config.www_equal_floor,
+            ));
+            let tld = bare.labels().last().unwrap_or("com").to_string();
+            let dnssec_rate =
+                (dnssec_tld_rate(&tld) * config.dnssec_scale).clamp(0.0, 1.0);
+            let dnssec_signed = drng.gen_bool(dnssec_rate);
+            if dnssec_signed {
+                zones.set_signed(bare.clone());
+            }
+
+            if drng.gen_bool(p_cdn) {
+                // ---- CDN-served ----
+                let infra = pick_cdn(&cdn_infras, &cdn_weights, &mut drng).clone();
+                // Service names (CDN-internal hosts in the ranking, like
+                // the paper's cdncache1-a.akamaihd.net) have no www form.
+                let service_name = drng.gen_bool(config.service_name_rate);
+                let chain_draw: f64 = drng.gen();
+                let chain_len = if chain_draw < config.cdn_chain2_rate {
+                    2
+                } else if chain_draw < config.cdn_chain2_rate + config.cdn_chain1_rate {
+                    1
+                } else {
+                    0
+                };
+                let group = rank as u32;
+                let edge_name = infra.edge_group_name(group);
+                // Per-vantage edge answers.
+                for v in Vantage::ALL {
+                    let (asn, prefix) =
+                        infra.pick_edge(group, v.0 as u64, config.third_party_cache_rate);
+                    let _ = asn;
+                    let ip = ip_in(prefix, (rank as u64) << 8 | v.0 as u64);
+                    if v == Vantage::GOOGLE_DNS_BERLIN {
+                        zones.add_addr(edge_name.clone(), ip.into());
+                    } else {
+                        zones.add_override(
+                            edge_name.clone(),
+                            v,
+                            ripki_dns::RecordData::A(ip),
+                        );
+                    }
+                }
+                // Service names carry their records on the bare form
+                // only; ordinary sites on the www form.
+                let chain_owner = if service_name { bare.clone() } else { www.clone() };
+                match chain_len {
+                    2 => {
+                        let alias = infra.customer_alias(&bare);
+                        zones.add_cname(chain_owner.clone(), alias.clone());
+                        zones.add_cname(alias, edge_name.clone());
+                    }
+                    1 => {
+                        zones.add_cname(chain_owner.clone(), edge_name.clone());
+                    }
+                    _ => {
+                        // Direct A deployment: mirror the edge answers
+                        // without any CNAME.
+                        for v in Vantage::ALL {
+                            let (_, prefix) =
+                                infra.pick_edge(group, v.0 as u64, config.third_party_cache_rate);
+                            let ip = ip_in(prefix, (rank as u64) << 8 | v.0 as u64);
+                            if v == Vantage::GOOGLE_DNS_BERLIN {
+                                zones.add_addr(chain_owner.clone(), ip.into());
+                            } else {
+                                zones.add_override(
+                                    chain_owner.clone(),
+                                    v,
+                                    ripki_dns::RecordData::A(ip),
+                                );
+                            }
+                        }
+                    }
+                }
+                if service_name {
+                    // No www form at all: the pipeline reports it n/a.
+                } else if www_equal {
+                    // Bare name follows the same infrastructure.
+                    match chain_len {
+                        2 | 1 => zones.add_cname(bare.clone(), edge_name.clone()),
+                        _ => {
+                            let (_, prefix) =
+                                infra.pick_edge(group, 0, config.third_party_cache_rate);
+                            let ip = ip_in(prefix, (rank as u64) << 8);
+                            zones.add_addr(bare.clone(), ip.into());
+                        }
+                    }
+                } else {
+                    // Bare name stays on an origin host outside the CDN.
+                    let pool = if drng.gen_bool(0.7) { &hoster_pool } else { &isp_pool };
+                    let op_idx = pool[drng.gen_range(0..pool.len())];
+                    let (_, prefix) = host_blocks[op_idx][drng.gen_range(0..host_blocks[op_idx].len())];
+                    zones.add_addr(bare.clone(), ip_in(prefix, rank as u64 ^ 0xba5e).into());
+                }
+                let sharded = host_shard(
+                    &config,
+                    rank,
+                    &bare,
+                    &cdn_infras,
+                    &cdn_weights,
+                    &mut zones,
+                    &mut drng,
+                );
+                truth.push(DomainTruth {
+                    cdn: Some(infra.operator),
+                    via_cname: chain_len >= 1,
+                    hoster: infra.operator,
+                    www_equal,
+                    dnssec_signed,
+                    sharded,
+                });
+            } else {
+                // ---- Classically hosted ----
+                let class_draw: f64 = drng.gen();
+                let (pool, adopters) = match mix.pick(class_draw) {
+                    OperatorClass::Webhoster => (&hoster_pool, &hoster_adopters),
+                    OperatorClass::Isp => (&isp_pool, &isp_adopters),
+                    _ => (&corp_pool, &corp_adopters),
+                };
+                // Stakeholder effect: tail sites gravitate to early
+                // adopters (see `tail_adopter_tilt`).
+                let tilt = config.tail_adopter_tilt * (rank as f64)
+                    / (config.domains.max(1) as f64);
+                let op_idx = if !adopters.is_empty() && drng.gen_bool(tilt.clamp(0.0, 1.0)) {
+                    adopters[drng.gen_range(0..adopters.len())]
+                } else {
+                    pool[drng.gen_range(0..pool.len())]
+                };
+                let blocks = &host_blocks[op_idx];
+                let (_, prefix) = blocks[drng.gen_range(0..blocks.len())];
+                let primary_ip = ip_in(prefix, rank as u64);
+                // Popular domains spread across extra addresses/operators.
+                let extra_ips: usize = if rank < config.domains / 100 {
+                    drng.gen_range(1..=3)
+                } else if drng.gen_bool(0.15) {
+                    1
+                } else {
+                    0
+                };
+                zones.add_addr(bare.clone(), primary_ip.into());
+                for k in 0..extra_ips {
+                    // Half the extras come from a second operator.
+                    let (src_idx, src_blocks) = if drng.gen_bool(0.5) && pool.len() > 1 {
+                        let other = pool[drng.gen_range(0..pool.len())];
+                        (other, &host_blocks[other])
+                    } else {
+                        (op_idx, blocks)
+                    };
+                    let (_, p2) = src_blocks[drng.gen_range(0..src_blocks.len())];
+                    zones.add_addr(bare.clone(), ip_in(p2, (rank as u64) ^ (k as u64 + 1)).into());
+                    let _ = src_idx;
+                }
+                if let Some((_, p6)) = v6_blocks[op_idx] {
+                    if drng.gen_bool(config.aaaa_rate) {
+                        zones.add_addr(bare.clone(), ip6_in(p6, rank as u64).into());
+                    }
+                }
+                if www_equal {
+                    zones.add_cname(www.clone(), bare.clone());
+                } else {
+                    // www served from a different prefix (often a second
+                    // block or another operator).
+                    let other_idx = pool[drng.gen_range(0..pool.len())];
+                    let ob = &host_blocks[other_idx];
+                    let (_, p2) = ob[drng.gen_range(0..ob.len())];
+                    zones.add_addr(www.clone(), ip_in(p2, (rank as u64) ^ 0x3333).into());
+                }
+                let sharded = host_shard(
+                    &config,
+                    rank,
+                    &bare,
+                    &cdn_infras,
+                    &cdn_weights,
+                    &mut zones,
+                    &mut drng,
+                );
+                truth.push(DomainTruth {
+                    cdn: None,
+                    via_cname: false,
+                    hoster: operators[op_idx].id,
+                    www_equal,
+                    dnssec_signed,
+                    sharded,
+                });
+            }
+        }
+
+        // ---- 7. Topology over the real ASNs --------------------------------
+        let mut topology = Topology::new();
+        let tier1: Vec<Asn> = TRANSIT_POOL.iter().map(|a| Asn::new(*a)).collect();
+        for (i, a) in tier1.iter().enumerate() {
+            for b in &tier1[i + 1..] {
+                topology.add_peering(*a, *b);
+            }
+        }
+        // The RIS collector peers are real topology nodes: multihomed
+        // customers of the first two tier-1s, like actual route-server
+        // peers at large exchanges.
+        for peer in COLLECTOR_PEERS {
+            topology.add_customer_provider(Asn::new(peer), tier1[0]);
+            topology.add_customer_provider(Asn::new(peer), tier1[1]);
+        }
+        let isp_primaries: Vec<Asn> =
+            isp_pool.iter().map(|i| operators[*i].primary_asn()).collect();
+        for asn in &isp_primaries {
+            let ups = rng.gen_range(1..=2.min(tier1.len()));
+            for t in tier1.choose_multiple(&mut rng, ups) {
+                topology.add_customer_provider(*asn, *t);
+            }
+        }
+        // Lateral ISP peering.
+        for (i, a) in isp_primaries.iter().enumerate() {
+            for b in isp_primaries.iter().skip(i + 1) {
+                if rng.gen_bool(0.02) {
+                    topology.add_peering(*a, *b);
+                }
+            }
+        }
+        for op in &operators {
+            if op.class == OperatorClass::Isp {
+                // Secondary ASes hang off the primary.
+                for extra in op.asns.iter().skip(1) {
+                    topology.add_customer_provider(*extra, op.primary_asn());
+                }
+                continue;
+            }
+            for asn in &op.asns {
+                let ups = rng.gen_range(1..=2.min(isp_primaries.len().max(1)));
+                for u in isp_primaries.choose_multiple(&mut rng, ups) {
+                    topology.add_customer_provider(*asn, *u);
+                }
+            }
+        }
+
+        Scenario {
+            config,
+            ranking: ranking_list,
+            zones,
+            rib,
+            repository,
+            registry,
+            operators,
+            cdn_infras,
+            topology,
+            truth,
+            adoption_summary,
+            now,
+        }
+    }
+}
+
+impl Scenario {
+    /// Rebuild the BGP table with AS paths derived from actual policy
+    /// routing: each origin's announcement is propagated through
+    /// [`Scenario::topology`] (Gao–Rexford), and the table records the
+    /// route each collector peer selected — full topology/table
+    /// coherence, at the cost of one propagation per distinct origin.
+    ///
+    /// Prefix-origin content is unchanged (origins are path tails either
+    /// way), so measurements over the rebuilt table are identical; only
+    /// the AS paths become realistic. Unreachable prefixes stay absent.
+    pub fn rebuild_rib_with_propagated_paths(&self) -> Rib {
+        use ripki_bgp::propagate::{accept_all, propagate};
+        use std::collections::HashMap;
+
+        // Collect (origin → its announced prefixes incl. more-specifics)
+        // from the existing table, so announcement decisions are reused.
+        let mut by_origin: HashMap<Asn, Vec<IpPrefix>> = HashMap::new();
+        let mut aggregates: Vec<ripki_bgp::rib::RibEntry> = Vec::new();
+        for entry in self.rib.iter() {
+            match entry.path.origin().asn() {
+                Some(origin) => {
+                    by_origin.entry(origin).or_default().push(entry.prefix)
+                }
+                None => aggregates.push(entry.clone()),
+            }
+        }
+        let mut origins: Vec<Asn> = by_origin.keys().copied().collect();
+        origins.sort();
+
+        let mut rib = Rib::new();
+        for origin in origins {
+            let outcome = propagate(&self.topology, &[origin], &accept_all);
+            let mut prefixes = by_origin.remove(&origin).expect("origin collected");
+            prefixes.sort();
+            prefixes.dedup();
+            for peer in COLLECTOR_PEERS {
+                let peer_asn = Asn::new(peer);
+                let Some(route) = outcome.route(peer_asn) else { continue };
+                let path = AsPath::sequence(route.path.iter().map(|a| a.value()));
+                for prefix in &prefixes {
+                    rib.insert(ripki_bgp::rib::RibEntry {
+                        prefix: *prefix,
+                        path: path.clone(),
+                        peer: peer_asn,
+                    });
+                }
+            }
+        }
+        // Keep aggregate (AS_SET) entries verbatim: their origins are
+        // ambiguous by construction and the methodology skips them.
+        for entry in aggregates {
+            rib.insert(entry);
+        }
+        rib
+    }
+}
+
+/// Host a `static.<domain>` asset subdomain on a CDN with probability
+/// scaled by rank (paper §5.3). Returns whether the domain sharded.
+#[allow(clippy::too_many_arguments)]
+fn host_shard(
+    config: &ScenarioConfig,
+    rank: usize,
+    bare: &DomainName,
+    cdn_infras: &[CdnInfra],
+    cdn_weights: &[usize],
+    zones: &mut ZoneStore,
+    drng: &mut StdRng,
+) -> bool {
+    let x = 1.0 - (rank as f64) / (config.domains.max(1) as f64);
+    let p = config.shard_floor + (config.shard_top - config.shard_floor) * x.powi(3);
+    if !drng.gen_bool(p.clamp(0.0, 1.0)) {
+        return false;
+    }
+    let static_name = DomainName::parse(&format!("static.{bare}"))
+        .expect("static. label is valid");
+    let infra = pick_cdn(cdn_infras, cdn_weights, drng).clone();
+    // Asset groups live in a separate edge-group namespace.
+    let group = rank as u32 | (1 << 31);
+    let alias = infra.customer_alias(&static_name);
+    let edge_name = infra.edge_group_name(group);
+    zones.add_cname(static_name, alias.clone());
+    zones.add_cname(alias, edge_name.clone());
+    for v in Vantage::ALL {
+        let (_, prefix) = infra.pick_edge(group, v.0 as u64, config.third_party_cache_rate);
+        let ip = ip_in(prefix, ((rank as u64) << 8) | 0x51 | v.0 as u64);
+        if v == Vantage::GOOGLE_DNS_BERLIN {
+            zones.add_addr(edge_name.clone(), ip.into());
+        } else {
+            zones.add_override(edge_name.clone(), v, ripki_dns::RecordData::A(ip));
+        }
+    }
+    true
+}
+
+/// Second-level-domain DNSSEC signing rates circa 2015, by TLD: high in
+/// mandate/incentive registries (.br), moderate in .org/.de/.info, low
+/// in .com/.net, negligible elsewhere.
+fn dnssec_tld_rate(tld: &str) -> f64 {
+    match tld {
+        "com" => 0.010,
+        "net" => 0.012,
+        "org" => 0.030,
+        "de" => 0.030,
+        "ru" => 0.005,
+        "jp" => 0.004,
+        "br" => 0.045,
+        "in" => 0.006,
+        "info" => 0.020,
+        "uk" => 0.003,
+        _ => 0.010,
+    }
+}
+
+/// Salt for the scenario's top-level RNG.
+const SCENARIO_SALT: u64 = 0x5ce0_0a10;
+/// Salt for per-domain RNGs.
+const DOMAIN_SALT: u64 = 0xd00a_1137;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Scenario {
+        Scenario::build(ScenarioConfig {
+            domains: 3000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn build_produces_consistent_world() {
+        let s = small();
+        assert_eq!(s.ranking.len(), 3000);
+        assert_eq!(s.truth.len(), 3000);
+        assert_eq!(s.repository.trust_anchors.len(), 5);
+        assert!(s.rib.len() > 0);
+        assert!(s.registry.len() >= 199);
+        assert!(s.topology.len() > 100);
+        assert_eq!(s.cdn_infras.len(), 16);
+    }
+
+    #[test]
+    fn cdn_as_count_matches_paper() {
+        let s = small();
+        let cdn_asns = s.registry.asns_of_class(OperatorClass::Cdn);
+        assert_eq!(cdn_asns.len(), 199);
+        let internap: Vec<_> = s.registry.search("internap");
+        assert_eq!(internap.len(), 41);
+    }
+
+    #[test]
+    fn every_domain_resolves_from_primary_vantage() {
+        let s = small();
+        let mut bare_unresolved = 0;
+        let mut www_unresolved = 0;
+        for listed in &s.ranking {
+            let r = ripki_dns::Resolver::new(&s.zones, Vantage::GOOGLE_DNS_BERLIN);
+            let bare = listed.without_www();
+            let www = bare.with_www();
+            if r.resolve(&bare).is_err() {
+                bare_unresolved += 1;
+            }
+            if r.resolve(&www).is_err() {
+                www_unresolved += 1;
+            }
+        }
+        // The bare form always exists; a small number of CDN service
+        // names have no www form (the paper's "n/a" rows).
+        assert_eq!(bare_unresolved, 0);
+        let www_share = www_unresolved as f64 / s.ranking.len() as f64;
+        assert!(www_share < 0.02, "www n/a share {www_share}");
+    }
+
+    #[test]
+    fn resolved_addresses_mostly_reachable_in_rib() {
+        let s = small();
+        let r = ripki_dns::Resolver::new(&s.zones, Vantage::GOOGLE_DNS_BERLIN);
+        let mut total = 0usize;
+        let mut unreachable = 0usize;
+        for listed in s.ranking.iter().take(800) {
+            let res = r.resolve(&listed.without_www()).unwrap();
+            for addr in res.addresses {
+                total += 1;
+                if !s.rib.origins_for_addr(addr).is_reachable() {
+                    unreachable += 1;
+                }
+            }
+        }
+        let rate = unreachable as f64 / total as f64;
+        assert!(rate < 0.01, "unreachable rate {rate}");
+    }
+
+    #[test]
+    fn rpki_validates_cleanly() {
+        let s = small();
+        let report = ripki_rpki::validate(&s.repository, s.now);
+        assert_eq!(report.rejected_count(), 0);
+        assert!(
+            !report.vrps.is_empty(),
+            "adoption model should produce some ROAs at this scale"
+        );
+    }
+
+    #[test]
+    fn internap_special_case_present() {
+        let s = small();
+        assert_eq!(s.adoption_summary.internap_prefixes.len(), 4);
+        // All four VRPs validate and are tied to 3 origin ASes.
+        let report = ripki_rpki::validate(&s.repository, s.now);
+        let internap_asns: std::collections::BTreeSet<Asn> = report
+            .vrps
+            .iter()
+            .filter(|v| s.adoption_summary.internap_prefixes.contains(&v.prefix))
+            .map(|v| v.asn)
+            .collect();
+        assert_eq!(internap_asns.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.ranking, b.ranking);
+        assert_eq!(a.rib.len(), b.rib.len());
+        assert_eq!(a.adoption_summary.roa_count, b.adoption_summary.roa_count);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn truth_cdn_share_decays() {
+        let s = Scenario::build(ScenarioConfig { domains: 20_000, ..Default::default() });
+        let top_cdn = s.truth[..2000].iter().filter(|t| t.cdn.is_some()).count() as f64 / 2000.0;
+        let tail_cdn =
+            s.truth[18_000..].iter().filter(|t| t.cdn.is_some()).count() as f64 / 2000.0;
+        assert!(top_cdn > tail_cdn + 0.05, "top {top_cdn} vs tail {tail_cdn}");
+    }
+
+    #[test]
+    fn topology_contains_hosting_asns() {
+        let s = small();
+        for op in &s.operators {
+            for asn in &op.asns {
+                assert!(s.topology.contains(*asn), "missing {asn}");
+            }
+        }
+    }
+}

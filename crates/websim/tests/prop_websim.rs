@@ -1,0 +1,104 @@
+//! Property-based tests over the world generator: structural invariants
+//! that must hold for every seed and scale.
+
+use proptest::prelude::*;
+use ripki_dns::{Resolver, Vantage};
+use ripki_websim::operators::OperatorClass;
+use ripki_websim::{Scenario, ScenarioConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// World invariants across seeds and scales.
+    #[test]
+    fn world_invariants(seed in 0u64..10_000, domains in 300usize..1_200) {
+        let scenario = Scenario::build(ScenarioConfig {
+            seed,
+            ..ScenarioConfig::with_domains(domains)
+        });
+
+        // Structure.
+        prop_assert_eq!(scenario.ranking.len(), domains);
+        prop_assert_eq!(scenario.truth.len(), domains);
+        prop_assert_eq!(scenario.repository.trust_anchors.len(), 5);
+        prop_assert_eq!(scenario.cdn_infras.len(), 16);
+        prop_assert_eq!(
+            scenario.registry.asns_of_class(OperatorClass::Cdn).len(),
+            199
+        );
+
+        // Every operator AS is registered and in the topology.
+        for op in &scenario.operators {
+            for asn in &op.asns {
+                prop_assert!(scenario.registry.get(*asn).is_some());
+                prop_assert!(scenario.topology.contains(*asn));
+            }
+        }
+
+        // Every ranked name's bare form resolves from every vantage; the
+        // www form may be absent only for the small CDN service-name
+        // share (the paper's "n/a" rows).
+        for vantage in [Vantage::GOOGLE_DNS_BERLIN, Vantage::OPEN_DNS] {
+            let resolver = Resolver::new(&scenario.zones, vantage);
+            let mut www_missing = 0usize;
+            let mut probed = 0usize;
+            for listed in scenario.ranking.iter().step_by(23) {
+                let bare = listed.without_www();
+                prop_assert!(resolver.resolve(&bare).is_ok(), "{bare} from {vantage}");
+                probed += 1;
+                if resolver.resolve(&bare.with_www()).is_err() {
+                    www_missing += 1;
+                }
+            }
+            let share = www_missing as f64 / probed.max(1) as f64;
+            prop_assert!(share < 0.05, "www-missing share {share} from {vantage}");
+        }
+
+        // The RPKI validates without rejections and the adoption summary
+        // matches what the repository holds.
+        let report = ripki_rpki::validate(&scenario.repository, scenario.now);
+        prop_assert_eq!(report.rejected_count(), 0);
+        prop_assert_eq!(
+            report.vrps.len(),
+            scenario
+                .repository
+                .all_roas()
+                .flat_map(|r| r.prefixes.iter())
+                .count()
+        );
+        // Adopters all exist.
+        for idx in &scenario.adoption_summary.adopters {
+            prop_assert!(*idx < scenario.operators.len());
+        }
+
+        // Announced table origins are operator ASNs or their MOAS/offset
+        // variants; every covering lookup returns consistent families.
+        for entry in scenario.rib.iter().take(300) {
+            if let Some(origin) = entry.path.origin().asn() {
+                let known = scenario.registry.get(origin).is_some();
+                prop_assert!(known, "unknown origin {origin}");
+            }
+        }
+    }
+
+    /// Ground-truth CDN share decreases from head to tail for every seed.
+    #[test]
+    fn cdn_share_monotone_in_expectation(seed in 0u64..1_000) {
+        let domains = 4_000;
+        let scenario = Scenario::build(ScenarioConfig {
+            seed,
+            ..ScenarioConfig::with_domains(domains)
+        });
+        let share = |range: std::ops::Range<usize>| {
+            let n = range.len();
+            scenario.truth[range].iter().filter(|t| t.cdn.is_some()).count() as f64
+                / n as f64
+        };
+        let head = share(0..domains / 4);
+        let tail = share(3 * domains / 4..domains);
+        prop_assert!(
+            head > tail,
+            "seed {seed}: head {head} should exceed tail {tail}"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # ripki-repro
+//!
+//! Umbrella crate for the reproduction of *RiPKI: The Tragic Story of
+//! RPKI Deployment in the Web Ecosystem* (Wählisch et al., ACM HotNets
+//! 2015). It re-exports every workspace crate so that examples and
+//! integration tests can address the whole system through one dependency:
+//!
+//! * [`ripki_net`] — prefixes, ASNs, tries, IANA registries;
+//! * [`ripki_crypto`] — SHA-256, TLV encoding, simulated signatures;
+//! * [`ripki_rpki`] — RPKI objects, repositories, top-down validation;
+//! * [`ripki_bgp`] — RIBs, dumps, RFC 6811, topology + hijack simulation;
+//! * [`ripki_dns`] — zones, resolver simulation, vantage points;
+//! * [`ripki_rtr`] — the RPKI-to-Router protocol (RFC 6810);
+//! * [`ripki_websim`] — the calibrated synthetic web ecosystem;
+//! * [`ripki`] — the paper's four-step measurement pipeline, figures,
+//!   tables, and the CDN audit.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for
+//! the system inventory and the per-figure reproduction records.
+
+pub use ripki;
+pub use ripki_bgp;
+pub use ripki_crypto;
+pub use ripki_dns;
+pub use ripki_net;
+pub use ripki_rpki;
+pub use ripki_rtr;
+pub use ripki_websim;
+
+/// Convenience: build a scenario and run the full pipeline at the given
+/// scale with default calibration — what most examples start from.
+pub fn run_default_study(
+    domains: usize,
+) -> (ripki_websim::Scenario, ripki::pipeline::StudyResults) {
+    let scenario = ripki_websim::Scenario::build(
+        ripki_websim::ScenarioConfig::with_domains(domains),
+    );
+    let pipeline = ripki::pipeline::Pipeline::new(
+        &scenario.zones,
+        &scenario.rib,
+        &scenario.repository,
+        ripki::pipeline::PipelineConfig {
+            bogus_dns_ppm: scenario.config.bogus_dns_ppm,
+            now: scenario.now,
+            ..Default::default()
+        },
+    );
+    let results = pipeline.run(&scenario.ranking);
+    (scenario, results)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn run_default_study_smoke() {
+        let (scenario, results) = super::run_default_study(500);
+        assert_eq!(scenario.ranking.len(), 500);
+        assert_eq!(results.domains.len(), 500);
+    }
+}
