@@ -11,8 +11,12 @@ use ripki_rpki::validate::{validate_with, ValidationOptions};
 fn bench(c: &mut Criterion) {
     let study = Study::at_bench_scale();
     let now = study.scenario.now;
-    let strict = ValidationOptions { strict_manifests: true };
-    let relaxed = ValidationOptions { strict_manifests: false };
+    let strict = ValidationOptions {
+        strict_manifests: true,
+    };
+    let relaxed = ValidationOptions {
+        strict_manifests: false,
+    };
 
     let healthy_strict = validate_with(&study.scenario.repository, now, strict);
     let healthy_relaxed = validate_with(&study.scenario.repository, now, relaxed);

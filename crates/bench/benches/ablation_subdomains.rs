@@ -14,7 +14,7 @@ use ripki_dns::DomainName;
 
 fn bench(c: &mut Criterion) {
     let study = Study::at_bench_scale();
-    let pipeline = study.pipeline();
+    let snapshot = study.engine.snapshot();
 
     // Discover asset subdomains by probing, crawler-style.
     let static_names: Vec<(usize, DomainName)> = study
@@ -34,11 +34,12 @@ fn bench(c: &mut Criterion) {
         study.scenario.ranking.len()
     );
 
-    // Measure the subdomains with the same pipeline.
+    // Measure the subdomains through the same snapshot (same epoch, same
+    // resolution cache as the apex run).
     let mut covered_apex = Vec::new();
     let mut covered_static = Vec::new();
     for (rank, name) in &static_names {
-        let m = pipeline.measure_domain(*rank, name);
+        let m = snapshot.measure_domain(*rank, name);
         if let Some(f) = m.bare.covered_fraction() {
             covered_static.push(f);
         }
@@ -70,7 +71,7 @@ fn bench(c: &mut Criterion) {
             static_names
                 .iter()
                 .take(500)
-                .map(|(rank, name)| pipeline.measure_domain(*rank, name))
+                .filter(|(rank, name)| !snapshot.measure_domain(*rank, name).bare.pairs.is_empty())
                 .count()
         })
     });

@@ -4,8 +4,9 @@
 //! vantages and compare the Figure 2 means.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::engine::StudyEngine;
 use ripki::figures::fig2_rpki_outcome;
-use ripki::pipeline::{Pipeline, PipelineConfig};
+use ripki::pipeline::PipelineConfig;
 use ripki_bench::Study;
 use ripki_dns::Vantage;
 
@@ -20,9 +21,9 @@ fn bench(c: &mut Criterion) {
     println!("\n=== ablation: DNS vantage (Figure 2 overall means) ===");
     println!("vantage                     valid%   invalid%   notfound%");
     for vantage in vantages {
-        let pipeline = Pipeline::new(
-            &study.scenario.zones,
-            &study.scenario.rib,
+        let engine = StudyEngine::new(
+            study.scenario.zones.clone(),
+            study.scenario.rib.clone(),
             &study.scenario.repository,
             PipelineConfig {
                 vantage,
@@ -31,7 +32,7 @@ fn bench(c: &mut Criterion) {
                 ..Default::default()
             },
         );
-        let results = pipeline.run(&study.scenario.ranking);
+        let results = engine.run(&study.scenario.ranking);
         let fig = fig2_rpki_outcome(&results, study.bin);
         println!(
             "{:<26}  {:>6.2}   {:>8.3}   {:>9.2}",
@@ -46,9 +47,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_vantage");
     group.sample_size(10);
     group.bench_function("one_extra_vantage_run", |b| {
-        let pipeline = Pipeline::new(
-            &study.scenario.zones,
-            &study.scenario.rib,
+        let engine = StudyEngine::new(
+            study.scenario.zones.clone(),
+            study.scenario.rib.clone(),
             &study.scenario.repository,
             PipelineConfig {
                 vantage: Vantage::OPEN_DNS,
@@ -57,7 +58,7 @@ fn bench(c: &mut Criterion) {
                 ..Default::default()
             },
         );
-        b.iter(|| pipeline.run(&study.scenario.ranking))
+        b.iter(|| engine.run(&study.scenario.ranking))
     });
     group.finish();
 }

@@ -12,12 +12,15 @@ use ripki_bench::{print_bin_header, print_percent_series, Study};
 
 fn bench(c: &mut Criterion) {
     let study = Study::at_bench_scale();
-    let pipeline = study.pipeline();
-    let config = ExposureConfig { stride: 40, ..Default::default() };
+    let snapshot = study.engine.snapshot();
+    let config = ExposureConfig {
+        stride: 40,
+        ..Default::default()
+    };
     let exposures = exposure_curve(
         &study.results.domains,
         &study.scenario.topology,
-        pipeline.validator(),
+        snapshot.validator(),
         &config,
     );
     let series = binned(&exposures, study.results.domains.len(), study.bin);
@@ -60,7 +63,7 @@ fn bench(c: &mut Criterion) {
             exposure_curve(
                 &study.results.domains,
                 &study.scenario.topology,
-                pipeline.validator(),
+                snapshot.validator(),
                 &config,
             )
         })

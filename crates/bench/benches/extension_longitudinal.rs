@@ -6,8 +6,9 @@
 //! like re-measuring the same Internet months apart.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::engine::StudyEngine;
 use ripki::figures::fig2_rpki_outcome;
-use ripki::pipeline::{Pipeline, PipelineConfig};
+use ripki::pipeline::PipelineConfig;
 use ripki_bench::bench_domains;
 use ripki_websim::adoption::AdoptionConfig;
 use ripki_websim::{Scenario, ScenarioConfig};
@@ -27,13 +28,17 @@ fn run_epoch(domains: usize, factor: f64) -> (f64, usize) {
         adoption: scaled(&base.adoption, factor),
         ..base
     });
-    let pipeline = Pipeline::new(
-        &scenario.zones,
-        &scenario.rib,
+    let engine = StudyEngine::new(
+        scenario.zones.clone(),
+        scenario.rib.clone(),
         &scenario.repository,
-        PipelineConfig { bogus_dns_ppm: 0, now: scenario.now, ..Default::default() },
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now: scenario.now,
+            ..Default::default()
+        },
     );
-    let results = pipeline.run(&scenario.ranking);
+    let results = engine.run(&scenario.ranking);
     let valid = fig2_rpki_outcome(&results, (domains / 10).max(1))
         .valid
         .overall_mean()

@@ -29,12 +29,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| fig2_rpki_outcome(&study.results, study.bin))
     });
 
-    // The expensive part Figure 2 sits on: the full pipeline run.
+    // The expensive part Figure 2 sits on: the full engine run.
     let mut group = c.benchmark_group("fig2/pipeline");
     group.sample_size(10);
     group.bench_function("measure_all_domains", |b| {
-        let pipeline = study.pipeline();
-        b.iter(|| pipeline.run(&study.scenario.ranking))
+        b.iter(|| study.engine.run(&study.scenario.ranking))
     });
     group.finish();
 }

@@ -29,11 +29,7 @@ fn random_prefixes(n: usize, seed: u64) -> Vec<IpPrefix> {
 fn bench(c: &mut Criterion) {
     // --- trie vs linear scan -------------------------------------------
     let prefixes = random_prefixes(100_000, 7);
-    let trie: PrefixTrie<usize> = prefixes
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (*p, i))
-        .collect();
+    let trie: PrefixTrie<usize> = prefixes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
     let mut rng = StdRng::seed_from_u64(9);
     let queries: Vec<IpAddr> = (0..1024)
         .map(|_| IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())))

@@ -11,9 +11,7 @@ fn bench(c: &mut Criterion) {
 
     println!("\n=== Table 1: top domains with RPKI coverage ===");
     print!("{}", render_table1(&rows));
-    println!(
-        "(paper: facebook.com full, most others partial; lowest listed rank 130)"
-    );
+    println!("(paper: facebook.com full, most others partial; lowest listed rank 130)");
 
     c.bench_function("table1/scan_ranking", |b| {
         b.iter(|| table1_top_covered(&study.results, 10))

@@ -111,11 +111,23 @@ fn main() {
         ("fig1_equal_prefixes", fig1.to_csv("equal_fraction")),
         ("fig2_valid", fig2.valid.to_csv("valid_fraction")),
         ("fig2_invalid", fig2.invalid.to_csv("invalid_fraction")),
-        ("fig2_not_found", fig2.not_found.to_csv("not_found_fraction")),
-        ("fig3_cname_heuristic", fig3.cname_heuristic.to_csv("cdn_fraction")),
+        (
+            "fig2_not_found",
+            fig2.not_found.to_csv("not_found_fraction"),
+        ),
+        (
+            "fig3_cname_heuristic",
+            fig3.cname_heuristic.to_csv("cdn_fraction"),
+        ),
         ("fig3_httparchive", fig3.httparchive.to_csv("cdn_fraction")),
-        ("fig4_rpki_enabled", fig4.rpki_enabled.to_csv("covered_fraction")),
-        ("fig4_on_cdns", fig4.rpki_enabled_on_cdns.to_csv("covered_fraction")),
+        (
+            "fig4_rpki_enabled",
+            fig4.rpki_enabled.to_csv("covered_fraction"),
+        ),
+        (
+            "fig4_on_cdns",
+            fig4.rpki_enabled_on_cdns.to_csv("covered_fraction"),
+        ),
     ];
     for (name, text) in csv {
         let _ = std::fs::write(format!("results/{name}_{domains}.csv"), text);

@@ -13,7 +13,8 @@
 //! dumps machine-readable JSON next to it.
 
 use ripki::classify::HttpArchiveClassifier;
-use ripki::pipeline::{Pipeline, PipelineConfig, StudyResults};
+use ripki::engine::StudyEngine;
+use ripki::pipeline::{PipelineConfig, StudyResults};
 use ripki::stats::BinnedSeries;
 use ripki_websim::{Scenario, ScenarioConfig};
 
@@ -32,7 +33,10 @@ pub fn bench_domains() -> usize {
 pub struct Study {
     /// The generated world.
     pub scenario: Scenario,
-    /// Pipeline output over the whole ranking.
+    /// Snapshot-owning engine over this study's world (for re-runs and
+    /// per-domain measurements in benches).
+    pub engine: StudyEngine,
+    /// Engine output over the whole ranking.
     pub results: StudyResults,
     /// Bin width scaled so each study has 10 bins (mirrors the paper's
     /// 10k bins over 1M domains).
@@ -43,9 +47,9 @@ impl Study {
     /// Build and measure at the given scale.
     pub fn at_scale(domains: usize) -> Study {
         let scenario = Scenario::build(ScenarioConfig::with_domains(domains));
-        let pipeline = Pipeline::new(
-            &scenario.zones,
-            &scenario.rib,
+        let engine = StudyEngine::new(
+            scenario.zones.clone(),
+            scenario.rib.clone(),
             &scenario.repository,
             PipelineConfig {
                 bogus_dns_ppm: scenario.config.bogus_dns_ppm,
@@ -53,28 +57,19 @@ impl Study {
                 ..Default::default()
             },
         );
-        let results = pipeline.run(&scenario.ranking);
+        let results = engine.run(&scenario.ranking);
         let bin = (domains / 10).max(1);
-        Study { scenario, results, bin }
+        Study {
+            scenario,
+            engine,
+            results,
+            bin,
+        }
     }
 
     /// Build at the env-configured bench scale.
     pub fn at_bench_scale() -> Study {
         Study::at_scale(bench_domains())
-    }
-
-    /// A pipeline borrowing this study's world (for re-runs in benches).
-    pub fn pipeline(&self) -> Pipeline<'_> {
-        Pipeline::new(
-            &self.scenario.zones,
-            &self.scenario.rib,
-            &self.scenario.repository,
-            PipelineConfig {
-                bogus_dns_ppm: self.scenario.config.bogus_dns_ppm,
-                now: self.scenario.now,
-                ..Default::default()
-            },
-        )
     }
 
     /// The HTTPArchive classifier for this study's CDN namespace.
@@ -123,8 +118,8 @@ mod tests {
         assert_eq!(s.results.domains.len(), 400);
         assert_eq!(s.bin, 40);
         assert_eq!(s.cdn_patterns().len(), 16);
-        // Re-running through a fresh pipeline gives identical counts.
-        let again = s.pipeline().run(&s.scenario.ranking);
+        // Re-running through the engine gives identical counts.
+        let again = s.engine.run(&s.scenario.ranking);
         assert_eq!(again.domains.len(), 400);
     }
 

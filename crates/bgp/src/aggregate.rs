@@ -30,7 +30,11 @@ pub fn aggregate_siblings(a: &RibEntry, b: &RibEntry) -> Option<RibEntry> {
         return None;
     }
     let path = merge_paths(&a.path, &b.path)?;
-    Some(RibEntry { prefix: parent_a, path, peer: a.peer })
+    Some(RibEntry {
+        prefix: parent_a,
+        path,
+        peer: a.peer,
+    })
 }
 
 /// Merge two AS paths: common leading sequence, then an `AS_SET` of all

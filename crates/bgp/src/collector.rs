@@ -23,7 +23,10 @@ pub struct Collector {
 impl Collector {
     /// A collector fed by `vantages`.
     pub fn new(vantages: impl IntoIterator<Item = Asn>) -> Collector {
-        Collector { vantages: vantages.into_iter().collect(), observed: BTreeSet::new() }
+        Collector {
+            vantages: vantages.into_iter().collect(),
+            observed: BTreeSet::new(),
+        }
     }
 
     /// Record what the vantages see for one propagated prefix.

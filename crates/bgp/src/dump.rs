@@ -84,17 +84,26 @@ impl TableDump {
             let prefix = fields.next();
             let path = fields.next();
             let (Some(peer), Some(prefix), Some(path)) = (peer, prefix, path) else {
-                return Err(DumpError::BadRecord { line: line_no, content: raw.to_string() });
+                return Err(DumpError::BadRecord {
+                    line: line_no,
+                    content: raw.to_string(),
+                });
             };
             if tag != RECORD_TAG || fields.next().is_some() {
-                return Err(DumpError::BadRecord { line: line_no, content: raw.to_string() });
+                return Err(DumpError::BadRecord {
+                    line: line_no,
+                    content: raw.to_string(),
+                });
             }
-            let peer: Asn =
-                peer.parse().map_err(|_| DumpError::BadPeer { line: line_no })?;
-            let prefix: IpPrefix =
-                prefix.parse().map_err(|_| DumpError::BadPrefix { line: line_no })?;
-            let path: AsPath =
-                path.parse().map_err(|_| DumpError::BadPath { line: line_no })?;
+            let peer: Asn = peer
+                .parse()
+                .map_err(|_| DumpError::BadPeer { line: line_no })?;
+            let prefix: IpPrefix = prefix
+                .parse()
+                .map_err(|_| DumpError::BadPrefix { line: line_no })?;
+            let path: AsPath = path
+                .parse()
+                .map_err(|_| DumpError::BadPath { line: line_no })?;
             rib.insert(RibEntry { prefix, path, peer });
         }
         Ok(rib)

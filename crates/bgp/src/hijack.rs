@@ -301,9 +301,13 @@ mod tests {
     #[test]
     fn origin_hijack_without_rov_splits_the_world() {
         let (t, victim, attacker) = arena();
-        let scenario =
-            HijackScenario::origin_hijack(victim, attacker, p("203.0.113.0/24"));
-        let out = run(&t, &scenario, &RouteOriginValidator::new(), &BTreeSet::new());
+        let scenario = HijackScenario::origin_hijack(victim, attacker, p("203.0.113.0/24"));
+        let out = run(
+            &t,
+            &scenario,
+            &RouteOriginValidator::new(),
+            &BTreeSet::new(),
+        );
         // Victim side: victim, m1, t1a. Attacker side: attacker, m2, t1b.
         assert!(out.safe.contains(&victim));
         assert!(out.safe.contains(&Asn::new(1000)));
@@ -356,7 +360,12 @@ mod tests {
             p("203.0.113.0/24"),
             p("203.0.113.0/25"),
         );
-        let out = run(&t, &scenario, &RouteOriginValidator::new(), &BTreeSet::new());
+        let out = run(
+            &t,
+            &scenario,
+            &RouteOriginValidator::new(),
+            &BTreeSet::new(),
+        );
         // Longest-prefix match: every AS with the /25 routes to the
         // attacker — including the victim's own providers.
         assert_eq!(out.hijacked.len(), t.len() - 1);
@@ -368,12 +377,8 @@ mod tests {
     fn maxlength_roa_plus_rov_stops_subprefix_hijack() {
         let (t, victim, attacker) = arena();
         let prefix = p("203.0.113.0/24");
-        let scenario = HijackScenario::subprefix_hijack(
-            victim,
-            attacker,
-            prefix,
-            p("203.0.113.0/25"),
-        );
+        let scenario =
+            HijackScenario::subprefix_hijack(victim, attacker, prefix, p("203.0.113.0/25"));
         // ROA pins maxLength to 24: the /25 is Invalid for everyone.
         let validator = RouteOriginValidator::from_vrps([VrpTriple {
             prefix,

@@ -57,9 +57,7 @@ impl AsPath {
     /// A path that is a single `AS_SEQUENCE`.
     pub fn sequence(asns: impl IntoIterator<Item = u32>) -> AsPath {
         AsPath {
-            segments: vec![Segment::Sequence(
-                asns.into_iter().map(Asn::new).collect(),
-            )],
+            segments: vec![Segment::Sequence(asns.into_iter().map(Asn::new).collect())],
         }
     }
 

@@ -21,8 +21,8 @@
 
 use crate::topology::Topology;
 use ripki_net::Asn;
-use std::collections::{BTreeMap, BinaryHeap};
 use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 /// How a selected route was learned.
@@ -64,7 +64,12 @@ pub struct Route {
 
 impl Route {
     fn origin_route(asn: Asn) -> Route {
-        Route { kind: RouteKind::Origin, next_hop: None, origin: asn, path: Vec::new() }
+        Route {
+            kind: RouteKind::Origin,
+            next_hop: None,
+            origin: asn,
+            path: Vec::new(),
+        }
     }
 
     /// Path length in hops.
@@ -143,7 +148,9 @@ pub fn propagate(
         let mut candidates: BTreeMap<Asn, Route> = BTreeMap::new();
         for u in &frontier {
             let u_route = routes.get(u).expect("frontier members are routed").clone();
-            let Some(node) = topology.node(*u) else { continue };
+            let Some(node) = topology.node(*u) else {
+                continue;
+            };
             for v in &node.providers {
                 if routes.contains_key(v) {
                     continue;
@@ -179,7 +186,9 @@ pub fn propagate(
         if !matches!(u_route.kind, RouteKind::Origin | RouteKind::Customer) {
             continue;
         }
-        let Some(node) = topology.node(*u) else { continue };
+        let Some(node) = topology.node(*u) else {
+            continue;
+        };
         for v in &node.peers {
             if routes.contains_key(v) {
                 continue;
@@ -211,9 +220,9 @@ pub fn propagate(
     let mut heap: BinaryHeap<Reverse<(usize, u32, u32)>> = BinaryHeap::new();
     let mut pending: BTreeMap<(usize, u32, u32), Route> = BTreeMap::new();
     let seed = |routes: &BTreeMap<Asn, Route>,
-                    heap: &mut BinaryHeap<Reverse<(usize, u32, u32)>>,
-                    pending: &mut BTreeMap<(usize, u32, u32), Route>,
-                    u: Asn| {
+                heap: &mut BinaryHeap<Reverse<(usize, u32, u32)>>,
+                pending: &mut BTreeMap<(usize, u32, u32), Route>,
+                u: Asn| {
         let u_route = routes.get(&u).expect("seed must be routed").clone();
         let Some(node) = topology.node(u) else { return };
         for v in &node.customers {
@@ -230,8 +239,8 @@ pub fn propagate(
                 origin: u_route.origin,
                 path,
             };
-            if !pending.contains_key(&key) {
-                pending.insert(key, cand);
+            if let std::collections::btree_map::Entry::Vacant(e) = pending.entry(key) {
+                e.insert(cand);
                 heap.push(Reverse(key));
             }
         }
@@ -241,7 +250,9 @@ pub fn propagate(
         seed(&routes, &mut heap, &mut pending, u);
     }
     while let Some(Reverse(key)) = heap.pop() {
-        let Some(cand) = pending.remove(&key) else { continue };
+        let Some(cand) = pending.remove(&key) else {
+            continue;
+        };
         let v = Asn::new(key.2);
         if routes.contains_key(&v) {
             continue;
@@ -371,15 +382,13 @@ mod tests {
     fn import_filter_blocks_and_traffic_routes_around() {
         let (t, [t1a, _t1b, m1, _m2, _m3, s1, _s2]) = diamond();
         // t1a refuses routes originated by s1.
-        let filter = |importer: Asn, origin: Asn| {
-            !(importer == t1a && origin == s1)
-        };
+        let filter = |importer: Asn, origin: Asn| !(importer == t1a && origin == s1);
         let out = propagate(&t, &[s1], &filter);
         assert_eq!(out.reaches(m1), Some(s1)); // below the filter
         assert_eq!(out.reaches(t1a), None); // filtered
-        // t1b can still be reached via... no path that avoids t1a exists
-        // for a customer route; peer export from m1 doesn't exist. So t1b
-        // is also unreachable.
+                                            // t1b can still be reached via... no path that avoids t1a exists
+                                            // for a customer route; peer export from m1 doesn't exist. So t1b
+                                            // is also unreachable.
         assert_eq!(out.reaches(Asn::new(11)), None);
     }
 
@@ -412,7 +421,7 @@ mod tests {
         for (asn, route) in out.iter() {
             // No AS appears twice in a path, and the path ends at origin.
             let mut seen = std::collections::HashSet::new();
-            assert!(!seen.insert(asn) == false);
+            assert!(seen.insert(asn), "duplicate ASN on path");
             for hop in &route.path {
                 assert!(seen.insert(*hop), "loop at AS{}", hop.value());
             }

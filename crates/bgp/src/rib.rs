@@ -33,7 +33,13 @@ impl RibEntry {
 
 impl fmt::Display for RibEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} via [{}] (peer AS{})", self.prefix, self.path, self.peer.value())
+        write!(
+            f,
+            "{} via [{}] (peer AS{})",
+            self.prefix,
+            self.path,
+            self.peer.value()
+        )
     }
 }
 
@@ -84,12 +90,8 @@ impl Rib {
     /// Insert an entry.
     pub fn insert(&mut self, entry: RibEntry) {
         self.entry_count += 1;
-        if let Some(existing) = self.trie.get(&entry.prefix) {
-            // Avoid trie remove/insert churn: get_mut is not offered, so
-            // re-insert the extended vector.
-            let mut v = existing.clone();
-            v.push(entry.clone());
-            self.trie.insert(entry.prefix, v);
+        if let Some(existing) = self.trie.get_mut(&entry.prefix) {
+            existing.push(entry);
         } else {
             self.trie.insert(entry.prefix, vec![entry]);
         }
@@ -132,7 +134,10 @@ impl Rib {
         for entry in self.lookup_addr(addr) {
             match entry.path.origin() {
                 Origin::Asn(origin) => {
-                    mapping.pairs.push(PrefixOrigin { prefix: entry.prefix, origin });
+                    mapping.pairs.push(PrefixOrigin {
+                        prefix: entry.prefix,
+                        origin,
+                    });
                 }
                 Origin::Set(_) => mapping.as_set_skipped += 1,
                 Origin::None => {}
@@ -155,7 +160,10 @@ impl Rib {
         let mut out: Vec<PrefixOrigin> = self
             .iter()
             .filter_map(|e| {
-                e.origin().map(|origin| PrefixOrigin { prefix: e.prefix, origin })
+                e.origin().map(|origin| PrefixOrigin {
+                    prefix: e.prefix,
+                    origin,
+                })
             })
             .collect();
         out.sort();

@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three RFC 6811 validation states.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum RpkiState {
     /// A covering VRP authorizes this exact (prefix length, origin).
     Valid,
@@ -55,7 +53,7 @@ pub struct VrpTriple {
 #[derive(Debug, Clone, Default)]
 pub struct RouteOriginValidator {
     trie: PrefixTrie<Vec<(u8, Asn)>>,
-    count: usize,
+    triples: Vec<VrpTriple>,
 }
 
 impl RouteOriginValidator {
@@ -75,24 +73,30 @@ impl RouteOriginValidator {
 
     /// Add one VRP.
     pub fn add(&mut self, vrp: VrpTriple) {
-        self.count += 1;
-        if let Some(existing) = self.trie.get(&vrp.prefix) {
-            let mut v = existing.clone();
-            v.push((vrp.max_length, vrp.asn));
-            self.trie.insert(vrp.prefix, v);
+        self.triples.push(vrp);
+        if let Some(existing) = self.trie.get_mut(&vrp.prefix) {
+            existing.push((vrp.max_length, vrp.asn));
         } else {
-            self.trie.insert(vrp.prefix, vec![(vrp.max_length, vrp.asn)]);
+            self.trie
+                .insert(vrp.prefix, vec![(vrp.max_length, vrp.asn)]);
         }
     }
 
     /// Number of VRPs loaded.
     pub fn len(&self) -> usize {
-        self.count
+        self.triples.len()
     }
 
     /// Whether no VRPs are loaded.
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.triples.is_empty()
+    }
+
+    /// The VRP triples this validator was built from, in insertion
+    /// order — what a snapshot feeds an RTR cache or diffs across
+    /// epochs without re-walking the trie.
+    pub fn vrps(&self) -> &[VrpTriple] {
+        &self.triples
     }
 
     /// RFC 6811 validation of an announcement.
@@ -127,37 +131,62 @@ mod tests {
     }
 
     fn vrp(prefix: &str, ml: u8, asn: u32) -> VrpTriple {
-        VrpTriple { prefix: p(prefix), max_length: ml, asn: Asn::new(asn) }
+        VrpTriple {
+            prefix: p(prefix),
+            max_length: ml,
+            asn: Asn::new(asn),
+        }
     }
 
     #[test]
     fn not_found_when_uncovered() {
         let v = RouteOriginValidator::from_vrps([vrp("10.0.0.0/16", 16, 100)]);
-        assert_eq!(v.validate(&p("11.0.0.0/16"), Asn::new(100)), RpkiState::NotFound);
+        assert_eq!(
+            v.validate(&p("11.0.0.0/16"), Asn::new(100)),
+            RpkiState::NotFound
+        );
         assert!(!v.is_covered(&p("11.0.0.0/16")));
         // A *less specific* announcement than any VRP is also uncovered.
-        assert_eq!(v.validate(&p("10.0.0.0/8"), Asn::new(100)), RpkiState::NotFound);
+        assert_eq!(
+            v.validate(&p("10.0.0.0/8"), Asn::new(100)),
+            RpkiState::NotFound
+        );
     }
 
     #[test]
     fn valid_exact_match() {
         let v = RouteOriginValidator::from_vrps([vrp("10.0.0.0/16", 16, 100)]);
-        assert_eq!(v.validate(&p("10.0.0.0/16"), Asn::new(100)), RpkiState::Valid);
+        assert_eq!(
+            v.validate(&p("10.0.0.0/16"), Asn::new(100)),
+            RpkiState::Valid
+        );
     }
 
     #[test]
     fn invalid_wrong_origin() {
         let v = RouteOriginValidator::from_vrps([vrp("10.0.0.0/16", 16, 100)]);
-        assert_eq!(v.validate(&p("10.0.0.0/16"), Asn::new(200)), RpkiState::Invalid);
+        assert_eq!(
+            v.validate(&p("10.0.0.0/16"), Asn::new(200)),
+            RpkiState::Invalid
+        );
     }
 
     #[test]
     fn maxlength_controls_more_specifics() {
         let v = RouteOriginValidator::from_vrps([vrp("10.0.0.0/16", 20, 100)]);
-        assert_eq!(v.validate(&p("10.0.0.0/20"), Asn::new(100)), RpkiState::Valid);
-        assert_eq!(v.validate(&p("10.0.0.0/18"), Asn::new(100)), RpkiState::Valid);
+        assert_eq!(
+            v.validate(&p("10.0.0.0/20"), Asn::new(100)),
+            RpkiState::Valid
+        );
+        assert_eq!(
+            v.validate(&p("10.0.0.0/18"), Asn::new(100)),
+            RpkiState::Valid
+        );
         // Too specific: the classic subprefix-hijack defence.
-        assert_eq!(v.validate(&p("10.0.0.0/24"), Asn::new(100)), RpkiState::Invalid);
+        assert_eq!(
+            v.validate(&p("10.0.0.0/24"), Asn::new(100)),
+            RpkiState::Invalid
+        );
     }
 
     #[test]
@@ -166,18 +195,36 @@ mod tests {
             vrp("10.0.0.0/16", 16, 100),
             vrp("10.0.0.0/16", 16, 200),
         ]);
-        assert_eq!(v.validate(&p("10.0.0.0/16"), Asn::new(100)), RpkiState::Valid);
-        assert_eq!(v.validate(&p("10.0.0.0/16"), Asn::new(200)), RpkiState::Valid);
-        assert_eq!(v.validate(&p("10.0.0.0/16"), Asn::new(300)), RpkiState::Invalid);
+        assert_eq!(
+            v.validate(&p("10.0.0.0/16"), Asn::new(100)),
+            RpkiState::Valid
+        );
+        assert_eq!(
+            v.validate(&p("10.0.0.0/16"), Asn::new(200)),
+            RpkiState::Valid
+        );
+        assert_eq!(
+            v.validate(&p("10.0.0.0/16"), Asn::new(300)),
+            RpkiState::Invalid
+        );
     }
 
     #[test]
     fn covering_vrp_from_shorter_prefix() {
         // VRP for /8 with maxlen 16 covers /12 announcements.
         let v = RouteOriginValidator::from_vrps([vrp("10.0.0.0/8", 16, 100)]);
-        assert_eq!(v.validate(&p("10.16.0.0/12"), Asn::new(100)), RpkiState::Valid);
-        assert_eq!(v.validate(&p("10.16.0.0/12"), Asn::new(9)), RpkiState::Invalid);
-        assert_eq!(v.validate(&p("10.0.0.0/24"), Asn::new(100)), RpkiState::Invalid);
+        assert_eq!(
+            v.validate(&p("10.16.0.0/12"), Asn::new(100)),
+            RpkiState::Valid
+        );
+        assert_eq!(
+            v.validate(&p("10.16.0.0/12"), Asn::new(9)),
+            RpkiState::Invalid
+        );
+        assert_eq!(
+            v.validate(&p("10.0.0.0/24"), Asn::new(100)),
+            RpkiState::Invalid
+        );
     }
 
     #[test]
@@ -185,14 +232,20 @@ mod tests {
         // RFC 7607: AS0 ROAs state "do not route"; any real origin is
         // invalid because AS0 never matches an announcement's origin.
         let v = RouteOriginValidator::from_vrps([vrp("192.0.2.0/24", 24, 0)]);
-        assert_eq!(v.validate(&p("192.0.2.0/24"), Asn::new(100)), RpkiState::Invalid);
+        assert_eq!(
+            v.validate(&p("192.0.2.0/24"), Asn::new(100)),
+            RpkiState::Invalid
+        );
     }
 
     #[test]
     fn empty_validator_finds_nothing() {
         let v = RouteOriginValidator::new();
         assert!(v.is_empty());
-        assert_eq!(v.validate(&p("10.0.0.0/8"), Asn::new(1)), RpkiState::NotFound);
+        assert_eq!(
+            v.validate(&p("10.0.0.0/8"), Asn::new(1)),
+            RpkiState::NotFound
+        );
     }
 
     #[test]

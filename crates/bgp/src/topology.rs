@@ -73,8 +73,16 @@ impl Topology {
     /// `provider`). Idempotent.
     pub fn add_customer_provider(&mut self, customer: Asn, provider: Asn) {
         debug_assert_ne!(customer, provider);
-        self.nodes.entry(customer).or_default().providers.insert(provider);
-        self.nodes.entry(provider).or_default().customers.insert(customer);
+        self.nodes
+            .entry(customer)
+            .or_default()
+            .providers
+            .insert(provider);
+        self.nodes
+            .entry(provider)
+            .or_default()
+            .customers
+            .insert(customer);
     }
 
     /// Add a peer–peer edge. Idempotent.
@@ -189,7 +197,12 @@ impl Topology {
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "topology: {} ASes, {} edges", self.len(), self.edge_count())
+        write!(
+            f,
+            "topology: {} ASes, {} edges",
+            self.len(),
+            self.edge_count()
+        )
     }
 }
 

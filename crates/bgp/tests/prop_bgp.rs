@@ -12,9 +12,8 @@ use ripki_net::{Asn, IpPrefix, Ipv4Prefix};
 use std::net::Ipv4Addr;
 
 fn arb_prefix() -> impl Strategy<Value = IpPrefix> {
-    (any::<u32>(), 8u8..=28).prop_map(|(bits, len)| {
-        IpPrefix::V4(Ipv4Prefix::new(Ipv4Addr::from(bits), len).unwrap())
-    })
+    (any::<u32>(), 8u8..=28)
+        .prop_map(|(bits, len)| IpPrefix::V4(Ipv4Prefix::new(Ipv4Addr::from(bits), len).unwrap()))
 }
 
 fn arb_vrp() -> impl Strategy<Value = (IpPrefix, u8, u32)> {

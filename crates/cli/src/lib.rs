@@ -18,8 +18,9 @@
 //! binary uses, with output captured.
 
 use ripki::classify::HttpArchiveClassifier;
+use ripki::engine::StudyEngine;
 use ripki::figures;
-use ripki::pipeline::{Pipeline, PipelineConfig};
+use ripki::pipeline::PipelineConfig;
 use ripki::report::HeadlineStats;
 use ripki::tables;
 use ripki_bgp::dump::TableDump;
@@ -197,7 +198,13 @@ fn load_world(dir: &Path) -> Result<World, CliError> {
         .and_then(|v| v.trim().parse::<u64>().ok())
         .map(SimTime)
         .unwrap_or_else(SimTime::start_of_study);
-    Ok(World { ranking, zones, rib, repository, now })
+    Ok(World {
+        ranking,
+        zones,
+        rib,
+        repository,
+        now,
+    })
 }
 
 // ---- subcommands -----------------------------------------------------------
@@ -207,7 +214,10 @@ fn cmd_generate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let domains: usize = flags.get_parsed("domains", 20_000)?;
     let seed: u64 = flags.get_parsed("seed", 42)?;
     writeln!(out, "generating world: {domains} domains, seed {seed}")?;
-    let scenario = Scenario::build(ScenarioConfig { seed, ..ScenarioConfig::with_domains(domains) });
+    let scenario = Scenario::build(ScenarioConfig {
+        seed,
+        ..ScenarioConfig::with_domains(domains)
+    });
 
     std::fs::create_dir_all(&dir)?;
     let mut ranking_text = String::new();
@@ -220,8 +230,7 @@ fn cmd_generate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     // Export every name the resolver may touch: listed names, both
     // forms, their chains, and asset subdomains.
     let mut all_names: Vec<DomainName> = Vec::new();
-    let resolver =
-        ripki_dns::Resolver::new(&scenario.zones, ripki_dns::Vantage::GOOGLE_DNS_BERLIN);
+    let resolver = ripki_dns::Resolver::new(&scenario.zones, ripki_dns::Vantage::GOOGLE_DNS_BERLIN);
     for listed in &scenario.ranking {
         let bare = listed.without_www();
         for form in [bare.clone(), bare.with_www()] {
@@ -244,7 +253,10 @@ fn cmd_generate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         .map_err(|e| CliError::Data(e.to_string()))?;
     std::fs::write(
         meta_path(&dir),
-        format!("now: {}\nseed: {seed}\ndomains: {domains}\n", scenario.now.as_secs()),
+        format!(
+            "now: {}\nseed: {seed}\ndomains: {domains}\n",
+            scenario.now.as_secs()
+        ),
     )?;
     writeln!(
         out,
@@ -259,8 +271,8 @@ fn cmd_generate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
 
 fn cmd_validate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let dir = PathBuf::from(flags.require("data")?);
-    let repository = ripki_rpki::load_archive(&rpki_path(&dir))
-        .map_err(|e| CliError::Data(e.to_string()))?;
+    let repository =
+        ripki_rpki::load_archive(&rpki_path(&dir)).map_err(|e| CliError::Data(e.to_string()))?;
     let meta = std::fs::read_to_string(meta_path(&dir)).unwrap_or_default();
     let now = meta
         .lines()
@@ -292,8 +304,8 @@ fn cmd_validate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn build_validator(dir: &Path) -> Result<(RouteOriginValidator, SimTime), CliError> {
-    let repository = ripki_rpki::load_archive(&rpki_path(dir))
-        .map_err(|e| CliError::Data(e.to_string()))?;
+    let repository =
+        ripki_rpki::load_archive(&rpki_path(dir)).map_err(|e| CliError::Data(e.to_string()))?;
     let meta = std::fs::read_to_string(meta_path(dir)).unwrap_or_default();
     let now = meta
         .lines()
@@ -322,7 +334,13 @@ fn cmd_rov(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         .parse()
         .map_err(|e| CliError::Data(format!("asn: {e}")))?;
     let (validator, _) = build_validator(&dir)?;
-    writeln!(out, "{} from {} → {}", prefix, asn, validator.validate(&prefix, asn))?;
+    writeln!(
+        out,
+        "{} from {} → {}",
+        prefix,
+        asn,
+        validator.validate(&prefix, asn)
+    )?;
     Ok(())
 }
 
@@ -330,13 +348,17 @@ fn cmd_study(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let dir = PathBuf::from(flags.require("data")?);
     let world = load_world(&dir)?;
     let bin: usize = flags.get_parsed("bin", (world.ranking.len() / 10).max(1))?;
-    let pipeline = Pipeline::new(
-        &world.zones,
-        &world.rib,
+    let engine = StudyEngine::new(
+        world.zones.clone(),
+        world.rib.clone(),
         &world.repository,
-        PipelineConfig { bogus_dns_ppm: 0, now: world.now, ..Default::default() },
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now: world.now,
+            ..Default::default()
+        },
     );
-    let results = pipeline.run(&world.ranking);
+    let results = engine.run(&world.ranking);
     writeln!(out, "{}", HeadlineStats::compute(&results))?;
 
     let fig2 = figures::fig2_rpki_outcome(&results, bin);
@@ -381,22 +403,23 @@ fn cmd_study(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
 fn cmd_rtr_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let dir = PathBuf::from(flags.require("data")?);
     let listen = flags.require("listen")?;
-    let repository = ripki_rpki::load_archive(&rpki_path(&dir))
-        .map_err(|e| CliError::Data(e.to_string()))?;
-    let meta = std::fs::read_to_string(meta_path(&dir)).unwrap_or_default();
-    let now = meta
-        .lines()
-        .find_map(|l| l.strip_prefix("now: "))
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map(SimTime)
-        .unwrap_or_else(SimTime::start_of_study);
-    let report = validate(&repository, now);
+    let world = load_world(&dir)?;
+    // The engine validates the repository into an epoch-1 snapshot; the
+    // RTR cache serves that snapshot's VRPs under the epoch as serial,
+    // so a future `install_rpki` maps onto a serial increment.
+    let engine = StudyEngine::new(
+        world.zones,
+        world.rib,
+        &world.repository,
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now: world.now,
+            ..Default::default()
+        },
+    );
+    let snapshot = engine.snapshot();
     let cache = std::sync::Arc::new(ripki_rtr::CacheServer::new(0x1715));
-    cache.update(report.vrps.iter().map(|v| VrpTriple {
-        prefix: v.prefix,
-        max_length: v.max_length,
-        asn: v.asn,
-    }));
+    cache.install_snapshot(snapshot.epoch() as u32, snapshot.vrps().iter().copied());
     let listener = std::net::TcpListener::bind(listen)?;
     writeln!(
         out,
@@ -409,8 +432,7 @@ fn cmd_rtr_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         let cache = cache.clone();
         std::thread::spawn(move || {
             // TCP transport: serve with unsolicited Serial Notify.
-            let _ = cache
-                .serve_tcp_with_notify(conn, std::time::Duration::from_secs(1));
+            let _ = cache.serve_tcp_with_notify(conn, std::time::Duration::from_secs(1));
         });
     }
     Ok(())
@@ -419,13 +441,13 @@ fn cmd_rtr_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ripki::pipeline::Pipeline;
     use std::sync::atomic::{AtomicU32, Ordering};
 
     fn scratch() -> PathBuf {
         static COUNTER: AtomicU32 = AtomicU32::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir =
-            std::env::temp_dir().join(format!("ripki-cli-test-{}-{n}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("ripki-cli-test-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -456,8 +478,10 @@ mod tests {
     #[test]
     fn flag_errors() {
         let mut out = Vec::new();
-        let args: Vec<String> =
-            ["generate", "--out"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["generate", "--out"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(matches!(run(&args, &mut out), Err(CliError::BadFlag(_))));
         let args: Vec<String> = ["generate"].iter().map(|s| s.to_string()).collect();
         assert!(matches!(run(&args, &mut out), Err(CliError::BadFlag(_))));
@@ -473,7 +497,13 @@ mod tests {
         let dir = scratch();
         let dir_s = dir.to_str().unwrap();
         let text = run_ok(&[
-            "generate", "--out", dir_s, "--domains", "1500", "--seed", "7",
+            "generate",
+            "--out",
+            dir_s,
+            "--domains",
+            "1500",
+            "--seed",
+            "7",
         ]);
         assert!(text.contains("wrote"));
         assert!(dir.join("ranking.txt").is_file());
@@ -513,7 +543,15 @@ mod tests {
     fn study_from_files_matches_in_memory_study() {
         let dir = scratch();
         let dir_s = dir.to_str().unwrap();
-        run_ok(&["generate", "--out", dir_s, "--domains", "800", "--seed", "9"]);
+        run_ok(&[
+            "generate",
+            "--out",
+            dir_s,
+            "--domains",
+            "800",
+            "--seed",
+            "9",
+        ]);
 
         // File-based.
         let world = load_world(&dir).unwrap();
@@ -521,7 +559,11 @@ mod tests {
             &world.zones,
             &world.rib,
             &world.repository,
-            PipelineConfig { bogus_dns_ppm: 0, now: world.now, ..Default::default() },
+            PipelineConfig {
+                bogus_dns_ppm: 0,
+                now: world.now,
+                ..Default::default()
+            },
         );
         let file_results = pipeline.run(&world.ranking);
 
@@ -534,7 +576,11 @@ mod tests {
             &scenario.zones,
             &scenario.rib,
             &scenario.repository,
-            PipelineConfig { bogus_dns_ppm: 0, now: scenario.now, ..Default::default() },
+            PipelineConfig {
+                bogus_dns_ppm: 0,
+                now: scenario.now,
+                ..Default::default()
+            },
         );
         let mem_results = pipeline.run(&scenario.ranking);
 

@@ -57,7 +57,11 @@ impl Keypair {
         let secret = SecretKey::from_seed(&seed);
         let public = secret.public_key();
         let key_id = KeyId::of(&public);
-        Keypair { secret, public, key_id }
+        Keypair {
+            secret,
+            public,
+            key_id,
+        }
     }
 }
 

@@ -43,6 +43,6 @@ pub mod schnorr;
 pub mod sha256;
 pub mod tlv;
 
-pub use keystore::{KeyId, Keypair, KeyStore};
+pub use keystore::{KeyId, KeyStore, Keypair};
 pub use schnorr::{PublicKey, SecretKey, Signature, SignatureError};
 pub use sha256::{sha256, Digest};

@@ -176,12 +176,16 @@ impl SecretKey {
     pub fn from_seed(seed: &[u8]) -> SecretKey {
         let mut h = Sha256::new();
         h.update(b"ripki-crypto/keygen/v1").update(seed);
-        SecretKey { scalar: digest_to_scalar(h.finalize().as_bytes()) }
+        SecretKey {
+            scalar: digest_to_scalar(h.finalize().as_bytes()),
+        }
     }
 
     /// The corresponding public key.
     pub fn public_key(&self) -> PublicKey {
-        PublicKey { element: pow_mod_p(G, self.scalar) }
+        PublicKey {
+            element: pow_mod_p(G, self.scalar),
+        }
     }
 
     /// Sign `message` deterministically.
@@ -222,11 +226,7 @@ impl PublicKey {
     }
 
     /// Verify `signature` over `message`.
-    pub fn verify(
-        &self,
-        message: &[u8],
-        signature: &Signature,
-    ) -> Result<(), SignatureError> {
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
         if signature.e == 0
             || signature.e >= Q
             || signature.s >= Q
@@ -337,7 +337,10 @@ mod tests {
         let sk = SecretKey::from_seed(b"seed");
         let pk = sk.public_key();
         let sig = sk.sign(b"payload");
-        assert_eq!(pk.verify(b"payloae", &sig), Err(SignatureError::BadSignature));
+        assert_eq!(
+            pk.verify(b"payloae", &sig),
+            Err(SignatureError::BadSignature)
+        );
         assert_eq!(pk.verify(b"", &sig), Err(SignatureError::BadSignature));
     }
 
@@ -347,8 +350,14 @@ mod tests {
         let pk = sk.public_key();
         let msg = b"payload";
         let sig = sk.sign(msg);
-        let bad_e = Signature { e: sig.e ^ 1, ..sig };
-        let bad_s = Signature { s: sig.s ^ 1, ..sig };
+        let bad_e = Signature {
+            e: sig.e ^ 1,
+            ..sig
+        };
+        let bad_s = Signature {
+            s: sig.s ^ 1,
+            ..sig
+        };
         assert!(pk.verify(msg, &bad_e).is_err());
         assert!(pk.verify(msg, &bad_s).is_err());
     }
@@ -371,9 +380,15 @@ mod tests {
             Signature { e: 0, s: sig.s },
             Signature { e: Q, s: sig.s },
             Signature { e: sig.e, s: Q },
-            Signature { e: u128::MAX, s: u128::MAX },
+            Signature {
+                e: u128::MAX,
+                s: u128::MAX,
+            },
         ] {
-            assert_eq!(pk.verify(b"m", &bad), Err(SignatureError::MalformedSignature));
+            assert_eq!(
+                pk.verify(b"m", &bad),
+                Err(SignatureError::MalformedSignature)
+            );
         }
         let zero_pk = PublicKey::from_element(0);
         assert_eq!(

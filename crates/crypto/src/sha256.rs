@@ -60,24 +60,20 @@ impl fmt::Display for Digest {
 /// FIPS 180-4 §4.2.2 round constants: the first 32 bits of the fractional
 /// parts of the cube roots of the first 64 primes.
 const K: [u32; 64] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
 /// FIPS 180-4 §5.3.3 initial hash value: the first 32 bits of the
 /// fractional parts of the square roots of the first 8 primes.
 const H0: [u32; 8] = [
-    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
-    0x1f83d9ab, 0x5be0cd19,
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
 /// Incremental SHA-256 state.
@@ -98,7 +94,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Fresh hash state.
     pub fn new() -> Sha256 {
-        Sha256 { state: H0, buffer: [0; 64], buffered: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buffer: [0; 64],
+            buffered: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorb `data`.
@@ -107,8 +108,7 @@ impl Sha256 {
         let mut input = data;
         if self.buffered > 0 {
             let take = (64 - self.buffered).min(input.len());
-            self.buffer[self.buffered..self.buffered + take]
-                .copy_from_slice(&input[..take]);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
             self.buffered += take;
             input = &input[take..];
             if self.buffered == 64 {
@@ -158,12 +158,8 @@ impl Sha256 {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         for t in 16..64 {
-            let s0 = w[t - 15].rotate_right(7)
-                ^ w[t - 15].rotate_right(18)
-                ^ (w[t - 15] >> 3);
-            let s1 = w[t - 2].rotate_right(17)
-                ^ w[t - 2].rotate_right(19)
-                ^ (w[t - 2] >> 10);
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
             w[t] = w[t - 16]
                 .wrapping_add(s0)
                 .wrapping_add(w[t - 7])
@@ -171,16 +167,14 @@ impl Sha256 {
         }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
         for t in 0..64 {
-            let big_s1 =
-                e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
             let t1 = h
                 .wrapping_add(big_s1)
                 .wrapping_add(ch)
                 .wrapping_add(K[t])
                 .wrapping_add(w[t]);
-            let big_s0 =
-                a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let t2 = big_s0.wrapping_add(maj);
             h = g;
@@ -278,9 +272,18 @@ mod tests {
         // Message lengths around the padding boundary (55/56/64 bytes).
         // Cross-checked against `sha256sum`.
         let known: &[(usize, &str)] = &[
-            (55, "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"),
-            (56, "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"),
-            (64, "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"),
+            (
+                55,
+                "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318",
+            ),
+            (
+                56,
+                "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a",
+            ),
+            (
+                64,
+                "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb",
+            ),
         ];
         for (len, want) in known {
             let data = vec![b'a'; *len];

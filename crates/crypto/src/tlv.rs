@@ -24,7 +24,11 @@ pub enum TlvError {
     /// The element found does not carry the expected tag.
     UnexpectedTag { expected: u8, found: u8 },
     /// A fixed-width value had the wrong length.
-    BadLength { tag: u8, expected: usize, found: usize },
+    BadLength {
+        tag: u8,
+        expected: usize,
+        found: usize,
+    },
     /// Trailing bytes remained after a complete parse.
     TrailingData(usize),
     /// A string value was not valid UTF-8.
@@ -38,7 +42,11 @@ impl fmt::Display for TlvError {
             TlvError::UnexpectedTag { expected, found } => {
                 write!(f, "expected tag {expected:#04x}, found {found:#04x}")
             }
-            TlvError::BadLength { tag, expected, found } => write!(
+            TlvError::BadLength {
+                tag,
+                expected,
+                found,
+            } => write!(
                 f,
                 "tag {tag:#04x}: expected {expected} value bytes, found {found}"
             ),
@@ -70,7 +78,9 @@ pub struct Writer {
 impl Writer {
     /// Fresh empty writer.
     pub fn new() -> Writer {
-        Writer { buf: BytesMut::new() }
+        Writer {
+            buf: BytesMut::new(),
+        }
     }
 
     fn header(&mut self, tag: u8, len: usize) -> &mut Self {
@@ -152,7 +162,10 @@ impl<'a> Reader<'a> {
         }
         let found = self.buf[0];
         if found != tag {
-            return Err(TlvError::UnexpectedTag { expected: tag, found });
+            return Err(TlvError::UnexpectedTag {
+                expected: tag,
+                found,
+            });
         }
         let mut len_bytes = &self.buf[1..5];
         let len = len_bytes.get_u32() as usize;
@@ -167,7 +180,11 @@ impl<'a> Reader<'a> {
     fn get_fixed<const N: usize>(&mut self, tag: u8) -> Result<[u8; N], TlvError> {
         let v = self.get_bytes(tag)?;
         if v.len() != N {
-            return Err(TlvError::BadLength { tag, expected: N, found: v.len() });
+            return Err(TlvError::BadLength {
+                tag,
+                expected: N,
+                found: v.len(),
+            });
         }
         let mut out = [0u8; N];
         out.copy_from_slice(v);
@@ -261,7 +278,10 @@ mod tests {
         let mut r = Reader::new(&bytes);
         assert_eq!(
             r.get_u8(2),
-            Err(TlvError::UnexpectedTag { expected: 2, found: 1 })
+            Err(TlvError::UnexpectedTag {
+                expected: 2,
+                found: 1
+            })
         );
     }
 
@@ -284,7 +304,11 @@ mod tests {
         let mut r = Reader::new(&bytes);
         assert_eq!(
             r.get_u32(1),
-            Err(TlvError::BadLength { tag: 1, expected: 4, found: 3 })
+            Err(TlvError::BadLength {
+                tag: 1,
+                expected: 4,
+                found: 3
+            })
         );
     }
 

@@ -1,0 +1,189 @@
+//! Shared-tail memoization for the resolver.
+//!
+//! In a CDN-heavy web, thousands of ranked domains CNAME into the same
+//! handful of provider names (`shop.cdnprovider.net` →
+//! `edge7.cdnprovider.net` → addresses). A batch study resolves each
+//! *query* name once, but re-walks those shared tails over and over.
+//! [`ResolutionCache`] memoizes the resolution **from every CNAME target
+//! onward**, so a shared tail is resolved once per epoch and spliced into
+//! every chain that reaches it.
+//!
+//! ## Invalidation rules
+//!
+//! A cache is valid for exactly one `(ZoneStore, Vantage)` pair:
+//!
+//! * zone data is immutable for the cache's lifetime — a world with new
+//!   DNS data needs a fresh cache (the study engine ties cache lifetime
+//!   to its zone snapshot);
+//! * answers are vantage-dependent (geo-DNS overrides), so the cache is
+//!   pinned to one [`Vantage`] and refuses use from any other;
+//! * RPKI epoch swaps do **not** touch DNS, so the engine carries one
+//!   cache across epochs of the same world.
+//!
+//! Entries are keyed by CNAME-target name and store the tail chain plus
+//! the terminal outcome. Loop and chain-length checks are re-run against
+//! the *caller's* full chain at splice time, so cached and uncached
+//! resolution are observably identical (including error payloads).
+
+use crate::name::DomainName;
+use crate::vantage::Vantage;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// How a memoized tail walk ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Terminal {
+    /// The walk reached a name with address records.
+    Addresses(Vec<IpAddr>),
+    /// The walk dead-ended at a name that does not exist.
+    NxDomain(DomainName),
+    /// The walk reached a name with records but no addresses.
+    NoAddress(DomainName),
+}
+
+/// The memoized resolution from one name onward: the CNAME chain below
+/// it (relative to that name) and the terminal outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CachedTail {
+    pub(crate) chain: Vec<DomainName>,
+    pub(crate) terminal: Terminal,
+}
+
+/// A concurrent, vantage-pinned memo table for shared CNAME tails.
+///
+/// Cheap to share across worker threads (`&ResolutionCache` is all the
+/// resolver needs); entries are immutable once inserted.
+#[derive(Debug)]
+pub struct ResolutionCache {
+    vantage: Vantage,
+    map: RwLock<HashMap<DomainName, Arc<CachedTail>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResolutionCache {
+    /// An empty cache pinned to `vantage`.
+    pub fn new(vantage: Vantage) -> ResolutionCache {
+        ResolutionCache {
+            vantage,
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The vantage this cache answers for.
+    pub fn vantage(&self) -> Vantage {
+        self.vantage
+    }
+
+    /// Number of memoized tails.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache lock poisoned").len()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tail-probe hits so far (shared-tail resolutions avoided).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Tail-probe misses so far (full walks performed).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn get(&self, name: &DomainName) -> Option<Arc<CachedTail>> {
+        let hit = self
+            .map
+            .read()
+            .expect("cache lock poisoned")
+            .get(name)
+            .cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Record a completed walk. Inserts one entry per **CNAME target**
+    /// (chain node) — query names are resolved once per study, only
+    /// shared tails pay off — each mapping to its suffix of the walk.
+    /// Existing entries are left untouched (they are identical by
+    /// determinism of the zone data).
+    pub(crate) fn fill(&self, chain: &[DomainName], terminal: &Terminal) {
+        if chain.is_empty() {
+            return;
+        }
+        // Workers race on the same shared tails: if another thread
+        // already indexed this walk, stay on the read lock — no write
+        // contention, no allocation.
+        {
+            let map = self.map.read().expect("cache lock poisoned");
+            if chain.iter().all(|node| map.contains_key(node)) {
+                return;
+            }
+        }
+        let mut map = self.map.write().expect("cache lock poisoned");
+        for (i, node) in chain.iter().enumerate() {
+            map.entry(node.clone()).or_insert_with(|| {
+                Arc::new(CachedTail {
+                    chain: chain[i + 1..].to_vec(),
+                    terminal: terminal.clone(),
+                })
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn fill_indexes_suffixes_per_target() {
+        let cache = ResolutionCache::new(Vantage::GOOGLE_DNS_BERLIN);
+        let chain = vec![n("a.cdn.net"), n("b.cdn.net")];
+        let terminal = Terminal::Addresses(vec!["192.0.2.1".parse().unwrap()]);
+        cache.fill(&chain, &terminal);
+        // The query name itself is not cached; both targets are.
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&n("www.site.example")).is_none());
+        let a = cache.get(&n("a.cdn.net")).unwrap();
+        assert_eq!(a.chain, vec![n("b.cdn.net")]);
+        let b = cache.get(&n("b.cdn.net")).unwrap();
+        assert!(b.chain.is_empty());
+        assert_eq!(b.terminal, terminal);
+    }
+
+    #[test]
+    fn fill_never_overwrites() {
+        let cache = ResolutionCache::new(Vantage::OPEN_DNS);
+        let t1 = Terminal::Addresses(vec!["192.0.2.1".parse().unwrap()]);
+        cache.fill(&[n("t.example")], &t1);
+        let t2 = Terminal::NxDomain(n("gone.example"));
+        cache.fill(&[n("t.example")], &t2);
+        assert_eq!(cache.get(&n("t.example")).unwrap().terminal, t1);
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let cache = ResolutionCache::new(Vantage::OPEN_DNS);
+        assert!(cache.get(&n("x.example")).is_none());
+        cache.fill(&[n("x.example")], &Terminal::NoAddress(n("x.example")));
+        assert!(cache.get(&n("x.example")).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+}

@@ -46,7 +46,11 @@ impl<'z> FaultyResolver<'z> {
     ///
     /// The paper's 0.07% is `bogus_ppm = 700`.
     pub fn new(inner: Resolver<'z>, bogus_ppm: u32, seed: u64) -> FaultyResolver<'z> {
-        FaultyResolver { inner, bogus_ppm, seed }
+        FaultyResolver {
+            inner,
+            bogus_ppm,
+            seed,
+        }
     }
 
     /// Whether this wrapper corrupts `name` (stable per seed).
@@ -61,17 +65,35 @@ impl<'z> FaultyResolver<'z> {
     /// Resolve, possibly answering garbage.
     pub fn resolve(&self, name: &DomainName) -> Result<Resolution, ResolveError> {
         if self.is_corrupted(name) {
-            let h = fnv1a(self.seed.wrapping_add(1), name.as_str().as_bytes());
-            let bogus = BOGUS_POOL[(h % BOGUS_POOL.len() as u64) as usize];
-            return Ok(Resolution {
-                query: name.clone(),
-                cname_chain: Vec::new(),
-                addresses: vec![IpAddr::V4(bogus)],
-                // Spoofed garbage never validates.
-                authenticated: false,
-            });
+            return Ok(self.bogus_resolution(name));
         }
         self.inner.resolve(name)
+    }
+
+    /// Like [`resolve`](Self::resolve), but honest answers go through the
+    /// shared-tail [`ResolutionCache`]. Corruption keys on the query name
+    /// only, so it composes transparently with tail memoization.
+    pub fn resolve_cached(
+        &self,
+        name: &DomainName,
+        cache: &crate::cache::ResolutionCache,
+    ) -> Result<Resolution, ResolveError> {
+        if self.is_corrupted(name) {
+            return Ok(self.bogus_resolution(name));
+        }
+        self.inner.resolve_cached(name, cache)
+    }
+
+    fn bogus_resolution(&self, name: &DomainName) -> Resolution {
+        let h = fnv1a(self.seed.wrapping_add(1), name.as_str().as_bytes());
+        let bogus = BOGUS_POOL[(h % BOGUS_POOL.len() as u64) as usize];
+        Resolution {
+            query: name.clone(),
+            cname_chain: Vec::new(),
+            addresses: vec![IpAddr::V4(bogus)],
+            // Spoofed garbage never validates.
+            authenticated: false,
+        }
     }
 }
 
@@ -88,7 +110,10 @@ mod tests {
     fn store(count: usize) -> ZoneStore {
         let mut z = ZoneStore::new();
         for i in 0..count {
-            z.add_addr(n(&format!("site{i}.example")), "93.184.216.34".parse().unwrap());
+            z.add_addr(
+                n(&format!("site{i}.example")),
+                "93.184.216.34".parse().unwrap(),
+            );
         }
         z
     }
@@ -151,10 +176,12 @@ mod tests {
         let z = store(0);
         let a = FaultyResolver::new(Resolver::new(&z, Vantage::OPEN_DNS), 100_000, 1);
         let b = FaultyResolver::new(Resolver::new(&z, Vantage::OPEN_DNS), 100_000, 2);
-        let set_a: Vec<bool> =
-            (0..500).map(|i| a.is_corrupted(&n(&format!("s{i}.example")))).collect();
-        let set_b: Vec<bool> =
-            (0..500).map(|i| b.is_corrupted(&n(&format!("s{i}.example")))).collect();
+        let set_a: Vec<bool> = (0..500)
+            .map(|i| a.is_corrupted(&n(&format!("s{i}.example"))))
+            .collect();
+        let set_b: Vec<bool> = (0..500)
+            .map(|i| b.is_corrupted(&n(&format!("s{i}.example"))))
+            .collect();
         assert_ne!(set_a, set_b);
     }
 }

@@ -111,7 +111,9 @@ impl DomainName {
 
     /// The parent name (one label removed from the left), if any.
     pub fn parent(&self) -> Option<DomainName> {
-        self.0.split_once('.').map(|(_, rest)| DomainName(rest.to_string()))
+        self.0
+            .split_once('.')
+            .map(|(_, rest)| DomainName(rest.to_string()))
     }
 
     /// Whether `self` equals `other` or is a subdomain of it.
@@ -202,7 +204,10 @@ mod tests {
     fn labels_and_parent() {
         let d = n("a.b.example.com");
         assert_eq!(d.label_count(), 4);
-        assert_eq!(d.labels().collect::<Vec<_>>(), vec!["a", "b", "example", "com"]);
+        assert_eq!(
+            d.labels().collect::<Vec<_>>(),
+            vec!["a", "b", "example", "com"]
+        );
         assert_eq!(d.parent().unwrap().as_str(), "b.example.com");
         assert_eq!(n("com").parent(), None);
     }

@@ -5,6 +5,7 @@
 //! the terminal addresses *and* the chain of canonical names (the CDN
 //! classification heuristic counts DNS indirections).
 
+use crate::cache::{CachedTail, ResolutionCache, Terminal};
 use crate::name::DomainName;
 use crate::record::RecordData;
 use crate::vantage::Vantage;
@@ -112,8 +113,7 @@ impl<'z> Resolver<'z> {
                 current = target.clone();
                 continue;
             }
-            let addresses: Vec<IpAddr> =
-                records.iter().filter_map(RecordData::addr).collect();
+            let addresses: Vec<IpAddr> = records.iter().filter_map(RecordData::addr).collect();
             if addresses.is_empty() {
                 return Err(ResolveError::NoAddress(current));
             }
@@ -123,6 +123,100 @@ impl<'z> Resolver<'z> {
                 addresses,
                 authenticated,
             });
+        }
+    }
+
+    /// Resolve `name` with shared-tail memoization: identical to
+    /// [`resolve`](Self::resolve) (same answers, same errors), but CNAME
+    /// tails already walked — by this call or any other thread sharing
+    /// `cache` — are spliced in instead of re-walked. Loop and
+    /// chain-length checks run against the caller's full chain, so the
+    /// memoization is observably transparent.
+    ///
+    /// Panics if `cache` is pinned to a different vantage (answers are
+    /// vantage-dependent; mixing would serve wrong data).
+    pub fn resolve_cached(
+        &self,
+        name: &DomainName,
+        cache: &ResolutionCache,
+    ) -> Result<Resolution, ResolveError> {
+        assert_eq!(
+            cache.vantage(),
+            self.vantage,
+            "resolution cache pinned to a different vantage"
+        );
+        let mut chain: Vec<DomainName> = Vec::new();
+        let mut current = name.clone();
+        let mut authenticated = self.zones.is_signed(name);
+        loop {
+            if let Some(tail) = cache.get(&current) {
+                return self.splice(name, chain, authenticated, &tail);
+            }
+            let Some(records) = self.zones.lookup(&current, self.vantage) else {
+                cache.fill(&chain, &Terminal::NxDomain(current.clone()));
+                return Err(ResolveError::NxDomain(current));
+            };
+            if let Some(target) = records.iter().find_map(RecordData::cname) {
+                if chain.len() + 1 > MAX_CHAIN {
+                    return Err(ResolveError::ChainTooLong(name.clone()));
+                }
+                if *target == *name || chain.contains(target) {
+                    return Err(ResolveError::CnameLoop(target.clone()));
+                }
+                authenticated &= self.zones.is_signed(target);
+                chain.push(target.clone());
+                current = target.clone();
+                continue;
+            }
+            let addresses: Vec<IpAddr> = records.iter().filter_map(RecordData::addr).collect();
+            if addresses.is_empty() {
+                cache.fill(&chain, &Terminal::NoAddress(current.clone()));
+                return Err(ResolveError::NoAddress(current));
+            }
+            cache.fill(&chain, &Terminal::Addresses(addresses.clone()));
+            return Ok(Resolution {
+                query: name.clone(),
+                cname_chain: chain,
+                addresses,
+                authenticated,
+            });
+        }
+    }
+
+    /// Continue a partially walked chain with a memoized tail, re-running
+    /// the per-step loop/length checks the uncached walk would perform.
+    fn splice(
+        &self,
+        query: &DomainName,
+        mut chain: Vec<DomainName>,
+        mut authenticated: bool,
+        tail: &CachedTail,
+    ) -> Result<Resolution, ResolveError> {
+        for target in &tail.chain {
+            if chain.len() + 1 > MAX_CHAIN {
+                return Err(ResolveError::ChainTooLong(query.clone()));
+            }
+            if *target == *query || chain.contains(target) {
+                return Err(ResolveError::CnameLoop(target.clone()));
+            }
+            authenticated &= self.zones.is_signed(target);
+            chain.push(target.clone());
+        }
+        // No fill here: the tail's own nodes were indexed by the walk
+        // that cached it, and the freshly walked prefix nodes are
+        // per-query aliases that other queries do not funnel through —
+        // indexing them would put a write lock and an allocation on
+        // every spliced (i.e. hot) resolution for entries that are
+        // never probed again.
+        match &tail.terminal {
+            Terminal::Addresses(addresses) => Ok(Resolution {
+                query: query.clone(),
+                cname_chain: chain,
+                addresses: addresses.clone(),
+                authenticated,
+            }),
+            Terminal::NxDomain(n) => Err(ResolveError::NxDomain(n.clone())),
+            Terminal::NoAddress(n) => Err(ResolveError::NoAddress(n.clone())),
         }
     }
 }
@@ -173,7 +267,10 @@ mod tests {
             res.cname_chain,
             vec![n("shop.cdnprovider.net"), n("edge7.cdnprovider.net")]
         );
-        assert_eq!(res.addresses, vec!["198.51.100.7".parse::<IpAddr>().unwrap()]);
+        assert_eq!(
+            res.addresses,
+            vec!["198.51.100.7".parse::<IpAddr>().unwrap()]
+        );
         assert_eq!(res.canonical_name(), &n("edge7.cdnprovider.net"));
     }
 
@@ -251,6 +348,82 @@ mod tests {
         assert_ne!(berlin.addresses, redwood.addresses);
         // Same chain, different terminal addresses — like a real CDN.
         assert_eq!(berlin.cname_chain, redwood.cname_chain);
+    }
+
+    #[test]
+    fn cached_resolution_identical_to_uncached() {
+        let z = store();
+        let r = Resolver::new(&z, Vantage::GOOGLE_DNS_BERLIN);
+        let cache = ResolutionCache::new(Vantage::GOOGLE_DNS_BERLIN);
+        for name in [
+            "direct.example",
+            "www.shop.example",
+            "shop.cdnprovider.net",
+            "edge7.cdnprovider.net",
+            "a.loop.example",
+            "dangling.example",
+            "missing.example",
+        ] {
+            let name = n(name);
+            // Twice: once filling, once hitting.
+            for _ in 0..2 {
+                assert_eq!(
+                    r.resolve_cached(&name, &cache),
+                    r.resolve(&name),
+                    "divergence on {name}"
+                );
+            }
+        }
+        // Shared tails were actually memoized and reused.
+        assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn cached_tail_reused_across_queries() {
+        let mut z = ZoneStore::new();
+        // Two sites CNAME into the same CDN tail.
+        z.add_cname(n("www.one.example"), n("lb.cdn.net"));
+        z.add_cname(n("www.two.example"), n("lb.cdn.net"));
+        z.add_cname(n("lb.cdn.net"), n("edge.cdn.net"));
+        z.add_addr(n("edge.cdn.net"), "198.51.100.9".parse().unwrap());
+        let r = Resolver::new(&z, Vantage::OPEN_DNS);
+        let cache = ResolutionCache::new(Vantage::OPEN_DNS);
+        let one = r.resolve_cached(&n("www.one.example"), &cache).unwrap();
+        let hits_before = cache.hits();
+        let two = r.resolve_cached(&n("www.two.example"), &cache).unwrap();
+        assert!(cache.hits() > hits_before, "second query must hit the tail");
+        assert_eq!(one.addresses, two.addresses);
+        assert_eq!(one.cname_chain, two.cname_chain);
+        assert_eq!(two.cname_chain, vec![n("lb.cdn.net"), n("edge.cdn.net")]);
+    }
+
+    #[test]
+    fn cached_loop_checks_respect_caller_chain() {
+        let mut z = ZoneStore::new();
+        // tail.example resolves fine on its own…
+        z.add_cname(n("tail.example"), n("back.example"));
+        z.add_addr(n("back.example"), "203.0.113.5".parse().unwrap());
+        // …but a query whose chain already visited back.example loops.
+        z.add_cname(n("enter.example"), n("back2.example"));
+        z.add_cname(n("back2.example"), n("tail2.example"));
+        z.add_cname(n("tail2.example"), n("back2.example"));
+        let r = Resolver::new(&z, Vantage::OPEN_DNS);
+        let cache = ResolutionCache::new(Vantage::OPEN_DNS);
+        // Warm the cache with the inner tail.
+        let _ = r.resolve_cached(&n("tail.example"), &cache);
+        assert_eq!(
+            r.resolve_cached(&n("enter.example"), &cache),
+            r.resolve(&n("enter.example"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different vantage")]
+    fn cache_vantage_mismatch_panics() {
+        let z = store();
+        let r = Resolver::new(&z, Vantage::GOOGLE_DNS_BERLIN);
+        let cache = ResolutionCache::new(Vantage::OPEN_DNS);
+        let _ = r.resolve_cached(&n("direct.example"), &cache);
     }
 
     #[test]

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A resolver vantage point.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Vantage(pub u8);
 
 impl Vantage {

@@ -47,7 +47,10 @@ impl ZoneStore {
     /// Append a record visible only from `vantage` (replacing the base
     /// answer for that vantage entirely).
     pub fn add_override(&mut self, name: DomainName, vantage: Vantage, data: RecordData) {
-        self.overrides.entry((name, vantage)).or_default().push(data);
+        self.overrides
+            .entry((name, vantage))
+            .or_default()
+            .push(data);
     }
 
     /// The records `vantage` receives for `name`.
@@ -60,8 +63,7 @@ impl ZoneStore {
 
     /// Whether any record exists for `name` from any vantage.
     pub fn contains(&self, name: &DomainName) -> bool {
-        self.base.contains_key(name)
-            || self.overrides.keys().any(|(n, _)| n == name)
+        self.base.contains_key(name) || self.overrides.keys().any(|(n, _)| n == name)
     }
 
     /// Number of names with base records.
@@ -113,7 +115,9 @@ mod tests {
         let mut z = ZoneStore::new();
         z.add_addr(n("example.com"), "93.184.216.34".parse().unwrap());
         z.add_addr(n("example.com"), "2606:2800::1".parse().unwrap());
-        let recs = z.lookup(&n("example.com"), Vantage::GOOGLE_DNS_BERLIN).unwrap();
+        let recs = z
+            .lookup(&n("example.com"), Vantage::GOOGLE_DNS_BERLIN)
+            .unwrap();
         assert_eq!(recs.len(), 2);
         assert!(z.contains(&n("example.com")));
         assert!(!z.contains(&n("absent.example")));
@@ -151,7 +155,9 @@ mod tests {
             RecordData::A("10.0.0.1".parse().unwrap()),
         );
         assert!(z.contains(&n("geo.example")));
-        assert!(z.lookup(&n("geo.example"), Vantage::GOOGLE_DNS_BERLIN).is_none());
+        assert!(z
+            .lookup(&n("geo.example"), Vantage::GOOGLE_DNS_BERLIN)
+            .is_none());
         assert!(z.lookup(&n("geo.example"), Vantage::OPEN_DNS).is_some());
     }
 

@@ -108,8 +108,8 @@ pub fn parse(input: &str) -> Result<ZoneStore, ZoneFileError> {
         }
         if let Some(rest) = line.strip_prefix("; $SIGNED") {
             let name = rest.trim().trim_end_matches('.');
-            let apex = DomainName::parse(name)
-                .map_err(|_| ZoneFileError::BadName { line: line_no })?;
+            let apex =
+                DomainName::parse(name).map_err(|_| ZoneFileError::BadName { line: line_no })?;
             zones.set_signed(apex);
             continue;
         }
@@ -118,16 +118,23 @@ pub fn parse(input: &str) -> Result<ZoneStore, ZoneFileError> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 5 || fields[2] != "IN" {
-            return Err(ZoneFileError::BadLine { line: line_no, content: raw.to_string() });
+            return Err(ZoneFileError::BadLine {
+                line: line_no,
+                content: raw.to_string(),
+            });
         }
         let name = DomainName::parse(fields[0].trim_end_matches('.'))
             .map_err(|_| ZoneFileError::BadName { line: line_no })?;
         let data = match fields[3] {
             "A" => RecordData::A(
-                fields[4].parse().map_err(|_| ZoneFileError::BadData { line: line_no })?,
+                fields[4]
+                    .parse()
+                    .map_err(|_| ZoneFileError::BadData { line: line_no })?,
             ),
             "AAAA" => RecordData::Aaaa(
-                fields[4].parse().map_err(|_| ZoneFileError::BadData { line: line_no })?,
+                fields[4]
+                    .parse()
+                    .map_err(|_| ZoneFileError::BadData { line: line_no })?,
             ),
             "CNAME" => RecordData::Cname(
                 DomainName::parse(fields[4].trim_end_matches('.'))

@@ -23,9 +23,7 @@ use std::str::FromStr;
 /// assert_eq!(asn, Asn::new(65000));
 /// assert_eq!(asn.to_string(), "AS65000");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Asn(u32);
 
@@ -129,7 +127,10 @@ impl AsnRange {
 
     /// A range holding a single ASN.
     pub fn single(asn: Asn) -> AsnRange {
-        AsnRange { start: asn, end: asn }
+        AsnRange {
+            start: asn,
+            end: asn,
+        }
     }
 
     /// Whether `asn` falls within the range.
@@ -202,10 +203,7 @@ mod tests {
 
     #[test]
     fn parse_accepts_full_32bit_space() {
-        assert_eq!(
-            "AS4294967295".parse::<Asn>().unwrap(),
-            Asn::new(u32::MAX)
-        );
+        assert_eq!("AS4294967295".parse::<Asn>().unwrap(), Asn::new(u32::MAX));
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl Ipv4Prefix {
 
     /// A host route (`/32`) for a single address.
     pub fn host(addr: Ipv4Addr) -> Ipv4Prefix {
-        Ipv4Prefix { bits: u32::from(addr), len: 32 }
+        Ipv4Prefix {
+            bits: u32::from(addr),
+            len: 32,
+        }
     }
 
     /// The network address (lowest address in the block).
@@ -84,6 +87,7 @@ impl Ipv4Prefix {
     }
 
     /// The prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // mask length, not a container
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -115,7 +119,10 @@ impl Ipv4Prefix {
             None
         } else {
             let len = self.len - 1;
-            Some(Ipv4Prefix { bits: self.bits & mask4(len), len })
+            Some(Ipv4Prefix {
+                bits: self.bits & mask4(len),
+                len,
+            })
         }
     }
 
@@ -125,8 +132,14 @@ impl Ipv4Prefix {
             None
         } else {
             let len = self.len + 1;
-            let left = Ipv4Prefix { bits: self.bits, len };
-            let right = Ipv4Prefix { bits: self.bits | (1u32 << (32 - len)), len };
+            let left = Ipv4Prefix {
+                bits: self.bits,
+                len,
+            };
+            let right = Ipv4Prefix {
+                bits: self.bits | (1u32 << (32 - len)),
+                len,
+            };
             Some((left, right))
         }
     }
@@ -164,7 +177,10 @@ impl Ipv6Prefix {
 
     /// A host route (`/128`) for a single address.
     pub fn host(addr: Ipv6Addr) -> Ipv6Prefix {
-        Ipv6Prefix { bits: u128::from(addr), len: 128 }
+        Ipv6Prefix {
+            bits: u128::from(addr),
+            len: 128,
+        }
     }
 
     /// The network address (lowest address in the block).
@@ -178,6 +194,7 @@ impl Ipv6Prefix {
     }
 
     /// The prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // mask length, not a container
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -208,7 +225,10 @@ impl Ipv6Prefix {
             None
         } else {
             let len = self.len - 1;
-            Some(Ipv6Prefix { bits: self.bits & mask6(len), len })
+            Some(Ipv6Prefix {
+                bits: self.bits & mask6(len),
+                len,
+            })
         }
     }
 
@@ -218,8 +238,14 @@ impl Ipv6Prefix {
             None
         } else {
             let len = self.len + 1;
-            let left = Ipv6Prefix { bits: self.bits, len };
-            let right = Ipv6Prefix { bits: self.bits | (1u128 << (128 - len)), len };
+            let left = Ipv6Prefix {
+                bits: self.bits,
+                len,
+            };
+            let right = Ipv6Prefix {
+                bits: self.bits | (1u128 << (128 - len)),
+                len,
+            };
             Some((left, right))
         }
     }
@@ -313,9 +339,7 @@ impl PartialOrd for Ipv6Prefix {
 /// let p6: IpPrefix = "2001:db8::/32".parse().unwrap();
 /// assert_eq!(p6.len(), 32);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum IpPrefix {
     /// An IPv4 prefix.
     V4(Ipv4Prefix),
@@ -349,6 +373,7 @@ impl IpPrefix {
     }
 
     /// The prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // mask length, not a container
     pub fn len(&self) -> u8 {
         match self {
             IpPrefix::V4(p) => p.len(),
@@ -487,7 +512,12 @@ mod tests {
 
     #[test]
     fn display_roundtrip() {
-        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.128/25", "203.0.113.7/32"] {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "192.0.2.128/25",
+            "203.0.113.7/32",
+        ] {
             assert_eq!(s.parse::<Ipv4Prefix>().unwrap().to_string(), s);
         }
         for s in ["::/0", "2001:db8::/32", "fe80::/10", "::1/128"] {
@@ -549,7 +579,9 @@ mod tests {
         let (l, r) = p6("2001:db8::/32").children().unwrap();
         assert_eq!(l, p6("2001:db8::/33"));
         assert_eq!(r, p6("2001:db8:8000::/33"));
-        assert!(Ipv6Prefix::host("::1".parse().unwrap()).children().is_none());
+        assert!(Ipv6Prefix::host("::1".parse().unwrap())
+            .children()
+            .is_none());
     }
 
     #[test]
@@ -579,7 +611,10 @@ mod tests {
     fn ordering_places_covering_before_covered() {
         let mut v = vec![p4("10.0.0.0/16"), p4("10.0.0.0/8"), p4("9.0.0.0/8")];
         v.sort();
-        assert_eq!(v, vec![p4("9.0.0.0/8"), p4("10.0.0.0/8"), p4("10.0.0.0/16")]);
+        assert_eq!(
+            v,
+            vec![p4("9.0.0.0/8"), p4("10.0.0.0/8"), p4("10.0.0.0/16")]
+        );
     }
 
     #[test]

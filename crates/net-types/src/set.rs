@@ -105,9 +105,7 @@ impl PrefixSet {
 
     /// Union of two sets.
     pub fn union(&self, other: &PrefixSet) -> PrefixSet {
-        PrefixSet::from_prefixes(
-            self.members.iter().chain(other.members.iter()).copied(),
-        )
+        PrefixSet::from_prefixes(self.members.iter().chain(other.members.iter()).copied())
     }
 }
 
@@ -159,9 +157,7 @@ impl AsnSet {
         let mut merged: Vec<AsnRange> = Vec::with_capacity(ranges.len());
         for r in ranges.drain(..) {
             match merged.last_mut() {
-                Some(last)
-                    if r.start.value() <= last.end.value().saturating_add(1) =>
-                {
+                Some(last) if r.start.value() <= last.end.value().saturating_add(1) => {
                     if r.end > last.end {
                         last.end = r.end;
                     }
@@ -216,17 +212,18 @@ impl AsnSet {
 
     /// Whether every ASN of `other` is in `self` (RFC 3779 encompasses).
     pub fn encompasses(&self, other: &AsnSet) -> bool {
-        other.ranges.iter().all(|r| {
-            self.ranges.iter().any(|mine| mine.contains_range(r))
-        })
+        other
+            .ranges
+            .iter()
+            .all(|r| self.ranges.iter().any(|mine| mine.contains_range(r)))
     }
 
     /// Iterate every individual ASN. Intended for small sets (tests,
     /// reports); ranges can be astronomically large.
     pub fn iter(&self) -> impl Iterator<Item = Asn> + '_ {
-        self.ranges.iter().flat_map(|r| {
-            (r.start.value()..=r.end.value()).map(Asn::new)
-        })
+        self.ranges
+            .iter()
+            .flat_map(|r| (r.start.value()..=r.end.value()).map(Asn::new))
     }
 
     /// Union of two sets.

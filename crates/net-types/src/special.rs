@@ -30,39 +30,155 @@ pub struct SpecialEntry {
 
 /// IPv4 special-purpose address registry (RFC 6890 et al.).
 pub const IPV4_SPECIAL: &[SpecialEntry] = &[
-    SpecialEntry { block: "0.0.0.0/8", name: "This host on this network (RFC 1122)", globally_reachable: false },
-    SpecialEntry { block: "10.0.0.0/8", name: "Private-Use (RFC 1918)", globally_reachable: false },
-    SpecialEntry { block: "100.64.0.0/10", name: "Shared Address Space / CGN (RFC 6598)", globally_reachable: false },
-    SpecialEntry { block: "127.0.0.0/8", name: "Loopback (RFC 1122)", globally_reachable: false },
-    SpecialEntry { block: "169.254.0.0/16", name: "Link Local (RFC 3927)", globally_reachable: false },
-    SpecialEntry { block: "172.16.0.0/12", name: "Private-Use (RFC 1918)", globally_reachable: false },
-    SpecialEntry { block: "192.0.0.0/24", name: "IETF Protocol Assignments (RFC 6890)", globally_reachable: false },
-    SpecialEntry { block: "192.0.2.0/24", name: "Documentation TEST-NET-1 (RFC 5737)", globally_reachable: false },
-    SpecialEntry { block: "192.88.99.0/24", name: "6to4 Relay Anycast (RFC 3068)", globally_reachable: true },
-    SpecialEntry { block: "192.168.0.0/16", name: "Private-Use (RFC 1918)", globally_reachable: false },
-    SpecialEntry { block: "198.18.0.0/15", name: "Benchmarking (RFC 2544)", globally_reachable: false },
-    SpecialEntry { block: "198.51.100.0/24", name: "Documentation TEST-NET-2 (RFC 5737)", globally_reachable: false },
-    SpecialEntry { block: "203.0.113.0/24", name: "Documentation TEST-NET-3 (RFC 5737)", globally_reachable: false },
-    SpecialEntry { block: "224.0.0.0/4", name: "Multicast (RFC 5771)", globally_reachable: false },
-    SpecialEntry { block: "240.0.0.0/4", name: "Reserved (RFC 1112)", globally_reachable: false },
-    SpecialEntry { block: "255.255.255.255/32", name: "Limited Broadcast (RFC 919)", globally_reachable: false },
+    SpecialEntry {
+        block: "0.0.0.0/8",
+        name: "This host on this network (RFC 1122)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "10.0.0.0/8",
+        name: "Private-Use (RFC 1918)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "100.64.0.0/10",
+        name: "Shared Address Space / CGN (RFC 6598)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "127.0.0.0/8",
+        name: "Loopback (RFC 1122)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "169.254.0.0/16",
+        name: "Link Local (RFC 3927)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "172.16.0.0/12",
+        name: "Private-Use (RFC 1918)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "192.0.0.0/24",
+        name: "IETF Protocol Assignments (RFC 6890)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "192.0.2.0/24",
+        name: "Documentation TEST-NET-1 (RFC 5737)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "192.88.99.0/24",
+        name: "6to4 Relay Anycast (RFC 3068)",
+        globally_reachable: true,
+    },
+    SpecialEntry {
+        block: "192.168.0.0/16",
+        name: "Private-Use (RFC 1918)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "198.18.0.0/15",
+        name: "Benchmarking (RFC 2544)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "198.51.100.0/24",
+        name: "Documentation TEST-NET-2 (RFC 5737)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "203.0.113.0/24",
+        name: "Documentation TEST-NET-3 (RFC 5737)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "224.0.0.0/4",
+        name: "Multicast (RFC 5771)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "240.0.0.0/4",
+        name: "Reserved (RFC 1112)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "255.255.255.255/32",
+        name: "Limited Broadcast (RFC 919)",
+        globally_reachable: false,
+    },
 ];
 
 /// IPv6 special-purpose address registry (RFC 6890 et al.).
 pub const IPV6_SPECIAL: &[SpecialEntry] = &[
-    SpecialEntry { block: "::/128", name: "Unspecified Address (RFC 4291)", globally_reachable: false },
-    SpecialEntry { block: "::1/128", name: "Loopback Address (RFC 4291)", globally_reachable: false },
-    SpecialEntry { block: "::ffff:0:0/96", name: "IPv4-mapped Address (RFC 4291)", globally_reachable: false },
-    SpecialEntry { block: "64:ff9b::/96", name: "IPv4-IPv6 Translation (RFC 6052)", globally_reachable: true },
-    SpecialEntry { block: "100::/64", name: "Discard-Only Address Block (RFC 6666)", globally_reachable: false },
-    SpecialEntry { block: "2001::/32", name: "TEREDO (RFC 4380)", globally_reachable: true },
-    SpecialEntry { block: "2001:2::/48", name: "Benchmarking (RFC 5180)", globally_reachable: false },
-    SpecialEntry { block: "2001:db8::/32", name: "Documentation (RFC 3849)", globally_reachable: false },
-    SpecialEntry { block: "2001:10::/28", name: "ORCHID (RFC 4843)", globally_reachable: false },
-    SpecialEntry { block: "2002::/16", name: "6to4 (RFC 3056)", globally_reachable: true },
-    SpecialEntry { block: "fc00::/7", name: "Unique-Local (RFC 4193)", globally_reachable: false },
-    SpecialEntry { block: "fe80::/10", name: "Linked-Scoped Unicast (RFC 4291)", globally_reachable: false },
-    SpecialEntry { block: "ff00::/8", name: "Multicast (RFC 4291)", globally_reachable: false },
+    SpecialEntry {
+        block: "::/128",
+        name: "Unspecified Address (RFC 4291)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "::1/128",
+        name: "Loopback Address (RFC 4291)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "::ffff:0:0/96",
+        name: "IPv4-mapped Address (RFC 4291)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "64:ff9b::/96",
+        name: "IPv4-IPv6 Translation (RFC 6052)",
+        globally_reachable: true,
+    },
+    SpecialEntry {
+        block: "100::/64",
+        name: "Discard-Only Address Block (RFC 6666)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "2001::/32",
+        name: "TEREDO (RFC 4380)",
+        globally_reachable: true,
+    },
+    SpecialEntry {
+        block: "2001:2::/48",
+        name: "Benchmarking (RFC 5180)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "2001:db8::/32",
+        name: "Documentation (RFC 3849)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "2001:10::/28",
+        name: "ORCHID (RFC 4843)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "2002::/16",
+        name: "6to4 (RFC 3056)",
+        globally_reachable: true,
+    },
+    SpecialEntry {
+        block: "fc00::/7",
+        name: "Unique-Local (RFC 4193)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "fe80::/10",
+        name: "Linked-Scoped Unicast (RFC 4291)",
+        globally_reachable: false,
+    },
+    SpecialEntry {
+        block: "ff00::/8",
+        name: "Multicast (RFC 4291)",
+        globally_reachable: false,
+    },
 ];
 
 /// Pre-built lookup structure over both registries.
@@ -123,10 +239,7 @@ mod tests {
         // check explicit and count entries.
         let reg = SpecialRegistry::global();
         assert!(reg.lookup(a("10.1.2.3")).is_some());
-        assert_eq!(
-            IPV4_SPECIAL.len() + IPV6_SPECIAL.len(),
-            16 + 13
-        );
+        assert_eq!(IPV4_SPECIAL.len() + IPV6_SPECIAL.len(), 16 + 13);
     }
 
     #[test]
@@ -164,7 +277,12 @@ mod tests {
 
     #[test]
     fn global_unicast_passes() {
-        for s in ["8.8.8.8", "93.184.216.34", "1.1.1.1", "2606:2800:220:1::1946"] {
+        for s in [
+            "8.8.8.8",
+            "93.184.216.34",
+            "1.1.1.1",
+            "2606:2800:220:1::1946",
+        ] {
             assert!(is_global_unicast(a(s)), "{s} should be global");
         }
     }

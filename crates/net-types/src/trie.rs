@@ -32,11 +32,17 @@ struct Key {
 
 impl Key {
     fn from_v4(p: &Ipv4Prefix) -> Key {
-        Key { bits: (p.raw_bits() as u128) << 96, len: p.len() }
+        Key {
+            bits: (p.raw_bits() as u128) << 96,
+            len: p.len(),
+        }
     }
 
     fn from_v6(p: &Ipv6Prefix) -> Key {
-        Key { bits: p.raw_bits(), len: p.len() }
+        Key {
+            bits: p.raw_bits(),
+            len: p.len(),
+        }
     }
 
     fn from_prefix(p: &IpPrefix) -> Key {
@@ -81,9 +87,16 @@ impl Key {
     fn common_prefix(&self, other: &Key) -> Key {
         let max = self.len.min(other.len);
         let diff = self.bits ^ other.bits;
-        let agree = if diff == 0 { 128 } else { diff.leading_zeros() as u8 };
+        let agree = if diff == 0 {
+            128
+        } else {
+            diff.leading_zeros() as u8
+        };
         let len = agree.min(max);
-        Key { bits: self.bits & Key::mask(len), len }
+        Key {
+            bits: self.bits & Key::mask(len),
+            len,
+        }
     }
 }
 
@@ -97,7 +110,12 @@ struct Node<T> {
 
 impl<T> Node<T> {
     fn leaf(key: Key, value: Option<T>) -> Box<Node<T>> {
-        Box::new(Node { key, value, left: None, right: None })
+        Box::new(Node {
+            key,
+            value,
+            left: None,
+            right: None,
+        })
     }
 
     fn child_mut(&mut self, bit: bool) -> &mut Option<Box<Node<T>>> {
@@ -186,6 +204,20 @@ impl<T> Tree<T> {
         }
     }
 
+    fn get_mut(&mut self, key: Key) -> Option<&mut T> {
+        let mut node = self.root.as_deref_mut()?;
+        loop {
+            if node.key == key {
+                return node.value.as_mut();
+            }
+            if !node.key.covers(&key) || node.key.len >= key.len {
+                return None;
+            }
+            let bit = key.bit(node.key.len);
+            node = node.child_mut(bit).as_deref_mut()?;
+        }
+    }
+
     fn remove(&mut self, key: Key) -> Option<T> {
         let removed = Self::remove_rec(&mut self.root, key);
         if removed.is_some() {
@@ -212,7 +244,9 @@ impl<T> Tree<T> {
 
     /// Collapse a valueless node with fewer than two children.
     fn prune(slot: &mut Option<Box<Node<T>>>) {
-        let Some(node) = slot.as_deref_mut() else { return };
+        let Some(node) = slot.as_deref_mut() else {
+            return;
+        };
         if node.value.is_some() {
             return;
         }
@@ -329,7 +363,10 @@ impl<T> Default for PrefixTrie<T> {
 impl<T> PrefixTrie<T> {
     /// Create an empty trie.
     pub fn new() -> PrefixTrie<T> {
-        PrefixTrie { v4: Tree::default(), v6: Tree::default() }
+        PrefixTrie {
+            v4: Tree::default(),
+            v6: Tree::default(),
+        }
     }
 
     fn tree(&self, family: Family) -> &Tree<T> {
@@ -357,6 +394,13 @@ impl<T> PrefixTrie<T> {
         self.tree(prefix.family()).get(Key::from_prefix(prefix))
     }
 
+    /// Exact lookup, mutable. Lets table builders extend an existing
+    /// entry in place instead of clone-and-reinsert.
+    pub fn get_mut(&mut self, prefix: &IpPrefix) -> Option<&mut T> {
+        self.tree_mut(prefix.family())
+            .get_mut(Key::from_prefix(prefix))
+    }
+
     /// Remove the entry stored exactly at `prefix`.
     pub fn remove(&mut self, prefix: &IpPrefix) -> Option<T> {
         let key = Key::from_prefix(prefix);
@@ -380,7 +424,9 @@ impl<T> PrefixTrie<T> {
         let family = prefix.family();
         let mut out = Vec::new();
         self.tree(family).covering(key, &mut out);
-        out.into_iter().map(|(k, v)| (k.to_prefix(family), v)).collect()
+        out.into_iter()
+            .map(|(k, v)| (k.to_prefix(family), v))
+            .collect()
     }
 
     /// All entries whose prefix covers the single address `addr`.
@@ -394,7 +440,9 @@ impl<T> PrefixTrie<T> {
         let family = prefix.family();
         let mut out = Vec::new();
         self.tree(family).covered_by(key, &mut out);
-        out.into_iter().map(|(k, v)| (k.to_prefix(family), v)).collect()
+        out.into_iter()
+            .map(|(k, v)| (k.to_prefix(family), v))
+            .collect()
     }
 
     /// The most specific entry covering `prefix`, if any.
@@ -463,7 +511,9 @@ mod tests {
             &"d4"
         );
         assert_eq!(
-            t.longest_match_addr("2001:db8::1".parse().unwrap()).unwrap().1,
+            t.longest_match_addr("2001:db8::1".parse().unwrap())
+                .unwrap()
+                .1,
             &"d6"
         );
     }
@@ -581,10 +631,7 @@ mod tests {
         assert_eq!(cov.len(), 2);
         let cov = t.covering_addr("2001:db8:2::1".parse().unwrap());
         assert_eq!(cov.len(), 1);
-        assert_eq!(
-            t.longest_match(&p("2001:db8:1:2::/64")).unwrap().1,
-            &"sub"
-        );
+        assert_eq!(t.longest_match(&p("2001:db8:1:2::/64")).unwrap().1, &"sub");
     }
 
     #[test]
@@ -649,8 +696,11 @@ mod tests {
                     .map(|(pfx, _)| *pfx)
                     .collect();
                 want.sort();
-                let mut got: Vec<IpPrefix> =
-                    trie.covered_by(&q).into_iter().map(|(pfx, _)| pfx).collect();
+                let mut got: Vec<IpPrefix> = trie
+                    .covered_by(&q)
+                    .into_iter()
+                    .map(|(pfx, _)| pfx)
+                    .collect();
                 got.sort();
                 assert_eq!(got, want, "covered_by mismatch for {q}");
             }

@@ -5,15 +5,13 @@ use ripki_net::{Asn, AsnRange, AsnSet, IpPrefix, Ipv4Prefix, Ipv6Prefix, PrefixS
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 fn arb_v4_prefix() -> impl Strategy<Value = Ipv4Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| {
-        Ipv4Prefix::new(Ipv4Addr::from(bits), len).unwrap()
-    })
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(bits, len)| Ipv4Prefix::new(Ipv4Addr::from(bits), len).unwrap())
 }
 
 fn arb_v6_prefix() -> impl Strategy<Value = Ipv6Prefix> {
-    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| {
-        Ipv6Prefix::new(Ipv6Addr::from(bits), len).unwrap()
-    })
+    (any::<u128>(), 0u8..=128)
+        .prop_map(|(bits, len)| Ipv6Prefix::new(Ipv6Addr::from(bits), len).unwrap())
 }
 
 fn arb_prefix() -> impl Strategy<Value = IpPrefix> {

@@ -96,11 +96,7 @@ pub struct CdnAuditSummary {
 }
 
 /// Compute the summary.
-pub fn summarize(
-    rows: &[CdnAuditRow],
-    registry: &AsRegistry,
-    vrps: &[Vrp],
-) -> CdnAuditSummary {
+pub fn summarize(rows: &[CdnAuditRow], registry: &AsRegistry, vrps: &[Vrp]) -> CdnAuditSummary {
     CdnAuditSummary {
         total_cdn_asns: rows.iter().map(|r| r.as_count).sum(),
         total_rpki_entries: rows.iter().map(|r| r.rpki_prefixes.len()).sum(),
@@ -128,18 +124,31 @@ mod tests {
             (200, "AKAMAI-SIM-1, Akamai Inc.", OperatorClass::Cdn),
             (300, "ISP-0-NET-1, ISP-0 Telecom", OperatorClass::Isp),
             (301, "ISP-1-NET-1, ISP-1 Telecom", OperatorClass::Isp),
-            (400, "HOSTER-0-NET-1, HOSTER-0 Hosting GmbH", OperatorClass::Webhoster),
+            (
+                400,
+                "HOSTER-0-NET-1, HOSTER-0 Hosting GmbH",
+                OperatorClass::Webhoster,
+            ),
         ] {
             r.insert(
                 Asn::new(asn),
-                AsInfo { name: name.into(), operator: OperatorId(asn), class, rir: 0 },
+                AsInfo {
+                    name: name.into(),
+                    operator: OperatorId(asn),
+                    class,
+                    rir: 0,
+                },
             );
         }
         r
     }
 
     fn vrp(prefix: &str, asn: u32) -> Vrp {
-        Vrp { prefix: prefix.parse().unwrap(), max_length: 16, asn: Asn::new(asn) }
+        Vrp {
+            prefix: prefix.parse().unwrap(),
+            max_length: 16,
+            asn: Asn::new(asn),
+        }
     }
 
     #[test]
@@ -165,11 +174,12 @@ mod tests {
         let reg = registry();
         let vrps = vec![vrp("77.0.0.0/16", 300), vrp("78.0.0.0/16", 400)];
         assert!((class_penetration(&reg, &vrps, OperatorClass::Isp) - 0.5).abs() < 1e-9);
-        assert!(
-            (class_penetration(&reg, &vrps, OperatorClass::Webhoster) - 1.0).abs() < 1e-9
-        );
+        assert!((class_penetration(&reg, &vrps, OperatorClass::Webhoster) - 1.0).abs() < 1e-9);
         assert_eq!(class_penetration(&reg, &[], OperatorClass::Isp), 0.0);
-        assert_eq!(class_penetration(&reg, &vrps, OperatorClass::Enterprise), 0.0);
+        assert_eq!(
+            class_penetration(&reg, &vrps, OperatorClass::Enterprise),
+            0.0
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl<'z> HttpArchiveClassifier<'z> {
     pub fn new(zones: &'z ZoneStore, patterns: Vec<String>) -> HttpArchiveClassifier<'z> {
         HttpArchiveClassifier {
             zones,
-            patterns: patterns.into_iter().map(|p| p.to_ascii_lowercase()).collect(),
+            patterns: patterns
+                .into_iter()
+                .map(|p| p.to_ascii_lowercase())
+                .collect(),
             vantage: Vantage::HTTPARCHIVE_REDWOOD,
             limit: HTTPARCHIVE_LIMIT,
         }

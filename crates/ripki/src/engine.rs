@@ -1,0 +1,491 @@
+//! The snapshot-based study engine.
+//!
+//! The original [`Pipeline`](crate::pipeline::Pipeline) borrowed its
+//! substrate (`&ZoneStore`, `&Rib`) for a lifetime `'w`, which made it
+//! impossible to share a configured study across threads that outlive
+//! the caller, to swap in a fresh RPKI state without rebuilding
+//! everything, or to hand the RTR cache a live view of the validated
+//! VRPs. This module replaces that design with:
+//!
+//! * [`WorldSnapshot`] — an immutable, `Arc`-shared view of one
+//!   observation instant: zones + RIB + the validated VRP set, stamped
+//!   with a monotonically increasing **epoch**. All measurement runs
+//!   against a snapshot, so concurrent readers never observe a
+//!   half-updated world.
+//! * [`StudyEngine`] — owns the current snapshot behind an
+//!   `RwLock<Arc<_>>`. Installing a re-fetched RPKI repository is an
+//!   epoch swap: the DNS/BGP substrate is structurally shared (`Arc`
+//!   clones), only the validator is rebuilt, and an [`EpochDelta`]
+//!   records the announced/withdrawn VRPs — exactly what an RTR cache
+//!   needs to bump its serial.
+//! * A memoized resolution layer: each snapshot carries a
+//!   [`ResolutionCache`] pinned to its vantage, so shared CNAME tails
+//!   (the CDN case) are resolved once per epoch instead of once per
+//!   referring domain. RPKI epoch swaps reuse the cache — the DNS world
+//!   did not change — while a different vantage or zone set gets a
+//!   fresh engine and hence a fresh cache.
+//!
+//! Worker panics during a sharded run no longer abort the study: each
+//! domain is measured under a panic guard and failures are reported as
+//! skipped ranks ([`StudyResults::skipped`]) or as a structured
+//! [`EngineError`] from [`StudyEngine::try_run`].
+
+use crate::pipeline::{
+    DomainMeasurement, NameMeasurement, PairState, PipelineConfig, StudyResults,
+};
+use ripki_bgp::rib::Rib;
+use ripki_bgp::rov::{RouteOriginValidator, VrpTriple};
+use ripki_dns::cache::ResolutionCache;
+use ripki_dns::faults::FaultyResolver;
+use ripki_dns::resolver::Resolver;
+use ripki_dns::zone::ZoneStore;
+use ripki_dns::DomainName;
+use ripki_net::special::SpecialRegistry;
+use ripki_net::{Asn, IpPrefix};
+use ripki_rpki::repo::Repository;
+use ripki_rpki::time::SimTime;
+use ripki_rpki::validate::validate;
+use std::collections::{BTreeSet, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, RwLock};
+
+/// An immutable view of the measured world at one epoch.
+///
+/// Cheap to clone through its [`Arc`] handles; all measurement methods
+/// take `&self` and are safe to call from many threads at once.
+pub struct WorldSnapshot {
+    epoch: u64,
+    zones: Arc<ZoneStore>,
+    rib: Arc<Rib>,
+    cache: Arc<ResolutionCache>,
+    validator: RouteOriginValidator,
+    vrp_count: usize,
+    rpki_rejected: usize,
+    config: PipelineConfig,
+}
+
+impl WorldSnapshot {
+    /// Validate `repository` at `config.now` and assemble a snapshot.
+    fn build(
+        epoch: u64,
+        zones: Arc<ZoneStore>,
+        rib: Arc<Rib>,
+        cache: Arc<ResolutionCache>,
+        repository: &Repository,
+        config: PipelineConfig,
+    ) -> WorldSnapshot {
+        let report = validate(repository, config.now);
+        let validator = RouteOriginValidator::from_vrps(report.vrps.iter().map(|v| VrpTriple {
+            prefix: v.prefix,
+            max_length: v.max_length,
+            asn: v.asn,
+        }));
+        WorldSnapshot {
+            epoch,
+            zones,
+            rib,
+            cache,
+            vrp_count: report.vrps.len(),
+            rpki_rejected: report.rejected_count(),
+            validator,
+            config,
+        }
+    }
+
+    /// The snapshot's epoch (1 for a fresh engine, +1 per RPKI swap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The DNS substrate.
+    pub fn zones(&self) -> &ZoneStore {
+        &self.zones
+    }
+
+    /// The BGP table.
+    pub fn rib(&self) -> &Rib {
+        &self.rib
+    }
+
+    /// The origin validator built from this epoch's validated VRPs.
+    pub fn validator(&self) -> &RouteOriginValidator {
+        &self.validator
+    }
+
+    /// This epoch's validated VRPs, in insertion order — the payload an
+    /// RTR cache serves (see `CacheServer::install_snapshot`).
+    pub fn vrps(&self) -> &[VrpTriple] {
+        self.validator.vrps()
+    }
+
+    /// Count of VRPs used for validation.
+    pub fn vrp_count(&self) -> usize {
+        self.vrp_count
+    }
+
+    /// Objects rejected during cryptographic RPKI validation.
+    pub fn rpki_rejected(&self) -> usize {
+        self.rpki_rejected
+    }
+
+    /// The configuration this snapshot was built with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The memoized resolution cache (hit/miss counters for benches).
+    pub fn resolution_cache(&self) -> &ResolutionCache {
+        &self.cache
+    }
+
+    /// A resolver over this snapshot's zones. Constructing one is not
+    /// free (it captures the fault-injection state), so `run` builds
+    /// one per worker thread rather than one per name.
+    pub fn resolver(&self) -> FaultyResolver<'_> {
+        FaultyResolver::new(
+            Resolver::new(&self.zones, self.config.vantage),
+            self.config.bogus_dns_ppm,
+            self.config.dns_fault_seed,
+        )
+    }
+
+    /// Measure one name form with a caller-provided (per-worker)
+    /// resolver, going through the memoized resolution cache.
+    fn measure_name_with(
+        &self,
+        resolver: &FaultyResolver<'_>,
+        name: &DomainName,
+    ) -> NameMeasurement {
+        let mut m = NameMeasurement::default();
+        let resolution = match resolver.resolve_cached(name, &self.cache) {
+            Ok(r) => r,
+            Err(_) => {
+                m.resolve_failed = true;
+                return m;
+            }
+        };
+        m.cname_chain = resolution.cname_chain;
+        m.dnssec_authenticated = resolution.authenticated;
+        let registry = SpecialRegistry::global();
+        // Within one epoch the state is a function of (prefix, origin),
+        // so deduplicating on the pair before validating preserves the
+        // old `Vec::contains` output while dropping the O(n²) scan and
+        // the redundant validator lookups.
+        let mut seen: HashSet<(IpPrefix, Asn)> = HashSet::new();
+        for addr in resolution.addresses {
+            // Step 2 exclusion: special-purpose answers are invalid.
+            if registry.is_invalid_answer(addr) {
+                m.excluded_invalid += 1;
+                continue;
+            }
+            m.addresses.push(addr);
+            // Step 3: all covering prefixes and origins.
+            let mapping = self.rib.origins_for_addr(addr);
+            m.as_set_skipped += mapping.as_set_skipped;
+            if !mapping.is_reachable() {
+                m.unreachable += 1;
+                continue;
+            }
+            for po in mapping.pairs {
+                if !seen.insert((po.prefix, po.origin)) {
+                    continue;
+                }
+                // Step 4: RFC 6811 per pair.
+                let state = self.validator.validate(&po.prefix, po.origin);
+                m.pairs.push(PairState {
+                    prefix: po.prefix,
+                    origin: po.origin,
+                    state,
+                });
+            }
+        }
+        m
+    }
+
+    /// Measure one ranked domain (both name forms).
+    pub fn measure_domain(&self, rank: usize, listed: &DomainName) -> DomainMeasurement {
+        self.measure_domain_with(&self.resolver(), rank, listed)
+    }
+
+    fn measure_domain_with(
+        &self,
+        resolver: &FaultyResolver<'_>,
+        rank: usize,
+        listed: &DomainName,
+    ) -> DomainMeasurement {
+        let bare = listed.without_www();
+        let www = bare.with_www();
+        DomainMeasurement {
+            rank,
+            listed: listed.clone(),
+            www: self.measure_name_with(resolver, &www),
+            bare: self.measure_name_with(resolver, &bare),
+        }
+    }
+
+    /// Re-apply this snapshot's VRPs to an existing study's (prefix,
+    /// origin) pairs without repeating DNS resolution or table lookups —
+    /// what a longitudinal study does when only the RPKI changed between
+    /// observations. Returns the number of pair states that changed and
+    /// restamps `results` with this snapshot's epoch and VRP counters.
+    ///
+    /// Equivalent to a full [`run`](Self::run) whenever only the
+    /// repository differs between the two snapshots.
+    pub fn revalidate(&self, results: &mut StudyResults) -> usize {
+        let mut changed = 0;
+        for d in &mut results.domains {
+            for m in [&mut d.www, &mut d.bare] {
+                for pair in &mut m.pairs {
+                    let state = self.validator.validate(&pair.prefix, pair.origin);
+                    if state != pair.state {
+                        pair.state = state;
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        results.vrp_count = self.vrp_count;
+        results.rpki_rejected = self.rpki_rejected;
+        results.epoch = self.epoch;
+        changed
+    }
+
+    /// Run the full study over a ranked list, sharded across threads.
+    /// A domain whose measurement panics is skipped and its rank
+    /// recorded in [`StudyResults::skipped`] — one bad domain cannot
+    /// kill a million-domain study.
+    pub fn run(&self, ranking: &[DomainName]) -> StudyResults {
+        let (domains, skipped) = self.run_sharded(ranking);
+        StudyResults {
+            domains,
+            vrp_count: self.vrp_count,
+            rpki_rejected: self.rpki_rejected,
+            epoch: self.epoch,
+            skipped,
+        }
+    }
+
+    /// Like [`run`](Self::run), but any skipped domain turns the whole
+    /// study into a structured [`EngineError`] for callers that must
+    /// not publish partial results.
+    pub fn try_run(&self, ranking: &[DomainName]) -> Result<StudyResults, EngineError> {
+        let results = self.run(ranking);
+        if results.skipped.is_empty() {
+            Ok(results)
+        } else {
+            Err(EngineError::DomainsPanicked {
+                ranks: results.skipped,
+            })
+        }
+    }
+
+    fn run_sharded(&self, ranking: &[DomainName]) -> (Vec<DomainMeasurement>, Vec<usize>) {
+        if ranking.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        let threads = self.config.worker_threads();
+        let chunk = ranking.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, part) in ranking.chunks(chunk).enumerate() {
+                let base = i * chunk;
+                handles.push(scope.spawn(move || {
+                    // One resolver per worker, reused across its shard.
+                    let resolver = self.resolver();
+                    let mut measured = Vec::with_capacity(part.len());
+                    let mut skipped = Vec::new();
+                    for (k, name) in part.iter().enumerate() {
+                        let rank = base + k;
+                        let guarded = catch_unwind(AssertUnwindSafe(|| {
+                            self.measure_domain_with(&resolver, rank, name)
+                        }));
+                        match guarded {
+                            Ok(m) => measured.push(m),
+                            Err(_) => skipped.push(rank),
+                        }
+                    }
+                    (measured, skipped)
+                }));
+            }
+            let mut domains = Vec::with_capacity(ranking.len());
+            let mut skipped = Vec::new();
+            for (i, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok((measured, shard_skipped)) => {
+                        domains.extend(measured);
+                        skipped.extend(shard_skipped);
+                    }
+                    Err(_) => {
+                        // A panic escaped the per-domain guard (e.g.
+                        // inside the guard bookkeeping itself): count
+                        // the whole shard as skipped.
+                        let base = i * chunk;
+                        let len = ranking[base..].len().min(chunk);
+                        skipped.extend(base..base + len);
+                    }
+                }
+            }
+            (domains, skipped)
+        })
+    }
+}
+
+/// What changed between two RPKI epochs, in RTR terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochDelta {
+    /// Epoch the engine moved from.
+    pub from_epoch: u64,
+    /// Epoch the engine moved to.
+    pub to_epoch: u64,
+    /// VRPs present now but not before.
+    pub announced: Vec<VrpTriple>,
+    /// VRPs present before but not now.
+    pub withdrawn: Vec<VrpTriple>,
+    /// Pair states flipped by a [`StudyEngine::revalidate`] (0 when the
+    /// delta came from a bare [`StudyEngine::install_rpki`]).
+    pub pairs_changed: usize,
+}
+
+impl EpochDelta {
+    /// No VRP-level change between the epochs.
+    pub fn is_empty(&self) -> bool {
+        self.announced.is_empty() && self.withdrawn.is_empty()
+    }
+}
+
+/// Structured failure from [`StudyEngine::try_run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// These ranks panicked during measurement and were not measured.
+    DomainsPanicked {
+        /// Ranks (0-based positions in the input ranking) skipped.
+        ranks: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::DomainsPanicked { ranks } => {
+                write!(
+                    f,
+                    "{} domain measurement(s) panicked (ranks {:?})",
+                    ranks.len(),
+                    ranks
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The study engine: owns the current [`WorldSnapshot`] and swaps it
+/// atomically on RPKI refresh.
+///
+/// `&StudyEngine` is all a consumer needs — readers grab an `Arc` to
+/// the snapshot they started with and are immune to concurrent swaps.
+pub struct StudyEngine {
+    current: RwLock<Arc<WorldSnapshot>>,
+}
+
+impl StudyEngine {
+    /// Build an engine at epoch 1 from owned substrate.
+    pub fn new(
+        zones: ZoneStore,
+        rib: Rib,
+        repository: &Repository,
+        config: PipelineConfig,
+    ) -> StudyEngine {
+        StudyEngine::from_shared(Arc::new(zones), Arc::new(rib), repository, config)
+    }
+
+    /// Build an engine at epoch 1 from already-shared substrate.
+    pub fn from_shared(
+        zones: Arc<ZoneStore>,
+        rib: Arc<Rib>,
+        repository: &Repository,
+        config: PipelineConfig,
+    ) -> StudyEngine {
+        let cache = Arc::new(ResolutionCache::new(config.vantage));
+        let snapshot = WorldSnapshot::build(1, zones, rib, cache, repository, config);
+        StudyEngine {
+            current: RwLock::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The current snapshot. Hold the `Arc` for a consistent view
+    /// across an entire computation.
+    pub fn snapshot(&self) -> Arc<WorldSnapshot> {
+        self.current
+            .read()
+            .expect("engine snapshot lock poisoned")
+            .clone()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Install a re-validated RPKI repository as a new epoch.
+    ///
+    /// The DNS and BGP substrate — and the resolution cache, since the
+    /// DNS world is unchanged — carry over by `Arc` clone; only the
+    /// validator is rebuilt. Returns the VRP-level [`EpochDelta`]
+    /// (announce/withdraw sets), which maps 1:1 onto an RTR serial
+    /// increment.
+    pub fn install_rpki(&self, repository: &Repository, now: SimTime) -> EpochDelta {
+        let mut guard = self.current.write().expect("engine snapshot lock poisoned");
+        let old = Arc::clone(&guard);
+        let mut config = old.config.clone();
+        config.now = now;
+        let next = WorldSnapshot::build(
+            old.epoch + 1,
+            Arc::clone(&old.zones),
+            Arc::clone(&old.rib),
+            Arc::clone(&old.cache),
+            repository,
+            config,
+        );
+        let before: BTreeSet<VrpTriple> = old.vrps().iter().copied().collect();
+        let after: BTreeSet<VrpTriple> = next.vrps().iter().copied().collect();
+        let delta = EpochDelta {
+            from_epoch: old.epoch,
+            to_epoch: next.epoch,
+            announced: after.difference(&before).copied().collect(),
+            withdrawn: before.difference(&after).copied().collect(),
+            pairs_changed: 0,
+        };
+        *guard = Arc::new(next);
+        delta
+    }
+
+    /// Epoch-swap revalidation: install `repository` as a new epoch and
+    /// recompute only the step-4 states of an existing study in place.
+    /// Equivalent to a full re-[`run`](Self::run) whenever only the
+    /// repository changed between the observations, at none of the
+    /// DNS/RIB cost. The returned delta carries the announce/withdraw
+    /// VRP sets and the number of pair states that flipped.
+    pub fn revalidate(
+        &self,
+        repository: &Repository,
+        now: SimTime,
+        results: &mut StudyResults,
+    ) -> EpochDelta {
+        let mut delta = self.install_rpki(repository, now);
+        delta.pairs_changed = self.snapshot().revalidate(results);
+        delta
+    }
+
+    /// Run the full study against the current snapshot (skip-and-count
+    /// panic policy; see [`WorldSnapshot::run`]).
+    pub fn run(&self, ranking: &[DomainName]) -> StudyResults {
+        self.snapshot().run(ranking)
+    }
+
+    /// Run, failing with a structured error if any domain was skipped.
+    pub fn try_run(&self, ranking: &[DomainName]) -> Result<StudyResults, EngineError> {
+        self.snapshot().try_run(ranking)
+    }
+}

@@ -36,7 +36,12 @@ pub struct ExposureConfig {
 
 impl Default for ExposureConfig {
     fn default() -> ExposureConfig {
-        ExposureConfig { rov_deployment: 0.5, attackers_per_domain: 3, stride: 50, seed: 7 }
+        ExposureConfig {
+            rov_deployment: 0.5,
+            attackers_per_domain: 3,
+            stride: 50,
+            seed: 7,
+        }
     }
 }
 
@@ -83,7 +88,9 @@ pub fn exposure_curve(
 
     let mut out = Vec::new();
     for d in domains.iter().step_by(config.stride.max(1)) {
-        let Some(pair) = d.bare.pairs.first() else { continue };
+        let Some(pair) = d.bare.pairs.first() else {
+            continue;
+        };
         let victim = pair.origin;
         if !topology.contains(victim) {
             continue;
@@ -103,7 +110,11 @@ pub fn exposure_curve(
         }
         let capture_rate = rates.iter().sum::<f64>() / rates.len() as f64;
         let fully_covered = d.bare.covered_fraction() == Some(1.0);
-        out.push(DomainExposure { rank: d.rank, capture_rate, fully_covered });
+        out.push(DomainExposure {
+            rank: d.rank,
+            capture_rate,
+            fully_covered,
+        });
     }
     out
 }
@@ -210,7 +221,10 @@ mod tests {
             &[empty, off_topology],
             &topo,
             &validator,
-            &ExposureConfig { stride: 1, ..Default::default() },
+            &ExposureConfig {
+                stride: 1,
+                ..Default::default()
+            },
         );
         assert!(exposures.is_empty());
     }
@@ -226,7 +240,11 @@ mod tests {
             &domains,
             &topo,
             &validator,
-            &ExposureConfig { stride: 4, attackers_per_domain: 1, ..Default::default() },
+            &ExposureConfig {
+                stride: 4,
+                attackers_per_domain: 1,
+                ..Default::default()
+            },
         );
         assert_eq!(exposures.len(), 3); // ranks 0, 4, 8
         let series = binned(&exposures, 10, 5);

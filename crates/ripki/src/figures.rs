@@ -75,7 +75,10 @@ pub fn fig3_cdn_popularity(
     let total = results.domains.len();
     let cname_heuristic = BinnedSeries::from_samples(
         results.domains.iter().map(|d| {
-            (d.rank, Some(if cname_chain_is_cdn(d, 2) { 1.0 } else { 0.0 }))
+            (
+                d.rank,
+                Some(if cname_chain_is_cdn(d, 2) { 1.0 } else { 0.0 }),
+            )
         }),
         total,
         bin,
@@ -90,7 +93,10 @@ pub fn fig3_cdn_popularity(
         total,
         bin,
     );
-    Fig3Series { cname_heuristic, httparchive }
+    Fig3Series {
+        cname_heuristic,
+        httparchive,
+    }
 }
 
 /// Figure 4: RPKI-enabled share per bin, overall vs CDN-hosted only.
@@ -125,7 +131,10 @@ pub fn fig4_rpki_on_cdns(results: &StudyResults, bin: usize) -> Fig4Series {
         total,
         bin,
     );
-    Fig4Series { rpki_enabled, rpki_enabled_on_cdns }
+    Fig4Series {
+        rpki_enabled,
+        rpki_enabled_on_cdns,
+    }
 }
 
 /// Extension (paper §7 future work): RPKI coverage vs DNSSEC signing
@@ -155,7 +164,14 @@ pub fn ext_dnssec_comparison(results: &StudyResults, bin: usize) -> ExtDnssecSer
                 if d.bare.resolve_failed {
                     (d.rank, None)
                 } else {
-                    (d.rank, Some(if d.bare.dnssec_authenticated { 1.0 } else { 0.0 }))
+                    (
+                        d.rank,
+                        Some(if d.bare.dnssec_authenticated {
+                            1.0
+                        } else {
+                            0.0
+                        }),
+                    )
                 }
             }),
             total,
@@ -182,9 +198,7 @@ mod tests {
                 })
                 .collect(),
             cname_chain: (0..chain)
-                .map(|i| {
-                    ripki_dns::DomainName::parse(&format!("c{i}.cdn-x.net")).unwrap()
-                })
+                .map(|i| ripki_dns::DomainName::parse(&format!("c{i}.cdn-x.net")).unwrap())
                 .collect(),
             ..Default::default()
         }
@@ -200,7 +214,10 @@ mod tests {
     }
 
     fn results(domains: Vec<DomainMeasurement>) -> StudyResults {
-        StudyResults { domains, vrp_count: 0, rpki_rejected: 0 }
+        StudyResults {
+            domains,
+            ..Default::default()
+        }
     }
 
     use RpkiState::*;
@@ -217,9 +234,8 @@ mod tests {
         assert_eq!(f.invalid.means[0], Some(1.0 / 3.0));
         assert!((f.not_found.means[0].unwrap() - (0.5 + 0.0 + 1.0) / 3.0).abs() < 1e-12);
         // The three series sum to 1 where defined.
-        let s = f.valid.means[0].unwrap()
-            + f.invalid.means[0].unwrap()
-            + f.not_found.means[0].unwrap();
+        let s =
+            f.valid.means[0].unwrap() + f.invalid.means[0].unwrap() + f.not_found.means[0].unwrap();
         assert!((s - 1.0).abs() < 1e-12);
     }
 
@@ -236,7 +252,7 @@ mod tests {
         let mut equal = dm(0, &[Valid], 0);
         equal.www = equal.bare.clone();
         let differing = dm(1, &[Valid, NotFound], 0); // www has 2 pairs, bare 2 — same
-        // Make bare differ.
+                                                      // Make bare differ.
         let mut differing = differing;
         differing.bare = nm(&[Valid], 0);
         let r = results(vec![equal, differing]);

@@ -23,18 +23,23 @@
 //! * [`cdn_audit`] — §4.2's keyword-spotting audit of CDN ASes;
 //! * [`report`] — headline statistics and CSV/JSON export.
 //!
-//! The pipeline runs sharded across threads (crossbeam) — a 1M-domain
-//! study is embarrassingly parallel.
+//! The measurement core is the snapshot-based [`engine`]: an
+//! `Arc`-shared, epoch-versioned `WorldSnapshot` owned by a
+//! `StudyEngine`, with memoized CNAME-tail resolution and panic-tolerant
+//! sharded runs — a 1M-domain study is embarrassingly parallel.
+//! [`pipeline`] keeps the result types and a borrow-compatible façade.
 
 pub mod cdn_audit;
-pub mod exposure;
 pub mod classify;
+pub mod engine;
+pub mod exposure;
 pub mod figures;
 pub mod pipeline;
 pub mod report;
 pub mod stats;
 pub mod tables;
 
+pub use engine::{EngineError, EpochDelta, StudyEngine, WorldSnapshot};
 pub use pipeline::{
     DomainMeasurement, NameMeasurement, PairState, Pipeline, PipelineConfig, StudyResults,
 };

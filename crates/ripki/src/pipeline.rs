@@ -1,20 +1,25 @@
-//! The four-step measurement pipeline.
+//! The four-step measurement pipeline: data model and compat façade.
+//!
+//! The measurement itself lives in [`crate::engine`]: an `Arc`-shared,
+//! epoch-versioned [`WorldSnapshot`](crate::engine::WorldSnapshot)
+//! owned by a [`StudyEngine`](crate::engine::StudyEngine). This module
+//! keeps the result types (`NameMeasurement`, `DomainMeasurement`,
+//! `StudyResults`, …) and a borrow-compatible [`Pipeline`] façade so
+//! existing `Pipeline::new(&zones, &rib, …)` call sites keep working.
 
-use crossbeam::thread;
+use crate::engine::{StudyEngine, WorldSnapshot};
 use ripki_bgp::rib::Rib;
-use ripki_bgp::rov::{RouteOriginValidator, RpkiState, VrpTriple};
-use ripki_dns::faults::FaultyResolver;
-use ripki_dns::resolver::Resolver;
+use ripki_bgp::rov::{RouteOriginValidator, RpkiState};
 use ripki_dns::vantage::Vantage;
 use ripki_dns::zone::ZoneStore;
 use ripki_dns::DomainName;
-use ripki_net::special::SpecialRegistry;
 use ripki_net::{Asn, IpPrefix};
 use ripki_rpki::repo::Repository;
 use ripki_rpki::time::SimTime;
-use ripki_rpki::validate::validate;
 use serde::{Deserialize, Serialize};
+use std::marker::PhantomData;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// One (covering prefix, origin AS) pair with its RFC 6811 state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -125,8 +130,30 @@ pub struct PipelineConfig {
     pub dns_fault_seed: u64,
     /// Simulated instant at which the RPKI is validated.
     pub now: SimTime,
-    /// Number of worker threads (0 = available parallelism).
+    /// Number of worker threads (0 = available parallelism). An
+    /// explicit value is honored as given; see
+    /// [`worker_threads`](Self::worker_threads).
     pub threads: usize,
+}
+
+impl PipelineConfig {
+    /// The worker count a study run will actually use.
+    ///
+    /// An explicit `threads` value is taken at face value — callers who
+    /// ask for 256 workers get 256. Only the auto-detected path
+    /// (`threads == 0`) is clamped to 64: `available_parallelism` on
+    /// very wide machines would otherwise spawn far more workers than
+    /// the sharding can keep busy.
+    pub fn worker_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(1, 64)
+        }
+    }
 }
 
 impl Default for PipelineConfig {
@@ -150,16 +177,26 @@ pub struct StudyResults {
     pub vrp_count: usize,
     /// Objects rejected during cryptographic RPKI validation.
     pub rpki_rejected: usize,
+    /// Epoch of the snapshot that produced (or last revalidated) these
+    /// results; 0 for hand-built results.
+    pub epoch: u64,
+    /// Ranks whose measurement panicked and was skipped (empty on a
+    /// healthy run).
+    pub skipped: Vec<usize>,
 }
 
-/// The configured pipeline, borrowing its substrate inputs.
+/// The configured pipeline — a borrow-compatible façade over one
+/// [`WorldSnapshot`].
+///
+/// `Pipeline` predates the engine and borrowed its substrate for `'w`;
+/// it now clones the substrate into a private epoch-1 snapshot, so the
+/// lifetime only constrains the constructor arguments. New code should
+/// use [`StudyEngine`] directly and keep the substrate in `Arc`s —
+/// that also unlocks epoch swaps ([`StudyEngine::install_rpki`]),
+/// which a `Pipeline` (fixed at its construction epoch) cannot do.
 pub struct Pipeline<'w> {
-    zones: &'w ZoneStore,
-    rib: &'w Rib,
-    validator: RouteOriginValidator,
-    vrp_count: usize,
-    rpki_rejected: usize,
-    config: PipelineConfig,
+    snapshot: Arc<WorldSnapshot>,
+    _world: PhantomData<&'w ZoneStore>,
 }
 
 impl<'w> Pipeline<'w> {
@@ -171,139 +208,38 @@ impl<'w> Pipeline<'w> {
         repository: &Repository,
         config: PipelineConfig,
     ) -> Pipeline<'w> {
-        let report = validate(repository, config.now);
-        let validator = RouteOriginValidator::from_vrps(report.vrps.iter().map(|v| {
-            VrpTriple { prefix: v.prefix, max_length: v.max_length, asn: v.asn }
-        }));
+        let engine = StudyEngine::new(zones.clone(), rib.clone(), repository, config);
         Pipeline {
-            zones,
-            rib,
-            vrp_count: report.vrps.len(),
-            rpki_rejected: report.rejected_count(),
-            validator,
-            config,
+            snapshot: engine.snapshot(),
+            _world: PhantomData,
         }
+    }
+
+    /// The underlying snapshot (for interop with engine-based code).
+    pub fn snapshot(&self) -> Arc<WorldSnapshot> {
+        Arc::clone(&self.snapshot)
     }
 
     /// Access the origin validator (for hijack experiments etc.).
     pub fn validator(&self) -> &RouteOriginValidator {
-        &self.validator
-    }
-
-    /// Measure one name form.
-    fn measure_name(&self, name: &DomainName) -> NameMeasurement {
-        let resolver = FaultyResolver::new(
-            Resolver::new(self.zones, self.config.vantage),
-            self.config.bogus_dns_ppm,
-            self.config.dns_fault_seed,
-        );
-        let mut m = NameMeasurement::default();
-        let resolution = match resolver.resolve(name) {
-            Ok(r) => r,
-            Err(_) => {
-                m.resolve_failed = true;
-                return m;
-            }
-        };
-        m.cname_chain = resolution.cname_chain;
-        m.dnssec_authenticated = resolution.authenticated;
-        let registry = SpecialRegistry::global();
-        for addr in resolution.addresses {
-            // Step 2 exclusion: special-purpose answers are invalid.
-            if registry.is_invalid_answer(addr) {
-                m.excluded_invalid += 1;
-                continue;
-            }
-            m.addresses.push(addr);
-            // Step 3: all covering prefixes and origins.
-            let mapping = self.rib.origins_for_addr(addr);
-            m.as_set_skipped += mapping.as_set_skipped;
-            if !mapping.is_reachable() {
-                m.unreachable += 1;
-                continue;
-            }
-            for po in mapping.pairs {
-                // Step 4: RFC 6811 per pair.
-                let state = self.validator.validate(&po.prefix, po.origin);
-                let pair = PairState { prefix: po.prefix, origin: po.origin, state };
-                if !m.pairs.contains(&pair) {
-                    m.pairs.push(pair);
-                }
-            }
-        }
-        m
+        self.snapshot.validator()
     }
 
     /// Measure one ranked domain (both name forms).
     pub fn measure_domain(&self, rank: usize, listed: &DomainName) -> DomainMeasurement {
-        let bare = listed.without_www();
-        let www = bare.with_www();
-        DomainMeasurement {
-            rank,
-            listed: listed.clone(),
-            www: self.measure_name(&www),
-            bare: self.measure_name(&bare),
-        }
+        self.snapshot.measure_domain(rank, listed)
     }
 
     /// Re-apply this pipeline's VRPs to an existing study's (prefix,
-    /// origin) pairs without repeating DNS resolution or table lookups —
-    /// what a longitudinal study does when only the RPKI changed between
-    /// observations (ROAs are re-fetched daily; crawls are expensive).
-    ///
-    /// Equivalent to a full [`run`](Self::run) whenever only the
-    /// repository differs between the two pipelines.
+    /// origin) pairs without repeating DNS resolution or table lookups.
+    /// See [`WorldSnapshot::revalidate`].
     pub fn revalidate(&self, results: &mut StudyResults) {
-        for d in &mut results.domains {
-            for m in [&mut d.www, &mut d.bare] {
-                for pair in &mut m.pairs {
-                    pair.state = self.validator.validate(&pair.prefix, pair.origin);
-                }
-            }
-        }
-        results.vrp_count = self.vrp_count;
-        results.rpki_rejected = self.rpki_rejected;
+        self.snapshot.revalidate(results);
     }
 
     /// Run the full study over a ranked list, sharded across threads.
     pub fn run(&self, ranking: &[DomainName]) -> StudyResults {
-        let threads = if self.config.threads > 0 {
-            self.config.threads
-        } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        };
-        let threads = threads.clamp(1, 64);
-        let chunk = ranking.len().div_ceil(threads).max(1);
-        let mut domains: Vec<DomainMeasurement> = Vec::with_capacity(ranking.len());
-        if ranking.is_empty() {
-            return StudyResults {
-                domains,
-                vrp_count: self.vrp_count,
-                rpki_rejected: self.rpki_rejected,
-            };
-        }
-        let shards: Vec<Vec<DomainMeasurement>> = thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (i, part) in ranking.chunks(chunk).enumerate() {
-                let base = i * chunk;
-                handles.push(scope.spawn(move |_| {
-                    part.iter()
-                        .enumerate()
-                        .map(|(k, name)| self.measure_domain(base + k, name))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("scope panicked");
-        for shard in shards {
-            domains.extend(shard);
-        }
-        StudyResults {
-            domains,
-            vrp_count: self.vrp_count,
-            rpki_rejected: self.rpki_rejected,
-        }
+        self.snapshot.run(ranking)
     }
 }
 
@@ -359,17 +295,34 @@ mod tests {
             Resources::from_prefixes(vec!["80.0.0.0/4".parse().unwrap()]),
         );
         let isp = b
-            .add_ca(ta, "ISP-1", Resources::from_prefixes(vec!["85.0.0.0/8".parse().unwrap()]))
+            .add_ca(
+                ta,
+                "ISP-1",
+                Resources::from_prefixes(vec!["85.0.0.0/8".parse().unwrap()]),
+            )
             .unwrap();
-        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact("85.1.0.0/16".parse().unwrap())])
-            .unwrap();
-        b.add_roa(isp, Asn::new(555), vec![RoaPrefix::exact("85.2.0.0/16".parse().unwrap())])
-            .unwrap();
+        b.add_roa(
+            isp,
+            Asn::new(100),
+            vec![RoaPrefix::exact("85.1.0.0/16".parse().unwrap())],
+        )
+        .unwrap();
+        b.add_roa(
+            isp,
+            Asn::new(555),
+            vec![RoaPrefix::exact("85.2.0.0/16".parse().unwrap())],
+        )
+        .unwrap();
         (zones, rib, b.finalize(), SimTime::EPOCH + Duration::days(1))
     }
 
     fn pipeline_cfg(now: SimTime) -> PipelineConfig {
-        PipelineConfig { bogus_dns_ppm: 0, now, threads: 2, ..Default::default() }
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now,
+            threads: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -442,6 +395,8 @@ mod tests {
         }
         assert_eq!(results.vrp_count, 2);
         assert_eq!(results.rpki_rejected, 0);
+        assert_eq!(results.epoch, 1);
+        assert!(results.skipped.is_empty());
     }
 
     #[test]
@@ -460,14 +415,24 @@ mod tests {
             &zones,
             &rib,
             &repo,
-            PipelineConfig { threads: 1, bogus_dns_ppm: 0, now, ..Default::default() },
+            PipelineConfig {
+                threads: 1,
+                bogus_dns_ppm: 0,
+                now,
+                ..Default::default()
+            },
         )
         .run(&ranking);
         let multi = Pipeline::new(
             &zones,
             &rib,
             &repo,
-            PipelineConfig { threads: 4, bogus_dns_ppm: 0, now, ..Default::default() },
+            PipelineConfig {
+                threads: 4,
+                bogus_dns_ppm: 0,
+                now,
+                ..Default::default()
+            },
         )
         .run(&ranking);
         assert_eq!(single.domains.len(), multi.domains.len());
@@ -475,6 +440,20 @@ mod tests {
             assert_eq!(a.bare, b.bare);
             assert_eq!(a.www, b.www);
         }
+    }
+
+    #[test]
+    fn explicit_thread_count_is_uncapped() {
+        let cfg = PipelineConfig {
+            threads: 100,
+            ..Default::default()
+        };
+        assert_eq!(cfg.worker_threads(), 100);
+        let auto = PipelineConfig {
+            threads: 0,
+            ..Default::default()
+        };
+        assert!((1..=64).contains(&auto.worker_threads()));
     }
 
     #[test]
@@ -493,7 +472,11 @@ mod tests {
         // First observation: RPKI expired (everything NotFound).
         let late = SimTime::EPOCH + Duration::years(30);
         let stale = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(late));
-        let ranking = vec![n("covered.example"), n("hijacked.example"), n("plain.example")];
+        let ranking = vec![
+            n("covered.example"),
+            n("hijacked.example"),
+            n("plain.example"),
+        ];
         let mut results = stale.run(&ranking);
         assert!(results
             .domains
@@ -505,6 +488,41 @@ mod tests {
         let fresh = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(now));
         fresh.revalidate(&mut results);
         let full = fresh.run(&ranking);
+        assert_eq!(results.vrp_count, full.vrp_count);
+        for (a, b) in results.domains.iter().zip(&full.domains) {
+            assert_eq!(a.bare.pairs, b.bare.pairs);
+            assert_eq!(a.www.pairs, b.www.pairs);
+        }
+    }
+
+    #[test]
+    fn engine_epoch_swap_revalidate_matches_full_rerun() {
+        let (zones, rib, repo, now) = world();
+        let late = SimTime::EPOCH + Duration::years(30);
+        let engine =
+            crate::engine::StudyEngine::new(zones.clone(), rib.clone(), &repo, pipeline_cfg(late));
+        let ranking = vec![
+            n("covered.example"),
+            n("hijacked.example"),
+            n("plain.example"),
+        ];
+        let mut results = engine.run(&ranking);
+        assert_eq!(results.epoch, 1);
+        assert_eq!(results.vrp_count, 0);
+
+        // Swap in the un-expired view of the same repository.
+        let delta = engine.revalidate(&repo, now, &mut results);
+        assert_eq!(delta.from_epoch, 1);
+        assert_eq!(delta.to_epoch, 2);
+        // Both ROAs come alive: two announced VRPs, nothing withdrawn.
+        assert_eq!(delta.announced.len(), 2);
+        assert!(delta.withdrawn.is_empty());
+        // covered (NotFound→Valid) and hijacked (NotFound→Invalid)
+        // flip in both name forms.
+        assert_eq!(delta.pairs_changed, 4);
+        assert_eq!(results.epoch, 2);
+
+        let full = engine.run(&ranking);
         assert_eq!(results.vrp_count, full.vrp_count);
         for (a, b) in results.domains.iter().zip(&full.domains) {
             assert_eq!(a.bare.pairs, b.bare.pairs);
@@ -529,12 +547,25 @@ mod tests {
             Resources::from_prefixes(vec!["2001::/16".parse().unwrap()]),
         );
         let isp = b
-            .add_ca(ta, "v6-ISP", Resources::from_prefixes(vec!["2001:600::/24".parse().unwrap()]))
+            .add_ca(
+                ta,
+                "v6-ISP",
+                Resources::from_prefixes(vec!["2001:600::/24".parse().unwrap()]),
+            )
             .unwrap();
-        b.add_roa(isp, Asn::new(700), vec![RoaPrefix::exact("2001:600::/32".parse().unwrap())])
-            .unwrap();
+        b.add_roa(
+            isp,
+            Asn::new(700),
+            vec![RoaPrefix::exact("2001:600::/32".parse().unwrap())],
+        )
+        .unwrap();
         let repo = b.finalize();
-        let p = Pipeline::new(&zones, &rib, &repo, pipeline_cfg(SimTime::EPOCH + Duration::days(1)));
+        let p = Pipeline::new(
+            &zones,
+            &rib,
+            &repo,
+            pipeline_cfg(SimTime::EPOCH + Duration::days(1)),
+        );
         let m = p.measure_domain(0, &n("six.example"));
         assert_eq!(m.bare.pairs.len(), 1);
         assert_eq!(m.bare.pairs[0].state, RpkiState::Valid);

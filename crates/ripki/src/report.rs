@@ -93,8 +93,16 @@ impl fmt::Display for HeadlineStats {
         writeln!(f, "w/o www addresses:         {}", self.bare_addresses)?;
         writeln!(f, "www prefix-AS pairs:       {}", self.www_pairs)?;
         writeln!(f, "w/o www prefix-AS pairs:   {}", self.bare_pairs)?;
-        writeln!(f, "invalid DNS answers:       {:.3}%", self.invalid_dns_fraction * 100.0)?;
-        writeln!(f, "unreachable addresses:     {:.3}%", self.unreachable_fraction * 100.0)?;
+        writeln!(
+            f,
+            "invalid DNS answers:       {:.3}%",
+            self.invalid_dns_fraction * 100.0
+        )?;
+        writeln!(
+            f,
+            "unreachable addresses:     {:.3}%",
+            self.unreachable_fraction * 100.0
+        )?;
         writeln!(f, "AS_SET entries skipped:    {}", self.as_set_skipped)?;
         writeln!(f, "resolution failures:       {}", self.resolve_failures)?;
         write!(f, "VRPs loaded:               {}", self.vrp_count)
@@ -140,11 +148,15 @@ mod tests {
                     rank: 1,
                     listed: ripki_dns::DomainName::parse("b.example").unwrap(),
                     www: nm(1, 1, 0, 0),
-                    bare: NameMeasurement { resolve_failed: true, ..Default::default() },
+                    bare: NameMeasurement {
+                        resolve_failed: true,
+                        ..Default::default()
+                    },
                 },
             ],
             vrp_count: 42,
             rpki_rejected: 0,
+            ..Default::default()
         };
         let s = HeadlineStats::compute(&results);
         assert_eq!(s.domains, 2);
@@ -171,7 +183,11 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let s = HeadlineStats { domains: 7, vrp_count: 3, ..Default::default() };
+        let s = HeadlineStats {
+            domains: 7,
+            vrp_count: 3,
+            ..Default::default()
+        };
         let json = s.to_json();
         let back: HeadlineStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
@@ -179,7 +195,11 @@ mod tests {
 
     #[test]
     fn display_mentions_key_numbers() {
-        let s = HeadlineStats { domains: 1000, www_addresses: 1167, ..Default::default() };
+        let s = HeadlineStats {
+            domains: 1000,
+            www_addresses: 1167,
+            ..Default::default()
+        };
         let text = s.to_string();
         assert!(text.contains("1000"));
         assert!(text.contains("1167"));

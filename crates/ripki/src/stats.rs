@@ -47,7 +47,11 @@ impl BinnedSeries {
             .zip(&counts)
             .map(|(s, c)| if *c > 0 { Some(s / *c as f64) } else { None })
             .collect();
-        BinnedSeries { bin_size, means, counts }
+        BinnedSeries {
+            bin_size,
+            means,
+            counts,
+        }
     }
 
     /// Number of bins.
@@ -193,11 +197,8 @@ mod tests {
 
     #[test]
     fn trend_detection() {
-        let rising = BinnedSeries::from_samples(
-            (0..100).map(|r| (r, Some(r as f64 / 100.0))),
-            100,
-            10,
-        );
+        let rising =
+            BinnedSeries::from_samples((0..100).map(|r| (r, Some(r as f64 / 100.0))), 100, 10);
         assert!(trend_slope(&rising).unwrap() > 0.0);
         let falling = BinnedSeries::from_samples(
             (0..100).map(|r| (r, Some(1.0 - r as f64 / 100.0))),
@@ -205,11 +206,7 @@ mod tests {
             10,
         );
         assert!(trend_slope(&falling).unwrap() < 0.0);
-        let flat = BinnedSeries::from_samples(
-            (0..100).map(|r| (r, Some(0.5))),
-            100,
-            10,
-        );
+        let flat = BinnedSeries::from_samples((0..100).map(|r| (r, Some(0.5))), 100, 10);
         assert!(trend_slope(&flat).unwrap().abs() < 1e-12);
         let single = BinnedSeries::from_samples(vec![(0, Some(1.0))], 10, 10);
         assert_eq!(trend_slope(&single), None);

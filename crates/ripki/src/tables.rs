@@ -44,7 +44,11 @@ impl CoverageCell {
     /// Build from a name measurement.
     pub fn of(m: &NameMeasurement) -> CoverageCell {
         if m.resolve_failed || m.pairs.is_empty() {
-            return CoverageCell { mark: CoverageMark::NotAvailable, covered: 0, total: 0 };
+            return CoverageCell {
+                mark: CoverageMark::NotAvailable,
+                covered: 0,
+                total: 0,
+            };
         }
         let (covered, total) = m.coverage_counts();
         let mark = if covered == 0 {
@@ -54,7 +58,11 @@ impl CoverageCell {
         } else {
             CoverageMark::Partial
         };
-        CoverageCell { mark, covered, total }
+        CoverageCell {
+            mark,
+            covered,
+            total,
+        }
     }
 
     /// Whether this cell shows any coverage.
@@ -87,7 +95,14 @@ pub struct Table1Row {
 
 impl fmt::Display for Table1Row {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:>7}  {:<34} {:>12} {:>12}", self.rank, self.domain, self.www.to_string(), self.bare.to_string())
+        write!(
+            f,
+            "{:>7}  {:<34} {:>12} {:>12}",
+            self.rank,
+            self.domain,
+            self.www.to_string(),
+            self.bare.to_string()
+        )
     }
 }
 
@@ -115,9 +130,8 @@ pub fn table1_top_covered(results: &StudyResults, n: usize) -> Vec<Table1Row> {
 
 /// Render Table 1 rows with a header, paper-style.
 pub fn render_table1(rows: &[Table1Row]) -> String {
-    let mut out = String::from(
-        "   rank  domain                                      www      w/o www\n",
-    );
+    let mut out =
+        String::from("   rank  domain                                      www      w/o www\n");
     for row in rows {
         out.push_str(&row.to_string());
         out.push('\n');
@@ -191,6 +205,7 @@ mod tests {
             ],
             vrp_count: 0,
             rpki_rejected: 0,
+            ..Default::default()
         };
         let rows = table1_top_covered(&results, 10);
         assert_eq!(rows.len(), 3);
@@ -210,6 +225,7 @@ mod tests {
             domains: (0..20).map(|r| dm(r, &[Valid], &[Valid])).collect(),
             vrp_count: 0,
             rpki_rejected: 0,
+            ..Default::default()
         };
         assert_eq!(table1_top_covered(&results, 10).len(), 10);
     }
@@ -220,6 +236,7 @@ mod tests {
             domains: vec![dm(0, &[Valid], &[NotFound])],
             vrp_count: 0,
             rpki_rejected: 0,
+            ..Default::default()
         };
         let rows = table1_top_covered(&results, 10);
         let text = render_table1(&rows);

@@ -102,7 +102,10 @@ fn full_study_reproduces_paper_shapes() {
         .cname_heuristic
         .range_mean(DOMAINS * 9 / 10, DOMAINS)
         .unwrap();
-    assert!(cdn_top > cdn_tail + 0.05, "CDN share decays: {cdn_top} vs {cdn_tail}");
+    assert!(
+        cdn_top > cdn_tail + 0.05,
+        "CDN share decays: {cdn_top} vs {cdn_tail}"
+    );
     assert!(trend_slope(&fig3.cname_heuristic).unwrap() < 0.0);
     let ha_top = fig3.httparchive.range_mean(0, DOMAINS / 10).unwrap();
     assert!(
@@ -122,7 +125,10 @@ fn full_study_reproduces_paper_shapes() {
     // Flat-ish: the rank trend of the CDN series is an order of magnitude
     // weaker than the overall series' own scale.
     if let Some(slope) = trend_slope(&fig4.rpki_enabled_on_cdns) {
-        assert!(slope.abs() < 0.01, "CDN series should be ~flat, slope {slope}");
+        assert!(
+            slope.abs() < 0.01,
+            "CDN series should be ~flat, slope {slope}"
+        );
     }
 
     // ---- Table 1: exists and is rank-ordered with real coverage ----
@@ -194,10 +200,7 @@ fn vantage_choice_does_not_change_conclusions() {
         let fig2 = figures::fig2_rpki_outcome(&results, 1_000);
         means.push(fig2.valid.overall_mean().unwrap());
     }
-    let spread = means
-        .iter()
-        .cloned()
-        .fold(f64::MIN, f64::max)
+    let spread = means.iter().cloned().fold(f64::MIN, f64::max)
         - means.iter().cloned().fold(f64::MAX, f64::min);
     assert!(spread < 0.01, "vantage spread too large: {means:?}");
 }

@@ -89,7 +89,10 @@ pub fn save(repo: &Repository, dir: &Path) -> Result<(), ArchiveError> {
     for (key_id, pp) in &repo.points {
         let point_dir = dir.join(key_id.0.to_hex());
         fs::create_dir_all(&point_dir)?;
-        fs::write(point_dir.join(PublicationPoint::CRL_FILE_NAME), pp.crl.encoded())?;
+        fs::write(
+            point_dir.join(PublicationPoint::CRL_FILE_NAME),
+            pp.crl.encoded(),
+        )?;
         fs::write(point_dir.join("ca.mft"), pp.manifest.encoded())?;
         for cert in &pp.child_certs {
             fs::write(
@@ -108,7 +111,10 @@ pub fn save(repo: &Repository, dir: &Path) -> Result<(), ArchiveError> {
 }
 
 fn decode_err(path: &Path, detail: impl ToString) -> ArchiveError {
-    ArchiveError::Decode { path: path.display().to_string(), detail: detail.to_string() }
+    ArchiveError::Decode {
+        path: path.display().to_string(),
+        detail: detail.to_string(),
+    }
 }
 
 /// Load a repository from `dir`.
@@ -145,18 +151,24 @@ pub fn load(dir: &Path) -> Result<Repository, ArchiveError> {
             .and_then(|n| n.to_str())
             .unwrap_or("")
             .to_string();
-        let digest = Digest::from_hex(&dirname)
-            .ok_or_else(|| ArchiveError::BadKeyId(dirname.clone()))?;
+        let digest =
+            Digest::from_hex(&dirname).ok_or_else(|| ArchiveError::BadKeyId(dirname.clone()))?;
         let key_id = KeyId(digest);
 
         let crl_path = point_dir.join(PublicationPoint::CRL_FILE_NAME);
         if !crl_path.is_file() {
-            return Err(ArchiveError::Missing { point: dirname, file: "ca.crl" });
+            return Err(ArchiveError::Missing {
+                point: dirname,
+                file: "ca.crl",
+            });
         }
         let crl = Crl::decode(&fs::read(&crl_path)?).map_err(|e| decode_err(&crl_path, e))?;
         let mft_path = point_dir.join("ca.mft");
         if !mft_path.is_file() {
-            return Err(ArchiveError::Missing { point: dirname, file: "ca.mft" });
+            return Err(ArchiveError::Missing {
+                point: dirname,
+                file: "ca.mft",
+            });
         }
         let manifest =
             Manifest::decode(&fs::read(&mft_path)?).map_err(|e| decode_err(&mft_path, e))?;
@@ -171,20 +183,25 @@ pub fn load(dir: &Path) -> Result<Repository, ArchiveError> {
         for file in files {
             match file.extension().and_then(|x| x.to_str()) {
                 Some("cer") => {
-                    let cert =
-                        Cert::decode(&fs::read(&file)?).map_err(|e| decode_err(&file, e))?;
+                    let cert = Cert::decode(&fs::read(&file)?).map_err(|e| decode_err(&file, e))?;
                     child_certs.push(cert);
                 }
                 Some("roa") => {
-                    let roa =
-                        Roa::decode(&fs::read(&file)?).map_err(|e| decode_err(&file, e))?;
+                    let roa = Roa::decode(&fs::read(&file)?).map_err(|e| decode_err(&file, e))?;
                     roas.push(roa);
                 }
                 _ => {}
             }
         }
-        repo.points
-            .insert(key_id, PublicationPoint { child_certs, roas, crl, manifest });
+        repo.points.insert(
+            key_id,
+            PublicationPoint {
+                child_certs,
+                roas,
+                crl,
+                manifest,
+            },
+        );
     }
     Ok(repo)
 }
@@ -208,10 +225,8 @@ mod tests {
     fn scratch() -> std::path::PathBuf {
         static COUNTER: AtomicU32 = AtomicU32::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "ripki-archive-test-{}-{n}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ripki-archive-test-{}-{n}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -226,8 +241,12 @@ mod tests {
         let isp = b
             .add_ca(ta, "ISP-1", Resources::from_prefixes(vec![p("85.0.0.0/8")]))
             .unwrap();
-        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::up_to(p("85.1.0.0/16"), 24)])
-            .unwrap();
+        b.add_roa(
+            isp,
+            Asn::new(100),
+            vec![RoaPrefix::up_to(p("85.1.0.0/16"), 24)],
+        )
+        .unwrap();
         b.add_roa(isp, Asn::new(200), vec![RoaPrefix::exact(p("85.2.0.0/16"))])
             .unwrap();
         b.revoke(isp, 999).unwrap();

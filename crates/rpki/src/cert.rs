@@ -83,7 +83,9 @@ impl Cert {
 
     /// Verify the signature against the issuer's public key.
     pub fn verify_signature(&self, issuer_key: &PublicKey) -> bool {
-        issuer_key.verify(&self.tbs_bytes(), &self.signature).is_ok()
+        issuer_key
+            .verify(&self.tbs_bytes(), &self.signature)
+            .is_ok()
     }
 
     /// Decode a certificate from its [`encoded`](Cert::encoded) bytes.
@@ -98,7 +100,11 @@ impl Cert {
         let subject_key = PublicKey::from_element(r.get_u128(0x03)?);
         let issuer_raw = r.get_bytes(0x04)?;
         if issuer_raw.len() != 32 {
-            return Err(TlvError::BadLength { tag: 0x04, expected: 32, found: issuer_raw.len() });
+            return Err(TlvError::BadLength {
+                tag: 0x04,
+                expected: 32,
+                found: issuer_raw.len(),
+            });
         }
         let mut issuer_digest = [0u8; 32];
         issuer_digest.copy_from_slice(issuer_raw);
@@ -257,7 +263,10 @@ mod tests {
         let subject = keys("subject");
         let a = issue_simple(&issuer, &subject, true);
         let mut b = a.clone();
-        b.signature = Signature { e: a.signature.e ^ 1, s: a.signature.s };
+        b.signature = Signature {
+            e: a.signature.e ^ 1,
+            s: a.signature.s,
+        };
         assert_ne!(a.digest(), b.digest());
     }
 
@@ -265,7 +274,11 @@ mod tests {
     fn display_mentions_kind() {
         let issuer = keys("issuer");
         let subject = keys("subject");
-        assert!(issue_simple(&issuer, &subject, true).to_string().starts_with("CA"));
-        assert!(issue_simple(&issuer, &subject, false).to_string().starts_with("EE"));
+        assert!(issue_simple(&issuer, &subject, true)
+            .to_string()
+            .starts_with("CA"));
+        assert!(issue_simple(&issuer, &subject, false)
+            .to_string()
+            .starts_with("EE"));
     }
 }

@@ -60,7 +60,11 @@ impl Crl {
         let mut r = Reader::new(tbs);
         let issuer_raw = r.get_bytes(0x01)?;
         if issuer_raw.len() != 32 {
-            return Err(TlvError::BadLength { tag: 0x01, expected: 32, found: issuer_raw.len() });
+            return Err(TlvError::BadLength {
+                tag: 0x01,
+                expected: 32,
+                found: issuer_raw.len(),
+            });
         }
         let mut issuer_digest = [0u8; 32];
         issuer_digest.copy_from_slice(issuer_raw);
@@ -101,7 +105,9 @@ impl Crl {
 
     /// Verify the CA's signature.
     pub fn verify_signature(&self, issuer_key: &PublicKey) -> bool {
-        issuer_key.verify(&self.tbs_bytes(), &self.signature).is_ok()
+        issuer_key
+            .verify(&self.tbs_bytes(), &self.signature)
+            .is_ok()
     }
 
     /// Whether `serial` is revoked by this CRL.

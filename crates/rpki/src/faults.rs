@@ -16,9 +16,14 @@ use ripki_crypto::schnorr::Signature;
 /// Flip a bit in every ROA content signature at `ca`'s publication point,
 /// simulating storage corruption or a broken signer.
 pub fn corrupt_roa_signatures(repo: &mut Repository, ca: KeyId) -> usize {
-    let Some(pp) = repo.points.get_mut(&ca) else { return 0 };
+    let Some(pp) = repo.points.get_mut(&ca) else {
+        return 0;
+    };
     for roa in &mut pp.roas {
-        roa.signature = Signature { e: roa.signature.e ^ 1, s: roa.signature.s };
+        roa.signature = Signature {
+            e: roa.signature.e ^ 1,
+            s: roa.signature.s,
+        };
     }
     pp.roas.len()
 }
@@ -27,7 +32,9 @@ pub fn corrupt_roa_signatures(repo: &mut Repository, ca: KeyId) -> usize {
 /// simulating an unattended CA that stopped re-signing (the most common
 /// real-world RPKI operational failure).
 pub fn stale_crl(repo: &mut Repository, ca: KeyId) -> usize {
-    let Some(pp) = repo.points.get_mut(&ca) else { return 0 };
+    let Some(pp) = repo.points.get_mut(&ca) else {
+        return 0;
+    };
     let v = pp.crl.validity;
     // Shift the window to end before it begins relative to "now" users:
     // one second of life at the original not_before.
@@ -42,7 +49,9 @@ pub fn stale_crl(repo: &mut Repository, ca: KeyId) -> usize {
 /// manifest: the classic "withheld object" attack from *On the Risk of
 /// Misbehaving RPKI Authorities*. Returns the number of ROAs removed.
 pub fn withhold_roa(repo: &mut Repository, ca: KeyId, index: usize) -> usize {
-    let Some(pp) = repo.points.get_mut(&ca) else { return 0 };
+    let Some(pp) = repo.points.get_mut(&ca) else {
+        return 0;
+    };
     if index < pp.roas.len() {
         pp.roas.remove(index);
         1
@@ -53,7 +62,9 @@ pub fn withhold_roa(repo: &mut Repository, ca: KeyId, index: usize) -> usize {
 
 /// Replace one ROA's bytes after manifest issuance (hash mismatch).
 pub fn substitute_roa_asn(repo: &mut Repository, ca: KeyId, new_asn: u32) -> usize {
-    let Some(pp) = repo.points.get_mut(&ca) else { return 0 };
+    let Some(pp) = repo.points.get_mut(&ca) else {
+        return 0;
+    };
     let mut touched = 0;
     for roa in &mut pp.roas {
         roa.asn = ripki_net::Asn::new(new_asn);
@@ -64,7 +75,9 @@ pub fn substitute_roa_asn(repo: &mut Repository, ca: KeyId, new_asn: u32) -> usi
 
 /// Add a manifest entry for a file that is not published ("ghost entry").
 pub fn ghost_manifest_entry(repo: &mut Repository, ca: KeyId) -> usize {
-    let Some(pp) = repo.points.get_mut(&ca) else { return 0 };
+    let Some(pp) = repo.points.get_mut(&ca) else {
+        return 0;
+    };
     let mut entries = pp.manifest.entries.clone();
     entries.insert(
         "ghost.roa".to_string(),
@@ -89,7 +102,9 @@ pub fn resign_manifest(
     ca: KeyId,
     secret: &ripki_crypto::schnorr::SecretKey,
 ) -> bool {
-    let Some(pp) = repo.points.get_mut(&ca) else { return false };
+    let Some(pp) = repo.points.get_mut(&ca) else {
+        return false;
+    };
     pp.manifest = Manifest::issue(
         secret,
         ca,
@@ -138,10 +153,7 @@ mod tests {
 
     fn build() -> (Repository, KeyId, SimTime) {
         let mut b = RepositoryBuilder::new(8, SimTime::EPOCH);
-        let ta = b.add_trust_anchor(
-            "RIPE",
-            Resources::from_prefixes(vec![p("80.0.0.0/4")]),
-        );
+        let ta = b.add_trust_anchor("RIPE", Resources::from_prefixes(vec![p("80.0.0.0/4")]));
         let isp = b
             .add_ca(ta, "ISP-1", Resources::from_prefixes(vec![p("85.0.0.0/8")]))
             .unwrap();

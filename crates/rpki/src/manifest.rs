@@ -61,7 +61,11 @@ impl Manifest {
         let mut r = Reader::new(tbs);
         let issuer_raw = r.get_bytes(0x01)?;
         if issuer_raw.len() != 32 {
-            return Err(TlvError::BadLength { tag: 0x01, expected: 32, found: issuer_raw.len() });
+            return Err(TlvError::BadLength {
+                tag: 0x01,
+                expected: 32,
+                found: issuer_raw.len(),
+            });
         }
         let mut issuer_digest = [0u8; 32];
         issuer_digest.copy_from_slice(issuer_raw);
@@ -74,7 +78,11 @@ impl Manifest {
             let name = r.get_str(0x06)?.to_string();
             let digest_raw = r.get_bytes(0x07)?;
             if digest_raw.len() != 32 {
-                return Err(TlvError::BadLength { tag: 0x07, expected: 32, found: digest_raw.len() });
+                return Err(TlvError::BadLength {
+                    tag: 0x07,
+                    expected: 32,
+                    found: digest_raw.len(),
+                });
             }
             let mut d = [0u8; 32];
             d.copy_from_slice(digest_raw);
@@ -113,7 +121,9 @@ impl Manifest {
 
     /// Verify the CA's signature.
     pub fn verify_signature(&self, issuer_key: &PublicKey) -> bool {
-        issuer_key.verify(&self.tbs_bytes(), &self.signature).is_ok()
+        issuer_key
+            .verify(&self.tbs_bytes(), &self.signature)
+            .is_ok()
     }
 
     /// Whether the manifest is current at `now`.

@@ -63,17 +63,15 @@ impl ExposureReport {
 /// A VRP is *operational* if some observed announcement matches it under
 /// RFC 6811 semantics (covered by the VRP prefix, length ≤ maxLength,
 /// same origin). Everything else is *latent*.
-pub fn exposure(
-    vrps: &[Vrp],
-    announced: &BTreeSet<(IpPrefix, Asn)>,
-) -> ExposureReport {
+pub fn exposure(vrps: &[Vrp], announced: &BTreeSet<(IpPrefix, Asn)>) -> ExposureReport {
     let mut report = ExposureReport::default();
     for vrp in vrps {
-        let auth = Authorization { prefix: vrp.prefix, asn: vrp.asn };
+        let auth = Authorization {
+            prefix: vrp.prefix,
+            asn: vrp.asn,
+        };
         let used = announced.iter().any(|(pfx, origin)| {
-            *origin == vrp.asn
-                && vrp.prefix.covers(pfx)
-                && pfx.len() <= vrp.max_length
+            *origin == vrp.asn && vrp.prefix.covers(pfx) && pfx.len() <= vrp.max_length
         });
         if used {
             report.operational.push(auth);
@@ -97,7 +95,11 @@ mod tests {
     }
 
     fn vrp(prefix: &str, ml: u8, asn: u32) -> Vrp {
-        Vrp { prefix: p(prefix), max_length: ml, asn: Asn::new(asn) }
+        Vrp {
+            prefix: p(prefix),
+            max_length: ml,
+            asn: Asn::new(asn),
+        }
     }
 
     #[test]

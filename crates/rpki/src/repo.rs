@@ -332,13 +332,7 @@ impl RepositoryBuilder {
             for roa in &state.roas {
                 entries.push((PublicationPoint::roa_file_name(roa), roa.digest()));
             }
-            let manifest = Manifest::issue(
-                &state.keys.secret,
-                *id,
-                1,
-                entries,
-                crl_window,
-            );
+            let manifest = Manifest::issue(&state.keys.secret, *id, 1, entries, crl_window);
             repo.points.insert(
                 *id,
                 PublicationPoint {

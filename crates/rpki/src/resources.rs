@@ -30,7 +30,10 @@ impl Resources {
 
     /// Resources holding only prefixes.
     pub fn from_prefixes<I: IntoIterator<Item = IpPrefix>>(iter: I) -> Resources {
-        Resources { prefixes: PrefixSet::from_prefixes(iter), asns: AsnSet::empty() }
+        Resources {
+            prefixes: PrefixSet::from_prefixes(iter),
+            asns: AsnSet::empty(),
+        }
     }
 
     /// Resources holding prefixes and ASNs.
@@ -87,8 +90,7 @@ impl Resources {
             let start = inner.get_u32(0x04)?;
             let end = inner.get_u32(0x05)?;
             ranges.push(
-                AsnRange::new(Asn::new(start), Asn::new(end))
-                    .map_err(|_| TlvError::BadUtf8)?,
+                AsnRange::new(Asn::new(start), Asn::new(end)).map_err(|_| TlvError::BadUtf8)?,
             );
         }
         inner.finish()?;

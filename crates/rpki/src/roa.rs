@@ -30,12 +30,18 @@ pub struct RoaPrefix {
 impl RoaPrefix {
     /// Entry with the default max-length.
     pub fn exact(prefix: IpPrefix) -> RoaPrefix {
-        RoaPrefix { prefix, max_length: None }
+        RoaPrefix {
+            prefix,
+            max_length: None,
+        }
     }
 
     /// Entry allowing more-specifics up to `max_length`.
     pub fn up_to(prefix: IpPrefix, max_length: u8) -> RoaPrefix {
-        RoaPrefix { prefix, max_length: Some(max_length) }
+        RoaPrefix {
+            prefix,
+            max_length: Some(max_length),
+        }
     }
 
     /// Effective max length (the prefix's own length if unset).
@@ -117,7 +123,11 @@ impl Roa {
         let content = r.get_bytes(0x21)?;
         let sig_raw = r.get_bytes(0x22)?;
         if sig_raw.len() != 32 {
-            return Err(TlvError::BadLength { tag: 0x22, expected: 32, found: sig_raw.len() });
+            return Err(TlvError::BadLength {
+                tag: 0x22,
+                expected: 32,
+                found: sig_raw.len(),
+            });
         }
         r.finish()?;
         let mut c = Reader::new(content);
@@ -125,10 +135,7 @@ impl Roa {
         let count = c.get_u32(0x02)?;
         let mut prefixes = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            let prefix: IpPrefix = c
-                .get_str(0x03)?
-                .parse()
-                .map_err(|_| TlvError::BadUtf8)?;
+            let prefix: IpPrefix = c.get_str(0x03)?.parse().map_err(|_| TlvError::BadUtf8)?;
             let raw_ml = c.get_u8(0x04)?;
             let max_length = if raw_ml == 0 { None } else { Some(raw_ml - 1) };
             prefixes.push(RoaPrefix { prefix, max_length });
@@ -136,7 +143,12 @@ impl Roa {
         c.finish()?;
         let mut sig_bytes = [0u8; 32];
         sig_bytes.copy_from_slice(sig_raw);
-        Ok(Roa { ee, asn, prefixes, signature: Signature::from_bytes(&sig_bytes) })
+        Ok(Roa {
+            ee,
+            asn,
+            prefixes,
+            signature: Signature::from_bytes(&sig_bytes),
+        })
     }
 
     /// The prefix set claimed by the ROA (for resource checks).
@@ -167,9 +179,8 @@ impl Roa {
         validity: Validity,
     ) -> Roa {
         let ee_keys = Keypair::derive(ee_seed.0, ee_seed.1);
-        let resources = crate::resources::Resources::from_prefixes(
-            prefixes.iter().map(|rp| rp.prefix),
-        );
+        let resources =
+            crate::resources::Resources::from_prefixes(prefixes.iter().map(|rp| rp.prefix));
         let ee = Cert::issue(
             ee_serial,
             &format!("ROA EE for {asn}"),
@@ -242,7 +253,11 @@ mod tests {
     #[test]
     fn ee_resources_cover_exactly_the_roa_prefixes() {
         let (_, roa) = make();
-        assert!(roa.ee.resources.prefixes.encompasses(&roa.claimed_prefixes()));
+        assert!(roa
+            .ee
+            .resources
+            .prefixes
+            .encompasses(&roa.claimed_prefixes()));
         assert_eq!(roa.ee.resources.prefixes.len(), 2);
     }
 
@@ -290,7 +305,10 @@ mod tests {
         assert!(!RoaPrefix::up_to(p("10.0.0.0/8"), 33).is_well_formed());
         assert!(RoaPrefix::up_to(p("2001:db8::/32"), 128).is_well_formed());
         assert_eq!(RoaPrefix::exact(p("10.0.0.0/8")).effective_max_length(), 8);
-        assert_eq!(RoaPrefix::up_to(p("10.0.0.0/8"), 24).effective_max_length(), 24);
+        assert_eq!(
+            RoaPrefix::up_to(p("10.0.0.0/8"), 24).effective_max_length(),
+            24
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl TrustAnchor {
     /// the repository builder only produces conforming anchors.
     pub fn new(name: impl Into<String>, cert: Cert) -> TrustAnchor {
         debug_assert!(cert.is_self_signed(), "trust anchors must be self-signed");
-        TrustAnchor { name: name.into(), cert }
+        TrustAnchor {
+            name: name.into(),
+            cert,
+        }
     }
 }
 

@@ -93,12 +93,18 @@ impl Validity {
     /// Build a window; callers must keep `not_before <= not_after`.
     pub fn new(not_before: SimTime, not_after: SimTime) -> Validity {
         debug_assert!(not_before <= not_after);
-        Validity { not_before, not_after }
+        Validity {
+            not_before,
+            not_after,
+        }
     }
 
     /// A window starting at `from` and lasting `dur`.
     pub fn starting(from: SimTime, dur: Duration) -> Validity {
-        Validity { not_before: from, not_after: from + dur }
+        Validity {
+            not_before: from,
+            not_after: from + dur,
+        }
     }
 
     /// Whether `now` lies within the window.

@@ -30,9 +30,7 @@ use std::fmt;
 
 /// A Validated ROA Payload: the (prefix, maxLength, ASN) triple that
 /// feeds route origin validation (RFC 6811).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Vrp {
     /// Authorized prefix.
     pub prefix: IpPrefix,
@@ -123,14 +121,14 @@ pub struct ValidationEvent {
 
 impl ValidationEvent {
     fn accepted(ta: &str, object: impl Into<String>) -> ValidationEvent {
-        ValidationEvent { object: object.into(), trust_anchor: ta.to_string(), rejected: None }
+        ValidationEvent {
+            object: object.into(),
+            trust_anchor: ta.to_string(),
+            rejected: None,
+        }
     }
 
-    fn rejected(
-        ta: &str,
-        object: impl Into<String>,
-        reason: RejectReason,
-    ) -> ValidationEvent {
+    fn rejected(ta: &str, object: impl Into<String>, reason: RejectReason) -> ValidationEvent {
         ValidationEvent {
             object: object.into(),
             trust_anchor: ta.to_string(),
@@ -151,7 +149,9 @@ pub struct ValidationOptions {
 
 impl Default for ValidationOptions {
     fn default() -> ValidationOptions {
-        ValidationOptions { strict_manifests: true }
+        ValidationOptions {
+            strict_manifests: true,
+        }
     }
 }
 
@@ -207,19 +207,32 @@ pub fn validate_with(
             continue;
         }
         if !cert.verify_signature(&cert.subject_key) {
-            report
-                .log
-                .push(ValidationEvent::rejected(&ta.name, desc, RejectReason::BadSignature));
+            report.log.push(ValidationEvent::rejected(
+                &ta.name,
+                desc,
+                RejectReason::BadSignature,
+            ));
             continue;
         }
         if let Some(reason) = window_reason(cert, now) {
-            report.log.push(ValidationEvent::rejected(&ta.name, desc, reason));
+            report
+                .log
+                .push(ValidationEvent::rejected(&ta.name, desc, reason));
             continue;
         }
         report.log.push(ValidationEvent::accepted(&ta.name, desc));
         // Guard against certificate cycles: a CA key is walked only once.
         let mut visited: HashSet<KeyId> = HashSet::new();
-        walk_ca(repo, cert, &ta.name, now, options, &mut report, &mut vrps, &mut visited);
+        walk_ca(
+            repo,
+            cert,
+            &ta.name,
+            now,
+            options,
+            &mut report,
+            &mut vrps,
+            &mut visited,
+        );
     }
     let mut sorted: Vec<Vrp> = vrps.into_iter().collect();
     sorted.sort();
@@ -250,9 +263,7 @@ fn manifest_consistency(pp: &PublicationPoint) -> Result<(), String> {
     for (name, digest) in &expected {
         match pp.manifest.digest_of(name) {
             None => return Err(format!("{name} published but not on manifest")),
-            Some(listed) if listed != digest => {
-                return Err(format!("{name} hash mismatch"))
-            }
+            Some(listed) if listed != digest => return Err(format!("{name} hash mismatch")),
             Some(_) => {}
         }
     }
@@ -426,11 +437,21 @@ mod tests {
         let now = SimTime::EPOCH + Duration::days(1);
         let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
         let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4", "2001::/16"]));
-        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8", "2001:600::/24"])).unwrap();
-        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::up_to(p("85.1.0.0/16"), 24)])
+        let isp = b
+            .add_ca(ta, "ISP-1", res(&["85.0.0.0/8", "2001:600::/24"]))
             .unwrap();
-        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("2001:600::/32"))])
-            .unwrap();
+        b.add_roa(
+            isp,
+            Asn::new(100),
+            vec![RoaPrefix::up_to(p("85.1.0.0/16"), 24)],
+        )
+        .unwrap();
+        b.add_roa(
+            isp,
+            Asn::new(100),
+            vec![RoaPrefix::exact(p("2001:600::/32"))],
+        )
+        .unwrap();
         (b.finalize(), now)
     }
 
@@ -554,7 +575,9 @@ mod tests {
         let report = validate_with(
             &repo,
             now,
-            ValidationOptions { strict_manifests: false },
+            ValidationOptions {
+                strict_manifests: false,
+            },
         );
         // Manifest mismatch logged, objects processed anyway, and the EE
         // content signature check still kills the tampered ROAs.
@@ -586,8 +609,10 @@ mod tests {
         let pp = repo.points.get_mut(&ca_keys.key_id).unwrap();
         let roa = &mut pp.roas[0];
         let mut forged_ee = roa.ee.clone();
-        forged_ee.resources =
-            Resources { prefixes: PrefixSet::from_prefixes(vec![p("9.0.0.0/8")]), ..Default::default() };
+        forged_ee.resources = Resources {
+            prefixes: PrefixSet::from_prefixes(vec![p("9.0.0.0/8")]),
+            ..Default::default()
+        };
         forged_ee.signature = ca_keys.secret.sign(&forged_ee.tbs_bytes());
         roa.ee = forged_ee;
         let digest = roa.digest();
@@ -650,8 +675,7 @@ mod tests {
         let repo = b.finalize();
         let report = validate(&repo, now);
         assert_eq!(report.vrps.len(), 2);
-        let tas: HashSet<&str> =
-            report.log.iter().map(|e| e.trust_anchor.as_str()).collect();
+        let tas: HashSet<&str> = report.log.iter().map(|e| e.trust_anchor.as_str()).collect();
         assert!(tas.contains("RIPE") && tas.contains("ARIN"));
     }
 

@@ -28,8 +28,12 @@ fn four_level_chain_validates() {
     let nir = b.add_ca(ta, "NIR-JP", res(&["1.0.0.0/10"])).unwrap();
     let lir = b.add_ca(nir, "LIR-tokyo", res(&["1.16.0.0/12"])).unwrap();
     let cust = b.add_ca(lir, "customer-77", res(&["1.16.0.0/16"])).unwrap();
-    b.add_roa(cust, Asn::new(2500), vec![RoaPrefix::exact(p("1.16.0.0/16"))])
-        .unwrap();
+    b.add_roa(
+        cust,
+        Asn::new(2500),
+        vec![RoaPrefix::exact(p("1.16.0.0/16"))],
+    )
+    .unwrap();
     let repo = b.finalize();
     let report = validate(&repo, now);
     assert_eq!(report.rejected_count(), 0, "{:?}", report.log);
@@ -196,7 +200,9 @@ fn sibling_isolation_under_deep_hierarchy() {
     let ta = b.add_trust_anchor("APNIC", res(&["1.0.0.0/8"]));
     let mut leaf_cas = Vec::new();
     for (n, nir_block) in [("jp", "1.0.0.0/10"), ("cn", "1.64.0.0/10")] {
-        let nir = b.add_ca(ta, &format!("NIR-{n}"), res(&[nir_block])).unwrap();
+        let nir = b
+            .add_ca(ta, &format!("NIR-{n}"), res(&[nir_block]))
+            .unwrap();
         for l in 0..2 {
             let base: IpPrefix = nir_block.parse().unwrap();
             let lir_block = format!(

@@ -7,11 +7,11 @@
 //! off the end get a Cache Reset and start over — exactly RFC 6810 §5.
 
 use crate::pdu::{read_pdu, ErrorCode, Pdu, PduError};
-use parking_lot::Mutex;
 use ripki_bgp::rov::VrpTriple;
 use ripki_net::IpPrefix;
 use std::collections::{BTreeSet, VecDeque};
 use std::io::{Read, Write};
+use std::sync::Mutex;
 
 /// One serial increment's changes.
 #[derive(Debug, Clone, Default)]
@@ -80,15 +80,17 @@ impl CacheServer {
     /// Install a new validation result; returns the new serial.
     pub fn update<I: IntoIterator<Item = VrpTriple>>(&self, vrps: I) -> u32 {
         let new: BTreeSet<VrpTriple> = vrps.into_iter().collect();
-        let mut st = self.state.lock();
-        let announced: Vec<VrpTriple> =
-            new.difference(&st.current).copied().collect();
-        let withdrawn: Vec<VrpTriple> =
-            st.current.difference(&new).copied().collect();
+        let mut st = self.state.lock().expect("rtr cache state poisoned");
+        let announced: Vec<VrpTriple> = new.difference(&st.current).copied().collect();
+        let withdrawn: Vec<VrpTriple> = st.current.difference(&new).copied().collect();
         st.serial = st.serial.wrapping_add(1);
         let serial = st.serial;
         if st.has_data {
-            st.history.push_back(Delta { to_serial: serial, announced, withdrawn });
+            st.history.push_back(Delta {
+                to_serial: serial,
+                announced,
+                withdrawn,
+            });
             while st.history.len() > self.max_history {
                 st.history.pop_front();
             }
@@ -98,25 +100,75 @@ impl CacheServer {
         serial
     }
 
+    /// Install a VRP snapshot stamped with an externally assigned
+    /// serial (e.g. a study-engine epoch) instead of self-incrementing.
+    ///
+    /// When `serial` is exactly one past the cache's current serial the
+    /// change is recorded as an incremental delta, so routers holding
+    /// the previous serial sync with announce/withdraw PDUs only. Any
+    /// other jump (engine restarted, epochs skipped, serial regressed)
+    /// clears the delta history: affected routers get a Cache Reset and
+    /// refetch the full set, which is always correct.
+    ///
+    /// Returns `false` (and installs nothing) if `serial` equals the
+    /// current serial while data is already present — same epoch, no-op.
+    pub fn install_snapshot<I: IntoIterator<Item = VrpTriple>>(
+        &self,
+        serial: u32,
+        vrps: I,
+    ) -> bool {
+        let new: BTreeSet<VrpTriple> = vrps.into_iter().collect();
+        let mut st = self.state.lock().expect("rtr cache state poisoned");
+        if st.has_data && serial == st.serial {
+            return false;
+        }
+        let contiguous = st.has_data && serial == st.serial.wrapping_add(1);
+        if contiguous {
+            let announced: Vec<VrpTriple> = new.difference(&st.current).copied().collect();
+            let withdrawn: Vec<VrpTriple> = st.current.difference(&new).copied().collect();
+            st.history.push_back(Delta {
+                to_serial: serial,
+                announced,
+                withdrawn,
+            });
+            while st.history.len() > self.max_history {
+                st.history.pop_front();
+            }
+        } else {
+            st.history.clear();
+        }
+        st.serial = serial;
+        st.current = new;
+        st.has_data = true;
+        true
+    }
+
     /// Current serial.
     pub fn serial(&self) -> u32 {
-        self.state.lock().serial
+        self.state.lock().expect("rtr cache state poisoned").serial
     }
 
     /// Session id.
     pub fn session_id(&self) -> u16 {
-        self.state.lock().session_id
+        self.state
+            .lock()
+            .expect("rtr cache state poisoned")
+            .session_id
     }
 
     /// Number of VRPs currently served.
     pub fn vrp_count(&self) -> usize {
-        self.state.lock().current.len()
+        self.state
+            .lock()
+            .expect("rtr cache state poisoned")
+            .current
+            .len()
     }
 
     /// Compute the response PDUs for one router query. Pure function of
     /// the current state — the unit-testable heart of the server.
     pub fn handle_query(&self, query: &Pdu) -> Vec<Pdu> {
-        let st = self.state.lock();
+        let st = self.state.lock().expect("rtr cache state poisoned");
         match query {
             Pdu::ResetQuery => {
                 if !st.has_data {
@@ -126,9 +178,14 @@ impl CacheServer {
                         text: "cache has not completed a validation run".into(),
                     }];
                 }
-                let mut out = vec![Pdu::CacheResponse { session_id: st.session_id }];
+                let mut out = vec![Pdu::CacheResponse {
+                    session_id: st.session_id,
+                }];
                 out.extend(st.current.iter().map(|v| vrp_pdu(v, true)));
-                out.push(Pdu::EndOfData { session_id: st.session_id, serial: st.serial });
+                out.push(Pdu::EndOfData {
+                    session_id: st.session_id,
+                    serial: st.serial,
+                });
                 out
             }
             Pdu::SerialQuery { session_id, serial } => {
@@ -149,8 +206,13 @@ impl CacheServer {
                 if *serial == st.serial {
                     // Router is current: empty delta.
                     return vec![
-                        Pdu::CacheResponse { session_id: st.session_id },
-                        Pdu::EndOfData { session_id: st.session_id, serial: st.serial },
+                        Pdu::CacheResponse {
+                            session_id: st.session_id,
+                        },
+                        Pdu::EndOfData {
+                            session_id: st.session_id,
+                            serial: st.serial,
+                        },
                     ];
                 }
                 // Collect deltas (serial, current]: they must chain
@@ -167,12 +229,17 @@ impl CacheServer {
                     // Too old (or future serial): make the router restart.
                     return vec![Pdu::CacheReset];
                 }
-                let mut out = vec![Pdu::CacheResponse { session_id: st.session_id }];
+                let mut out = vec![Pdu::CacheResponse {
+                    session_id: st.session_id,
+                }];
                 for d in chain {
                     out.extend(d.announced.iter().map(|v| vrp_pdu(v, true)));
                     out.extend(d.withdrawn.iter().map(|v| vrp_pdu(v, false)));
                 }
-                out.push(Pdu::EndOfData { session_id: st.session_id, serial: st.serial });
+                out.push(Pdu::EndOfData {
+                    session_id: st.session_id,
+                    serial: st.serial,
+                });
                 out
             }
             other => vec![Pdu::ErrorReport {
@@ -185,7 +252,7 @@ impl CacheServer {
 
     /// The Serial Notify PDU for the current state, if any data exists.
     pub fn notify_pdu(&self) -> Option<Pdu> {
-        let st = self.state.lock();
+        let st = self.state.lock().expect("rtr cache state poisoned");
         st.has_data.then_some(Pdu::SerialNotify {
             session_id: st.session_id,
             serial: st.serial,
@@ -218,11 +285,15 @@ impl CacheServer {
                             .write_all(&pdu.encode())
                             .map_err(|e| PduError::Io(e.to_string()))?;
                     }
-                    write_half.flush().map_err(|e| PduError::Io(e.to_string()))?;
+                    write_half
+                        .flush()
+                        .map_err(|e| PduError::Io(e.to_string()))?;
                     notified_serial = self.serial();
                 }
                 Err(PduError::Io(msg))
-                    if msg.contains("timed out") || msg.contains("WouldBlock") || msg.contains("Resource temporarily unavailable") =>
+                    if msg.contains("timed out")
+                        || msg.contains("WouldBlock")
+                        || msg.contains("Resource temporarily unavailable") =>
                 {
                     // Idle: push a notify if the world moved on.
                     let current = self.serial();
@@ -287,7 +358,11 @@ mod tests {
     use ripki_net::Asn;
 
     fn vrp(prefix: &str, ml: u8, asn: u32) -> VrpTriple {
-        VrpTriple { prefix: prefix.parse().unwrap(), max_length: ml, asn: Asn::new(asn) }
+        VrpTriple {
+            prefix: prefix.parse().unwrap(),
+            max_length: ml,
+            asn: Asn::new(asn),
+        }
     }
 
     #[test]
@@ -296,12 +371,21 @@ mod tests {
         let out = cache.handle_query(&Pdu::ResetQuery);
         assert!(matches!(
             out[0],
-            Pdu::ErrorReport { code: ErrorCode::NoDataAvailable, .. }
+            Pdu::ErrorReport {
+                code: ErrorCode::NoDataAvailable,
+                ..
+            }
         ));
-        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 0 });
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 0,
+        });
         assert!(matches!(
             out[0],
-            Pdu::ErrorReport { code: ErrorCode::NoDataAvailable, .. }
+            Pdu::ErrorReport {
+                code: ErrorCode::NoDataAvailable,
+                ..
+            }
         ));
     }
 
@@ -313,10 +397,21 @@ mod tests {
         let out = cache.handle_query(&Pdu::ResetQuery);
         assert_eq!(out.len(), 4); // response + 2 prefixes + EOD
         assert!(matches!(out[0], Pdu::CacheResponse { session_id: 7 }));
-        assert!(matches!(out[3], Pdu::EndOfData { serial: 1, session_id: 7 }));
+        assert!(matches!(
+            out[3],
+            Pdu::EndOfData {
+                serial: 1,
+                session_id: 7
+            }
+        ));
         let announce_count = out
             .iter()
-            .filter(|p| matches!(p, Pdu::Ipv4Prefix { announce: true, .. } | Pdu::Ipv6Prefix { announce: true, .. }))
+            .filter(|p| {
+                matches!(
+                    p,
+                    Pdu::Ipv4Prefix { announce: true, .. } | Pdu::Ipv6Prefix { announce: true, .. }
+                )
+            })
             .count();
         assert_eq!(announce_count, 2);
     }
@@ -325,7 +420,10 @@ mod tests {
     fn serial_query_current_gets_empty_delta() {
         let cache = CacheServer::new(7);
         cache.update([vrp("10.0.0.0/16", 16, 1)]);
-        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 1 });
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 1,
+        });
         assert_eq!(out.len(), 2);
         assert!(matches!(out[1], Pdu::EndOfData { serial: 1, .. }));
     }
@@ -335,13 +433,18 @@ mod tests {
         let cache = CacheServer::new(7);
         cache.update([vrp("10.0.0.0/16", 16, 1), vrp("11.0.0.0/16", 16, 2)]);
         cache.update([vrp("10.0.0.0/16", 16, 1), vrp("12.0.0.0/16", 16, 3)]);
-        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 1 });
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 1,
+        });
         // response + announce 12/16 + withdraw 11/16 + EOD
         assert_eq!(out.len(), 4);
         let announces: Vec<_> = out
             .iter()
             .filter_map(|p| match p {
-                Pdu::Ipv4Prefix { announce, prefix, .. } => Some((*announce, *prefix)),
+                Pdu::Ipv4Prefix {
+                    announce, prefix, ..
+                } => Some((*announce, *prefix)),
                 _ => None,
             })
             .collect();
@@ -356,7 +459,10 @@ mod tests {
         cache.update([vrp("10.0.0.0/16", 16, 1)]); // serial 1
         cache.update([vrp("10.0.0.0/16", 16, 1), vrp("11.0.0.0/16", 16, 2)]); // 2
         cache.update([vrp("11.0.0.0/16", 16, 2)]); // 3: withdraw 10/16
-        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 1 });
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 1,
+        });
         let (mut ann, mut wit) = (0, 0);
         for p in &out {
             if let Pdu::Ipv4Prefix { announce, .. } = p {
@@ -378,10 +484,16 @@ mod tests {
         for i in 0..5 {
             cache.update([vrp(&format!("10.{i}.0.0/16"), 16, 1)]);
         }
-        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 1 });
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 1,
+        });
         assert_eq!(out, vec![Pdu::CacheReset]);
         // Future serial likewise.
-        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 99 });
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 99,
+        });
         assert_eq!(out, vec![Pdu::CacheReset]);
     }
 
@@ -389,10 +501,16 @@ mod tests {
     fn session_mismatch_is_corrupt_data() {
         let cache = CacheServer::new(7);
         cache.update([vrp("10.0.0.0/16", 16, 1)]);
-        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 8, serial: 1 });
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 8,
+            serial: 1,
+        });
         assert!(matches!(
             out[0],
-            Pdu::ErrorReport { code: ErrorCode::CorruptData, .. }
+            Pdu::ErrorReport {
+                code: ErrorCode::CorruptData,
+                ..
+            }
         ));
     }
 
@@ -403,7 +521,10 @@ mod tests {
         let out = cache.handle_query(&Pdu::CacheReset);
         assert!(matches!(
             out[0],
-            Pdu::ErrorReport { code: ErrorCode::InvalidRequest, .. }
+            Pdu::ErrorReport {
+                code: ErrorCode::InvalidRequest,
+                ..
+            }
         ));
     }
 
@@ -412,9 +533,52 @@ mod tests {
         let cache = CacheServer::new(7);
         cache.update([vrp("10.0.0.0/16", 16, 1)]);
         cache.update([vrp("10.0.0.0/16", 16, 1)]);
-        let out = cache.handle_query(&Pdu::SerialQuery { session_id: 7, serial: 1 });
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 1,
+        });
         assert_eq!(out.len(), 2); // response + EOD only
         assert_eq!(cache.serial(), 2);
+        assert_eq!(cache.vrp_count(), 1);
+    }
+
+    #[test]
+    fn install_snapshot_contiguous_serial_yields_delta() {
+        let cache = CacheServer::new(7);
+        assert!(cache.install_snapshot(5, [vrp("10.0.0.0/16", 16, 1)]));
+        assert_eq!(cache.serial(), 5);
+        assert!(cache.install_snapshot(6, [vrp("11.0.0.0/16", 16, 2)]));
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 5,
+        });
+        // response + announce 11/16 + withdraw 10/16 + EOD
+        assert_eq!(out.len(), 4);
+        assert!(matches!(out.last(), Some(Pdu::EndOfData { serial: 6, .. })));
+    }
+
+    #[test]
+    fn install_snapshot_serial_jump_resets_history() {
+        let cache = CacheServer::new(7);
+        assert!(cache.install_snapshot(1, [vrp("10.0.0.0/16", 16, 1)]));
+        assert!(cache.install_snapshot(2, [vrp("11.0.0.0/16", 16, 2)]));
+        // Jump past 3: history must be discarded, not chained.
+        assert!(cache.install_snapshot(9, [vrp("12.0.0.0/16", 16, 3)]));
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 2,
+        });
+        assert_eq!(out, vec![Pdu::CacheReset]);
+        // Full refetch still serves the latest set.
+        let out = cache.handle_query(&Pdu::ResetQuery);
+        assert!(matches!(out.last(), Some(Pdu::EndOfData { serial: 9, .. })));
+    }
+
+    #[test]
+    fn install_snapshot_same_serial_is_noop() {
+        let cache = CacheServer::new(7);
+        assert!(cache.install_snapshot(3, [vrp("10.0.0.0/16", 16, 1)]));
+        assert!(!cache.install_snapshot(3, [vrp("11.0.0.0/16", 16, 2)]));
         assert_eq!(cache.vrp_count(), 1);
     }
 }

@@ -92,7 +92,14 @@ fn pdu_vrp(
     max_len: u8,
     asn: ripki_net::Asn,
 ) -> (bool, VrpTriple) {
-    (announce, VrpTriple { prefix, max_length: max_len, asn })
+    (
+        announce,
+        VrpTriple {
+            prefix,
+            max_length: max_len,
+            asn,
+        },
+    )
 }
 
 impl<S: Read + Write> Client<S> {
@@ -139,6 +146,40 @@ impl<S: Read + Write> Client<S> {
         RouteOriginValidator::from_vrps(self.vrps.iter().copied())
     }
 
+    /// Absorb unsolicited Serial Notifies sitting in the transport
+    /// without issuing a query, returning the newest serial absorbed
+    /// (`Ok(None)` when nothing was pending).
+    ///
+    /// The stream must have a read timeout (or be non-blocking), since
+    /// a quiet cache otherwise blocks the read forever; a timed-out
+    /// read is reported as "nothing pending". Anything other than a
+    /// Serial Notify outside a query/response exchange is a protocol
+    /// violation.
+    pub fn poll_notify(&mut self) -> Result<Option<u32>, ClientError> {
+        let mut latest = None;
+        loop {
+            match read_pdu(&mut self.stream, &mut self.buf) {
+                Ok(Pdu::SerialNotify { serial, .. }) => {
+                    self.notified_serial = Some(serial);
+                    latest = Some(serial);
+                }
+                Ok(_) => {
+                    return Err(ClientError::ProtocolViolation(
+                        "unsolicited PDU other than Serial Notify",
+                    ))
+                }
+                Err(PduError::Io(msg))
+                    if msg.contains("timed out")
+                        || msg.contains("WouldBlock")
+                        || msg.contains("Resource temporarily unavailable") =>
+                {
+                    return Ok(latest);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
     /// Synchronize with the cache: Serial Query when we have state,
     /// Reset Query otherwise; falls back to a Reset Query when the cache
     /// answers Cache Reset.
@@ -169,7 +210,9 @@ impl<S: Read + Write> Client<S> {
         self.stream
             .write_all(&query.encode())
             .map_err(|e| PduError::Io(e.to_string()))?;
-        self.stream.flush().map_err(|e| PduError::Io(e.to_string()))?;
+        self.stream
+            .flush()
+            .map_err(|e| PduError::Io(e.to_string()))?;
 
         // Unsolicited Serial Notifies may arrive at any time; absorb them.
         let first = loop {
@@ -205,21 +248,36 @@ impl<S: Read + Write> Client<S> {
                 Pdu::SerialNotify { serial, .. } => {
                     self.notified_serial = Some(serial);
                 }
-                Pdu::Ipv4Prefix { announce, prefix_len, max_len, prefix, asn } => {
+                Pdu::Ipv4Prefix {
+                    announce,
+                    prefix_len,
+                    max_len,
+                    prefix,
+                    asn,
+                } => {
                     let prefix = IpPrefix::V4(
                         Ipv4Prefix::new(prefix, prefix_len)
                             .map_err(|_| ClientError::ProtocolViolation("bad v4 prefix"))?,
                     );
                     staged.push(pdu_vrp(announce, prefix, max_len, asn));
                 }
-                Pdu::Ipv6Prefix { announce, prefix_len, max_len, prefix, asn } => {
+                Pdu::Ipv6Prefix {
+                    announce,
+                    prefix_len,
+                    max_len,
+                    prefix,
+                    asn,
+                } => {
                     let prefix = IpPrefix::V6(
                         Ipv6Prefix::new(prefix, prefix_len)
                             .map_err(|_| ClientError::ProtocolViolation("bad v6 prefix"))?,
                     );
                     staged.push(pdu_vrp(announce, prefix, max_len, asn));
                 }
-                Pdu::EndOfData { serial, session_id: eod_session } => {
+                Pdu::EndOfData {
+                    serial,
+                    session_id: eod_session,
+                } => {
                     if eod_session != session_id {
                         return Err(ClientError::ProtocolViolation(
                             "End of Data session mismatch",
@@ -251,7 +309,11 @@ impl<S: Read + Write> Client<S> {
             }
         }
         self.state = Some((session_id, serial));
-        Ok(Some(SyncOutcome::Updated { serial, announced, withdrawn }))
+        Ok(Some(SyncOutcome::Updated {
+            serial,
+            announced,
+            withdrawn,
+        }))
     }
 }
 
@@ -264,7 +326,11 @@ mod tests {
     use std::sync::Arc;
 
     fn vrp(prefix: &str, ml: u8, asn: u32) -> VrpTriple {
-        VrpTriple { prefix: prefix.parse().unwrap(), max_length: ml, asn: Asn::new(asn) }
+        VrpTriple {
+            prefix: prefix.parse().unwrap(),
+            max_length: ml,
+            asn: Asn::new(asn),
+        }
     }
 
     /// Spin up a cache on one end of a socket pair.
@@ -284,7 +350,11 @@ mod tests {
         let outcome = client.sync().unwrap();
         assert_eq!(
             outcome,
-            SyncOutcome::Updated { serial: 1, announced: 2, withdrawn: 0 }
+            SyncOutcome::Updated {
+                serial: 1,
+                announced: 2,
+                withdrawn: 0
+            }
         );
         assert_eq!(client.state(), Some((11, 1)));
         assert_eq!(client.vrps().len(), 2);
@@ -306,7 +376,11 @@ mod tests {
         let outcome = client.sync().unwrap();
         assert_eq!(
             outcome,
-            SyncOutcome::Updated { serial: 2, announced: 1, withdrawn: 1 }
+            SyncOutcome::Updated {
+                serial: 2,
+                announced: 1,
+                withdrawn: 1
+            }
         );
         assert_eq!(client.vrps().len(), 1);
         assert!(client.vrps().contains(&vrp("11.0.0.0/16", 16, 200)));
@@ -321,7 +395,11 @@ mod tests {
         let outcome = client.sync().unwrap();
         assert_eq!(
             outcome,
-            SyncOutcome::Updated { serial: 1, announced: 0, withdrawn: 0 }
+            SyncOutcome::Updated {
+                serial: 1,
+                announced: 0,
+                withdrawn: 0
+            }
         );
     }
 
@@ -337,7 +415,11 @@ mod tests {
         }
         let outcome = client.sync().unwrap();
         match outcome {
-            SyncOutcome::Updated { serial, announced, withdrawn } => {
+            SyncOutcome::Updated {
+                serial,
+                announced,
+                withdrawn,
+            } => {
                 assert_eq!(serial, 5);
                 assert_eq!(announced, 1, "full reload of the current set");
                 assert_eq!(withdrawn, 0);
@@ -370,7 +452,11 @@ mod tests {
         let outcome = client.sync().unwrap();
         assert_eq!(
             outcome,
-            SyncOutcome::Updated { serial: 1, announced: 2000, withdrawn: 0 }
+            SyncOutcome::Updated {
+                serial: 1,
+                announced: 2000,
+                withdrawn: 0
+            }
         );
         assert_eq!(client.vrps().len(), 2000);
     }

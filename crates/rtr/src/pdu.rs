@@ -223,15 +223,20 @@ impl Pdu {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(32);
         let (session, body): (u16, BytesMut) = match self {
-            Pdu::SerialNotify { session_id, serial }
-            | Pdu::SerialQuery { session_id, serial } => {
+            Pdu::SerialNotify { session_id, serial } | Pdu::SerialQuery { session_id, serial } => {
                 let mut b = BytesMut::with_capacity(4);
                 b.put_u32(*serial);
                 (*session_id, b)
             }
             Pdu::ResetQuery | Pdu::CacheReset => (0, BytesMut::new()),
             Pdu::CacheResponse { session_id } => (*session_id, BytesMut::new()),
-            Pdu::Ipv4Prefix { announce, prefix_len, max_len, prefix, asn } => {
+            Pdu::Ipv4Prefix {
+                announce,
+                prefix_len,
+                max_len,
+                prefix,
+                asn,
+            } => {
                 let mut b = BytesMut::with_capacity(12);
                 b.put_u8(*announce as u8);
                 b.put_u8(*prefix_len);
@@ -241,7 +246,13 @@ impl Pdu {
                 b.put_u32(asn.value());
                 (0, b)
             }
-            Pdu::Ipv6Prefix { announce, prefix_len, max_len, prefix, asn } => {
+            Pdu::Ipv6Prefix {
+                announce,
+                prefix_len,
+                max_len,
+                prefix,
+                asn,
+            } => {
                 let mut b = BytesMut::with_capacity(24);
                 b.put_u8(*announce as u8);
                 b.put_u8(*prefix_len);
@@ -256,7 +267,11 @@ impl Pdu {
                 b.put_u32(*serial);
                 (*session_id, b)
             }
-            Pdu::ErrorReport { code, erroneous_pdu, text } => {
+            Pdu::ErrorReport {
+                code,
+                erroneous_pdu,
+                text,
+            } => {
                 let mut b = BytesMut::with_capacity(8 + erroneous_pdu.len() + text.len());
                 b.put_u32(erroneous_pdu.len() as u32);
                 b.put_slice(erroneous_pdu);
@@ -305,9 +320,15 @@ impl Pdu {
                 expect_len(4)?;
                 let serial = body.get_u32();
                 if pdu_type == 0 {
-                    Pdu::SerialNotify { session_id: session, serial }
+                    Pdu::SerialNotify {
+                        session_id: session,
+                        serial,
+                    }
                 } else {
-                    Pdu::SerialQuery { session_id: session, serial }
+                    Pdu::SerialQuery {
+                        session_id: session,
+                        serial,
+                    }
                 }
             }
             2 => {
@@ -316,7 +337,9 @@ impl Pdu {
             }
             3 => {
                 expect_len(0)?;
-                Pdu::CacheResponse { session_id: session }
+                Pdu::CacheResponse {
+                    session_id: session,
+                }
             }
             4 => {
                 expect_len(12)?;
@@ -366,7 +389,10 @@ impl Pdu {
             }
             7 => {
                 expect_len(4)?;
-                Pdu::EndOfData { session_id: session, serial: body.get_u32() }
+                Pdu::EndOfData {
+                    session_id: session,
+                    serial: body.get_u32(),
+                }
             }
             8 => {
                 expect_len(0)?;
@@ -389,11 +415,39 @@ impl Pdu {
                 let text = String::from_utf8_lossy(&body[..text_len]).into_owned();
                 let code = ErrorCode::from_code(session)
                     .ok_or(PduError::Malformed("unknown error code"))?;
-                Pdu::ErrorReport { code, erroneous_pdu, text }
+                Pdu::ErrorReport {
+                    code,
+                    erroneous_pdu,
+                    text,
+                }
             }
             other => return Err(PduError::UnknownType(other)),
         };
         Ok(Some((pdu, length as usize)))
+    }
+}
+
+/// Blocking framed reader: pull bytes from `r` until one complete PDU is
+/// available in `buf`, then decode and drain it. `buf` carries leftover
+/// bytes between calls (RTR responses arrive as back-to-back PDUs).
+pub fn read_pdu<R: std::io::Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<Pdu, PduError> {
+    loop {
+        match Pdu::decode(buf)? {
+            Some((pdu, used)) => {
+                buf.drain(..used);
+                return Ok(pdu);
+            }
+            None => {
+                let mut chunk = [0u8; 4096];
+                let n = r
+                    .read(&mut chunk)
+                    .map_err(|e| PduError::Io(e.to_string()))?;
+                if n == 0 {
+                    return Err(PduError::Io("connection closed mid-PDU".into()));
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+        }
     }
 }
 
@@ -410,8 +464,14 @@ mod tests {
 
     #[test]
     fn all_types_roundtrip() {
-        roundtrip(Pdu::SerialNotify { session_id: 7, serial: 42 });
-        roundtrip(Pdu::SerialQuery { session_id: 7, serial: 42 });
+        roundtrip(Pdu::SerialNotify {
+            session_id: 7,
+            serial: 42,
+        });
+        roundtrip(Pdu::SerialQuery {
+            session_id: 7,
+            serial: 42,
+        });
         roundtrip(Pdu::ResetQuery);
         roundtrip(Pdu::CacheResponse { session_id: 9 });
         roundtrip(Pdu::Ipv4Prefix {
@@ -435,7 +495,10 @@ mod tests {
             prefix: "2001:db8::".parse().unwrap(),
             asn: Asn::new(u32::MAX),
         });
-        roundtrip(Pdu::EndOfData { session_id: 1, serial: u32::MAX });
+        roundtrip(Pdu::EndOfData {
+            session_id: 1,
+            serial: u32::MAX,
+        });
         roundtrip(Pdu::CacheReset);
         roundtrip(Pdu::ErrorReport {
             code: ErrorCode::NoDataAvailable,
@@ -451,7 +514,11 @@ mod tests {
 
     #[test]
     fn header_layout_is_exact() {
-        let bytes = Pdu::SerialQuery { session_id: 0x1234, serial: 0xdead_beef }.encode();
+        let bytes = Pdu::SerialQuery {
+            session_id: 0x1234,
+            serial: 0xdead_beef,
+        }
+        .encode();
         assert_eq!(bytes.len(), 12);
         assert_eq!(bytes[0], 0); // version
         assert_eq!(bytes[1], 1); // type
@@ -499,7 +566,13 @@ mod tests {
             }
             .encode(),
         );
-        stream.extend(Pdu::EndOfData { session_id: 3, serial: 1 }.encode());
+        stream.extend(
+            Pdu::EndOfData {
+                session_id: 3,
+                serial: 1,
+            }
+            .encode(),
+        );
         let mut offset = 0;
         let mut seen = Vec::new();
         while let Some((pdu, used)) = Pdu::decode(&stream[offset..]).unwrap() {
@@ -538,7 +611,10 @@ mod tests {
         // Length smaller than the header.
         let mut bytes = Pdu::ResetQuery.encode();
         bytes[7] = 4;
-        assert!(matches!(Pdu::decode(&bytes), Err(PduError::BadLength { .. })));
+        assert!(matches!(
+            Pdu::decode(&bytes),
+            Err(PduError::BadLength { .. })
+        ));
     }
 
     #[test]
@@ -570,7 +646,11 @@ mod tests {
 
     #[test]
     fn error_report_with_nested_lengths() {
-        let inner = Pdu::SerialQuery { session_id: 1, serial: 2 }.encode();
+        let inner = Pdu::SerialQuery {
+            session_id: 1,
+            serial: 2,
+        }
+        .encode();
         let report = Pdu::ErrorReport {
             code: ErrorCode::InvalidRequest,
             erroneous_pdu: inner.clone(),
@@ -579,7 +659,11 @@ mod tests {
         let bytes = report.encode();
         let (back, _) = Pdu::decode(&bytes).unwrap().unwrap();
         match back {
-            Pdu::ErrorReport { code, erroneous_pdu, text } => {
+            Pdu::ErrorReport {
+                code,
+                erroneous_pdu,
+                text,
+            } => {
                 assert_eq!(code, ErrorCode::InvalidRequest);
                 assert_eq!(erroneous_pdu, inner);
                 assert_eq!(text, "don't");
@@ -596,30 +680,5 @@ mod tests {
             assert!(!ec.to_string().is_empty());
         }
         assert_eq!(ErrorCode::from_code(8), None);
-    }
-}
-
-/// Blocking framed reader: pull bytes from `r` until one complete PDU is
-/// available in `buf`, then decode and drain it. `buf` carries leftover
-/// bytes between calls (RTR responses arrive as back-to-back PDUs).
-pub fn read_pdu<R: std::io::Read>(
-    r: &mut R,
-    buf: &mut Vec<u8>,
-) -> Result<Pdu, PduError> {
-    loop {
-        match Pdu::decode(buf)? {
-            Some((pdu, used)) => {
-                buf.drain(..used);
-                return Ok(pdu);
-            }
-            None => {
-                let mut chunk = [0u8; 4096];
-                let n = r.read(&mut chunk).map_err(|e| PduError::Io(e.to_string()))?;
-                if n == 0 {
-                    return Err(PduError::Io("connection closed mid-PDU".into()));
-                }
-                buf.extend_from_slice(&chunk[..n]);
-            }
-        }
     }
 }

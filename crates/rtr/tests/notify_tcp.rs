@@ -9,7 +9,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn vrp(prefix: &str, asn: u32) -> VrpTriple {
-    VrpTriple { prefix: prefix.parse().unwrap(), max_length: 24, asn: Asn::new(asn) }
+    VrpTriple {
+        prefix: prefix.parse().unwrap(),
+        max_length: 24,
+        asn: Asn::new(asn),
+    }
 }
 
 #[test]
@@ -27,7 +31,14 @@ fn notify_reaches_idle_router() {
 
     let mut router = Client::new(TcpStream::connect(addr).unwrap());
     let outcome = router.sync().unwrap();
-    assert_eq!(outcome, SyncOutcome::Updated { serial: 1, announced: 1, withdrawn: 0 });
+    assert_eq!(
+        outcome,
+        SyncOutcome::Updated {
+            serial: 1,
+            announced: 1,
+            withdrawn: 0
+        }
+    );
     assert!(!router.needs_sync());
 
     // New validation run while the router is idle.
@@ -46,7 +57,14 @@ fn notify_reaches_idle_router() {
             }
         }
     };
-    assert_eq!(outcome, SyncOutcome::Updated { serial: 2, announced: 1, withdrawn: 0 });
+    assert_eq!(
+        outcome,
+        SyncOutcome::Updated {
+            serial: 2,
+            announced: 1,
+            withdrawn: 0
+        }
+    );
     assert_eq!(router.vrps().len(), 2);
     // The notify was recorded at some point before or during the sync.
     assert_eq!(router.state().unwrap().1, 2);
@@ -64,14 +82,26 @@ fn needs_sync_reflects_notified_serial() {
         let (conn, _) = listener.accept().unwrap();
         let _ = server_cache.serve_tcp_with_notify(conn, Duration::from_millis(10));
     });
-    let mut router = Client::new(TcpStream::connect(addr).unwrap());
+    let stream = TcpStream::connect(addr).unwrap();
+    // Keep a handle to toggle the socket's read timeout around polls.
+    let ctrl = stream.try_clone().unwrap();
+    let mut router = Client::new(stream);
     router.sync().unwrap();
     assert!(!router.needs_sync());
     cache.update([vrp("10.9.1.0/24", 9)]);
-    // Wait until the pushed notify sits in the socket, then do a no-op
-    // sync: the client reads the notify first and records it.
-    std::thread::sleep(Duration::from_millis(150));
+    // Poll until the pushed notify arrives (the poller may be slow
+    // under load, so spin on a deadline rather than a fixed sleep).
+    ctrl.set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while router.notified_serial() != Some(2) {
+        assert!(std::time::Instant::now() < deadline, "notify never arrived");
+        router.poll_notify().unwrap();
+    }
+    assert!(router.needs_sync());
+    ctrl.set_read_timeout(None).unwrap();
     router.sync().unwrap();
     assert_eq!(router.notified_serial(), Some(2));
     assert_eq!(router.state().unwrap().1, 2);
+    assert!(!router.needs_sync());
 }

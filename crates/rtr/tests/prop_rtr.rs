@@ -9,32 +9,48 @@ use std::net::Ipv4Addr;
 
 fn arb_pdu() -> impl Strategy<Value = Pdu> {
     prop_oneof![
-        (any::<u16>(), any::<u32>())
-            .prop_map(|(s, n)| Pdu::SerialNotify { session_id: s, serial: n }),
-        (any::<u16>(), any::<u32>())
-            .prop_map(|(s, n)| Pdu::SerialQuery { session_id: s, serial: n }),
+        (any::<u16>(), any::<u32>()).prop_map(|(s, n)| Pdu::SerialNotify {
+            session_id: s,
+            serial: n
+        }),
+        (any::<u16>(), any::<u32>()).prop_map(|(s, n)| Pdu::SerialQuery {
+            session_id: s,
+            serial: n
+        }),
         Just(Pdu::ResetQuery),
         any::<u16>().prop_map(|s| Pdu::CacheResponse { session_id: s }),
-        (any::<bool>(), 0u8..=32, 0u8..=32, any::<u32>(), any::<u32>()).prop_map(
-            |(a, pl, ml, pfx, asn)| Pdu::Ipv4Prefix {
+        (
+            any::<bool>(),
+            0u8..=32,
+            0u8..=32,
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(a, pl, ml, pfx, asn)| Pdu::Ipv4Prefix {
                 announce: a,
                 prefix_len: pl,
                 max_len: ml,
                 prefix: Ipv4Addr::from(pfx),
                 asn: Asn::new(asn),
-            }
-        ),
-        (any::<bool>(), 0u8..=128, 0u8..=128, any::<u128>(), any::<u32>()).prop_map(
-            |(a, pl, ml, pfx, asn)| Pdu::Ipv6Prefix {
+            }),
+        (
+            any::<bool>(),
+            0u8..=128,
+            0u8..=128,
+            any::<u128>(),
+            any::<u32>()
+        )
+            .prop_map(|(a, pl, ml, pfx, asn)| Pdu::Ipv6Prefix {
                 announce: a,
                 prefix_len: pl,
                 max_len: ml,
                 prefix: std::net::Ipv6Addr::from(pfx),
                 asn: Asn::new(asn),
-            }
-        ),
-        (any::<u16>(), any::<u32>())
-            .prop_map(|(s, n)| Pdu::EndOfData { session_id: s, serial: n }),
+            }),
+        (any::<u16>(), any::<u32>()).prop_map(|(s, n)| Pdu::EndOfData {
+            session_id: s,
+            serial: n
+        }),
         Just(Pdu::CacheReset),
         (
             0u16..8,

@@ -94,16 +94,13 @@ pub fn build_repository(
     // Scenarios issue their repository some days before the measurement
     // instant; keep CRLs/manifests current across that gap (real CAs
     // re-sign on a schedule — we model the current snapshot).
-    let mut builder = RepositoryBuilder::new(seed, now)
-        .crl_validity(ripki_rpki::time::Duration::days(90));
+    let mut builder =
+        RepositoryBuilder::new(seed, now).crl_validity(ripki_rpki::time::Duration::days(90));
     let mut summary = AdoptionSummary::default();
 
     let ta_ids: Vec<_> = (0..5)
         .map(|rir| {
-            builder.add_trust_anchor(
-                RIR_NAMES[rir],
-                Resources::from_prefixes(rir_prefixes(rir)),
-            )
+            builder.add_trust_anchor(RIR_NAMES[rir], Resources::from_prefixes(rir_prefixes(rir)))
         })
         .collect();
 
@@ -114,7 +111,9 @@ pub fn build_repository(
     }
 
     // Phase 1: decide adopters and misconfiguration flags.
-    let mut plan: Vec<(usize, bool /*internap*/, Vec<(usize, bool /*misconfig*/)>)> = Vec::new();
+    // (operator idx, is-internap, [(holding idx, misconfigured)]).
+    type AdoptionPlan = Vec<(usize, bool, Vec<(usize, bool)>)>;
+    let mut plan: AdoptionPlan = Vec::new();
     let mut misconfig_total = 0usize;
     for (idx, op) in operators.iter().enumerate() {
         let op_holdings = &by_op[idx];
@@ -257,8 +256,8 @@ fn pick_internap_prefixes<'h>(holdings: &[&'h PrefixHolding]) -> Vec<&'h PrefixH
 mod tests {
     use super::*;
     use crate::operators::OperatorId;
-    use ripki_rpki::validate::validate;
     use ripki_rpki::time::Duration;
+    use ripki_rpki::validate::validate;
 
     fn p(s: &str) -> IpPrefix {
         s.parse().unwrap()
@@ -276,7 +275,12 @@ mod tests {
 
     fn holding(op: usize, asn: u32, prefix: &str) -> PrefixHolding {
         let prefix = p(prefix);
-        PrefixHolding { operator: op, asn: Asn::new(asn), prefix, deepest_announced: prefix.len() }
+        PrefixHolding {
+            operator: op,
+            asn: Asn::new(asn),
+            prefix,
+            deepest_announced: prefix.len(),
+        }
     }
 
     #[test]
@@ -290,9 +294,14 @@ mod tests {
             holding(0, 100, "77.1.0.0/16"),
             holding(1, 200, "8.0.0.0/16"),
         ];
-        let cfg = AdoptionConfig { isp: 1.0, webhoster: 1.0, enterprise: 1.0, misconfig: 0.0, min_misconfigs: 0 };
-        let (repo, summary) =
-            build_repository(&ops, &holdings, &cfg, 1, SimTime::EPOCH);
+        let cfg = AdoptionConfig {
+            isp: 1.0,
+            webhoster: 1.0,
+            enterprise: 1.0,
+            misconfig: 0.0,
+            min_misconfigs: 0,
+        };
+        let (repo, summary) = build_repository(&ops, &holdings, &cfg, 1, SimTime::EPOCH);
         assert_eq!(summary.adopters.len(), 2);
         assert_eq!(summary.roa_count, 3);
         assert!(summary.misconfigured.is_empty());
@@ -309,7 +318,13 @@ mod tests {
     fn zero_adoption_produces_empty_rpki() {
         let ops = vec![mk_op(0, "ISP-0", OperatorClass::Isp, &[100], 4)];
         let holdings = vec![holding(0, 100, "77.0.0.0/16")];
-        let cfg = AdoptionConfig { isp: 0.0, webhoster: 0.0, enterprise: 0.0, misconfig: 0.0, min_misconfigs: 0 };
+        let cfg = AdoptionConfig {
+            isp: 0.0,
+            webhoster: 0.0,
+            enterprise: 0.0,
+            misconfig: 0.0,
+            min_misconfigs: 0,
+        };
         let (repo, summary) = build_repository(&ops, &holdings, &cfg, 1, SimTime::EPOCH);
         assert!(summary.adopters.is_empty());
         assert_eq!(repo.roa_count(), 0);
@@ -330,7 +345,13 @@ mod tests {
         holdings.push(holding(1, 601, "9.2.0.0/16"));
         holdings.push(holding(1, 602, "9.3.0.0/16"));
         holdings.push(holding(1, 603, "9.4.0.0/16"));
-        let cfg = AdoptionConfig { isp: 1.0, webhoster: 1.0, enterprise: 1.0, misconfig: 0.0, min_misconfigs: 0 };
+        let cfg = AdoptionConfig {
+            isp: 1.0,
+            webhoster: 1.0,
+            enterprise: 1.0,
+            misconfig: 0.0,
+            min_misconfigs: 0,
+        };
         let (repo, summary) = build_repository(&ops, &holdings, &cfg, 1, SimTime::EPOCH);
         assert_eq!(summary.internap_prefixes.len(), 4);
         assert_eq!(repo.roa_count(), 4);
@@ -344,9 +365,16 @@ mod tests {
     #[test]
     fn misconfigured_roas_use_wrong_origin() {
         let ops = vec![mk_op(0, "ISP-0", OperatorClass::Isp, &[100], 4)];
-        let holdings: Vec<PrefixHolding> =
-            (0..40).map(|i| holding(0, 100, &format!("77.{i}.0.0/16"))).collect();
-        let cfg = AdoptionConfig { isp: 1.0, webhoster: 0.0, enterprise: 0.0, misconfig: 0.5, min_misconfigs: 0 };
+        let holdings: Vec<PrefixHolding> = (0..40)
+            .map(|i| holding(0, 100, &format!("77.{i}.0.0/16")))
+            .collect();
+        let cfg = AdoptionConfig {
+            isp: 1.0,
+            webhoster: 0.0,
+            enterprise: 0.0,
+            misconfig: 0.5,
+            min_misconfigs: 0,
+        };
         let (repo, summary) = build_repository(&ops, &holdings, &cfg, 3, SimTime::EPOCH);
         assert!(!summary.misconfigured.is_empty());
         assert!(summary.misconfigured.len() < 40);
@@ -365,7 +393,13 @@ mod tests {
         let ops = vec![mk_op(0, "ISP-0", OperatorClass::Isp, &[100], 4)];
         let mut h = holding(0, 100, "77.0.0.0/16");
         h.deepest_announced = 20;
-        let cfg = AdoptionConfig { isp: 1.0, webhoster: 0.0, enterprise: 0.0, misconfig: 0.0, min_misconfigs: 0 };
+        let cfg = AdoptionConfig {
+            isp: 1.0,
+            webhoster: 0.0,
+            enterprise: 0.0,
+            misconfig: 0.0,
+            min_misconfigs: 0,
+        };
         let (repo, _) = build_repository(&ops, &[h], &cfg, 1, SimTime::EPOCH);
         let report = validate(&repo, SimTime::EPOCH + Duration::days(1));
         assert_eq!(report.vrps[0].max_length, 20);
@@ -379,7 +413,13 @@ mod tests {
         let holdings: Vec<PrefixHolding> = (0..400)
             .map(|i| holding(i as usize, 1000 + i, &format!("77.{}.0.0/16", i % 256)))
             .collect();
-        let cfg = AdoptionConfig { isp: 0.10, webhoster: 0.0, enterprise: 0.0, misconfig: 0.0, min_misconfigs: 0 };
+        let cfg = AdoptionConfig {
+            isp: 0.10,
+            webhoster: 0.0,
+            enterprise: 0.0,
+            misconfig: 0.0,
+            min_misconfigs: 0,
+        };
         let (_, summary) = build_repository(&ops, &holdings, &cfg, 9, SimTime::EPOCH);
         let rate = summary.adopters.len() as f64 / 400.0;
         assert!((rate - 0.10).abs() < 0.05, "rate {rate}");

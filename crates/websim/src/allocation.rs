@@ -18,10 +18,10 @@ pub const RIR_NAMES: [&str; 5] = ["AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE"];
 
 /// IPv4 `/8` first-octet holdings per RIR.
 pub const RIR_V4_OCTETS: [&[u8]; 5] = [
-    &[41, 102, 105],                          // AFRINIC
-    &[1, 14, 27, 36, 43, 49, 58, 59, 60, 61], // APNIC
-    &[3, 4, 6, 8, 9, 12, 13, 15, 16],         // ARIN
-    &[177, 179, 181, 186, 187, 189, 190],     // LACNIC
+    &[41, 102, 105],                                               // AFRINIC
+    &[1, 14, 27, 36, 43, 49, 58, 59, 60, 61],                      // APNIC
+    &[3, 4, 6, 8, 9, 12, 13, 15, 16],                              // ARIN
+    &[177, 179, 181, 186, 187, 189, 190],                          // LACNIC
     &[31, 37, 46, 62, 77, 78, 79, 80, 81, 82, 83, 84, 85, 86, 87], // RIPE
 ];
 
@@ -39,9 +39,7 @@ pub const RIR_V6_BLOCKS: [&str; 5] = [
 pub fn rir_prefixes(rir: usize) -> Vec<IpPrefix> {
     let mut out: Vec<IpPrefix> = RIR_V4_OCTETS[rir]
         .iter()
-        .map(|o| {
-            IpPrefix::V4(Ipv4Prefix::new(Ipv4Addr::new(*o, 0, 0, 0), 8).expect("/8 valid"))
-        })
+        .map(|o| IpPrefix::V4(Ipv4Prefix::new(Ipv4Addr::new(*o, 0, 0, 0), 8).expect("/8 valid")))
         .collect();
     out.push(RIR_V6_BLOCKS[rir].parse().expect("v6 block literal"));
     out
@@ -73,13 +71,20 @@ impl Allocator {
             let first = RIR_V4_OCTETS[rir][0];
             *slot = Some(u32::from(Ipv4Addr::new(first, 0, 0, 0)));
         }
-        Allocator { v4_cursor, v4_block: [0; 5], v6_next: [0; 5] }
+        Allocator {
+            v4_cursor,
+            v4_block: [0; 5],
+            v6_next: [0; 5],
+        }
     }
 
     /// Allocate an aligned IPv4 block of length `len` (8–24) from `rir`.
     /// Returns `None` when the RIR's space is exhausted.
     pub fn allocate_v4(&mut self, rir: usize, len: u8) -> Option<Ipv4Prefix> {
-        assert!((8..=24).contains(&len), "allocation lengths 8..=24 supported");
+        assert!(
+            (8..=24).contains(&len),
+            "allocation lengths 8..=24 supported"
+        );
         let size = 1u32 << (32 - len);
         loop {
             let cursor = self.v4_cursor[rir]?;
@@ -90,16 +95,13 @@ impl Allocator {
             let block_end = block_base + (1u32 << 24); // exclusive
             if aligned + size <= block_end && aligned >= block_base {
                 self.v4_cursor[rir] = Some(aligned + size);
-                return Some(
-                    Ipv4Prefix::new(Ipv4Addr::from(aligned), len).expect("aligned block"),
-                );
+                return Some(Ipv4Prefix::new(Ipv4Addr::from(aligned), len).expect("aligned block"));
             }
             // Move to the next /8 of this RIR.
             self.v4_block[rir] += 1;
             match RIR_V4_OCTETS[rir].get(self.v4_block[rir]) {
                 Some(octet) => {
-                    self.v4_cursor[rir] =
-                        Some(u32::from(Ipv4Addr::new(*octet, 0, 0, 0)));
+                    self.v4_cursor[rir] = Some(u32::from(Ipv4Addr::new(*octet, 0, 0, 0)));
                 }
                 None => {
                     self.v4_cursor[rir] = None;

@@ -72,9 +72,8 @@ impl CdnInfra {
         vantage_salt: u64,
         third_party_rate: f64,
     ) -> (Asn, Ipv4Prefix) {
-        let mut class_rng = StdRng::seed_from_u64(
-            (group as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xcd_17,
-        );
+        let mut class_rng =
+            StdRng::seed_from_u64((group as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xcd_17);
         let use_third_party = !self.third_party_edges.is_empty()
             && class_rng.gen_bool(third_party_rate.clamp(0.0, 1.0));
         let pool: &[(Asn, Ipv4Prefix)] = if use_third_party {

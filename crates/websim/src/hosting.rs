@@ -41,7 +41,11 @@ pub struct HosterMix {
 
 impl Default for HosterMix {
     fn default() -> HosterMix {
-        HosterMix { webhoster: 0.55, isp: 0.35, enterprise: 0.10 }
+        HosterMix {
+            webhoster: 0.55,
+            isp: 0.35,
+            enterprise: 0.10,
+        }
     }
 }
 

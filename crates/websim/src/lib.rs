@@ -14,7 +14,7 @@
 //!   it, on which addresses, with rank-dependent CDN usage and
 //!   `www`-vs-bare divergence ([`hosting`], [`cdn`]);
 //! * a global **BGP table** announcing the used prefixes (with aggregates
-//!   + more-specifics, occasional MOAS and `AS_SET` entries, and a tiny
+//!   and more-specifics, occasional MOAS and `AS_SET` entries, and a tiny
 //!   unannounced remainder reproducing the paper's "0.01% unreachable");
 //! * an **RPKI repository** built by the five RIR trust anchors, with a
 //!   per-class adoption model and a misconfiguration rate calibrated to

@@ -37,9 +37,7 @@ impl fmt::Display for OperatorClass {
 }
 
 /// Stable operator identifier (index into the scenario's operator list).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct OperatorId(pub u32);
 
 /// One operator.
@@ -103,7 +101,13 @@ impl Operator {
 
 impl fmt::Display for Operator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, {} ASes)", self.name, self.class, self.asns.len())
+        write!(
+            f,
+            "{} ({}, {} ASes)",
+            self.name,
+            self.class,
+            self.asns.len()
+        )
     }
 }
 

@@ -11,8 +11,8 @@ use rand::{Rng, SeedableRng};
 use ripki_dns::DomainName;
 
 const SYLLABLES: [&str; 24] = [
-    "ba", "cu", "da", "fo", "gi", "ha", "ki", "lo", "ma", "ne", "pa", "qo",
-    "ra", "su", "ta", "vu", "wi", "xa", "yo", "zu", "blog", "shop", "news", "web",
+    "ba", "cu", "da", "fo", "gi", "ha", "ki", "lo", "ma", "ne", "pa", "qo", "ra", "su", "ta", "vu",
+    "wi", "xa", "yo", "zu", "blog", "shop", "news", "web",
 ];
 
 const TLDS: [&str; 10] = [

@@ -140,19 +140,34 @@ impl Default for ScenarioConfig {
 impl ScenarioConfig {
     /// Default config at a given scale.
     pub fn with_domains(domains: usize) -> ScenarioConfig {
-        ScenarioConfig { domains, ..Default::default() }
+        ScenarioConfig {
+            domains,
+            ..Default::default()
+        }
     }
 
     fn isp_count(&self) -> usize {
-        if self.isps > 0 { self.isps } else { (self.domains / 500).max(40) }
+        if self.isps > 0 {
+            self.isps
+        } else {
+            (self.domains / 500).max(40)
+        }
     }
 
     fn webhoster_count(&self) -> usize {
-        if self.webhosters > 0 { self.webhosters } else { (self.domains / 400).max(40) }
+        if self.webhosters > 0 {
+            self.webhosters
+        } else {
+            (self.domains / 400).max(40)
+        }
     }
 
     fn enterprise_count(&self) -> usize {
-        if self.enterprises > 0 { self.enterprises } else { (self.domains / 1000).max(20) }
+        if self.enterprises > 0 {
+            self.enterprises
+        } else {
+            (self.domains / 1000).max(20)
+        }
     }
 }
 
@@ -239,7 +254,13 @@ impl Scenario {
                     },
                 );
             }
-            operators.push(Operator { id, name: name.to_string(), class: OperatorClass::Cdn, asns, rir });
+            operators.push(Operator {
+                id,
+                name: name.to_string(),
+                class: OperatorClass::Cdn,
+                asns,
+                rir,
+            });
         }
         debug_assert_eq!(
             operators.iter().map(|o| o.asns.len()).sum::<usize>(),
@@ -247,16 +268,20 @@ impl Scenario {
         );
 
         let spawn_class = |count: usize,
-                               class: OperatorClass,
-                               label: &str,
-                               operators: &mut Vec<Operator>,
-                               registry: &mut AsRegistry,
-                               rng: &mut StdRng,
-                               asn_counter: &mut u32| {
+                           class: OperatorClass,
+                           label: &str,
+                           operators: &mut Vec<Operator>,
+                           registry: &mut AsRegistry,
+                           rng: &mut StdRng,
+                           asn_counter: &mut u32| {
             for i in 0..count {
                 let id = OperatorId(operators.len() as u32);
                 let rir = rng.gen_range(0..5);
-                let n_asns = if class == OperatorClass::Isp && rng.gen_bool(0.15) { 2 } else { 1 };
+                let n_asns = if class == OperatorClass::Isp && rng.gen_bool(0.15) {
+                    2
+                } else {
+                    1
+                };
                 let asns = next_asns(n_asns, asn_counter);
                 let name = format!("{label}-{i}");
                 for (k, asn) in asns.iter().enumerate() {
@@ -280,12 +305,42 @@ impl Scenario {
                         },
                     );
                 }
-                operators.push(Operator { id, name, class, asns, rir });
+                operators.push(Operator {
+                    id,
+                    name,
+                    class,
+                    asns,
+                    rir,
+                });
             }
         };
-        spawn_class(config.isp_count(), OperatorClass::Isp, "ISP", &mut operators, &mut registry, &mut rng, &mut asn_counter);
-        spawn_class(config.webhoster_count(), OperatorClass::Webhoster, "HOSTER", &mut operators, &mut registry, &mut rng, &mut asn_counter);
-        spawn_class(config.enterprise_count(), OperatorClass::Enterprise, "CORP", &mut operators, &mut registry, &mut rng, &mut asn_counter);
+        spawn_class(
+            config.isp_count(),
+            OperatorClass::Isp,
+            "ISP",
+            &mut operators,
+            &mut registry,
+            &mut rng,
+            &mut asn_counter,
+        );
+        spawn_class(
+            config.webhoster_count(),
+            OperatorClass::Webhoster,
+            "HOSTER",
+            &mut operators,
+            &mut registry,
+            &mut rng,
+            &mut asn_counter,
+        );
+        spawn_class(
+            config.enterprise_count(),
+            OperatorClass::Enterprise,
+            "CORP",
+            &mut operators,
+            &mut registry,
+            &mut rng,
+            &mut asn_counter,
+        );
 
         // ---- 2. Address allocation ---------------------------------------
         let mut allocator = Allocator::new();
@@ -311,7 +366,9 @@ impl Scenario {
                     OperatorClass::Enterprise => (21, 1),
                 };
                 for _ in 0..blocks {
-                    let Some(p) = allocator.allocate_v4(op.rir, len) else { continue };
+                    let Some(p) = allocator.allocate_v4(op.rir, len) else {
+                        continue;
+                    };
                     host_blocks[idx].push((*asn, p));
                     holdings.push(PrefixHolding {
                         operator: idx,
@@ -358,7 +415,11 @@ impl Scenario {
             let transit = TRANSIT_POOL[(h.asn.value() as usize) % TRANSIT_POOL.len()];
             let path = AsPath::sequence([transit, h.asn.value()]);
             for peer in COLLECTOR_PEERS {
-                rib.insert(RibEntry { prefix: h.prefix, path: path.clone(), peer: Asn::new(peer) });
+                rib.insert(RibEntry {
+                    prefix: h.prefix,
+                    path: path.clone(),
+                    peer: Asn::new(peer),
+                });
             }
             // More-specific of the lower half, same origin.
             if rng.gen_bool(config.more_specific_rate) {
@@ -390,9 +451,7 @@ impl Scenario {
                             path: AsPath::sequence([transit, h.asn.value() + 7]),
                             peer: Asn::new(COLLECTOR_PEERS[1]),
                         };
-                        if let Some(agg) =
-                            ripki_bgp::aggregate::aggregate_siblings(&left, &right)
-                        {
+                        if let Some(agg) = ripki_bgp::aggregate::aggregate_siblings(&left, &right) {
                             rib.insert(agg);
                         }
                     }
@@ -470,12 +529,16 @@ impl Scenario {
         let corp_adopters = adopter_subset(&corp_pool);
 
         for (rank, listed) in ranking_list.iter().enumerate() {
-            let mut drng = StdRng::seed_from_u64(
-                config.seed ^ (rank as u64).wrapping_mul(DOMAIN_SALT) ^ 0x05,
-            );
+            let mut drng =
+                StdRng::seed_from_u64(config.seed ^ (rank as u64).wrapping_mul(DOMAIN_SALT) ^ 0x05);
             let bare = listed.without_www();
             let www = bare.with_www();
-            let p_cdn = cdn_probability(rank, config.domains, config.cdn_share_top, config.cdn_share_floor);
+            let p_cdn = cdn_probability(
+                rank,
+                config.domains,
+                config.cdn_share_top,
+                config.cdn_share_floor,
+            );
             let www_equal = drng.gen_bool(www_equal_probability(
                 rank,
                 config.domains,
@@ -483,8 +546,7 @@ impl Scenario {
                 config.www_equal_floor,
             ));
             let tld = bare.labels().last().unwrap_or("com").to_string();
-            let dnssec_rate =
-                (dnssec_tld_rate(&tld) * config.dnssec_scale).clamp(0.0, 1.0);
+            let dnssec_rate = (dnssec_tld_rate(&tld) * config.dnssec_scale).clamp(0.0, 1.0);
             let dnssec_signed = drng.gen_bool(dnssec_rate);
             if dnssec_signed {
                 zones.set_signed(bare.clone());
@@ -515,16 +577,16 @@ impl Scenario {
                     if v == Vantage::GOOGLE_DNS_BERLIN {
                         zones.add_addr(edge_name.clone(), ip.into());
                     } else {
-                        zones.add_override(
-                            edge_name.clone(),
-                            v,
-                            ripki_dns::RecordData::A(ip),
-                        );
+                        zones.add_override(edge_name.clone(), v, ripki_dns::RecordData::A(ip));
                     }
                 }
                 // Service names carry their records on the bare form
                 // only; ordinary sites on the www form.
-                let chain_owner = if service_name { bare.clone() } else { www.clone() };
+                let chain_owner = if service_name {
+                    bare.clone()
+                } else {
+                    www.clone()
+                };
                 match chain_len {
                     2 => {
                         let alias = infra.customer_alias(&bare);
@@ -568,9 +630,14 @@ impl Scenario {
                     }
                 } else {
                     // Bare name stays on an origin host outside the CDN.
-                    let pool = if drng.gen_bool(0.7) { &hoster_pool } else { &isp_pool };
+                    let pool = if drng.gen_bool(0.7) {
+                        &hoster_pool
+                    } else {
+                        &isp_pool
+                    };
                     let op_idx = pool[drng.gen_range(0..pool.len())];
-                    let (_, prefix) = host_blocks[op_idx][drng.gen_range(0..host_blocks[op_idx].len())];
+                    let (_, prefix) =
+                        host_blocks[op_idx][drng.gen_range(0..host_blocks[op_idx].len())];
                     zones.add_addr(bare.clone(), ip_in(prefix, rank as u64 ^ 0xba5e).into());
                 }
                 let sharded = host_shard(
@@ -600,8 +667,8 @@ impl Scenario {
                 };
                 // Stakeholder effect: tail sites gravitate to early
                 // adopters (see `tail_adopter_tilt`).
-                let tilt = config.tail_adopter_tilt * (rank as f64)
-                    / (config.domains.max(1) as f64);
+                let tilt =
+                    config.tail_adopter_tilt * (rank as f64) / (config.domains.max(1) as f64);
                 let op_idx = if !adopters.is_empty() && drng.gen_bool(tilt.clamp(0.0, 1.0)) {
                     adopters[drng.gen_range(0..adopters.len())]
                 } else {
@@ -628,7 +695,10 @@ impl Scenario {
                         (op_idx, blocks)
                     };
                     let (_, p2) = src_blocks[drng.gen_range(0..src_blocks.len())];
-                    zones.add_addr(bare.clone(), ip_in(p2, (rank as u64) ^ (k as u64 + 1)).into());
+                    zones.add_addr(
+                        bare.clone(),
+                        ip_in(p2, (rank as u64) ^ (k as u64 + 1)).into(),
+                    );
                     let _ = src_idx;
                 }
                 if let Some((_, p6)) = v6_blocks[op_idx] {
@@ -681,8 +751,10 @@ impl Scenario {
             topology.add_customer_provider(Asn::new(peer), tier1[0]);
             topology.add_customer_provider(Asn::new(peer), tier1[1]);
         }
-        let isp_primaries: Vec<Asn> =
-            isp_pool.iter().map(|i| operators[*i].primary_asn()).collect();
+        let isp_primaries: Vec<Asn> = isp_pool
+            .iter()
+            .map(|i| operators[*i].primary_asn())
+            .collect();
         for asn in &isp_primaries {
             let ups = rng.gen_range(1..=2.min(tier1.len()));
             for t in tier1.choose_multiple(&mut rng, ups) {
@@ -750,9 +822,7 @@ impl Scenario {
         let mut aggregates: Vec<ripki_bgp::rib::RibEntry> = Vec::new();
         for entry in self.rib.iter() {
             match entry.path.origin().asn() {
-                Some(origin) => {
-                    by_origin.entry(origin).or_default().push(entry.prefix)
-                }
+                Some(origin) => by_origin.entry(origin).or_default().push(entry.prefix),
                 None => aggregates.push(entry.clone()),
             }
         }
@@ -767,7 +837,9 @@ impl Scenario {
             prefixes.dedup();
             for peer in COLLECTOR_PEERS {
                 let peer_asn = Asn::new(peer);
-                let Some(route) = outcome.route(peer_asn) else { continue };
+                let Some(route) = outcome.route(peer_asn) else {
+                    continue;
+                };
                 let path = AsPath::sequence(route.path.iter().map(|a| a.value()));
                 for prefix in &prefixes {
                     rib.insert(ripki_bgp::rib::RibEntry {
@@ -804,8 +876,7 @@ fn host_shard(
     if !drng.gen_bool(p.clamp(0.0, 1.0)) {
         return false;
     }
-    let static_name = DomainName::parse(&format!("static.{bare}"))
-        .expect("static. label is valid");
+    let static_name = DomainName::parse(&format!("static.{bare}")).expect("static. label is valid");
     let infra = pick_cdn(cdn_infras, cdn_weights, drng).clone();
     // Asset groups live in a separate edge-group namespace.
     let group = rank as u32 | (1 << 31);
@@ -866,7 +937,7 @@ mod tests {
         assert_eq!(s.ranking.len(), 3000);
         assert_eq!(s.truth.len(), 3000);
         assert_eq!(s.repository.trust_anchors.len(), 5);
-        assert!(s.rib.len() > 0);
+        assert!(!s.rib.is_empty());
         assert!(s.registry.len() >= 199);
         assert!(s.topology.len() > 100);
         assert_eq!(s.cdn_infras.len(), 16);
@@ -961,11 +1032,16 @@ mod tests {
 
     #[test]
     fn truth_cdn_share_decays() {
-        let s = Scenario::build(ScenarioConfig { domains: 20_000, ..Default::default() });
+        let s = Scenario::build(ScenarioConfig {
+            domains: 20_000,
+            ..Default::default()
+        });
         let top_cdn = s.truth[..2000].iter().filter(|t| t.cdn.is_some()).count() as f64 / 2000.0;
-        let tail_cdn =
-            s.truth[18_000..].iter().filter(|t| t.cdn.is_some()).count() as f64 / 2000.0;
-        assert!(top_cdn > tail_cdn + 0.05, "top {top_cdn} vs tail {tail_cdn}");
+        let tail_cdn = s.truth[18_000..].iter().filter(|t| t.cdn.is_some()).count() as f64 / 2000.0;
+        assert!(
+            top_cdn > tail_cdn + 0.05,
+            "top {top_cdn} vs tail {tail_cdn}"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ fn main() {
     println!("\n== summary ==");
     println!("  CDN ASes discovered:      {}", summary.total_cdn_asns);
     println!("  CDN RPKI entries:         {}", summary.total_rpki_entries);
-    println!("  CDNs with any deployment: {:?}", summary.cdns_with_deployment);
+    println!(
+        "  CDNs with any deployment: {:?}",
+        summary.cdns_with_deployment
+    );
     println!(
         "  ISP penetration:          {:.1}%",
         summary.isp_penetration * 100.0
@@ -46,11 +49,7 @@ fn main() {
         "  webhoster penetration:    {:.1}%",
         summary.webhoster_penetration * 100.0
     );
-    println!(
-        "\nthe paper's observation holds: \"One might mistakenly think that"
-    );
-    println!(
-        "Internap has engaged widely with RPKI. However, Internap operates at"
-    );
+    println!("\nthe paper's observation holds: \"One might mistakenly think that");
+    println!("Internap has engaged widely with RPKI. However, Internap operates at");
     println!("least 41 ASes, the bulk of which are not secured via RPKI.\"");
 }

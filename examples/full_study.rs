@@ -6,11 +6,11 @@
 //! cargo run --release --example full_study -- 1000000 # the paper's 1M
 //! ```
 
+use ripki_repro::ripki::cdn_audit;
 use ripki_repro::ripki::classify::HttpArchiveClassifier;
 use ripki_repro::ripki::figures;
 use ripki_repro::ripki::report::HeadlineStats;
 use ripki_repro::ripki::tables;
-use ripki_repro::ripki::cdn_audit;
 use ripki_repro::ripki_rpki::validate;
 use ripki_repro::ripki_websim::operators::CDN_SPECS;
 

@@ -28,7 +28,11 @@ fn main() {
     let subprefix: IpPrefix = "85.201.128.0/17".parse().unwrap();
 
     println!("arena: {topology}");
-    println!("victim AS{} announces {prefix}; attacker is AS{}\n", victim.value(), attacker.value());
+    println!(
+        "victim AS{} announces {prefix}; attacker is AS{}\n",
+        victim.value(),
+        attacker.value()
+    );
 
     // Act 1: origin hijack, no RPKI.
     let origin_attack = HijackScenario::origin_hijack(victim, attacker, prefix);

@@ -27,17 +27,37 @@ fn main() {
         Resources::from_prefixes(vec![p("77.0.0.0/8"), p("2a00::/12")]),
     );
     let isp = b
-        .add_ca(ripe, "MegaNet", Resources::from_prefixes(vec![p("77.10.0.0/15")]))
+        .add_ca(
+            ripe,
+            "MegaNet",
+            Resources::from_prefixes(vec![p("77.10.0.0/15")]),
+        )
         .unwrap();
     let hoster = b
-        .add_ca(ripe, "TinyHost", Resources::from_prefixes(vec![p("77.200.0.0/16")]))
+        .add_ca(
+            ripe,
+            "TinyHost",
+            Resources::from_prefixes(vec![p("77.200.0.0/16")]),
+        )
         .unwrap();
-    b.add_roa(isp, Asn::new(64_800), vec![RoaPrefix::up_to(p("77.10.0.0/16"), 20)])
-        .unwrap();
-    b.add_roa(isp, Asn::new(64_800), vec![RoaPrefix::exact(p("77.11.0.0/16"))])
-        .unwrap();
-    b.add_roa(hoster, Asn::new(64_900), vec![RoaPrefix::exact(p("77.200.0.0/16"))])
-        .unwrap();
+    b.add_roa(
+        isp,
+        Asn::new(64_800),
+        vec![RoaPrefix::up_to(p("77.10.0.0/16"), 20)],
+    )
+    .unwrap();
+    b.add_roa(
+        isp,
+        Asn::new(64_800),
+        vec![RoaPrefix::exact(p("77.11.0.0/16"))],
+    )
+    .unwrap();
+    b.add_roa(
+        hoster,
+        Asn::new(64_900),
+        vec![RoaPrefix::exact(p("77.200.0.0/16"))],
+    )
+    .unwrap();
     let mut repo = b.finalize();
 
     println!("== repository tree ==");
@@ -81,7 +101,11 @@ fn main() {
         report.vrps.len()
     );
     for event in report.rejections() {
-        println!("  rejected: {} — {}", event.object, event.rejected.as_ref().unwrap());
+        println!(
+            "  rejected: {} — {}",
+            event.object,
+            event.rejected.as_ref().unwrap()
+        );
     }
     println!("\nthe manifest made the withheld object detectable, and the");
     println!("whole publication point is discarded under strict validation —");

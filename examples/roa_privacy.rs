@@ -42,10 +42,14 @@ fn main() {
     let ca_b = b
         .add_ca(ta, "cdn-b", Resources::from_prefixes(vec![prefix_b]))
         .unwrap();
-    b.add_roa(ca_a, cdn_a, vec![RoaPrefix::exact(prefix_a)]).unwrap();
-    b.add_roa(ca_a, cdn_b, vec![RoaPrefix::exact(prefix_a)]).unwrap(); // the secret backup
-    b.add_roa(ca_b, cdn_b, vec![RoaPrefix::exact(prefix_b)]).unwrap();
-    b.add_roa(ca_b, cdn_a, vec![RoaPrefix::exact(prefix_b)]).unwrap(); // and vice versa
+    b.add_roa(ca_a, cdn_a, vec![RoaPrefix::exact(prefix_a)])
+        .unwrap();
+    b.add_roa(ca_a, cdn_b, vec![RoaPrefix::exact(prefix_a)])
+        .unwrap(); // the secret backup
+    b.add_roa(ca_b, cdn_b, vec![RoaPrefix::exact(prefix_b)])
+        .unwrap();
+    b.add_roa(ca_b, cdn_a, vec![RoaPrefix::exact(prefix_b)])
+        .unwrap(); // and vice versa
     let repo = b.finalize();
     let report = validate(&repo, now);
     println!("RPKI catalog ({} VRPs):", report.vrps.len());
@@ -78,7 +82,10 @@ fn main() {
         exposure_report.latent.len()
     );
     for auth in &exposure_report.latent {
-        println!("    {} may originate {} — never announced", auth.asn, auth.prefix);
+        println!(
+            "    {} may originate {} — never announced",
+            auth.asn, auth.prefix
+        );
     }
     println!(
         "  latent fraction: {:.0}%",

@@ -18,7 +18,11 @@ fn to_triples(report: &ripki_repro::ripki_rpki::ValidationReport) -> Vec<VrpTrip
     report
         .vrps
         .iter()
-        .map(|v| VrpTriple { prefix: v.prefix, max_length: v.max_length, asn: v.asn })
+        .map(|v| VrpTriple {
+            prefix: v.prefix,
+            max_length: v.max_length,
+            asn: v.asn,
+        })
         .collect()
 }
 
@@ -37,7 +41,10 @@ fn main() {
     cache.update(to_triples(&report));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
     let addr = listener.local_addr().unwrap();
-    println!("RTR cache listening on {addr} (session {:#06x})", cache.session_id());
+    println!(
+        "RTR cache listening on {addr} (session {:#06x})",
+        cache.session_id()
+    );
     let server_cache = cache.clone();
     std::thread::spawn(move || {
         for conn in listener.incoming().flatten() {
@@ -51,7 +58,11 @@ fn main() {
     // A router connects and performs its initial Reset Query.
     let mut router = Client::new(TcpStream::connect(addr).expect("connect"));
     match router.sync().expect("initial sync") {
-        SyncOutcome::Updated { serial, announced, withdrawn } => println!(
+        SyncOutcome::Updated {
+            serial,
+            announced,
+            withdrawn,
+        } => println!(
             "router synced: serial {serial}, +{announced} −{withdrawn} ({} VRPs held)",
             router.vrps().len()
         ),
@@ -69,7 +80,10 @@ fn main() {
     println!(
         "           {} from AS4199999999 validates {}",
         sample.prefix,
-        validator.validate(&sample.prefix, ripki_repro::ripki_net::Asn::new(4_199_999_999))
+        validator.validate(
+            &sample.prefix,
+            ripki_repro::ripki_net::Asn::new(4_199_999_999)
+        )
     );
 
     // Time passes; a CA's publication point breaks; the next validation
@@ -89,7 +103,11 @@ fn main() {
 
     // The router picks up the *delta* with a Serial Query.
     match router.sync().expect("incremental sync") {
-        SyncOutcome::Updated { serial, announced, withdrawn } => println!(
+        SyncOutcome::Updated {
+            serial,
+            announced,
+            withdrawn,
+        } => println!(
             "router delta sync: serial {serial}, +{announced} −{withdrawn} ({} VRPs held)",
             router.vrps().len()
         ),

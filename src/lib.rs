@@ -27,17 +27,16 @@ pub use ripki_rpki;
 pub use ripki_rtr;
 pub use ripki_websim;
 
-/// Convenience: build a scenario and run the full pipeline at the given
-/// scale with default calibration — what most examples start from.
+/// Convenience: build a scenario and run the full study engine at the
+/// given scale with default calibration — what most examples start from.
 pub fn run_default_study(
     domains: usize,
 ) -> (ripki_websim::Scenario, ripki::pipeline::StudyResults) {
-    let scenario = ripki_websim::Scenario::build(
-        ripki_websim::ScenarioConfig::with_domains(domains),
-    );
-    let pipeline = ripki::pipeline::Pipeline::new(
-        &scenario.zones,
-        &scenario.rib,
+    let scenario =
+        ripki_websim::Scenario::build(ripki_websim::ScenarioConfig::with_domains(domains));
+    let engine = ripki::engine::StudyEngine::new(
+        scenario.zones.clone(),
+        scenario.rib.clone(),
         &scenario.repository,
         ripki::pipeline::PipelineConfig {
             bogus_dns_ppm: scenario.config.bogus_dns_ppm,
@@ -45,7 +44,7 @@ pub fn run_default_study(
             ..Default::default()
         },
     );
-    let results = pipeline.run(&scenario.ranking);
+    let results = engine.run(&scenario.ranking);
     (scenario, results)
 }
 

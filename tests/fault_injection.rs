@@ -15,7 +15,11 @@ fn valid_share(scenario: &Scenario) -> (f64, usize) {
         &scenario.zones,
         &scenario.rib,
         &scenario.repository,
-        PipelineConfig { bogus_dns_ppm: 0, now: scenario.now, ..Default::default() },
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now: scenario.now,
+            ..Default::default()
+        },
     );
     let vrps = pipeline.validator().len();
     let results = pipeline.run(&scenario.ranking);

@@ -9,7 +9,11 @@ use ripki_repro::ripki_net::Asn;
 use ripki_repro::ripki_websim::{Scenario, ScenarioConfig};
 use std::collections::BTreeSet;
 
-fn build() -> (Scenario, ripki_repro::ripki::pipeline::StudyResults, Pipeline<'static>) {
+fn build() -> (
+    Scenario,
+    ripki_repro::ripki::pipeline::StudyResults,
+    Pipeline<'static>,
+) {
     // Leak the scenario to get 'static borrows for the pipeline —
     // test-only convenience.
     let scenario = Box::leak(Box::new(Scenario::build(ScenarioConfig::with_domains(
@@ -19,7 +23,11 @@ fn build() -> (Scenario, ripki_repro::ripki::pipeline::StudyResults, Pipeline<'s
         &scenario.zones,
         &scenario.rib,
         &scenario.repository,
-        PipelineConfig { bogus_dns_ppm: 0, now: scenario.now, ..Default::default() },
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now: scenario.now,
+            ..Default::default()
+        },
     );
     let results = pipeline.run(&scenario.ranking);
     (
@@ -37,8 +45,7 @@ fn measured_valid_prefix_is_defendable() {
         .domains
         .iter()
         .find(|d| {
-            !d.bare.pairs.is_empty()
-                && d.bare.pairs.iter().all(|p| p.state == RpkiState::Valid)
+            !d.bare.pairs.is_empty() && d.bare.pairs.iter().all(|p| p.state == RpkiState::Valid)
         })
         .expect("some domain is fully valid at this scale");
     let pair = victim_domain.bare.pairs[0];
@@ -49,7 +56,10 @@ fn measured_valid_prefix_is_defendable() {
 
     // The announcing AS defends its prefix against a stub attacker.
     let victim_as = pair.origin;
-    assert!(scenario.topology.contains(victim_as), "victim AS in topology");
+    assert!(
+        scenario.topology.contains(victim_as),
+        "victim AS in topology"
+    );
     let attacker = scenario
         .topology
         .asns()
@@ -58,7 +68,12 @@ fn measured_valid_prefix_is_defendable() {
     let attack = HijackScenario::origin_hijack(victim_as, attacker, pair.prefix);
 
     // Without ROV: some capture.
-    let none = run(&scenario.topology, &attack, pipeline.validator(), &BTreeSet::new());
+    let none = run(
+        &scenario.topology,
+        &attack,
+        pipeline.validator(),
+        &BTreeSet::new(),
+    );
     // With universal ROV over the *measured* VRPs: zero capture.
     let everyone: BTreeSet<Asn> = scenario.topology.asns().collect();
     let full = run(&scenario.topology, &attack, pipeline.validator(), &everyone);
@@ -75,8 +90,7 @@ fn unprotected_prefix_stays_hijackable_even_with_rov() {
         .domains
         .iter()
         .find(|d| {
-            !d.bare.pairs.is_empty()
-                && d.bare.pairs.iter().all(|p| p.state == RpkiState::NotFound)
+            !d.bare.pairs.is_empty() && d.bare.pairs.iter().all(|p| p.state == RpkiState::NotFound)
         })
         .expect("most domains are uncovered");
     let pair = victim_domain.bare.pairs[0];

@@ -51,8 +51,13 @@ fn table_dump_roundtrip_preserves_measurements() {
     let reloaded = TableDump::parse(&text).expect("own dump parses");
     assert_eq!(reloaded.len(), scenario.rib.len());
 
-    let direct = Pipeline::new(&scenario.zones, &scenario.rib, &scenario.repository, config.clone())
-        .run(&scenario.ranking);
+    let direct = Pipeline::new(
+        &scenario.zones,
+        &scenario.rib,
+        &scenario.repository,
+        config.clone(),
+    )
+    .run(&scenario.ranking);
     let replayed = Pipeline::new(&scenario.zones, &reloaded, &scenario.repository, config)
         .run(&scenario.ranking);
 
@@ -73,7 +78,11 @@ fn dns_noise_does_not_change_rpki_conclusions() {
             &scenario.zones,
             &scenario.rib,
             &scenario.repository,
-            PipelineConfig { bogus_dns_ppm: ppm, now: scenario.now, ..Default::default() },
+            PipelineConfig {
+                bogus_dns_ppm: ppm,
+                now: scenario.now,
+                ..Default::default()
+            },
         );
         let results = pipeline.run(&scenario.ranking);
         ripki_repro::ripki::figures::fig2_rpki_outcome(&results, 1_000)

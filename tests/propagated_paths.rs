@@ -5,9 +5,9 @@
 
 use ripki_repro::ripki::pipeline::{Pipeline, PipelineConfig};
 use ripki_repro::ripki_bgp::topology::Relationship;
+use ripki_repro::ripki_net::Asn;
 use ripki_repro::ripki_websim::scenario::COLLECTOR_PEERS;
 use ripki_repro::ripki_websim::{Scenario, ScenarioConfig};
-use ripki_repro::ripki_net::Asn;
 
 #[test]
 fn propagated_paths_preserve_measurements() {
@@ -32,7 +32,11 @@ fn propagated_paths_preserve_measurements() {
             .run(&scenario.ranking);
 
     // Pair-for-pair identical measurements: prefixes, origins, states.
-    for (a, b) in synthetic_results.domains.iter().zip(&realistic_results.domains) {
+    for (a, b) in synthetic_results
+        .domains
+        .iter()
+        .zip(&realistic_results.domains)
+    {
         let mut pa = a.bare.pairs.clone();
         let mut pb = b.bare.pairs.clone();
         pa.sort_by_key(|p| (p.prefix, p.origin));
@@ -49,7 +53,9 @@ fn propagated_paths_are_real_topology_walks() {
 
     let mut checked = 0usize;
     for entry in realistic.iter().take(2_000) {
-        let Some(_) = entry.path.origin().asn() else { continue };
+        let Some(_) = entry.path.origin().asn() else {
+            continue;
+        };
         assert!(peers.contains(&entry.peer));
         // Every consecutive hop pair is an actual topology edge, starting
         // from the peer itself.

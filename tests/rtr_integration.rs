@@ -4,8 +4,8 @@
 
 use ripki_repro::ripki::pipeline::{Pipeline, PipelineConfig};
 use ripki_repro::ripki_bgp::rov::VrpTriple;
-use ripki_repro::ripki_rtr::{CacheServer, Client};
 use ripki_repro::ripki_rpki::validate;
+use ripki_repro::ripki_rtr::{CacheServer, Client};
 use ripki_repro::ripki_websim::{Scenario, ScenarioConfig};
 use std::os::unix::net::UnixStream;
 use std::sync::Arc;
@@ -39,7 +39,11 @@ fn router_via_rtr_agrees_with_pipeline_validator() {
         &scenario.zones,
         &scenario.rib,
         &scenario.repository,
-        PipelineConfig { bogus_dns_ppm: 0, now: scenario.now, ..Default::default() },
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now: scenario.now,
+            ..Default::default()
+        },
     );
     let results = pipeline.run(&scenario.ranking);
     let mut pairs_checked = 0usize;

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the criterion API its benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`/`throughput`, and `Bencher::iter`.
+//!
+//! No statistics are computed: each benchmark is warmed up briefly and
+//! then timed over a fixed batch, reporting mean wall-clock time per
+//! iteration. That is enough to compare implementations within one run,
+//! which is all this workspace's benches do.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(v: T) -> T {
+    std_black_box(v)
+}
+
+/// Work-per-iteration hint, echoed in the report as a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`iter`](Bencher::iter).
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: run until ~20ms or 3 iterations.
+        let calib = Instant::now();
+        let mut calib_iters: u32 = 0;
+        while calib.elapsed() < Duration::from_millis(20) || calib_iters < 3 {
+            std_black_box(f());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        // Measure a batch sized to roughly 100ms based on calibration.
+        let per_iter = calib.elapsed().as_secs_f64() / calib_iters as f64;
+        let batch = ((0.1 / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000) as u32;
+        let start = Instant::now();
+        for _ in 0..batch {
+            std_black_box(f());
+        }
+        self.ns_per_iter = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+    }
+}
+
+fn report(id: &str, ns: f64, throughput: Option<Throughput>) {
+    let time = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns / 1e9);
+            println!("{id:<50} {time:>12}/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+            println!("{id:<50} {time:>12}/iter  {rate:>11.1} MiB/s");
+        }
+        None => println!("{id:<50} {time:>12}/iter"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(id, b.ns_per_iter, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's batch sizing is
+    /// time-based, so the requested sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the throughput hint for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,71 @@
+//! `any::<T>()` — whole-domain generation.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain generator.
+pub trait Arbitrary: Sized {
+    /// Draw one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Bias to ASCII half the time, like the real crate's char logic
+        // favours simple values; always a valid scalar.
+        if rng.next_u64() & 1 == 0 {
+            (rng.below(0x80) as u8) as char
+        } else {
+            char::from_u32(rng.below(0x11_0000 - 0x800) as u32 + 0x800).unwrap_or('\u{fffd}')
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}

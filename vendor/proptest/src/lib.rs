@@ -1,0 +1,174 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the proptest API its tests use: the
+//! `proptest!` macro, `prop_assert*!`, `prop_oneof!`, `any::<T>()`,
+//! range and tuple strategies, `prop::collection::{vec, btree_set}`,
+//! `prop::sample::Index`, and `string::string_regex`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the assertion message
+//!   (which includes the generated values for `prop_assert_eq!`); it is
+//!   not minimised.
+//! * **Generation is deterministic.** Cases are seeded from the test's
+//!   module path, name, and case index, so failures reproduce exactly
+//!   without a persistence file.
+//! * The default case count is 64 (the real crate's 256), keeping the
+//!   full suite fast; `ProptestConfig::with_cases` overrides it as
+//!   usual.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The `proptest::prelude` the tests import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop`: module shorthands.
+    pub mod prop {
+        pub use crate::{collection, option, sample, strategy, string};
+    }
+}
+
+/// Assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @cfg($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let __strategies = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        any::<u32>().prop_map(|v| v & !1)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 5u32..10, b in 0u128..1000, c in 1usize..=4) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!(b < 1000);
+            prop_assert!((1..=4).contains(&c));
+        }
+
+        #[test]
+        fn map_and_oneof(v in prop_oneof![arb_even(), Just(7u32)]) {
+            prop_assert!(v % 2 == 0 || v == 7);
+        }
+
+        #[test]
+        fn collections_sized(
+            mut xs in prop::collection::vec(any::<u8>(), 2..6),
+            set in prop::collection::btree_set(0u32..50, 0..8),
+        ) {
+            prop_assert!((2..6).contains(&xs.len()));
+            xs.sort_unstable();
+            prop_assert!(set.len() < 8);
+        }
+
+        #[test]
+        fn index_picks_in_range(ix in any::<prop::sample::Index>()) {
+            prop_assert!(ix.index(17) < 17);
+        }
+
+        #[test]
+        fn regex_shapes(s in prop::string::string_regex("[a-z]([a-z0-9-]{0,4}[a-z])?").unwrap()) {
+            prop_assert!(!s.is_empty() && s.len() <= 6, "{s:?}");
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            prop_assert!(!s.starts_with('-') && !s.ends_with('-'));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(crate::arbitrary::any::<u64>(), 0..10);
+        let one: Vec<Vec<u64>> = (0..20)
+            .map(|case| {
+                let mut rng = crate::test_runner::TestRng::for_case("det", case);
+                Strategy::generate(&strat, &mut rng)
+            })
+            .collect();
+        let two: Vec<Vec<u64>> = (0..20)
+            .map(|case| {
+                let mut rng = crate::test_runner::TestRng::for_case("det", case);
+                Strategy::generate(&strat, &mut rng)
+            })
+            .collect();
+        assert_eq!(one, two);
+    }
+}

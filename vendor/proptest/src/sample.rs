@@ -1,0 +1,28 @@
+//! Sampling helpers (`prop::sample`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A length-agnostic index: generated once, projected onto any
+/// collection length via [`index`](Index::index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Project onto a collection of `len` elements. Panics if `len` is
+    /// zero, as the real crate does.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        self.raw % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index {
+            raw: rng.next_u64() as usize,
+        }
+    }
+}

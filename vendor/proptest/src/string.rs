@@ -1,0 +1,338 @@
+//! String strategies from regular expressions (`proptest::string`).
+//!
+//! Supports the generative subset the workspace's tests use: literal
+//! characters, character classes with ranges (`[a-z0-9-]`, `[ -~]`),
+//! groups, alternation, and the quantifiers `?`, `*`, `+`, `{m}`,
+//! `{m,n}`, `{m,}`. Unsupported syntax returns an [`Error`] rather than
+//! generating wrong strings.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt;
+
+/// Regex-parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Unbounded quantifiers (`*`, `+`, `{m,}`) generate at most this many
+/// extra repetitions.
+const UNBOUNDED_REPEAT_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Concatenation of parts.
+    Seq(Vec<Node>),
+    /// One alternative among several (`a|b`).
+    Alt(Vec<Node>),
+    /// One character from a set of inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+    /// `node{min,max}` (inclusive).
+    Repeat { node: Box<Node>, min: u32, max: u32 },
+}
+
+impl Node {
+    fn generate_into(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Node::Seq(parts) => {
+                for p in parts {
+                    p.generate_into(rng, out);
+                }
+            }
+            Node::Alt(arms) => {
+                let pick = rng.below(arms.len() as u64) as usize;
+                arms[pick].generate_into(rng, out);
+            }
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u64 - *lo as u64 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).expect("range"));
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick within total");
+            }
+            Node::Literal(c) => out.push(*c),
+            Node::Repeat { node, min, max } => {
+                let n = min + rng.below((*max - *min + 1) as u64) as u32;
+                for _ in 0..n {
+                    node.generate_into(rng, out);
+                }
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    source: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, why: &str) -> Result<T, Error> {
+        Err(Error(format!("{why} in {:?}", self.source)))
+    }
+
+    /// alternation := sequence ('|' sequence)*
+    fn alternation(&mut self) -> Result<Node, Error> {
+        let mut arms = vec![self.sequence()?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            arms.push(self.sequence()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().expect("one arm")
+        } else {
+            Node::Alt(arms)
+        })
+    }
+
+    /// sequence := (atom quantifier?)*
+    fn sequence(&mut self) -> Result<Node, Error> {
+        let mut parts = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.atom()?;
+            parts.push(self.quantified(atom)?);
+        }
+        Ok(Node::Seq(parts))
+    }
+
+    fn atom(&mut self) -> Result<Node, Error> {
+        match self.chars.next() {
+            Some('[') => self.class(),
+            Some('(') => {
+                let inner = self.alternation()?;
+                if self.chars.next() != Some(')') {
+                    return self.err("unclosed group");
+                }
+                Ok(inner)
+            }
+            Some('.') => Ok(Node::Class(vec![(' ', '~')])),
+            Some('\\') => match self.chars.next() {
+                Some(
+                    c @ ('.' | '\\' | '-' | '[' | ']' | '(' | ')' | '|' | '?' | '*' | '+' | '{'
+                    | '}'),
+                ) => Ok(Node::Literal(c)),
+                Some('d') => Ok(Node::Class(vec![('0', '9')])),
+                _ => self.err("unsupported escape"),
+            },
+            Some(c @ ('?' | '*' | '+' | '{')) => self.err(&format!("dangling quantifier {c:?}")),
+            Some(c) => Ok(Node::Literal(c)),
+            None => self.err("unexpected end"),
+        }
+    }
+
+    fn quantified(&mut self, atom: Node) -> Result<Node, Error> {
+        let (min, max) = match self.chars.peek() {
+            Some('?') => (0, 1),
+            Some('*') => (0, UNBOUNDED_REPEAT_CAP),
+            Some('+') => (1, UNBOUNDED_REPEAT_CAP),
+            Some('{') => {
+                self.chars.next();
+                return self.braced_quantifier(atom);
+            }
+            _ => return Ok(atom),
+        };
+        self.chars.next();
+        Ok(Node::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    /// Already past '{': parse `m}`, `m,}`, or `m,n}`.
+    fn braced_quantifier(&mut self, atom: Node) -> Result<Node, Error> {
+        let min = self.number()?;
+        let max = match self.chars.next() {
+            Some('}') => {
+                return Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min,
+                    max: min,
+                })
+            }
+            Some(',') => match self.chars.peek() {
+                Some('}') => min + UNBOUNDED_REPEAT_CAP,
+                _ => self.number()?,
+            },
+            _ => return self.err("malformed {m,n}"),
+        };
+        if self.chars.next() != Some('}') {
+            return self.err("malformed {m,n}");
+        }
+        if max < min {
+            return self.err("quantifier max below min");
+        }
+        Ok(Node::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    fn number(&mut self) -> Result<u32, Error> {
+        let mut digits = String::new();
+        while let Some(c) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                digits.push(*c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        if digits.is_empty() {
+            return self.err("expected number");
+        }
+        digits
+            .parse()
+            .map_err(|_| Error(format!("bad number in {:?}", self.source)))
+    }
+
+    /// Already past '[': parse ranges until ']'.
+    fn class(&mut self) -> Result<Node, Error> {
+        if self.chars.peek() == Some(&'^') {
+            return self.err("negated classes unsupported");
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let lo = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => match self.chars.next() {
+                    Some(c) => c,
+                    None => return self.err("unexpected end in class"),
+                },
+                Some(c) => c,
+                None => return self.err("unclosed class"),
+            };
+            // `-` is a range only between two chars; trailing `-` is
+            // literal.
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    Some(']') | None => {
+                        ranges.push((lo, lo));
+                        ranges.push(('-', '-'));
+                    }
+                    Some(_) => {
+                        let hi = self.chars.next().expect("peeked");
+                        if hi < lo {
+                            return self.err("inverted class range");
+                        }
+                        ranges.push((lo, hi));
+                    }
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            return self.err("empty class");
+        }
+        Ok(Node::Class(ranges))
+    }
+}
+
+/// Strategy generating strings matched by the source regex.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    root: Node,
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        self.root.generate_into(rng, &mut out);
+        out
+    }
+}
+
+/// Build a string strategy from `pattern` (full-string match).
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+    let mut parser = Parser {
+        chars: pattern.chars().peekable(),
+        source: pattern,
+    };
+    let root = parser.alternation()?;
+    if parser.chars.next().is_some() {
+        return Err(Error(format!("trailing input in {pattern:?}")));
+    }
+    Ok(RegexStrategy { root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn samples(pattern: &str, n: u32) -> Vec<String> {
+        let strat = string_regex(pattern).unwrap();
+        (0..n)
+            .map(|i| {
+                let mut rng = TestRng::for_case("regex", i);
+                strat.generate(&mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn label_pattern_shapes() {
+        for s in samples("[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?", 200) {
+            assert!(!s.is_empty() && s.len() <= 12, "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{s:?}"
+            );
+            assert!(!s.starts_with('-') && !s.ends_with('-'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_pattern() {
+        for s in samples("[ -~]{0,40}", 100) {
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_and_open_quantifiers() {
+        for s in samples("a{3}", 10) {
+            assert_eq!(s, "aaa");
+        }
+        for s in samples("b{2,}", 50) {
+            assert!(s.len() >= 2 && s.chars().all(|c| c == 'b'), "{s:?}");
+        }
+        for s in samples("(ab|cd)+", 50) {
+            assert!(!s.is_empty() && s.len() % 2 == 0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unsupported_syntax_is_an_error() {
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("(a").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+    }
+}

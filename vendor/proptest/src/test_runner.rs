@@ -1,0 +1,74 @@
+//! Deterministic case generation machinery.
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        // The real crate defaults to 256; 64 keeps the offline suite
+        // fast while exercising the same generators.
+        Config { cases: 64 }
+    }
+}
+
+/// SplitMix64 stream seeded from (test path, case index): every case is
+/// reproducible without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Deterministic generator for one case of one property.
+    pub fn for_case(test_path: &str, case: u32) -> TestRng {
+        // FNV-1a over the path, then fold in the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= case as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+        let mut rng = TestRng { state: h };
+        rng.next_u64();
+        rng
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `bound` (0 when `bound` is 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform 128-bit draw below `bound` (0 when `bound` is 0).
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        if bound == 0 {
+            return 0;
+        }
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % bound
+    }
+}

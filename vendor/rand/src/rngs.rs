@@ -1,0 +1,33 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: SplitMix64.
+///
+/// Small, fast, passes BigCrush at this output width, and — the only
+/// property callers here rely on — fully determined by its seed.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // Pre-mix so that small, similar seeds diverge immediately.
+        let mut rng = StdRng {
+            state: seed ^ 0x5851_f42d_4c95_7f2d,
+        };
+        rng.next_u64();
+        rng
+    }
+}

@@ -1,0 +1,87 @@
+//! Sequence helpers (`rand::seq`).
+
+use crate::RngCore;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Sample `amount` distinct elements (fewer if the slice is
+    /// shorter), yielding references in selection order.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+
+    /// Sample one element, or `None` from an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index table: O(len) setup,
+        // O(amount) draws, distinct by construction.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() % (indices.len() - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        SliceChooseIter {
+            slice: self,
+            indices,
+            next: 0,
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+        }
+    }
+}
+
+/// Iterator over elements picked by
+/// [`choose_multiple`](SliceRandom::choose_multiple).
+#[derive(Debug)]
+pub struct SliceChooseIter<'a, T> {
+    slice: &'a [T],
+    indices: Vec<usize>,
+    next: usize,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let idx = *self.indices.get(self.next)?;
+        self.next += 1;
+        Some(&self.slice[idx])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.indices.len() - self.next;
+        (left, Some(left))
+    }
+}

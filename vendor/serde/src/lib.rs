@@ -1,0 +1,61 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework with the same *surface*
+//! as serde — `#[derive(Serialize, Deserialize)]`, the
+//! `#[serde(transparent)]` and `#[serde(default)]` attributes — but a
+//! radically simpler contract underneath: serialization converts to an
+//! in-memory [`Value`] tree, deserialization reads from one. The
+//! vendored `serde_json` crate renders and parses that tree.
+//!
+//! This is **not** the visitor-based zero-copy architecture of real
+//! serde; it is just enough for the JSON round-trips this workspace
+//! performs. Derived impls mirror serde's external representation:
+//! structs become objects, newtype structs their inner value, unit enum
+//! variants strings, and data-carrying variants single-key objects.
+
+pub mod value;
+
+mod impls;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization failure: a human-readable path/type mismatch report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,472 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate parses items with `syn`; neither `syn` nor `quote`
+//! is available offline, so this macro walks the raw
+//! [`proc_macro::TokenStream`] directly. It supports exactly the item
+//! shapes this workspace derives on:
+//!
+//! * structs with named fields (`#[serde(default)]` honoured per field);
+//! * tuple structs (single-field ones serialize as their inner value,
+//!   matching serde's newtype behaviour; `#[serde(transparent)]` is
+//!   accepted and implied);
+//! * enums whose variants are unit or carry unnamed fields (externally
+//!   tagged, like serde: `"Variant"` or `{"Variant": ...}`).
+//!
+//! Generic types, struct variants, and renaming attributes are
+//! rejected with a `compile_error!`, so unsupported shapes fail loudly
+//! at compile time instead of serializing wrongly at run time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derive `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let generated = match parse_item(input) {
+        Ok(item) => match which {
+            Trait::Serialize => gen_serialize(&item),
+            Trait::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    generated
+        .parse()
+        .expect("serde_derive generated invalid Rust")
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing input yields `Default::default()`.
+    default: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    /// Unnamed fields; the count. One field = serde newtype semantics.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Cursor over the top-level token trees of the derive input.
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    /// Skip `#[...]` attributes; returns serde attribute flags seen:
+    /// (transparent, default). Unknown serde attributes are an error.
+    fn skip_attrs(&mut self) -> Result<(bool, bool), String> {
+        let mut transparent = false;
+        let mut default = false;
+        while self.at_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                _ => return Err("expected [...] after #".to_string()),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue; // doc comments, cfg, other derives' helpers
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                _ => return Err("expected #[serde(...)]".to_string()),
+            };
+            for tok in args {
+                match tok {
+                    TokenTree::Ident(i) if i.to_string() == "transparent" => transparent = true,
+                    TokenTree::Ident(i) if i.to_string() == "default" => default = true,
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => {
+                        return Err(format!(
+                            "unsupported serde attribute `{other}` (vendored serde_derive \
+                             supports only `transparent` and `default`)"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok((transparent, default))
+    }
+
+    /// Skip `pub` / `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs()?;
+    c.skip_visibility();
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if c.at_punct('<') {
+        return Err(format!(
+            "vendored serde_derive cannot handle generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("unexpected struct body {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unexpected enum body {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let (_, default) = c.skip_attrs()?;
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        if !c.at_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.next();
+        skip_type(&mut c);
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Skip a type expression up to a top-level `,` (angle-bracket aware;
+/// commas inside `<...>` or grouped tokens do not terminate).
+fn skip_type(c: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = c.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                c.next();
+                return;
+            }
+            _ => {}
+        }
+        c.next();
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0;
+    while c.peek().is_some() {
+        // Field attrs are possible but unused in this workspace; the
+        // attr tokens are skipped by skip_type's flat walk anyway.
+        count += 1;
+        skip_type(&mut c);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs()?;
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                c.next();
+                Shape::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "vendored serde_derive cannot handle struct variant `{name}`"
+                ));
+            }
+            _ => Shape::Unit,
+        };
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+                    for f in fields {
+                        s.push_str(&format!(
+                            "__m.insert(::std::string::String::from({n:?}), \
+                             ::serde::Serialize::to_value(&self.{n}));\n",
+                            n = f.name
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(__m)");
+                    s
+                }
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                         ::std::string::String::from({v:?})),\n",
+                        v = v.name
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from({v:?}), {inner});\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            v = v.name,
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(_) => unreachable!("struct variants rejected in parse"),
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, shape } => match shape {
+            Shape::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    let missing = if f.default {
+                        "::core::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::core::result::Result::Err(::serde::DeError::custom(\
+                             concat!({name:?}, \": missing field `\", {n:?}, \"`\")))",
+                            n = f.name
+                        )
+                    };
+                    inits.push_str(&format!(
+                        "{n}: match __obj.get({n:?}) {{\n\
+                         ::core::option::Option::Some(__x) => \
+                         ::serde::Deserialize::from_value(__x)?,\n\
+                         ::core::option::Option::None => {missing},\n}},\n",
+                        n = f.name
+                    ));
+                }
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(concat!({name:?}, \": expected object\")))?;\n\
+                     ::core::result::Result::Ok({name} {{\n{inits}}})"
+                )
+            }
+            Shape::Tuple(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            Shape::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let __arr = __v.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(concat!({name:?}, \": expected array\")))?;\n\
+                     if __arr.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::DeError::custom(\
+                     concat!({name:?}, \": wrong tuple length\")));\n}}\n\
+                     ::core::result::Result::Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                )
+            }
+            Shape::Unit => format!(
+                "match __v {{\n\
+                 ::serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+                 _ => ::core::result::Result::Err(::serde::DeError::custom(\
+                 concat!({name:?}, \": expected null\"))),\n}}"
+            ),
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "{v:?} => ::core::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "{v:?} => ::core::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__val)?)),\n",
+                        v = v.name
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                             let __arr = __val.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected variant array\"))?;\n\
+                             if __arr.len() != {n} {{\n\
+                             return ::core::result::Result::Err(\
+                             ::serde::DeError::custom(\"wrong variant arity\"));\n}}\n\
+                             ::core::result::Result::Ok({name}::{v}({elems}))\n}}\n",
+                            v = v.name,
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(_) => unreachable!("struct variants rejected in parse"),
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown {{}} variant {{:?}}\", {name:?}, __other))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__key, __val) = __m.iter().next().expect(\"len checked\");\n\
+                 match __key.as_str() {{\n{data_arms}\
+                 __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown {{}} variant {{:?}}\", {name:?}, __other))),\n}}\n}},\n\
+                 _ => ::core::result::Result::Err(::serde::DeError::custom(\
+                 concat!({name:?}, \": expected variant string or single-key object\"))),\n}}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
