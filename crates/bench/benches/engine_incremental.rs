@@ -1,0 +1,109 @@
+//! Incremental re-measurement vs full re-run under realistic churn.
+//!
+//! The longitudinal engine's reason to exist: one epoch of world churn
+//! (a handful of zone edits, route flaps and ROA changes) touches well
+//! under 1% of measured domains, so `StudyEngine::apply_events` should
+//! beat a from-scratch `run` by a wide margin — the reverse indices
+//! re-measure only the ranks a delta can actually affect.
+//!
+//! Besides the Criterion comparison, the bench writes a machine-readable
+//! summary (mean per-epoch apply cost, full-run cost, speedup) to
+//! `results/BENCH_incremental.json` so the acceptance number survives
+//! the run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki_bench::Study;
+use ripki_websim::churn::{ChurnConfig, ChurnStream, EpochChurn};
+use std::time::Instant;
+
+/// Pre-generated churn epochs; cycled during timing so every iteration
+/// applies a real, non-empty batch.
+const EPOCHS: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let domains = study.results.domains.len();
+    let mut stream = ChurnStream::new(&study.scenario, ChurnConfig::default());
+    let batches: Vec<EpochChurn> = (0..EPOCHS).map(|_| stream.next_epoch()).collect();
+    let events_per_epoch =
+        batches.iter().map(|b| b.events.len()).sum::<usize>() as f64 / EPOCHS as f64;
+
+    let engine = &study.engine;
+    let mut results = study.results.clone();
+    // First apply builds the reverse indices; pay that outside the
+    // timed region, as a long-lived engine would.
+    engine.apply_events(&batches[0], &mut results);
+
+    // Instant-based acceptance measurement: mean apply cost over the
+    // batch cycle vs mean full re-run cost on the same snapshot.
+    let mut remeasured = 0usize;
+    let t0 = Instant::now();
+    for batch in batches.iter().cycle().take(EPOCHS * 4) {
+        let delta = engine.apply_events(batch, &mut results);
+        remeasured += delta.domains_remeasured;
+    }
+    let incremental_s = t0.elapsed().as_secs_f64() / (EPOCHS * 4) as f64;
+    let mean_remeasured = remeasured as f64 / (EPOCHS * 4) as f64;
+
+    let t0 = Instant::now();
+    let full_runs = 3;
+    for _ in 0..full_runs {
+        let _ = engine.run(&study.scenario.ranking);
+    }
+    let full_s = t0.elapsed().as_secs_f64() / full_runs as f64;
+    let speedup = full_s / incremental_s.max(f64::EPSILON);
+
+    println!("\n=== engine: incremental apply_events vs full re-run ===");
+    println!(
+        "{domains} domains, {events_per_epoch:.1} events/epoch touching {mean_remeasured:.1} \
+         domains ({:.3}% churn)",
+        100.0 * mean_remeasured / domains.max(1) as f64,
+    );
+    println!(
+        "incremental {:.3} ms/epoch, full re-run {:.1} ms, speedup {speedup:.1}x",
+        incremental_s * 1e3,
+        full_s * 1e3,
+    );
+
+    let mut json = serde_json::Map::new();
+    let num = |v: f64| serde_json::to_value(&v).expect("f64 serializes");
+    json.insert("bench".into(), "engine_incremental".into());
+    json.insert(
+        "domains".into(),
+        serde_json::to_value(&domains).expect("usize serializes"),
+    );
+    json.insert("events_per_epoch".into(), num(events_per_epoch));
+    json.insert("mean_domains_remeasured".into(), num(mean_remeasured));
+    json.insert(
+        "churn_fraction".into(),
+        num(mean_remeasured / domains.max(1) as f64),
+    );
+    json.insert("incremental_ms_per_epoch".into(), num(incremental_s * 1e3));
+    json.insert("full_rerun_ms".into(), num(full_s * 1e3));
+    json.insert("speedup".into(), num(speedup));
+    let json = serde_json::Value::Object(json);
+    let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(results_dir).ok();
+    let path = format!("{results_dir}/BENCH_incremental.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    let mut group = c.benchmark_group("engine_incremental");
+    group.sample_size(10);
+    let mut cycle = batches.iter().cycle();
+    group.bench_function("apply_events_one_epoch", |b| {
+        b.iter(|| {
+            let batch = cycle.next().expect("cycle is infinite");
+            engine.apply_events(batch, &mut results)
+        })
+    });
+    group.bench_function("full_rerun", |b| {
+        b.iter(|| engine.run(&study.scenario.ranking))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

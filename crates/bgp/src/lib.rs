@@ -49,6 +49,6 @@ pub mod topology;
 
 pub use dump::TableDump;
 pub use path::{AsPath, Origin, Segment};
-pub use rib::{Rib, RibEntry};
+pub use rib::{Rib, RibChanges, RibDelta, RibEntry, RibOp};
 pub use rov::{RouteOriginValidator, RpkiState};
 pub use topology::{Relationship, Topology};

@@ -9,8 +9,15 @@
 
 use crate::path::{AsPath, Origin};
 use ripki_net::{Asn, IpPrefix, PrefixTrie};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::net::IpAddr;
+use std::sync::Arc;
+
+/// Parent-chain length at which [`Rib::apply`] flattens into a fresh
+/// root instead of adding another layer. RIB layers are smaller but
+/// more frequent than zone layers (route flap), so the bound is tighter.
+pub const MAX_LAYER_DEPTH: usize = 16;
 
 /// One table entry: a prefix announced with an AS path, as seen from a
 /// collector peer.
@@ -75,10 +82,20 @@ impl AddressMapping {
 }
 
 /// A full table: multiple entries may exist per prefix (one per peer).
+///
+/// Like the DNS `ZoneStore`'s layering (see `ripki-dns`), a `Rib`
+/// is either a *root* (all groups local) or a thin layer over a shared
+/// `Arc` parent produced by [`Rib::apply`]. In a layer, an entry under a
+/// prefix shadows the parent's group for that prefix, and an *empty*
+/// group is a withdrawal tombstone. All read paths treat an empty group
+/// as "prefix not in table".
 #[derive(Debug, Clone, Default)]
 pub struct Rib {
     trie: PrefixTrie<Vec<RibEntry>>,
     entry_count: usize,
+    prefix_count: usize,
+    parent: Option<Arc<Rib>>,
+    depth: usize,
 }
 
 impl Rib {
@@ -87,14 +104,42 @@ impl Rib {
         Rib::default()
     }
 
+    /// Effective entry group for `prefix`, honouring tombstones.
+    fn effective_entries(&self, prefix: &IpPrefix) -> Option<&Vec<RibEntry>> {
+        if let Some(v) = self.trie.get(prefix) {
+            return if v.is_empty() { None } else { Some(v) };
+        }
+        self.parent
+            .as_ref()
+            .and_then(|p| p.effective_entries(prefix))
+    }
+
     /// Insert an entry.
     pub fn insert(&mut self, entry: RibEntry) {
         self.entry_count += 1;
-        if let Some(existing) = self.trie.get_mut(&entry.prefix) {
-            existing.push(entry);
-        } else {
-            self.trie.insert(entry.prefix, vec![entry]);
+        let prefix = entry.prefix;
+        if let Some(local) = self.trie.get_mut(&prefix) {
+            if local.is_empty() {
+                // Re-announcing a prefix this layer had withdrawn.
+                self.prefix_count += 1;
+            }
+            local.push(entry);
+            return;
         }
+        let inherited = self
+            .parent
+            .as_ref()
+            .and_then(|p| p.effective_entries(&prefix))
+            .cloned();
+        let mut group = match inherited {
+            Some(v) => v,
+            None => {
+                self.prefix_count += 1;
+                Vec::new()
+            }
+        };
+        group.push(entry);
+        self.trie.insert(prefix, group);
     }
 
     /// Number of entries (not distinct prefixes).
@@ -109,21 +154,63 @@ impl Rib {
 
     /// Number of distinct prefixes.
     pub fn prefix_count(&self) -> usize {
-        self.trie.len()
+        self.prefix_count
+    }
+
+    /// Number of layers above the root (0 for a root table).
+    pub fn layer_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Covering groups for `addr` from every layer, nearest layer wins.
+    fn collect_covering<'a>(
+        &'a self,
+        addr: IpAddr,
+        groups: &mut HashMap<IpPrefix, &'a Vec<RibEntry>>,
+    ) {
+        for (p, v) in self.trie.covering_addr(addr) {
+            groups.entry(p).or_insert(v);
+        }
+        if let Some(parent) = &self.parent {
+            parent.collect_covering(addr, groups);
+        }
+    }
+
+    /// Every group from every layer, nearest layer wins.
+    fn collect_all<'a>(&'a self, groups: &mut HashMap<IpPrefix, &'a Vec<RibEntry>>) {
+        for (p, v) in self.trie.iter() {
+            groups.entry(p).or_insert(v);
+        }
+        if let Some(parent) = &self.parent {
+            parent.collect_all(groups);
+        }
     }
 
     /// All entries for covering prefixes of `addr` (most general first).
     pub fn lookup_addr(&self, addr: IpAddr) -> Vec<&RibEntry> {
-        self.trie
-            .covering_addr(addr)
-            .into_iter()
-            .flat_map(|(_, v)| v.iter())
-            .collect()
+        if self.parent.is_none() {
+            return self
+                .trie
+                .covering_addr(addr)
+                .into_iter()
+                .flat_map(|(_, v)| v.iter())
+                .collect();
+        }
+        let mut groups = HashMap::new();
+        self.collect_covering(addr, &mut groups);
+        let mut found: Vec<(IpPrefix, &Vec<RibEntry>)> =
+            groups.into_iter().filter(|(_, v)| !v.is_empty()).collect();
+        // Covering prefixes of one address are nested, so ascending
+        // length reproduces the trie's most-general-first order.
+        found.sort_by_key(|(p, _)| p.len());
+        found.into_iter().flat_map(|(_, v)| v.iter()).collect()
     }
 
     /// All entries stored under exactly `prefix`.
     pub fn entries_for(&self, prefix: &IpPrefix) -> &[RibEntry] {
-        self.trie.get(prefix).map(Vec::as_slice).unwrap_or(&[])
+        self.effective_entries(prefix)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Step 3 of the methodology: all (covering prefix, origin AS) pairs
@@ -150,7 +237,123 @@ impl Rib {
 
     /// Iterate every entry (grouped by prefix, IPv4 first).
     pub fn iter(&self) -> impl Iterator<Item = &RibEntry> {
-        self.trie.iter().into_iter().flat_map(|(_, v)| v.iter())
+        let groups: Vec<(IpPrefix, &Vec<RibEntry>)> = if self.parent.is_none() {
+            self.trie
+                .iter()
+                .into_iter()
+                .filter(|(_, v)| !v.is_empty())
+                .collect()
+        } else {
+            let mut map = HashMap::new();
+            self.collect_all(&mut map);
+            let mut v: Vec<_> = map.into_iter().filter(|(_, g)| !g.is_empty()).collect();
+            v.sort_by_key(|(p, _)| *p);
+            v
+        };
+        groups.into_iter().flat_map(|(_, v)| v.iter())
+    }
+
+    /// Collapse the whole parent chain into a fresh root table.
+    pub fn flatten(&self) -> Rib {
+        let mut map = HashMap::new();
+        self.collect_all(&mut map);
+        let mut ordered: Vec<_> = map.into_iter().filter(|(_, g)| !g.is_empty()).collect();
+        ordered.sort_by_key(|(p, _)| *p);
+        let mut flat = Rib::new();
+        for (prefix, group) in ordered {
+            flat.entry_count += group.len();
+            flat.prefix_count += 1;
+            flat.trie.insert(prefix, group.clone());
+        }
+        flat
+    }
+
+    /// Replace the effective entry group for `prefix`, keeping counters
+    /// accurate. An empty group is a withdrawal.
+    fn set_entries(&mut self, prefix: IpPrefix, entries: Vec<RibEntry>) {
+        match self.effective_entries(&prefix).map(Vec::len) {
+            Some(len) => self.entry_count -= len,
+            None => {
+                if entries.is_empty() {
+                    return;
+                }
+                self.prefix_count += 1;
+            }
+        }
+        if entries.is_empty() {
+            self.prefix_count -= 1;
+            if self
+                .parent
+                .as_ref()
+                .is_some_and(|p| p.effective_entries(&prefix).is_some())
+            {
+                self.trie.insert(prefix, Vec::new()); // tombstone
+            } else {
+                self.trie.remove(&prefix);
+            }
+        } else {
+            self.entry_count += entries.len();
+            self.trie.insert(prefix, entries);
+        }
+    }
+
+    /// Apply `delta` on top of `parent`, producing a structurally-shared
+    /// successor plus the set of prefixes whose entry group actually
+    /// changed (no-op announcements / withdrawals of absent routes are
+    /// filtered out).
+    ///
+    /// `Announce` follows BGP implicit-withdraw semantics: it replaces
+    /// any existing path from the same peer for that prefix.
+    pub fn apply(parent: Arc<Rib>, delta: &RibDelta) -> (Rib, RibChanges) {
+        let mut next = if parent.depth + 1 > MAX_LAYER_DEPTH {
+            parent.flatten()
+        } else {
+            Rib {
+                trie: PrefixTrie::default(),
+                entry_count: parent.entry_count,
+                prefix_count: parent.prefix_count,
+                depth: parent.depth + 1,
+                parent: Some(parent),
+            }
+        };
+        let mut changed = BTreeSet::new();
+        for op in &delta.ops {
+            match op {
+                RibOp::Announce(entry) => {
+                    let mut group = next
+                        .effective_entries(&entry.prefix)
+                        .cloned()
+                        .unwrap_or_default();
+                    if group.contains(entry) {
+                        continue;
+                    }
+                    group.retain(|e| e.peer != entry.peer);
+                    group.push(entry.clone());
+                    next.set_entries(entry.prefix, group);
+                    changed.insert(entry.prefix);
+                }
+                RibOp::Withdraw { prefix, peer } => {
+                    let Some(group) = next.effective_entries(prefix) else {
+                        continue;
+                    };
+                    if !group.iter().any(|e| e.peer == *peer) {
+                        continue;
+                    }
+                    let mut group = group.clone();
+                    group.retain(|e| e.peer != *peer);
+                    next.set_entries(*prefix, group);
+                    changed.insert(*prefix);
+                }
+                RibOp::WithdrawPrefix(prefix) => {
+                    if next.effective_entries(prefix).is_none() {
+                        continue;
+                    }
+                    next.set_entries(*prefix, Vec::new());
+                    changed.insert(*prefix);
+                }
+            }
+        }
+        (next, RibChanges { changed })
     }
 
     /// All distinct (prefix, origin) pairs in the whole table — the
@@ -169,6 +372,62 @@ impl Rib {
         out.sort();
         out.dedup();
         out
+    }
+}
+
+/// One route-table mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RibOp {
+    /// A peer announces a path for a prefix (implicit withdraw of its
+    /// previous path for that prefix, per BGP).
+    Announce(RibEntry),
+    /// One peer withdraws its route for a prefix.
+    Withdraw { prefix: IpPrefix, peer: Asn },
+    /// Every peer's route for a prefix disappears (origin went dark).
+    WithdrawPrefix(IpPrefix),
+}
+
+/// An ordered batch of route-table mutations for one epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RibDelta {
+    pub ops: Vec<RibOp>,
+}
+
+impl RibDelta {
+    pub fn new() -> RibDelta {
+        RibDelta::default()
+    }
+
+    pub fn announce(&mut self, entry: RibEntry) {
+        self.ops.push(RibOp::Announce(entry));
+    }
+
+    pub fn withdraw(&mut self, prefix: IpPrefix, peer: Asn) {
+        self.ops.push(RibOp::Withdraw { prefix, peer });
+    }
+
+    pub fn withdraw_prefix(&mut self, prefix: IpPrefix) {
+        self.ops.push(RibOp::WithdrawPrefix(prefix));
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Prefixes whose effective entry group changed when a delta was applied.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RibChanges {
+    pub changed: BTreeSet<IpPrefix>,
+}
+
+impl RibChanges {
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
     }
 }
 
@@ -279,6 +538,169 @@ mod tests {
         rib.insert(entry("2001:db8::/32", &[1, 3], 100));
         let pairs = rib.all_prefix_origins();
         assert_eq!(pairs.len(), 2);
+    }
+
+    /// Replay ops into a flat Rib (rebuild from scratch) for comparison.
+    fn flat_replay(base: &Rib, deltas: &[RibDelta]) -> Rib {
+        let mut groups: Vec<(IpPrefix, Vec<RibEntry>)> = {
+            let mut map: HashMap<IpPrefix, Vec<RibEntry>> = HashMap::new();
+            for e in base.iter() {
+                map.entry(e.prefix).or_default().push(e.clone());
+            }
+            map.into_iter().collect()
+        };
+        for delta in deltas {
+            for op in &delta.ops {
+                match op {
+                    RibOp::Announce(e) => {
+                        let idx = groups.iter().position(|(p, _)| *p == e.prefix);
+                        let group = match idx {
+                            Some(i) => &mut groups[i].1,
+                            None => {
+                                groups.push((e.prefix, Vec::new()));
+                                &mut groups.last_mut().unwrap().1
+                            }
+                        };
+                        group.retain(|x| x.peer != e.peer);
+                        group.push(e.clone());
+                    }
+                    RibOp::Withdraw { prefix, peer } => {
+                        if let Some((_, g)) = groups.iter_mut().find(|(p, _)| p == prefix) {
+                            g.retain(|x| x.peer != *peer);
+                        }
+                    }
+                    RibOp::WithdrawPrefix(prefix) => {
+                        if let Some((_, g)) = groups.iter_mut().find(|(p, _)| p == prefix) {
+                            g.clear();
+                        }
+                    }
+                }
+            }
+        }
+        groups.into_iter().flat_map(|(_, g)| g).collect()
+    }
+
+    fn assert_equivalent(layered: &Rib, flat: &Rib, addrs: &[&str], prefixes: &[&str]) {
+        assert_eq!(layered.len(), flat.len(), "entry count");
+        assert_eq!(layered.prefix_count(), flat.prefix_count(), "prefix count");
+        for s in addrs {
+            let addr = a(s);
+            let mut l = layered.lookup_addr(addr);
+            let mut f = flat.lookup_addr(addr);
+            l.sort_by_key(|e| (e.prefix, e.peer));
+            f.sort_by_key(|e| (e.prefix, e.peer));
+            assert_eq!(l, f, "lookup_addr mismatch for {s}");
+            assert_eq!(
+                layered.origins_for_addr(addr),
+                flat.origins_for_addr(addr),
+                "origins mismatch for {s}"
+            );
+        }
+        for s in prefixes {
+            let p: IpPrefix = s.parse().unwrap();
+            let mut l = layered.entries_for(&p).to_vec();
+            let mut f = flat.entries_for(&p).to_vec();
+            l.sort_by_key(|e| e.peer);
+            f.sort_by_key(|e| e.peer);
+            assert_eq!(l, f, "entries_for mismatch at {s}");
+        }
+        assert_eq!(layered.all_prefix_origins(), flat.all_prefix_origins());
+    }
+
+    fn cow_base() -> Rib {
+        let mut rib = Rib::new();
+        rib.insert(entry("10.0.0.0/8", &[1, 2], 100));
+        rib.insert(entry("10.0.0.0/8", &[3, 2], 200));
+        rib.insert(entry("10.1.0.0/16", &[1, 5], 100));
+        rib.insert(entry("20.0.0.0/8", &[1, 7], 100));
+        rib
+    }
+
+    #[test]
+    fn layered_apply_matches_flat_replay() {
+        let base = cow_base();
+        let mut delta = RibDelta::new();
+        // More-specific hijack announcement.
+        delta.announce(entry("10.1.0.0/24", &[3, 666], 200));
+        // Path change from an existing peer (implicit withdraw).
+        delta.announce(entry("10.0.0.0/8", &[1, 9, 2], 100));
+        // One peer drops a route.
+        delta.withdraw("10.0.0.0/8".parse().unwrap(), Asn::new(200));
+        // A prefix goes dark entirely.
+        delta.withdraw_prefix("20.0.0.0/8".parse().unwrap());
+
+        let flat = flat_replay(&base, std::slice::from_ref(&delta));
+        let (layered, changes) = Rib::apply(Arc::new(base), &delta);
+        assert_eq!(layered.layer_depth(), 1);
+        assert_eq!(changes.changed.len(), 3);
+        assert_equivalent(
+            &layered,
+            &flat,
+            &["10.1.0.5", "10.5.5.5", "20.1.1.1", "9.9.9.9"],
+            &["10.0.0.0/8", "10.1.0.0/16", "10.1.0.0/24", "20.0.0.0/8"],
+        );
+        assert_equivalent(
+            &layered.flatten(),
+            &flat,
+            &["10.1.0.5", "20.1.1.1"],
+            &["10.0.0.0/8", "20.0.0.0/8"],
+        );
+    }
+
+    #[test]
+    fn noop_ops_report_no_change() {
+        let base = cow_base();
+        let mut delta = RibDelta::new();
+        // Identical announcement.
+        delta.announce(entry("10.0.0.0/8", &[1, 2], 100));
+        // Withdrawal of a route that does not exist.
+        delta.withdraw("10.0.0.0/8".parse().unwrap(), Asn::new(999));
+        delta.withdraw_prefix("99.0.0.0/8".parse().unwrap());
+        let (next, changes) = Rib::apply(Arc::new(base.clone()), &delta);
+        assert!(changes.is_empty());
+        assert_eq!(next.len(), base.len());
+        assert_eq!(next.prefix_count(), base.prefix_count());
+    }
+
+    #[test]
+    fn tombstone_hides_parent_and_reannounce_revives() {
+        let base = Arc::new(cow_base());
+        let mut d1 = RibDelta::new();
+        d1.withdraw_prefix("10.1.0.0/16".parse().unwrap());
+        let (l1, _) = Rib::apply(base.clone(), &d1);
+        assert!(l1.entries_for(&"10.1.0.0/16".parse().unwrap()).is_empty());
+        // Parent untouched; /8 still covers.
+        assert_eq!(base.lookup_addr(a("10.1.2.3")).len(), 3);
+        assert_eq!(l1.lookup_addr(a("10.1.2.3")).len(), 2);
+
+        let mut d2 = RibDelta::new();
+        d2.announce(entry("10.1.0.0/16", &[4, 8], 300));
+        let (l2, c2) = Rib::apply(Arc::new(l1), &d2);
+        assert_eq!(c2.changed.len(), 1);
+        assert_eq!(l2.entries_for(&"10.1.0.0/16".parse().unwrap()).len(), 1);
+        assert_eq!(l2.layer_depth(), 2);
+    }
+
+    #[test]
+    fn deep_chains_compact() {
+        let mut current = Arc::new(cow_base());
+        for i in 0..(MAX_LAYER_DEPTH + 4) {
+            let mut delta = RibDelta::new();
+            delta.announce(entry(
+                "30.0.0.0/8",
+                &[1, 40 + (i as u32 % 5)],
+                100 + i as u32,
+            ));
+            let (next, changes) = Rib::apply(current, &delta);
+            assert!(!changes.is_empty());
+            assert!(next.layer_depth() <= MAX_LAYER_DEPTH + 1);
+            current = Arc::new(next);
+        }
+        // One entry per distinct peer survives the implicit withdraws.
+        assert_eq!(
+            current.entries_for(&"30.0.0.0/8".parse().unwrap()).len(),
+            MAX_LAYER_DEPTH + 4
+        );
     }
 
     #[test]

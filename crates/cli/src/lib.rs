@@ -19,16 +19,18 @@
 
 use ripki::classify::HttpArchiveClassifier;
 use ripki::engine::StudyEngine;
+use ripki::exposure::{exposure_curve, ExposureConfig};
 use ripki::figures;
 use ripki::pipeline::PipelineConfig;
 use ripki::report::HeadlineStats;
 use ripki::tables;
 use ripki_bgp::dump::TableDump;
-use ripki_bgp::rov::{RouteOriginValidator, VrpTriple};
+use ripki_bgp::rov::{RouteOriginValidator, RpkiState, VrpTriple};
 use ripki_dns::DomainName;
 use ripki_net::{Asn, IpPrefix};
 use ripki_rpki::time::SimTime;
 use ripki_rpki::validate;
+use ripki_websim::churn::{ChurnConfig, ChurnStream};
 use ripki_websim::{Scenario, ScenarioConfig};
 use std::fmt;
 use std::io::Write;
@@ -81,6 +83,10 @@ USAGE:
       run the full four-step measurement from the data files
   ripki-cli rtr-serve --data DIR --listen ADDR
       validate, then serve the VRPs over RPKI-to-Router (RFC 6810)
+  ripki-cli longitudinal [--domains N] [--seed S] [--epochs E]
+                         [--churn-seed C] [--stride K]
+      replay E epochs of world churn through the incremental engine
+      and report validation outcome + hijack exposure over time
   ripki-cli help
       this text";
 
@@ -143,6 +149,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "rov" => cmd_rov(&flags, out),
         "study" => cmd_study(&flags, out),
         "rtr-serve" => cmd_rtr_serve(&flags, out),
+        "longitudinal" => cmd_longitudinal(&flags, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -438,6 +445,149 @@ fn cmd_rtr_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// One row of the longitudinal report: aggregate validation outcome and
+/// hijack exposure of the measured domains at one epoch.
+fn longitudinal_row(
+    scenario: &Scenario,
+    results: &ripki::StudyResults,
+    vrps: &[VrpTriple],
+    exposure_cfg: &ExposureConfig,
+) -> (f64, f64, f64) {
+    let (mut valid, mut covered, mut total) = (0usize, 0usize, 0usize);
+    for d in &results.domains {
+        for p in d.bare.pairs.iter().chain(&d.www.pairs) {
+            total += 1;
+            if p.state == RpkiState::Valid {
+                valid += 1;
+            }
+            if p.state != RpkiState::NotFound {
+                covered += 1;
+            }
+        }
+    }
+    let share = |n: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            n as f64 / total as f64
+        }
+    };
+    let validator = RouteOriginValidator::from_vrps(vrps.iter().copied());
+    let exposures = exposure_curve(
+        &results.domains,
+        &scenario.topology,
+        &validator,
+        exposure_cfg,
+    );
+    let capture = if exposures.is_empty() {
+        0.0
+    } else {
+        exposures.iter().map(|e| e.capture_rate).sum::<f64>() / exposures.len() as f64
+    };
+    (share(valid), share(covered), capture)
+}
+
+fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let domains: usize = flags.get_parsed("domains", 2_000)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let epochs: u64 = flags.get_parsed("epochs", 8)?;
+    let churn_seed: u64 = flags.get_parsed("churn-seed", ChurnConfig::default().seed)?;
+    let stride: usize = flags.get_parsed("stride", 50)?;
+    writeln!(
+        out,
+        "longitudinal study: {domains} domains, seed {seed}, {epochs} epochs of churn"
+    )?;
+
+    let scenario = Scenario::build(ScenarioConfig {
+        seed,
+        ..ScenarioConfig::with_domains(domains)
+    });
+    let engine = StudyEngine::new(
+        scenario.zones.clone(),
+        scenario.rib.clone(),
+        &scenario.repository,
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now: scenario.now,
+            ..Default::default()
+        },
+    );
+    let mut results = engine.run(&scenario.ranking);
+
+    // The RTR cache shadows the engine: each epoch's VRPs are installed
+    // under the epoch as serial, so routers incrementally track the
+    // same delta stream the measurement does.
+    let cache = ripki_rtr::CacheServer::new(0x1715);
+    let exposure_cfg = ExposureConfig {
+        stride: stride.max(1),
+        ..Default::default()
+    };
+
+    writeln!(
+        out,
+        "{:>5} {:>7} {:>6} {:>5} {:>5} {:>6} {:>7} {:>7} {:>9}",
+        "epoch", "events", "remeas", "+vrp", "-vrp", "vrps", "valid%", "cover%", "capture%"
+    )?;
+    let print_row = |out: &mut dyn Write,
+                     results: &ripki::StudyResults,
+                     epoch: u64,
+                     events: usize,
+                     remeasured: usize,
+                     announced: usize,
+                     withdrawn: usize|
+     -> Result<(), CliError> {
+        let snapshot = engine.snapshot();
+        cache.install_snapshot(snapshot.epoch() as u32, snapshot.vrps().iter().copied());
+        let (valid, covered, capture) =
+            longitudinal_row(&scenario, results, snapshot.vrps(), &exposure_cfg);
+        writeln!(
+            out,
+            "{:>5} {:>7} {:>6} {:>5} {:>5} {:>6} {:>6.1}% {:>6.1}% {:>8.1}%",
+            epoch,
+            events,
+            remeasured,
+            announced,
+            withdrawn,
+            snapshot.vrps().len(),
+            valid * 100.0,
+            covered * 100.0,
+            capture * 100.0,
+        )?;
+        Ok(())
+    };
+    print_row(out, &results, results.epoch, 0, results.domains.len(), 0, 0)?;
+
+    let mut stream = ChurnStream::new(
+        &scenario,
+        ChurnConfig {
+            seed: churn_seed,
+            ..ChurnConfig::default()
+        },
+    );
+    for _ in 0..epochs {
+        let batch = stream.next_epoch();
+        let events = batch.events.len();
+        let delta = engine.apply_events(&batch, &mut results);
+        print_row(
+            out,
+            &results,
+            delta.to_epoch,
+            events,
+            delta.domains_remeasured,
+            delta.announced.len(),
+            delta.withdrawn.len(),
+        )?;
+    }
+    writeln!(
+        out,
+        "final epoch {}, RTR serial {}, {} VRPs cached",
+        engine.epoch(),
+        engine.epoch(),
+        cache.vrp_count(),
+    )?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,6 +687,31 @@ mod tests {
         assert!(text.contains("domains measured:          1500"));
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn longitudinal_replays_churn_epochs() {
+        let text = run_ok(&[
+            "longitudinal",
+            "--domains",
+            "300",
+            "--seed",
+            "5",
+            "--epochs",
+            "3",
+            "--stride",
+            "25",
+        ]);
+        assert!(text.contains("3 epochs of churn"), "{text}");
+        // Initial epoch-1 row plus one row per churn epoch.
+        assert!(text.contains("epoch"), "{text}");
+        let rows: Vec<&str> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+            .collect();
+        assert_eq!(rows.len(), 4, "{text}");
+        // Epoch == RTR serial all the way through.
+        assert!(text.contains("final epoch 4, RTR serial 4"), "{text}");
     }
 
     #[test]

@@ -84,6 +84,25 @@ impl<'z> FaultyResolver<'z> {
         self.inner.resolve_cached(name, cache)
     }
 
+    /// Like [`resolve_cached`](Self::resolve_cached), but also reports
+    /// the touched-name dependency set (see
+    /// [`Resolver::resolve_cached_traced`]). A corrupted answer depends
+    /// only on the query name: corruption keys on the name itself and
+    /// never consults zone data.
+    pub fn resolve_cached_traced(
+        &self,
+        name: &DomainName,
+        cache: &crate::cache::ResolutionCache,
+    ) -> crate::resolver::TracedResolution {
+        if self.is_corrupted(name) {
+            return crate::resolver::TracedResolution {
+                outcome: Ok(self.bogus_resolution(name)),
+                touched: vec![name.clone()],
+            };
+        }
+        self.inner.resolve_cached_traced(name, cache)
+    }
+
     fn bogus_resolution(&self, name: &DomainName) -> Resolution {
         let h = fnv1a(self.seed.wrapping_add(1), name.as_str().as_bytes());
         let bogus = BOGUS_POOL[(h % BOGUS_POOL.len() as u64) as usize];

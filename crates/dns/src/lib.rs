@@ -44,6 +44,6 @@ pub mod zonefile;
 pub use cache::ResolutionCache;
 pub use name::DomainName;
 pub use record::RecordData;
-pub use resolver::{Resolution, ResolveError, Resolver};
+pub use resolver::{Resolution, ResolveError, Resolver, TracedResolution};
 pub use vantage::Vantage;
-pub use zone::ZoneStore;
+pub use zone::{ZoneChanges, ZoneDelta, ZoneOp, ZoneStore};

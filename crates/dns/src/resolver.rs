@@ -72,6 +72,17 @@ impl Resolution {
     }
 }
 
+/// A resolution outcome plus every name whose records were consulted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedResolution {
+    /// Exactly what [`Resolver::resolve_cached`] would have returned.
+    pub outcome: Result<Resolution, ResolveError>,
+    /// Every name whose zone data the walk depended on: the query, each
+    /// CNAME target followed, and each memoized-tail node spliced in.
+    /// A zone edit touching none of these names cannot change `outcome`.
+    pub touched: Vec<DomainName>,
+}
+
 /// A resolver bound to a zone store and a vantage point.
 #[derive(Debug, Clone, Copy)]
 pub struct Resolver<'z> {
@@ -180,6 +191,80 @@ impl<'z> Resolver<'z> {
                 addresses,
                 authenticated,
             });
+        }
+    }
+
+    /// Like [`resolve_cached`](Self::resolve_cached), but also reports
+    /// every name whose zone data the walk consulted. The incremental
+    /// engine uses the touched set as a dependency list: a zone delta
+    /// that changes none of the touched names cannot alter `outcome`
+    /// (the walk never read anything else). The set is a slight
+    /// over-approximation on errors — memoized tail nodes past a loop /
+    /// length violation are included even though the walk stopped early.
+    pub fn resolve_cached_traced(
+        &self,
+        name: &DomainName,
+        cache: &ResolutionCache,
+    ) -> TracedResolution {
+        assert_eq!(
+            cache.vantage(),
+            self.vantage,
+            "resolution cache pinned to a different vantage"
+        );
+        let mut touched = vec![name.clone()];
+        let mut chain: Vec<DomainName> = Vec::new();
+        let mut current = name.clone();
+        let mut authenticated = self.zones.is_signed(name);
+        loop {
+            if let Some(tail) = cache.get(&current) {
+                touched.extend(tail.chain.iter().cloned());
+                let outcome = self.splice(name, chain, authenticated, &tail);
+                return TracedResolution { outcome, touched };
+            }
+            let Some(records) = self.zones.lookup(&current, self.vantage) else {
+                cache.fill(&chain, &Terminal::NxDomain(current.clone()));
+                return TracedResolution {
+                    outcome: Err(ResolveError::NxDomain(current)),
+                    touched,
+                };
+            };
+            if let Some(target) = records.iter().find_map(RecordData::cname) {
+                if chain.len() + 1 > MAX_CHAIN {
+                    return TracedResolution {
+                        outcome: Err(ResolveError::ChainTooLong(name.clone())),
+                        touched,
+                    };
+                }
+                if *target == *name || chain.contains(target) {
+                    return TracedResolution {
+                        outcome: Err(ResolveError::CnameLoop(target.clone())),
+                        touched,
+                    };
+                }
+                authenticated &= self.zones.is_signed(target);
+                touched.push(target.clone());
+                chain.push(target.clone());
+                current = target.clone();
+                continue;
+            }
+            let addresses: Vec<IpAddr> = records.iter().filter_map(RecordData::addr).collect();
+            if addresses.is_empty() {
+                cache.fill(&chain, &Terminal::NoAddress(current.clone()));
+                return TracedResolution {
+                    outcome: Err(ResolveError::NoAddress(current)),
+                    touched,
+                };
+            }
+            cache.fill(&chain, &Terminal::Addresses(addresses.clone()));
+            return TracedResolution {
+                outcome: Ok(Resolution {
+                    query: name.clone(),
+                    cname_chain: chain,
+                    addresses,
+                    authenticated,
+                }),
+                touched,
+            };
         }
     }
 
@@ -424,6 +509,45 @@ mod tests {
         let r = Resolver::new(&z, Vantage::GOOGLE_DNS_BERLIN);
         let cache = ResolutionCache::new(Vantage::OPEN_DNS);
         let _ = r.resolve_cached(&n("direct.example"), &cache);
+    }
+
+    #[test]
+    fn traced_resolution_matches_untraced_and_covers_chain() {
+        let z = store();
+        let r = Resolver::new(&z, Vantage::GOOGLE_DNS_BERLIN);
+        let cache = ResolutionCache::new(Vantage::GOOGLE_DNS_BERLIN);
+        for name in [
+            "direct.example",
+            "www.shop.example",
+            "a.loop.example",
+            "dangling.example",
+            "missing.example",
+        ] {
+            let name = n(name);
+            // Twice: once filling, once splicing from the cache.
+            for _ in 0..2 {
+                let traced = r.resolve_cached_traced(&name, &cache);
+                assert_eq!(traced.outcome, r.resolve(&name), "divergence on {name}");
+                assert_eq!(traced.touched[0], name);
+                if let Ok(res) = &traced.outcome {
+                    for link in &res.cname_chain {
+                        assert!(
+                            traced.touched.contains(link),
+                            "chain node {link} missing from touched set of {name}"
+                        );
+                    }
+                }
+            }
+        }
+        // The terminal name of a dangling CNAME is a dependency too: if
+        // void.example appeared, dangling.example would start resolving.
+        let traced = r.resolve_cached_traced(&n("dangling.example"), &cache);
+        assert!(
+            traced.touched.contains(&n("void.example")) || {
+                // NxDomain names the missing node; the walk consulted it.
+                matches!(&traced.outcome, Err(ResolveError::NxDomain(m)) if *m == n("void.example"))
+            }
+        );
     }
 
     #[test]

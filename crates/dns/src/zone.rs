@@ -4,22 +4,50 @@
 //! directly; there is no delegation tree to traverse). Per-vantage
 //! overrides model geo-DNS: a CDN name resolves to a nearby edge cache,
 //! so different vantage points receive different `A` records.
+//!
+//! # Copy-on-write layering
+//!
+//! A [`ZoneStore`] can be a *root* (all data local) or a *layer* over a
+//! shared parent (`Arc<ZoneStore>`). [`ZoneStore::apply`] consumes a
+//! [`ZoneDelta`] and produces a structurally-shared successor: only the
+//! touched names live in the new layer, everything else is answered by
+//! walking the parent chain. Removals are recorded as tombstones so a
+//! layer can hide a name its parent still carries. Chains are compacted
+//! (flattened into a fresh root) once they exceed [`MAX_LAYER_DEPTH`],
+//! bounding lookup cost.
+//!
+//! Deltas only touch *base* records; per-vantage overrides and DNSSEC
+//! signing flags always win regardless of layer, mirroring how geo-DNS
+//! steering and zone signing outlive individual record edits.
 
 use crate::name::DomainName;
 use crate::record::RecordData;
 use crate::vantage::Vantage;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::net::IpAddr;
+use std::sync::Arc;
+
+/// Parent-chain length at which [`ZoneStore::apply`] flattens into a
+/// fresh root instead of adding another layer.
+pub const MAX_LAYER_DEPTH: usize = 64;
 
 /// The authoritative record store.
 #[derive(Debug, Clone, Default)]
 pub struct ZoneStore {
     base: HashMap<DomainName, Vec<RecordData>>,
+    /// Tombstones: names present in an ancestor layer but deleted here.
+    removed: HashSet<DomainName>,
     overrides: HashMap<(DomainName, Vantage), Vec<RecordData>>,
     /// Zone apexes whose operators sign with DNSSEC. A name is
     /// authenticatable when it or a parent is listed here (modelling a
     /// validating resolver's AD bit, not the full DS/DNSKEY machinery).
     signed_zones: HashSet<DomainName>,
+    parent: Option<Arc<ZoneStore>>,
+    depth: usize,
+    /// Effective number of names with base records (whole chain).
+    names: usize,
+    /// Effective number of base records (whole chain).
+    records: usize,
 }
 
 impl ZoneStore {
@@ -31,7 +59,12 @@ impl ZoneStore {
     /// Append a record for `name` (visible from every vantage unless an
     /// override exists for that vantage).
     pub fn add(&mut self, name: DomainName, data: RecordData) {
-        self.base.entry(name).or_default().push(data);
+        let mut recs = self
+            .base_records(&name)
+            .map(<[_]>::to_vec)
+            .unwrap_or_default();
+        recs.push(data);
+        self.set_base_records(name, recs);
     }
 
     /// Append an address record for `name`.
@@ -47,48 +80,89 @@ impl ZoneStore {
     /// Append a record visible only from `vantage` (replacing the base
     /// answer for that vantage entirely).
     pub fn add_override(&mut self, name: DomainName, vantage: Vantage, data: RecordData) {
-        self.overrides
-            .entry((name, vantage))
-            .or_default()
-            .push(data);
+        let key = (name, vantage);
+        let mut recs = self
+            .override_records(&key.0, vantage)
+            .map(<[_]>::to_vec)
+            .unwrap_or_default();
+        recs.push(data);
+        self.overrides.insert(key, recs);
     }
 
     /// The records `vantage` receives for `name`.
     pub fn lookup(&self, name: &DomainName, vantage: Vantage) -> Option<&[RecordData]> {
+        if let Some(v) = self.override_records(name, vantage) {
+            return Some(v);
+        }
+        self.base_records(name)
+    }
+
+    /// Effective base records for `name`, honouring layer tombstones.
+    fn base_records(&self, name: &DomainName) -> Option<&[RecordData]> {
+        if let Some(v) = self.base.get(name) {
+            return Some(v);
+        }
+        if self.removed.contains(name) {
+            return None;
+        }
+        self.parent.as_ref().and_then(|p| p.base_records(name))
+    }
+
+    fn override_records(&self, name: &DomainName, vantage: Vantage) -> Option<&[RecordData]> {
         if let Some(v) = self.overrides.get(&(name.clone(), vantage)) {
             return Some(v);
         }
-        self.base.get(name).map(Vec::as_slice)
+        self.parent
+            .as_ref()
+            .and_then(|p| p.override_records(name, vantage))
+    }
+
+    fn has_any_override(&self, name: &DomainName) -> bool {
+        self.overrides.keys().any(|(n, _)| n == name)
+            || self
+                .parent
+                .as_ref()
+                .is_some_and(|p| p.has_any_override(name))
     }
 
     /// Whether any record exists for `name` from any vantage.
     pub fn contains(&self, name: &DomainName) -> bool {
-        self.base.contains_key(name) || self.overrides.keys().any(|(n, _)| n == name)
+        self.base_records(name).is_some() || self.has_any_override(name)
     }
 
     /// Number of names with base records.
     pub fn name_count(&self) -> usize {
-        self.base.len()
+        self.names
     }
 
     /// Total base records.
     pub fn record_count(&self) -> usize {
-        self.base.values().map(Vec::len).sum()
+        self.records
     }
 
     /// Mark `apex` as a DNSSEC-signed zone.
     pub fn set_signed(&mut self, apex: DomainName) {
-        self.signed_zones.insert(apex);
+        if !self.is_signed_exact(&apex) {
+            self.signed_zones.insert(apex);
+        }
+    }
+
+    fn is_signed_exact(&self, apex: &DomainName) -> bool {
+        self.signed_zones.contains(apex)
+            || self
+                .parent
+                .as_ref()
+                .is_some_and(|p| p.is_signed_exact(apex))
     }
 
     /// Whether `name` belongs to a signed zone (itself or any ancestor).
     pub fn is_signed(&self, name: &DomainName) -> bool {
-        if self.signed_zones.contains(name) {
+        if self.is_signed_exact(name) {
             return true;
         }
         let mut cursor = name.clone();
         while let Some(parent) = cursor.parent() {
-            if self.signed_zones.contains(&parent) {
+            if self.is_signed_exact(&parent) {
                 return true;
             }
             cursor = parent;
@@ -98,7 +172,170 @@ impl ZoneStore {
 
     /// Number of signed zone apexes.
     pub fn signed_zone_count(&self) -> usize {
-        self.signed_zones.len()
+        self.signed_zones.len() + self.parent.as_ref().map_or(0, |p| p.signed_zone_count())
+    }
+
+    /// Number of layers above the root (0 for a root store).
+    pub fn layer_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Replace the effective base record set for `name`, keeping the
+    /// name/record counters accurate. An empty `recs` is a removal.
+    fn set_base_records(&mut self, name: DomainName, recs: Vec<RecordData>) {
+        match self.base_records(&name).map(<[_]>::len) {
+            Some(len) => self.records -= len,
+            None => {
+                if recs.is_empty() {
+                    return;
+                }
+                self.names += 1;
+            }
+        }
+        if recs.is_empty() {
+            self.names -= 1;
+            self.base.remove(&name);
+            if self
+                .parent
+                .as_ref()
+                .is_some_and(|p| p.base_records(&name).is_some())
+            {
+                self.removed.insert(name);
+            } else {
+                self.removed.remove(&name);
+            }
+        } else {
+            self.records += recs.len();
+            self.removed.remove(&name);
+            self.base.insert(name, recs);
+        }
+    }
+
+    /// Collapse the whole parent chain into a fresh root store.
+    pub fn flatten(&self) -> ZoneStore {
+        let mut chain: Vec<&ZoneStore> = Vec::new();
+        let mut cursor = Some(self);
+        while let Some(s) = cursor {
+            chain.push(s);
+            cursor = s.parent.as_deref();
+        }
+        chain.reverse(); // root first, newest layer last
+        let mut flat = ZoneStore::new();
+        for layer in chain {
+            for name in &layer.removed {
+                flat.set_base_records(name.clone(), Vec::new());
+            }
+            for (name, recs) in &layer.base {
+                flat.set_base_records(name.clone(), recs.clone());
+            }
+            for (key, recs) in &layer.overrides {
+                flat.overrides.insert(key.clone(), recs.clone());
+            }
+            for apex in &layer.signed_zones {
+                flat.set_signed(apex.clone());
+            }
+        }
+        flat
+    }
+
+    /// Apply `delta` on top of `parent`, producing a structurally-shared
+    /// successor plus the set of names whose base answer actually
+    /// changed (idempotent ops are filtered out).
+    pub fn apply(parent: Arc<ZoneStore>, delta: &ZoneDelta) -> (ZoneStore, ZoneChanges) {
+        let mut next = if parent.depth + 1 > MAX_LAYER_DEPTH {
+            parent.flatten()
+        } else {
+            ZoneStore {
+                base: HashMap::new(),
+                removed: HashSet::new(),
+                overrides: HashMap::new(),
+                signed_zones: HashSet::new(),
+                names: parent.names,
+                records: parent.records,
+                depth: parent.depth + 1,
+                parent: Some(parent),
+            }
+        };
+        let mut changed = BTreeSet::new();
+        for op in &delta.ops {
+            match op {
+                ZoneOp::SetRecords(name, recs) => {
+                    let unchanged = next
+                        .base_records(name)
+                        .map_or(recs.is_empty(), |old| old == recs.as_slice());
+                    if unchanged {
+                        continue;
+                    }
+                    next.set_base_records(name.clone(), recs.clone());
+                    changed.insert(name.clone());
+                }
+                ZoneOp::Remove(name) => {
+                    if next.base_records(name).is_none() {
+                        continue;
+                    }
+                    next.set_base_records(name.clone(), Vec::new());
+                    changed.insert(name.clone());
+                }
+            }
+        }
+        (next, ZoneChanges { changed })
+    }
+}
+
+/// One edit to the base record set of a name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneOp {
+    /// Replace the full base record set for the name (empty = remove).
+    SetRecords(DomainName, Vec<RecordData>),
+    /// Delete all base records for the name.
+    Remove(DomainName),
+}
+
+/// An ordered batch of zone edits for one epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ZoneDelta {
+    pub ops: Vec<ZoneOp>,
+}
+
+impl ZoneDelta {
+    pub fn new() -> ZoneDelta {
+        ZoneDelta::default()
+    }
+
+    pub fn set_records(&mut self, name: DomainName, recs: Vec<RecordData>) {
+        self.ops.push(ZoneOp::SetRecords(name, recs));
+    }
+
+    pub fn set_addr(&mut self, name: DomainName, addr: IpAddr) {
+        self.set_records(name, vec![RecordData::from_addr(addr)]);
+    }
+
+    pub fn set_cname(&mut self, name: DomainName, target: DomainName) {
+        self.set_records(name, vec![RecordData::Cname(target)]);
+    }
+
+    pub fn remove(&mut self, name: DomainName) {
+        self.ops.push(ZoneOp::Remove(name));
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Names whose effective base answer changed when a delta was applied.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ZoneChanges {
+    pub changed: BTreeSet<DomainName>,
+}
+
+impl ZoneChanges {
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
     }
 }
 
@@ -167,6 +404,154 @@ mod tests {
         z.add_cname(n("www.shop.example"), n("shop.cdn.example"));
         let recs = z.lookup(&n("www.shop.example"), Vantage::OPEN_DNS).unwrap();
         assert_eq!(recs[0].cname().unwrap().as_str(), "shop.cdn.example");
+    }
+}
+
+#[cfg(test)]
+mod cow_tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn a(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn root() -> ZoneStore {
+        let mut z = ZoneStore::new();
+        z.add_addr(n("a.example"), a("85.1.0.1"));
+        z.add_addr(n("b.example"), a("85.1.0.2"));
+        z.add_cname(n("www.a.example"), n("edge.cdn.example"));
+        z.add_addr(n("edge.cdn.example"), a("9.9.1.1"));
+        z.set_signed(n("a.example"));
+        z.add_override(
+            n("edge.cdn.example"),
+            Vantage::OPEN_DNS,
+            RecordData::A("9.9.1.2".parse().unwrap()),
+        );
+        z
+    }
+
+    /// Replay the same ops into a flat (non-layered) store for comparison.
+    fn flat_replay(mut z: ZoneStore, delta: &ZoneDelta) -> ZoneStore {
+        for op in &delta.ops {
+            match op {
+                ZoneOp::SetRecords(name, recs) => z.set_base_records(name.clone(), recs.clone()),
+                ZoneOp::Remove(name) => z.set_base_records(name.clone(), Vec::new()),
+            }
+        }
+        z
+    }
+
+    fn assert_equivalent(layered: &ZoneStore, flat: &ZoneStore, names: &[&str]) {
+        for s in names {
+            let name = n(s);
+            for vantage in [Vantage::GOOGLE_DNS_BERLIN, Vantage::OPEN_DNS] {
+                assert_eq!(
+                    layered.lookup(&name, vantage),
+                    flat.lookup(&name, vantage),
+                    "lookup mismatch for {s}"
+                );
+            }
+            assert_eq!(layered.contains(&name), flat.contains(&name));
+            assert_eq!(layered.is_signed(&name), flat.is_signed(&name));
+        }
+        assert_eq!(layered.name_count(), flat.name_count());
+        assert_eq!(layered.record_count(), flat.record_count());
+        assert_eq!(layered.signed_zone_count(), flat.signed_zone_count());
+    }
+
+    #[test]
+    fn layered_apply_matches_flat_replay() {
+        let base = root();
+        let mut delta = ZoneDelta::new();
+        delta.set_addr(n("a.example"), a("85.2.0.9"));
+        delta.set_cname(n("www.a.example"), n("other.cdn.example"));
+        delta.set_addr(n("other.cdn.example"), a("9.9.2.2"));
+        delta.remove(n("b.example"));
+
+        let flat = flat_replay(base.clone(), &delta);
+        let (layered, changes) = ZoneStore::apply(Arc::new(base), &delta);
+        assert_eq!(layered.layer_depth(), 1);
+        assert_eq!(changes.changed.len(), 4);
+        assert_equivalent(
+            &layered,
+            &flat,
+            &[
+                "a.example",
+                "b.example",
+                "www.a.example",
+                "edge.cdn.example",
+                "other.cdn.example",
+                "missing.example",
+            ],
+        );
+        // Flattening the layered store is also equivalent.
+        assert_equivalent(
+            &layered.flatten(),
+            &flat,
+            &["a.example", "b.example", "other.cdn.example"],
+        );
+    }
+
+    #[test]
+    fn idempotent_ops_report_no_change() {
+        let base = root();
+        let same = base
+            .lookup(&n("a.example"), Vantage::GOOGLE_DNS_BERLIN)
+            .unwrap()
+            .to_vec();
+        let mut delta = ZoneDelta::new();
+        delta.set_records(n("a.example"), same);
+        delta.remove(n("never.existed.example"));
+        let (next, changes) = ZoneStore::apply(Arc::new(base.clone()), &delta);
+        assert!(changes.is_empty());
+        assert_eq!(next.name_count(), base.name_count());
+        assert_eq!(next.record_count(), base.record_count());
+    }
+
+    #[test]
+    fn tombstone_hides_parent_records_and_reinsert_revives() {
+        let base = Arc::new(root());
+        let mut d1 = ZoneDelta::new();
+        d1.remove(n("b.example"));
+        let (l1, c1) = ZoneStore::apply(base.clone(), &d1);
+        assert_eq!(c1.changed.len(), 1);
+        assert!(l1.lookup(&n("b.example"), Vantage::OPEN_DNS).is_none());
+        assert!(!l1.contains(&n("b.example")));
+        // Parent untouched.
+        assert!(base.lookup(&n("b.example"), Vantage::OPEN_DNS).is_some());
+
+        let mut d2 = ZoneDelta::new();
+        d2.set_addr(n("b.example"), a("77.7.7.7"));
+        let (l2, _) = ZoneStore::apply(Arc::new(l1), &d2);
+        assert_eq!(
+            l2.lookup(&n("b.example"), Vantage::OPEN_DNS).unwrap()[0]
+                .addr()
+                .unwrap(),
+            a("77.7.7.7")
+        );
+        assert_eq!(l2.layer_depth(), 2);
+    }
+
+    #[test]
+    fn deep_chains_compact() {
+        let mut current = Arc::new(root());
+        for i in 0..(MAX_LAYER_DEPTH + 4) {
+            let mut delta = ZoneDelta::new();
+            delta.set_addr(
+                n("a.example"),
+                a(&format!("85.9.{}.{}", i % 250, 1 + i % 250)),
+            );
+            let (next, changes) = ZoneStore::apply(current, &delta);
+            assert!(!changes.is_empty());
+            assert!(next.layer_depth() <= MAX_LAYER_DEPTH + 1);
+            current = Arc::new(next);
+        }
+        assert_eq!(current.name_count(), 4);
+        assert!(current.is_signed(&n("www.a.example")));
     }
 }
 

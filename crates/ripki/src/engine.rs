@@ -30,24 +30,23 @@
 //! skipped ranks ([`StudyResults::skipped`]) or as a structured
 //! [`EngineError`] from [`StudyEngine::try_run`].
 
-use crate::pipeline::{
-    DomainMeasurement, NameMeasurement, PairState, PipelineConfig, StudyResults,
-};
-use ripki_bgp::rib::Rib;
+use crate::model::{DomainMeasurement, NameMeasurement, PairState, PipelineConfig, StudyResults};
+use ripki_bgp::rib::{Rib, RibChanges, RibDelta};
 use ripki_bgp::rov::{RouteOriginValidator, VrpTriple};
 use ripki_dns::cache::ResolutionCache;
 use ripki_dns::faults::FaultyResolver;
 use ripki_dns::resolver::Resolver;
-use ripki_dns::zone::ZoneStore;
+use ripki_dns::zone::{ZoneChanges, ZoneDelta, ZoneStore};
 use ripki_dns::DomainName;
 use ripki_net::special::SpecialRegistry;
-use ripki_net::{Asn, IpPrefix};
+use ripki_net::{Asn, IpPrefix, PrefixTrie};
 use ripki_rpki::repo::Repository;
 use ripki_rpki::time::SimTime;
 use ripki_rpki::validate::validate;
-use std::collections::{BTreeSet, HashSet};
+use ripki_websim::churn::{EpochChurn, WorldEvent};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// An immutable view of the measured world at one epoch.
 ///
@@ -150,18 +149,28 @@ impl WorldSnapshot {
     }
 
     /// Measure one name form with a caller-provided (per-worker)
-    /// resolver, going through the memoized resolution cache.
-    fn measure_name_with(
+    /// resolver, going through the memoized resolution cache. This is
+    /// the single implementation of steps 2–4; every other entry point
+    /// (full runs, the `Pipeline` façade, incremental re-measurement)
+    /// routes through it.
+    ///
+    /// The second return value is the resolution's *touched set*: every
+    /// name whose zone data the walk consulted. A zone delta touching
+    /// none of those names cannot change this measurement — the
+    /// invalidation rule the incremental engine relies on.
+    fn measure_name_traced(
         &self,
         resolver: &FaultyResolver<'_>,
         name: &DomainName,
-    ) -> NameMeasurement {
+    ) -> (NameMeasurement, Vec<DomainName>) {
         let mut m = NameMeasurement::default();
-        let resolution = match resolver.resolve_cached(name, &self.cache) {
+        let traced = resolver.resolve_cached_traced(name, &self.cache);
+        let touched = traced.touched;
+        let resolution = match traced.outcome {
             Ok(r) => r,
             Err(_) => {
                 m.resolve_failed = true;
-                return m;
+                return (m, touched);
             }
         };
         m.cname_chain = resolution.cname_chain;
@@ -199,7 +208,7 @@ impl WorldSnapshot {
                 });
             }
         }
-        m
+        (m, touched)
     }
 
     /// Measure one ranked domain (both name forms).
@@ -213,14 +222,33 @@ impl WorldSnapshot {
         rank: usize,
         listed: &DomainName,
     ) -> DomainMeasurement {
+        self.measure_domain_traced(resolver, rank, listed).0
+    }
+
+    /// Measure both name forms and return the union of their touched
+    /// name sets (sorted, deduplicated) for index maintenance.
+    fn measure_domain_traced(
+        &self,
+        resolver: &FaultyResolver<'_>,
+        rank: usize,
+        listed: &DomainName,
+    ) -> (DomainMeasurement, Vec<DomainName>) {
         let bare = listed.without_www();
         let www = bare.with_www();
-        DomainMeasurement {
-            rank,
-            listed: listed.clone(),
-            www: self.measure_name_with(resolver, &www),
-            bare: self.measure_name_with(resolver, &bare),
-        }
+        let (www_m, mut touched) = self.measure_name_traced(resolver, &www);
+        let (bare_m, bare_touched) = self.measure_name_traced(resolver, &bare);
+        touched.extend(bare_touched);
+        touched.sort();
+        touched.dedup();
+        (
+            DomainMeasurement {
+                rank,
+                listed: listed.clone(),
+                www: www_m,
+                bare: bare_m,
+            },
+            touched,
+        )
     }
 
     /// Re-apply this snapshot's VRPs to an existing study's (prefix,
@@ -344,6 +372,9 @@ pub struct EpochDelta {
     /// Pair states flipped by a [`StudyEngine::revalidate`] (0 when the
     /// delta came from a bare [`StudyEngine::install_rpki`]).
     pub pairs_changed: usize,
+    /// Domains re-measured by an incremental
+    /// [`StudyEngine::apply_events`] (0 for RPKI-only epoch swaps).
+    pub domains_remeasured: usize,
 }
 
 impl EpochDelta {
@@ -380,6 +411,182 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Per-rank postings: everything one domain's measurement depends on,
+/// kept so the reverse indices can be patched when the rank is
+/// re-measured.
+struct RankPostings {
+    /// Names whose zone data either name form's resolution consulted.
+    names: Vec<DomainName>,
+    /// Host (`/32` / `/128`) prefixes of every retained address.
+    hosts: Vec<IpPrefix>,
+    /// Prefixes of every (prefix, origin) pair.
+    pairs: Vec<IpPrefix>,
+}
+
+/// Reverse indices from world state into domain ranks: given a changed
+/// name, RIB prefix, or VRP prefix, which domains must be re-measured?
+///
+/// Invalidation rules (each an over-approximation, never an under-
+/// approximation — see DESIGN.md):
+///
+/// * **zone delta** touching name `n` → ranks in `by_name[n]`; a
+///   resolution that never consulted `n`'s records cannot change.
+/// * **RIB delta** on prefix `p` → ranks whose host prefixes are
+///   covered by `p`; step 3 depends only on the prefixes covering each
+///   retained address.
+/// * **VRP delta** on prefix `v` → ranks with a pair prefix covered by
+///   `v`; RFC 6811 only consults VRPs whose prefix covers the route.
+struct DomainIndex {
+    /// Epoch of the [`StudyResults`] this index describes.
+    epoch: u64,
+    by_name: HashMap<DomainName, BTreeSet<usize>>,
+    by_host: PrefixTrie<BTreeSet<usize>>,
+    by_pair: PrefixTrie<BTreeSet<usize>>,
+    per_rank: HashMap<usize, RankPostings>,
+}
+
+impl DomainIndex {
+    /// Index an existing study against the snapshot that produced it.
+    ///
+    /// Hosts and pairs come straight from the stored measurements; the
+    /// touched name sets are recovered by re-walking each resolution
+    /// against the snapshot's (identical) zones — measurements don't
+    /// record which names a *failed* resolution consulted.
+    fn build(snapshot: &WorldSnapshot, results: &StudyResults) -> DomainIndex {
+        let mut index = DomainIndex {
+            epoch: results.epoch,
+            by_name: HashMap::new(),
+            by_host: PrefixTrie::new(),
+            by_pair: PrefixTrie::new(),
+            per_rank: HashMap::new(),
+        };
+        let resolver = snapshot.resolver();
+        for d in &results.domains {
+            let bare = d.listed.without_www();
+            let www = bare.with_www();
+            let mut names = resolver
+                .resolve_cached_traced(&www, &snapshot.cache)
+                .touched;
+            names.extend(
+                resolver
+                    .resolve_cached_traced(&bare, &snapshot.cache)
+                    .touched,
+            );
+            names.sort();
+            names.dedup();
+            index.insert(d.rank, Self::postings(d, names));
+        }
+        index
+    }
+
+    fn postings(d: &DomainMeasurement, names: Vec<DomainName>) -> RankPostings {
+        let mut hosts: Vec<IpPrefix> = d
+            .www
+            .addresses
+            .iter()
+            .chain(&d.bare.addresses)
+            .map(|a| IpPrefix::host(*a))
+            .collect();
+        hosts.sort();
+        hosts.dedup();
+        let mut pairs: Vec<IpPrefix> = d
+            .www
+            .pairs
+            .iter()
+            .chain(&d.bare.pairs)
+            .map(|p| p.prefix)
+            .collect();
+        pairs.sort();
+        pairs.dedup();
+        RankPostings {
+            names,
+            hosts,
+            pairs,
+        }
+    }
+
+    fn insert(&mut self, rank: usize, postings: RankPostings) {
+        for name in &postings.names {
+            self.by_name.entry(name.clone()).or_default().insert(rank);
+        }
+        for trie_and_keys in [
+            (&mut self.by_host, &postings.hosts),
+            (&mut self.by_pair, &postings.pairs),
+        ] {
+            let (trie, keys) = trie_and_keys;
+            for p in keys {
+                match trie.get_mut(p) {
+                    Some(set) => {
+                        set.insert(rank);
+                    }
+                    None => {
+                        trie.insert(*p, BTreeSet::from([rank]));
+                    }
+                }
+            }
+        }
+        self.per_rank.insert(rank, postings);
+    }
+
+    fn remove(&mut self, rank: usize) {
+        let Some(postings) = self.per_rank.remove(&rank) else {
+            return;
+        };
+        for name in &postings.names {
+            if let Some(set) = self.by_name.get_mut(name) {
+                set.remove(&rank);
+                if set.is_empty() {
+                    self.by_name.remove(name);
+                }
+            }
+        }
+        for trie_and_keys in [
+            (&mut self.by_host, &postings.hosts),
+            (&mut self.by_pair, &postings.pairs),
+        ] {
+            let (trie, keys) = trie_and_keys;
+            for p in keys {
+                let emptied = match trie.get_mut(p) {
+                    Some(set) => {
+                        set.remove(&rank);
+                        set.is_empty()
+                    }
+                    None => false,
+                };
+                if emptied {
+                    trie.remove(p);
+                }
+            }
+        }
+    }
+
+    /// Ranks whose measurement may be affected by the given changes.
+    fn affected(
+        &self,
+        zone_changes: &ZoneChanges,
+        rib_changes: &RibChanges,
+        vrp_prefixes: &BTreeSet<IpPrefix>,
+    ) -> BTreeSet<usize> {
+        let mut ranks = BTreeSet::new();
+        for name in &zone_changes.changed {
+            if let Some(set) = self.by_name.get(name) {
+                ranks.extend(set.iter().copied());
+            }
+        }
+        for prefix in &rib_changes.changed {
+            for (_, set) in self.by_host.covered_by(prefix) {
+                ranks.extend(set.iter().copied());
+            }
+        }
+        for prefix in vrp_prefixes {
+            for (_, set) in self.by_pair.covered_by(prefix) {
+                ranks.extend(set.iter().copied());
+            }
+        }
+        ranks
+    }
+}
+
 /// The study engine: owns the current [`WorldSnapshot`] and swaps it
 /// atomically on RPKI refresh.
 ///
@@ -387,6 +594,9 @@ impl std::error::Error for EngineError {}
 /// the snapshot they started with and are immune to concurrent swaps.
 pub struct StudyEngine {
     current: RwLock<Arc<WorldSnapshot>>,
+    /// Reverse indices for [`apply_events`](Self::apply_events), built
+    /// lazily against the results the caller maintains.
+    index: Mutex<Option<DomainIndex>>,
 }
 
 impl StudyEngine {
@@ -411,6 +621,7 @@ impl StudyEngine {
         let snapshot = WorldSnapshot::build(1, zones, rib, cache, repository, config);
         StudyEngine {
             current: RwLock::new(Arc::new(snapshot)),
+            index: Mutex::new(None),
         }
     }
 
@@ -456,6 +667,7 @@ impl StudyEngine {
             announced: after.difference(&before).copied().collect(),
             withdrawn: before.difference(&after).copied().collect(),
             pairs_changed: 0,
+            domains_remeasured: 0,
         };
         *guard = Arc::new(next);
         delta
@@ -478,6 +690,172 @@ impl StudyEngine {
         delta
     }
 
+    /// Apply one epoch's churn incrementally: advance the world by the
+    /// batch's zone/RIB deltas (copy-on-write successors, structurally
+    /// shared with the old snapshot) and its repository snapshot if
+    /// any, then re-measure **only the domains the changes can reach**
+    /// — found through reverse indices from names, covering prefixes,
+    /// and VRP prefixes back to domain ranks — patching `results` in
+    /// place.
+    ///
+    /// `results` must be the current study for this engine's epoch
+    /// (from [`run`](Self::run) or a previous `apply_events`); the
+    /// reverse indices are (re)built lazily against it and patched as
+    /// domains are re-measured. Equivalent to a full re-run against the
+    /// post-churn world — the equivalence is property-tested in
+    /// `tests/engine_incremental_prop.rs`.
+    ///
+    /// Every call advances the epoch by exactly one (even for an empty
+    /// batch), preserving the epoch == RTR-serial contract: the
+    /// returned [`EpochDelta`] feeds `CacheServer::apply_delta`
+    /// unchanged.
+    pub fn apply_events(&self, batch: &EpochChurn, results: &mut StudyResults) -> EpochDelta {
+        let mut guard = self.current.write().expect("engine snapshot lock poisoned");
+        let old = Arc::clone(&guard);
+        assert_eq!(
+            results.epoch, old.epoch,
+            "apply_events requires results from the engine's current epoch"
+        );
+
+        // Partition the typed events into substrate deltas. RPKI events
+        // carry no per-event payload here — the batch's repository
+        // snapshot is the authoritative post-churn publication state.
+        let mut zone_delta = ZoneDelta::new();
+        let mut rib_delta = RibDelta::new();
+        for event in &batch.events {
+            match event {
+                WorldEvent::ZoneEdit { name, records } => {
+                    zone_delta.set_records(name.clone(), records.clone());
+                }
+                WorldEvent::CnameRetarget { name, target } => {
+                    zone_delta.set_cname(name.clone(), target.clone());
+                }
+                WorldEvent::RibAnnounce(entry) => {
+                    rib_delta.announce(entry.clone());
+                }
+                WorldEvent::RibWithdraw { prefix, peer } => {
+                    rib_delta.withdraw(*prefix, *peer);
+                }
+                WorldEvent::RoaAdded { .. }
+                | WorldEvent::RoaExpired { .. }
+                | WorldEvent::RoaRevoked { .. }
+                | WorldEvent::KeyRollover { .. } => {}
+            }
+        }
+
+        // Copy-on-write successors: unchanged substrate is shared by
+        // `Arc` clone, changed substrate becomes a thin delta layer.
+        let (zones, zone_changes) = if zone_delta.is_empty() {
+            (Arc::clone(&old.zones), ZoneChanges::default())
+        } else {
+            let (z, ch) = ZoneStore::apply(Arc::clone(&old.zones), &zone_delta);
+            (Arc::new(z), ch)
+        };
+        let (rib, rib_changes) = if rib_delta.is_empty() {
+            (Arc::clone(&old.rib), RibChanges::default())
+        } else {
+            let (r, ch) = Rib::apply(Arc::clone(&old.rib), &rib_delta);
+            (Arc::new(r), ch)
+        };
+        // The memoized CNAME tails are only valid for the zones that
+        // filled them: any zone change gets a fresh cache.
+        let cache = if zone_changes.changed.is_empty() {
+            Arc::clone(&old.cache)
+        } else {
+            Arc::new(ResolutionCache::new(old.config.vantage))
+        };
+
+        let mut config = old.config.clone();
+        config.now = batch.now;
+        let next = match &batch.repository {
+            Some(repo) => WorldSnapshot::build(old.epoch + 1, zones, rib, cache, repo, config),
+            None => WorldSnapshot {
+                epoch: old.epoch + 1,
+                zones,
+                rib,
+                cache,
+                validator: old.validator.clone(),
+                vrp_count: old.vrp_count,
+                rpki_rejected: old.rpki_rejected,
+                config,
+            },
+        };
+
+        // VRP-level delta (empty unless the repository changed).
+        let (announced, withdrawn) = if batch.repository.is_some() {
+            let before: BTreeSet<VrpTriple> = old.vrps().iter().copied().collect();
+            let after: BTreeSet<VrpTriple> = next.vrps().iter().copied().collect();
+            (
+                after.difference(&before).copied().collect::<Vec<_>>(),
+                before.difference(&after).copied().collect::<Vec<_>>(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let vrp_prefixes: BTreeSet<IpPrefix> = announced
+            .iter()
+            .chain(&withdrawn)
+            .map(|v| v.prefix)
+            .collect();
+
+        // Reverse-index lookup: which ranks can the changes reach?
+        let mut index_guard = self.index.lock().expect("engine index lock poisoned");
+        if index_guard
+            .as_ref()
+            .is_none_or(|ix| ix.epoch != results.epoch)
+        {
+            *index_guard = Some(DomainIndex::build(&old, results));
+        }
+        let index = index_guard.as_mut().expect("index just built");
+        let affected = index.affected(&zone_changes, &rib_changes, &vrp_prefixes);
+
+        // Re-measure only the affected ranks against the new snapshot.
+        let position: HashMap<usize, usize> = results
+            .domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.rank, i))
+            .collect();
+        let resolver = next.resolver();
+        let mut pairs_changed = 0;
+        let mut remeasured = 0;
+        for rank in affected {
+            let Some(&pos) = position.get(&rank) else {
+                continue;
+            };
+            let listed = results.domains[pos].listed.clone();
+            let (measured, touched) = next.measure_domain_traced(&resolver, rank, &listed);
+            for (old_m, new_m) in [
+                (&results.domains[pos].www, &measured.www),
+                (&results.domains[pos].bare, &measured.bare),
+            ] {
+                let key = |p: &PairState| (p.prefix, p.origin, p.state);
+                let before: BTreeSet<_> = old_m.pairs.iter().map(key).collect();
+                let after: BTreeSet<_> = new_m.pairs.iter().map(key).collect();
+                pairs_changed += before.symmetric_difference(&after).count();
+            }
+            index.remove(rank);
+            index.insert(rank, DomainIndex::postings(&measured, touched));
+            results.domains[pos] = measured;
+            remeasured += 1;
+        }
+        index.epoch = next.epoch;
+
+        results.epoch = next.epoch;
+        results.vrp_count = next.vrp_count;
+        results.rpki_rejected = next.rpki_rejected;
+        let delta = EpochDelta {
+            from_epoch: old.epoch,
+            to_epoch: next.epoch,
+            announced,
+            withdrawn,
+            pairs_changed,
+            domains_remeasured: remeasured,
+        };
+        *guard = Arc::new(next);
+        delta
+    }
+
     /// Run the full study against the current snapshot (skip-and-count
     /// panic policy; see [`WorldSnapshot::run`]).
     pub fn run(&self, ranking: &[DomainName]) -> StudyResults {
@@ -487,5 +865,304 @@ impl StudyEngine {
     /// Run, failing with a structured error if any domain was skipped.
     pub fn try_run(&self, ranking: &[DomainName]) -> Result<StudyResults, EngineError> {
         self.snapshot().try_run(ranking)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripki_bgp::path::AsPath;
+    use ripki_bgp::rib::RibEntry;
+    use ripki_bgp::rov::RpkiState;
+    use ripki_dns::RecordData;
+    use ripki_rpki::repo::RepositoryBuilder;
+    use ripki_rpki::resources::Resources;
+    use ripki_rpki::roa::RoaPrefix;
+    use ripki_rpki::time::Duration;
+
+    fn n(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn cfg(now: SimTime) -> PipelineConfig {
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now,
+            threads: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Hand-built world: four domains across three prefixes, one with a
+    /// valid ROA, a shared CNAME tail, and a spare announced prefix.
+    fn world() -> (ZoneStore, Rib, RepositoryBuilder, SimTime) {
+        let mut zones = ZoneStore::new();
+        zones.add_addr(n("covered.example"), "85.1.2.3".parse().unwrap());
+        zones.add_cname(n("www.covered.example"), n("covered.example"));
+        zones.add_addr(n("plain.example"), "9.9.1.1".parse().unwrap());
+        zones.add_addr(n("www.plain.example"), "9.9.1.1".parse().unwrap());
+        // Two CDN customers sharing a tail.
+        zones.add_cname(n("cdn-a.example"), n("edge.cdn.example"));
+        zones.add_cname(n("www.cdn-a.example"), n("edge.cdn.example"));
+        zones.add_cname(n("cdn-b.example"), n("edge.cdn.example"));
+        zones.add_cname(n("www.cdn-b.example"), n("edge.cdn.example"));
+        zones.add_addr(n("edge.cdn.example"), "85.3.0.1".parse().unwrap());
+
+        let mut rib = Rib::new();
+        for (pfx, origin) in [
+            ("85.1.0.0/16", 100u32),
+            ("85.3.0.0/16", 300),
+            ("9.9.0.0/16", 9),
+            ("77.7.0.0/16", 77),
+        ] {
+            rib.insert(RibEntry {
+                prefix: pfx.parse().unwrap(),
+                path: AsPath::sequence([64601, origin]),
+                peer: Asn::new(64496),
+            });
+        }
+
+        let mut b = RepositoryBuilder::new(1, SimTime::EPOCH);
+        let ta = b.add_trust_anchor(
+            "RIPE",
+            Resources::from_prefixes(vec!["80.0.0.0/4".parse().unwrap()]),
+        );
+        let isp = b
+            .add_ca(
+                ta,
+                "ISP-1",
+                Resources::from_prefixes(vec!["85.0.0.0/8".parse().unwrap()]),
+            )
+            .unwrap();
+        b.add_roa(
+            isp,
+            Asn::new(100),
+            vec![RoaPrefix::exact("85.1.0.0/16".parse().unwrap())],
+        )
+        .unwrap();
+        (zones, rib, b, SimTime::EPOCH + Duration::days(1))
+    }
+
+    fn ranking() -> Vec<DomainName> {
+        vec![
+            n("covered.example"),
+            n("plain.example"),
+            n("cdn-a.example"),
+            n("cdn-b.example"),
+        ]
+    }
+
+    /// Full re-run on the post-churn world, for comparison. Uses the
+    /// same CoW apply path (whose flat-replay equivalence is tested in
+    /// the dns/bgp crates) but a fresh engine and a fresh measurement
+    /// of every domain.
+    fn full_rerun(
+        zones: &ZoneStore,
+        rib: &Rib,
+        batch: &EpochChurn,
+        repo: &Repository,
+        now: SimTime,
+    ) -> StudyResults {
+        let mut zd = ZoneDelta::new();
+        let mut rd = RibDelta::new();
+        for event in &batch.events {
+            match event {
+                WorldEvent::ZoneEdit { name, records } => {
+                    zd.set_records(name.clone(), records.clone())
+                }
+                WorldEvent::CnameRetarget { name, target } => {
+                    zd.set_cname(name.clone(), target.clone())
+                }
+                WorldEvent::RibAnnounce(e) => rd.announce(e.clone()),
+                WorldEvent::RibWithdraw { prefix, peer } => rd.withdraw(*prefix, *peer),
+                _ => {}
+            }
+        }
+        let (zones2, _) = ZoneStore::apply(Arc::new(zones.clone()), &zd);
+        let (rib2, _) = Rib::apply(Arc::new(rib.clone()), &rd);
+        let repo = batch.repository.as_ref().unwrap_or(repo);
+        StudyEngine::new(zones2, rib2, repo, cfg(now)).run(&ranking())
+    }
+
+    fn assert_same_study(incremental: &StudyResults, fresh: &StudyResults) {
+        assert_eq!(incremental.domains, fresh.domains);
+        assert_eq!(incremental.vrp_count, fresh.vrp_count);
+        assert_eq!(incremental.rpki_rejected, fresh.rpki_rejected);
+    }
+
+    #[test]
+    fn zone_edit_remeasures_only_referring_domains() {
+        let (zones, rib, mut b, now) = world();
+        let repo = b.snapshot();
+        let engine = StudyEngine::new(zones.clone(), rib.clone(), &repo, cfg(now));
+        let mut results = engine.run(&ranking());
+
+        // Retarget the shared CDN tail: exactly cdn-a and cdn-b depend
+        // on it; covered/plain must not be re-measured.
+        let batch = EpochChurn {
+            events: vec![WorldEvent::ZoneEdit {
+                name: n("edge.cdn.example"),
+                records: vec![RecordData::from_addr("77.7.7.7".parse().unwrap())],
+            }],
+            repository: None,
+            now,
+        };
+        let delta = engine.apply_events(&batch, &mut results);
+        assert_eq!(delta.from_epoch, 1);
+        assert_eq!(delta.to_epoch, 2);
+        assert_eq!(delta.domains_remeasured, 2);
+        assert!(delta.is_empty());
+        assert_eq!(results.epoch, 2);
+        // The tail moved to AS77 space.
+        let cdn_a = &results.domains[2];
+        assert_eq!(cdn_a.bare.pairs.len(), 1);
+        assert_eq!(cdn_a.bare.pairs[0].origin, Asn::new(77));
+
+        assert_same_study(&results, &full_rerun(&zones, &rib, &batch, &repo, now));
+    }
+
+    #[test]
+    fn rib_change_remeasures_only_covered_domains() {
+        let (zones, rib, mut b, now) = world();
+        let repo = b.snapshot();
+        let engine = StudyEngine::new(zones.clone(), rib.clone(), &repo, cfg(now));
+        let mut results = engine.run(&ranking());
+
+        // A more-specific hijack of covered.example's /16: only that
+        // domain hosts addresses under 85.1/16.
+        let batch = EpochChurn {
+            events: vec![WorldEvent::RibAnnounce(RibEntry {
+                prefix: "85.1.2.0/24".parse().unwrap(),
+                path: AsPath::sequence([64601, 666]),
+                peer: Asn::new(64497),
+            })],
+            repository: None,
+            now,
+        };
+        let delta = engine.apply_events(&batch, &mut results);
+        assert_eq!(delta.domains_remeasured, 1);
+        let covered = &results.domains[0];
+        // Now two pairs: the old valid /16 and the invalid hijack /24.
+        assert_eq!(covered.bare.pairs.len(), 2);
+        assert!(covered
+            .bare
+            .pairs
+            .iter()
+            .any(|p| p.origin == Asn::new(666) && p.state == RpkiState::Invalid));
+
+        assert_same_study(&results, &full_rerun(&zones, &rib, &batch, &repo, now));
+    }
+
+    #[test]
+    fn rpki_batch_remeasures_only_vrp_covered_domains() {
+        let (zones, rib, mut b, now) = world();
+        let repo = b.snapshot();
+        let engine = StudyEngine::new(zones.clone(), rib.clone(), &repo, cfg(now));
+        let mut results = engine.run(&ranking());
+        assert_eq!(results.vrp_count, 1);
+
+        // The CA issues a ROA for the CDN prefix with the wrong origin:
+        // cdn-a and cdn-b flip NotFound→Invalid; the rest are untouched.
+        let isp = b.find_ca("ISP-1").unwrap();
+        b.add_roa(
+            isp,
+            Asn::new(999),
+            vec![RoaPrefix::exact("85.3.0.0/16".parse().unwrap())],
+        )
+        .unwrap();
+        let batch = EpochChurn {
+            events: vec![WorldEvent::RoaAdded {
+                prefix: "85.3.0.0/16".parse().unwrap(),
+                asn: Asn::new(999),
+            }],
+            repository: Some(b.snapshot()),
+            now,
+        };
+        let delta = engine.apply_events(&batch, &mut results);
+        assert_eq!(delta.announced.len(), 1);
+        assert!(delta.withdrawn.is_empty());
+        assert_eq!(delta.domains_remeasured, 2);
+        // Each of cdn-a/cdn-b flips one pair in both name forms.
+        assert_eq!(delta.pairs_changed, 8);
+        assert_eq!(results.vrp_count, 2);
+        for i in [2usize, 3] {
+            assert_eq!(results.domains[i].bare.pairs[0].state, RpkiState::Invalid);
+        }
+
+        assert_same_study(&results, &full_rerun(&zones, &rib, &batch, &repo, now));
+    }
+
+    #[test]
+    fn empty_batch_still_bumps_epoch() {
+        let (zones, rib, mut b, now) = world();
+        let repo = b.snapshot();
+        let engine = StudyEngine::new(zones, rib, &repo, cfg(now));
+        let mut results = engine.run(&ranking());
+        let batch = EpochChurn {
+            events: vec![],
+            repository: None,
+            now,
+        };
+        let delta = engine.apply_events(&batch, &mut results);
+        assert_eq!(delta.to_epoch, 2);
+        assert_eq!(delta.domains_remeasured, 0);
+        assert_eq!(results.epoch, 2);
+        assert_eq!(engine.epoch(), 2);
+    }
+
+    #[test]
+    fn zone_edit_to_failed_domain_revives_it() {
+        // A domain that never resolved must still be re-measured when
+        // its name appears: the index carries failed walks' touched
+        // sets too.
+        let (mut zones, rib, mut b, now) = world();
+        zones.add_cname(n("dangling.example"), n("nowhere.example"));
+        zones.add_cname(n("www.dangling.example"), n("nowhere.example"));
+        let repo = b.snapshot();
+        let engine = StudyEngine::new(zones, rib, &repo, cfg(now));
+        let ranking = vec![n("dangling.example")];
+        let mut results = engine.run(&ranking);
+        assert!(results.domains[0].bare.resolve_failed);
+
+        let batch = EpochChurn {
+            events: vec![WorldEvent::ZoneEdit {
+                name: n("nowhere.example"),
+                records: vec![RecordData::from_addr("9.9.1.1".parse().unwrap())],
+            }],
+            repository: None,
+            now,
+        };
+        let delta = engine.apply_events(&batch, &mut results);
+        assert_eq!(delta.domains_remeasured, 1);
+        assert!(!results.domains[0].bare.resolve_failed);
+        assert_eq!(results.domains[0].bare.pairs[0].origin, Asn::new(9));
+    }
+
+    #[test]
+    fn consecutive_batches_chain() {
+        let (zones, rib, mut b, now) = world();
+        let repo = b.snapshot();
+        let engine = StudyEngine::new(zones.clone(), rib.clone(), &repo, cfg(now));
+        let mut results = engine.run(&ranking());
+        for step in 0..3u32 {
+            let batch = EpochChurn {
+                events: vec![WorldEvent::ZoneEdit {
+                    name: n("plain.example"),
+                    records: vec![RecordData::from_addr(
+                        format!("85.1.9.{}", step + 1).parse().unwrap(),
+                    )],
+                }],
+                repository: None,
+                now,
+            };
+            let delta = engine.apply_events(&batch, &mut results);
+            assert_eq!(delta.to_epoch, u64::from(step) + 2);
+            assert_eq!(delta.domains_remeasured, 1);
+        }
+        assert_eq!(results.epoch, 4);
+        // plain.example's bare form now sits in covered space: Valid.
+        assert_eq!(results.domains[1].bare.pairs[0].state, RpkiState::Valid);
+        // Its www form was not edited and still points at 9.9/16.
+        assert_eq!(results.domains[1].www.pairs[0].origin, Asn::new(9));
     }
 }

@@ -34,14 +34,14 @@ pub mod classify;
 pub mod engine;
 pub mod exposure;
 pub mod figures;
+pub mod model;
 pub mod pipeline;
 pub mod report;
 pub mod stats;
 pub mod tables;
 
 pub use engine::{EngineError, EpochDelta, StudyEngine, WorldSnapshot};
-pub use pipeline::{
-    DomainMeasurement, NameMeasurement, PairState, Pipeline, PipelineConfig, StudyResults,
-};
+pub use model::{DomainMeasurement, NameMeasurement, PairState, PipelineConfig, StudyResults};
+pub use pipeline::Pipeline;
 pub use report::HeadlineStats;
 pub use stats::BinnedSeries;

@@ -100,6 +100,8 @@ pub enum BuildError {
     UnknownCa(KeyId),
     /// The requested resources are not encompassed by the parent's.
     ResourcesExceedParent { parent: String, requested: String },
+    /// Key rollover is only modelled for leaf (childless, non-TA) CAs.
+    RolloverUnsupported(KeyId),
 }
 
 impl fmt::Display for BuildError {
@@ -110,6 +112,12 @@ impl fmt::Display for BuildError {
                 f,
                 "requested resources {requested} exceed parent's {parent}"
             ),
+            BuildError::RolloverUnsupported(id) => {
+                write!(
+                    f,
+                    "key rollover unsupported for CA {id} (TA or has children)"
+                )
+            }
         }
     }
 }
@@ -125,6 +133,8 @@ struct CaState {
     roas: Vec<Roa>,
     revoked: BTreeSet<u64>,
     is_trust_anchor: bool,
+    /// Key generation, bumped on rollover (keys derive from name + gen).
+    generation: u32,
 }
 
 /// The issuing side of the RPKI: builds a consistent [`Repository`].
@@ -137,6 +147,9 @@ pub struct RepositoryBuilder {
     cert_validity: Duration,
     crl_validity: Duration,
     serial_counter: u64,
+    /// Bumped on every [`RepositoryBuilder::snapshot`], so successive
+    /// publications carry increasing manifest numbers (RFC 9286).
+    manifest_number: u64,
     cas: HashMap<KeyId, CaState>,
     /// Insertion order of CAs, for deterministic iteration.
     order: Vec<KeyId>,
@@ -151,9 +164,17 @@ impl RepositoryBuilder {
             cert_validity: Duration::years(1),
             crl_validity: Duration::days(7),
             serial_counter: 0,
+            manifest_number: 0,
             cas: HashMap::new(),
             order: Vec::new(),
         }
+    }
+
+    /// Advance the builder's clock: later certificates, CRLs, and
+    /// manifests are issued from the new instant. Already-issued
+    /// certificates keep their original validity.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
     }
 
     /// Override the certificate validity span (default one year).
@@ -203,6 +224,7 @@ impl RepositoryBuilder {
                 roas: Vec::new(),
                 revoked: BTreeSet::new(),
                 is_trust_anchor: true,
+                generation: 0,
             },
         );
         self.order.push(id);
@@ -251,6 +273,7 @@ impl RepositoryBuilder {
                 roas: Vec::new(),
                 revoked: BTreeSet::new(),
                 is_trust_anchor: false,
+                generation: 0,
             },
         );
         self.order.push(id);
@@ -308,8 +331,146 @@ impl RepositoryBuilder {
             .copied()
     }
 
-    /// Sign CRLs and manifests everywhere and emit the repository.
-    pub fn finalize(self) -> Repository {
+    /// Withdraw a ROA from publication (modelling expiry or operator
+    /// cleanup), keyed by its EE certificate serial. Returns whether a
+    /// ROA was actually removed.
+    pub fn remove_roa(&mut self, ca: KeyId, ee_serial: u64) -> Result<bool, BuildError> {
+        let state = self.cas.get_mut(&ca).ok_or(BuildError::UnknownCa(ca))?;
+        let before = state.roas.len();
+        state.roas.retain(|r| r.ee.serial != ee_serial);
+        Ok(state.roas.len() != before)
+    }
+
+    /// Every published ROA as `(issuing CA, EE serial, authorized ASN)`,
+    /// in deterministic (CA insertion, then issue) order.
+    pub fn list_roas(&self) -> Vec<(KeyId, u64, Asn)> {
+        self.order
+            .iter()
+            .flat_map(|id| {
+                self.cas[id]
+                    .roas
+                    .iter()
+                    .map(move |r| (*id, r.ee.serial, r.asn))
+            })
+            .collect()
+    }
+
+    /// The prefixes of the published ROA with the given EE serial.
+    pub fn roa_prefixes(&self, ca: KeyId, ee_serial: u64) -> Option<Vec<RoaPrefix>> {
+        self.cas
+            .get(&ca)?
+            .roas
+            .iter()
+            .find(|r| r.ee.serial == ee_serial)
+            .map(|r| r.prefixes.clone())
+    }
+
+    /// CAs eligible for [`rollover_key`](Self::rollover_key): non-TA,
+    /// childless CAs, in deterministic order.
+    pub fn rollover_candidates(&self) -> Vec<KeyId> {
+        self.order
+            .iter()
+            .copied()
+            .filter(|id| {
+                let s = &self.cas[id];
+                !s.is_trust_anchor && s.children.is_empty()
+            })
+            .collect()
+    }
+
+    /// The display name of a CA added earlier.
+    pub fn ca_name(&self, id: KeyId) -> Option<&str> {
+        self.cas.get(&id).map(|s| s.name.as_str())
+    }
+
+    /// Roll `ca`'s key: derive a new keypair, have the parent issue a
+    /// replacement certificate (revoking the old one in its CRL), and
+    /// re-sign all of the CA's ROAs under the new key. Returns the new
+    /// CA key id — the old id is dead from here on.
+    ///
+    /// Only leaf CAs are supported: rolling a CA with children would
+    /// cascade re-issuance down the whole subtree, which this model
+    /// defers (see ROADMAP).
+    pub fn rollover_key(&mut self, ca: KeyId) -> Result<KeyId, BuildError> {
+        let state = self.cas.get(&ca).ok_or(BuildError::UnknownCa(ca))?;
+        if state.is_trust_anchor || !state.children.is_empty() {
+            return Err(BuildError::RolloverUnsupported(ca));
+        }
+        let name = state.name.clone();
+        let generation = state.generation + 1;
+        let resources = state.cert.resources.clone();
+        let old_serial = state.cert.serial;
+        let roa_specs: Vec<(Asn, Vec<RoaPrefix>)> = state
+            .roas
+            .iter()
+            .map(|r| (r.asn, r.prefixes.clone()))
+            .collect();
+        let parent = self
+            .order
+            .iter()
+            .copied()
+            .find(|pid| {
+                self.cas[pid]
+                    .children
+                    .iter()
+                    .any(|c| c.subject_key_id() == ca)
+            })
+            .ok_or(BuildError::UnknownCa(ca))?;
+        let serial = self.next_serial();
+        let keys = Keypair::derive(self.master_seed, &format!("ca/{name}#gen{generation}"));
+        let new_id = keys.key_id;
+        let cert = {
+            let parent_state = &self.cas[&parent];
+            Cert::issue(
+                serial,
+                &name,
+                keys.public,
+                &parent_state.keys.secret,
+                parent,
+                Validity::starting(self.now, self.cert_validity),
+                resources,
+                true,
+            )
+        };
+        {
+            let parent_state = self.cas.get_mut(&parent).expect("parent just looked up");
+            parent_state.children.retain(|c| c.subject_key_id() != ca);
+            parent_state.children.push(cert.clone());
+            parent_state.revoked.insert(old_serial);
+        }
+        let old_state = self.cas.remove(&ca).expect("CA just looked up");
+        let pos = self
+            .order
+            .iter()
+            .position(|id| *id == ca)
+            .expect("CA is in insertion order");
+        self.order[pos] = new_id;
+        self.cas.insert(
+            new_id,
+            CaState {
+                name,
+                keys,
+                cert,
+                children: Vec::new(),
+                roas: Vec::new(),
+                revoked: old_state.revoked,
+                is_trust_anchor: false,
+                generation,
+            },
+        );
+        for (asn, prefixes) in roa_specs {
+            self.add_roa(new_id, asn, prefixes)
+                .expect("reissued ROA stays within unchanged CA resources");
+        }
+        Ok(new_id)
+    }
+
+    /// Sign CRLs and manifests everywhere and emit the current
+    /// repository state, leaving the builder usable for further
+    /// evolution (the longitudinal engine publishes once per epoch).
+    /// Each call bumps the manifest number.
+    pub fn snapshot(&mut self) -> Repository {
+        self.manifest_number += 1;
         let mut repo = Repository::default();
         let crl_window = Validity::starting(self.now, self.crl_validity);
         for id in &self.order {
@@ -332,7 +493,13 @@ impl RepositoryBuilder {
             for roa in &state.roas {
                 entries.push((PublicationPoint::roa_file_name(roa), roa.digest()));
             }
-            let manifest = Manifest::issue(&state.keys.secret, *id, 1, entries, crl_window);
+            let manifest = Manifest::issue(
+                &state.keys.secret,
+                *id,
+                self.manifest_number,
+                entries,
+                crl_window,
+            );
             repo.points.insert(
                 *id,
                 PublicationPoint {
@@ -344,6 +511,11 @@ impl RepositoryBuilder {
             );
         }
         repo
+    }
+
+    /// Sign CRLs and manifests everywhere and emit the repository.
+    pub fn finalize(mut self) -> Repository {
+        self.snapshot()
     }
 }
 
@@ -447,6 +619,77 @@ mod tests {
         assert_eq!(b.find_ca("ISP-1"), Some(isp));
         assert_eq!(b.find_ca("RIPE"), Some(ta));
         assert_eq!(b.find_ca("nope"), None);
+    }
+
+    #[test]
+    fn snapshot_allows_continued_evolution() {
+        let mut b = RepositoryBuilder::new(3, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        let first = b.snapshot();
+        assert_eq!(first.roa_count(), 1);
+        assert_eq!(first.points[&isp].manifest.manifest_number, 1);
+
+        b.add_roa(isp, Asn::new(200), vec![RoaPrefix::exact(p("85.2.0.0/16"))])
+            .unwrap();
+        let second = b.snapshot();
+        assert_eq!(second.roa_count(), 2);
+        assert_eq!(second.points[&isp].manifest.manifest_number, 2);
+        // The earlier snapshot is unaffected.
+        assert_eq!(first.roa_count(), 1);
+    }
+
+    #[test]
+    fn remove_roa_unpublishes() {
+        let mut b = RepositoryBuilder::new(3, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        let roas = b.list_roas();
+        assert_eq!(roas.len(), 1);
+        let (ca, ee_serial, asn) = roas[0];
+        assert_eq!(ca, isp);
+        assert_eq!(asn, Asn::new(100));
+        assert!(b.remove_roa(ca, ee_serial).unwrap());
+        assert!(!b.remove_roa(ca, ee_serial).unwrap());
+        assert_eq!(b.snapshot().roa_count(), 0);
+    }
+
+    #[test]
+    fn key_rollover_replaces_cert_and_reissues_roas() {
+        use crate::validate::validate;
+
+        let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        let before = validate(&b.snapshot(), SimTime::EPOCH + Duration::days(1));
+
+        assert_eq!(b.rollover_candidates(), vec![isp]);
+        let new_isp = b.rollover_key(isp).unwrap();
+        assert_ne!(new_isp, isp);
+        assert_eq!(b.ca_name(new_isp), Some("ISP-1"));
+        assert_eq!(b.ca_name(isp), None);
+        // TAs and CAs with children cannot roll.
+        assert!(matches!(
+            b.rollover_key(ta),
+            Err(BuildError::RolloverUnsupported(_))
+        ));
+
+        let repo = b.snapshot();
+        let after = validate(&repo, SimTime::EPOCH + Duration::days(1));
+        // The VRP set is unchanged by the rollover…
+        assert_eq!(before.vrps, after.vrps);
+        // …the old CA cert is revoked at the TA…
+        let old_serial = 2; // TA cert serial 1, ISP cert serial 2
+        assert!(repo.points[&ta].crl.is_revoked(old_serial));
+        // …and the old publication point is gone.
+        assert!(!repo.points.contains_key(&isp));
+        assert!(repo.points.contains_key(&new_isp));
     }
 
     #[test]

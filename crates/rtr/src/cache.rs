@@ -35,6 +35,14 @@ pub struct CacheServer {
     max_history: usize,
 }
 
+/// RFC 1982 serial-number arithmetic (as required by RFC 8210 §5.1):
+/// is `a` less than `b` in sequence space? Neither total nor transitive
+/// over the full space — exactly half the space is "greater" — but
+/// well-defined for the windows RTR compares.
+pub fn serial_lt(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < (1 << 31)
+}
+
 /// Turn a VRP into its announce/withdraw PDU.
 fn vrp_pdu(vrp: &VrpTriple, announce: bool) -> Pdu {
     match vrp.prefix {
@@ -78,14 +86,22 @@ impl CacheServer {
     }
 
     /// Install a new validation result; returns the new serial.
+    ///
+    /// Crossing the u32 wrap (serial `0xFFFF_FFFF` → `0`) discards the
+    /// delta history: serial comparisons are ambiguous across the wrap
+    /// boundary's half-space, so every router is forced through a Cache
+    /// Reset and refetches the full set (RFC 8210 §5.1 / RFC 1982).
     pub fn update<I: IntoIterator<Item = VrpTriple>>(&self, vrps: I) -> u32 {
         let new: BTreeSet<VrpTriple> = vrps.into_iter().collect();
         let mut st = self.state.lock().expect("rtr cache state poisoned");
         let announced: Vec<VrpTriple> = new.difference(&st.current).copied().collect();
         let withdrawn: Vec<VrpTriple> = st.current.difference(&new).copied().collect();
+        let wrapped = st.serial == u32::MAX;
         st.serial = st.serial.wrapping_add(1);
         let serial = st.serial;
-        if st.has_data {
+        if wrapped {
+            st.history.clear();
+        } else if st.has_data {
             st.history.push_back(Delta {
                 to_serial: serial,
                 announced,
@@ -108,7 +124,10 @@ impl CacheServer {
     /// the previous serial sync with announce/withdraw PDUs only. Any
     /// other jump (engine restarted, epochs skipped, serial regressed)
     /// clears the delta history: affected routers get a Cache Reset and
-    /// refetch the full set, which is always correct.
+    /// refetch the full set, which is always correct. The u32 wrap
+    /// (`0xFFFF_FFFF` → `0`) is numerically contiguous but clears the
+    /// history too — RFC 1982 comparisons are ambiguous across the wrap
+    /// boundary, so a forced Cache Reset is the only safe resync.
     ///
     /// Returns `false` (and installs nothing) if `serial` equals the
     /// current serial while data is already present — same epoch, no-op.
@@ -122,7 +141,8 @@ impl CacheServer {
         if st.has_data && serial == st.serial {
             return false;
         }
-        let contiguous = st.has_data && serial == st.serial.wrapping_add(1);
+        let wraps = st.serial == u32::MAX && serial == 0;
+        let contiguous = st.has_data && !wraps && serial == st.serial.wrapping_add(1);
         if contiguous {
             let announced: Vec<VrpTriple> = new.difference(&st.current).copied().collect();
             let withdrawn: Vec<VrpTriple> = st.current.difference(&new).copied().collect();
@@ -215,6 +235,12 @@ impl CacheServer {
                         },
                     ];
                 }
+                if serial_lt(st.serial, *serial) {
+                    // The router's serial is from our future (RFC 1982
+                    // comparison): it outlived a cache restart or a
+                    // serial wrap. Only a full restart is safe.
+                    return vec![Pdu::CacheReset];
+                }
                 // Collect deltas (serial, current]: they must chain
                 // contiguously from the router's serial.
                 let mut chain: Vec<&Delta> = Vec::new();
@@ -280,7 +306,8 @@ impl CacheServer {
         loop {
             match read_pdu(&mut read_half, &mut buf) {
                 Ok(query) => {
-                    for pdu in self.handle_query(&query) {
+                    let responses = self.handle_query(&query);
+                    for pdu in &responses {
                         write_half
                             .write_all(&pdu.encode())
                             .map_err(|e| PduError::Io(e.to_string()))?;
@@ -288,7 +315,15 @@ impl CacheServer {
                     write_half
                         .flush()
                         .map_err(|e| PduError::Io(e.to_string()))?;
-                    notified_serial = self.serial();
+                    // Record the serial the router actually saw (the
+                    // response's End of Data), not the cache's current
+                    // serial: an update landing between the response
+                    // and this bookkeeping must still get its notify.
+                    for pdu in &responses {
+                        if let Pdu::EndOfData { serial, .. } = pdu {
+                            notified_serial = *serial;
+                        }
+                    }
                 }
                 Err(PduError::Io(msg))
                     if msg.contains("timed out")
@@ -580,5 +615,82 @@ mod tests {
         assert!(cache.install_snapshot(3, [vrp("10.0.0.0/16", 16, 1)]));
         assert!(!cache.install_snapshot(3, [vrp("11.0.0.0/16", 16, 2)]));
         assert_eq!(cache.vrp_count(), 1);
+    }
+
+    #[test]
+    fn serial_lt_follows_rfc1982() {
+        assert!(serial_lt(1, 2));
+        assert!(!serial_lt(2, 1));
+        assert!(!serial_lt(5, 5));
+        // Wrap-adjacent: MAX is "less than" 0 in sequence space.
+        assert!(serial_lt(u32::MAX, 0));
+        assert!(!serial_lt(0, u32::MAX));
+        // Half-space edge: exactly 2^31 apart is NOT less-than.
+        assert!(!serial_lt(0, 1 << 31));
+        assert!(serial_lt(0, (1 << 31) - 1));
+    }
+
+    #[test]
+    fn install_snapshot_wrap_forces_cache_reset() {
+        let cache = CacheServer::new(7);
+        assert!(cache.install_snapshot(u32::MAX - 1, [vrp("10.0.0.0/16", 16, 1)]));
+        assert!(cache.install_snapshot(u32::MAX, [vrp("11.0.0.0/16", 16, 2)]));
+        // Pre-wrap serials still sync incrementally.
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: u32::MAX - 1,
+        });
+        assert!(matches!(
+            out.last(),
+            Some(Pdu::EndOfData {
+                serial: u32::MAX,
+                ..
+            })
+        ));
+        // The wrap itself is numerically contiguous but must reset.
+        assert!(cache.install_snapshot(0, [vrp("12.0.0.0/16", 16, 3)]));
+        assert_eq!(cache.serial(), 0);
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: u32::MAX,
+        });
+        assert_eq!(out, vec![Pdu::CacheReset]);
+        // A full refetch recovers and serves the post-wrap serial.
+        let out = cache.handle_query(&Pdu::ResetQuery);
+        assert!(matches!(out.last(), Some(Pdu::EndOfData { serial: 0, .. })));
+    }
+
+    #[test]
+    fn update_wrap_forces_cache_reset() {
+        let cache = CacheServer::new(7);
+        assert!(cache.install_snapshot(u32::MAX, [vrp("10.0.0.0/16", 16, 1)]));
+        // Self-incrementing update crosses the wrap.
+        let serial = cache.update([vrp("11.0.0.0/16", 16, 2)]);
+        assert_eq!(serial, 0);
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: u32::MAX,
+        });
+        assert_eq!(out, vec![Pdu::CacheReset]);
+        // Post-wrap deltas chain normally again.
+        cache.update([vrp("12.0.0.0/16", 16, 3)]);
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 0,
+        });
+        assert!(matches!(out.last(), Some(Pdu::EndOfData { serial: 1, .. })));
+    }
+
+    #[test]
+    fn future_serial_is_explicit_cache_reset() {
+        let cache = CacheServer::new(7);
+        cache.update([vrp("10.0.0.0/16", 16, 1)]);
+        cache.update([vrp("11.0.0.0/16", 16, 2)]);
+        // serial 3 is in the cache's future per RFC 1982.
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 3,
+        });
+        assert_eq!(out, vec![Pdu::CacheReset]);
     }
 }

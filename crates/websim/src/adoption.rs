@@ -91,6 +91,21 @@ pub fn build_repository(
     seed: u64,
     now: SimTime,
 ) -> (Repository, AdoptionSummary) {
+    let (mut builder, summary) = issue_repository(operators, holdings, cfg, seed, now);
+    (builder.snapshot(), summary)
+}
+
+/// Run the adoption model but return the still-open [`RepositoryBuilder`]
+/// instead of a finalized [`Repository`], so churn generators can keep
+/// evolving the RPKI (add/remove ROAs, roll keys) and re-publish
+/// snapshots per epoch.
+pub fn issue_repository(
+    operators: &[Operator],
+    holdings: &[PrefixHolding],
+    cfg: &AdoptionConfig,
+    seed: u64,
+    now: SimTime,
+) -> (RepositoryBuilder, AdoptionSummary) {
     // Scenarios issue their repository some days before the measurement
     // instant; keep CRLs/manifests current across that gap (real CAs
     // re-sign on a schedule — we model the current snapshot).
@@ -220,7 +235,7 @@ pub fn build_repository(
         }
     }
 
-    (builder.finalize(), summary)
+    (builder, summary)
 }
 
 /// Pick four of Internap's holdings spanning exactly three ASes (or as

@@ -36,12 +36,14 @@
 pub mod adoption;
 pub mod allocation;
 pub mod cdn;
+pub mod churn;
 pub mod hosting;
 pub mod operators;
 pub mod ranking;
 pub mod registry;
 pub mod scenario;
 
+pub use churn::{ChurnConfig, ChurnStream, EpochChurn, WorldEvent};
 pub use operators::{Operator, OperatorClass, OperatorId};
 pub use registry::{AsInfo, AsRegistry};
 pub use scenario::{Scenario, ScenarioConfig};

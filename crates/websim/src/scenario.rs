@@ -7,7 +7,7 @@
 //! registry for the CDN audit, an AS topology for hijack experiments, and
 //! the generator's ground truth for scoring classifiers.
 
-use crate::adoption::{build_repository, AdoptionConfig, AdoptionSummary, PrefixHolding};
+use crate::adoption::{self, build_repository, AdoptionConfig, AdoptionSummary, PrefixHolding};
 use crate::allocation::Allocator;
 use crate::cdn::{pick_cdn, CdnInfra};
 use crate::hosting::{cdn_probability, www_equal_probability, DomainTruth, HosterMix};
@@ -193,6 +193,9 @@ pub struct Scenario {
     pub topology: Topology,
     /// Per-domain ground truth, parallel to `ranking`.
     pub truth: Vec<DomainTruth>,
+    /// Every announced prefix holding (operator, ASN, prefix). Churn
+    /// generators draw announcements and ROA targets from here.
+    pub holdings: Vec<PrefixHolding>,
     /// What the adoption pass did.
     pub adoption_summary: AdoptionSummary,
     /// The instant the study "runs" at (validity windows are open).
@@ -796,9 +799,25 @@ impl Scenario {
             cdn_infras,
             topology,
             truth,
+            holdings,
             adoption_summary,
             now,
         }
+    }
+
+    /// Replay the adoption pass and return the still-open issuing
+    /// builder: the exact deterministic program that produced
+    /// [`Scenario::repository`], minus the final snapshot. Evolving this
+    /// builder and snapshotting yields the repository the scenario's CAs
+    /// would publish after that evolution.
+    pub fn issuing_builder(&self) -> (ripki_rpki::repo::RepositoryBuilder, AdoptionSummary) {
+        adoption::issue_repository(
+            &self.operators,
+            &self.holdings,
+            &self.config.adoption,
+            self.config.seed,
+            self.now - Duration::days(30),
+        )
     }
 }
 
