@@ -1,0 +1,207 @@
+//! Throughput of the HTTP query plane under concurrent clients.
+//!
+//! Starts a real `ripki-serve` server over a bench-scale measured world
+//! and hammers it from several keep-alive client threads: sustained
+//! `/api/v1/validity` queries (the hot path — one trie lookup plus a
+//! small JSON payload per request) and full `/vrps.json` exports (one
+//! connection each; the body is streamed and close-delimited).
+//!
+//! Besides the Criterion numbers, writes the acceptance summary
+//! (requests/s for both endpoints) to `results/BENCH_serve.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki_bench::Study;
+use ripki_serve::{EpochView, Server, ServerConfig, SharedView};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 4;
+const VALIDITY_REQUESTS_PER_CLIENT: usize = 500;
+const VRPS_REQUESTS_PER_CLIENT: usize = 25;
+
+/// One keep-alive GET; returns the response length. Reads exactly one
+/// content-length-framed response off the stream.
+fn keep_alive_get(stream: &mut TcpStream, path: &str) -> usize {
+    // One write per request: interleaving small writes with Nagle on
+    // triggers the 40 ms delayed-ACK stall and benchmarks the kernel
+    // timer instead of the server.
+    let request = format!("GET {path} HTTP/1.1\r\nhost: bench\r\n\r\n");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("read head");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).expect("ascii head");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .expect("framed response")
+        .trim()
+        .parse()
+        .expect("numeric length");
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("read body");
+    head.len() + length
+}
+
+/// One connection-per-request GET (streamed endpoints close the socket).
+fn oneshot_get(addr: SocketAddr, path: &str) -> usize {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let request = format!("GET {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    assert!(raw.starts_with(b"HTTP/1.1 200"), "bad response");
+    raw.len()
+}
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let view = EpochView::new(
+        study.engine.snapshot(),
+        Arc::new(study.results.clone()),
+        None,
+        Default::default(),
+    );
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::new(SharedView::new(view)),
+        ServerConfig {
+            workers: CLIENTS + 2,
+            // Criterion's warm-up alone exceeds the default per-connection
+            // request cap; an uncapped connection keeps the latency bench
+            // on a single keep-alive stream.
+            max_requests_per_connection: usize::MAX,
+            ..Default::default()
+        },
+    )
+    .expect("bind bench server");
+    let addr = server.addr();
+
+    // Query mix: every measured (prefix, origin) pair.
+    let mut queries: Vec<String> = study
+        .results
+        .domains
+        .iter()
+        .flat_map(|d| d.bare.pairs.iter().chain(&d.www.pairs))
+        .map(|p| format!("/api/v1/validity?asn={}&prefix={}", p.origin, p.prefix))
+        .collect();
+    queries.sort();
+    queries.dedup();
+    assert!(!queries.is_empty());
+    let queries = Arc::new(queries);
+
+    // Sustained validity throughput over keep-alive connections.
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let queries = Arc::clone(&queries);
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                let mut bytes = 0usize;
+                for i in 0..VALIDITY_REQUESTS_PER_CLIENT {
+                    let path = &queries[(client + i * CLIENTS) % queries.len()];
+                    bytes += keep_alive_get(&mut stream, path);
+                }
+                bytes
+            })
+        })
+        .collect();
+    let validity_bytes: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let validity_total = CLIENTS * VALIDITY_REQUESTS_PER_CLIENT;
+    let validity_rps = validity_total as f64 / t0.elapsed().as_secs_f64();
+
+    // Full VRP exports, one connection per request.
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut bytes = 0usize;
+                for _ in 0..VRPS_REQUESTS_PER_CLIENT {
+                    bytes += oneshot_get(addr, "/vrps.json");
+                }
+                bytes
+            })
+        })
+        .collect();
+    let vrps_bytes: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let vrps_total = CLIENTS * VRPS_REQUESTS_PER_CLIENT;
+    let vrps_rps = vrps_total as f64 / t0.elapsed().as_secs_f64();
+
+    let vrp_count = study.engine.snapshot().vrps().len();
+    println!("\n=== serve: HTTP query plane throughput ===");
+    println!(
+        "{} domains, {vrp_count} VRPs, {CLIENTS} concurrent clients",
+        study.results.domains.len(),
+    );
+    println!(
+        "validity {validity_rps:.0} req/s ({:.1} KiB total), vrps.json {vrps_rps:.0} req/s ({:.1} KiB total)",
+        validity_bytes as f64 / 1024.0,
+        vrps_bytes as f64 / 1024.0,
+    );
+
+    let mut json = serde_json::Map::new();
+    let num = |v: f64| serde_json::to_value(&v).expect("f64 serializes");
+    json.insert("bench".into(), "serve_throughput".into());
+    json.insert(
+        "domains".into(),
+        serde_json::to_value(&study.results.domains.len()).expect("usize serializes"),
+    );
+    json.insert(
+        "vrp_count".into(),
+        serde_json::to_value(&vrp_count).expect("usize serializes"),
+    );
+    json.insert(
+        "clients".into(),
+        serde_json::to_value(&CLIENTS).expect("usize serializes"),
+    );
+    json.insert(
+        "validity_requests".into(),
+        serde_json::to_value(&validity_total).expect("usize serializes"),
+    );
+    json.insert("validity_req_per_s".into(), num(validity_rps));
+    json.insert(
+        "vrps_json_requests".into(),
+        serde_json::to_value(&vrps_total).expect("usize serializes"),
+    );
+    json.insert("vrps_json_req_per_s".into(), num(vrps_rps));
+    let json = serde_json::Value::Object(json);
+    let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(results_dir).ok();
+    let path = format!("{results_dir}/BENCH_serve.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    // Criterion latency view: one keep-alive round trip per iteration.
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut i = 0usize;
+    group.bench_function("validity_roundtrip", |b| {
+        b.iter(|| {
+            let path = &queries[i % queries.len()];
+            i += 1;
+            keep_alive_get(&mut stream, path)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -50,5 +50,5 @@ pub mod topology;
 pub use dump::TableDump;
 pub use path::{AsPath, Origin, Segment};
 pub use rib::{Rib, RibChanges, RibDelta, RibEntry, RibOp};
-pub use rov::{RouteOriginValidator, RpkiState};
+pub use rov::{RouteOriginValidator, RpkiState, ValidityDetail, VrpTriple};
 pub use topology::{Relationship, Topology};

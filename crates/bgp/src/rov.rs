@@ -120,6 +120,87 @@ impl RouteOriginValidator {
     pub fn is_covered(&self, prefix: &IpPrefix) -> bool {
         !self.trie.covering(prefix).is_empty()
     }
+
+    /// Full RFC 6811 verdict with the covering VRPs partitioned by why
+    /// they did (not) match — what a relying-party validity API returns
+    /// (cf. Routinator's `/api/v1/validity`). The `state` agrees with
+    /// [`validate`](Self::validate) for every input.
+    pub fn validity(&self, prefix: &IpPrefix, origin: Asn) -> ValidityDetail {
+        let mut detail = ValidityDetail {
+            state: RpkiState::NotFound,
+            matched: Vec::new(),
+            unmatched_asn: Vec::new(),
+            unmatched_length: Vec::new(),
+        };
+        for (vrp_prefix, vrps) in self.trie.covering(prefix) {
+            for (max_length, asn) in vrps.iter() {
+                let triple = VrpTriple {
+                    prefix: vrp_prefix,
+                    max_length: *max_length,
+                    asn: *asn,
+                };
+                if *asn != origin {
+                    detail.unmatched_asn.push(triple);
+                } else if prefix.len() > *max_length {
+                    detail.unmatched_length.push(triple);
+                } else {
+                    detail.matched.push(triple);
+                }
+            }
+        }
+        detail.state = if !detail.matched.is_empty() {
+            RpkiState::Valid
+        } else if detail.unmatched_asn.is_empty() && detail.unmatched_length.is_empty() {
+            RpkiState::NotFound
+        } else {
+            RpkiState::Invalid
+        };
+        detail
+    }
+}
+
+/// The outcome of [`RouteOriginValidator::validity`]: the RFC 6811
+/// state plus every covering VRP, partitioned by match outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidityDetail {
+    /// The RFC 6811 state (identical to `validate`'s answer).
+    pub state: RpkiState,
+    /// Covering VRPs that authorize the announcement.
+    pub matched: Vec<VrpTriple>,
+    /// Covering VRPs whose origin AS differs.
+    pub unmatched_asn: Vec<VrpTriple>,
+    /// Covering VRPs with the right origin but an exceeded maxLength.
+    pub unmatched_length: Vec<VrpTriple>,
+}
+
+impl ValidityDetail {
+    /// Routinator-style reason token for an Invalid verdict (`"as"` when
+    /// some covering VRP has a different origin, `"length"` when the
+    /// origin matches but the announcement is too specific).
+    pub fn reason(&self) -> Option<&'static str> {
+        if self.state != RpkiState::Invalid {
+            None
+        } else if !self.unmatched_asn.is_empty() {
+            Some("as")
+        } else {
+            Some("length")
+        }
+    }
+
+    /// Human-readable description of the verdict.
+    pub fn description(&self) -> &'static str {
+        match self.state {
+            RpkiState::Valid => "At least one VRP Matches the Route Prefix",
+            RpkiState::NotFound => "No VRP Covers the Route Prefix",
+            RpkiState::Invalid => {
+                if !self.unmatched_asn.is_empty() {
+                    "At least one VRP Covers the Route Prefix, but no VRP ASN matches the route origin ASN"
+                } else {
+                    "At least one VRP Covers the Route Prefix, but the Route Prefix length is greater than the maximum length allowed by VRP(s) matching this route origin ASN"
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +268,56 @@ mod tests {
             v.validate(&p("10.0.0.0/24"), Asn::new(100)),
             RpkiState::Invalid
         );
+    }
+
+    #[test]
+    fn validity_detail_partitions_covering_vrps() {
+        let v = RouteOriginValidator::from_vrps([
+            vrp("10.0.0.0/16", 20, 100),
+            vrp("10.0.0.0/16", 16, 200),
+        ]);
+        // Valid: matched carries the authorizing VRP, the wrong-origin
+        // one lands in unmatched_asn.
+        let d = v.validity(&p("10.0.0.0/20"), Asn::new(100));
+        assert_eq!(d.state, RpkiState::Valid);
+        assert_eq!(d.matched, vec![vrp("10.0.0.0/16", 20, 100)]);
+        assert_eq!(d.unmatched_asn, vec![vrp("10.0.0.0/16", 16, 200)]);
+        assert_eq!(d.reason(), None);
+        // Invalid by origin.
+        let d = v.validity(&p("10.0.0.0/16"), Asn::new(300));
+        assert_eq!(d.state, RpkiState::Invalid);
+        assert_eq!(d.reason(), Some("as"));
+        assert_eq!(d.unmatched_asn.len(), 2);
+        // Invalid by length only: right origin, too specific.
+        let v2 = RouteOriginValidator::from_vrps([vrp("10.0.0.0/16", 20, 100)]);
+        let d = v2.validity(&p("10.0.0.0/24"), Asn::new(100));
+        assert_eq!(d.state, RpkiState::Invalid);
+        assert_eq!(d.reason(), Some("length"));
+        assert_eq!(d.unmatched_length, vec![vrp("10.0.0.0/16", 20, 100)]);
+        // NotFound.
+        let d = v.validity(&p("11.0.0.0/16"), Asn::new(100));
+        assert_eq!(d.state, RpkiState::NotFound);
+        assert_eq!(d.reason(), None);
+        assert!(!d.description().is_empty());
+    }
+
+    #[test]
+    fn validity_state_agrees_with_validate() {
+        let v = RouteOriginValidator::from_vrps([
+            vrp("10.0.0.0/16", 20, 100),
+            vrp("10.0.0.0/16", 16, 200),
+            vrp("10.0.0.0/8", 16, 300),
+        ]);
+        for pfx in ["10.0.0.0/8", "10.0.0.0/16", "10.0.0.0/24", "11.0.0.0/16"] {
+            for asn in [100u32, 200, 300, 400] {
+                let asn = Asn::new(asn);
+                assert_eq!(
+                    v.validity(&p(pfx), asn).state,
+                    v.validate(&p(pfx), asn),
+                    "{pfx} {asn}"
+                );
+            }
+        }
     }
 
     #[test]

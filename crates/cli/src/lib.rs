@@ -87,6 +87,12 @@ USAGE:
                          [--churn-seed C] [--stride K]
       replay E epochs of world churn through the incremental engine
       and report validation outcome + hijack exposure over time
+  ripki-cli serve [--domains N] [--seed S] [--listen ADDR]
+                  [--rtr-listen ADDR] [--epochs E] [--epoch-interval-ms MS]
+                  [--churn-seed C] [--stride K] [--exit-after-churn BOOL]
+      measure a synthetic world and serve it over the HTTP query plane
+      (validity API, VRP exports, domain lookups, Prometheus metrics),
+      optionally alongside an RTR cache, applying E churn epochs live
   ripki-cli help
       this text";
 
@@ -150,6 +156,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "study" => cmd_study(&flags, out),
         "rtr-serve" => cmd_rtr_serve(&flags, out),
         "longitudinal" => cmd_longitudinal(&flags, out),
+        "serve" => cmd_serve(&flags, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -514,10 +521,15 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
     );
     let mut results = engine.run(&scenario.ranking);
 
-    // The RTR cache shadows the engine: each epoch's VRPs are installed
-    // under the epoch as serial, so routers incrementally track the
-    // same delta stream the measurement does.
+    // The RTR cache shadows the engine: the initial snapshot is
+    // installed once, then each `EpochDelta`'s announce/withdraw sets
+    // stream in through `apply_delta` under the epoch as serial — the
+    // same incremental path a router sees, not a full reinstall.
     let cache = ripki_rtr::CacheServer::new(0x1715);
+    {
+        let snapshot = engine.snapshot();
+        cache.install_snapshot(snapshot.epoch() as u32, snapshot.vrps().iter().copied());
+    }
     let exposure_cfg = ExposureConfig {
         stride: stride.max(1),
         ..Default::default()
@@ -537,7 +549,6 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
                      withdrawn: usize|
      -> Result<(), CliError> {
         let snapshot = engine.snapshot();
-        cache.install_snapshot(snapshot.epoch() as u32, snapshot.vrps().iter().copied());
         let (valid, covered, capture) =
             longitudinal_row(&scenario, results, snapshot.vrps(), &exposure_cfg);
         writeln!(
@@ -568,6 +579,12 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
         let batch = stream.next_epoch();
         let events = batch.events.len();
         let delta = engine.apply_events(&batch, &mut results);
+        // Stream the epoch's churn into the cache; a serial mismatch
+        // (e.g. a wrapped counter) falls back to a full reinstall.
+        if !cache.apply_delta(delta.to_epoch as u32, &delta.announced, &delta.withdrawn) {
+            let snapshot = engine.snapshot();
+            cache.install_snapshot(snapshot.epoch() as u32, snapshot.vrps().iter().copied());
+        }
         print_row(
             out,
             &results,
@@ -582,10 +599,140 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
         out,
         "final epoch {}, RTR serial {}, {} VRPs cached",
         engine.epoch(),
-        engine.epoch(),
+        cache.serial(),
         cache.vrp_count(),
     )?;
     Ok(())
+}
+
+fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    use ripki_serve::{EpochView, Server, ServerConfig, SharedView};
+    use std::sync::Arc;
+
+    let domains: usize = flags.get_parsed("domains", 1_000)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let listen = flags.get("listen").unwrap_or("127.0.0.1:8080");
+    let epochs: u64 = flags.get_parsed("epochs", 0)?;
+    let interval_ms: u64 = flags.get_parsed("epoch-interval-ms", 1_000)?;
+    let churn_seed: u64 = flags.get_parsed("churn-seed", ChurnConfig::default().seed)?;
+    let stride: usize = flags.get_parsed("stride", 50)?;
+    let exit_after_churn: bool = flags.get_parsed("exit-after-churn", false)?;
+
+    writeln!(out, "measuring world: {domains} domains, seed {seed}")?;
+    let scenario = Scenario::build(ScenarioConfig {
+        seed,
+        ..ScenarioConfig::with_domains(domains)
+    });
+    let engine = StudyEngine::new(
+        scenario.zones.clone(),
+        scenario.rib.clone(),
+        &scenario.repository,
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now: scenario.now,
+            ..Default::default()
+        },
+    );
+    let mut results = engine.run(&scenario.ranking);
+    let topology = Arc::new(scenario.topology.clone());
+    let exposure_cfg = ExposureConfig {
+        stride: stride.max(1),
+        ..Default::default()
+    };
+    let make_view = |snapshot, results: &ripki::StudyResults| {
+        EpochView::new(
+            snapshot,
+            Arc::new(results.clone()),
+            Some(Arc::clone(&topology)),
+            exposure_cfg.clone(),
+        )
+    };
+
+    let shared = Arc::new(SharedView::new(make_view(engine.snapshot(), &results)));
+    let mut server = Server::start(listen, Arc::clone(&shared), ServerConfig::default())?;
+    writeln!(
+        out,
+        "HTTP query plane on http://{} — epoch {}, {} VRPs, {} domains",
+        server.addr(),
+        engine.epoch(),
+        engine.snapshot().vrps().len(),
+        results.domains.len(),
+    )?;
+
+    // Optional RTR cache side by side, fed by the same delta stream.
+    let rtr_cache = match flags.get("rtr-listen") {
+        Some(rtr_listen) => {
+            let cache = Arc::new(ripki_rtr::CacheServer::new(0x1715));
+            let snapshot = engine.snapshot();
+            cache.install_snapshot(snapshot.epoch() as u32, snapshot.vrps().iter().copied());
+            let listener = std::net::TcpListener::bind(rtr_listen)?;
+            writeln!(
+                out,
+                "RTR cache on {} (session {:#06x}, serial {})",
+                listener.local_addr()?,
+                cache.session_id(),
+                cache.serial(),
+            )?;
+            let accept_cache = Arc::clone(&cache);
+            std::thread::Builder::new()
+                .name("ripki-rtr-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming().flatten() {
+                        let cache = Arc::clone(&accept_cache);
+                        std::thread::spawn(move || {
+                            let _ = cache
+                                .serve_tcp_with_notify(conn, std::time::Duration::from_secs(1));
+                        });
+                    }
+                })?;
+            Some(cache)
+        }
+        None => None,
+    };
+
+    if epochs > 0 {
+        let mut stream = ChurnStream::new(
+            &scenario,
+            ChurnConfig {
+                seed: churn_seed,
+                ..ChurnConfig::default()
+            },
+        );
+        for _ in 0..epochs {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            let batch = stream.next_epoch();
+            let events = batch.events.len();
+            let delta = engine.apply_events(&batch, &mut results);
+            // HTTP views and RTR serials advance in lockstep with the
+            // engine's epoch — the serving plane's consistency contract.
+            shared.publish(make_view(engine.snapshot(), &results));
+            if let Some(cache) = &rtr_cache {
+                if !cache.apply_delta(delta.to_epoch as u32, &delta.announced, &delta.withdrawn) {
+                    let snapshot = engine.snapshot();
+                    cache
+                        .install_snapshot(snapshot.epoch() as u32, snapshot.vrps().iter().copied());
+                }
+            }
+            writeln!(
+                out,
+                "epoch {}: {events} events, {} domains re-measured, +{} -{} VRPs",
+                delta.to_epoch,
+                delta.domains_remeasured,
+                delta.announced.len(),
+                delta.withdrawn.len(),
+            )?;
+        }
+    }
+
+    if exit_after_churn {
+        server.shutdown();
+        writeln!(out, "exiting after churn (epoch {})", engine.epoch())?;
+        return Ok(());
+    }
+    writeln!(out, "serving; ctrl-c to stop")?;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
 #[cfg(test)]
@@ -712,6 +859,91 @@ mod tests {
         assert_eq!(rows.len(), 4, "{text}");
         // Epoch == RTR serial all the way through.
         assert!(text.contains("final epoch 4, RTR serial 4"), "{text}");
+    }
+
+    #[test]
+    fn serve_runs_http_and_rtr_side_by_side() {
+        use std::io::Read as _;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let mut thread_buf = buf.clone();
+        let handle = std::thread::spawn(move || {
+            let args: Vec<String> = [
+                "serve",
+                "--domains",
+                "200",
+                "--seed",
+                "3",
+                "--listen",
+                "127.0.0.1:0",
+                "--rtr-listen",
+                "127.0.0.1:0",
+                "--epochs",
+                "2",
+                "--epoch-interval-ms",
+                "400",
+                "--exit-after-churn",
+                "true",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            run(&args, &mut thread_buf)
+        });
+
+        // Wait for both listeners to announce their bound addresses.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let (http_addr, rtr_addr) = loop {
+            assert!(std::time::Instant::now() < deadline, "serve never started");
+            let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+            let http = text
+                .lines()
+                .find_map(|l| l.split_once("http://").map(|(_, r)| r))
+                .and_then(|r| r.split_whitespace().next().map(str::to_string));
+            let rtr = text
+                .lines()
+                .find(|l| l.starts_with("RTR cache on "))
+                .and_then(|l| l.split_whitespace().nth(3).map(str::to_string));
+            match (http, rtr) {
+                (Some(h), Some(r)) => break (h, r),
+                _ => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        };
+
+        // The HTTP plane answers while churn epochs apply.
+        let mut stream = std::net::TcpStream::connect(&http_addr).unwrap();
+        stream
+            .write_all(b"GET /status HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("\"epoch\""), "{response}");
+
+        // The RTR cache serves the same world to a router client.
+        let conn = std::net::TcpStream::connect(&rtr_addr).unwrap();
+        let mut client = ripki_rtr::Client::new(conn);
+        client.sync().expect("RTR sync");
+        assert!(!client.vrps().is_empty());
+
+        handle.join().unwrap().expect("serve exits cleanly");
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("epoch 2:"), "{text}");
+        assert!(text.contains("epoch 3:"), "{text}");
+        assert!(text.contains("exiting after churn (epoch 3)"), "{text}");
     }
 
     #[test]

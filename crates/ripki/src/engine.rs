@@ -32,7 +32,7 @@
 
 use crate::model::{DomainMeasurement, NameMeasurement, PairState, PipelineConfig, StudyResults};
 use ripki_bgp::rib::{Rib, RibChanges, RibDelta};
-use ripki_bgp::rov::{RouteOriginValidator, VrpTriple};
+use ripki_bgp::rov::{RouteOriginValidator, ValidityDetail, VrpTriple};
 use ripki_dns::cache::ResolutionCache;
 use ripki_dns::faults::FaultyResolver;
 use ripki_dns::resolver::Resolver;
@@ -109,6 +109,14 @@ impl WorldSnapshot {
     /// The origin validator built from this epoch's validated VRPs.
     pub fn validator(&self) -> &RouteOriginValidator {
         &self.validator
+    }
+
+    /// Full RFC 6811 verdict for one announcement, with the covering
+    /// VRPs partitioned by match outcome — the payload of a validity
+    /// query API. Consistent with the states [`measure_domain`]
+    /// (Self::measure_domain) stamps on pairs at this epoch.
+    pub fn validity(&self, prefix: &IpPrefix, origin: Asn) -> ValidityDetail {
+        self.validator.validity(prefix, origin)
     }
 
     /// This epoch's validated VRPs, in insertion order — the payload an
@@ -806,8 +814,53 @@ impl StudyEngine {
         {
             *index_guard = Some(DomainIndex::build(&old, results));
         }
+        let affected = index_guard.as_ref().expect("index just built").affected(
+            &zone_changes,
+            &rib_changes,
+            &vrp_prefixes,
+        );
+
+        // A massive batch (CDN-wide retarget, table reload) re-measured
+        // rank by rank would be slower than a parallel full run: above
+        // the configured threshold, fall back to the sharded full-run
+        // path over the same post-churn snapshot. Equivalent output by
+        // construction — both paths measure every affected domain
+        // against `next` — and covered by the incremental-vs-full
+        // equivalence proptest.
+        if next
+            .config
+            .full_remeasure_threshold
+            .is_some_and(|t| affected.len() > t)
+        {
+            let ranking: Vec<DomainName> =
+                results.domains.iter().map(|d| d.listed.clone()).collect();
+            let fresh = next.run(&ranking);
+            let mut pairs_changed = 0;
+            for (old_d, new_d) in results.domains.iter().zip(&fresh.domains) {
+                for (old_m, new_m) in [(&old_d.www, &new_d.www), (&old_d.bare, &new_d.bare)] {
+                    let key = |p: &PairState| (p.prefix, p.origin, p.state);
+                    let before: BTreeSet<_> = old_m.pairs.iter().map(key).collect();
+                    let after: BTreeSet<_> = new_m.pairs.iter().map(key).collect();
+                    pairs_changed += before.symmetric_difference(&after).count();
+                }
+            }
+            let remeasured = fresh.domains.len();
+            *results = fresh;
+            // Every posting is stale after the wholesale replacement;
+            // rebuild lazily on the next incremental batch.
+            *index_guard = None;
+            let delta = EpochDelta {
+                from_epoch: old.epoch,
+                to_epoch: next.epoch,
+                announced,
+                withdrawn,
+                pairs_changed,
+                domains_remeasured: remeasured,
+            };
+            *guard = Arc::new(next);
+            return delta;
+        }
         let index = index_guard.as_mut().expect("index just built");
-        let affected = index.affected(&zone_changes, &rib_changes, &vrp_prefixes);
 
         // Re-measure only the affected ranks against the new snapshot.
         let position: HashMap<usize, usize> = results
@@ -1090,6 +1143,54 @@ mod tests {
         }
 
         assert_same_study(&results, &full_rerun(&zones, &rib, &batch, &repo, now));
+    }
+
+    #[test]
+    fn threshold_exceeded_falls_back_to_full_run() {
+        let (zones, rib, mut b, now) = world();
+        let repo = b.snapshot();
+        let config = PipelineConfig {
+            // Any non-empty affected set exceeds the threshold.
+            full_remeasure_threshold: Some(0),
+            ..cfg(now)
+        };
+        let engine = StudyEngine::new(zones.clone(), rib.clone(), &repo, config);
+        let mut results = engine.run(&ranking());
+
+        let batch = EpochChurn {
+            events: vec![WorldEvent::ZoneEdit {
+                name: n("edge.cdn.example"),
+                records: vec![RecordData::from_addr("77.7.7.7".parse().unwrap())],
+            }],
+            repository: None,
+            now,
+        };
+        let delta = engine.apply_events(&batch, &mut results);
+        // The fallback re-measures every domain, not just the two
+        // referring ones.
+        assert_eq!(delta.domains_remeasured, 4);
+        assert_eq!(results.epoch, 2);
+        assert_same_study(&results, &full_rerun(&zones, &rib, &batch, &repo, now));
+
+        // The next batch rebuilds the discarded index and still chains:
+        // a small batch under the serial path after a fallback.
+        let batch2 = EpochChurn {
+            events: vec![WorldEvent::ZoneEdit {
+                name: n("plain.example"),
+                records: vec![RecordData::from_addr("85.1.9.9".parse().unwrap())],
+            }],
+            repository: None,
+            now,
+        };
+        let engine2 = StudyEngine::new(zones, rib, &repo, cfg(now));
+        let mut serial_results = engine2.run(&ranking());
+        engine2.apply_events(&batch, &mut serial_results);
+        let serial_delta = engine2.apply_events(&batch2, &mut serial_results);
+        let fallback_delta = engine.apply_events(&batch2, &mut results);
+        assert_eq!(fallback_delta.to_epoch, 3);
+        assert_eq!(fallback_delta.domains_remeasured, 4);
+        assert_eq!(serial_delta.pairs_changed, fallback_delta.pairs_changed);
+        assert_eq!(results.domains, serial_results.domains);
     }
 
     #[test]

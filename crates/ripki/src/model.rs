@@ -127,6 +127,12 @@ pub struct PipelineConfig {
     /// explicit value is honored as given; see
     /// [`worker_threads`](Self::worker_threads).
     pub threads: usize,
+    /// When an incremental `apply_events` finds more affected ranks
+    /// than this, it abandons the serial per-rank re-measure and falls
+    /// back to the sharded full-run path (`None` = always incremental).
+    /// A massive churn batch re-measured serially would be slower than
+    /// a parallel full run; the two paths are equivalence-tested.
+    pub full_remeasure_threshold: Option<usize>,
 }
 
 impl PipelineConfig {
@@ -157,6 +163,7 @@ impl Default for PipelineConfig {
             dns_fault_seed: 0x0ddf_a017,
             now: SimTime::start_of_study(),
             threads: 0,
+            full_remeasure_threshold: None,
         }
     }
 }

@@ -163,6 +163,59 @@ impl CacheServer {
         true
     }
 
+    /// Stream one serial increment's announce/withdraw sets into the
+    /// cache without materializing the full VRP snapshot — the
+    /// incremental counterpart of [`install_snapshot`]
+    /// (Self::install_snapshot), fed directly from a study engine's
+    /// `EpochDelta`.
+    ///
+    /// Succeeds only when the delta chains contiguously: the cache has
+    /// data, `to_serial` is exactly one past the current serial, and the
+    /// step does not cross the u32 wrap (RFC 1982 comparisons are
+    /// ambiguous there — see `install_snapshot`). On any other jump it
+    /// installs nothing and returns `false`; the caller falls back to a
+    /// full `install_snapshot`, which routers resync from via Cache
+    /// Reset.
+    ///
+    /// Withdrawals of absent VRPs and announcements of already-present
+    /// VRPs are applied idempotently (the set semantics routers expect),
+    /// but are still recorded in the delta history verbatim only when
+    /// they change the set — the history entry holds the *effective*
+    /// changes, so replaying it reproduces the cache state exactly.
+    pub fn apply_delta(
+        &self,
+        to_serial: u32,
+        announced: &[VrpTriple],
+        withdrawn: &[VrpTriple],
+    ) -> bool {
+        let mut st = self.state.lock().expect("rtr cache state poisoned");
+        let wraps = st.serial == u32::MAX;
+        if !st.has_data || wraps || to_serial != st.serial.wrapping_add(1) {
+            return false;
+        }
+        let mut effective = Delta {
+            to_serial,
+            announced: Vec::new(),
+            withdrawn: Vec::new(),
+        };
+        for vrp in withdrawn {
+            if st.current.remove(vrp) {
+                effective.withdrawn.push(*vrp);
+            }
+        }
+        for vrp in announced {
+            if st.current.insert(*vrp) {
+                effective.announced.push(*vrp);
+            }
+        }
+        st.serial = to_serial;
+        st.history.push_back(effective);
+        while st.history.len() > self.max_history {
+            st.history.pop_front();
+        }
+        true
+    }
+
     /// Current serial.
     pub fn serial(&self) -> u32 {
         self.state.lock().expect("rtr cache state poisoned").serial
@@ -607,6 +660,76 @@ mod tests {
         // Full refetch still serves the latest set.
         let out = cache.handle_query(&Pdu::ResetQuery);
         assert!(matches!(out.last(), Some(Pdu::EndOfData { serial: 9, .. })));
+    }
+
+    #[test]
+    fn apply_delta_streams_incremental_changes() {
+        let cache = CacheServer::new(7);
+        assert!(cache.install_snapshot(3, [vrp("10.0.0.0/16", 16, 1)]));
+        assert!(cache.apply_delta(
+            4,
+            &[vrp("11.0.0.0/16", 16, 2)],
+            &[vrp("10.0.0.0/16", 16, 1)]
+        ));
+        assert_eq!(cache.serial(), 4);
+        assert_eq!(cache.vrp_count(), 1);
+        // A router at serial 3 syncs with exactly the streamed delta.
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 3,
+        });
+        assert_eq!(out.len(), 4); // response + announce + withdraw + EOD
+        assert!(matches!(out.last(), Some(Pdu::EndOfData { serial: 4, .. })));
+        // The resulting set matches what install_snapshot would serve.
+        let reset = cache.handle_query(&Pdu::ResetQuery);
+        let announced: Vec<_> = reset
+            .iter()
+            .filter_map(|p| match p {
+                Pdu::Ipv4Prefix { prefix, .. } => Some(*prefix),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            announced,
+            vec!["11.0.0.0".parse::<std::net::Ipv4Addr>().unwrap()]
+        );
+    }
+
+    #[test]
+    fn apply_delta_rejects_non_contiguous_serials() {
+        let cache = CacheServer::new(7);
+        // No data yet: stream refused, caller must install a snapshot.
+        assert!(!cache.apply_delta(1, &[vrp("10.0.0.0/16", 16, 1)], &[]));
+        assert!(cache.install_snapshot(1, [vrp("10.0.0.0/16", 16, 1)]));
+        // Serial jump and same-serial replay are refused.
+        assert!(!cache.apply_delta(5, &[vrp("11.0.0.0/16", 16, 2)], &[]));
+        assert!(!cache.apply_delta(1, &[vrp("11.0.0.0/16", 16, 2)], &[]));
+        assert_eq!(cache.vrp_count(), 1);
+        // The wrap step is numerically contiguous but must be refused.
+        let wrap_cache = CacheServer::new(7);
+        assert!(wrap_cache.install_snapshot(u32::MAX, [vrp("10.0.0.0/16", 16, 1)]));
+        assert!(!wrap_cache.apply_delta(0, &[vrp("11.0.0.0/16", 16, 2)], &[]));
+    }
+
+    #[test]
+    fn apply_delta_is_idempotent_on_redundant_changes() {
+        let cache = CacheServer::new(7);
+        assert!(cache.install_snapshot(1, [vrp("10.0.0.0/16", 16, 1)]));
+        // Announce an already-present VRP, withdraw an absent one.
+        assert!(cache.apply_delta(
+            2,
+            &[vrp("10.0.0.0/16", 16, 1)],
+            &[vrp("99.0.0.0/16", 16, 9)]
+        ));
+        assert_eq!(cache.vrp_count(), 1);
+        // The history entry carries no spurious changes: a router at 1
+        // gets an empty delta.
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 1,
+        });
+        assert_eq!(out.len(), 2); // response + EOD only
+        assert!(matches!(out.last(), Some(Pdu::EndOfData { serial: 2, .. })));
     }
 
     #[test]

@@ -161,3 +161,92 @@ proptest! {
         let _ = handle.join();
     }
 }
+
+// ---- decoder fuzzing: malformed and truncated wire input ------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// A strict prefix of any valid encoding is *incomplete*, never a
+    /// parse and never an error — the incremental decoder must keep
+    /// asking for bytes until the declared length is buffered.
+    #[test]
+    fn truncated_pdu_is_incomplete_not_an_error(
+        pdu in arb_pdu(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = pdu.encode();
+        let cut = cut.index(bytes.len()); // 0..len: strictly shorter
+        match Pdu::decode(&bytes[..cut]) {
+            Ok(None) => {}
+            Ok(Some(_)) => prop_assert!(false, "complete parse from a strict prefix"),
+            Err(e) => prop_assert!(false, "truncation errored: {e:?}"),
+        }
+    }
+
+    /// Single-byte corruption of a valid PDU never panics: the decoder
+    /// yields a parse within bounds, asks for more bytes (a corrupted
+    /// length field), or returns a typed protocol error.
+    #[test]
+    fn corrupted_pdu_never_panics(
+        pdu in arb_pdu(),
+        at in any::<prop::sample::Index>(),
+        to in any::<u8>(),
+    ) {
+        let mut bytes = pdu.encode();
+        let i = at.index(bytes.len());
+        bytes[i] = to;
+        match Pdu::decode(&bytes) {
+            Ok(Some((_, used))) => prop_assert!(used <= bytes.len()),
+            Ok(None) => {}
+            Err(_) => {}
+        }
+    }
+
+    /// A router speaking garbage gets a clean session teardown: the
+    /// cache emits only well-formed PDUs, and when it rejects the
+    /// stream it says so with an RTR Error Report — never a panic,
+    /// never malformed bytes on the wire.
+    #[test]
+    fn garbage_session_ends_in_error_report(
+        bytes in prop::collection::vec(any::<u8>(), 1..96),
+    ) {
+        use std::io::{Read, Write};
+        use std::os::unix::net::UnixStream;
+        let cache = CacheServer::new(9);
+        cache.update([VrpTriple {
+            prefix: IpPrefix::V4(Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 24).unwrap()),
+            max_length: 24,
+            asn: Asn::new(64500),
+        }]);
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let handle = std::thread::spawn(move || cache.serve_connection(b));
+        a.write_all(&bytes).unwrap();
+        a.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut received = Vec::new();
+        a.read_to_end(&mut received).unwrap();
+        let outcome = handle.join().expect("serve_connection must not panic");
+
+        // Everything the cache wrote decodes as a PDU sequence.
+        let mut rest: &[u8] = &received;
+        let mut pdus = Vec::new();
+        loop {
+            match Pdu::decode(rest) {
+                Ok(Some((pdu, used))) => {
+                    rest = &rest[used..];
+                    pdus.push(pdu);
+                }
+                Ok(None) => break,
+                Err(e) => prop_assert!(false, "cache wrote malformed bytes: {e:?}"),
+            }
+        }
+        prop_assert!(rest.is_empty(), "trailing bytes after the last PDU");
+        // A rejected stream is always announced with an Error Report.
+        if outcome.is_err() {
+            prop_assert!(
+                matches!(pdus.last(), Some(Pdu::ErrorReport { .. })),
+                "session failed without an Error Report: {pdus:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Pure endpoint handlers: `EpochView` in, JSON/CSV out.
+//!
+//! Nothing here touches sockets or locks — each function answers from
+//! the single `EpochView` it is handed, which is what makes every
+//! response attributable to exactly one epoch (and what the concurrency
+//! test exploits: the `epoch` field stamped into each payload names the
+//! view that produced it).
+//!
+//! The validity payload mirrors Routinator's `/api/v1/validity` shape
+//! (`validated_route.route` + `validity.state/reason/description/VRPs`)
+//! so existing RPKI tooling can point at the reproduction unchanged.
+
+use crate::view::EpochView;
+use ripki::exposure::exposure_curve;
+use ripki::pipeline::NameMeasurement;
+use ripki_bgp::rov::{RpkiState, ValidityDetail, VrpTriple};
+use ripki_net::{Asn, IpPrefix};
+use serde_json::{Map, Value};
+use std::io::{self, Write};
+
+/// The wire spelling of an RFC 6811 state (Routinator uses kebab-case).
+pub fn state_label(state: RpkiState) -> &'static str {
+    match state {
+        RpkiState::Valid => "valid",
+        RpkiState::Invalid => "invalid",
+        RpkiState::NotFound => "not-found",
+    }
+}
+
+fn vrp_value(vrp: &VrpTriple) -> Value {
+    let mut obj = Map::new();
+    obj.insert("asn".into(), vrp.asn.to_string().into());
+    obj.insert("prefix".into(), vrp.prefix.to_string().into());
+    obj.insert("max_length".into(), vrp.max_length.into());
+    Value::Object(obj)
+}
+
+fn vrp_list(vrps: &[VrpTriple]) -> Value {
+    Value::Array(vrps.iter().map(vrp_value).collect())
+}
+
+/// `GET /api/v1/validity` — the RFC 6811 verdict for one announcement,
+/// with the covering VRPs partitioned by why they did or did not match.
+pub fn validity(view: &EpochView, prefix: &IpPrefix, origin: Asn) -> Value {
+    let detail: ValidityDetail = view.snapshot().validity(prefix, origin);
+
+    let mut route = Map::new();
+    route.insert("origin_asn".into(), origin.to_string().into());
+    route.insert("prefix".into(), prefix.to_string().into());
+
+    let mut vrps = Map::new();
+    vrps.insert("matched".into(), vrp_list(&detail.matched));
+    vrps.insert("unmatched_as".into(), vrp_list(&detail.unmatched_asn));
+    vrps.insert(
+        "unmatched_length".into(),
+        vrp_list(&detail.unmatched_length),
+    );
+
+    let mut validity = Map::new();
+    validity.insert("state".into(), state_label(detail.state).into());
+    if let Some(reason) = detail.reason() {
+        validity.insert("reason".into(), reason.into());
+    }
+    validity.insert("description".into(), detail.description().into());
+    validity.insert("VRPs".into(), Value::Object(vrps));
+
+    let mut validated = Map::new();
+    validated.insert("route".into(), Value::Object(route));
+    validated.insert("validity".into(), Value::Object(validity));
+
+    let mut root = Map::new();
+    root.insert("validated_route".into(), Value::Object(validated));
+    root.insert("epoch".into(), view.epoch().into());
+    Value::Object(root)
+}
+
+/// `GET /vrps.json` — stream the epoch's full VRP set in Routinator's
+/// export shape (`metadata` + `roas` with camel-case `maxLength`).
+pub fn write_vrps_json(view: &EpochView, w: &mut dyn Write) -> io::Result<u64> {
+    let mut written = 0u64;
+    let mut put = |w: &mut dyn Write, s: &str| -> io::Result<()> {
+        w.write_all(s.as_bytes())?;
+        written += s.len() as u64;
+        Ok(())
+    };
+    let snapshot = view.snapshot();
+    put(
+        w,
+        &format!(
+            "{{\"metadata\":{{\"epoch\":{},\"vrp_count\":{},\"rpki_rejected\":{}}},\"roas\":[",
+            view.epoch(),
+            snapshot.vrps().len(),
+            snapshot.rpki_rejected(),
+        ),
+    )?;
+    for (i, vrp) in snapshot.vrps().iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        put(
+            w,
+            &format!(
+                "{sep}{{\"asn\":\"{}\",\"prefix\":\"{}\",\"maxLength\":{},\"ta\":\"sim\"}}",
+                vrp.asn, vrp.prefix, vrp.max_length
+            ),
+        )?;
+    }
+    put(w, "]}\n")?;
+    Ok(written)
+}
+
+/// `GET /vrps.csv` — the same export as RTR-client-style CSV.
+pub fn write_vrps_csv(view: &EpochView, w: &mut dyn Write) -> io::Result<u64> {
+    let mut written = 0u64;
+    let header = "ASN,IP Prefix,Max Length,Trust Anchor\n";
+    w.write_all(header.as_bytes())?;
+    written += header.len() as u64;
+    for vrp in view.snapshot().vrps() {
+        let line = format!("{},{},{},sim\n", vrp.asn, vrp.prefix, vrp.max_length);
+        w.write_all(line.as_bytes())?;
+        written += line.len() as u64;
+    }
+    Ok(written)
+}
+
+fn name_measurement_value(view: &EpochView, m: &NameMeasurement) -> Value {
+    let mut obj = Map::new();
+    obj.insert(
+        "addresses".into(),
+        Value::Array(m.addresses.iter().map(|a| a.to_string().into()).collect()),
+    );
+    obj.insert(
+        "cname_chain".into(),
+        Value::Array(m.cname_chain.iter().map(|n| n.as_str().into()).collect()),
+    );
+    obj.insert("resolve_failed".into(), m.resolve_failed.into());
+    obj.insert("dnssec_authenticated".into(), m.dnssec_authenticated.into());
+    let pairs: Vec<Value> = m
+        .pairs
+        .iter()
+        .map(|p| {
+            let mut pair = Map::new();
+            pair.insert("prefix".into(), p.prefix.to_string().into());
+            pair.insert("origin".into(), p.origin.to_string().into());
+            pair.insert("state".into(), state_label(p.state).into());
+            // Re-deriving the reason from the snapshot is sound because
+            // the view binds these measurements to this validator.
+            if let Some(reason) = view.snapshot().validity(&p.prefix, p.origin).reason() {
+                pair.insert("reason".into(), reason.into());
+            }
+            Value::Object(pair)
+        })
+        .collect();
+    obj.insert("pairs".into(), Value::Array(pairs));
+    let (covered, total) = m.coverage_counts();
+    let mut coverage = Map::new();
+    coverage.insert("covered".into(), covered.into());
+    coverage.insert("total".into(), total.into());
+    obj.insert("coverage".into(), Value::Object(coverage));
+    Value::Object(obj)
+}
+
+/// `GET /api/v1/domain/{name}` — the stored measurement of one ranked
+/// domain plus its hijack exposure, or `None` for unmeasured names.
+pub fn domain(view: &EpochView, name: &ripki_dns::DomainName) -> Option<Value> {
+    let d = view.domain(name)?;
+    let mut root = Map::new();
+    root.insert("epoch".into(), view.epoch().into());
+    root.insert("rank".into(), d.rank.into());
+    root.insert("listed".into(), d.listed.as_str().into());
+    root.insert("www".into(), name_measurement_value(view, &d.www));
+    root.insert("bare".into(), name_measurement_value(view, &d.bare));
+    root.insert("equal_prefixes".into(), d.equal_prefixes().into());
+    let exposure = match view.topology() {
+        Some(topology) => {
+            let cfg = ripki::exposure::ExposureConfig {
+                stride: 1,
+                ..view.exposure_config().clone()
+            };
+            let one = std::slice::from_ref(d);
+            match exposure_curve(one, topology, view.snapshot().validator(), &cfg).first() {
+                Some(e) => {
+                    let mut obj = Map::new();
+                    obj.insert("capture_rate".into(), e.capture_rate.into());
+                    obj.insert("fully_covered".into(), e.fully_covered.into());
+                    Value::Object(obj)
+                }
+                // Measured but not simulable (no usable pair, or the
+                // origin AS is outside the topology).
+                None => Value::Null,
+            }
+        }
+        None => Value::Null,
+    };
+    root.insert("exposure".into(), exposure);
+    Some(Value::Object(root))
+}
+
+/// `GET /status` — one-look liveness summary.
+pub fn status(view: &EpochView, uptime_seconds: f64, requests_total: u64) -> Value {
+    let mut root = Map::new();
+    root.insert("epoch".into(), view.epoch().into());
+    root.insert("vrps".into(), view.snapshot().vrps().len().into());
+    root.insert(
+        "rpki_rejected".into(),
+        view.snapshot().rpki_rejected().into(),
+    );
+    root.insert("domains".into(), view.results().domains.len().into());
+    root.insert("uptime_seconds".into(), uptime_seconds.into());
+    root.insert("requests_total".into(), requests_total.into());
+    Value::Object(root)
+}

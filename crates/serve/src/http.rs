@@ -1,0 +1,519 @@
+//! A minimal, hardened HTTP/1.1 message layer over raw byte buffers.
+//!
+//! The workspace policy is synchronous `std::net` + threads, and the
+//! container has no HTTP crate to lean on, so the query plane carries
+//! its own parser. It follows the same incremental-decode shape as
+//! [`ripki_rtr`]'s `Pdu::decode`: [`parse_head`] consumes a byte buffer
+//! and answers *need more bytes* (`Ok(None)`), *here is a request and
+//! how many bytes it used* (`Ok(Some(_))`), or *this connection is
+//! speaking garbage* (`Err(_)`) — the error carrying the exact status
+//! code the peer should see before the socket closes.
+//!
+//! Hardening is by construction: hard caps on head size, header count
+//! and line length; no allocation proportional to attacker-controlled
+//! numbers; bytes outside the printable ASCII range in the request line
+//! are rejected rather than interpreted.
+
+use std::io::{self, Read, Write};
+
+/// Total bytes of request head (request line + headers + CRLFCRLF) we
+/// are willing to buffer before giving up with 431.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on the request-target length (everything after the method).
+pub const MAX_TARGET_BYTES: usize = 8 * 1024;
+/// Cap on the number of header fields.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parse failure, mapped to the HTTP status the peer should receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line or header field → 400.
+    Malformed(&'static str),
+    /// Request target longer than [`MAX_TARGET_BYTES`] → 414.
+    TargetTooLong,
+    /// Head larger than [`MAX_HEAD_BYTES`] or more than [`MAX_HEADERS`]
+    /// fields → 431.
+    HeadTooLarge,
+    /// An HTTP version other than 1.x → 505.
+    BadVersion,
+}
+
+impl HttpError {
+    /// The status code this error maps to on the wire.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed(_) => 400,
+            HttpError::TargetTooLong => 414,
+            HttpError::HeadTooLarge => 431,
+            HttpError::BadVersion => 505,
+        }
+    }
+
+    /// Human-readable reason sent in the error body.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            HttpError::Malformed(why) => why,
+            HttpError::TargetTooLong => "request target too long",
+            HttpError::HeadTooLarge => "request head too large",
+            HttpError::BadVersion => "only HTTP/1.x is supported",
+        }
+    }
+}
+
+/// A parsed request head. Bodies are not read: every endpoint of the
+/// query plane is a GET, so any body is a protocol error handled by the
+/// router (the parser still reports `content-length`/`transfer-encoding`
+/// headers so the server can refuse them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path, always starting with `/`.
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header fields with lower-cased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to keep the connection open. HTTP/1.1
+    /// defaults to keep-alive; an explicit `Connection: close` wins.
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Try to parse one request head from the front of `buf`.
+///
+/// * `Ok(Some((request, n)))` — a complete head occupied `buf[..n]`.
+/// * `Ok(None)` — no CRLFCRLF yet and the buffer is still under the
+///   head cap; read more bytes and call again.
+/// * `Err(e)` — the bytes can never become a valid request; answer
+///   `e.status()` and close.
+pub fn parse_head(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some(head_len) = find_head_end(buf) else {
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let head = &buf[..head_len - 4]; // strip the CRLFCRLF
+    let mut lines = head
+        .split(|&b| b == b'\n')
+        .map(|l| l.strip_suffix(b"\r").unwrap_or(l));
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let (method, target, version) = split_request_line(request_line)?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadVersion);
+    }
+    if target.len() > MAX_TARGET_BYTES {
+        return Err(HttpError::TargetTooLong);
+    }
+    let (path, query) = parse_target(target)?;
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            // An empty line inside the head means bare LF line endings
+            // produced a phantom field; reject rather than guess.
+            return Err(HttpError::Malformed("empty header line"));
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let colon = line
+            .iter()
+            .position(|&b| b == b':')
+            .ok_or(HttpError::Malformed("header field without colon"))?;
+        let (name, rest) = line.split_at(colon);
+        if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
+            return Err(HttpError::Malformed("invalid header name"));
+        }
+        let value = &rest[1..];
+        if value.iter().any(|&b| b < 0x20 && b != b'\t') {
+            return Err(HttpError::Malformed("control byte in header value"));
+        }
+        let name = String::from_utf8_lossy(name).to_ascii_lowercase();
+        let value = String::from_utf8_lossy(value).trim().to_string();
+        headers.push((name, value));
+    }
+
+    Ok(Some((
+        Request {
+            method,
+            path,
+            query,
+            headers,
+        },
+        head_len,
+    )))
+}
+
+/// Locate the end of the head (index just past CRLFCRLF), scanning no
+/// further than the head cap plus slack for the terminator itself.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let window = buf.len().min(MAX_HEAD_BYTES + 4);
+    buf[..window]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+}
+
+fn split_request_line(line: &[u8]) -> Result<(String, &[u8], &str), HttpError> {
+    if line
+        .iter()
+        .any(|&b| !(0x21..=0x7e).contains(&b) && b != b' ')
+    {
+        return Err(HttpError::Malformed("non-printable byte in request line"));
+    }
+    let mut parts = line.split(|&b| b == b' ');
+    let method = parts.next().filter(|m| !m.is_empty());
+    let target = parts.next().filter(|t| !t.is_empty());
+    let version = parts.next().filter(|v| !v.is_empty());
+    let (Some(method), Some(target), Some(version), None) = (method, target, version, parts.next())
+    else {
+        return Err(HttpError::Malformed(
+            "request line is not METHOD SP TARGET SP VERSION",
+        ));
+    };
+    if !method.iter().all(|&b| is_token_byte(b)) {
+        return Err(HttpError::Malformed("invalid method token"));
+    }
+    let method = String::from_utf8_lossy(method).to_ascii_uppercase();
+    let version = std::str::from_utf8(version).map_err(|_| HttpError::BadVersion)?;
+    Ok((method, target, version))
+}
+
+fn parse_target(target: &[u8]) -> Result<(String, Vec<(String, String)>), HttpError> {
+    if target.first() != Some(&b'/') {
+        return Err(HttpError::Malformed("request target must be origin-form"));
+    }
+    let (raw_path, raw_query) = match target.iter().position(|&b| b == b'?') {
+        Some(i) => (&target[..i], Some(&target[i + 1..])),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path, false)?;
+    if path.bytes().any(|b| b < 0x20 || b == 0x7f) {
+        return Err(HttpError::Malformed("control byte in decoded path"));
+    }
+    let mut query = Vec::new();
+    if let Some(raw) = raw_query {
+        for pair in raw.split(|&b| b == b'&').filter(|p| !p.is_empty()) {
+            let (k, v) = match pair.iter().position(|&b| b == b'=') {
+                Some(i) => (&pair[..i], &pair[i + 1..]),
+                None => (pair, &[][..]),
+            };
+            query.push((percent_decode(k, true)?, percent_decode(v, true)?));
+        }
+    }
+    Ok((path, query))
+}
+
+/// Decode `%XX` escapes (and, in query components, `+` as space).
+fn percent_decode(raw: &[u8], plus_is_space: bool) -> Result<String, HttpError> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i] {
+            b'%' => {
+                let hi = raw.get(i + 1).and_then(|b| (*b as char).to_digit(16));
+                let lo = raw.get(i + 2).and_then(|b| (*b as char).to_digit(16));
+                let (Some(hi), Some(lo)) = (hi, lo) else {
+                    return Err(HttpError::Malformed("truncated percent escape"));
+                };
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::Malformed("invalid UTF-8 after decoding"))
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Read from `stream` into `buf` until one full request head is parsed.
+///
+/// `Ok(None)` means the peer closed cleanly between requests (normal
+/// keep-alive teardown). Parsed bytes are drained from `buf`, leaving
+/// any pipelined follow-up bytes in place for the next call.
+pub fn read_request<R: Read>(
+    stream: &mut R,
+    buf: &mut Vec<u8>,
+) -> io::Result<Result<Option<Request>, HttpError>> {
+    loop {
+        match parse_head(buf) {
+            Ok(Some((request, consumed))) => {
+                buf.drain(..consumed);
+                return Ok(Ok(Some(request)));
+            }
+            Ok(None) => {}
+            Err(e) => return Ok(Err(e)),
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(Ok(None));
+            }
+            return Ok(Err(HttpError::Malformed("connection closed mid-request")));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+// ---------------------------------------------------------------- response
+
+/// A writer-driven body producer: writes the payload and returns the
+/// number of bytes written.
+pub type StreamFn = Box<dyn FnOnce(&mut dyn Write) -> io::Result<u64> + Send>;
+
+/// A response body: fully materialised, or streamed straight to the
+/// socket (used by the VRP exports, which can be large at scale).
+pub enum Body {
+    /// In-memory payload, sent with `Content-Length` (keep-alive safe).
+    Full(Vec<u8>),
+    /// Writer-driven payload. No length is known up front, so the
+    /// response is delimited by connection close (`Connection: close`).
+    Stream(StreamFn),
+}
+
+/// A response ready to serialise.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The payload.
+    pub body: Body,
+}
+
+impl Response {
+    /// A JSON response from a value tree.
+    pub fn json(status: u16, value: &serde_json::Value) -> Response {
+        let mut text = serde_json::to_string(value).expect("value tree serializes");
+        text.push('\n');
+        Response {
+            status,
+            content_type: "application/json",
+            body: Body::Full(text.into_bytes()),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, text: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: Body::Full(text.into().into_bytes()),
+        }
+    }
+
+    /// The canonical error shape: `{"error": reason}` with a status.
+    pub fn error(status: u16, reason: &str) -> Response {
+        let mut obj = serde_json::Map::new();
+        obj.insert("error".into(), reason.into());
+        Response::json(status, &serde_json::Value::Object(obj))
+    }
+
+    /// The response a parse failure maps to.
+    pub fn from_http_error(e: &HttpError) -> Response {
+        Response::error(e.status(), e.reason())
+    }
+
+    /// Serialise head + body to `w`. Returns whether the connection may
+    /// stay open afterwards (`false` for streamed bodies and for
+    /// `want_keep_alive == false`).
+    pub fn write_to(self, w: &mut dyn Write, want_keep_alive: bool) -> io::Result<bool> {
+        let keep_alive = want_keep_alive && matches!(self.body, Body::Full(_));
+        let reason = status_reason(self.status);
+        match self.body {
+            Body::Full(payload) => {
+                write!(
+                    w,
+                    "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+                    self.status,
+                    reason,
+                    self.content_type,
+                    payload.len(),
+                    if keep_alive { "keep-alive" } else { "close" },
+                )?;
+                w.write_all(&payload)?;
+            }
+            Body::Stream(writer) => {
+                write!(
+                    w,
+                    "HTTP/1.1 {} {}\r\ncontent-type: {}\r\nconnection: close\r\n\r\n",
+                    self.status, reason, self.content_type,
+                )?;
+                writer(w)?;
+            }
+        }
+        w.flush()?;
+        Ok(keep_alive)
+    }
+}
+
+/// Reason phrases for the statuses the query plane emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Option<(Request, usize)>, HttpError> {
+        parse_head(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let (req, n) = parse("GET /status HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(n, 33);
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/status");
+        assert!(req.query.is_empty());
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn decodes_query_and_percent_escapes() {
+        let (req, _) =
+            parse("GET /api/v1/validity?asn=AS65000&prefix=10.0.0.0%2F24 HTTP/1.1\r\n\r\n")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.query_param("asn"), Some("AS65000"));
+        assert_eq!(req.query_param("prefix"), Some("10.0.0.0/24"));
+    }
+
+    #[test]
+    fn incomplete_head_wants_more_bytes() {
+        assert_eq!(parse("GET / HTTP/1.1\r\nHost:").unwrap(), None);
+        assert_eq!(parse("").unwrap(), None);
+    }
+
+    #[test]
+    fn leftover_bytes_stay_in_buffer() {
+        let text = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (req, n) = parse(text).unwrap().unwrap();
+        assert_eq!(req.path, "/a");
+        let (req2, _) = parse_head(&text.as_bytes()[n..]).unwrap().unwrap();
+        assert_eq!(req2.path, "/b");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for bad in [
+            "GET\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "GET relative HTTP/1.1\r\n\r\n",
+            "G\x01T / HTTP/1.1\r\n\r\n",
+            "GET /%zz HTTP/1.1\r\n\r\n",
+        ] {
+            assert_eq!(parse(bad).unwrap_err().status(), 400, "{bad:?}");
+        }
+        assert_eq!(
+            parse("GET / SPDY/3\r\n\r\n").unwrap_err(),
+            HttpError::BadVersion
+        );
+    }
+
+    #[test]
+    fn enforces_size_limits() {
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_TARGET_BYTES));
+        assert_eq!(parse(&long_target).unwrap_err(), HttpError::TargetTooLong);
+
+        let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            many_headers.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        assert_eq!(parse(&many_headers).unwrap_err(), HttpError::HeadTooLarge);
+
+        // A buffer at the cap with no terminator can never complete.
+        let oversized = vec![b'a'; MAX_HEAD_BYTES];
+        assert_eq!(parse_head(&oversized).unwrap_err(), HttpError::HeadTooLarge);
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let (req, _) = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn response_serialises_with_length() {
+        let mut out = Vec::new();
+        let keep = Response::text(200, "hi").write_to(&mut out, true).unwrap();
+        assert!(keep);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nhi"), "{text}");
+    }
+
+    #[test]
+    fn streamed_response_closes_connection() {
+        let mut out = Vec::new();
+        let response = Response {
+            status: 200,
+            content_type: "text/csv",
+            body: Body::Stream(Box::new(|w: &mut dyn Write| {
+                w.write_all(b"a,b\n")?;
+                Ok(4)
+            })),
+        };
+        let keep = response.write_to(&mut out, true).unwrap();
+        assert!(!keep);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.ends_with("a,b\n"), "{text}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # ripki-serve
+//!
+//! The epoch-consistent HTTP query plane over the study engine: a
+//! synchronous, thread-pooled HTTP/1.1 server (`std::net` + threads,
+//! per the workspace's no-async policy) exposing the live study state
+//! that until now was only reachable through the CLI's batch reports
+//! and the RTR binary protocol.
+//!
+//! Endpoints:
+//!
+//! | path | payload |
+//! |------|---------|
+//! | `GET /api/v1/validity?asn=&prefix=` | RFC 6811 verdict with covering VRPs, Routinator-compatible |
+//! | `GET /api/v1/validity/{asn}/{prefix}` | same, path form |
+//! | `GET /vrps.json`, `GET /vrps.csv` | the current epoch's full VRP export, streamed |
+//! | `GET /api/v1/domain/{name}` | a ranked domain's measurement + hijack exposure |
+//! | `GET /metrics` | Prometheus text: request counters, latency histograms, epoch, VRP count |
+//! | `GET /status` | liveness summary |
+//!
+//! The consistency story is the crate's spine: handlers answer from an
+//! [`EpochView`](view::EpochView) — a `WorldSnapshot` bound to the
+//! `StudyResults` measured from it, swapped atomically on each churn
+//! epoch ([`SharedView`](view::SharedView)) and stamped into every
+//! response. HTTP answers, RTR serials and `EpochDelta`s all advance in
+//! lockstep; `DESIGN.md` § "The serving plane" states the contract.
+
+pub mod api;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+pub mod view;
+
+pub use metrics::{Endpoint, Metrics};
+pub use server::{Server, ServerConfig};
+pub use view::{EpochView, SharedView};

@@ -1,0 +1,337 @@
+//! Lock-free serving metrics with Prometheus text exposition.
+//!
+//! Counters and histograms are plain `AtomicU64`s updated with relaxed
+//! ordering — per-request accounting must never contend with the hot
+//! path. The `/metrics` endpoint renders the standard text format
+//! (counters, gauges, cumulative `le`-bucketed histograms) so any
+//! Prometheus scraper can watch the query plane without adapters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Histogram bucket upper bounds in microseconds. Spans sub-100µs cache
+/// hits through multi-second full exports; `+Inf` is implicit.
+pub const BUCKET_BOUNDS_MICROS: [u64; 10] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000, 1_000_000,
+];
+
+/// A fixed-bucket latency histogram.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_MICROS.len()],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        for (bound, bucket) in BUCKET_BOUNDS_MICROS.iter().zip(&self.buckets) {
+            if micros <= *bound {
+                bucket.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, out: &mut String, name: &str, labels: &str) {
+        use std::fmt::Write;
+        for (bound, bucket) in BUCKET_BOUNDS_MICROS.iter().zip(&self.buckets) {
+            let le = *bound as f64 / 1e6;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}le=\"{le}\"}} {}",
+                bucket.load(Ordering::Relaxed)
+            );
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {count}");
+        let _ = writeln!(
+            out,
+            "{name}_sum{{{labels}}} {}",
+            self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+        );
+        let _ = writeln!(out, "{name}_count{{{labels}}} {count}");
+    }
+}
+
+/// The endpoints the router distinguishes for accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `/api/v1/validity`
+    Validity,
+    /// `/vrps.json`
+    VrpsJson,
+    /// `/vrps.csv`
+    VrpsCsv,
+    /// `/api/v1/domain/{name}`
+    Domain,
+    /// `/metrics`
+    Metrics,
+    /// `/status`
+    Status,
+    /// Anything else (404s, bad requests, unknown paths).
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints, for iteration during rendering.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Validity,
+        Endpoint::VrpsJson,
+        Endpoint::VrpsCsv,
+        Endpoint::Domain,
+        Endpoint::Metrics,
+        Endpoint::Status,
+        Endpoint::Other,
+    ];
+
+    /// The Prometheus label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Validity => "validity",
+            Endpoint::VrpsJson => "vrps_json",
+            Endpoint::VrpsCsv => "vrps_csv",
+            Endpoint::Domain => "domain",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Status => "status",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Validity => 0,
+            Endpoint::VrpsJson => 1,
+            Endpoint::VrpsCsv => 2,
+            Endpoint::Domain => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Status => 5,
+            Endpoint::Other => 6,
+        }
+    }
+}
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: Histogram,
+}
+
+/// All serving metrics, shared across worker threads.
+pub struct Metrics {
+    started: Instant,
+    endpoints: [EndpointStats; Endpoint::ALL.len()],
+    connections: AtomicU64,
+    connections_rejected: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics; uptime counts from here.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            endpoints: Default::default(),
+            connections: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Account one handled request (any status).
+    pub fn record(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
+        let stats = &self.endpoints[endpoint.index()];
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.latency.observe(elapsed);
+    }
+
+    /// Account one accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one connection turned away by the full queue (503).
+    pub fn connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|s| s.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Seconds since the metrics were created.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Render the Prometheus text exposition. `epoch` and `vrp_count`
+    /// come from the *current* epoch view so the scrape shows which
+    /// world version the answers reflect.
+    pub fn render(&self, epoch: u64, vrp_count: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(
+            out,
+            "# HELP ripki_serve_epoch Epoch of the currently served world view."
+        );
+        let _ = writeln!(out, "# TYPE ripki_serve_epoch gauge");
+        let _ = writeln!(out, "ripki_serve_epoch {epoch}");
+        let _ = writeln!(
+            out,
+            "# HELP ripki_serve_vrps Validated ROA payloads in the current epoch."
+        );
+        let _ = writeln!(out, "# TYPE ripki_serve_vrps gauge");
+        let _ = writeln!(out, "ripki_serve_vrps {vrp_count}");
+        let _ = writeln!(
+            out,
+            "# HELP ripki_serve_uptime_seconds Time since the server started."
+        );
+        let _ = writeln!(out, "# TYPE ripki_serve_uptime_seconds gauge");
+        let _ = writeln!(
+            out,
+            "ripki_serve_uptime_seconds {:.3}",
+            self.uptime().as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ripki_http_connections_total Accepted TCP connections."
+        );
+        let _ = writeln!(out, "# TYPE ripki_http_connections_total counter");
+        let _ = writeln!(
+            out,
+            "ripki_http_connections_total {}",
+            self.connections.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ripki_http_connections_rejected_total Connections refused by the full worker queue."
+        );
+        let _ = writeln!(out, "# TYPE ripki_http_connections_rejected_total counter");
+        let _ = writeln!(
+            out,
+            "ripki_http_connections_rejected_total {}",
+            self.connections_rejected.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ripki_http_requests_total Handled requests per endpoint."
+        );
+        let _ = writeln!(out, "# TYPE ripki_http_requests_total counter");
+        for endpoint in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "ripki_http_requests_total{{endpoint=\"{}\"}} {}",
+                endpoint.label(),
+                self.endpoints[endpoint.index()]
+                    .requests
+                    .load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP ripki_http_errors_total Requests answered with a 4xx/5xx status."
+        );
+        let _ = writeln!(out, "# TYPE ripki_http_errors_total counter");
+        for endpoint in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "ripki_http_errors_total{{endpoint=\"{}\"}} {}",
+                endpoint.label(),
+                self.endpoints[endpoint.index()]
+                    .errors
+                    .load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP ripki_http_request_duration_seconds Request handling latency."
+        );
+        let _ = writeln!(out, "# TYPE ripki_http_request_duration_seconds histogram");
+        for endpoint in Endpoint::ALL {
+            let labels = format!("endpoint=\"{}\",", endpoint.label());
+            self.endpoints[endpoint.index()].latency.render(
+                &mut out,
+                "ripki_http_request_duration_seconds",
+                &labels,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(50));
+        h.observe(Duration::from_micros(200));
+        h.observe(Duration::from_micros(600));
+        let mut out = String::new();
+        h.render(&mut out, "x", "");
+        assert!(out.contains("x_bucket{le=\"0.0001\"} 1"), "{out}");
+        assert!(out.contains("x_bucket{le=\"0.00025\"} 2"), "{out}");
+        assert!(out.contains("x_bucket{le=\"0.001\"} 3"), "{out}");
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 3"), "{out}");
+        assert!(out.contains("x_count{} 3"), "{out}");
+    }
+
+    #[test]
+    fn render_exposes_epoch_and_per_endpoint_counters() {
+        let m = Metrics::new();
+        m.record(Endpoint::Validity, 200, Duration::from_micros(120));
+        m.record(Endpoint::Validity, 400, Duration::from_micros(80));
+        m.record(Endpoint::VrpsJson, 200, Duration::from_millis(2));
+        m.connection_opened();
+        m.connection_rejected();
+        let text = m.render(7, 123);
+        assert!(text.contains("ripki_serve_epoch 7"), "{text}");
+        assert!(text.contains("ripki_serve_vrps 123"), "{text}");
+        assert!(
+            text.contains("ripki_http_requests_total{endpoint=\"validity\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ripki_http_errors_total{endpoint=\"validity\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ripki_http_requests_total{endpoint=\"vrps_json\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("ripki_http_connections_total 1"), "{text}");
+        assert!(
+            text.contains("ripki_http_connections_rejected_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "ripki_http_request_duration_seconds_bucket{endpoint=\"validity\",le=\"+Inf\"} 2"
+            ),
+            "{text}"
+        );
+        assert_eq!(m.total_requests(), 3);
+    }
+}

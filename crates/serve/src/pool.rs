@@ -1,0 +1,155 @@
+//! A bounded worker pool for connection handling.
+//!
+//! `std::net` accept loops need somewhere to push connections without
+//! spawning a thread per socket. This pool holds a fixed worker set fed
+//! through a *bounded* channel: when the queue is full the submission
+//! fails immediately and the caller turns the connection away with 503
+//! instead of queueing unbounded work — the load-shedding half of the
+//! server's hardening story.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool over a bounded queue.
+pub struct ThreadPool {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `workers` threads sharing a queue of at most `queue_depth`
+    /// pending jobs (beyond the ones already executing).
+    pub fn new(workers: usize, queue_depth: usize) -> ThreadPool {
+        let workers = workers.max(1);
+        let (sender, receiver) = sync_channel::<Job>(queue_depth);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("ripki-serve-worker-{i}"))
+                    .spawn(move || worker_loop(receiver))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Submit a job without blocking. `Err` means the queue is full (or
+    /// the pool is shutting down) and the job was *not* accepted — the
+    /// caller keeps ownership via the returned closure.
+    pub fn try_execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), Job> {
+        let sender = match &self.sender {
+            Some(s) => s,
+            None => return Err(Box::new(job)),
+        };
+        sender.try_send(Box::new(job)).map_err(|e| match e {
+            TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
+        })
+    }
+
+    /// Close the queue and wait for every worker to drain and exit.
+    pub fn shutdown(&mut self) {
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(receiver: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = receiver.lock().expect("pool receiver poisoned");
+            guard.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // all senders gone: shutdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = ThreadPool::new(4, 16);
+        for _ in 0..32 {
+            loop {
+                let counter = Arc::clone(&counter);
+                if pool
+                    .try_execute(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    })
+                    .is_ok()
+                {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let pool = ThreadPool::new(1, 1);
+        // Occupy the single worker, then fill the single queue slot.
+        let (release_tx, release_rx) = channel::<()>();
+        let (started_tx, started_rx) = channel::<()>();
+        pool.try_execute(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .map_err(|_| ())
+        .expect("worker slot free");
+        started_rx.recv().unwrap();
+        pool.try_execute(|| {})
+            .map_err(|_| ())
+            .expect("queue slot free");
+        // Worker busy + queue full → immediate rejection.
+        assert!(pool.try_execute(|| {}).is_err());
+        release_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = ThreadPool::new(1, 8);
+        for _ in 0..4 {
+            let counter = Arc::clone(&counter);
+            while pool
+                .try_execute({
+                    let counter = Arc::clone(&counter);
+                    move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .is_err()
+            {
+                std::thread::yield_now();
+            }
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,310 @@
+//! The TCP front end: accept loop, routing, keep-alive, shutdown.
+//!
+//! One acceptor thread hands connections to the bounded [`ThreadPool`]
+//! (`crate::pool`); when the pool refuses, the acceptor answers 503
+//! inline and closes — load shedding happens before any per-request
+//! allocation. Handlers resolve the [`SharedView`] once per request, so
+//! each response is computed against one pinned epoch no matter how
+//! many publishes land while it runs.
+
+use crate::api;
+use crate::http::{read_request, Body, Request, Response};
+use crate::metrics::{Endpoint, Metrics};
+use crate::pool::ThreadPool;
+use crate::view::SharedView;
+use ripki_dns::DomainName;
+use ripki_net::{Asn, IpPrefix};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of the serving front end.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Connections allowed to queue behind busy workers before new
+    /// arrivals are shed with 503.
+    pub queue_depth: usize,
+    /// Per-read socket timeout; a silent keep-alive peer is dropped
+    /// after this long.
+    pub read_timeout: Duration,
+    /// Requests served on one connection before it is closed (bounds
+    /// how long a single peer can pin a worker).
+    pub max_requests_per_connection: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 8,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1024,
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`shutdown`]
+/// (Server::shutdown)) stops the acceptor and joins every worker.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+    view: Arc<SharedView>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and start serving `view`.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        view: Arc<SharedView>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let view = Arc::clone(&view);
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("ripki-serve-accept".into())
+                .spawn(move || accept_loop(listener, view, metrics, shutdown, config))?
+        };
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            metrics,
+            view,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics (shared with `/metrics`).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The served view handle (for publishing new epochs).
+    pub fn view(&self) -> &Arc<SharedView> {
+        &self.view
+    }
+
+    /// Stop accepting, drain the workers, and join the acceptor.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor blocks in `accept`; a throwaway connection to
+        // ourselves wakes it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    view: Arc<SharedView>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let mut pool = ThreadPool::new(config.workers, config.queue_depth);
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        metrics.connection_opened();
+        // The worker gets a duplicated handle so that, on queue
+        // overflow, the acceptor still owns one to write the 503 on.
+        let Ok(worker_stream) = stream.try_clone() else {
+            continue;
+        };
+        let view = Arc::clone(&view);
+        let job_metrics = Arc::clone(&metrics);
+        let job_shutdown = Arc::clone(&shutdown);
+        let job_config = config.clone();
+        let submit = pool.try_execute(move || {
+            handle_connection(
+                worker_stream,
+                &view,
+                &job_metrics,
+                &job_shutdown,
+                &job_config,
+            );
+        });
+        if submit.is_err() {
+            metrics.connection_rejected();
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+            let _ = Response::error(503, "server overloaded").write_to(&mut stream, false);
+        }
+    }
+    pool.shutdown();
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    view: &SharedView,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    for _ in 0..config.max_requests_per_connection {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match read_request(&mut stream, &mut buf) {
+            Ok(Ok(Some(request))) => request,
+            Ok(Ok(None)) => return, // clean close between requests
+            Ok(Err(e)) => {
+                let started = Instant::now();
+                let response = Response::from_http_error(&e);
+                metrics.record(Endpoint::Other, response.status, started.elapsed());
+                let _ = response.write_to(&mut stream, false);
+                return;
+            }
+            Err(_) => return, // socket error / read timeout
+        };
+        // Bodies are never read (every endpoint is a GET), so a request
+        // that announces one must close the connection — otherwise its
+        // unread body would be parsed as the next pipelined request.
+        let keep_alive = request.keep_alive()
+            && request.header("content-length").is_none()
+            && request.header("transfer-encoding").is_none();
+        let started = Instant::now();
+        let (endpoint, response) = route(view, metrics, &request);
+        metrics.record(endpoint, response.status, started.elapsed());
+        match response.write_to(&mut stream, keep_alive) {
+            Ok(true) => continue,
+            _ => return,
+        }
+    }
+}
+
+/// Dispatch one request to its handler. Returns the endpoint label for
+/// accounting together with the response.
+fn route(view: &SharedView, metrics: &Metrics, request: &Request) -> (Endpoint, Response) {
+    if request.method != "GET" {
+        return (
+            Endpoint::Other,
+            Response::error(405, "only GET is supported"),
+        );
+    }
+    // Pin the epoch once; everything below answers from `current`.
+    let current = view.current();
+    let path = request.path.as_str();
+    match path {
+        "/api/v1/validity" => (Endpoint::Validity, validity_from_query(&current, request)),
+        "/vrps.json" => (
+            Endpoint::VrpsJson,
+            stream_response("application/json", &current, api::write_vrps_json),
+        ),
+        "/vrps.csv" => (
+            Endpoint::VrpsCsv,
+            stream_response("text/csv", &current, api::write_vrps_csv),
+        ),
+        "/metrics" => {
+            let text = metrics.render(current.epoch(), current.snapshot().vrps().len());
+            (
+                Endpoint::Metrics,
+                Response {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4",
+                    body: Body::Full(text.into_bytes()),
+                },
+            )
+        }
+        "/status" => {
+            let payload = api::status(
+                &current,
+                metrics.uptime().as_secs_f64(),
+                metrics.total_requests(),
+            );
+            (Endpoint::Status, Response::json(200, &payload))
+        }
+        _ => {
+            if let Some(rest) = path.strip_prefix("/api/v1/validity/") {
+                return (Endpoint::Validity, validity_from_path(&current, rest));
+            }
+            if let Some(name) = path.strip_prefix("/api/v1/domain/") {
+                return (Endpoint::Domain, domain_lookup(&current, name));
+            }
+            (Endpoint::Other, Response::error(404, "no such endpoint"))
+        }
+    }
+}
+
+fn stream_response(
+    content_type: &'static str,
+    view: &Arc<crate::view::EpochView>,
+    writer: fn(&crate::view::EpochView, &mut dyn Write) -> io::Result<u64>,
+) -> Response {
+    let view = Arc::clone(view);
+    Response {
+        status: 200,
+        content_type,
+        body: Body::Stream(Box::new(move |w: &mut dyn Write| writer(&view, w))),
+    }
+}
+
+fn validity_from_query(view: &crate::view::EpochView, request: &Request) -> Response {
+    let (Some(asn), Some(prefix)) = (request.query_param("asn"), request.query_param("prefix"))
+    else {
+        return Response::error(400, "query parameters `asn` and `prefix` are required");
+    };
+    validity_response(view, asn, prefix)
+}
+
+/// Routinator's path form: `/api/v1/validity/AS{n}/{prefix}` where the
+/// prefix itself contains a slash.
+fn validity_from_path(view: &crate::view::EpochView, rest: &str) -> Response {
+    let Some((asn, prefix)) = rest.split_once('/') else {
+        return Response::error(400, "expected /api/v1/validity/{asn}/{prefix}");
+    };
+    validity_response(view, asn, prefix)
+}
+
+fn validity_response(view: &crate::view::EpochView, asn: &str, prefix: &str) -> Response {
+    let Ok(origin) = asn.parse::<Asn>() else {
+        return Response::error(400, "unparseable ASN");
+    };
+    let Ok(prefix) = prefix.parse::<IpPrefix>() else {
+        return Response::error(400, "unparseable prefix");
+    };
+    Response::json(200, &api::validity(view, &prefix, origin))
+}
+
+fn domain_lookup(view: &crate::view::EpochView, raw: &str) -> Response {
+    let Ok(name) = DomainName::parse(raw.trim_end_matches('/')) else {
+        return Response::error(400, "unparseable domain name");
+    };
+    match api::domain(view, &name) {
+        Some(payload) => Response::json(200, &payload),
+        None => Response::error(404, "domain not in the measured ranking"),
+    }
+}

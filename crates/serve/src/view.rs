@@ -1,0 +1,133 @@
+//! The epoch-consistent view the HTTP plane answers from.
+//!
+//! Every response is computed against exactly one [`EpochView`]: a
+//! `WorldSnapshot` and the `StudyResults` measured *from that snapshot*,
+//! bound together and stamped with the shared epoch. The view is
+//! published atomically behind an `Arc` swap ([`SharedView`]), so a
+//! request either sees the world entirely at epoch N or entirely at
+//! epoch N+1 — never VRPs from one epoch and measurements from another.
+//! The constructor enforces the contract; the concurrency test in
+//! `tests/concurrent_epoch.rs` hammers it under live churn.
+
+use ripki::engine::WorldSnapshot;
+use ripki::exposure::ExposureConfig;
+use ripki::pipeline::{DomainMeasurement, StudyResults};
+use ripki_bgp::topology::Topology;
+use ripki_dns::DomainName;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// One epoch of the world, packaged for serving.
+pub struct EpochView {
+    snapshot: Arc<WorldSnapshot>,
+    results: Arc<StudyResults>,
+    by_name: HashMap<DomainName, usize>,
+    topology: Option<Arc<Topology>>,
+    exposure: ExposureConfig,
+}
+
+impl EpochView {
+    /// Bind a snapshot to the results measured from it.
+    ///
+    /// # Panics
+    ///
+    /// If `snapshot.epoch() != results.epoch` — pairing a snapshot with
+    /// results from a different epoch is exactly the inconsistency this
+    /// type exists to rule out.
+    pub fn new(
+        snapshot: Arc<WorldSnapshot>,
+        results: Arc<StudyResults>,
+        topology: Option<Arc<Topology>>,
+        exposure: ExposureConfig,
+    ) -> EpochView {
+        assert_eq!(
+            snapshot.epoch(),
+            results.epoch,
+            "epoch-consistency contract: snapshot and results must share an epoch"
+        );
+        let mut by_name = HashMap::with_capacity(results.domains.len() * 2);
+        for (i, d) in results.domains.iter().enumerate() {
+            let bare = d.listed.without_www();
+            by_name.insert(bare.with_www(), i);
+            by_name.insert(bare, i);
+            by_name.insert(d.listed.clone(), i);
+        }
+        EpochView {
+            snapshot,
+            results,
+            by_name,
+            topology,
+            exposure,
+        }
+    }
+
+    /// The epoch both halves of the view share.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// The underlying world snapshot.
+    pub fn snapshot(&self) -> &WorldSnapshot {
+        &self.snapshot
+    }
+
+    /// The measurements taken from this snapshot.
+    pub fn results(&self) -> &StudyResults {
+        &self.results
+    }
+
+    /// Look up a measured domain by either name form.
+    pub fn domain(&self, name: &DomainName) -> Option<&DomainMeasurement> {
+        self.by_name
+            .get(name)
+            .or_else(|| self.by_name.get(&name.without_www()))
+            .map(|&i| &self.results.domains[i])
+    }
+
+    /// The AS topology for exposure simulation, when the operator
+    /// provided one (scenario-backed servers do; file-backed worlds
+    /// have no topology and skip exposure).
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_deref()
+    }
+
+    /// Exposure experiment parameters used by the domain endpoint.
+    pub fn exposure_config(&self) -> &ExposureConfig {
+        &self.exposure
+    }
+}
+
+/// The swap point between the study engine and the request handlers.
+pub struct SharedView {
+    inner: RwLock<Arc<EpochView>>,
+}
+
+impl SharedView {
+    /// Start serving `view`.
+    pub fn new(view: EpochView) -> SharedView {
+        SharedView {
+            inner: RwLock::new(Arc::new(view)),
+        }
+    }
+
+    /// The view requests should answer from right now. The returned
+    /// `Arc` pins that epoch for the whole request even if a publish
+    /// lands mid-handler.
+    pub fn current(&self) -> Arc<EpochView> {
+        Arc::clone(&self.inner.read().expect("view lock poisoned"))
+    }
+
+    /// Atomically replace the served view. Epochs must move forward;
+    /// publishing a stale view would silently answer queries from the
+    /// past.
+    pub fn publish(&self, view: EpochView) {
+        let mut guard = self.inner.write().expect("view lock poisoned");
+        assert!(
+            view.epoch() > guard.epoch(),
+            "publish must advance the epoch ({} -> {})",
+            guard.epoch(),
+            view.epoch()
+        );
+        *guard = Arc::new(view);
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared fixtures: a scenario-backed server and a raw TCP client.
+//!
+//! Each integration-test binary compiles its own copy and uses a
+//! different subset of the helpers, so unused-item lints don't apply.
+#![allow(dead_code)]
+
+use ripki::engine::StudyEngine;
+use ripki::exposure::ExposureConfig;
+use ripki::pipeline::PipelineConfig;
+use ripki_serve::{EpochView, Server, ServerConfig, SharedView};
+use ripki_websim::{Scenario, ScenarioConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small measured world with its engine and a running server.
+pub struct Fixture {
+    pub scenario: Scenario,
+    pub engine: StudyEngine,
+    pub server: Server,
+}
+
+/// Build a `domains`-sized scenario, measure it, and serve it.
+pub fn serve_scenario(domains: usize, seed: u64) -> Fixture {
+    let scenario = Scenario::build(ScenarioConfig {
+        seed,
+        ..ScenarioConfig::with_domains(domains)
+    });
+    let engine = StudyEngine::new(
+        scenario.zones.clone(),
+        scenario.rib.clone(),
+        &scenario.repository,
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now: scenario.now,
+            ..Default::default()
+        },
+    );
+    let results = engine.run(&scenario.ranking);
+    let view = EpochView::new(
+        engine.snapshot(),
+        Arc::new(results),
+        Some(Arc::new(scenario.topology.clone())),
+        ExposureConfig {
+            attackers_per_domain: 1,
+            stride: 1,
+            ..Default::default()
+        },
+    );
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::new(SharedView::new(view)),
+        ServerConfig::default(),
+    )
+    .expect("bind test server");
+    Fixture {
+        scenario,
+        engine,
+        server,
+    }
+}
+
+/// One response: status code and body.
+pub struct Reply {
+    pub status: u16,
+    pub body: String,
+}
+
+impl Reply {
+    /// Parse the body as a JSON value tree.
+    pub fn json(&self) -> serde_json::Value {
+        serde_json::from_str(&self.body)
+            .unwrap_or_else(|e| panic!("body is not JSON ({e:?}): {}", self.body))
+    }
+}
+
+/// Issue one GET over a fresh connection.
+pub fn get(addr: SocketAddr, path: &str) -> Reply {
+    raw_roundtrip(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\r\n"),
+    )
+}
+
+/// Write arbitrary bytes, read the full response.
+pub fn raw_roundtrip(addr: SocketAddr, request: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+/// Split an HTTP/1.1 response into status + body.
+pub fn parse_response(raw: &str) -> Reply {
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Reply { status, body }
+}

@@ -1,0 +1,304 @@
+//! End-to-end endpoint coverage over a real measured scenario: each
+//! route is exercised through an actual TCP connection against the
+//! running server, and the payloads are checked against the engine's
+//! own answers.
+
+mod common;
+
+use common::{get, raw_roundtrip, serve_scenario};
+use ripki_serve::api::state_label;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+#[test]
+fn validity_endpoint_agrees_with_the_engine() {
+    let fx = serve_scenario(300, 11);
+    let addr = fx.server.addr();
+    let snapshot = fx.engine.snapshot();
+    let vrp = snapshot.vrps().first().copied().expect("scenario has VRPs");
+
+    // The VRP's own (prefix, asn) is valid by construction.
+    let reply = get(
+        addr,
+        &format!("/api/v1/validity?asn={}&prefix={}", vrp.asn, vrp.prefix),
+    );
+    assert_eq!(reply.status, 200);
+    let json = reply.json();
+    let validated = json
+        .as_object()
+        .and_then(|o| o.get("validated_route"))
+        .and_then(|v| v.as_object())
+        .expect("validated_route object");
+    let validity = validated
+        .get("validity")
+        .and_then(|v| v.as_object())
+        .expect("validity object");
+    assert_eq!(
+        validity.get("state").and_then(|s| s.as_str()),
+        Some("valid")
+    );
+    let matched = validity
+        .get("VRPs")
+        .and_then(|v| v.as_object())
+        .and_then(|v| v.get("matched"))
+        .and_then(|m| m.as_array())
+        .expect("matched VRP list");
+    assert!(!matched.is_empty());
+    assert_eq!(
+        json.as_object()
+            .and_then(|o| o.get("epoch"))
+            .and_then(|e| e.as_u128()),
+        Some(1)
+    );
+
+    // Same prefix from a bogus origin: invalid, reason "as".
+    let reply = get(
+        addr,
+        &format!("/api/v1/validity?asn=AS4200000000&prefix={}", vrp.prefix),
+    );
+    let json = reply.json();
+    let validity = json
+        .as_object()
+        .and_then(|o| o.get("validated_route"))
+        .and_then(|v| v.as_object())
+        .and_then(|v| v.get("validity"))
+        .and_then(|v| v.as_object())
+        .expect("validity object");
+    assert_eq!(
+        validity.get("state").and_then(|s| s.as_str()),
+        Some("invalid")
+    );
+    assert_eq!(validity.get("reason").and_then(|r| r.as_str()), Some("as"));
+
+    // Path form (Routinator style) answers identically.
+    let reply2 = get(
+        addr,
+        &format!("/api/v1/validity/AS4200000000/{}", vrp.prefix),
+    );
+    assert_eq!(reply2.status, 200);
+    assert_eq!(reply2.body, reply.body);
+
+    // A handful of announcements from the measured RIB: the endpoint
+    // must agree with the snapshot's own verdict every time.
+    let results = fx.engine.run(&fx.scenario.ranking);
+    let mut checked = 0;
+    for d in results.domains.iter().take(40) {
+        for p in d.bare.pairs.iter().chain(&d.www.pairs) {
+            let reply = get(
+                addr,
+                &format!("/api/v1/validity?asn={}&prefix={}", p.origin, p.prefix),
+            );
+            let json = reply.json();
+            let got = json
+                .as_object()
+                .and_then(|o| o.get("validated_route"))
+                .and_then(|v| v.as_object())
+                .and_then(|v| v.get("validity"))
+                .and_then(|v| v.as_object())
+                .and_then(|v| v.get("state"))
+                .and_then(|s| s.as_str())
+                .expect("state string")
+                .to_string();
+            let expected = state_label(snapshot.validity(&p.prefix, p.origin).state);
+            assert_eq!(got, expected, "{} from {}", p.prefix, p.origin);
+            checked += 1;
+        }
+    }
+    assert!(checked > 10, "expected real pairs to check, got {checked}");
+}
+
+#[test]
+fn vrp_exports_stream_the_full_epoch_set() {
+    let fx = serve_scenario(250, 3);
+    let addr = fx.server.addr();
+    let vrps = fx.engine.snapshot().vrps().to_vec();
+    assert!(!vrps.is_empty());
+
+    let reply = get(addr, "/vrps.json");
+    assert_eq!(reply.status, 200);
+    let json = reply.json();
+    let root = json.as_object().expect("object");
+    let metadata = root.get("metadata").and_then(|m| m.as_object()).unwrap();
+    assert_eq!(metadata.get("epoch").and_then(|e| e.as_u128()), Some(1));
+    assert_eq!(
+        metadata.get("vrp_count").and_then(|c| c.as_u128()),
+        Some(vrps.len() as u128)
+    );
+    let roas = root.get("roas").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(roas.len(), vrps.len());
+    let first = roas[0].as_object().unwrap();
+    assert_eq!(
+        first.get("asn").and_then(|a| a.as_str()),
+        Some(vrps[0].asn.to_string().as_str())
+    );
+    assert_eq!(
+        first.get("prefix").and_then(|p| p.as_str()),
+        Some(vrps[0].prefix.to_string().as_str())
+    );
+
+    let reply = get(addr, "/vrps.csv");
+    assert_eq!(reply.status, 200);
+    let mut lines = reply.body.lines();
+    assert_eq!(lines.next(), Some("ASN,IP Prefix,Max Length,Trust Anchor"));
+    assert_eq!(lines.count(), vrps.len());
+    assert!(reply.body.contains(&format!(
+        "{},{},{},sim",
+        vrps[0].asn, vrps[0].prefix, vrps[0].max_length
+    )));
+}
+
+#[test]
+fn domain_endpoint_serves_measurements_and_exposure() {
+    let fx = serve_scenario(200, 21);
+    let addr = fx.server.addr();
+    let listed = fx.scenario.ranking[0].clone();
+
+    let reply = get(addr, &format!("/api/v1/domain/{listed}"));
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let json = reply.json();
+    let root = json.as_object().unwrap();
+    assert_eq!(root.get("rank").and_then(|r| r.as_u128()), Some(0));
+    assert_eq!(
+        root.get("listed").and_then(|l| l.as_str()),
+        Some(listed.as_str())
+    );
+    for form in ["www", "bare"] {
+        let m = root.get(form).and_then(|m| m.as_object()).expect(form);
+        assert!(m.get("pairs").and_then(|p| p.as_array()).is_some());
+        assert!(m.get("coverage").is_some());
+    }
+    // The scenario provides a topology, so exposure is an object or an
+    // explicit null (unsimulable), never absent.
+    assert!(root.get("exposure").is_some());
+
+    // The www form resolves to the same measurement.
+    let www = get(
+        addr,
+        &format!("/api/v1/domain/www.{}", listed.without_www()),
+    );
+    assert_eq!(www.status, 200);
+    assert_eq!(
+        www.json().as_object().unwrap().get("rank"),
+        root.get("rank")
+    );
+
+    let missing = get(addr, "/api/v1/domain/never-ranked.example");
+    assert_eq!(missing.status, 404);
+}
+
+#[test]
+fn metrics_and_status_expose_the_epoch() {
+    let fx = serve_scenario(150, 5);
+    let addr = fx.server.addr();
+    let vrp_count = fx.engine.snapshot().vrps().len();
+
+    // Generate some traffic first so counters are non-zero.
+    get(addr, "/status");
+    get(addr, "/api/v1/validity?asn=AS1&prefix=192.0.2.0/24");
+    get(addr, "/nonexistent");
+
+    let reply = get(addr, "/metrics");
+    assert_eq!(reply.status, 200);
+    let text = &reply.body;
+    assert!(text.contains("ripki_serve_epoch 1"), "{text}");
+    assert!(
+        text.contains(&format!("ripki_serve_vrps {vrp_count}")),
+        "{text}"
+    );
+    assert!(
+        text.contains("ripki_http_requests_total{endpoint=\"validity\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ripki_http_errors_total{endpoint=\"other\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "ripki_http_request_duration_seconds_bucket{endpoint=\"validity\",le=\"+Inf\"} 1"
+        ),
+        "{text}"
+    );
+
+    let status = get(addr, "/status");
+    let json = status.json();
+    let root = json.as_object().unwrap();
+    assert_eq!(root.get("epoch").and_then(|e| e.as_u128()), Some(1));
+    assert_eq!(
+        root.get("vrps").and_then(|v| v.as_u128()),
+        Some(vrp_count as u128)
+    );
+    assert_eq!(root.get("domains").and_then(|d| d.as_u128()), Some(150));
+}
+
+#[test]
+fn protocol_errors_are_well_formed_responses() {
+    let fx = serve_scenario(120, 9);
+    let addr = fx.server.addr();
+
+    // Unknown path.
+    assert_eq!(get(addr, "/api/v2/everything").status, 404);
+    // Missing query parameters.
+    assert_eq!(get(addr, "/api/v1/validity").status, 400);
+    // Unparseable operands.
+    assert_eq!(
+        get(addr, "/api/v1/validity?asn=banana&prefix=10.0.0.0/24").status,
+        400
+    );
+    assert_eq!(
+        get(addr, "/api/v1/validity?asn=AS1&prefix=banana").status,
+        400
+    );
+    // Non-GET method.
+    let reply = raw_roundtrip(addr, "POST /status HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(reply.status, 405);
+    // Garbage request line.
+    let reply = raw_roundtrip(addr, "GARBAGE\r\n\r\n");
+    assert_eq!(reply.status, 400);
+    assert!(reply.body.contains("error"), "{}", reply.body);
+    // Wrong protocol version.
+    let reply = raw_roundtrip(addr, "GET /status SPDY/3\r\n\r\n");
+    assert_eq!(reply.status, 505);
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let fx = serve_scenario(120, 13);
+    let mut stream = TcpStream::connect(fx.server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    for i in 0..3 {
+        stream
+            .write_all(b"GET /status HTTP/1.1\r\nhost: t\r\n\r\n")
+            .unwrap();
+        // Read exactly one response using its content-length framing.
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).unwrap();
+            head.push(byte[0]);
+        }
+        let head_text = String::from_utf8(head).unwrap();
+        assert!(
+            head_text.starts_with("HTTP/1.1 200"),
+            "req {i}: {head_text}"
+        );
+        assert!(
+            head_text.contains("connection: keep-alive"),
+            "req {i}: {head_text}"
+        );
+        let length: usize = head_text
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; length];
+        stream.read_exact(&mut body).unwrap();
+        assert!(String::from_utf8(body).unwrap().contains("\"epoch\""));
+    }
+}

@@ -11,6 +11,7 @@
 //! * [`ripki_bgp`] — RIBs, dumps, RFC 6811, topology + hijack simulation;
 //! * [`ripki_dns`] — zones, resolver simulation, vantage points;
 //! * [`ripki_rtr`] — the RPKI-to-Router protocol (RFC 6810);
+//! * [`ripki_serve`] — the epoch-consistent HTTP query plane;
 //! * [`ripki_websim`] — the calibrated synthetic web ecosystem;
 //! * [`ripki`] — the paper's four-step measurement pipeline, figures,
 //!   tables, and the CDN audit.
@@ -25,6 +26,7 @@ pub use ripki_dns;
 pub use ripki_net;
 pub use ripki_rpki;
 pub use ripki_rtr;
+pub use ripki_serve;
 pub use ripki_websim;
 
 /// Convenience: build a scenario and run the full study engine at the
