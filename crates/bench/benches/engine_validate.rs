@@ -1,0 +1,187 @@
+//! Incremental RPKI validation vs a from-scratch full pass.
+//!
+//! `IncrementalValidator` memoizes validation per publication point, so
+//! an epoch of churn that dirties a handful of CAs should revalidate
+//! only those subtrees while every clean point is reused. This bench
+//! builds a repository at roughly the 20k-object scale of a small RIR
+//! (5 trust anchors, 200 CAs, 100 ROAs each), then replays epochs in
+//! which two CAs change a ROA each — ~1% of publication points, and
+//! with each dirty point revalidated whole, ~1% of all objects.
+//!
+//! Besides the Criterion comparison, the bench writes a machine-readable
+//! summary (mean per-epoch apply cost, full-pass cost, speedup) to
+//! `results/BENCH_validate.json` so the acceptance number survives the
+//! run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki_net::{Asn, IpPrefix};
+use ripki_rpki::repo::{Repository, RepositoryBuilder};
+use ripki_rpki::roa::RoaPrefix;
+use ripki_rpki::time::{Duration, SimTime};
+use ripki_rpki::validate::validate;
+use ripki_rpki::{IncrementalValidator, Resources};
+
+const TAS: usize = 5;
+const CAS_PER_TA: usize = 40;
+const ROAS_PER_CA: usize = 100;
+/// CAs whose ROA set changes each epoch (= dirty publication points).
+const DIRTY_CAS_PER_EPOCH: usize = 2;
+/// Timed epochs; one extra snapshot seeds the validator outside timing.
+const EPOCHS: usize = 24;
+
+fn prefix(ta: usize, ca: usize, roa: usize) -> IpPrefix {
+    format!("{}.{}.{}.0/24", 10 + ta, ca, roa)
+        .parse()
+        .expect("well-formed bench prefix")
+}
+
+/// The repository sequence: a base snapshot plus `EPOCHS` churned
+/// successors, each differing from its predecessor in the ROA sets of
+/// `DIRTY_CAS_PER_EPOCH` distinct CAs (one ROA swapped per CA).
+fn build_epochs() -> (Vec<Repository>, SimTime) {
+    let start = SimTime::EPOCH;
+    let now = start + Duration::days(1);
+    let mut b = RepositoryBuilder::new(42, start);
+    let mut cas = Vec::with_capacity(TAS * CAS_PER_TA);
+    for t in 0..TAS {
+        let ta_res = Resources::from_prefixes([format!("{}.0.0.0/8", 10 + t)
+            .parse::<IpPrefix>()
+            .expect("well-formed TA block")]);
+        let ta = b.add_trust_anchor(&format!("TA-{t}"), ta_res);
+        for c in 0..CAS_PER_TA {
+            let ca_res = Resources::from_prefixes([format!("{}.{c}.0.0/16", 10 + t)
+                .parse::<IpPrefix>()
+                .expect("well-formed CA block")]);
+            let ca = b
+                .add_ca(ta, &format!("CA-{t}-{c}"), ca_res)
+                .expect("CA resources within TA");
+            for r in 0..ROAS_PER_CA {
+                b.add_roa(
+                    ca,
+                    Asn::new((1000 + t * CAS_PER_TA + c) as u32),
+                    vec![RoaPrefix::exact(prefix(t, c, r))],
+                )
+                .expect("ROA within CA resources");
+            }
+            cas.push((t, c, ca));
+        }
+    }
+
+    let mut repos = Vec::with_capacity(EPOCHS + 1);
+    repos.push(b.snapshot());
+    let total_cas = cas.len();
+    for epoch in 0..EPOCHS {
+        for d in 0..DIRTY_CAS_PER_EPOCH {
+            let (t, c, ca) = cas[(epoch * DIRTY_CAS_PER_EPOCH + d) % total_cas];
+            // Swap one ROA: retire the lowest-serial one still published
+            // and issue a fresh one over an unused /24 of the CA's /16.
+            if let Some((_, serial, _)) =
+                b.list_roas().into_iter().find(|(owner, _, _)| *owner == ca)
+            {
+                b.remove_roa(ca, serial).expect("CA exists");
+            }
+            b.add_roa(
+                ca,
+                Asn::new((5000 + epoch) as u32),
+                vec![RoaPrefix::exact(prefix(t, c, ROAS_PER_CA + epoch))],
+            )
+            .expect("replacement ROA within CA resources");
+        }
+        repos.push(b.snapshot());
+    }
+    (repos, now)
+}
+
+fn bench(c: &mut Criterion) {
+    let (repos, now) = build_epochs();
+
+    // Seed on the base snapshot: the first apply is a full pass and
+    // tells us the object count; a long-lived relying party pays it
+    // once at startup.
+    let mut inc = IncrementalValidator::default();
+    let seed_delta = inc.apply(&repos[0], now);
+    let objects = seed_delta.stats.objects_validated;
+
+    // Instant-based acceptance measurement: mean apply cost over the
+    // churned epochs vs mean full-pass cost on the final snapshot.
+    let mut objects_revalidated = 0usize;
+    let mut points_reused = 0usize;
+    let mut points_total = 0usize;
+    let t0 = std::time::Instant::now();
+    for repo in &repos[1..] {
+        let delta = inc.apply(repo, now);
+        objects_revalidated += delta.stats.objects_validated;
+        points_reused += delta.stats.points_reused;
+        points_total += delta.stats.points_total;
+    }
+    let incremental_s = t0.elapsed().as_secs_f64() / EPOCHS as f64;
+    let mean_objects = objects_revalidated as f64 / EPOCHS as f64;
+
+    let t0 = std::time::Instant::now();
+    let full_passes = 3;
+    for _ in 0..full_passes {
+        let report = validate(repos.last().expect("non-empty"), now);
+        assert_eq!(report.vrps, inc.vrps(), "incremental diverged from full");
+    }
+    let full_s = t0.elapsed().as_secs_f64() / full_passes as f64;
+    let speedup = full_s / incremental_s.max(f64::EPSILON);
+
+    println!("\n=== rpki: incremental apply vs full validate ===");
+    println!(
+        "{objects} objects across {} publication points, {mean_objects:.1} \
+         objects revalidated/epoch ({:.3}% churn), {points_reused}/{points_total} \
+         point validations reused",
+        TAS * CAS_PER_TA,
+        100.0 * mean_objects / objects.max(1) as f64,
+    );
+    println!(
+        "incremental {:.3} ms/epoch, full pass {:.1} ms, speedup {speedup:.1}x",
+        incremental_s * 1e3,
+        full_s * 1e3,
+    );
+
+    let mut json = serde_json::Map::new();
+    let num = |v: f64| serde_json::to_value(&v).expect("f64 serializes");
+    json.insert("bench".into(), "engine_validate".into());
+    json.insert(
+        "objects".into(),
+        serde_json::to_value(&objects).expect("usize serializes"),
+    );
+    json.insert(
+        "publication_points".into(),
+        serde_json::to_value(&(TAS * CAS_PER_TA)).expect("usize serializes"),
+    );
+    json.insert("mean_objects_revalidated".into(), num(mean_objects));
+    json.insert(
+        "churn_fraction".into(),
+        num(mean_objects / objects.max(1) as f64),
+    );
+    json.insert("incremental_ms_per_epoch".into(), num(incremental_s * 1e3));
+    json.insert("full_validate_ms".into(), num(full_s * 1e3));
+    json.insert("speedup".into(), num(speedup));
+    let json = serde_json::Value::Object(json);
+    let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(results_dir).ok();
+    let path = format!("{results_dir}/BENCH_validate.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    let mut group = c.benchmark_group("engine_validate");
+    group.sample_size(10);
+    let mut cycle = repos[1..].iter().cycle();
+    group.bench_function("incremental_apply_one_epoch", |b| {
+        b.iter(|| {
+            let repo = cycle.next().expect("cycle is infinite");
+            inc.apply(repo, now)
+        })
+    });
+    group.bench_function("full_validate", |b| {
+        b.iter(|| validate(repos.last().expect("non-empty"), now))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

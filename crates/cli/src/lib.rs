@@ -575,10 +575,22 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
             ..ChurnConfig::default()
         },
     );
+    let mut inc_objects = 0usize;
+    let mut inc_reused = 0usize;
+    let mut inc_points = 0usize;
+    let mut inc_epochs = 0usize;
     for _ in 0..epochs {
         let batch = stream.next_epoch();
         let events = batch.events.len();
         let delta = engine.apply_events(&batch, &mut results);
+        if let Some(stats) = delta.rpki_stats {
+            if stats.full_pass_avoided() {
+                inc_objects += stats.objects_validated;
+                inc_reused += stats.points_reused;
+                inc_points += stats.points_total;
+                inc_epochs += 1;
+            }
+        }
         // Stream the epoch's churn into the cache; a serial mismatch
         // (e.g. a wrapped counter) falls back to a full reinstall.
         if !cache.apply_delta(delta.to_epoch as u32, &delta.announced, &delta.withdrawn) {
@@ -593,6 +605,14 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
             delta.domains_remeasured,
             delta.announced.len(),
             delta.withdrawn.len(),
+        )?;
+    }
+    if inc_epochs > 0 {
+        writeln!(
+            out,
+            "validated {inc_objects} objects incrementally (full pass avoided; \
+             {inc_reused}/{inc_points} publication-point validations reused \
+             across {inc_epochs} epochs)",
         )?;
     }
     writeln!(
@@ -859,6 +879,11 @@ mod tests {
         assert_eq!(rows.len(), 4, "{text}");
         // Epoch == RTR serial all the way through.
         assert!(text.contains("final epoch 4, RTR serial 4"), "{text}");
+        // RPKI epochs went through the incremental path, not full passes.
+        assert!(
+            text.contains("objects incrementally (full pass avoided"),
+            "{text}"
+        );
     }
 
     #[test]

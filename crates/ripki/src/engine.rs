@@ -40,9 +40,10 @@ use ripki_dns::zone::{ZoneChanges, ZoneDelta, ZoneStore};
 use ripki_dns::DomainName;
 use ripki_net::special::SpecialRegistry;
 use ripki_net::{Asn, IpPrefix, PrefixTrie};
+use ripki_rpki::incremental::{ApplyStats, IncrementalValidator, VrpDelta};
 use ripki_rpki::repo::Repository;
 use ripki_rpki::time::SimTime;
-use ripki_rpki::validate::validate;
+use ripki_rpki::validate::{ValidationOptions, Vrp};
 use ripki_websim::churn::{EpochChurn, WorldEvent};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -64,17 +65,18 @@ pub struct WorldSnapshot {
 }
 
 impl WorldSnapshot {
-    /// Validate `repository` at `config.now` and assemble a snapshot.
-    fn build(
+    /// Assemble a snapshot from an already-validated VRP set (the
+    /// incremental validator's output).
+    fn assemble(
         epoch: u64,
         zones: Arc<ZoneStore>,
         rib: Arc<Rib>,
         cache: Arc<ResolutionCache>,
-        repository: &Repository,
+        vrps: &[Vrp],
+        rpki_rejected: usize,
         config: PipelineConfig,
     ) -> WorldSnapshot {
-        let report = validate(repository, config.now);
-        let validator = RouteOriginValidator::from_vrps(report.vrps.iter().map(|v| VrpTriple {
+        let validator = RouteOriginValidator::from_vrps(vrps.iter().map(|v| VrpTriple {
             prefix: v.prefix,
             max_length: v.max_length,
             asn: v.asn,
@@ -84,8 +86,8 @@ impl WorldSnapshot {
             zones,
             rib,
             cache,
-            vrp_count: report.vrps.len(),
-            rpki_rejected: report.rejected_count(),
+            vrp_count: vrps.len(),
+            rpki_rejected,
             validator,
             config,
         }
@@ -366,6 +368,14 @@ impl WorldSnapshot {
     }
 }
 
+fn triple(v: &Vrp) -> VrpTriple {
+    VrpTriple {
+        prefix: v.prefix,
+        max_length: v.max_length,
+        asn: v.asn,
+    }
+}
+
 /// What changed between two RPKI epochs, in RTR terms.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EpochDelta {
@@ -383,6 +393,10 @@ pub struct EpochDelta {
     /// Domains re-measured by an incremental
     /// [`StudyEngine::apply_events`] (0 for RPKI-only epoch swaps).
     pub domains_remeasured: usize,
+    /// Work accounting from the incremental RPKI validator, when the
+    /// epoch involved validation (a repository swap or a clock advance).
+    /// `None` for pure DNS/BGP epochs.
+    pub rpki_stats: Option<ApplyStats>,
 }
 
 impl EpochDelta {
@@ -605,6 +619,28 @@ pub struct StudyEngine {
     /// Reverse indices for [`apply_events`](Self::apply_events), built
     /// lazily against the results the caller maintains.
     index: Mutex<Option<DomainIndex>>,
+    /// The stateful incremental validator plus the repository it last
+    /// validated (kept alive for clock-only expiry sweeps). Locked after
+    /// `current`'s write lock, never the other way around.
+    rpki: Mutex<RpkiState>,
+}
+
+/// Validator state carried across epochs.
+struct RpkiState {
+    validator: IncrementalValidator,
+    repository: Arc<Repository>,
+}
+
+impl RpkiState {
+    /// Validate `repository` (or re-validate the held one when `None`)
+    /// as of `now`, reusing every publication point whose inputs did
+    /// not change.
+    fn apply(&mut self, repository: Option<&Arc<Repository>>, now: SimTime) -> VrpDelta {
+        if let Some(repo) = repository {
+            self.repository = Arc::clone(repo);
+        }
+        self.validator.apply(&self.repository, now)
+    }
 }
 
 impl StudyEngine {
@@ -626,10 +662,24 @@ impl StudyEngine {
         config: PipelineConfig,
     ) -> StudyEngine {
         let cache = Arc::new(ResolutionCache::new(config.vantage));
-        let snapshot = WorldSnapshot::build(1, zones, rib, cache, repository, config);
+        let mut rpki = RpkiState {
+            validator: IncrementalValidator::new(ValidationOptions::default()),
+            repository: Arc::new(repository.clone()),
+        };
+        rpki.apply(None, config.now);
+        let snapshot = WorldSnapshot::assemble(
+            1,
+            zones,
+            rib,
+            cache,
+            &rpki.validator.vrps(),
+            rpki.validator.rejected_count(),
+            config,
+        );
         StudyEngine {
             current: RwLock::new(Arc::new(snapshot)),
             index: Mutex::new(None),
+            rpki: Mutex::new(rpki),
         }
     }
 
@@ -659,26 +709,54 @@ impl StudyEngine {
         let old = Arc::clone(&guard);
         let mut config = old.config.clone();
         config.now = now;
-        let next = WorldSnapshot::build(
-            old.epoch + 1,
-            Arc::clone(&old.zones),
-            Arc::clone(&old.rib),
-            Arc::clone(&old.cache),
-            repository,
-            config,
-        );
-        let before: BTreeSet<VrpTriple> = old.vrps().iter().copied().collect();
-        let after: BTreeSet<VrpTriple> = next.vrps().iter().copied().collect();
+        let mut rpki = self.rpki.lock().expect("engine rpki lock poisoned");
+        let repository = Arc::new(repository.clone());
+        let vrp_delta = rpki.apply(Some(&repository), now);
+        let next = Self::next_snapshot(&old, &rpki, &vrp_delta, old.epoch + 1, config);
         let delta = EpochDelta {
             from_epoch: old.epoch,
             to_epoch: next.epoch,
-            announced: after.difference(&before).copied().collect(),
-            withdrawn: before.difference(&after).copied().collect(),
+            announced: vrp_delta.announced.iter().map(triple).collect(),
+            withdrawn: vrp_delta.withdrawn.iter().map(triple).collect(),
             pairs_changed: 0,
             domains_remeasured: 0,
+            rpki_stats: Some(vrp_delta.stats),
         };
         *guard = Arc::new(next);
         delta
+    }
+
+    /// Successor snapshot after a validator pass: the origin validator
+    /// is rebuilt only when the VRP set actually changed.
+    fn next_snapshot(
+        old: &WorldSnapshot,
+        rpki: &RpkiState,
+        vrp_delta: &VrpDelta,
+        epoch: u64,
+        config: PipelineConfig,
+    ) -> WorldSnapshot {
+        if vrp_delta.is_empty() {
+            WorldSnapshot {
+                epoch,
+                zones: Arc::clone(&old.zones),
+                rib: Arc::clone(&old.rib),
+                cache: Arc::clone(&old.cache),
+                validator: old.validator.clone(),
+                vrp_count: old.vrp_count,
+                rpki_rejected: rpki.validator.rejected_count(),
+                config,
+            }
+        } else {
+            WorldSnapshot::assemble(
+                epoch,
+                Arc::clone(&old.zones),
+                Arc::clone(&old.rib),
+                Arc::clone(&old.cache),
+                &rpki.validator.vrps(),
+                rpki.validator.rejected_count(),
+                config,
+            )
+        }
     }
 
     /// Epoch-swap revalidation: install `repository` as a new epoch and
@@ -775,8 +853,33 @@ impl StudyEngine {
 
         let mut config = old.config.clone();
         config.now = batch.now;
-        let next = match &batch.repository {
-            Some(repo) => WorldSnapshot::build(old.epoch + 1, zones, rib, cache, repo, config),
+        // The validator runs only when its inputs moved: a republished
+        // repository or a clock advance (expiry sweep). Its delta IS the
+        // epoch's announce/withdraw set — no full-set diffing.
+        let rpki_work = batch.repository.is_some() || batch.now != old.config.now;
+        let (changed_vrps, announced, withdrawn, rpki_stats, rpki_rejected) = if rpki_work {
+            let mut rpki = self.rpki.lock().expect("engine rpki lock poisoned");
+            let vrp_delta = rpki.apply(batch.repository.as_ref(), batch.now);
+            (
+                (!vrp_delta.is_empty()).then(|| rpki.validator.vrps()),
+                vrp_delta.announced.iter().map(triple).collect::<Vec<_>>(),
+                vrp_delta.withdrawn.iter().map(triple).collect::<Vec<_>>(),
+                Some(vrp_delta.stats),
+                rpki.validator.rejected_count(),
+            )
+        } else {
+            (None, Vec::new(), Vec::new(), None, old.rpki_rejected)
+        };
+        let next = match changed_vrps {
+            Some(vrps) => WorldSnapshot::assemble(
+                old.epoch + 1,
+                zones,
+                rib,
+                cache,
+                &vrps,
+                rpki_rejected,
+                config,
+            ),
             None => WorldSnapshot {
                 epoch: old.epoch + 1,
                 zones,
@@ -784,21 +887,9 @@ impl StudyEngine {
                 cache,
                 validator: old.validator.clone(),
                 vrp_count: old.vrp_count,
-                rpki_rejected: old.rpki_rejected,
+                rpki_rejected,
                 config,
             },
-        };
-
-        // VRP-level delta (empty unless the repository changed).
-        let (announced, withdrawn) = if batch.repository.is_some() {
-            let before: BTreeSet<VrpTriple> = old.vrps().iter().copied().collect();
-            let after: BTreeSet<VrpTriple> = next.vrps().iter().copied().collect();
-            (
-                after.difference(&before).copied().collect::<Vec<_>>(),
-                before.difference(&after).copied().collect::<Vec<_>>(),
-            )
-        } else {
-            (Vec::new(), Vec::new())
         };
         let vrp_prefixes: BTreeSet<IpPrefix> = announced
             .iter()
@@ -856,6 +947,7 @@ impl StudyEngine {
                 withdrawn,
                 pairs_changed,
                 domains_remeasured: remeasured,
+                rpki_stats,
             };
             *guard = Arc::new(next);
             return delta;
@@ -904,6 +996,7 @@ impl StudyEngine {
             withdrawn,
             pairs_changed,
             domains_remeasured: remeasured,
+            rpki_stats,
         };
         *guard = Arc::new(next);
         delta
@@ -1033,7 +1126,7 @@ mod tests {
         }
         let (zones2, _) = ZoneStore::apply(Arc::new(zones.clone()), &zd);
         let (rib2, _) = Rib::apply(Arc::new(rib.clone()), &rd);
-        let repo = batch.repository.as_ref().unwrap_or(repo);
+        let repo = batch.repository.as_deref().unwrap_or(repo);
         StudyEngine::new(zones2, rib2, repo, cfg(now)).run(&ranking())
     }
 
@@ -1128,7 +1221,7 @@ mod tests {
                 prefix: "85.3.0.0/16".parse().unwrap(),
                 asn: Asn::new(999),
             }],
-            repository: Some(b.snapshot()),
+            repository: Some(Arc::new(b.snapshot())),
             now,
         };
         let delta = engine.apply_events(&batch, &mut results);

@@ -17,6 +17,7 @@ use ripki::pipeline::PipelineConfig;
 use ripki_bgp::rib::{Rib, RibDelta};
 use ripki_bgp::rov::VrpTriple;
 use ripki_dns::zone::{ZoneDelta, ZoneStore};
+use ripki_rpki::repo::Repository;
 use ripki_websim::churn::{ChurnConfig, ChurnStream, EpochChurn, WorldEvent};
 use ripki_websim::{Scenario, ScenarioConfig};
 use std::collections::BTreeSet;
@@ -151,7 +152,7 @@ proptest! {
                 rib = Arc::new(r);
             }
             if let Some(repo) = &batch.repository {
-                repository = repo.clone();
+                repository = Repository::clone(repo);
             }
 
             // From-scratch run over the cumulative world.

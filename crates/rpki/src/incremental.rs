@@ -1,0 +1,660 @@
+//! Per-object incremental validation.
+//!
+//! Full validation ([`crate::validate::validate`]) re-checks every
+//! signature in the repository on every run. Between two relying-party
+//! passes almost nothing changes: the paper's longitudinal study replays
+//! years of ROA churn where each day touches a handful of publication
+//! points out of thousands. [`IncrementalValidator`] exploits that by
+//! caching the outcome of every publication point and only revalidating
+//! the ones whose inputs changed.
+//!
+//! ## The dependency graph
+//!
+//! A publication point's validation outcome is a pure function of:
+//!
+//! * the issuing CA certificate (its key verifies the CRL, manifest and
+//!   every child signature; its resources bound the children's);
+//! * the point's published content (CRL, manifest, child certs, ROAs);
+//! * the trust anchor name baked into the logged events;
+//! * the evaluation time `now` — but only through the validity windows
+//!   the walk consults, which partition time into intervals of constant
+//!   outcome (an [`Era`]).
+//!
+//! So the cache key is `(CA cert fingerprint, content fingerprint,
+//! trust-anchor name)` and a cached entry is reusable while
+//! `era.contains(now)`. Everything the paper's hard cases require falls
+//! out of this: a CRL revoking a sibling re-issues the CRL, changing the
+//! content fingerprint, so the whole point (all sibling ROAs) is
+//! revalidated; a manifest replacement likewise; a key rollover changes
+//! the parent's content (new child cert) *and* every descendant's issuing
+//! cert, dirtying the whole subtree; an expiry sweep moves `now` out of
+//! some points' eras and only those are revisited.
+//!
+//! ## Fingerprints are republication detectors
+//!
+//! Content fingerprints ([`Fingerprint`]) fold object *identities*
+//! (serials, deterministic signatures), not full content hashes. They
+//! detect republication — a CA issuing different objects — in O(1) per
+//! object. They deliberately do not detect in-place tampering with a
+//! published object's payload bytes (the fault injector does this);
+//! flows that mutate repositories behind the builder's back must start
+//! from a fresh validator, which performs a full pass.
+//!
+//! Each CA key is assumed reachable from at most one trust anchor (true
+//! of every builder-produced repository); a key shared between anchor
+//! hierarchies would thrash its single cache slot.
+
+use crate::cert::Cert;
+use crate::repo::{Fingerprint, Repository};
+use crate::time::{Era, SimTime};
+use crate::validate::{
+    ca_accept_event, missing_point_event, trust_anchor_event, validate_point, PointItem,
+    ValidationOptions, ValidationReport, Vrp,
+};
+use ripki_crypto::keystore::KeyId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Work accounting for one [`IncrementalValidator::apply`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplyStats {
+    /// Publication points reachable in this pass (cached or not).
+    pub points_total: usize,
+    /// Points whose cached outcome was reused untouched.
+    pub points_reused: usize,
+    /// Points (re)validated from scratch this pass.
+    pub points_revalidated: usize,
+    /// Individual object decisions recomputed (trust anchors, CA certs,
+    /// ROAs, point-level CRL/manifest verdicts).
+    pub objects_validated: usize,
+}
+
+impl ApplyStats {
+    /// Whether any cached work was actually reused — `false` means the
+    /// pass was equivalent to a full validation.
+    pub fn full_pass_avoided(&self) -> bool {
+        self.points_reused > 0
+    }
+}
+
+/// The change in the validated VRP set produced by one `apply` call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VrpDelta {
+    /// VRPs present now that were absent before, sorted.
+    pub announced: Vec<Vrp>,
+    /// VRPs absent now that were present before, sorted.
+    pub withdrawn: Vec<Vrp>,
+    /// What it cost to compute.
+    pub stats: ApplyStats,
+}
+
+impl VrpDelta {
+    /// Whether the VRP set changed at all.
+    pub fn is_empty(&self) -> bool {
+        self.announced.is_empty() && self.withdrawn.is_empty()
+    }
+}
+
+/// Cached verdict for one trust anchor, in walk order.
+#[derive(Debug, Clone)]
+struct CachedTa {
+    fingerprint: Fingerprint,
+    era: Era,
+    event: crate::validate::ValidationEvent,
+    /// The anchor certificate, kept so [`IncrementalValidator::report`]
+    /// can replay the walk without the repository.
+    cert: Cert,
+    name: String,
+    usable: bool,
+}
+
+/// Cached outcome for one publication point (or its absence).
+#[derive(Debug, Clone)]
+struct CachedPoint {
+    ta_name: String,
+    /// Fingerprint of the issuing CA certificate.
+    ca_fp: Fingerprint,
+    /// Fingerprint of the published content; `None` caches "no
+    /// publication point exists for this CA".
+    content_fp: Option<Fingerprint>,
+    era: Era,
+    items: Vec<PointItem>,
+    vrps: Vec<Vrp>,
+    rejected: usize,
+}
+
+/// A validator that carries per-publication-point outcome caches across
+/// repository snapshots and clock advances.
+#[derive(Debug, Clone)]
+pub struct IncrementalValidator {
+    options: ValidationOptions,
+    tas: Vec<CachedTa>,
+    points: HashMap<KeyId, CachedPoint>,
+    /// Reference-counted VRP multiset: distinct ROAs may assert the same
+    /// payload, and one leaving must not withdraw the other's.
+    vrp_counts: BTreeMap<Vrp, usize>,
+    rejected: usize,
+}
+
+impl Default for IncrementalValidator {
+    fn default() -> IncrementalValidator {
+        IncrementalValidator::new(ValidationOptions::default())
+    }
+}
+
+impl IncrementalValidator {
+    /// An empty validator; the first [`apply`](Self::apply) is a full pass.
+    pub fn new(options: ValidationOptions) -> IncrementalValidator {
+        IncrementalValidator {
+            options,
+            tas: Vec::new(),
+            points: HashMap::new(),
+            vrp_counts: BTreeMap::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Current validated VRP set, deduplicated and sorted.
+    pub fn vrps(&self) -> Vec<Vrp> {
+        self.vrp_counts.keys().copied().collect()
+    }
+
+    /// Number of rejection events in the current (cached) walk.
+    pub fn rejected_count(&self) -> usize {
+        self.rejected
+    }
+
+    /// Validate `repo` as of `now`, reusing every cached publication
+    /// point whose inputs are unchanged, and return the VRP delta
+    /// relative to the previous call.
+    pub fn apply(&mut self, repo: &Repository, now: SimTime) -> VrpDelta {
+        let mut stats = ApplyStats::default();
+        // VRP presence before this pass first touched the entry, recorded
+        // lazily: a count that dips to zero and recovers within one apply
+        // must not surface in the delta.
+        let mut touched: HashMap<Vrp, bool> = HashMap::new();
+        let mut visited: HashSet<KeyId> = HashSet::new();
+        // Previous cache; entries still live move back into self.points,
+        // the rest are dead and release their VRPs.
+        let mut prev = std::mem::take(&mut self.points);
+        let prev_tas = std::mem::take(&mut self.tas);
+
+        for ta in &repo.trust_anchors {
+            let fp = ta.fingerprint();
+            let cached = prev_tas
+                .iter()
+                .find(|c| c.fingerprint == fp && c.era.contains(now));
+            let entry = match cached {
+                Some(c) => c.clone(),
+                None => {
+                    stats.objects_validated += 1;
+                    let mut era = Era::unbounded();
+                    let event = trust_anchor_event(ta, now, &mut era);
+                    CachedTa {
+                        fingerprint: fp,
+                        era,
+                        usable: event.rejected.is_none(),
+                        event,
+                        cert: ta.cert.clone(),
+                        name: ta.name.clone(),
+                    }
+                }
+            };
+            let usable = entry.usable;
+            let cert = entry.cert.clone();
+            let name = entry.name.clone();
+            self.tas.push(entry);
+            if usable {
+                self.walk(
+                    repo,
+                    &mut prev,
+                    &cert,
+                    &name,
+                    now,
+                    &mut visited,
+                    &mut stats,
+                    &mut touched,
+                );
+            }
+        }
+
+        // Points no longer reachable: withdraw their VRPs.
+        for (_, dead) in prev.drain() {
+            self.release_vrps(&dead.vrps, &mut touched);
+        }
+
+        self.rejected = self
+            .tas
+            .iter()
+            .filter(|t| t.event.rejected.is_some())
+            .count()
+            + self.points.values().map(|p| p.rejected).sum::<usize>();
+
+        let mut delta = VrpDelta {
+            stats,
+            ..VrpDelta::default()
+        };
+        for (vrp, was_present) in touched {
+            let is_present = self.vrp_counts.contains_key(&vrp);
+            match (was_present, is_present) {
+                (false, true) => delta.announced.push(vrp),
+                (true, false) => delta.withdrawn.push(vrp),
+                _ => {}
+            }
+        }
+        delta.announced.sort();
+        delta.withdrawn.sort();
+        delta
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &mut self,
+        repo: &Repository,
+        prev: &mut HashMap<KeyId, CachedPoint>,
+        ca_cert: &Cert,
+        ta_name: &str,
+        now: SimTime,
+        visited: &mut HashSet<KeyId>,
+        stats: &mut ApplyStats,
+        touched: &mut HashMap<Vrp, bool>,
+    ) {
+        let ca_id = ca_cert.subject_key_id();
+        if !visited.insert(ca_id) {
+            return;
+        }
+        stats.points_total += 1;
+        let mut ca_fp = Fingerprint::new();
+        ca_cert.fold_fingerprint(&mut ca_fp);
+        let pp = repo.points.get(&ca_id);
+        let content_fp = pp.map(|p| p.quick_fingerprint());
+
+        let prev_entry = prev.remove(&ca_id);
+        let reusable = prev_entry.as_ref().is_some_and(|c| {
+            c.ta_name == ta_name
+                && c.ca_fp == ca_fp
+                && c.content_fp == content_fp
+                && c.era.contains(now)
+        });
+        let entry = if reusable {
+            stats.points_reused += 1;
+            prev_entry.unwrap()
+        } else {
+            stats.points_revalidated += 1;
+            let fresh = match pp {
+                None => CachedPoint {
+                    ta_name: ta_name.to_string(),
+                    ca_fp,
+                    content_fp: None,
+                    era: Era::unbounded(),
+                    items: vec![PointItem::Event(missing_point_event(ta_name, ca_cert))],
+                    vrps: Vec::new(),
+                    rejected: 1,
+                },
+                Some(pp) => {
+                    let outcome = validate_point(ca_cert, pp, ta_name, now, self.options);
+                    stats.objects_validated += outcome.items.len();
+                    let rejected = outcome
+                        .items
+                        .iter()
+                        .filter(|i| matches!(i, PointItem::Event(e) if e.rejected.is_some()))
+                        .count();
+                    CachedPoint {
+                        ta_name: ta_name.to_string(),
+                        ca_fp,
+                        content_fp,
+                        era: outcome.era,
+                        items: outcome.items,
+                        vrps: outcome.vrps,
+                        rejected,
+                    }
+                }
+            };
+            if let Some(old) = prev_entry {
+                self.release_vrps(&old.vrps, touched);
+            }
+            self.acquire_vrps(&fresh.vrps, touched);
+            fresh
+        };
+
+        let children: Vec<Cert> = entry
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                PointItem::Child(c) => Some((**c).clone()),
+                PointItem::Event(_) => None,
+            })
+            .collect();
+        self.points.insert(ca_id, entry);
+        for child in children {
+            self.walk(repo, prev, &child, ta_name, now, visited, stats, touched);
+        }
+    }
+
+    fn acquire_vrps(&mut self, vrps: &[Vrp], touched: &mut HashMap<Vrp, bool>) {
+        for vrp in vrps {
+            let count = self.vrp_counts.entry(*vrp).or_insert(0);
+            touched.entry(*vrp).or_insert(*count > 0);
+            *count += 1;
+        }
+    }
+
+    fn release_vrps(&mut self, vrps: &[Vrp], touched: &mut HashMap<Vrp, bool>) {
+        for vrp in vrps {
+            let count = self
+                .vrp_counts
+                .get_mut(vrp)
+                .expect("released VRP was never acquired");
+            touched.entry(*vrp).or_insert(true);
+            *count -= 1;
+            if *count == 0 {
+                self.vrp_counts.remove(vrp);
+            }
+        }
+    }
+
+    /// Reconstruct the [`ValidationReport`] a full `validate_with` run
+    /// would produce for the last applied `(repo, now)` — identical event
+    /// order and VRP set — from the cache alone.
+    pub fn report(&self) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        let mut vrps: HashSet<Vrp> = HashSet::new();
+        for ta in &self.tas {
+            report.log.push(ta.event.clone());
+            if !ta.usable {
+                continue;
+            }
+            let mut visited: HashSet<KeyId> = HashSet::new();
+            self.replay(&ta.cert, &ta.name, &mut report, &mut vrps, &mut visited);
+        }
+        let mut sorted: Vec<Vrp> = vrps.into_iter().collect();
+        sorted.sort();
+        report.vrps = sorted;
+        report
+    }
+
+    fn replay(
+        &self,
+        ca_cert: &Cert,
+        ta_name: &str,
+        report: &mut ValidationReport,
+        vrps: &mut HashSet<Vrp>,
+        visited: &mut HashSet<KeyId>,
+    ) {
+        let ca_id = ca_cert.subject_key_id();
+        if !visited.insert(ca_id) {
+            return;
+        }
+        let Some(entry) = self.points.get(&ca_id) else {
+            return;
+        };
+        for item in &entry.items {
+            match item {
+                PointItem::Event(event) => report.log.push(event.clone()),
+                PointItem::Child(child) => {
+                    report.log.push(ca_accept_event(ta_name, child));
+                    self.replay(child, ta_name, report, vrps, visited);
+                }
+            }
+        }
+        vrps.extend(entry.vrps.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::RepositoryBuilder;
+    use crate::resources::Resources;
+    use crate::roa::RoaPrefix;
+    use crate::time::Duration;
+    use crate::validate::validate;
+    use ripki_net::{Asn, IpPrefix};
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    fn res(prefixes: &[&str]) -> Resources {
+        Resources::from_prefixes(prefixes.iter().map(|s| p(s)))
+    }
+
+    /// Both validators must agree exactly: VRPs and full event log.
+    fn assert_equiv(inc: &IncrementalValidator, repo: &Repository, now: SimTime) {
+        let full = validate(repo, now);
+        let replay = inc.report();
+        assert_eq!(replay.vrps, full.vrps, "VRP sets diverge");
+        assert_eq!(replay.log, full.log, "event logs diverge");
+        assert_eq!(inc.vrps(), full.vrps);
+        assert_eq!(inc.rejected_count(), full.rejected_count());
+    }
+
+    #[test]
+    fn initial_apply_matches_full_validation() {
+        let now = SimTime::EPOCH + Duration::days(1);
+        let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        let repo = b.snapshot();
+        let mut inc = IncrementalValidator::default();
+        let delta = inc.apply(&repo, now);
+        assert_eq!(delta.announced.len(), 1);
+        assert!(delta.withdrawn.is_empty());
+        assert!(!delta.stats.full_pass_avoided());
+        assert_equiv(&inc, &repo, now);
+    }
+
+    #[test]
+    fn unchanged_repo_reuses_every_point() {
+        let now = SimTime::EPOCH + Duration::days(1);
+        let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        let repo = b.snapshot();
+        let mut inc = IncrementalValidator::default();
+        inc.apply(&repo, now);
+        let delta = inc.apply(&repo, now);
+        assert!(delta.is_empty());
+        assert_eq!(delta.stats.points_reused, delta.stats.points_total);
+        assert_eq!(delta.stats.objects_validated, 0);
+        assert_equiv(&inc, &repo, now);
+    }
+
+    #[test]
+    fn roa_addition_revalidates_only_its_point() {
+        let now = SimTime::EPOCH + Duration::days(1);
+        let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp1 = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        let isp2 = b.add_ca(ta, "ISP-2", res(&["86.0.0.0/8"])).unwrap();
+        b.add_roa(
+            isp1,
+            Asn::new(100),
+            vec![RoaPrefix::exact(p("85.1.0.0/16"))],
+        )
+        .unwrap();
+        b.add_roa(
+            isp2,
+            Asn::new(200),
+            vec![RoaPrefix::exact(p("86.1.0.0/16"))],
+        )
+        .unwrap();
+        let mut inc = IncrementalValidator::default();
+        inc.apply(&b.snapshot(), now);
+
+        b.add_roa(
+            isp2,
+            Asn::new(201),
+            vec![RoaPrefix::exact(p("86.2.0.0/16"))],
+        )
+        .unwrap();
+        let repo = b.snapshot();
+        let delta = inc.apply(&repo, now);
+        assert_eq!(delta.announced.len(), 1);
+        assert_eq!(delta.announced[0].asn, Asn::new(201));
+        assert!(delta.withdrawn.is_empty());
+        // TA point dirty? No: ISP-2's *content* changed, not the TA's.
+        // Only ISP-2's point is revalidated; TA and ISP-1 points reused.
+        assert_eq!(delta.stats.points_revalidated, 1);
+        assert_eq!(delta.stats.points_reused, 2);
+        assert!(delta.stats.full_pass_avoided());
+        assert_equiv(&inc, &repo, now);
+    }
+
+    #[test]
+    fn crl_revocation_revalidates_sibling_roas() {
+        let now = SimTime::EPOCH + Duration::days(1);
+        let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        b.add_roa(isp, Asn::new(200), vec![RoaPrefix::exact(p("85.2.0.0/16"))])
+            .unwrap();
+        let mut inc = IncrementalValidator::default();
+        inc.apply(&b.snapshot(), now);
+
+        // ROA EEs have serials 3 and 4 (TA=1, ISP=2).
+        b.revoke(isp, 3).unwrap();
+        let repo = b.snapshot();
+        let delta = inc.apply(&repo, now);
+        assert_eq!(delta.withdrawn.len(), 1);
+        assert_eq!(delta.withdrawn[0].asn, Asn::new(100));
+        assert!(delta.announced.is_empty());
+        assert_eq!(delta.stats.points_revalidated, 1);
+        assert_equiv(&inc, &repo, now);
+    }
+
+    #[test]
+    fn key_rollover_revalidates_subtree() {
+        let now = SimTime::EPOCH + Duration::days(1);
+        let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        let mut inc = IncrementalValidator::default();
+        inc.apply(&b.snapshot(), now);
+
+        let new_isp = b.rollover_key(isp).unwrap();
+        assert_ne!(new_isp, isp);
+        let repo = b.snapshot();
+        let delta = inc.apply(&repo, now);
+        // Same VRP reappears under the new key: refcount sees no change.
+        assert!(delta.is_empty(), "delta: {delta:?}");
+        // TA point (new child cert) and the rolled CA's point both redo.
+        assert_eq!(delta.stats.points_revalidated, 2);
+        assert_equiv(&inc, &repo, now);
+    }
+
+    #[test]
+    fn expiry_sweep_only_touches_expiring_points() {
+        let start = SimTime::EPOCH + Duration::days(1);
+        let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        let repo = b.snapshot();
+        let mut inc = IncrementalValidator::default();
+        inc.apply(&repo, start);
+        assert_eq!(inc.vrps().len(), 1);
+
+        // One hour later: still inside every era — nothing revalidates.
+        let delta = inc.apply(&repo, start + Duration::hours(1));
+        assert!(delta.is_empty());
+        assert_eq!(delta.stats.points_revalidated, 0);
+        assert_equiv(&inc, &repo, start + Duration::hours(1));
+
+        // Past the CRL window (7 days): points expire, VRPs withdraw.
+        let late = SimTime::EPOCH + Duration::days(30);
+        let delta = inc.apply(&repo, late);
+        assert_eq!(delta.withdrawn.len(), 1);
+        assert!(inc.vrps().is_empty());
+        assert_equiv(&inc, &repo, late);
+    }
+
+    #[test]
+    fn manifest_replacement_revalidates_point() {
+        let now = SimTime::EPOCH + Duration::days(1);
+        let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        let mut inc = IncrementalValidator::default();
+        inc.apply(&b.snapshot(), now);
+
+        b.republish(isp).unwrap();
+        let repo = b.snapshot();
+        let delta = inc.apply(&repo, now);
+        assert!(delta.is_empty());
+        assert_eq!(delta.stats.points_revalidated, 1);
+        assert_eq!(delta.stats.points_reused, 1);
+        assert_equiv(&inc, &repo, now);
+    }
+
+    #[test]
+    fn duplicate_vrps_reference_counted() {
+        let now = SimTime::EPOCH + Duration::days(1);
+        let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp1 = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        let isp2 = b.add_ca(ta, "ISP-2", res(&["85.0.0.0/8"])).unwrap();
+        // Same VRP asserted by two ROAs at two different points.
+        b.add_roa(
+            isp1,
+            Asn::new(100),
+            vec![RoaPrefix::exact(p("85.1.0.0/16"))],
+        )
+        .unwrap();
+        b.add_roa(
+            isp2,
+            Asn::new(100),
+            vec![RoaPrefix::exact(p("85.1.0.0/16"))],
+        )
+        .unwrap();
+        let mut inc = IncrementalValidator::default();
+        let delta = inc.apply(&b.snapshot(), now);
+        assert_eq!(delta.announced.len(), 1);
+
+        // Removing one copy must not withdraw the VRP. EE serials: TA=1,
+        // ISP certs 2 and 3, ROA EEs 4 and 5; drop ISP-2's copy (5).
+        b.remove_roa(isp2, 5).unwrap();
+        let repo = b.snapshot();
+        let delta = inc.apply(&repo, now);
+        assert!(delta.is_empty(), "delta: {delta:?}");
+        assert_eq!(inc.vrps().len(), 1);
+        assert_equiv(&inc, &repo, now);
+    }
+
+    #[test]
+    fn missing_point_cached_and_recovered() {
+        let now = SimTime::EPOCH + Duration::days(1);
+        let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        let mut repo = b.snapshot();
+        repo.points.remove(&isp);
+        let mut inc = IncrementalValidator::default();
+        let delta = inc.apply(&repo, now);
+        assert!(delta.announced.is_empty());
+        assert_equiv(&inc, &repo, now);
+
+        // Reused on a second pass.
+        let delta = inc.apply(&repo, now);
+        assert_eq!(delta.stats.points_reused, delta.stats.points_total);
+
+        // Point comes back: revalidated, VRP announced.
+        let repo = b.snapshot();
+        let delta = inc.apply(&repo, now);
+        assert_eq!(delta.announced.len(), 1);
+        assert_equiv(&inc, &repo, now);
+    }
+}

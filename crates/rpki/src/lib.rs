@@ -47,6 +47,7 @@ pub mod archive;
 pub mod cert;
 pub mod crl;
 pub mod faults;
+pub mod incremental;
 pub mod manifest;
 pub mod privacy;
 pub mod repo;
@@ -59,6 +60,7 @@ pub mod validate;
 pub use archive::{load as load_archive, save as save_archive, ArchiveError};
 pub use cert::Cert;
 pub use crl::Crl;
+pub use incremental::{ApplyStats, IncrementalValidator, VrpDelta};
 pub use manifest::Manifest;
 pub use repo::{PublicationPoint, Repository, RepositoryBuilder};
 pub use resources::Resources;

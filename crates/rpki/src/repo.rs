@@ -19,6 +19,49 @@ use ripki_net::Asn;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
+/// An order-sensitive FNV-1a accumulator for cheap change detection.
+///
+/// The incremental validator needs to ask "did this publication point
+/// change since I last validated it?" without re-hashing every object
+/// (that would cost as much as the manifest-consistency check it is
+/// trying to avoid). Signed objects already carry a deterministic
+/// signature over their full to-be-signed encoding, so folding the
+/// signatures (plus serials and counts) detects any republication at a
+/// few nanoseconds per object.
+///
+/// This is a *republication* detector, not a tamper detector: mutating
+/// an object's payload in place without re-signing it (as the fault
+/// injector does) leaves the fingerprint unchanged. Validators that may
+/// face such repositories must start from a fresh full pass; see the
+/// republication contract in `incremental`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// FNV-1a offset basis.
+    pub fn new() -> Fingerprint {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold raw bytes (order-sensitive).
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Fold one integer.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Fingerprint {
+        Fingerprint::new()
+    }
+}
+
 /// Everything one CA publishes.
 #[derive(Debug, Clone)]
 pub struct PublicationPoint {
@@ -45,6 +88,26 @@ impl PublicationPoint {
 
     /// Canonical file name of the CRL.
     pub const CRL_FILE_NAME: &'static str = "ca.crl";
+
+    /// Cheap content fingerprint of the whole point (CRL, manifest,
+    /// child certificates, ROAs — in publication order). Two points
+    /// published through [`RepositoryBuilder`] compare equal iff nothing
+    /// at the point was republished; see [`Fingerprint`] for the
+    /// contract and its limits.
+    pub fn quick_fingerprint(&self) -> Fingerprint {
+        let mut fp = Fingerprint::new();
+        self.crl.fold_fingerprint(&mut fp);
+        self.manifest.fold_fingerprint(&mut fp);
+        fp.write_u64(self.child_certs.len() as u64);
+        for cert in &self.child_certs {
+            cert.fold_fingerprint(&mut fp);
+        }
+        fp.write_u64(self.roas.len() as u64);
+        for roa in &self.roas {
+            roa.fold_fingerprint(&mut fp);
+        }
+        fp
+    }
 }
 
 /// A complete RPKI repository: trust anchors plus one publication point
@@ -135,6 +198,13 @@ struct CaState {
     is_trust_anchor: bool,
     /// Key generation, bumped on rollover (keys derive from name + gen).
     generation: u32,
+    /// The CRL/manifest pair signed at the last snapshot, reused while
+    /// the point's content is unchanged. `None` marks the point dirty:
+    /// the next [`RepositoryBuilder::snapshot`] re-signs it. Real CAs
+    /// behave the same way — a manifest is only reissued when the point
+    /// republishes — and the incremental validator's change detection
+    /// relies on it.
+    published: Option<(Crl, Manifest)>,
 }
 
 /// The issuing side of the RPKI: builds a consistent [`Repository`].
@@ -225,10 +295,19 @@ impl RepositoryBuilder {
                 revoked: BTreeSet::new(),
                 is_trust_anchor: true,
                 generation: 0,
+                published: None,
             },
         );
         self.order.push(id);
         id
+    }
+
+    /// Mark `ca` dirty: its CRL and manifest are re-signed at the next
+    /// snapshot instead of reusing the cached publication.
+    fn touch(&mut self, ca: KeyId) {
+        if let Some(state) = self.cas.get_mut(&ca) {
+            state.published = None;
+        }
     }
 
     /// Issue a subordinate CA certificate under `parent`.
@@ -258,11 +337,11 @@ impl RepositoryBuilder {
             true,
         );
         let id = keys.key_id;
-        self.cas
-            .get_mut(&parent)
-            .expect("parent just looked up")
-            .children
-            .push(cert.clone());
+        {
+            let parent_state = self.cas.get_mut(&parent).expect("parent just looked up");
+            parent_state.children.push(cert.clone());
+            parent_state.published = None;
+        }
         self.cas.insert(
             id,
             CaState {
@@ -274,6 +353,7 @@ impl RepositoryBuilder {
                 revoked: BTreeSet::new(),
                 is_trust_anchor: false,
                 generation: 0,
+                published: None,
             },
         );
         self.order.push(id);
@@ -313,6 +393,7 @@ impl RepositoryBuilder {
             Validity::starting(now, validity_dur),
         );
         state.roas.push(roa);
+        state.published = None;
         Ok(())
     }
 
@@ -320,6 +401,19 @@ impl RepositoryBuilder {
     pub fn revoke(&mut self, ca: KeyId, serial: u64) -> Result<(), BuildError> {
         let state = self.cas.get_mut(&ca).ok_or(BuildError::UnknownCa(ca))?;
         state.revoked.insert(serial);
+        state.published = None;
+        Ok(())
+    }
+
+    /// Force `ca` to re-sign its CRL and manifest at the next snapshot
+    /// even though its content is unchanged (a CA re-publishing on its
+    /// reissuance schedule). To a relying party this is a manifest
+    /// replacement: same objects, new manifest number and windows.
+    pub fn republish(&mut self, ca: KeyId) -> Result<(), BuildError> {
+        if !self.cas.contains_key(&ca) {
+            return Err(BuildError::UnknownCa(ca));
+        }
+        self.touch(ca);
         Ok(())
     }
 
@@ -338,7 +432,11 @@ impl RepositoryBuilder {
         let state = self.cas.get_mut(&ca).ok_or(BuildError::UnknownCa(ca))?;
         let before = state.roas.len();
         state.roas.retain(|r| r.ee.serial != ee_serial);
-        Ok(state.roas.len() != before)
+        let removed = state.roas.len() != before;
+        if removed {
+            state.published = None;
+        }
+        Ok(removed)
     }
 
     /// Every published ROA as `(issuing CA, EE serial, authorized ASN)`,
@@ -437,6 +535,7 @@ impl RepositoryBuilder {
             parent_state.children.retain(|c| c.subject_key_id() != ca);
             parent_state.children.push(cert.clone());
             parent_state.revoked.insert(old_serial);
+            parent_state.published = None;
         }
         let old_state = self.cas.remove(&ca).expect("CA just looked up");
         let pos = self
@@ -456,6 +555,7 @@ impl RepositoryBuilder {
                 revoked: old_state.revoked,
                 is_trust_anchor: false,
                 generation,
+                published: None,
             },
         );
         for (asn, prefixes) in roa_specs {
@@ -465,41 +565,58 @@ impl RepositoryBuilder {
         Ok(new_id)
     }
 
-    /// Sign CRLs and manifests everywhere and emit the current
+    /// Sign CRLs and manifests where needed and emit the current
     /// repository state, leaving the builder usable for further
     /// evolution (the longitudinal engine publishes once per epoch).
-    /// Each call bumps the manifest number.
+    ///
+    /// Only *dirty* publication points — those whose content changed
+    /// since the last snapshot, or whose cached CRL/manifest is no
+    /// longer current at the builder's clock — are re-signed; clean
+    /// points reuse the exact CRL and manifest signed before, as a real
+    /// CA would (manifests are only replaced when the point
+    /// republishes). Each call bumps the global manifest number, so
+    /// every republication carries a strictly larger number (RFC 9286).
     pub fn snapshot(&mut self) -> Repository {
         self.manifest_number += 1;
+        let manifest_number = self.manifest_number;
         let mut repo = Repository::default();
         let crl_window = Validity::starting(self.now, self.crl_validity);
+        let now = self.now;
         for id in &self.order {
-            let state = &self.cas[id];
+            let state = self.cas.get_mut(id).expect("ordered CA exists");
             if state.is_trust_anchor {
                 repo.trust_anchors
                     .push(TrustAnchor::new(state.name.clone(), state.cert.clone()));
             }
-            let crl = Crl::issue(
-                &state.keys.secret,
-                *id,
-                state.revoked.iter().copied(),
-                crl_window,
-            );
-            let mut entries: Vec<(String, ripki_crypto::sha256::Digest)> = Vec::new();
-            entries.push((PublicationPoint::CRL_FILE_NAME.to_string(), crl.digest()));
-            for cert in &state.children {
-                entries.push((PublicationPoint::cert_file_name(cert), cert.digest()));
+            let stale = match &state.published {
+                Some((crl, manifest)) => !crl.is_current(now) || !manifest.is_current(now),
+                None => true,
+            };
+            if stale {
+                let crl = Crl::issue(
+                    &state.keys.secret,
+                    *id,
+                    state.revoked.iter().copied(),
+                    crl_window,
+                );
+                let mut entries: Vec<(String, ripki_crypto::sha256::Digest)> = Vec::new();
+                entries.push((PublicationPoint::CRL_FILE_NAME.to_string(), crl.digest()));
+                for cert in &state.children {
+                    entries.push((PublicationPoint::cert_file_name(cert), cert.digest()));
+                }
+                for roa in &state.roas {
+                    entries.push((PublicationPoint::roa_file_name(roa), roa.digest()));
+                }
+                let manifest = Manifest::issue(
+                    &state.keys.secret,
+                    *id,
+                    manifest_number,
+                    entries,
+                    crl_window,
+                );
+                state.published = Some((crl, manifest));
             }
-            for roa in &state.roas {
-                entries.push((PublicationPoint::roa_file_name(roa), roa.digest()));
-            }
-            let manifest = Manifest::issue(
-                &state.keys.secret,
-                *id,
-                self.manifest_number,
-                entries,
-                crl_window,
-            );
+            let (crl, manifest) = state.published.clone().expect("published just ensured");
             repo.points.insert(
                 *id,
                 PublicationPoint {
@@ -690,6 +807,68 @@ mod tests {
         // …and the old publication point is gone.
         assert!(!repo.points.contains_key(&isp));
         assert!(repo.points.contains_key(&new_isp));
+    }
+
+    #[test]
+    fn clean_points_keep_their_publication_across_snapshots() {
+        let mut b = RepositoryBuilder::new(3, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        b.add_roa(isp, Asn::new(100), vec![RoaPrefix::exact(p("85.1.0.0/16"))])
+            .unwrap();
+        let first = b.snapshot();
+
+        // Only the ISP republishes; the TA's point is untouched.
+        b.add_roa(isp, Asn::new(200), vec![RoaPrefix::exact(p("85.2.0.0/16"))])
+            .unwrap();
+        let second = b.snapshot();
+        assert_eq!(first.points[&ta].manifest, second.points[&ta].manifest);
+        assert_eq!(first.points[&ta].crl, second.points[&ta].crl);
+        assert_eq!(
+            first.points[&ta].quick_fingerprint(),
+            second.points[&ta].quick_fingerprint()
+        );
+        assert_ne!(
+            first.points[&isp].manifest.manifest_number,
+            second.points[&isp].manifest.manifest_number
+        );
+        assert_ne!(
+            first.points[&isp].quick_fingerprint(),
+            second.points[&isp].quick_fingerprint()
+        );
+
+        // An explicit republish replaces the manifest without changing
+        // the published objects.
+        b.republish(ta).unwrap();
+        let third = b.snapshot();
+        assert_ne!(second.points[&ta].manifest, third.points[&ta].manifest);
+        assert_eq!(third.points[&ta].manifest.manifest_number, 3);
+        assert_ne!(
+            second.points[&ta].quick_fingerprint(),
+            third.points[&ta].quick_fingerprint()
+        );
+        assert_eq!(
+            second.points[&ta].child_certs.len(),
+            third.points[&ta].child_certs.len()
+        );
+    }
+
+    #[test]
+    fn stale_publication_reissued_when_clock_advances() {
+        let mut b = RepositoryBuilder::new(3, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let first = b.snapshot();
+        // Within the CRL window nothing is re-signed…
+        b.set_now(SimTime::EPOCH + Duration::days(3));
+        let second = b.snapshot();
+        assert_eq!(first.points[&ta].crl, second.points[&ta].crl);
+        // …but past it the CA is on its reissuance schedule.
+        b.set_now(SimTime::EPOCH + Duration::days(10));
+        let third = b.snapshot();
+        assert_ne!(second.points[&ta].crl, third.points[&ta].crl);
+        assert!(third.points[&ta]
+            .crl
+            .is_current(SimTime::EPOCH + Duration::days(10)));
     }
 
     #[test]

@@ -129,6 +129,74 @@ impl fmt::Display for Validity {
     }
 }
 
+/// A maximal half-open interval `[lo, hi)` of instants over which a set
+/// of validity-window decisions is constant.
+///
+/// Every window check (`contains`, `expired`, `premature`) can only flip
+/// at a window's `not_before` or at `not_after + 1`. An [`Era`] built by
+/// [`observe`](Era::observe)-ing every window consulted during a
+/// computation therefore certifies: the computation's outcome is
+/// identical for any `now` inside the era. The incremental validator
+/// caches per-publication-point results keyed on their era, so advancing
+/// simulated time only revalidates points whose era the new instant
+/// left — the expiry sweep touches exactly the expired subtrees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Era {
+    /// First instant of the era (inclusive).
+    pub lo: SimTime,
+    /// First instant after the era (exclusive); `SimTime(u64::MAX)`
+    /// means unbounded.
+    pub hi: SimTime,
+}
+
+impl Era {
+    /// The era covering all of simulated time (no windows observed yet).
+    pub fn unbounded() -> Era {
+        Era {
+            lo: SimTime(0),
+            hi: SimTime(u64::MAX),
+        }
+    }
+
+    /// Whether `now` lies inside the era.
+    pub fn contains(&self, now: SimTime) -> bool {
+        self.lo <= now && now < self.hi
+    }
+
+    /// Narrow the era around `now` by the flip instants of `window`.
+    pub fn observe(&mut self, window: &Validity, now: SimTime) {
+        let flips = [
+            window.not_before,
+            SimTime(window.not_after.0.saturating_add(1)),
+        ];
+        for flip in flips {
+            if flip <= now {
+                if flip > self.lo {
+                    self.lo = flip;
+                }
+            } else if flip < self.hi {
+                self.hi = flip;
+            }
+        }
+    }
+}
+
+impl Default for Era {
+    fn default() -> Era {
+        Era::unbounded()
+    }
+}
+
+impl fmt::Display for Era {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hi.0 == u64::MAX {
+            write!(f, "[{} .. ∞)", self.lo)
+        } else {
+            write!(f, "[{} .. {})", self.lo, self.hi)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +231,50 @@ mod tests {
         assert_eq!(SimTime(86_400 + 3_600).to_string(), "T+1d01h");
         let v = Validity::starting(SimTime::EPOCH, Duration::days(2));
         assert_eq!(v.to_string(), "[T+0d00h .. T+2d00h]");
+    }
+
+    #[test]
+    fn era_narrows_to_constant_outcome_interval() {
+        let now = SimTime(500);
+        let mut era = Era::unbounded();
+        // A window fully in the past and one fully in the future.
+        era.observe(&Validity::new(SimTime(100), SimTime(200)), now);
+        era.observe(&Validity::new(SimTime(800), SimTime(900)), now);
+        // Flips at 100, 201, 800, 901; around 500 that is [201, 800).
+        assert_eq!(era.lo, SimTime(201));
+        assert_eq!(era.hi, SimTime(800));
+        assert!(era.contains(SimTime(201)));
+        assert!(era.contains(SimTime(799)));
+        assert!(!era.contains(SimTime(800)));
+        assert!(!era.contains(SimTime(200)));
+        // A window containing `now` narrows to its own interior flips.
+        let mut era = Era::unbounded();
+        era.observe(&Validity::new(SimTime(400), SimTime(600)), now);
+        assert_eq!(era.lo, SimTime(400));
+        assert_eq!(era.hi, SimTime(601));
+    }
+
+    #[test]
+    fn era_outcome_constant_within() {
+        // Brute-force: for a handful of windows, the decision vector is
+        // constant across every instant of the era computed at `now`.
+        let windows = [
+            Validity::new(SimTime(10), SimTime(20)),
+            Validity::new(SimTime(15), SimTime(40)),
+            Validity::new(SimTime(35), SimTime(60)),
+        ];
+        for now_raw in 0..80u64 {
+            let now = SimTime(now_raw);
+            let mut era = Era::unbounded();
+            for w in &windows {
+                era.observe(w, now);
+            }
+            let decisions =
+                |t: SimTime| windows.map(|w| (w.contains(t), w.expired(t), w.premature(t)));
+            let at_now = decisions(now);
+            for t in era.lo.0..era.hi.0.min(100) {
+                assert_eq!(decisions(SimTime(t)), at_now, "era {era} broken at {t}");
+            }
+        }
     }
 }

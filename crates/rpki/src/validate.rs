@@ -21,7 +21,8 @@
 
 use crate::cert::Cert;
 use crate::repo::{PublicationPoint, Repository};
-use crate::time::SimTime;
+use crate::ta::TrustAnchor;
+use crate::time::{Era, SimTime};
 use ripki_crypto::keystore::KeyId;
 use ripki_net::{Asn, IpPrefix};
 use serde::{Deserialize, Serialize};
@@ -120,7 +121,7 @@ pub struct ValidationEvent {
 }
 
 impl ValidationEvent {
-    fn accepted(ta: &str, object: impl Into<String>) -> ValidationEvent {
+    pub(crate) fn accepted(ta: &str, object: impl Into<String>) -> ValidationEvent {
         ValidationEvent {
             object: object.into(),
             trust_anchor: ta.to_string(),
@@ -128,7 +129,11 @@ impl ValidationEvent {
         }
     }
 
-    fn rejected(ta: &str, object: impl Into<String>, reason: RejectReason) -> ValidationEvent {
+    pub(crate) fn rejected(
+        ta: &str,
+        object: impl Into<String>,
+        reason: RejectReason,
+    ) -> ValidationEvent {
         ValidationEvent {
             object: object.into(),
             trust_anchor: ta.to_string(),
@@ -196,36 +201,16 @@ pub fn validate_with(
     let mut report = ValidationReport::default();
     let mut vrps: HashSet<Vrp> = HashSet::new();
     for ta in &repo.trust_anchors {
-        let cert = &ta.cert;
-        let desc = format!("trust anchor \"{}\"", ta.name);
-        if !cert.is_self_signed() || !cert.is_ca {
-            report.log.push(ValidationEvent::rejected(
-                &ta.name,
-                desc,
-                RejectReason::MalformedTrustAnchor,
-            ));
+        let mut era = Era::unbounded();
+        report.log.push(trust_anchor_event(ta, now, &mut era));
+        if report.log.last().is_some_and(|e| e.rejected.is_some()) {
             continue;
         }
-        if !cert.verify_signature(&cert.subject_key) {
-            report.log.push(ValidationEvent::rejected(
-                &ta.name,
-                desc,
-                RejectReason::BadSignature,
-            ));
-            continue;
-        }
-        if let Some(reason) = window_reason(cert, now) {
-            report
-                .log
-                .push(ValidationEvent::rejected(&ta.name, desc, reason));
-            continue;
-        }
-        report.log.push(ValidationEvent::accepted(&ta.name, desc));
         // Guard against certificate cycles: a CA key is walked only once.
         let mut visited: HashSet<KeyId> = HashSet::new();
         walk_ca(
             repo,
-            cert,
+            &ta.cert,
             &ta.name,
             now,
             options,
@@ -238,6 +223,26 @@ pub fn validate_with(
     sorted.sort();
     report.vrps = sorted;
     report
+}
+
+/// Check a trust anchor certificate and produce its accept/reject event.
+///
+/// `era` is narrowed to the interval of `now` values over which the
+/// verdict is unchanged (the incremental validator caches on it).
+pub(crate) fn trust_anchor_event(ta: &TrustAnchor, now: SimTime, era: &mut Era) -> ValidationEvent {
+    let cert = &ta.cert;
+    let desc = format!("trust anchor \"{}\"", ta.name);
+    if !cert.is_self_signed() || !cert.is_ca {
+        return ValidationEvent::rejected(&ta.name, desc, RejectReason::MalformedTrustAnchor);
+    }
+    if !cert.verify_signature(&cert.subject_key) {
+        return ValidationEvent::rejected(&ta.name, desc, RejectReason::BadSignature);
+    }
+    era.observe(&cert.validity, now);
+    if let Some(reason) = window_reason(cert, now) {
+        return ValidationEvent::rejected(&ta.name, desc, reason);
+    }
+    ValidationEvent::accepted(&ta.name, desc)
 }
 
 fn window_reason(cert: &Cert, now: SimTime) -> Option<RejectReason> {
@@ -278,6 +283,200 @@ fn manifest_consistency(pp: &PublicationPoint) -> Result<(), String> {
     Ok(())
 }
 
+/// One logged decision of a publication-point validation, in walk order.
+///
+/// An accepted subordinate CA is kept as the certificate itself (not just
+/// its accept event) so a cached outcome carries everything needed to
+/// re-emit the event *and* descend into the child's own point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PointItem {
+    /// A terminal decision: point-level failure, child/ROA reject, or
+    /// ROA accept.
+    Event(ValidationEvent),
+    /// An accepted subordinate CA certificate; the walk emits its accept
+    /// event and recurses into its publication point.
+    Child(Box<Cert>),
+}
+
+/// The complete, self-contained outcome of validating one publication
+/// point under a given issuing certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PointOutcome {
+    /// Decisions in exactly the order `validate` logs them.
+    pub items: Vec<PointItem>,
+    /// VRPs contributed by this point's accepted ROAs. Duplicates are
+    /// preserved: the incremental validator reference-counts them.
+    pub vrps: Vec<Vrp>,
+    /// Interval of `now` values over which this outcome is unchanged.
+    /// Every validity window the walk consulted narrows it.
+    pub era: Era,
+}
+
+/// The accept event emitted for a subordinate CA certificate.
+pub(crate) fn ca_accept_event(ta_name: &str, child: &Cert) -> ValidationEvent {
+    ValidationEvent::accepted(
+        ta_name,
+        format!("CA cert #{} \"{}\"", child.serial, child.subject),
+    )
+}
+
+/// The reject event emitted for a CA whose publication point is absent.
+pub(crate) fn missing_point_event(ta_name: &str, ca_cert: &Cert) -> ValidationEvent {
+    ValidationEvent::rejected(
+        ta_name,
+        format!("publication point of \"{}\"", ca_cert.subject),
+        RejectReason::MissingPublicationPoint,
+    )
+}
+
+/// Validate a single publication point under its issuing certificate.
+///
+/// This is the one place the per-object checks live; the full walk and
+/// the incremental validator both consume it. The returned era is only
+/// narrowed by windows the walk actually consulted: a child whose
+/// signature fails is rejected regardless of time, so its window does
+/// not constrain the outcome.
+pub(crate) fn validate_point(
+    ca_cert: &Cert,
+    pp: &PublicationPoint,
+    ta_name: &str,
+    now: SimTime,
+    options: ValidationOptions,
+) -> PointOutcome {
+    let mut out = PointOutcome {
+        items: Vec::new(),
+        vrps: Vec::new(),
+        era: Era::unbounded(),
+    };
+    let ca_desc = format!("publication point of \"{}\"", ca_cert.subject);
+
+    // CRL checks. A broken CRL makes revocation status unknowable; the
+    // point is unusable.
+    if !pp.crl.verify_signature(&ca_cert.subject_key) {
+        out.items.push(PointItem::Event(ValidationEvent::rejected(
+            ta_name,
+            ca_desc,
+            RejectReason::BadCrl(Box::new(RejectReason::BadSignature)),
+        )));
+        return out;
+    }
+    out.era.observe(&pp.crl.validity, now);
+    if !pp.crl.is_current(now) {
+        out.items.push(PointItem::Event(ValidationEvent::rejected(
+            ta_name,
+            ca_desc,
+            RejectReason::BadCrl(Box::new(RejectReason::Expired)),
+        )));
+        return out;
+    }
+
+    // Manifest checks.
+    let manifest_ok = if !pp.manifest.verify_signature(&ca_cert.subject_key) {
+        out.items.push(PointItem::Event(ValidationEvent::rejected(
+            ta_name,
+            &ca_desc,
+            RejectReason::BadManifest(Box::new(RejectReason::BadSignature)),
+        )));
+        false
+    } else {
+        out.era.observe(&pp.manifest.validity, now);
+        if !pp.manifest.is_current(now) {
+            out.items.push(PointItem::Event(ValidationEvent::rejected(
+                ta_name,
+                &ca_desc,
+                RejectReason::BadManifest(Box::new(RejectReason::Expired)),
+            )));
+            false
+        } else if let Err(detail) = manifest_consistency(pp) {
+            out.items.push(PointItem::Event(ValidationEvent::rejected(
+                ta_name,
+                &ca_desc,
+                RejectReason::ManifestMismatch(detail),
+            )));
+            false
+        } else {
+            true
+        }
+    };
+    if !manifest_ok && options.strict_manifests {
+        return out;
+    }
+
+    // Subordinate CA certificates.
+    for child in &pp.child_certs {
+        let reason = if !child.verify_signature(&ca_cert.subject_key) {
+            Some(RejectReason::BadSignature)
+        } else if pp.crl.is_revoked(child.serial) {
+            Some(RejectReason::Revoked)
+        } else {
+            out.era.observe(&child.validity, now);
+            if let Some(r) = window_reason(child, now) {
+                Some(r)
+            } else if !child.is_ca {
+                Some(RejectReason::NotACa)
+            } else if !ca_cert.resources.encompasses(&child.resources) {
+                Some(RejectReason::ResourceOverclaim)
+            } else {
+                None
+            }
+        };
+        match reason {
+            Some(r) => {
+                let desc = format!("CA cert #{} \"{}\"", child.serial, child.subject);
+                out.items.push(PointItem::Event(ValidationEvent::rejected(
+                    ta_name, desc, r,
+                )));
+            }
+            None => out.items.push(PointItem::Child(Box::new(child.clone()))),
+        }
+    }
+
+    // ROAs.
+    for roa in &pp.roas {
+        let ee = &roa.ee;
+        let reason = if !ee.verify_signature(&ca_cert.subject_key) {
+            Some(RejectReason::BadSignature)
+        } else if pp.crl.is_revoked(ee.serial) {
+            Some(RejectReason::Revoked)
+        } else {
+            out.era.observe(&ee.validity, now);
+            if let Some(r) = window_reason(ee, now) {
+                Some(r)
+            } else if ee.is_ca {
+                Some(RejectReason::UnexpectedCa)
+            } else if !ca_cert.resources.encompasses(&ee.resources) {
+                Some(RejectReason::ResourceOverclaim)
+            } else if !roa.verify_content_signature() {
+                Some(RejectReason::BadContentSignature)
+            } else if roa.prefixes.iter().any(|rp| !rp.is_well_formed()) {
+                Some(RejectReason::MalformedRoaPrefix)
+            } else if !ee.resources.prefixes.encompasses(&roa.claimed_prefixes()) {
+                Some(RejectReason::RoaResourceMismatch)
+            } else {
+                None
+            }
+        };
+        let desc = format!("ROA #{} ({})", roa.ee.serial, roa);
+        match reason {
+            Some(r) => out.items.push(PointItem::Event(ValidationEvent::rejected(
+                ta_name, desc, r,
+            ))),
+            None => {
+                out.items
+                    .push(PointItem::Event(ValidationEvent::accepted(ta_name, desc)));
+                for rp in &roa.prefixes {
+                    out.vrps.push(Vrp {
+                        prefix: rp.prefix,
+                        max_length: rp.effective_max_length(),
+                        asn: roa.asn,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 #[allow(clippy::too_many_arguments)]
 fn walk_ca(
     repo: &Repository,
@@ -293,126 +492,21 @@ fn walk_ca(
     if !visited.insert(ca_id) {
         return;
     }
-    let ca_desc = format!("publication point of \"{}\"", ca_cert.subject);
     let Some(pp) = repo.points.get(&ca_id) else {
-        report.log.push(ValidationEvent::rejected(
-            ta_name,
-            ca_desc,
-            RejectReason::MissingPublicationPoint,
-        ));
+        report.log.push(missing_point_event(ta_name, ca_cert));
         return;
     };
-
-    // CRL checks. A broken CRL makes revocation status unknowable; the
-    // point is unusable.
-    if !pp.crl.verify_signature(&ca_cert.subject_key) {
-        report.log.push(ValidationEvent::rejected(
-            ta_name,
-            ca_desc,
-            RejectReason::BadCrl(Box::new(RejectReason::BadSignature)),
-        ));
-        return;
-    }
-    if !pp.crl.is_current(now) {
-        report.log.push(ValidationEvent::rejected(
-            ta_name,
-            ca_desc,
-            RejectReason::BadCrl(Box::new(RejectReason::Expired)),
-        ));
-        return;
-    }
-
-    // Manifest checks.
-    let manifest_ok = if !pp.manifest.verify_signature(&ca_cert.subject_key) {
-        report.log.push(ValidationEvent::rejected(
-            ta_name,
-            &ca_desc,
-            RejectReason::BadManifest(Box::new(RejectReason::BadSignature)),
-        ));
-        false
-    } else if !pp.manifest.is_current(now) {
-        report.log.push(ValidationEvent::rejected(
-            ta_name,
-            &ca_desc,
-            RejectReason::BadManifest(Box::new(RejectReason::Expired)),
-        ));
-        false
-    } else if let Err(detail) = manifest_consistency(pp) {
-        report.log.push(ValidationEvent::rejected(
-            ta_name,
-            &ca_desc,
-            RejectReason::ManifestMismatch(detail),
-        ));
-        false
-    } else {
-        true
-    };
-    if !manifest_ok && options.strict_manifests {
-        return;
-    }
-
-    // Subordinate CA certificates.
-    for child in &pp.child_certs {
-        let desc = format!("CA cert #{} \"{}\"", child.serial, child.subject);
-        let reason = if !child.verify_signature(&ca_cert.subject_key) {
-            Some(RejectReason::BadSignature)
-        } else if pp.crl.is_revoked(child.serial) {
-            Some(RejectReason::Revoked)
-        } else if let Some(r) = window_reason(child, now) {
-            Some(r)
-        } else if !child.is_ca {
-            Some(RejectReason::NotACa)
-        } else if !ca_cert.resources.encompasses(&child.resources) {
-            Some(RejectReason::ResourceOverclaim)
-        } else {
-            None
-        };
-        match reason {
-            Some(r) => report.log.push(ValidationEvent::rejected(ta_name, desc, r)),
-            None => {
-                report.log.push(ValidationEvent::accepted(ta_name, desc));
-                walk_ca(repo, child, ta_name, now, options, report, vrps, visited);
+    let outcome = validate_point(ca_cert, pp, ta_name, now, options);
+    for item in outcome.items {
+        match item {
+            PointItem::Event(event) => report.log.push(event),
+            PointItem::Child(child) => {
+                report.log.push(ca_accept_event(ta_name, &child));
+                walk_ca(repo, &child, ta_name, now, options, report, vrps, visited);
             }
         }
     }
-
-    // ROAs.
-    for roa in &pp.roas {
-        let desc = format!("ROA #{} ({})", roa.ee.serial, roa);
-        let ee = &roa.ee;
-        let reason = if !ee.verify_signature(&ca_cert.subject_key) {
-            Some(RejectReason::BadSignature)
-        } else if pp.crl.is_revoked(ee.serial) {
-            Some(RejectReason::Revoked)
-        } else if let Some(r) = window_reason(ee, now) {
-            Some(r)
-        } else if ee.is_ca {
-            Some(RejectReason::UnexpectedCa)
-        } else if !ca_cert.resources.encompasses(&ee.resources) {
-            Some(RejectReason::ResourceOverclaim)
-        } else if !roa.verify_content_signature() {
-            Some(RejectReason::BadContentSignature)
-        } else if roa.prefixes.iter().any(|rp| !rp.is_well_formed()) {
-            Some(RejectReason::MalformedRoaPrefix)
-        } else if !ee.resources.prefixes.encompasses(&roa.claimed_prefixes()) {
-            Some(RejectReason::RoaResourceMismatch)
-        } else {
-            None
-        };
-        match reason {
-            Some(r) => report.log.push(ValidationEvent::rejected(ta_name, desc, r)),
-            None => {
-                report.log.push(ValidationEvent::accepted(ta_name, desc));
-                for rp in &roa.prefixes {
-                    vrps.insert(Vrp {
-                        prefix: rp.prefix,
-                        max_length: rp.effective_max_length(),
-                        asn: roa.asn,
-                    });
-                }
-            }
-        }
-    }
+    vrps.extend(outcome.vrps);
 }
 
 #[cfg(test)]

@@ -1,0 +1,279 @@
+//! The incremental validator's central property: after every step of a
+//! random churn stream, [`IncrementalValidator`] agrees *exactly* with a
+//! from-scratch [`validate`] pass over the same repository and clock —
+//! identical VRP sets, an identical per-object event log (so every
+//! verdict and rejection reason matches, not just the accept set), and
+//! a per-step [`VrpDelta`] that is precisely the VRP set difference.
+//!
+//! The op alphabet covers all four invalidation classes the dependency
+//! graph has to get right:
+//! * ROA/certificate expiry — `AdvanceTime` moves only the validation
+//!   clock, without a fresh snapshot, so reuse must be refused purely by
+//!   each cached point's validity era;
+//! * CRL revocation — `RevokeRoa` dirties the CRL and must drag the
+//!   revoked EE's *siblings* through revalidation with it;
+//! * manifest replacement — `Republish` re-signs an unchanged point;
+//! * key rollover — `Rollover` replaces a CA's key, killing the old
+//!   subtree and re-issuing every ROA under the new one.
+
+use proptest::prelude::*;
+use ripki_crypto::keystore::KeyId;
+use ripki_net::{Asn, IpPrefix};
+use ripki_rpki::repo::{Repository, RepositoryBuilder};
+use ripki_rpki::resources::Resources;
+use ripki_rpki::roa::RoaPrefix;
+use ripki_rpki::time::{Duration, SimTime};
+use ripki_rpki::validate::{validate, Vrp};
+use ripki_rpki::IncrementalValidator;
+use std::collections::BTreeSet;
+
+const TAS: usize = 2;
+const CAS_PER_TA: usize = 2;
+const INITIAL_ROAS_PER_CA: usize = 2;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Publish a fresh ROA under CA `ca` (fresh /24, fresh ASN).
+    AddRoa { ca: usize },
+    /// Withdraw CA `ca`'s oldest published ROA, if any.
+    RemoveRoa { ca: usize },
+    /// Revoke CA `ca`'s oldest ROA's EE certificate in its CRL.
+    RevokeRoa { ca: usize },
+    /// Re-sign CA `ca`'s CRL and manifest without changing content.
+    Republish { ca: usize },
+    /// Roll CA `ca`'s key, revoking the old certificate and re-issuing
+    /// its ROAs under the new key.
+    Rollover { ca: usize },
+    /// Advance the validation clock without republishing anything.
+    /// Large enough advances cross the 20-day certificate / 7-day CRL
+    /// validity edges and force era-driven revalidation.
+    AdvanceTime { hours: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let ca = 0..TAS * CAS_PER_TA;
+    prop_oneof![
+        ca.clone().prop_map(|ca| Op::AddRoa { ca }),
+        ca.clone().prop_map(|ca| Op::RemoveRoa { ca }),
+        ca.clone().prop_map(|ca| Op::RevokeRoa { ca }),
+        ca.clone().prop_map(|ca| Op::Republish { ca }),
+        ca.prop_map(|ca| Op::Rollover { ca }),
+        (1u64..1000).prop_map(|hours| Op::AdvanceTime { hours }),
+    ]
+}
+
+/// The world under churn: the issuing builder, the CA handle table
+/// (rollover replaces ids), the validation clock, and a monotonically
+/// increasing counter minting fresh /24s.
+struct World {
+    builder: RepositoryBuilder,
+    cas: Vec<(usize, usize, KeyId)>,
+    now: SimTime,
+    next_roa: usize,
+}
+
+impl World {
+    fn build(seed: u64) -> World {
+        let start = SimTime::EPOCH;
+        let mut builder = RepositoryBuilder::new(seed, start)
+            .cert_validity(Duration::days(20))
+            .crl_validity(Duration::days(7));
+        let mut cas = Vec::new();
+        let mut next_roa = 0;
+        for t in 0..TAS {
+            let ta = builder
+                .add_trust_anchor(&format!("TA-{t}"), Resources::from_prefixes([block(t, 8)]));
+            for c in 0..CAS_PER_TA {
+                let ca = builder
+                    .add_ca(
+                        ta,
+                        &format!("CA-{t}-{c}"),
+                        Resources::from_prefixes([format!("{}.{c}.0.0/16", 10 + t)
+                            .parse::<IpPrefix>()
+                            .unwrap()]),
+                    )
+                    .expect("CA resources within TA");
+                for _ in 0..INITIAL_ROAS_PER_CA {
+                    add_fresh_roa(&mut builder, ca, t, c, &mut next_roa);
+                }
+                cas.push((t, c, ca));
+            }
+        }
+        World {
+            builder,
+            cas,
+            now: start + Duration::hours(1),
+            next_roa,
+        }
+    }
+
+    /// Apply one op. Returns whether the repository needs re-snapshotting
+    /// (`false` for pure clock advances — the expiry-sweep path).
+    fn apply(&mut self, op: &Op) -> bool {
+        match *op {
+            Op::AddRoa { ca } => {
+                let (t, c, id) = self.cas[ca % self.cas.len()];
+                add_fresh_roa(&mut self.builder, id, t, c, &mut self.next_roa);
+                true
+            }
+            Op::RemoveRoa { ca } => {
+                let (_, _, id) = self.cas[ca % self.cas.len()];
+                if let Some(serial) = self.oldest_roa(id) {
+                    self.builder.remove_roa(id, serial).expect("CA exists");
+                }
+                true
+            }
+            Op::RevokeRoa { ca } => {
+                let (_, _, id) = self.cas[ca % self.cas.len()];
+                if let Some(serial) = self.oldest_roa(id) {
+                    self.builder.revoke(id, serial).expect("CA exists");
+                }
+                true
+            }
+            Op::Republish { ca } => {
+                let (_, _, id) = self.cas[ca % self.cas.len()];
+                self.builder.republish(id).expect("CA exists");
+                true
+            }
+            Op::Rollover { ca } => {
+                let slot = ca % self.cas.len();
+                let (_, _, id) = self.cas[slot];
+                let new_id = self.builder.rollover_key(id).expect("leaf CA rolls over");
+                self.cas[slot].2 = new_id;
+                true
+            }
+            Op::AdvanceTime { hours } => {
+                self.now = self.now + Duration::hours(hours);
+                self.builder.set_now(self.now);
+                false
+            }
+        }
+    }
+
+    fn oldest_roa(&self, ca: KeyId) -> Option<u64> {
+        self.builder
+            .list_roas()
+            .into_iter()
+            .find(|(owner, _, _)| *owner == ca)
+            .map(|(_, serial, _)| serial)
+    }
+}
+
+fn block(t: usize, len: u8) -> IpPrefix {
+    format!("{}.0.0.0/{len}", 10 + t).parse().unwrap()
+}
+
+fn add_fresh_roa(
+    builder: &mut RepositoryBuilder,
+    ca: KeyId,
+    t: usize,
+    c: usize,
+    next_roa: &mut usize,
+) {
+    let third = *next_roa % 256;
+    *next_roa += 1;
+    let prefix: IpPrefix = format!("{}.{c}.{third}.0/24", 10 + t).parse().unwrap();
+    builder
+        .add_roa(
+            ca,
+            Asn::new((64500 + *next_roa) as u32),
+            vec![RoaPrefix::exact(prefix)],
+        )
+        .expect("ROA within CA resources");
+}
+
+/// One step's worth of assertions: the incremental validator and a
+/// fresh full pass agree exactly, and the delta is the set difference.
+fn check_step(
+    inc: &mut IncrementalValidator,
+    repo: &Repository,
+    now: SimTime,
+    prev: &BTreeSet<Vrp>,
+) -> BTreeSet<Vrp> {
+    let delta = inc.apply(repo, now);
+    let current: BTreeSet<Vrp> = inc.vrps().into_iter().collect();
+
+    // Delta ≡ set difference, with no overlap or phantom entries.
+    let announced: BTreeSet<Vrp> = delta.announced.iter().copied().collect();
+    let withdrawn: BTreeSet<Vrp> = delta.withdrawn.iter().copied().collect();
+    prop_assert_eq!(
+        &announced,
+        &current.difference(prev).copied().collect::<BTreeSet<_>>(),
+        "announced is not the set difference"
+    );
+    prop_assert_eq!(
+        &withdrawn,
+        &prev.difference(&current).copied().collect::<BTreeSet<_>>(),
+        "withdrawn is not the set difference"
+    );
+
+    // Full agreement: VRPs, the entire event log, and the reject count.
+    let full = validate(repo, now);
+    let replay = inc.report();
+    prop_assert_eq!(&replay.vrps, &full.vrps, "VRP exports diverge");
+    prop_assert_eq!(&replay.log, &full.log, "event logs diverge");
+    prop_assert_eq!(inc.rejected_count(), full.rejected_count());
+    prop_assert_eq!(
+        current.iter().copied().collect::<Vec<_>>(),
+        full.vrps.clone(),
+        "validator VRP multiset view diverges from the full pass"
+    );
+    current
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_validation_equals_full_validation(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec(op_strategy(), 1..12),
+    ) {
+        let mut world = World::build(seed);
+        let mut repo = world.builder.snapshot();
+        let mut inc = IncrementalValidator::default();
+        let mut prev = check_step(&mut inc, &repo, world.now, &BTreeSet::new());
+
+        for op in &ops {
+            if world.apply(op) {
+                repo = world.builder.snapshot();
+            }
+            prev = check_step(&mut inc, &repo, world.now, &prev);
+        }
+    }
+}
+
+/// Deterministic companion: one stream exercising every invalidation
+/// class in sequence, so coverage of all four hard cases does not
+/// depend on what the random sampler happens to draw.
+#[test]
+fn all_four_invalidation_classes_in_one_stream() {
+    let mut world = World::build(7);
+    let mut repo = world.builder.snapshot();
+    let mut inc = IncrementalValidator::default();
+    let mut prev = check_step(&mut inc, &repo, world.now, &BTreeSet::new());
+
+    let script = [
+        Op::RevokeRoa { ca: 0 },            // CRL revocation
+        Op::Republish { ca: 1 },            // manifest replacement
+        Op::Rollover { ca: 2 },             // key rollover
+        Op::AdvanceTime { hours: 24 * 8 },  // CRLs go stale (7-day span)
+        Op::AdvanceTime { hours: 24 * 30 }, // every certificate expires
+        // Recovery: rolling CA 3's key reissues its certificate and
+        // both of its ROAs at the advanced clock, and a fresh ROA rides
+        // along. Every other CA certificate stays expired.
+        Op::Rollover { ca: 3 },
+        Op::AddRoa { ca: 3 },
+    ];
+    for op in &script {
+        if world.apply(op) {
+            repo = world.builder.snapshot();
+        }
+        prev = check_step(&mut inc, &repo, world.now, &prev);
+    }
+    assert_eq!(
+        prev.len(),
+        INITIAL_ROAS_PER_CA + 1,
+        "exactly the reissued CA's ROAs survive total expiry: {prev:?}"
+    );
+}

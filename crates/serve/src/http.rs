@@ -314,6 +314,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `etag`) beyond the fixed set
+    /// `write_to` always emits. Names must be lower-case.
+    pub headers: Vec<(&'static str, String)>,
     /// The payload.
     pub body: Body,
 }
@@ -326,6 +329,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: Body::Full(text.into_bytes()),
         }
     }
@@ -335,7 +339,26 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: Body::Full(text.into().into_bytes()),
+        }
+    }
+
+    /// Attach an extra response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// An empty-bodied `304 Not Modified` carrying the entity tag the
+    /// conditional request matched. `Body::Full` keeps the connection
+    /// reusable, which is the whole point of answering 304.
+    pub fn not_modified(etag: impl Into<String>) -> Response {
+        Response {
+            status: 304,
+            content_type: "text/plain; charset=utf-8",
+            headers: vec![("etag", etag.into())],
+            body: Body::Full(Vec::new()),
         }
     }
 
@@ -357,11 +380,18 @@ impl Response {
     pub fn write_to(self, w: &mut dyn Write, want_keep_alive: bool) -> io::Result<bool> {
         let keep_alive = want_keep_alive && matches!(self.body, Body::Full(_));
         let reason = status_reason(self.status);
+        let mut extra = String::new();
+        for (name, value) in &self.headers {
+            extra.push_str(name);
+            extra.push_str(": ");
+            extra.push_str(value);
+            extra.push_str("\r\n");
+        }
         match self.body {
             Body::Full(payload) => {
                 write!(
                     w,
-                    "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+                    "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{extra}connection: {}\r\n\r\n",
                     self.status,
                     reason,
                     self.content_type,
@@ -373,7 +403,7 @@ impl Response {
             Body::Stream(writer) => {
                 write!(
                     w,
-                    "HTTP/1.1 {} {}\r\ncontent-type: {}\r\nconnection: close\r\n\r\n",
+                    "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n{extra}connection: close\r\n\r\n",
                     self.status, reason, self.content_type,
                 )?;
                 writer(w)?;
@@ -388,6 +418,7 @@ impl Response {
 pub fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -500,11 +531,38 @@ mod tests {
     }
 
     #[test]
+    fn extra_headers_serialise_before_connection() {
+        let mut out = Vec::new();
+        Response::text(200, "hi")
+            .with_header("etag", "\"e-1\"")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("etag: \"e-1\"\r\n"), "{text}");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn not_modified_keeps_the_connection_and_has_no_body() {
+        let mut out = Vec::new();
+        let keep = Response::not_modified("\"e-7\"")
+            .write_to(&mut out, true)
+            .unwrap();
+        assert!(keep, "304 must not cost the connection");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified\r\n"), "{text}");
+        assert!(text.contains("etag: \"e-7\"\r\n"), "{text}");
+        assert!(text.contains("content-length: 0\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n"), "{text}");
+    }
+
+    #[test]
     fn streamed_response_closes_connection() {
         let mut out = Vec::new();
         let response = Response {
             status: 200,
             content_type: "text/csv",
+            headers: Vec::new(),
             body: Body::Stream(Box::new(|w: &mut dyn Write| {
                 w.write_all(b"a,b\n")?;
                 Ok(4)

@@ -222,11 +222,11 @@ fn route(view: &SharedView, metrics: &Metrics, request: &Request) -> (Endpoint, 
         "/api/v1/validity" => (Endpoint::Validity, validity_from_query(&current, request)),
         "/vrps.json" => (
             Endpoint::VrpsJson,
-            stream_response("application/json", &current, api::write_vrps_json),
+            vrp_export("application/json", &current, request, api::write_vrps_json),
         ),
         "/vrps.csv" => (
             Endpoint::VrpsCsv,
-            stream_response("text/csv", &current, api::write_vrps_csv),
+            vrp_export("text/csv", &current, request, api::write_vrps_csv),
         ),
         "/metrics" => {
             let text = metrics.render(current.epoch(), current.snapshot().vrps().len());
@@ -235,6 +235,7 @@ fn route(view: &SharedView, metrics: &Metrics, request: &Request) -> (Endpoint, 
                 Response {
                     status: 200,
                     content_type: "text/plain; version=0.0.4",
+                    headers: Vec::new(),
                     body: Body::Full(text.into_bytes()),
                 },
             )
@@ -259,15 +260,43 @@ fn route(view: &SharedView, metrics: &Metrics, request: &Request) -> (Endpoint, 
     }
 }
 
-fn stream_response(
+/// The strong entity tag of an epoch-pinned VRP export. The exports are
+/// a pure function of the published epoch (which also drives the RTR
+/// serial), so the epoch number is the whole cache key.
+fn export_etag(view: &crate::view::EpochView) -> String {
+    format!("\"ripki-epoch-{}\"", view.epoch())
+}
+
+/// RFC 9110 `If-None-Match`: a comma-separated list of entity tags, or
+/// `*`. Weak-comparison (`W/` prefixes are ignored) — the right choice
+/// for cache revalidation per the RFC.
+fn if_none_match_matches(request: &Request, etag: &str) -> bool {
+    let Some(raw) = request.header("if-none-match") else {
+        return false;
+    };
+    raw.split(',').map(str::trim).any(|candidate| {
+        candidate == "*" || candidate.strip_prefix("W/").unwrap_or(candidate) == etag
+    })
+}
+
+/// A VRP export, answered conditionally: a matching `If-None-Match`
+/// gets an empty 304 (connection stays reusable, nothing re-streamed);
+/// otherwise the export is streamed with its `ETag` attached.
+fn vrp_export(
     content_type: &'static str,
     view: &Arc<crate::view::EpochView>,
+    request: &Request,
     writer: fn(&crate::view::EpochView, &mut dyn Write) -> io::Result<u64>,
 ) -> Response {
+    let etag = export_etag(view);
+    if if_none_match_matches(request, &etag) {
+        return Response::not_modified(etag);
+    }
     let view = Arc::clone(view);
     Response {
         status: 200,
         content_type,
+        headers: vec![("etag", etag)],
         body: Body::Stream(Box::new(move |w: &mut dyn Write| writer(&view, w))),
     }
 }

@@ -61,9 +61,10 @@ pub fn serve_scenario(domains: usize, seed: u64) -> Fixture {
     }
 }
 
-/// One response: status code and body.
+/// One response: status code, headers and body.
 pub struct Reply {
     pub status: u16,
+    pub headers: Vec<(String, String)>,
     pub body: String,
 }
 
@@ -72,6 +73,15 @@ impl Reply {
     pub fn json(&self) -> serde_json::Value {
         serde_json::from_str(&self.body)
             .unwrap_or_else(|e| panic!("body is not JSON ({e:?}): {}", self.body))
+    }
+
+    /// First value of a response header (case-insensitive name).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -95,16 +105,26 @@ pub fn raw_roundtrip(addr: SocketAddr, request: &str) -> Reply {
     parse_response(&raw)
 }
 
-/// Split an HTTP/1.1 response into status + body.
+/// Split an HTTP/1.1 response into status + headers + body.
 pub fn parse_response(raw: &str) -> Reply {
     let status: u16 = raw
         .strip_prefix("HTTP/1.1 ")
         .and_then(|r| r.split(' ').next())
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
-    let body = raw
+    let (head, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
-    Reply { status, body }
+    let headers = head
+        .lines()
+        .skip(1) // status line
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body,
+    }
 }

@@ -302,3 +302,79 @@ fn keep_alive_serves_sequential_requests_on_one_connection() {
         assert!(String::from_utf8(body).unwrap().contains("\"epoch\""));
     }
 }
+
+#[test]
+fn vrp_exports_answer_conditional_requests_with_304() {
+    let fx = serve_scenario(250, 3);
+    let addr = fx.server.addr();
+
+    // Every export advertises the same epoch-keyed strong ETag.
+    let json_reply = get(addr, "/vrps.json");
+    assert_eq!(json_reply.status, 200);
+    let etag = json_reply
+        .header("etag")
+        .expect("vrps.json ETag")
+        .to_string();
+    assert_eq!(etag, "\"ripki-epoch-1\"");
+    let csv_reply = get(addr, "/vrps.csv");
+    assert_eq!(csv_reply.header("etag"), Some(etag.as_str()));
+
+    // Revalidating with the current tag: 304, empty body, nothing
+    // streamed, and the connection stays reusable (keep-alive framing).
+    for path in ["/vrps.json", "/vrps.csv"] {
+        let reply = raw_roundtrip(
+            addr,
+            &format!(
+                "GET {path} HTTP/1.1\r\nhost: t\r\nif-none-match: {etag}\r\n\
+                 connection: close\r\n\r\n"
+            ),
+        );
+        assert_eq!(reply.status, 304, "{path}");
+        assert!(reply.body.is_empty(), "{path}: {}", reply.body);
+        assert_eq!(reply.header("etag"), Some(etag.as_str()), "{path}");
+        assert_eq!(reply.header("content-length"), Some("0"), "{path}");
+    }
+
+    // List-form and weak-compare forms match too; a stale tag does not.
+    let reply = raw_roundtrip(
+        addr,
+        &format!(
+            "GET /vrps.json HTTP/1.1\r\nhost: t\r\n\
+             if-none-match: \"other\", W/{etag}\r\nconnection: close\r\n\r\n"
+        ),
+    );
+    assert_eq!(reply.status, 304);
+    let reply = raw_roundtrip(
+        addr,
+        "GET /vrps.json HTTP/1.1\r\nhost: t\r\n\
+         if-none-match: \"ripki-epoch-0\"\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(reply.status, 200);
+    assert!(!reply.body.is_empty());
+
+    // A new published epoch rotates the tag: the old one stops matching
+    // and the fresh response advertises the successor.
+    let results = fx.engine.run(&fx.scenario.ranking);
+    let mut stream = ripki_websim::churn::ChurnStream::new(
+        &fx.scenario,
+        ripki_websim::churn::ChurnConfig::default(),
+    );
+    let mut results = results;
+    let batch = stream.next_epoch();
+    fx.engine.apply_events(&batch, &mut results);
+    fx.server.view().publish(ripki_serve::EpochView::new(
+        fx.engine.snapshot(),
+        std::sync::Arc::new(results.clone()),
+        None,
+        Default::default(),
+    ));
+    let reply = raw_roundtrip(
+        addr,
+        &format!(
+            "GET /vrps.json HTTP/1.1\r\nhost: t\r\nif-none-match: {etag}\r\n\
+             connection: close\r\n\r\n"
+        ),
+    );
+    assert_eq!(reply.status, 200, "stale epoch tag must refetch");
+    assert_eq!(reply.header("etag"), Some("\"ripki-epoch-2\""));
+}

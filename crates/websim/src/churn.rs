@@ -34,6 +34,7 @@ use ripki_rpki::resources::Resources;
 use ripki_rpki::roa::RoaPrefix;
 use ripki_rpki::time::SimTime;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// One typed change to the world between two epochs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,8 +71,10 @@ pub enum WorldEvent {
 pub struct EpochChurn {
     pub events: Vec<WorldEvent>,
     /// `Some` iff the epoch contained RPKI events; the engine re-runs
-    /// relying-party validation against it.
-    pub repository: Option<Repository>,
+    /// relying-party validation against it. Shared (`Arc`) because the
+    /// consuming engine keeps the last repository alive for incremental
+    /// expiry sweeps, and a 20k-object repository is expensive to clone.
+    pub repository: Option<Arc<Repository>>,
     /// The measurement instant of the epoch.
     pub now: SimTime,
 }
@@ -227,7 +230,7 @@ impl ChurnStream {
         rpki_dirty |= self.gen_roa_revocations(&mut rng, &mut events);
         rpki_dirty |= self.gen_key_rollovers(&mut rng, &mut events);
 
-        let repository = rpki_dirty.then(|| self.builder.snapshot());
+        let repository = rpki_dirty.then(|| Arc::new(self.builder.snapshot()));
         EpochChurn {
             events,
             repository,

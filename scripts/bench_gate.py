@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares freshly written bench JSON files (results/BENCH_*.json) against
+the checked-in baselines, and fails if any throughput metric regressed
+by more than the allowed ratio (default: fresh must reach >= 70% of
+baseline throughput, i.e. a >30% regression fails).
+
+The benches overwrite their own baselines in results/, so CI must copy
+the checked-in files aside BEFORE running the benches and point
+--baseline-dir at the copy:
+
+    mkdir -p /tmp/bench-baselines
+    cp results/BENCH_incremental.json /tmp/bench-baselines/
+    cargo bench -p ripki-bench --bench engine_incremental
+    python3 scripts/bench_gate.py --baseline-dir /tmp/bench-baselines \
+        results/BENCH_incremental.json
+
+Each bench declares its metrics below. "higher" metrics are throughput
+numbers compared directly; "lower" metrics are per-unit latencies whose
+reciprocal is the throughput. Absolute floors (FLOORS) encode acceptance
+criteria that must hold regardless of the baseline, e.g. the incremental
+validator's >= 10x speedup over a full validation pass.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# bench name (the "bench" key in the JSON) -> [(metric, sense)]
+METRICS = {
+    "engine_incremental": [("incremental_ms_per_epoch", "lower")],
+    "engine_validate": [("incremental_ms_per_epoch", "lower")],
+    "serve_throughput": [
+        ("validity_req_per_s", "higher"),
+        ("vrps_json_req_per_s", "higher"),
+    ],
+}
+
+# bench name -> [(metric, minimum value)]
+FLOORS = {
+    "engine_incremental": [("speedup", 10.0)],
+    "engine_validate": [("speedup", 10.0)],
+}
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    bench = data.get("bench")
+    if bench not in METRICS:
+        sys.exit(f"{path}: unknown bench {bench!r} (known: {sorted(METRICS)})")
+    return bench, data
+
+
+def throughput(value, sense):
+    if sense == "lower":
+        return 1.0 / value if value > 0 else float("inf")
+    return value
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh",
+        nargs="+",
+        help="freshly written bench JSON files (results/BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        required=True,
+        help="directory holding the pre-bench copies of the baselines",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.70,
+        help="minimum fresh/baseline throughput ratio (default %(default)s)",
+    )
+    args = parser.parse_args()
+
+    failures = []
+    for fresh_path in args.fresh:
+        bench, fresh = load(fresh_path)
+        baseline_path = os.path.join(
+            args.baseline_dir, os.path.basename(fresh_path)
+        )
+        if not os.path.exists(baseline_path):
+            print(f"{fresh_path}: no baseline at {baseline_path}, skipping "
+                  "ratio check (first run?)")
+            baseline = None
+        else:
+            baseline_bench, baseline = load(baseline_path)
+            if baseline_bench != bench:
+                sys.exit(
+                    f"{baseline_path}: baseline is for bench "
+                    f"{baseline_bench!r}, fresh file is {bench!r}"
+                )
+
+        for metric, sense in METRICS[bench]:
+            if baseline is None or metric not in baseline:
+                continue
+            if metric not in fresh:
+                failures.append(f"{bench}: fresh run is missing {metric!r}")
+                continue
+            base_tp = throughput(baseline[metric], sense)
+            fresh_tp = throughput(fresh[metric], sense)
+            ratio = fresh_tp / base_tp if base_tp > 0 else float("inf")
+            verdict = "ok" if ratio >= args.min_ratio else "REGRESSED"
+            print(
+                f"{bench}/{metric}: baseline {baseline[metric]:.4g}, "
+                f"fresh {fresh[metric]:.4g}, throughput ratio {ratio:.3f} "
+                f"({verdict})"
+            )
+            if ratio < args.min_ratio:
+                failures.append(
+                    f"{bench}/{metric}: throughput ratio {ratio:.3f} "
+                    f"< {args.min_ratio} (>{100 * (1 - args.min_ratio):.0f}% "
+                    "regression)"
+                )
+
+        for metric, floor in FLOORS.get(bench, []):
+            value = fresh.get(metric)
+            if value is None:
+                failures.append(f"{bench}: fresh run is missing {metric!r}")
+                continue
+            verdict = "ok" if value >= floor else "BELOW FLOOR"
+            print(f"{bench}/{metric}: {value:.4g} (floor {floor}, {verdict})")
+            if value < floor:
+                failures.append(f"{bench}/{metric}: {value:.4g} < floor {floor}")
+
+    if failures:
+        print("\nbench gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("\nbench gate passed")
+
+
+if __name__ == "__main__":
+    main()
