@@ -25,13 +25,27 @@ pub const RECORD_TAG: &str = "TABLE_DUMP_SIM";
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DumpError {
     /// A line did not have the `TAG|peer|prefix|path` shape.
-    BadRecord { line: usize, content: String },
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line text.
+        content: String,
+    },
     /// The peer ASN field did not parse.
-    BadPeer { line: usize },
+    BadPeer {
+        /// 1-based line number.
+        line: usize,
+    },
     /// The prefix field did not parse.
-    BadPrefix { line: usize },
+    BadPrefix {
+        /// 1-based line number.
+        line: usize,
+    },
     /// The AS-path field did not parse.
-    BadPath { line: usize },
+    BadPath {
+        /// 1-based line number.
+        line: usize,
+    },
 }
 
 impl fmt::Display for DumpError {

@@ -198,7 +198,7 @@ impl FromStr for AsPath {
                 let set: Result<Vec<Asn>, _> = inner
                     .split(',')
                     .filter(|t| !t.is_empty())
-                    .map(|t| t.parse::<Asn>())
+                    .map(str::parse::<Asn>)
                     .collect();
                 segments.push(Segment::Set(
                     set.map_err(|_| PathParseError(s.to_string()))?,

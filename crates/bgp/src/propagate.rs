@@ -182,7 +182,7 @@ pub fn propagate(
     // Stage 2: one lateral step across peer edges, from ASes holding
     // origin/customer routes only (valley-free).
     let mut peer_candidates: BTreeMap<Asn, Route> = BTreeMap::new();
-    for (u, u_route) in routes.iter() {
+    for (u, u_route) in &routes {
         if !matches!(u_route.kind, RouteKind::Origin | RouteKind::Customer) {
             continue;
         }

@@ -208,9 +208,7 @@ impl Rib {
 
     /// All entries stored under exactly `prefix`.
     pub fn entries_for(&self, prefix: &IpPrefix) -> &[RibEntry] {
-        self.effective_entries(prefix)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.effective_entries(prefix).map_or(&[], Vec::as_slice)
     }
 
     /// Step 3 of the methodology: all (covering prefix, origin AS) pairs
@@ -382,7 +380,12 @@ pub enum RibOp {
     /// previous path for that prefix, per BGP).
     Announce(RibEntry),
     /// One peer withdraws its route for a prefix.
-    Withdraw { prefix: IpPrefix, peer: Asn },
+    Withdraw {
+        /// The withdrawn prefix.
+        prefix: IpPrefix,
+        /// The peer losing the route.
+        peer: Asn,
+    },
     /// Every peer's route for a prefix disappears (origin went dark).
     WithdrawPrefix(IpPrefix),
 }
@@ -390,30 +393,37 @@ pub enum RibOp {
 /// An ordered batch of route-table mutations for one epoch.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RibDelta {
+    /// The mutations, in application order.
     pub ops: Vec<RibOp>,
 }
 
 impl RibDelta {
+    /// An empty batch.
     pub fn new() -> RibDelta {
         RibDelta::default()
     }
 
+    /// Queue an announcement.
     pub fn announce(&mut self, entry: RibEntry) {
         self.ops.push(RibOp::Announce(entry));
     }
 
+    /// Queue a single-peer withdrawal.
     pub fn withdraw(&mut self, prefix: IpPrefix, peer: Asn) {
         self.ops.push(RibOp::Withdraw { prefix, peer });
     }
 
+    /// Queue a full-prefix withdrawal.
     pub fn withdraw_prefix(&mut self, prefix: IpPrefix) {
         self.ops.push(RibOp::WithdrawPrefix(prefix));
     }
 
+    /// Whether the batch holds no mutations.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
 
+    /// Number of queued mutations.
     pub fn len(&self) -> usize {
         self.ops.len()
     }
@@ -422,10 +432,12 @@ impl RibDelta {
 /// Prefixes whose effective entry group changed when a delta was applied.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RibChanges {
+    /// The affected prefixes.
     pub changed: BTreeSet<IpPrefix>,
 }
 
 impl RibChanges {
+    /// Whether no prefix changed.
     pub fn is_empty(&self) -> bool {
         self.changed.is_empty()
     }

@@ -106,7 +106,7 @@ impl RouteOriginValidator {
             return RpkiState::NotFound;
         }
         for (_, vrps) in &covering {
-            for (max_length, asn) in vrps.iter() {
+            for (max_length, asn) in *vrps {
                 if *asn == origin && prefix.len() <= *max_length {
                     return RpkiState::Valid;
                 }
@@ -133,7 +133,7 @@ impl RouteOriginValidator {
             unmatched_length: Vec::new(),
         };
         for (vrp_prefix, vrps) in self.trie.covering(prefix) {
-            for (max_length, asn) in vrps.iter() {
+            for (max_length, asn) in vrps {
                 let triple = VrpTriple {
                     prefix: vrp_prefix,
                     max_length: *max_length,

@@ -210,8 +210,7 @@ fn load_world(dir: &Path) -> Result<World, CliError> {
         .lines()
         .find_map(|l| l.strip_prefix("now: "))
         .and_then(|v| v.trim().parse::<u64>().ok())
-        .map(SimTime)
-        .unwrap_or_else(SimTime::start_of_study);
+        .map_or_else(SimTime::start_of_study, SimTime);
     Ok(World {
         ranking,
         zones,
@@ -292,8 +291,7 @@ fn cmd_validate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         .lines()
         .find_map(|l| l.strip_prefix("now: "))
         .and_then(|v| v.trim().parse::<u64>().ok())
-        .map(SimTime)
-        .unwrap_or_else(SimTime::start_of_study);
+        .map_or_else(SimTime::start_of_study, SimTime);
     let report = validate(&repository, now);
     writeln!(
         out,
@@ -325,8 +323,7 @@ fn build_validator(dir: &Path) -> Result<(RouteOriginValidator, SimTime), CliErr
         .lines()
         .find_map(|l| l.strip_prefix("now: "))
         .and_then(|v| v.trim().parse::<u64>().ok())
-        .map(SimTime)
-        .unwrap_or_else(SimTime::start_of_study);
+        .map_or_else(SimTime::start_of_study, SimTime);
     let report = validate(&repository, now);
     let validator = RouteOriginValidator::from_vrps(report.vrps.iter().map(|v| VrpTriple {
         prefix: v.prefix,
@@ -770,7 +767,7 @@ mod tests {
     }
 
     fn run_ok(args: &[&str]) -> String {
-        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = args.iter().map(std::string::ToString::to_string).collect();
         let mut out = Vec::new();
         run(&args, &mut out).expect("command succeeds");
         String::from_utf8(out).unwrap()
@@ -797,14 +794,17 @@ mod tests {
         let mut out = Vec::new();
         let args: Vec<String> = ["generate", "--out"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         assert!(matches!(run(&args, &mut out), Err(CliError::BadFlag(_))));
-        let args: Vec<String> = ["generate"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["generate"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert!(matches!(run(&args, &mut out), Err(CliError::BadFlag(_))));
         let args: Vec<String> = ["generate", "--out", "/tmp/x", "--domains", "many"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         assert!(matches!(run(&args, &mut out), Err(CliError::BadFlag(_))));
     }
@@ -924,7 +924,7 @@ mod tests {
                 "true",
             ]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
             run(&args, &mut thread_buf)
         });

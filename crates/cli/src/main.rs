@@ -1,3 +1,5 @@
+//! Binary entry point; all command logic lives in `ripki_cli::run`.
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match ripki_cli::run(&args, &mut std::io::stdout()) {

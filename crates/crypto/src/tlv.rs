@@ -22,11 +22,19 @@ pub enum TlvError {
     /// Ran out of bytes mid-element.
     Truncated,
     /// The element found does not carry the expected tag.
-    UnexpectedTag { expected: u8, found: u8 },
+    UnexpectedTag {
+        /// The tag the caller asked for.
+        expected: u8,
+        /// The tag actually present.
+        found: u8,
+    },
     /// A fixed-width value had the wrong length.
     BadLength {
+        /// Tag of the offending element.
         tag: u8,
+        /// The width the tag requires.
         expected: usize,
+        /// The width actually present.
         found: usize,
     },
     /// Trailing bytes remained after a complete parse.

@@ -91,11 +91,13 @@ impl ResolutionCache {
 
     /// Tail-probe hits so far (shared-tail resolutions avoided).
     pub fn hits(&self) -> u64 {
+        // Relaxed: standalone statistic, no memory is published via it.
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Tail-probe misses so far (full walks performed).
     pub fn misses(&self) -> u64 {
+        // Relaxed: standalone statistic, no memory is published via it.
         self.misses.load(Ordering::Relaxed)
     }
 
@@ -106,10 +108,13 @@ impl ResolutionCache {
             .expect("cache lock poisoned")
             .get(name)
             .cloned();
-        match &hit {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        // Relaxed: hit/miss tallies are standalone statistics; the
+        // cached tails themselves travel through the RwLock above.
+        let tally = match &hit {
+            Some(_) => &self.hits,
+            None => &self.misses,
         };
+        tally.fetch_add(1, Ordering::Relaxed); // Relaxed: see above.
         hit
     }
 

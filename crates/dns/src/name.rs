@@ -134,8 +134,7 @@ impl DomainName {
                     .0
                     .as_bytes()
                     .get(self.0.len() - suffix.len() - 1)
-                    .map(|b| *b == b'.')
-                    .unwrap_or(false))
+                    .is_some_and(|b| *b == b'.'))
     }
 }
 

@@ -294,34 +294,42 @@ pub enum ZoneOp {
 /// An ordered batch of zone edits for one epoch.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ZoneDelta {
+    /// The edits, in application order.
     pub ops: Vec<ZoneOp>,
 }
 
 impl ZoneDelta {
+    /// An empty batch.
     pub fn new() -> ZoneDelta {
         ZoneDelta::default()
     }
 
+    /// Queue a record-set replacement.
     pub fn set_records(&mut self, name: DomainName, recs: Vec<RecordData>) {
         self.ops.push(ZoneOp::SetRecords(name, recs));
     }
 
+    /// Queue an address-record replacement.
     pub fn set_addr(&mut self, name: DomainName, addr: IpAddr) {
         self.set_records(name, vec![RecordData::from_addr(addr)]);
     }
 
+    /// Queue a CNAME replacement.
     pub fn set_cname(&mut self, name: DomainName, target: DomainName) {
         self.set_records(name, vec![RecordData::Cname(target)]);
     }
 
+    /// Queue a name removal.
     pub fn remove(&mut self, name: DomainName) {
         self.ops.push(ZoneOp::Remove(name));
     }
 
+    /// Whether the batch holds no edits.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
 
+    /// Number of queued edits.
     pub fn len(&self) -> usize {
         self.ops.len()
     }
@@ -330,10 +338,12 @@ impl ZoneDelta {
 /// Names whose effective base answer changed when a delta was applied.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ZoneChanges {
+    /// The affected names.
     pub changed: BTreeSet<DomainName>,
 }
 
 impl ZoneChanges {
+    /// Whether no name changed.
     pub fn is_empty(&self) -> bool {
         self.changed.is_empty()
     }

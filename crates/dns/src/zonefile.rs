@@ -30,13 +30,29 @@ pub const EXPORT_TTL: u32 = 300;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ZoneFileError {
     /// A line did not have `name TTL IN TYPE data` shape.
-    BadLine { line: usize, content: String },
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line text.
+        content: String,
+    },
     /// The owner or target name did not parse.
-    BadName { line: usize },
+    BadName {
+        /// 1-based line number.
+        line: usize,
+    },
     /// The record data did not parse for its type.
-    BadData { line: usize },
+    BadData {
+        /// 1-based line number.
+        line: usize,
+    },
     /// Unknown record type.
-    UnknownType { line: usize, rtype: String },
+    UnknownType {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognised type token.
+        rtype: String,
+    },
 }
 
 impl fmt::Display for ZoneFileError {
@@ -63,10 +79,10 @@ fn fqdn(name: &DomainName) -> String {
 fn render_record(out: &mut String, name: &DomainName, data: &RecordData) {
     match data {
         RecordData::A(a) => {
-            out.push_str(&format!("{:<40} {EXPORT_TTL} IN A     {a}\n", fqdn(name)))
+            out.push_str(&format!("{:<40} {EXPORT_TTL} IN A     {a}\n", fqdn(name)));
         }
         RecordData::Aaaa(a) => {
-            out.push_str(&format!("{:<40} {EXPORT_TTL} IN AAAA  {a}\n", fqdn(name)))
+            out.push_str(&format!("{:<40} {EXPORT_TTL} IN AAAA  {a}\n", fqdn(name)));
         }
         RecordData::Cname(t) => out.push_str(&format!(
             "{:<40} {EXPORT_TTL} IN CNAME {}\n",

@@ -1,0 +1,183 @@
+//! The versioned rule catalog: what each rule forbids and where it
+//! applies. DESIGN.md ("Invariants & enforcement") is the prose twin of
+//! this file; bump [`CATALOG_VERSION`] whenever a rule's scope or
+//! semantics change so downstream automation can detect drift.
+
+use std::fmt;
+use std::path::Path;
+
+/// Version of the rule set encoded below.
+pub const CATALOG_VERSION: u32 = 1;
+
+/// The enforced invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!` and no `[]` indexing on the serving request path
+    /// (`crates/serve/src/**`) or in the RTR PDU codec
+    /// (`crates/rtr/src/pdu.rs`). A malformed request or PDU must map to
+    /// a typed error, never a worker panic.
+    NoPanic,
+    /// R2: `SystemTime::now` / `Instant::now` only inside
+    /// `ripki_rpki::time` (the simulation clock) and the `cli` / `bench`
+    /// crates. Everything else must take time as a parameter so study
+    /// runs stay deterministic and replayable.
+    WallClock,
+    /// R3: every `Ordering::Relaxed` / `Acquire` / `Release` / `AcqRel`
+    /// carries a same-line or immediately-preceding comment saying why
+    /// that ordering is sufficient. (`SeqCst` is exempt: it is the
+    /// conservative default.)
+    AtomicOrder,
+    /// R4: no `println!` / `eprintln!` / `print!` / `eprint!` / `dbg!`
+    /// outside the `cli`, `bench`, and `lint` crates — library crates
+    /// report through return values, not stdout.
+    PrintOutput,
+    /// R5: epoch-bearing fields (`epoch`, `from_epoch`, `to_epoch`) are
+    /// written only inside the blessed engine module, whose constructors
+    /// assert monotonicity; everywhere else must go through those
+    /// constructors/setters.
+    EpochWrite,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: [Rule; 5] = [
+    Rule::NoPanic,
+    Rule::WallClock,
+    Rule::AtomicOrder,
+    Rule::PrintOutput,
+    Rule::EpochWrite,
+];
+
+impl Rule {
+    /// Stable machine identifier, used in `// lint: allow(<id>)` and in
+    /// the JSON report.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::WallClock => "wall-clock",
+            Rule::AtomicOrder => "atomic-order",
+            Rule::PrintOutput => "print-output",
+            Rule::EpochWrite => "epoch-write",
+        }
+    }
+
+    /// Short catalog code (`R1`..`R5`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "R1",
+            Rule::WallClock => "R2",
+            Rule::AtomicOrder => "R3",
+            Rule::PrintOutput => "R4",
+            Rule::EpochWrite => "R5",
+        }
+    }
+
+    /// One-line description for `ripki-lint rules`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::NoPanic => {
+                "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! or [] indexing \
+                 on the serve request path and the RTR PDU codec"
+            }
+            Rule::WallClock => {
+                "SystemTime::now/Instant::now only in ripki_rpki::time and the cli/bench crates"
+            }
+            Rule::AtomicOrder => {
+                "every Ordering::Relaxed/Acquire/Release/AcqRel needs a same-line or \
+                 preceding justification comment"
+            }
+            Rule::PrintOutput => "no println!/eprintln!/print!/eprint!/dbg! outside cli/bench/lint",
+            Rule::EpochWrite => {
+                "epoch/from_epoch/to_epoch fields are written only in the blessed engine \
+                 module, which must assert epoch monotonicity"
+            }
+        }
+    }
+
+    /// Parse a rule id (as written in allow comments).
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// Does this rule apply to the (workspace-relative, `/`-separated)
+    /// file at all? Test code is additionally exempted per-region by the
+    /// checker; this is the file-level scope.
+    pub fn applies_to(self, path: &str) -> bool {
+        match self {
+            Rule::NoPanic => {
+                path.starts_with("crates/serve/src/") || path == "crates/rtr/src/pdu.rs"
+            }
+            Rule::WallClock => {
+                path != "crates/rpki/src/time.rs"
+                    && !path.starts_with("crates/cli/")
+                    && !path.starts_with("crates/bench/")
+                    && !path.starts_with("crates/lint/")
+            }
+            Rule::AtomicOrder => true,
+            Rule::PrintOutput => {
+                !path.starts_with("crates/cli/")
+                    && !path.starts_with("crates/bench/")
+                    && !path.starts_with("crates/lint/")
+            }
+            Rule::EpochWrite => !is_blessed_epoch_module(path),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.code(), self.id())
+    }
+}
+
+/// The modules allowed to write epoch fields directly. They carry the
+/// monotonicity assertions every other caller inherits by construction.
+pub fn is_blessed_epoch_module(path: &str) -> bool {
+    path == "crates/ripki/src/engine.rs"
+}
+
+/// Convert an OS path (relative to the workspace root) to the canonical
+/// `/`-separated form the scopes above match on.
+pub fn canonical(path: &Path) -> String {
+    let mut out = String::new();
+    for comp in path.components() {
+        if !out.is_empty() {
+            out.push('/');
+        }
+        out.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        for rule in ALL_RULES {
+            assert_eq!(Rule::from_id(rule.id()), Some(rule));
+        }
+        assert_eq!(Rule::from_id("nonsense"), None);
+    }
+
+    #[test]
+    fn scopes_match_the_catalog() {
+        assert!(Rule::NoPanic.applies_to("crates/serve/src/http.rs"));
+        assert!(Rule::NoPanic.applies_to("crates/rtr/src/pdu.rs"));
+        assert!(!Rule::NoPanic.applies_to("crates/rtr/src/cache.rs"));
+        assert!(!Rule::NoPanic.applies_to("crates/rpki/src/validate.rs"));
+
+        assert!(!Rule::WallClock.applies_to("crates/rpki/src/time.rs"));
+        assert!(!Rule::WallClock.applies_to("crates/cli/src/lib.rs"));
+        assert!(Rule::WallClock.applies_to("crates/serve/src/metrics.rs"));
+
+        assert!(Rule::AtomicOrder.applies_to("crates/dns/src/cache.rs"));
+
+        assert!(!Rule::PrintOutput.applies_to("crates/bench/src/bin/experiments.rs"));
+        assert!(Rule::PrintOutput.applies_to("crates/ripki/src/engine.rs"));
+
+        assert!(!Rule::EpochWrite.applies_to("crates/ripki/src/engine.rs"));
+        assert!(Rule::EpochWrite.applies_to("crates/serve/src/view.rs"));
+    }
+}

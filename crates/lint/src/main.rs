@@ -1,0 +1,107 @@
+//! CLI entry point: `ripki-lint check [--root DIR] [--format text|json]`
+//! and `ripki-lint rules`.
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+
+use ripki_lint::catalog::{ALL_RULES, CATALOG_VERSION};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ripki-lint — workspace invariant checker
+
+USAGE:
+    ripki-lint check [--root DIR] [--format text|json]
+    ripki-lint rules
+
+OPTIONS:
+    --root DIR       workspace root to scan (default: current directory)
+    --format FORMAT  `text` (default) or `json`
+";
+
+/// Write to stdout without panicking when the reader has gone away
+/// (`ripki-lint rules | head` closes the pipe mid-stream).
+fn emit(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("rules") => {
+            let mut text = format!("rule catalog v{CATALOG_VERSION}:\n");
+            for rule in ALL_RULES {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    text,
+                    "  {} {:<13} {}",
+                    rule.code(),
+                    rule.id(),
+                    rule.summary()
+                );
+            }
+            emit(&text);
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h") | None => {
+            emit(USAGE);
+            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+        }
+        Some(other) => {
+            eprintln!("ripki-lint: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = "text".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("ripki-lint: --root needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(value);
+                i += 2;
+            }
+            "--format" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("ripki-lint: --format needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if value != "text" && value != "json" {
+                    eprintln!("ripki-lint: unknown format `{value}`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                format = value.clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("ripki-lint: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match ripki_lint::check_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("ripki-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    match format.as_str() {
+        "json" => emit(&report.render_json()),
+        _ => emit(&report.render_text()),
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,813 @@
+//! The R1–R5 checks, evaluated over one file's token stream.
+//!
+//! Shared machinery first: test-region masking (rules exempt
+//! `#[cfg(test)]` / `#[test]` items), the `// lint: allow(<rule>)`
+//! escape hatch, and the comment-adjacency query R3 uses. Each check is
+//! then a linear scan over the significant (non-comment) tokens.
+
+use crate::catalog::{is_blessed_epoch_module, Rule};
+use crate::lex::{tokenize, Token, TokenKind};
+use crate::report::{AllowEntry, Violation};
+use std::collections::BTreeSet;
+
+/// Identifiers that can precede `[` without making it an index
+/// expression (`&mut [T]`, `for x in [..]`, `return [..]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Tokens plus derived file-level facts the checks query.
+struct FileView {
+    /// Significant (non-comment) tokens in order.
+    sig: Vec<Token>,
+    /// Byte-true flag per significant token: inside a test item.
+    in_test: Vec<bool>,
+    /// For R5: inside a struct/enum/union/trait body or fn parameter
+    /// list, where `name: Type` is declaration syntax, not a field write.
+    in_decl: Vec<bool>,
+    /// Lines that contain at least one comment token.
+    comment_lines: BTreeSet<usize>,
+    /// Lines that contain at least one significant token.
+    code_lines: BTreeSet<usize>,
+    /// Parsed `lint: allow(...)` comments by line.
+    allows: Vec<ParsedAllow>,
+    /// Syntactically broken allow comments (unknown rule id).
+    bad_allows: Vec<(usize, String)>,
+}
+
+struct ParsedAllow {
+    rule: Rule,
+    line: usize,
+    justification: String,
+    used: std::cell::Cell<bool>,
+}
+
+/// Result of checking one file.
+pub struct FileReport {
+    /// Rule violations (allow-suppressed candidates excluded).
+    pub violations: Vec<Violation>,
+    /// Every allow-list entry found, with usage accounting.
+    pub allows: Vec<AllowEntry>,
+}
+
+/// Run every applicable rule over `source` as `path` (workspace-relative,
+/// `/`-separated).
+pub fn check_file(path: &str, source: &str) -> FileReport {
+    let view = FileView::build(source);
+    let mut violations = Vec::new();
+
+    for rule in crate::catalog::ALL_RULES {
+        if rule.applies_to(path) {
+            match rule {
+                Rule::NoPanic => check_no_panic(&view, path, &mut violations),
+                Rule::WallClock => check_wall_clock(&view, path, &mut violations),
+                Rule::AtomicOrder => check_atomic_order(&view, path, &mut violations),
+                Rule::PrintOutput => check_print_output(&view, path, &mut violations),
+                Rule::EpochWrite => check_epoch_write(&view, path, &mut violations),
+            }
+        }
+    }
+    if is_blessed_epoch_module(path) {
+        check_blessed_epoch_asserts(&view, path, &mut violations);
+    }
+
+    // Allow-list hygiene: unknown rule ids, missing justifications, and
+    // entries that suppress nothing are themselves violations — the
+    // escape hatch must stay audited.
+    for (line, id) in &view.bad_allows {
+        violations.push(Violation {
+            rule: "allow-syntax".into(),
+            path: path.into(),
+            line: *line,
+            column: 1,
+            message: format!("allow comment names unknown rule `{id}`"),
+        });
+    }
+    let mut allows = Vec::new();
+    for allow in &view.allows {
+        if allow.justification.is_empty() {
+            violations.push(Violation {
+                rule: allow.rule.id().into(),
+                path: path.into(),
+                line: allow.line,
+                column: 1,
+                message: format!(
+                    "allow({}) entry has no written justification",
+                    allow.rule.id()
+                ),
+            });
+        } else if !allow.used.get() {
+            violations.push(Violation {
+                rule: allow.rule.id().into(),
+                path: path.into(),
+                line: allow.line,
+                column: 1,
+                message: format!(
+                    "allow({}) entry suppresses nothing — remove the stale escape hatch",
+                    allow.rule.id()
+                ),
+            });
+        }
+        allows.push(AllowEntry {
+            rule: allow.rule.id().into(),
+            path: path.into(),
+            line: allow.line,
+            justification: allow.justification.clone(),
+            used: allow.used.get(),
+        });
+    }
+
+    violations.sort_by_key(|a| (a.line, a.column));
+    FileReport { violations, allows }
+}
+
+impl FileView {
+    fn build(source: &str) -> FileView {
+        let tokens = tokenize(source);
+        let mut comment_lines = BTreeSet::new();
+        let mut code_lines = BTreeSet::new();
+        let mut allows = Vec::new();
+        let mut bad_allows = Vec::new();
+        let mut sig = Vec::new();
+        for token in tokens {
+            if token.is_comment() {
+                comment_lines.insert(token.line);
+                parse_allow_comment(&token, &mut allows, &mut bad_allows);
+            } else {
+                code_lines.insert(token.line);
+                sig.push(token);
+            }
+        }
+        let in_test = mask_test_items(&sig);
+        let in_decl = mask_decl_positions(&sig);
+        FileView {
+            sig,
+            in_test,
+            in_decl,
+            comment_lines,
+            code_lines,
+            allows,
+            bad_allows,
+        }
+    }
+
+    /// Is there a comment on `line`, or on the contiguous run of
+    /// comment-only lines directly above it?
+    fn has_adjacent_comment(&self, line: usize) -> bool {
+        if self.comment_lines.contains(&line) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let has_comment = self.comment_lines.contains(&l);
+            let has_code = self.code_lines.contains(&l);
+            if has_comment && !has_code {
+                return true;
+            }
+            if has_code || !has_comment {
+                // A code line (or blank line) breaks the comment block.
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Find an unused-or-used allow entry for `rule` adjacent to `line`
+    /// (same line or the contiguous comment block directly above) and
+    /// mark it used.
+    fn consume_allow(&self, rule: Rule, line: usize) -> bool {
+        let mut candidate_lines: Vec<usize> = vec![line];
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if self.comment_lines.contains(&l) && !self.code_lines.contains(&l) {
+                candidate_lines.push(l);
+            } else {
+                break;
+            }
+        }
+        for allow in &self.allows {
+            if allow.rule == rule && candidate_lines.contains(&allow.line) {
+                allow.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn parse_allow_comment(
+    token: &Token,
+    allows: &mut Vec<ParsedAllow>,
+    bad: &mut Vec<(usize, String)>,
+) {
+    // A directive is a comment that *starts* with `lint: allow(…)` —
+    // prose that merely mentions the syntax mid-sentence is not one.
+    let body = token
+        .text
+        .trim_start_matches('/')
+        .trim_start_matches('*')
+        .trim_start_matches('!')
+        .trim_start();
+    let Some(rest) = body.strip_prefix("lint: allow(") else {
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        bad.push((token.line, rest.trim().to_string()));
+        return;
+    };
+    let id = rest[..close].trim();
+    let mut justification = rest[close + 1..].trim();
+    justification = justification
+        .trim_end_matches("*/")
+        .trim_start_matches("--")
+        .trim();
+    match Rule::from_id(id) {
+        Some(rule) => allows.push(ParsedAllow {
+            rule,
+            line: token.line,
+            justification: justification.to_string(),
+            used: std::cell::Cell::new(false),
+        }),
+        None => bad.push((token.line, id.to_string())),
+    }
+}
+
+/// Mark every significant token inside a `#[cfg(test)]` or `#[test]`
+/// item body. Attributes are matched structurally: `#` `[` … `]`, then
+/// (skipping further attributes and item keywords) the region masked is
+/// the braces of the item that follows.
+fn mask_test_items(sig: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; sig.len()];
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].is_punct('#') && i + 1 < sig.len() && sig[i + 1].is_punct('[') {
+            let Some(attr_end) = matching(sig, i + 1, '[', ']') else {
+                break;
+            };
+            if attr_is_test(&sig[i + 2..attr_end]) {
+                // Skip any further attributes between this one and the item.
+                let mut j = attr_end + 1;
+                while j + 1 < sig.len() && sig[j].is_punct('#') && sig[j + 1].is_punct('[') {
+                    match matching(sig, j + 1, '[', ']') {
+                        Some(e) => j = e + 1,
+                        None => return mask,
+                    }
+                }
+                // Mask to the end of the item: the matching `}` of the
+                // first `{` before a terminating `;` at depth zero.
+                let mut k = j;
+                let mut done = false;
+                while k < sig.len() && !done {
+                    if sig[k].is_punct('{') {
+                        let end = matching(sig, k, '{', '}').unwrap_or(sig.len() - 1);
+                        for slot in mask.iter_mut().take(end + 1).skip(i) {
+                            *slot = true;
+                        }
+                        i = end;
+                        done = true;
+                    } else if sig[k].is_punct(';') {
+                        // `#[cfg(test)] use …;` — nothing to mask.
+                        i = k;
+                        done = true;
+                    } else {
+                        k += 1;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Does the attribute body (tokens between `[` and `]`) gate on tests?
+/// Matches `test`, `cfg(test)`, `cfg(any(test, …))`, `tokio::test`, ….
+fn attr_is_test(body: &[Token]) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if body[i].is_ident("test") {
+            return true;
+        }
+        if body[i].is_ident("cfg") {
+            // Only a `test` ident *inside* the cfg predicate counts.
+            if let Some(open) = body[i + 1..].first() {
+                if open.is_punct('(') {
+                    return body[i + 1..].iter().any(|t| t.is_ident("test"));
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Mark tokens where `name: Type` is declaration syntax rather than a
+/// struct-literal field write: struct/enum/union/trait bodies and `fn`
+/// parameter lists.
+fn mask_decl_positions(sig: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; sig.len()];
+    let mut i = 0;
+    while i < sig.len() {
+        let tok = &sig[i];
+        if tok.kind == TokenKind::Ident
+            && matches!(tok.text.as_str(), "struct" | "enum" | "union" | "trait")
+        {
+            // Find the body `{` (or `(` for tuple structs, or `;`).
+            let mut j = i + 1;
+            while j < sig.len() {
+                if sig[j].is_punct('{') {
+                    if let Some(end) = matching(sig, j, '{', '}') {
+                        for slot in mask.iter_mut().take(end + 1).skip(j) {
+                            *slot = true;
+                        }
+                        i = end;
+                    }
+                    break;
+                }
+                if sig[j].is_punct('(') {
+                    if let Some(end) = matching(sig, j, '(', ')') {
+                        for slot in mask.iter_mut().take(end + 1).skip(j) {
+                            *slot = true;
+                        }
+                        i = end;
+                    }
+                    break;
+                }
+                if sig[j].is_punct(';') {
+                    i = j;
+                    break;
+                }
+                j += 1;
+            }
+        } else if tok.is_ident("fn") {
+            // Mask the parameter list.
+            let mut j = i + 1;
+            while j < sig.len() && !sig[j].is_punct('(') {
+                j += 1;
+            }
+            if j < sig.len() {
+                if let Some(end) = matching(sig, j, '(', ')') {
+                    for slot in mask.iter_mut().take(end + 1).skip(j) {
+                        *slot = true;
+                    }
+                    i = end;
+                }
+            }
+        } else if tok.is_punct('|') && i > 0 && is_closure_open(&sig[i - 1]) {
+            // Closure parameter list `|epoch: u64, …|` — annotations in
+            // here are declarations, not writes. `|` opens a closure
+            // when the preceding token cannot end an expression
+            // (otherwise it is bitwise-or / pattern-or).
+            let mut j = i + 1;
+            while j < sig.len() && !sig[j].is_punct('|') {
+                j += 1;
+            }
+            if j < sig.len() {
+                for slot in mask.iter_mut().take(j + 1).skip(i) {
+                    *slot = true;
+                }
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Can a `|` after this token open a closure parameter list? Yes when
+/// the token cannot terminate an expression (after an operand, `|` is
+/// bitwise-or or a pattern alternative instead).
+fn is_closure_open(prev: &Token) -> bool {
+    match prev.kind {
+        TokenKind::Punct => matches!(
+            prev.text.as_str(),
+            "(" | "," | "{" | "=" | ";" | ":" | ">" | "&"
+        ),
+        TokenKind::Ident => matches!(prev.text.as_str(), "move" | "return" | "else"),
+        _ => false,
+    }
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+fn matching(sig: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, tok) in sig.iter().enumerate().skip(open_idx) {
+        if tok.is_punct(open) {
+            depth += 1;
+        } else if tok.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+fn emit(
+    view: &FileView,
+    rule: Rule,
+    path: &str,
+    token: &Token,
+    message: String,
+    out: &mut Vec<Violation>,
+) {
+    if view.consume_allow(rule, token.line) {
+        return;
+    }
+    out.push(Violation {
+        rule: rule.id().into(),
+        path: path.into(),
+        line: token.line,
+        column: token.column,
+        message,
+    });
+}
+
+// ------------------------------------------------------------------ R1
+
+fn check_no_panic(view: &FileView, path: &str, out: &mut Vec<Violation>) {
+    let sig = &view.sig;
+    for i in 0..sig.len() {
+        if view.in_test[i] {
+            continue;
+        }
+        let tok = &sig[i];
+        // `.unwrap()` / `.expect(…)`
+        if tok.kind == TokenKind::Ident
+            && matches!(tok.text.as_str(), "unwrap" | "expect")
+            && i > 0
+            && sig[i - 1].is_punct('.')
+            && sig.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            emit(
+                view,
+                Rule::NoPanic,
+                path,
+                tok,
+                format!(
+                    "`.{}()` on the panic-free path — return a typed error instead",
+                    tok.text
+                ),
+                out,
+            );
+            continue;
+        }
+        // panic-family macros
+        if tok.kind == TokenKind::Ident
+            && matches!(
+                tok.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && sig.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            emit(
+                view,
+                Rule::NoPanic,
+                path,
+                tok,
+                format!("`{}!` on the panic-free path", tok.text),
+                out,
+            );
+            continue;
+        }
+        // `expr[…]` indexing (can panic on out-of-range)
+        if tok.is_punct('[') && i > 0 {
+            let prev = &sig[i - 1];
+            let indexes = match prev.kind {
+                TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                _ => false,
+            };
+            if indexes {
+                emit(
+                    view,
+                    Rule::NoPanic,
+                    path,
+                    tok,
+                    "`[…]` indexing can panic — use `.get(…)`/`split_at_checked` or justify"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ R2
+
+fn check_wall_clock(view: &FileView, path: &str, out: &mut Vec<Violation>) {
+    let sig = &view.sig;
+    for i in 3..sig.len() {
+        if view.in_test[i] {
+            continue;
+        }
+        if sig[i].is_ident("now")
+            && sig[i - 1].is_punct(':')
+            && sig[i - 2].is_punct(':')
+            && sig[i - 3].kind == TokenKind::Ident
+            && matches!(sig[i - 3].text.as_str(), "Instant" | "SystemTime")
+        {
+            emit(
+                view,
+                Rule::WallClock,
+                path,
+                &sig[i],
+                format!(
+                    "`{}::now()` outside ripki_rpki::time — take the clock as a parameter",
+                    sig[i - 3].text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------------ R3
+
+fn check_atomic_order(view: &FileView, path: &str, out: &mut Vec<Violation>) {
+    let sig = &view.sig;
+    for i in 3..sig.len() {
+        if view.in_test[i] {
+            continue;
+        }
+        if sig[i].kind == TokenKind::Ident
+            && matches!(
+                sig[i].text.as_str(),
+                "Relaxed" | "Acquire" | "Release" | "AcqRel"
+            )
+            && sig[i - 1].is_punct(':')
+            && sig[i - 2].is_punct(':')
+            && sig[i - 3].is_ident("Ordering")
+        {
+            if view.has_adjacent_comment(sig[i].line) {
+                continue;
+            }
+            emit(
+                view,
+                Rule::AtomicOrder,
+                path,
+                &sig[i],
+                format!(
+                    "`Ordering::{}` without a same-line or preceding justification comment",
+                    sig[i].text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------------ R4
+
+fn check_print_output(view: &FileView, path: &str, out: &mut Vec<Violation>) {
+    let sig = &view.sig;
+    for i in 0..sig.len() {
+        if view.in_test[i] {
+            continue;
+        }
+        if sig[i].kind == TokenKind::Ident
+            && matches!(
+                sig[i].text.as_str(),
+                "println" | "eprintln" | "print" | "eprint" | "dbg"
+            )
+            && sig.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            emit(
+                view,
+                Rule::PrintOutput,
+                path,
+                &sig[i],
+                format!(
+                    "`{}!` in a library crate — report through return values",
+                    sig[i].text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------------ R5
+
+const EPOCH_FIELDS: &[&str] = &["epoch", "from_epoch", "to_epoch"];
+
+fn check_epoch_write(view: &FileView, path: &str, out: &mut Vec<Violation>) {
+    let sig = &view.sig;
+    for i in 0..sig.len() {
+        if view.in_test[i] || view.in_decl[i] {
+            continue;
+        }
+        let tok = &sig[i];
+        if tok.kind != TokenKind::Ident || !EPOCH_FIELDS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        // Struct-literal field init: `epoch: value` (not a `::` path,
+        // not preceded by one either).
+        let field_init = sig.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !sig.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && !(i > 0 && sig[i - 1].is_punct(':'));
+        // Assignment through a place expression: `x.epoch = …` / `+=`.
+        let assigned = i > 0
+            && sig[i - 1].is_punct('.')
+            && match (sig.get(i + 1), sig.get(i + 2)) {
+                (Some(eq), Some(after)) if eq.is_punct('=') => {
+                    !after.is_punct('=') && !after.is_punct('>')
+                }
+                (Some(op), Some(eq)) if eq.is_punct('=') => op.is_punct('+') || op.is_punct('-'),
+                _ => false,
+            };
+        if field_init || assigned {
+            emit(
+                view,
+                Rule::EpochWrite,
+                path,
+                tok,
+                format!(
+                    "`{}` written outside the blessed engine module — epochs must move \
+                     through the asserting constructors",
+                    tok.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// The blessed module's side of the R5 bargain: its non-test code must
+/// actually carry an epoch assertion.
+fn check_blessed_epoch_asserts(view: &FileView, path: &str, out: &mut Vec<Violation>) {
+    let sig = &view.sig;
+    for i in 0..sig.len() {
+        if view.in_test[i] {
+            continue;
+        }
+        if sig[i].kind == TokenKind::Ident
+            && sig[i].text.starts_with("assert")
+            && sig.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            // Look inside the macro call for an epoch-ish identifier.
+            if let Some(open) = sig[i + 1..].iter().position(|t| t.is_punct('(')) {
+                if let Some(end) = matching(sig, i + 1 + open, '(', ')') {
+                    if sig[i..=end]
+                        .iter()
+                        .any(|t| t.kind == TokenKind::Ident && t.text.contains("epoch"))
+                    {
+                        return; // contract upheld
+                    }
+                }
+            }
+        }
+    }
+    out.push(Violation {
+        rule: Rule::EpochWrite.id().into(),
+        path: path.into(),
+        line: 1,
+        column: 1,
+        message: "blessed epoch module carries no epoch monotonicity assertion".into(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERVE_PATH: &str = "crates/serve/src/http.rs";
+
+    fn violations(path: &str, src: &str) -> Vec<Violation> {
+        check_file(path, src).violations
+    }
+
+    #[test]
+    fn unwrap_on_request_path_is_flagged() {
+        let v = violations(SERVE_PATH, "fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-panic");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(x: Option<u8>) { x.unwrap(); }\n}\n";
+        assert!(violations(SERVE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_scope_is_not_flagged() {
+        let v = violations(
+            "crates/dns/src/zone.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_and_is_counted() {
+        let src = "fn f(b: &[u8]) -> u8 {\n    // lint: allow(no-panic) caller checked len\n    b[0]\n}\n";
+        let report = check_file(SERVE_PATH, src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.allows.len(), 1);
+        assert!(report.allows[0].used);
+        assert_eq!(report.allows[0].justification, "caller checked len");
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_violation() {
+        let src = "fn f(b: &[u8]) -> u8 {\n    b[0] // lint: allow(no-panic)\n}\n";
+        let report = check_file(SERVE_PATH, src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0]
+            .message
+            .contains("no written justification"));
+    }
+
+    #[test]
+    fn stale_allow_is_a_violation() {
+        let src = "// lint: allow(no-panic) nothing here anymore\nfn f() {}\n";
+        let report = check_file(SERVE_PATH, src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_types_are_not() {
+        let src = "fn f(b: &[u8], i: usize) -> u8 { let _a: [u8; 4] = [0; 4]; b[i] }";
+        let v = violations(SERVE_PATH, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_time_module() {
+        let src = "fn f() { let _ = std::time::Instant::now(); }";
+        assert_eq!(violations("crates/ripki/src/stats.rs", src).len(), 1);
+        assert!(violations("crates/rpki/src/time.rs", src).is_empty());
+        assert!(violations("crates/cli/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ordering_needs_a_comment() {
+        let bare = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        let same_line =
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); // independent counter\n }";
+        let above = "fn f(c: &AtomicU64) {\n    // independent counter\n    c.fetch_add(1, Ordering::Relaxed);\n}";
+        let path = "crates/dns/src/cache.rs";
+        assert_eq!(violations(path, bare).len(), 1);
+        assert!(violations(path, same_line).is_empty());
+        assert!(violations(path, above).is_empty());
+        // SeqCst is the conservative default and never flagged.
+        let seqcst = "fn f(c: &AtomicU64) { c.load(Ordering::SeqCst); }";
+        assert!(violations(path, seqcst).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_atomic_ordering() {
+        let src = "fn f() -> std::cmp::Ordering { std::cmp::Ordering::Less }";
+        assert!(violations("crates/dns/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn println_in_library_flagged() {
+        let src = "fn f() { println!(\"hi\"); }";
+        assert_eq!(violations("crates/ripki/src/stats.rs", src).len(), 1);
+        assert!(violations("crates/cli/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn epoch_write_outside_engine_flagged() {
+        let literal = "fn f(e: u64) -> Delta { Delta { from_epoch: e, payload: 0 } }";
+        let assign = "fn f(r: &mut Results) { r.epoch = 9; }";
+        let path = "crates/serve/src/view.rs";
+        assert_eq!(violations(path, literal).len(), 1);
+        assert_eq!(violations(path, assign).len(), 1);
+    }
+
+    #[test]
+    fn epoch_declarations_are_not_writes() {
+        let decl = "pub struct Delta { pub from_epoch: u64, pub to_epoch: u64 }";
+        let param = "fn stamp(epoch: u64) -> u64 { epoch }";
+        let path = "crates/serve/src/view.rs";
+        assert!(violations(path, decl).is_empty(), "struct decl");
+        assert!(violations(path, param).is_empty(), "fn param");
+        // Closure parameter annotations are declarations too.
+        let closure = "fn f() { let g = |epoch: u64, n: usize| epoch + n as u64; g(1, 2); }";
+        assert!(violations(path, closure).is_empty(), "closure param");
+        // Reads and comparisons are free.
+        let read = "fn f(r: &Results) -> bool { r.epoch == 4 && r.epoch >= 2 }";
+        assert!(violations(path, read).is_empty(), "reads");
+    }
+
+    #[test]
+    fn blessed_module_must_assert() {
+        let good = "fn publish(old: u64, new_epoch: u64) { assert!(new_epoch > old, \"epoch\"); }";
+        let bad = "fn publish(e: u64) -> u64 { e + 1 }";
+        assert!(violations("crates/ripki/src/engine.rs", good).is_empty());
+        let v = violations("crates/ripki/src/engine.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("monotonicity assertion"));
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end tests of the `ripki-lint` binary over fixture workspaces
+//! under `tests/fixtures/`: one tree per outcome (violating, allowed,
+//! clean), each mirroring the real `crates/<name>/src/` layout so the
+//! catalog's path scopes apply unchanged.
+
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ripki-lint"))
+        .args(args)
+        .output()
+        .expect("run ripki-lint")
+}
+
+fn check(fixture: &str, extra: &[&str]) -> Output {
+    let root = fixture_root(fixture);
+    let mut args = vec!["check", "--root", root.to_str().expect("utf-8 path")];
+    args.extend_from_slice(extra);
+    run(&args)
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8(output.stdout.clone()).expect("utf-8 stdout")
+}
+
+#[test]
+fn violating_fixture_fails_with_exact_diagnostics() {
+    let output = check("violating", &[]);
+    assert_eq!(output.status.code(), Some(1));
+    let text = stdout(&output);
+    let expected = [
+        "crates/dns/src/counter.rs:6:36: R3[atomic-order]: `Ordering::Relaxed` \
+         without a same-line or preceding justification comment",
+        "crates/ripki/src/clock.rs:4:25: R2[wall-clock]: `Instant::now()` outside \
+         ripki_rpki::time — take the clock as a parameter",
+        "crates/ripki/src/engine.rs:1:1: R5[epoch-write]: blessed epoch module \
+         carries no epoch monotonicity assertion",
+        "crates/ripki/src/stats.rs:4:5: R4[print-output]: `println!` in a library \
+         crate — report through return values",
+        "crates/rtr/src/pdu.rs:5:9: R1[no-panic]: `panic!` on the panic-free path",
+        "crates/serve/src/handler.rs:4:10: R1[no-panic]: `[…]` indexing can panic \
+         — use `.get(…)`/`split_at_checked` or justify",
+        "crates/serve/src/handler.rs:8:11: R1[no-panic]: `.unwrap()` on the \
+         panic-free path — return a typed error instead",
+        "crates/serve/src/view.rs:8:10: R5[epoch-write]: `epoch` written outside \
+         the blessed engine module — epochs must move through the asserting \
+         constructors",
+    ];
+    let mut lines = text.lines();
+    for want in expected {
+        assert_eq!(lines.next(), Some(want), "full output:\n{text}");
+    }
+    assert_eq!(
+        lines.next(),
+        Some("ripki-lint: 7 file(s), 8 violation(s) [R1 3, R2 1, R3 1, R4 1, R5 2], 0 allow(s) (catalog v1)"),
+        "full output:\n{text}"
+    );
+    assert_eq!(lines.next(), None, "trailing output:\n{text}");
+}
+
+#[test]
+fn violating_fixture_json_report_is_structured() {
+    let output = check("violating", &["--format", "json"]);
+    assert_eq!(output.status.code(), Some(1));
+    let json: Value = serde_json::from_str(&stdout(&output)).expect("valid JSON");
+    assert_eq!(json["clean"], Value::from(false));
+    assert_eq!(json["catalog_version"], Value::from(1));
+    assert_eq!(json["files_scanned"], Value::from(7));
+    assert_eq!(json["violations"].as_array().map(<[Value]>::len), Some(8));
+    assert_eq!(json["violations_by_rule"]["no-panic"], Value::from(3));
+    assert_eq!(json["violations_by_rule"]["wall-clock"], Value::from(1));
+    assert_eq!(json["violations_by_rule"]["atomic-order"], Value::from(1));
+    assert_eq!(json["violations_by_rule"]["print-output"], Value::from(1));
+    assert_eq!(json["violations_by_rule"]["epoch-write"], Value::from(2));
+    // Violations come sorted by (path, line, column) with all locator
+    // fields populated.
+    let first = &json["violations"][0];
+    assert_eq!(first["path"], Value::from("crates/dns/src/counter.rs"));
+    assert_eq!(first["rule"], Value::from("atomic-order"));
+    assert_eq!(first["line"], Value::from(6));
+    assert_eq!(first["column"], Value::from(36));
+}
+
+#[test]
+fn allowed_fixture_passes_and_audits_every_entry() {
+    let output = check("allowed", &["--format", "json"]);
+    assert_eq!(output.status.code(), Some(0));
+    let json: Value = serde_json::from_str(&stdout(&output)).expect("valid JSON");
+    assert_eq!(json["clean"], Value::from(true));
+    let allows = json["allows"].as_array().expect("allows array");
+    assert_eq!(allows.len(), 5);
+    for entry in allows {
+        assert_eq!(entry["used"], Value::from(true), "{entry:?}");
+        assert_ne!(entry["justification"], Value::from(""), "{entry:?}");
+    }
+    // The text rendering lists the same audit trail.
+    let text_run = check("allowed", &[]);
+    assert_eq!(text_run.status.code(), Some(0));
+    let text = stdout(&text_run);
+    assert!(text.contains("allow-list entries (5):"), "{text}");
+    assert!(
+        text.contains(
+            "crates/serve/src/handler.rs:4: allow(no-panic) — caller guarantees a non-empty buffer"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains("ripki-lint: 5 file(s), 0 violation(s), 5 allow(s) (catalog v1)"),
+        "{text}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes_silently() {
+    let output = check("clean", &[]);
+    assert_eq!(output.status.code(), Some(0));
+    assert_eq!(
+        stdout(&output),
+        "ripki-lint: 2 file(s), 0 violation(s), 0 allow(s) (catalog v1)\n"
+    );
+    let json_run = check("clean", &["--format", "json"]);
+    let json: Value = serde_json::from_str(&stdout(&json_run)).expect("valid JSON");
+    assert_eq!(json["clean"], Value::from(true));
+    assert_eq!(json["violations"].as_array().map(<[Value]>::len), Some(0));
+    assert_eq!(json["allows"].as_array().map(<[Value]>::len), Some(0));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    // Unknown subcommand.
+    assert_eq!(run(&["frobnicate"]).status.code(), Some(2));
+    // Unknown format value.
+    assert_eq!(check("clean", &["--format", "yaml"]).status.code(), Some(2));
+    // Missing option value.
+    assert_eq!(run(&["check", "--root"]).status.code(), Some(2));
+    // Unscannable root.
+    let missing = fixture_root("does-not-exist");
+    let output = run(&["check", "--root", missing.to_str().expect("utf-8 path")]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "empty tree is vacuously clean"
+    );
+    // No args at all prints usage and exits 2.
+    assert_eq!(run(&[]).status.code(), Some(2));
+}
+
+#[test]
+fn rules_subcommand_lists_the_catalog() {
+    let output = run(&["rules"]);
+    assert_eq!(output.status.code(), Some(0));
+    let text = stdout(&output);
+    assert!(text.contains("rule catalog v1:"), "{text}");
+    for code in ["R1", "R2", "R3", "R4", "R5"] {
+        assert!(text.contains(code), "missing {code} in:\n{text}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: R3 satisfied by an adjacent justification comment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    // Relaxed: standalone counter, no ordering with other memory.
+    counter.fetch_add(1, Ordering::Relaxed);
+}

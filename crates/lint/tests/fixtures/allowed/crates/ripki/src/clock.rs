@@ -1,0 +1,6 @@
+//! Fixture: R2 site suppressed with justification.
+
+pub fn stamp() -> std::time::Instant {
+    // lint: allow(wall-clock) fixture models a process-start baseline
+    std::time::Instant::now()
+}

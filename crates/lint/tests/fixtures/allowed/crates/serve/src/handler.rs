@@ -1,0 +1,10 @@
+//! Fixture: R1 sites suppressed by audited allow entries.
+
+pub fn first(bytes: &[u8]) -> u8 {
+    // lint: allow(no-panic) caller guarantees a non-empty buffer
+    bytes[0]
+}
+
+pub fn parse(input: Option<u8>) -> u8 {
+    input.unwrap() // lint: allow(no-panic) fixture demonstrates same-line form
+}

@@ -1,0 +1,10 @@
+//! Fixture: R5 site suppressed with justification.
+
+pub struct View {
+    pub epoch: u64,
+}
+
+pub fn reset(view: &mut View) {
+    // lint: allow(epoch-write) fixture resets a detached test double
+    view.epoch = 0;
+}

@@ -1,0 +1,6 @@
+//! Fixture: blessed epoch module carrying its assertion.
+
+pub fn publish(current: u64, next_epoch: u64) -> u64 {
+    assert!(next_epoch > current, "epochs must advance");
+    next_epoch
+}

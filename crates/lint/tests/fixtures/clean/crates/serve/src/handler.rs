@@ -1,0 +1,5 @@
+//! Fixture: panic-free request-path code.
+
+pub fn first(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}

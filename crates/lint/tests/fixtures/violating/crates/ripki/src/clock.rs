@@ -1,0 +1,5 @@
+//! Fixture: R2 wall-clock use outside the simulation clock.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,5 @@
+//! Fixture: blessed epoch module missing its monotonicity assertion.
+
+pub fn publish(epoch: u64) -> u64 {
+    epoch + 1
+}

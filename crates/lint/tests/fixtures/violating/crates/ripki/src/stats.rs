@@ -1,0 +1,5 @@
+//! Fixture: R4 print in a library crate.
+
+pub fn report(total: usize) {
+    println!("total: {total}");
+}

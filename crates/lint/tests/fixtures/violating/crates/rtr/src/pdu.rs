@@ -1,0 +1,8 @@
+//! Fixture: R1 panic-family macro in the PDU codec.
+
+pub fn decode(version: u8) -> u8 {
+    if version > 2 {
+        panic!("bad version");
+    }
+    version
+}

@@ -1,0 +1,9 @@
+//! Fixture: R1 violations on the serve request path.
+
+pub fn first(bytes: &[u8]) -> u8 {
+    bytes[0]
+}
+
+pub fn parse(input: Option<u8>) -> u8 {
+    input.unwrap()
+}

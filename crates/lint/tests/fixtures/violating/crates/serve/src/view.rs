@@ -1,0 +1,9 @@
+//! Fixture: R5 epoch write outside the engine.
+
+pub struct View {
+    pub epoch: u64,
+}
+
+pub fn regress(view: &mut View) {
+    view.epoch = 0;
+}

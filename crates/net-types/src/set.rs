@@ -354,7 +354,7 @@ mod tests {
     fn asn_set_from_asns_and_iter() {
         let s = AsnSet::from_asns([3, 1, 2, 10].map(Asn::new));
         assert_eq!(s.ranges(), &[r(1, 3), r(10, 10)]);
-        let all: Vec<u32> = s.iter().map(|a| a.value()).collect();
+        let all: Vec<u32> = s.iter().map(super::super::asn::Asn::value).collect();
         assert_eq!(all, vec![1, 2, 3, 10]);
     }
 

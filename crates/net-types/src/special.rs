@@ -214,8 +214,7 @@ impl SpecialRegistry {
     /// answer (special-purpose and not globally reachable).
     pub fn is_invalid_answer(&self, addr: IpAddr) -> bool {
         self.lookup(addr)
-            .map(|entry| !entry.globally_reachable)
-            .unwrap_or(false)
+            .is_some_and(|entry| !entry.globally_reachable)
     }
 }
 

@@ -678,7 +678,7 @@ mod tests {
                     .filter(|(pfx, _)| pfx.covers(&q))
                     .map(|(pfx, _)| *pfx)
                     .collect();
-                want.sort_by_key(|pfx| pfx.len());
+                want.sort_by_key(super::super::prefix::IpPrefix::len);
                 let got: Vec<IpPrefix> =
                     trie.covering(&q).into_iter().map(|(pfx, _)| pfx).collect();
                 assert_eq!(got, want, "covering mismatch for {q}");

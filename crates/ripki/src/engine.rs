@@ -176,12 +176,9 @@ impl WorldSnapshot {
         let mut m = NameMeasurement::default();
         let traced = resolver.resolve_cached_traced(name, &self.cache);
         let touched = traced.touched;
-        let resolution = match traced.outcome {
-            Ok(r) => r,
-            Err(_) => {
-                m.resolve_failed = true;
-                return (m, touched);
-            }
+        let Ok(resolution) = traced.outcome else {
+            m.resolve_failed = true;
+            return (m, touched);
         };
         m.cname_chain = resolution.cname_chain;
         m.dnssec_authenticated = resolution.authenticated;
@@ -1114,10 +1111,10 @@ mod tests {
         for event in &batch.events {
             match event {
                 WorldEvent::ZoneEdit { name, records } => {
-                    zd.set_records(name.clone(), records.clone())
+                    zd.set_records(name.clone(), records.clone());
                 }
                 WorldEvent::CnameRetarget { name, target } => {
-                    zd.set_cname(name.clone(), target.clone())
+                    zd.set_cname(name.clone(), target.clone());
                 }
                 WorldEvent::RibAnnounce(e) => rd.announce(e.clone()),
                 WorldEvent::RibWithdraw { prefix, peer } => rd.withdraw(*prefix, *peer),

@@ -148,8 +148,7 @@ impl PipelineConfig {
             self.threads
         } else {
             std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
+                .map_or(4, std::num::NonZero::get)
                 .clamp(1, 64)
         }
     }

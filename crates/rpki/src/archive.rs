@@ -40,11 +40,21 @@ pub enum ArchiveError {
     /// Filesystem failure.
     Io(io::Error),
     /// A file failed to decode.
-    Decode { path: String, detail: String },
+    Decode {
+        /// Path of the undecodable file.
+        path: String,
+        /// What the decoder objected to.
+        detail: String,
+    },
     /// A directory name was not a valid key id.
     BadKeyId(String),
     /// A publication point directory was missing a required file.
-    Missing { point: String, file: &'static str },
+    Missing {
+        /// The publication point directory.
+        point: String,
+        /// The file that should have been there.
+        file: &'static str,
+    },
 }
 
 impl fmt::Display for ArchiveError {
@@ -123,9 +133,9 @@ pub fn load(dir: &Path) -> Result<Repository, ArchiveError> {
     let tals = dir.join("tals");
     if tals.is_dir() {
         let mut names: Vec<_> = fs::read_dir(&tals)?
-            .filter_map(|e| e.ok())
+            .filter_map(std::result::Result::ok)
             .map(|e| e.path())
-            .filter(|p| p.extension().map(|x| x == "cer").unwrap_or(false))
+            .filter(|p| p.extension().is_some_and(|x| x == "cer"))
             .collect();
         names.sort();
         for cer_path in names {
@@ -140,9 +150,9 @@ pub fn load(dir: &Path) -> Result<Repository, ArchiveError> {
         }
     }
     let mut entries: Vec<_> = fs::read_dir(dir)?
-        .filter_map(|e| e.ok())
+        .filter_map(std::result::Result::ok)
         .map(|e| e.path())
-        .filter(|p| p.is_dir() && p.file_name().map(|n| n != "tals").unwrap_or(false))
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "tals"))
         .collect();
     entries.sort();
     for point_dir in entries {
@@ -176,7 +186,7 @@ pub fn load(dir: &Path) -> Result<Repository, ArchiveError> {
         let mut child_certs = Vec::new();
         let mut roas = Vec::new();
         let mut files: Vec<_> = fs::read_dir(&point_dir)?
-            .filter_map(|e| e.ok())
+            .filter_map(std::result::Result::ok)
             .map(|e| e.path())
             .collect();
         files.sort();
@@ -284,7 +294,7 @@ mod tests {
         // Two publication points (TA + ISP), named by key-id hex.
         let point_dirs: Vec<_> = fs::read_dir(&dir)
             .unwrap()
-            .filter_map(|e| e.ok())
+            .filter_map(std::result::Result::ok)
             .filter(|e| e.path().is_dir() && e.file_name() != "tals")
             .collect();
         assert_eq!(point_dirs.len(), 2);
@@ -302,12 +312,18 @@ mod tests {
         save(&repo, &dir).unwrap();
         // Flip one byte in every .roa file.
         let mut flipped = 0;
-        for entry in fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+        for entry in fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(std::result::Result::ok)
+        {
             if !entry.path().is_dir() || entry.file_name() == "tals" {
                 continue;
             }
-            for file in fs::read_dir(entry.path()).unwrap().filter_map(|e| e.ok()) {
-                if file.path().extension().map(|x| x == "roa").unwrap_or(false) {
+            for file in fs::read_dir(entry.path())
+                .unwrap()
+                .filter_map(std::result::Result::ok)
+            {
+                if file.path().extension().is_some_and(|x| x == "roa") {
                     let mut bytes = fs::read(file.path()).unwrap();
                     let last = bytes.len() - 1;
                     bytes[last] ^= 0xff;
@@ -337,7 +353,10 @@ mod tests {
         let repo = sample_repo();
         let dir = scratch();
         save(&repo, &dir).unwrap();
-        for entry in fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+        for entry in fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(std::result::Result::ok)
+        {
             if entry.path().is_dir() && entry.file_name() != "tals" {
                 fs::remove_file(entry.path().join("ca.crl")).unwrap();
             }

@@ -267,7 +267,7 @@ impl IncrementalValidator {
         let mut ca_fp = Fingerprint::new();
         ca_cert.fold_fingerprint(&mut ca_fp);
         let pp = repo.points.get(&ca_id);
-        let content_fp = pp.map(|p| p.quick_fingerprint());
+        let content_fp = pp.map(super::repo::PublicationPoint::quick_fingerprint);
 
         let prev_entry = prev.remove(&ca_id);
         let reusable = prev_entry.as_ref().is_some_and(|c| {

@@ -162,7 +162,12 @@ pub enum BuildError {
     /// Referenced CA does not exist.
     UnknownCa(KeyId),
     /// The requested resources are not encompassed by the parent's.
-    ResourcesExceedParent { parent: String, requested: String },
+    ResourcesExceedParent {
+        /// The parent's resource set.
+        parent: String,
+        /// The resources the child asked for.
+        requested: String,
+    },
     /// Key rollover is only modelled for leaf (childless, non-TA) CAs.
     RolloverUnsupported(KeyId),
 }

@@ -88,7 +88,7 @@ impl Roa {
         w.put_u32(0x02, self.prefixes.len() as u32);
         for rp in &self.prefixes {
             w.put_str(0x03, &rp.prefix.to_string());
-            w.put_u8(0x04, rp.max_length.map(|m| m + 1).unwrap_or(0));
+            w.put_u8(0x04, rp.max_length.map_or(0, |m| m + 1));
         }
         w.finish().to_vec()
     }

@@ -441,6 +441,8 @@ impl CacheServer {
 }
 
 #[cfg(test)]
+// Tests may panic freely; the `unwrap_used` deny targets the PDU codec.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ripki_net::Asn;

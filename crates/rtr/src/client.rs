@@ -318,6 +318,8 @@ impl<S: Read + Write> Client<S> {
 }
 
 #[cfg(test)]
+// Tests may panic freely; the `unwrap_used` deny targets the PDU codec.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cache::CacheServer;
@@ -435,7 +437,7 @@ mod tests {
         let (mut client, _h) = connect(cache);
         match client.sync() {
             Err(ClientError::CacheError { code, .. }) => {
-                assert_eq!(code, ErrorCode::NoDataAvailable)
+                assert_eq!(code, ErrorCode::NoDataAvailable);
             }
             other => panic!("unexpected {other:?}"),
         }

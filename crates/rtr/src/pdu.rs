@@ -179,7 +179,12 @@ pub enum PduError {
     UnknownType(u8),
     /// Header length field disagrees with the type's required size or
     /// exceeds [`MAX_PDU_LEN`].
-    BadLength { pdu_type: u8, length: u32 },
+    BadLength {
+        /// Type byte of the offending PDU.
+        pdu_type: u8,
+        /// The length the header claimed.
+        length: u32,
+    },
     /// Reserved fields had non-zero content or enum fields were invalid.
     Malformed(&'static str),
     /// I/O failure underneath (message carries `io::Error` text).
@@ -291,23 +296,25 @@ impl Pdu {
     /// Decode one PDU from the front of `buf`. Returns the PDU and the
     /// number of bytes consumed, or `Ok(None)` if more bytes are needed.
     pub fn decode(buf: &[u8]) -> Result<Option<(Pdu, usize)>, PduError> {
-        if buf.len() < HEADER_LEN {
+        // The slice pattern both proves the bounds and names the whole
+        // fixed header at once — no indexing, no panic path.
+        let &[version, pdu_type, s0, s1, l0, l1, l2, l3, ..] = buf else {
             return Ok(None);
-        }
-        let version = buf[0];
+        };
         if version != PROTOCOL_VERSION {
             return Err(PduError::BadVersion(version));
         }
-        let pdu_type = buf[1];
-        let session = u16::from_be_bytes([buf[2], buf[3]]);
-        let length = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        let session = u16::from_be_bytes([s0, s1]);
+        let length = u32::from_be_bytes([l0, l1, l2, l3]);
         if (length as usize) < HEADER_LEN || length as usize > MAX_PDU_LEN {
             return Err(PduError::BadLength { pdu_type, length });
         }
         if buf.len() < length as usize {
             return Ok(None);
         }
-        let mut body = &buf[HEADER_LEN..length as usize];
+        let Some(mut body) = buf.get(HEADER_LEN..length as usize) else {
+            return Ok(None); // unreachable: length bounds checked above
+        };
         let expect_len = |want: usize| -> Result<(), PduError> {
             if length as usize == HEADER_LEN + want {
                 Ok(())
@@ -403,16 +410,22 @@ impl Pdu {
                     return Err(PduError::BadLength { pdu_type, length });
                 }
                 let pdu_len = body.get_u32() as usize;
+                let erroneous_pdu = body
+                    .get(..pdu_len)
+                    .ok_or(PduError::BadLength { pdu_type, length })?
+                    .to_vec();
                 if body.remaining() < pdu_len + 4 {
                     return Err(PduError::BadLength { pdu_type, length });
                 }
-                let erroneous_pdu = body[..pdu_len].to_vec();
                 body.advance(pdu_len);
                 let text_len = body.get_u32() as usize;
                 if body.remaining() != text_len {
                     return Err(PduError::BadLength { pdu_type, length });
                 }
-                let text = String::from_utf8_lossy(&body[..text_len]).into_owned();
+                let text = body
+                    .get(..text_len)
+                    .map(|raw| String::from_utf8_lossy(raw).into_owned())
+                    .ok_or(PduError::BadLength { pdu_type, length })?;
                 let code = ErrorCode::from_code(session)
                     .ok_or(PduError::Malformed("unknown error code"))?;
                 Pdu::ErrorReport {
@@ -445,13 +458,15 @@ pub fn read_pdu<R: std::io::Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<Pdu, P
                 if n == 0 {
                     return Err(PduError::Io("connection closed mid-PDU".into()));
                 }
-                buf.extend_from_slice(&chunk[..n]);
+                buf.extend_from_slice(chunk.get(..n).unwrap_or(&chunk));
             }
         }
     }
 }
 
 #[cfg(test)]
+// Tests may panic freely; the `unwrap_used` deny targets the PDU codec.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,8 @@
 //! Serial Notify over real TCP: the cache pushes when new data lands;
 //! the router absorbs the notify and pulls the delta.
+// Tests may panic freely; the crate's `unwrap_used` deny targets the
+// PDU codec and serving path.
+#![allow(clippy::unwrap_used)]
 
 use ripki_bgp::rov::VrpTriple;
 use ripki_net::Asn;

@@ -1,8 +1,10 @@
-//! Shared fixtures: a scenario-backed server and a raw TCP client.
+//! Shared fixtures for `ripki-serve` integration tests: a
+//! scenario-backed server and a raw TCP HTTP client.
 //!
-//! Each integration-test binary compiles its own copy and uses a
-//! different subset of the helpers, so unused-item lints don't apply.
-#![allow(dead_code)]
+//! A dev-dependency crate instead of a `tests/common` module so each
+//! test binary can use its own subset of the helpers without blanket
+//! `#![allow(dead_code)]` — unused `pub` items in a library are not
+//! dead code.
 
 use ripki::engine::StudyEngine;
 use ripki::exposure::ExposureConfig;
@@ -16,8 +18,11 @@ use std::time::Duration;
 
 /// A small measured world with its engine and a running server.
 pub struct Fixture {
+    /// The generated world.
     pub scenario: Scenario,
+    /// The engine measuring it.
     pub engine: StudyEngine,
+    /// A server answering for the measured epoch.
     pub server: Server,
 }
 
@@ -63,8 +68,11 @@ pub fn serve_scenario(domains: usize, seed: u64) -> Fixture {
 
 /// One response: status code, headers and body.
 pub struct Reply {
+    /// HTTP status code.
     pub status: u16,
+    /// Lower-cased header names with their values.
     pub headers: Vec<(String, String)>,
+    /// The response body.
     pub body: String,
 }
 
@@ -91,6 +99,70 @@ pub fn get(addr: SocketAddr, path: &str) -> Reply {
         addr,
         &format!("GET {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\r\n"),
     )
+}
+
+/// Send each request in turn over ONE connection, reading one
+/// `Content-Length`-framed response after each. Stops early — returning
+/// the replies collected so far — when the server closes the
+/// connection, which is how tests observe keep-alive being honoured or
+/// withdrawn.
+pub fn keep_alive_session(addr: SocketAddr, requests: &[String]) -> Vec<Reply> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut replies = Vec::new();
+    let mut pending: Vec<u8> = Vec::new();
+    for request in requests {
+        if stream.write_all(request.as_bytes()).is_err() {
+            break;
+        }
+        let Some(reply) = read_framed_response(&mut stream, &mut pending) else {
+            break;
+        };
+        replies.push(reply);
+    }
+    replies
+}
+
+/// Read exactly one response (head + `Content-Length` bytes of body)
+/// from the stream, leaving any pipelined surplus in `pending`. `None`
+/// on EOF or socket error before a full response arrived.
+fn read_framed_response(stream: &mut TcpStream, pending: &mut Vec<u8>) -> Option<Reply> {
+    let head_end = loop {
+        if let Some(pos) = pending.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if !fill(stream, pending) {
+            return None;
+        }
+    };
+    let head = String::from_utf8_lossy(&pending[..head_end]).to_string();
+    let content_length: usize = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0);
+    while pending.len() < head_end + content_length {
+        if !fill(stream, pending) {
+            return None;
+        }
+    }
+    let raw = String::from_utf8_lossy(&pending[..head_end + content_length]).to_string();
+    pending.drain(..head_end + content_length);
+    Some(parse_response(&raw))
+}
+
+fn fill(stream: &mut TcpStream, pending: &mut Vec<u8>) -> bool {
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) | Err(_) => false,
+        Ok(n) => {
+            pending.extend_from_slice(&chunk[..n]);
+            true
+        }
+    }
 }
 
 /// Write arbitrary bytes, read the full response.

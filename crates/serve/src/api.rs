@@ -11,7 +11,6 @@
 //! so existing RPKI tooling can point at the reproduction unchanged.
 
 use crate::view::EpochView;
-use ripki::exposure::exposure_curve;
 use ripki::pipeline::NameMeasurement;
 use ripki_bgp::rov::{RpkiState, ValidityDetail, VrpTriple};
 use ripki_net::{Asn, IpPrefix};
@@ -161,7 +160,7 @@ fn name_measurement_value(view: &EpochView, m: &NameMeasurement) -> Value {
 /// `GET /api/v1/domain/{name}` — the stored measurement of one ranked
 /// domain plus its hijack exposure, or `None` for unmeasured names.
 pub fn domain(view: &EpochView, name: &ripki_dns::DomainName) -> Option<Value> {
-    let d = view.domain(name)?;
+    let (index, d) = view.domain_entry(name)?;
     let mut root = Map::new();
     root.insert("epoch".into(), view.epoch().into());
     root.insert("rank".into(), d.rank.into());
@@ -169,25 +168,16 @@ pub fn domain(view: &EpochView, name: &ripki_dns::DomainName) -> Option<Value> {
     root.insert("www".into(), name_measurement_value(view, &d.www));
     root.insert("bare".into(), name_measurement_value(view, &d.bare));
     root.insert("equal_prefixes".into(), d.equal_prefixes().into());
-    let exposure = match view.topology() {
-        Some(topology) => {
-            let cfg = ripki::exposure::ExposureConfig {
-                stride: 1,
-                ..view.exposure_config().clone()
-            };
-            let one = std::slice::from_ref(d);
-            match exposure_curve(one, topology, view.snapshot().validator(), &cfg).first() {
-                Some(e) => {
-                    let mut obj = Map::new();
-                    obj.insert("capture_rate".into(), e.capture_rate.into());
-                    obj.insert("fully_covered".into(), e.fully_covered.into());
-                    Value::Object(obj)
-                }
-                // Measured but not simulable (no usable pair, or the
-                // origin AS is outside the topology).
-                None => Value::Null,
-            }
+    // The hijack simulation behind this value is the endpoint's only
+    // expensive step, so the view memoizes it per (epoch, domain).
+    let exposure = match view.exposure(index) {
+        Some((capture_rate, fully_covered)) => {
+            let mut obj = Map::new();
+            obj.insert("capture_rate".into(), capture_rate.into());
+            obj.insert("fully_covered".into(), fully_covered.into());
+            Value::Object(obj)
         }
+        // No topology, or measured but not simulable.
         None => Value::Null,
     };
     root.insert("exposure".into(), exposure);

@@ -60,10 +60,10 @@ impl HttpError {
     }
 }
 
-/// A parsed request head. Bodies are not read: every endpoint of the
-/// query plane is a GET, so any body is a protocol error handled by the
-/// router (the parser still reports `content-length`/`transfer-encoding`
-/// headers so the server can refuse them).
+/// A parsed request head. Bodies are never *used*: every endpoint of
+/// the query plane is a GET. Small announced bodies are read and
+/// discarded ([`drain_body`]) so the connection stays reusable; chunked
+/// or oversized ones close it (see [`body_disposition`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Upper-cased method token (`GET`, `POST`, …).
@@ -118,7 +118,10 @@ pub fn parse_head(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
     if head_len > MAX_HEAD_BYTES {
         return Err(HttpError::HeadTooLarge);
     }
-    let head = &buf[..head_len - 4]; // strip the CRLFCRLF
+    // Strip the CRLFCRLF; `find_head_end` guarantees both bounds.
+    let Some(head) = head_len.checked_sub(4).and_then(|n| buf.get(..n)) else {
+        return Err(HttpError::Malformed("impossible head bounds"));
+    };
     let mut lines = head
         .split(|&b| b == b'\n')
         .map(|l| l.strip_suffix(b"\r").unwrap_or(l));
@@ -150,7 +153,7 @@ pub fn parse_head(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
         if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
             return Err(HttpError::Malformed("invalid header name"));
         }
-        let value = &rest[1..];
+        let value = rest.get(1..).unwrap_or_default();
         if value.iter().any(|&b| b < 0x20 && b != b'\t') {
             return Err(HttpError::Malformed("control byte in header value"));
         }
@@ -174,7 +177,8 @@ pub fn parse_head(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
 /// further than the head cap plus slack for the terminator itself.
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     let window = buf.len().min(MAX_HEAD_BYTES + 4);
-    buf[..window]
+    buf.get(..window)
+        .unwrap_or(buf)
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
         .map(|i| i + 4)
@@ -210,7 +214,10 @@ fn parse_target(target: &[u8]) -> Result<(String, Vec<(String, String)>), HttpEr
         return Err(HttpError::Malformed("request target must be origin-form"));
     }
     let (raw_path, raw_query) = match target.iter().position(|&b| b == b'?') {
-        Some(i) => (&target[..i], Some(&target[i + 1..])),
+        Some(i) => {
+            let (path, rest) = target.split_at(i);
+            (path, rest.get(1..))
+        }
         None => (target, None),
     };
     let path = percent_decode(raw_path, false)?;
@@ -220,10 +227,9 @@ fn parse_target(target: &[u8]) -> Result<(String, Vec<(String, String)>), HttpEr
     let mut query = Vec::new();
     if let Some(raw) = raw_query {
         for pair in raw.split(|&b| b == b'&').filter(|p| !p.is_empty()) {
-            let (k, v) = match pair.iter().position(|&b| b == b'=') {
-                Some(i) => (&pair[..i], &pair[i + 1..]),
-                None => (pair, &[][..]),
-            };
+            let eq = pair.iter().position(|&b| b == b'=').unwrap_or(pair.len());
+            let (k, rest) = pair.split_at(eq);
+            let v = rest.get(1..).unwrap_or_default();
             query.push((percent_decode(k, true)?, percent_decode(v, true)?));
         }
     }
@@ -234,8 +240,8 @@ fn parse_target(target: &[u8]) -> Result<(String, Vec<(String, String)>), HttpEr
 fn percent_decode(raw: &[u8], plus_is_space: bool) -> Result<String, HttpError> {
     let mut out = Vec::with_capacity(raw.len());
     let mut i = 0;
-    while i < raw.len() {
-        match raw[i] {
+    while let Some(&byte) = raw.get(i) {
+        match byte {
             b'%' => {
                 let hi = raw.get(i + 1).and_then(|b| (*b as char).to_digit(16));
                 let lo = raw.get(i + 2).and_then(|b| (*b as char).to_digit(16));
@@ -288,8 +294,78 @@ pub fn read_request<R: Read>(
             }
             return Ok(Err(HttpError::Malformed("connection closed mid-request")));
         }
-        buf.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(chunk.get(..n).unwrap_or(&chunk));
     }
+}
+
+/// Largest announced request body the server will read and discard to
+/// keep the connection alive; anything larger (or chunked) costs the
+/// connection instead of worker time.
+pub const MAX_DRAIN_BODY_BYTES: usize = 8 * 1024;
+
+/// What to do with a request body none of the endpoints ever read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyDisposition {
+    /// No body announced — nothing to do.
+    None,
+    /// Small fixed-length body: read and discard these many bytes, then
+    /// the connection is reusable.
+    Drain(usize),
+    /// Chunked, oversized, or malformed framing: answer and close.
+    Close,
+}
+
+/// Classify the request's body framing for [`drain_body`].
+///
+/// `Content-Length` is parsed strictly (digits only, all occurrences
+/// must agree) — anything questionable closes the connection rather
+/// than risking request smuggling on a reused stream.
+pub fn body_disposition(request: &Request) -> BodyDisposition {
+    if request.header("transfer-encoding").is_some() {
+        return BodyDisposition::Close;
+    }
+    let mut lengths = request
+        .headers
+        .iter()
+        .filter(|(name, _)| name == "content-length")
+        .map(|(_, value)| value.as_str());
+    let Some(first) = lengths.next() else {
+        return BodyDisposition::None;
+    };
+    if lengths.any(|other| other != first) {
+        return BodyDisposition::Close;
+    }
+    let strict = !first.is_empty() && first.bytes().all(|b| b.is_ascii_digit());
+    match (strict, first.parse::<usize>()) {
+        (true, Ok(0)) => BodyDisposition::None,
+        (true, Ok(n)) if n <= MAX_DRAIN_BODY_BYTES => BodyDisposition::Drain(n),
+        _ => BodyDisposition::Close,
+    }
+}
+
+/// Read and discard `len` body bytes, consuming pipelined bytes already
+/// sitting in `buf` first. An early EOF is an error — the next parse
+/// would otherwise misframe whatever arrived.
+pub fn drain_body<R: Read>(stream: &mut R, buf: &mut Vec<u8>, len: usize) -> io::Result<()> {
+    let buffered = buf.len().min(len);
+    buf.drain(..buffered);
+    let mut remaining = len - buffered;
+    let mut chunk = [0u8; 4096];
+    while remaining > 0 {
+        let want = remaining.min(chunk.len());
+        let n = match chunk.get_mut(..want) {
+            Some(window) => stream.read(window)?,
+            None => stream.read(&mut chunk)?,
+        };
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer closed mid-body",
+            ));
+        }
+        remaining = remaining.saturating_sub(n);
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------- response
@@ -324,7 +400,11 @@ pub struct Response {
 impl Response {
     /// A JSON response from a value tree.
     pub fn json(status: u16, value: &serde_json::Value) -> Response {
-        let mut text = serde_json::to_string(value).expect("value tree serializes");
+        // Serialising an in-memory value tree cannot fail in practice;
+        // if it ever does, degrade to a well-formed error payload
+        // instead of panicking inside a request handler.
+        let mut text = serde_json::to_string(value)
+            .unwrap_or_else(|_| r#"{"error":"response serialization failed"}"#.to_string());
         text.push('\n');
         Response {
             status,
@@ -431,6 +511,8 @@ pub fn status_reason(status: u16) -> &'static str {
 }
 
 #[cfg(test)]
+// Tests may panic freely; the `unwrap_used` deny targets the request path.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

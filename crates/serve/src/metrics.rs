@@ -15,6 +15,21 @@ pub const BUCKET_BOUNDS_MICROS: [u64; 10] = [
     100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000, 1_000_000,
 ];
 
+// Every metric cell is an independent statistic: no other memory is
+// published through these atomics and scrapes tolerate being a few
+// updates behind, so `Relaxed` is sufficient for all of them. Routing
+// every access through these two helpers keeps that argument (and the
+// ordering choice) in exactly one place.
+fn bump(cell: &AtomicU64, by: u64) {
+    // Relaxed: independent statistic, see the policy note above.
+    cell.fetch_add(by, Ordering::Relaxed);
+}
+
+fn read(cell: &AtomicU64) -> u64 {
+    // Relaxed: independent statistic, see the policy note above.
+    cell.load(Ordering::Relaxed)
+}
+
 /// A fixed-bucket latency histogram.
 #[derive(Default)]
 pub struct Histogram {
@@ -29,34 +44,30 @@ impl Histogram {
         let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
         for (bound, bucket) in BUCKET_BOUNDS_MICROS.iter().zip(&self.buckets) {
             if micros <= *bound {
-                bucket.fetch_add(1, Ordering::Relaxed);
+                bump(bucket, 1);
             }
         }
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        bump(&self.count, 1);
+        bump(&self.sum_micros, micros);
     }
 
     /// Total observations.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        read(&self.count)
     }
 
     fn render(&self, out: &mut String, name: &str, labels: &str) {
         use std::fmt::Write;
         for (bound, bucket) in BUCKET_BOUNDS_MICROS.iter().zip(&self.buckets) {
             let le = *bound as f64 / 1e6;
-            let _ = writeln!(
-                out,
-                "{name}_bucket{{{labels}le=\"{le}\"}} {}",
-                bucket.load(Ordering::Relaxed)
-            );
+            let _ = writeln!(out, "{name}_bucket{{{labels}le=\"{le}\"}} {}", read(bucket));
         }
-        let count = self.count.load(Ordering::Relaxed);
+        let count = read(&self.count);
         let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {count}");
         let _ = writeln!(
             out,
             "{name}_sum{{{labels}}} {}",
-            self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+            read(&self.sum_micros) as f64 / 1e6
         );
         let _ = writeln!(out, "{name}_count{{{labels}}} {count}");
     }
@@ -144,6 +155,9 @@ impl Metrics {
     /// Fresh metrics; uptime counts from here.
     pub fn new() -> Metrics {
         Metrics {
+            // lint: allow(wall-clock) uptime baseline — Instant is the
+            // monotonic clock this gauge is defined against, and the
+            // injected study clock has no notion of process start.
             started: Instant::now(),
             endpoints: Default::default(),
             connections: AtomicU64::new(0),
@@ -151,32 +165,36 @@ impl Metrics {
         }
     }
 
+    fn stats(&self, endpoint: Endpoint) -> &EndpointStats {
+        // lint: allow(no-panic) Endpoint::index enumerates 0..ALL.len()
+        // and the array is sized by ALL.len(), so the bound holds by
+        // construction.
+        &self.endpoints[endpoint.index()]
+    }
+
     /// Account one handled request (any status).
     pub fn record(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
-        let stats = &self.endpoints[endpoint.index()];
-        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let stats = self.stats(endpoint);
+        bump(&stats.requests, 1);
         if status >= 400 {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
+            bump(&stats.errors, 1);
         }
         stats.latency.observe(elapsed);
     }
 
     /// Account one accepted connection.
     pub fn connection_opened(&self) {
-        self.connections.fetch_add(1, Ordering::Relaxed);
+        bump(&self.connections, 1);
     }
 
     /// Account one connection turned away by the full queue (503).
     pub fn connection_rejected(&self) {
-        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+        bump(&self.connections_rejected, 1);
     }
 
     /// Total requests across all endpoints.
     pub fn total_requests(&self) -> u64 {
-        self.endpoints
-            .iter()
-            .map(|s| s.requests.load(Ordering::Relaxed))
-            .sum()
+        self.endpoints.iter().map(|s| read(&s.requests)).sum()
     }
 
     /// Seconds since the metrics were created.
@@ -220,7 +238,7 @@ impl Metrics {
         let _ = writeln!(
             out,
             "ripki_http_connections_total {}",
-            self.connections.load(Ordering::Relaxed)
+            read(&self.connections)
         );
         let _ = writeln!(
             out,
@@ -230,7 +248,7 @@ impl Metrics {
         let _ = writeln!(
             out,
             "ripki_http_connections_rejected_total {}",
-            self.connections_rejected.load(Ordering::Relaxed)
+            read(&self.connections_rejected)
         );
         let _ = writeln!(
             out,
@@ -242,9 +260,7 @@ impl Metrics {
                 out,
                 "ripki_http_requests_total{{endpoint=\"{}\"}} {}",
                 endpoint.label(),
-                self.endpoints[endpoint.index()]
-                    .requests
-                    .load(Ordering::Relaxed)
+                read(&self.stats(endpoint).requests)
             );
         }
         let _ = writeln!(
@@ -257,9 +273,7 @@ impl Metrics {
                 out,
                 "ripki_http_errors_total{{endpoint=\"{}\"}} {}",
                 endpoint.label(),
-                self.endpoints[endpoint.index()]
-                    .errors
-                    .load(Ordering::Relaxed)
+                read(&self.stats(endpoint).errors)
             );
         }
         let _ = writeln!(
@@ -269,7 +283,7 @@ impl Metrics {
         let _ = writeln!(out, "# TYPE ripki_http_request_duration_seconds histogram");
         for endpoint in Endpoint::ALL {
             let labels = format!("endpoint=\"{}\",", endpoint.label());
-            self.endpoints[endpoint.index()].latency.render(
+            self.stats(endpoint).latency.render(
                 &mut out,
                 "ripki_http_request_duration_seconds",
                 &labels,
@@ -280,6 +294,8 @@ impl Metrics {
 }
 
 #[cfg(test)]
+// Tests may panic freely; the `unwrap_used` deny targets the request path.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -7,6 +7,7 @@
 //! instead of queueing unbounded work — the load-shedding half of the
 //! server's hardening story.
 
+use std::io;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -22,32 +23,44 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Spawn `workers` threads sharing a queue of at most `queue_depth`
     /// pending jobs (beyond the ones already executing).
-    pub fn new(workers: usize, queue_depth: usize) -> ThreadPool {
+    ///
+    /// Fails if the OS refuses to spawn a worker thread; threads spawned
+    /// before the failure are shut down before the error is returned.
+    pub fn new(workers: usize, queue_depth: usize) -> io::Result<ThreadPool> {
         let workers = workers.max(1);
         let (sender, receiver) = sync_channel::<Job>(queue_depth);
         let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..workers)
-            .map(|i| {
-                let receiver = Arc::clone(&receiver);
-                std::thread::Builder::new()
-                    .name(format!("ripki-serve-worker-{i}"))
-                    .spawn(move || worker_loop(receiver))
-                    .expect("spawn pool worker")
-            })
-            .collect();
-        ThreadPool {
-            sender: Some(sender),
-            workers,
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let receiver = Arc::clone(&receiver);
+            let spawned = std::thread::Builder::new()
+                .name(format!("ripki-serve-worker-{i}"))
+                .spawn(move || worker_loop(receiver));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Drop the sender so the partial pool drains and
+                    // exits before we report the failure.
+                    drop(sender);
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
         }
+        Ok(ThreadPool {
+            sender: Some(sender),
+            workers: handles,
+        })
     }
 
     /// Submit a job without blocking. `Err` means the queue is full (or
     /// the pool is shutting down) and the job was *not* accepted — the
     /// caller keeps ownership via the returned closure.
     pub fn try_execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), Job> {
-        let sender = match &self.sender {
-            Some(s) => s,
-            None => return Err(Box::new(job)),
+        let Some(sender) = &self.sender else {
+            return Err(Box::new(job));
         };
         sender.try_send(Box::new(job)).map_err(|e| match e {
             TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
@@ -72,7 +85,13 @@ impl Drop for ThreadPool {
 fn worker_loop(receiver: Arc<Mutex<Receiver<Job>>>) {
     loop {
         let job = {
-            let guard = receiver.lock().expect("pool receiver poisoned");
+            // Jobs run *outside* this guard, so a panicking job cannot
+            // poison the lock; if `recv` itself ever panicked, the
+            // channel is still structurally sound — recover and keep
+            // the remaining workers alive.
+            let guard = receiver
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             guard.recv()
         };
         match job {
@@ -83,6 +102,8 @@ fn worker_loop(receiver: Arc<Mutex<Receiver<Job>>>) {
 }
 
 #[cfg(test)]
+// Tests may panic freely; the `unwrap_used` deny targets the request path.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -91,7 +112,7 @@ mod tests {
     #[test]
     fn executes_submitted_jobs() {
         let counter = Arc::new(AtomicUsize::new(0));
-        let mut pool = ThreadPool::new(4, 16);
+        let mut pool = ThreadPool::new(4, 16).expect("spawn pool");
         for _ in 0..32 {
             loop {
                 let counter = Arc::clone(&counter);
@@ -112,7 +133,7 @@ mod tests {
 
     #[test]
     fn full_queue_rejects_without_blocking() {
-        let pool = ThreadPool::new(1, 1);
+        let pool = ThreadPool::new(1, 1).expect("spawn pool");
         // Occupy the single worker, then fill the single queue slot.
         let (release_tx, release_rx) = channel::<()>();
         let (started_tx, started_rx) = channel::<()>();
@@ -134,7 +155,7 @@ mod tests {
     #[test]
     fn shutdown_drains_pending_jobs() {
         let counter = Arc::new(AtomicUsize::new(0));
-        let mut pool = ThreadPool::new(1, 8);
+        let mut pool = ThreadPool::new(1, 8).expect("spawn pool");
         for _ in 0..4 {
             let counter = Arc::clone(&counter);
             while pool

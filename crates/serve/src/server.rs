@@ -8,7 +8,9 @@
 //! many publishes land while it runs.
 
 use crate::api;
-use crate::http::{read_request, Body, Request, Response};
+use crate::http::{
+    body_disposition, drain_body, read_request, Body, BodyDisposition, Request, Response,
+};
 use crate::metrics::{Endpoint, Metrics};
 use crate::pool::ThreadPool;
 use crate::view::SharedView;
@@ -67,6 +69,9 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // Build the pool here so a thread-spawn failure surfaces as an
+        // `Err` from `start` instead of a panic inside the acceptor.
+        let pool = ThreadPool::new(config.workers, config.queue_depth)?;
         let metrics = Arc::new(Metrics::new());
         let shutdown = Arc::new(AtomicBool::new(false));
         let acceptor = {
@@ -76,7 +81,7 @@ impl Server {
             let config = config.clone();
             std::thread::Builder::new()
                 .name("ripki-serve-accept".into())
-                .spawn(move || accept_loop(listener, view, metrics, shutdown, config))?
+                .spawn(move || accept_loop(listener, pool, view, metrics, shutdown, config))?
         };
         Ok(Server {
             addr,
@@ -124,12 +129,12 @@ impl Drop for Server {
 
 fn accept_loop(
     listener: TcpListener,
+    mut pool: ThreadPool,
     view: Arc<SharedView>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
 ) {
-    let mut pool = ThreadPool::new(config.workers, config.queue_depth);
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -182,6 +187,9 @@ fn handle_connection(
             Ok(Ok(Some(request))) => request,
             Ok(Ok(None)) => return, // clean close between requests
             Ok(Err(e)) => {
+                // lint: allow(wall-clock) request-latency measurement —
+                // Instant is the right clock for elapsed time and the
+                // injected study clock does not tick in real time.
                 let started = Instant::now();
                 let response = Response::from_http_error(&e);
                 metrics.record(Endpoint::Other, response.status, started.elapsed());
@@ -190,18 +198,24 @@ fn handle_connection(
             }
             Err(_) => return, // socket error / read timeout
         };
-        // Bodies are never read (every endpoint is a GET), so a request
-        // that announces one must close the connection — otherwise its
-        // unread body would be parsed as the next pipelined request.
-        let keep_alive = request.keep_alive()
-            && request.header("content-length").is_none()
-            && request.header("transfer-encoding").is_none();
+        // No endpoint reads bodies (everything is a GET), but closing
+        // on every announced body wastes connections: small ones are
+        // drained off the stream so the next pipelined request parses
+        // cleanly; chunked or oversized ones still cost the connection.
+        let disposition = body_disposition(&request);
+        let keep_alive = request.keep_alive() && disposition != BodyDisposition::Close;
+        if let BodyDisposition::Drain(len) = disposition {
+            if drain_body(&mut stream, &mut buf, len).is_err() {
+                return; // peer vanished mid-body; nothing to answer
+            }
+        }
+        // lint: allow(wall-clock) request-latency measurement — see the
+        // justification on the error path above.
         let started = Instant::now();
         let (endpoint, response) = route(view, metrics, &request);
         metrics.record(endpoint, response.status, started.elapsed());
-        match response.write_to(&mut stream, keep_alive) {
-            Ok(true) => continue,
-            _ => return,
+        if !matches!(response.write_to(&mut stream, keep_alive), Ok(true)) {
+            return;
         }
     }
 }

@@ -10,12 +10,12 @@
 //! `tests/concurrent_epoch.rs` hammers it under live churn.
 
 use ripki::engine::WorldSnapshot;
-use ripki::exposure::ExposureConfig;
+use ripki::exposure::{exposure_curve, ExposureConfig};
 use ripki::pipeline::{DomainMeasurement, StudyResults};
 use ripki_bgp::topology::Topology;
 use ripki_dns::DomainName;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One epoch of the world, packaged for serving.
 pub struct EpochView {
@@ -24,6 +24,7 @@ pub struct EpochView {
     by_name: HashMap<DomainName, usize>,
     topology: Option<Arc<Topology>>,
     exposure: ExposureConfig,
+    exposure_memo: Mutex<HashMap<usize, Option<(f64, bool)>>>,
 }
 
 impl EpochView {
@@ -58,6 +59,7 @@ impl EpochView {
             by_name,
             topology,
             exposure,
+            exposure_memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -78,10 +80,70 @@ impl EpochView {
 
     /// Look up a measured domain by either name form.
     pub fn domain(&self, name: &DomainName) -> Option<&DomainMeasurement> {
-        self.by_name
+        self.domain_entry(name).map(|(_, d)| d)
+    }
+
+    /// Like [`EpochView::domain`], but also yields the domain's index in
+    /// `results().domains` — the key the exposure memo is filed under.
+    pub fn domain_entry(&self, name: &DomainName) -> Option<(usize, &DomainMeasurement)> {
+        let &i = self
+            .by_name
             .get(name)
-            .or_else(|| self.by_name.get(&name.without_www()))
-            .map(|&i| &self.results.domains[i])
+            .or_else(|| self.by_name.get(&name.without_www()))?;
+        Some((i, self.results.domains.get(i)?))
+    }
+
+    /// Hijack exposure `(capture_rate, fully_covered)` for the measured
+    /// domain at `index`, or `None` when the view has no topology or the
+    /// domain is not simulable (no usable pair, or its origin AS lies
+    /// outside the topology).
+    ///
+    /// Memoized per epoch: the view is immutable, so the first request
+    /// for a domain pays for the BGP hijack simulation and every repeat
+    /// within the epoch is a map hit. The simulation itself runs outside
+    /// the memo lock — a slow first computation never blocks lookups for
+    /// other domains; two racing requests at worst both compute the same
+    /// deterministic value.
+    pub fn exposure(&self, index: usize) -> Option<(f64, bool)> {
+        let topology = self.topology.as_deref()?;
+        if let Some(hit) = self.memo_get(index) {
+            return hit;
+        }
+        let domain = self.results.domains.get(index)?;
+        let cfg = ExposureConfig {
+            stride: 1,
+            ..self.exposure.clone()
+        };
+        let computed = exposure_curve(
+            std::slice::from_ref(domain),
+            topology,
+            self.snapshot.validator(),
+            &cfg,
+        )
+        .first()
+        .map(|e| (e.capture_rate, e.fully_covered));
+        self.memo_put(index, computed);
+        computed
+    }
+
+    fn memo_get(&self, index: usize) -> Option<Option<(f64, bool)>> {
+        // Poison recovery: the memo caches pure-function results keyed
+        // by index, so a panicked holder cannot have left a wrong or
+        // torn value behind.
+        let memo = self
+            .exposure_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        memo.get(&index).copied()
+    }
+
+    fn memo_put(&self, index: usize, value: Option<(f64, bool)>) {
+        // Poison recovery: see `memo_get`.
+        let mut memo = self
+            .exposure_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        memo.insert(index, value);
     }
 
     /// The AS topology for exposure simulation, when the operator
@@ -114,14 +176,28 @@ impl SharedView {
     /// `Arc` pins that epoch for the whole request even if a publish
     /// lands mid-handler.
     pub fn current(&self) -> Arc<EpochView> {
-        Arc::clone(&self.inner.read().expect("view lock poisoned"))
+        // A poisoned lock only means some thread panicked while holding
+        // it; the guarded value is a whole `Arc` that is never left
+        // half-swapped, so recovering the guard is always safe and
+        // beats cascading the panic into every request thread.
+        let guard = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(&guard)
     }
 
     /// Atomically replace the served view. Epochs must move forward;
     /// publishing a stale view would silently answer queries from the
     /// past.
     pub fn publish(&self, view: EpochView) {
-        let mut guard = self.inner.write().expect("view lock poisoned");
+        // Poison recovery: see `current` — the Arc swap below is atomic
+        // from the reader's perspective, so a previously panicked holder
+        // cannot have left torn state behind.
+        let mut guard = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         assert!(
             view.epoch() > guard.epoch(),
             "publish must advance the epoch ({} -> {})",

@@ -1,0 +1,79 @@
+//! The connection-reuse contract for requests that announce bodies: no
+//! endpoint reads one, but a small body is drained off the stream so
+//! keep-alive survives, while an oversized or chunked body still costs
+//! the connection (draining it would let a peer pin a worker with an
+//! arbitrarily long upload).
+
+use ripki_serve_testutil::{keep_alive_session, serve_scenario};
+
+fn post_with_body(body: &str) -> String {
+    format!(
+        "POST /status HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+}
+
+const FOLLOW_UP: &str = "GET /status HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\r\n";
+
+#[test]
+fn small_body_is_drained_and_the_connection_survives() {
+    let fx = serve_scenario(40, 7);
+    let body = "x".repeat(512);
+    let replies = keep_alive_session(
+        fx.server.addr(),
+        &[post_with_body(&body), FOLLOW_UP.to_string()],
+    );
+    assert_eq!(
+        replies.len(),
+        2,
+        "drained body must not cost the connection"
+    );
+    // The POST itself is refused (the API is read-only)…
+    assert_eq!(replies[0].status, 405);
+    // …but the follow-up on the same connection is served normally,
+    // which is only possible if the 512 bytes were consumed: otherwise
+    // they would be parsed as a garbage request line.
+    assert_eq!(replies[1].status, 200, "{}", replies[1].body);
+    assert!(replies[1].body.contains("\"epoch\""), "{}", replies[1].body);
+}
+
+#[test]
+fn oversized_body_still_closes_the_connection() {
+    let fx = serve_scenario(40, 7);
+    // One byte past the drain cap: the server answers the request but
+    // refuses to read the body, so the connection must close.
+    let body = "x".repeat(8 * 1024 + 1);
+    let replies = keep_alive_session(
+        fx.server.addr(),
+        &[post_with_body(&body), FOLLOW_UP.to_string()],
+    );
+    assert_eq!(replies.len(), 1, "oversized body must close the connection");
+    assert_eq!(replies[0].status, 405);
+}
+
+#[test]
+fn chunked_body_still_closes_the_connection() {
+    let fx = serve_scenario(40, 7);
+    // Chunked framing is never drained — the length is unknowable up
+    // front, so the server responds and closes.
+    let chunked = "POST /status HTTP/1.1\r\nhost: test\r\n\
+                   transfer-encoding: chunked\r\n\r\n4\r\nwxyz\r\n0\r\n\r\n"
+        .to_string();
+    let replies = keep_alive_session(fx.server.addr(), &[chunked, FOLLOW_UP.to_string()]);
+    assert_eq!(replies.len(), 1, "chunked body must close the connection");
+    assert_eq!(replies[0].status, 405);
+}
+
+#[test]
+fn get_with_drained_body_reaches_its_endpoint() {
+    let fx = serve_scenario(40, 7);
+    // A GET carrying a (pointless but legal) body: the endpoint answers
+    // as if the body were absent, and the connection survives.
+    let with_body =
+        "GET /status HTTP/1.1\r\nhost: test\r\ncontent-length: 5\r\n\r\nhello".to_string();
+    let replies = keep_alive_session(fx.server.addr(), &[with_body, FOLLOW_UP.to_string()]);
+    assert_eq!(replies.len(), 2);
+    assert_eq!(replies[0].status, 200, "{}", replies[0].body);
+    assert_eq!(replies[1].status, 200);
+}

@@ -8,12 +8,13 @@
 //! verdict is exactly what that epoch's snapshot computes. The epoch
 //! registry is filled *before* each publish, so any epoch a client can
 //! observe is already verifiable.
+// Tests may panic freely; the crate's `unwrap_used` deny targets the
+// request path.
+#![allow(clippy::unwrap_used)]
 
-mod common;
-
-use common::{get, serve_scenario};
 use ripki_net::{Asn, IpPrefix};
 use ripki_serve::api::state_label;
+use ripki_serve_testutil::{get, serve_scenario};
 use ripki_websim::churn::{ChurnConfig, ChurnStream};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -81,7 +82,7 @@ fn validity_responses_are_epoch_consistent_under_churn() {
                     let root = json.as_object().expect("object");
                     let epoch = root
                         .get("epoch")
-                        .and_then(|e| e.as_u128())
+                        .and_then(serde_json::Value::as_u128)
                         .expect("epoch stamp") as u64;
                     let state = root
                         .get("validated_route")

@@ -2,12 +2,13 @@
 //! never panic, truncation must ask for more bytes (never mis-parse),
 //! and whatever garbage a live connection sends, the server answers
 //! with a well-formed error response.
+// Tests may panic freely; the crate's `unwrap_used` deny targets the
+// request path.
+#![allow(clippy::unwrap_used)]
 
-mod common;
-
-use common::{parse_response, serve_scenario};
 use proptest::prelude::*;
 use ripki_serve::http::{parse_head, HttpError, MAX_HEAD_BYTES};
+use ripki_serve_testutil::{parse_response, serve_scenario};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;

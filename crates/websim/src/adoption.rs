@@ -167,7 +167,7 @@ pub fn issue_repository(
     // Phase 2: enforce the misconfiguration floor over regular adopters.
     if misconfig_total < cfg.min_misconfigs {
         let mut needed = cfg.min_misconfigs - misconfig_total;
-        'outer: for (_, internap, flags) in plan.iter_mut() {
+        'outer: for (_, internap, flags) in &mut plan {
             if *internap {
                 continue;
             }

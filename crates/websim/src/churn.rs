@@ -42,33 +42,61 @@ pub enum WorldEvent {
     /// A zone operator replaces the base record set of a name
     /// (re-hosting, renumbering).
     ZoneEdit {
+        /// The owner name whose records change.
         name: DomainName,
+        /// The replacement record set.
         records: Vec<RecordData>,
     },
     /// A CNAME owner points at a different canonical tail (CDN switch).
     CnameRetarget {
+        /// The aliased owner name.
         name: DomainName,
+        /// The new canonical target.
         target: DomainName,
     },
     /// A collector peer reports a new route (traffic engineering
     /// more-specific, new transit, or a hijack).
     RibAnnounce(RibEntry),
     /// One peer's route for a prefix disappears.
-    RibWithdraw { prefix: IpPrefix, peer: Asn },
+    RibWithdraw {
+        /// The withdrawn prefix.
+        prefix: IpPrefix,
+        /// The peer that lost the route.
+        peer: Asn,
+    },
     /// A CA published a new ROA authorizing `asn` for `prefix`.
-    RoaAdded { prefix: IpPrefix, asn: Asn },
+    RoaAdded {
+        /// The authorized prefix.
+        prefix: IpPrefix,
+        /// The authorized origin.
+        asn: Asn,
+    },
     /// A ROA left publication (modelling expiry / cleanup).
-    RoaExpired { prefix: IpPrefix, asn: Asn },
+    RoaExpired {
+        /// The formerly authorized prefix.
+        prefix: IpPrefix,
+        /// The formerly authorized origin.
+        asn: Asn,
+    },
     /// A ROA's EE certificate landed on its CA's CRL.
-    RoaRevoked { prefix: IpPrefix, asn: Asn },
+    RoaRevoked {
+        /// The prefix of the revoked authorization.
+        prefix: IpPrefix,
+        /// The origin of the revoked authorization.
+        asn: Asn,
+    },
     /// A leaf CA rolled its key (old cert revoked, ROAs re-signed).
-    KeyRollover { ca: String },
+    KeyRollover {
+        /// Name of the CA that rolled its key.
+        ca: String,
+    },
 }
 
 /// Everything that happened in one epoch: the event list plus, when any
 /// RPKI event fired, the repository snapshot the CAs published.
 #[derive(Debug, Clone)]
 pub struct EpochChurn {
+    /// The epoch's events, in application order.
     pub events: Vec<WorldEvent>,
     /// `Some` iff the epoch contained RPKI events; the engine re-runs
     /// relying-party validation against it. Shared (`Arc`) because the
@@ -80,6 +108,7 @@ pub struct EpochChurn {
 }
 
 impl EpochChurn {
+    /// Whether the epoch carries no events at all.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
@@ -90,13 +119,21 @@ impl EpochChurn {
 pub struct ChurnConfig {
     /// Stream seed; with the scenario seed, fully determines the stream.
     pub seed: u64,
+    /// Base record-set replacements.
     pub zone_edits: usize,
+    /// CNAME tail switches.
     pub cname_retargets: usize,
+    /// New collector-peer routes.
     pub rib_announces: usize,
+    /// Routes disappearing from one peer.
     pub rib_withdrawals: usize,
+    /// Newly published ROAs.
     pub roa_additions: usize,
+    /// ROAs leaving publication by expiry.
     pub roa_expirations: usize,
+    /// ROAs revoked via their CA's CRL.
     pub roa_revocations: usize,
+    /// Leaf-CA key rollovers.
     pub key_rollovers: usize,
 }
 

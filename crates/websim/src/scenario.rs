@@ -484,8 +484,7 @@ impl Scenario {
             let weight = CDN_SPECS
                 .iter()
                 .find(|(n, _, _)| *n == op.name)
-                .map(|(_, _, w)| *w)
-                .unwrap_or(1);
+                .map_or(1, |(_, _, w)| *w);
             cdn_infras.push(infra);
             cdn_weights.push(weight);
         }

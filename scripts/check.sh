@@ -13,6 +13,9 @@ cargo test -q --workspace
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> ripki-lint"
+cargo run -q -p ripki-lint -- check
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

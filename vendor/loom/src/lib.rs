@@ -1,0 +1,125 @@
+//! Offline stand-in for the `loom` concurrency model checker.
+//!
+//! The real `loom` instruments `Arc`, `Mutex`, `RwLock`, and atomics so
+//! that `loom::model` can *exhaustively* explore thread interleavings
+//! (with partial-order reduction). This build environment has no
+//! crates.io access, so this stand-in ships the same API surface over
+//! `std` primitives and replaces exhaustive exploration with **bounded
+//! randomized stress iteration**: `model(f)` runs `f` many times under
+//! real threads, perturbing the schedule with cooperative yields seeded
+//! differently per iteration.
+//!
+//! That is strictly weaker than model checking — it can miss rare
+//! interleavings — but it preserves two properties the workspace relies
+//! on:
+//!
+//! 1. The concurrency tests in `crates/serve/tests/loom_model.rs` and
+//!    `crates/rtr/tests/loom_serial.rs` are written against loom's API
+//!    (`loom::sync::*`, `loom::thread`, `loom::model`), so swapping in
+//!    the real crate is a `vendor/` replacement, not a test rewrite.
+//! 2. Invariant violations (non-monotonic epochs observed by a reader,
+//!    lost jobs on pool shutdown, serial-wrap history leaks) still
+//!    surface as panics inside `model`, across hundreds of schedules
+//!    per run instead of one.
+//!
+//! Iteration count: `LOOM_MAX_PREEMPTIONS` is accepted-and-ignored for
+//! CLI compatibility; `LOOM_STANDIN_ITERS` (default 200) controls the
+//! number of stress iterations.
+
+use std::sync::atomic::{AtomicU32, Ordering as StdOrdering};
+
+/// Run `f` repeatedly under perturbed schedules. Panics inside `f`
+/// propagate to the caller (failing the enclosing test), as with real
+/// loom.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u32 = std::env::var("LOOM_STANDIN_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    for seed in 0..iters {
+        SCHEDULE_SEED.store(seed, StdOrdering::SeqCst);
+        f();
+    }
+}
+
+// Seed for the per-iteration schedule perturbation; relaxed reads in
+// `thread::maybe_yield` are fine — any torn view only changes how often
+// we yield, never correctness.
+static SCHEDULE_SEED: AtomicU32 = AtomicU32::new(0);
+
+/// Thread handling — `std` threads plus a schedule-perturbing spawn.
+pub mod thread {
+    pub use std::thread::{current, park, yield_now, JoinHandle};
+
+    use std::sync::atomic::Ordering as StdOrdering;
+
+    /// Spawn a thread inside the model. Yields before the body runs on
+    /// a seed-dependent subset of iterations so spawn/run orderings
+    /// differ across iterations.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let seed = super::SCHEDULE_SEED.load(StdOrdering::SeqCst);
+        std::thread::spawn(move || {
+            // Cheap xorshift over the seed decides how eagerly this
+            // thread starts, de-correlating thread start order between
+            // model iterations.
+            let mut x = seed.wrapping_add(0x9e37_79b9);
+            x ^= x << 13;
+            x ^= x >> 17;
+            for _ in 0..(x % 4) {
+                std::thread::yield_now();
+            }
+            f()
+        })
+    }
+}
+
+/// Synchronization primitives — `std`'s, re-exported under loom paths.
+pub mod sync {
+    pub use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard};
+
+    /// Atomics — `std`'s, re-exported under loom paths.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU16, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+/// Model-internal hints (`loom::hint::spin_loop` in real loom).
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_many_iterations() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        super::model(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(count.load(Ordering::SeqCst) >= 100);
+    }
+
+    #[test]
+    fn spawned_threads_run_and_join() {
+        super::model(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let f = Arc::clone(&flag);
+            let handle = super::thread::spawn(move || f.store(7, Ordering::SeqCst));
+            handle.join().expect("spawned thread panicked");
+            assert_eq!(flag.load(Ordering::SeqCst), 7);
+        });
+    }
+}

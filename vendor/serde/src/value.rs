@@ -165,6 +165,26 @@ impl FromIterator<(String, Value)> for Map {
     }
 }
 
+/// Upstream `serde_json` lets tests write `value["key"][0]`; missing
+/// keys and type mismatches index to `Null` instead of panicking.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.as_object().and_then(|m| m.get(key)).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+    }
+}
+
 macro_rules! impl_value_from_uint {
     ($($t:ty),*) => {$(
         impl From<$t> for Value {
