@@ -12,6 +12,8 @@
 //! the run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::engine::StudyEngine;
+use ripki::pipeline::PipelineConfig;
 use ripki_bench::Study;
 use ripki_websim::churn::{ChurnConfig, ChurnStream, EpochChurn};
 use std::time::Instant;
@@ -81,6 +83,82 @@ fn bench(c: &mut Criterion) {
     json.insert("incremental_ms_per_epoch".into(), num(incremental_s * 1e3));
     json.insert("full_rerun_ms".into(), num(full_s * 1e3));
     json.insert("speedup".into(), num(speedup));
+
+    // Thread-scaling sweep: one engine per worker count over the same
+    // scenario, timing both parallel planes — the sharded full run and
+    // the incremental apply_events re-measure. Rows are informational
+    // (bench_gate keeps gating on the single-threaded numbers above);
+    // `threads_effective` records what `worker_threads()` actually
+    // resolved to (the RIPKI_THREADS env override wins over the config),
+    // and `cpus` the host's real core budget.
+    println!("\n--- thread scaling ---");
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut counts = vec![1usize, 2, 4, cpus];
+    counts.sort_unstable();
+    counts.dedup();
+    let mut baseline_run = f64::NAN;
+    let mut baseline_apply = f64::NAN;
+    let mut rows = Vec::with_capacity(counts.len());
+    for &threads in &counts {
+        let config = PipelineConfig {
+            bogus_dns_ppm: study.scenario.config.bogus_dns_ppm,
+            now: study.scenario.now,
+            threads,
+            ..Default::default()
+        };
+        let effective = config.worker_threads();
+        let engine = StudyEngine::new(
+            study.scenario.zones.clone(),
+            study.scenario.rib.clone(),
+            &study.scenario.repository,
+            config,
+        );
+        // Warm run (fills the resolution cache) + index build happen
+        // outside the timed regions, as for the headline numbers.
+        let mut res = engine.run(&study.scenario.ranking);
+        engine.apply_events(&batches[0], &mut res);
+
+        let t0 = Instant::now();
+        let _ = engine.run(&study.scenario.ranking);
+        let run_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        for batch in batches.iter().cycle().take(EPOCHS) {
+            engine.apply_events(batch, &mut res);
+        }
+        let apply_ms = t0.elapsed().as_secs_f64() * 1e3 / EPOCHS as f64;
+        if threads == 1 {
+            baseline_run = run_ms;
+            baseline_apply = apply_ms;
+        }
+        let run_speedup = baseline_run / run_ms.max(f64::EPSILON);
+        let apply_speedup = baseline_apply / apply_ms.max(f64::EPSILON);
+        println!(
+            "{threads:>3} threads (effective {effective}): full run {run_ms:.1} ms \
+             ({run_speedup:.2}x vs 1), apply_events {apply_ms:.3} ms/epoch \
+             ({apply_speedup:.2}x vs 1)"
+        );
+        let mut row = serde_json::Map::new();
+        row.insert(
+            "threads".into(),
+            serde_json::to_value(&threads).expect("usize serializes"),
+        );
+        row.insert(
+            "threads_effective".into(),
+            serde_json::to_value(&effective).expect("usize serializes"),
+        );
+        row.insert("full_run_ms".into(), num(run_ms));
+        row.insert("full_run_speedup_vs_1".into(), num(run_speedup));
+        row.insert("apply_ms_per_epoch".into(), num(apply_ms));
+        row.insert("apply_speedup_vs_1".into(), num(apply_speedup));
+        rows.push(serde_json::Value::Object(row));
+    }
+    let mut scaling = serde_json::Map::new();
+    scaling.insert(
+        "cpus".into(),
+        serde_json::to_value(&cpus).expect("usize serializes"),
+    );
+    scaling.insert("threads".into(), serde_json::Value::Array(rows));
+    json.insert("scaling".into(), serde_json::Value::Object(scaling));
     let json = serde_json::Value::Object(json);
     let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     std::fs::create_dir_all(results_dir).ok();

@@ -26,6 +26,10 @@ const CAS_PER_TA: usize = 40;
 const ROAS_PER_CA: usize = 100;
 /// CAs whose ROA set changes each epoch (= dirty publication points).
 const DIRTY_CAS_PER_EPOCH: usize = 2;
+/// Dirty CAs per epoch for the thread-scaling sweep: the ~1% default
+/// leaves too little parallel grain to occupy several workers, so the
+/// sweep churns ~8% of publication points per epoch instead.
+const SCALING_DIRTY_CAS: usize = 16;
 /// Timed epochs; one extra snapshot seeds the validator outside timing.
 const EPOCHS: usize = 24;
 
@@ -37,8 +41,8 @@ fn prefix(ta: usize, ca: usize, roa: usize) -> IpPrefix {
 
 /// The repository sequence: a base snapshot plus `EPOCHS` churned
 /// successors, each differing from its predecessor in the ROA sets of
-/// `DIRTY_CAS_PER_EPOCH` distinct CAs (one ROA swapped per CA).
-fn build_epochs() -> (Vec<Repository>, SimTime) {
+/// `dirty_per_epoch` distinct CAs (one ROA swapped per CA).
+fn build_epochs(dirty_per_epoch: usize) -> (Vec<Repository>, SimTime) {
     let start = SimTime::EPOCH;
     let now = start + Duration::days(1);
     let mut b = RepositoryBuilder::new(42, start);
@@ -71,8 +75,8 @@ fn build_epochs() -> (Vec<Repository>, SimTime) {
     repos.push(b.snapshot());
     let total_cas = cas.len();
     for epoch in 0..EPOCHS {
-        for d in 0..DIRTY_CAS_PER_EPOCH {
-            let (t, c, ca) = cas[(epoch * DIRTY_CAS_PER_EPOCH + d) % total_cas];
+        for d in 0..dirty_per_epoch {
+            let (t, c, ca) = cas[(epoch * dirty_per_epoch + d) % total_cas];
             // Swap one ROA: retire the lowest-serial one still published
             // and issue a fresh one over an unused /24 of the CA's /16.
             if let Some((_, serial, _)) =
@@ -93,7 +97,7 @@ fn build_epochs() -> (Vec<Repository>, SimTime) {
 }
 
 fn bench(c: &mut Criterion) {
-    let (repos, now) = build_epochs();
+    let (repos, now) = build_epochs(DIRTY_CAS_PER_EPOCH);
 
     // Seed on the base snapshot: the first apply is a full pass and
     // tells us the object count; a long-lived relying party pays it
@@ -159,6 +163,61 @@ fn bench(c: &mut Criterion) {
     json.insert("incremental_ms_per_epoch".into(), num(incremental_s * 1e3));
     json.insert("full_validate_ms".into(), num(full_s * 1e3));
     json.insert("speedup".into(), num(speedup));
+
+    // Thread-scaling sweep over a heavier churn sequence: one fresh
+    // validator per worker count, identical inputs, so the only varying
+    // quantity is the execute stage's parallelism. The per-thread rows
+    // are informational (bench_gate keeps gating on the 1-thread
+    // numbers above); `cpus` records the host's real core budget so a
+    // flat curve on a small machine reads as what it is.
+    println!("\n--- thread scaling ({SCALING_DIRTY_CAS} dirty CAs/epoch) ---");
+    let (scaling_repos, _) = build_epochs(SCALING_DIRTY_CAS);
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut counts = vec![1usize, 2, 4, cpus];
+    counts.sort_unstable();
+    counts.dedup();
+    let mut baseline_ms = f64::NAN;
+    let mut reference_vrps = None;
+    let mut rows = Vec::with_capacity(counts.len());
+    for &threads in &counts {
+        let mut v = IncrementalValidator::default();
+        v.set_worker_threads(threads);
+        v.apply(&scaling_repos[0], now);
+        let t0 = std::time::Instant::now();
+        for repo in &scaling_repos[1..] {
+            v.apply(repo, now);
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / EPOCHS as f64;
+        if threads == 1 {
+            baseline_ms = ms;
+        }
+        // Thread count must never change the result.
+        match &reference_vrps {
+            None => reference_vrps = Some(v.vrps()),
+            Some(r) => assert_eq!(r, &v.vrps(), "thread count changed the VRP set"),
+        }
+        let speedup_vs_1 = baseline_ms / ms.max(f64::EPSILON);
+        println!("{threads:>3} threads: {ms:.3} ms/epoch, speedup {speedup_vs_1:.2}x vs 1 thread");
+        let mut row = serde_json::Map::new();
+        row.insert(
+            "threads".into(),
+            serde_json::to_value(&threads).expect("usize serializes"),
+        );
+        row.insert("ms_per_epoch".into(), num(ms));
+        row.insert("speedup_vs_1".into(), num(speedup_vs_1));
+        rows.push(serde_json::Value::Object(row));
+    }
+    let mut scaling = serde_json::Map::new();
+    scaling.insert(
+        "cpus".into(),
+        serde_json::to_value(&cpus).expect("usize serializes"),
+    );
+    scaling.insert(
+        "dirty_cas_per_epoch".into(),
+        serde_json::to_value(&SCALING_DIRTY_CAS).expect("usize serializes"),
+    );
+    scaling.insert("threads".into(), serde_json::Value::Array(rows));
+    json.insert("scaling".into(), serde_json::Value::Object(scaling));
     let json = serde_json::Value::Object(json);
     let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     std::fs::create_dir_all(results_dir).ok();

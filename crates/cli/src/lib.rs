@@ -84,9 +84,10 @@ USAGE:
   ripki-cli rtr-serve --data DIR --listen ADDR
       validate, then serve the VRPs over RPKI-to-Router (RFC 6810)
   ripki-cli longitudinal [--domains N] [--seed S] [--epochs E]
-                         [--churn-seed C] [--stride K]
+                         [--churn-seed C] [--stride K] [--threads T]
       replay E epochs of world churn through the incremental engine
       and report validation outcome + hijack exposure over time
+      (--threads 0 = auto-detect; the RIPKI_THREADS env var overrides)
   ripki-cli serve [--domains N] [--seed S] [--listen ADDR]
                   [--rtr-listen ADDR] [--epochs E] [--epoch-interval-ms MS]
                   [--churn-seed C] [--stride K] [--exit-after-churn BOOL]
@@ -497,6 +498,7 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
     let epochs: u64 = flags.get_parsed("epochs", 8)?;
     let churn_seed: u64 = flags.get_parsed("churn-seed", ChurnConfig::default().seed)?;
     let stride: usize = flags.get_parsed("stride", 50)?;
+    let threads: usize = flags.get_parsed("threads", 0)?;
     writeln!(
         out,
         "longitudinal study: {domains} domains, seed {seed}, {epochs} epochs of churn"
@@ -506,15 +508,20 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
         seed,
         ..ScenarioConfig::with_domains(domains)
     });
+    let config = PipelineConfig {
+        bogus_dns_ppm: 0,
+        now: scenario.now,
+        threads,
+        ..Default::default()
+    };
+    // One line with the *effective* count (after the RIPKI_THREADS
+    // override and auto-detection), so CI can grep that the knob took.
+    writeln!(out, "worker threads: {}", config.worker_threads())?;
     let engine = StudyEngine::new(
         scenario.zones.clone(),
         scenario.rib.clone(),
         &scenario.repository,
-        PipelineConfig {
-            bogus_dns_ppm: 0,
-            now: scenario.now,
-            ..Default::default()
-        },
+        config,
     );
     let mut results = engine.run(&scenario.ranking);
 
@@ -868,8 +875,22 @@ mod tests {
             "3",
             "--stride",
             "25",
+            "--threads",
+            "2",
         ]);
         assert!(text.contains("3 epochs of churn"), "{text}");
+        // The effective worker count is logged (RIPKI_THREADS, when set
+        // by CI's thread matrix, overrides the flag — compute the same
+        // answer the engine will).
+        let effective = PipelineConfig {
+            threads: 2,
+            ..Default::default()
+        }
+        .worker_threads();
+        assert!(
+            text.contains(&format!("worker threads: {effective}")),
+            "{text}"
+        );
         // Initial epoch-1 row plus one row per churn epoch.
         assert!(text.contains("epoch"), "{text}");
         let rows: Vec<&str> = text

@@ -29,6 +29,30 @@
 //! domain is measured under a panic guard and failures are reported as
 //! skipped ranks ([`StudyResults::skipped`]) or as a structured
 //! [`EngineError`] from [`StudyEngine::try_run`].
+//!
+//! ## Plan / execute / commit
+//!
+//! Both parallel paths — the sharded full [`run`](WorldSnapshot::run)
+//! and the incremental re-measure inside
+//! [`apply_events`](StudyEngine::apply_events) — follow one shape, with
+//! the execute stage on `ripki_par`'s work-stealing executor:
+//!
+//! 1. **Plan** (serial): derive an independent work list — the full
+//!    ranking, or the affected ranks recovered from the reverse indices
+//!    — with everything a worker needs captured per item.
+//! 2. **Execute** (parallel): [`ripki_par::run_indexed`] maps each item
+//!    to a pure `(measurement, touched)` outcome with one resolver per
+//!    worker and per-item panic isolation. No shared mutable state.
+//! 3. **Commit** (serial): fold the outcomes *in plan order* — pair
+//!    diffs, index patches, result writes. Outcomes come back in item
+//!    order regardless of scheduling, so results are byte-identical at
+//!    any thread count (property-tested in
+//!    `tests/engine_parallel_prop.rs`); a panicked item commits as a
+//!    skipped rank instead of poisoning the epoch.
+//!
+//! The incremental RPKI validator runs the same shape internally (see
+//! `ripki_rpki::incremental`); [`PipelineConfig::worker_threads`] is the
+//! single knob for all three planes.
 
 use crate::model::{DomainMeasurement, NameMeasurement, PairState, PipelineConfig, StudyResults};
 use ripki_bgp::rib::{Rib, RibChanges, RibDelta};
@@ -46,7 +70,6 @@ use ripki_rpki::time::SimTime;
 use ripki_rpki::validate::{ValidationOptions, Vrp};
 use ripki_websim::churn::{EpochChurn, WorldEvent};
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// An immutable view of the measured world at one epoch.
@@ -240,6 +263,10 @@ impl WorldSnapshot {
         rank: usize,
         listed: &DomainName,
     ) -> (DomainMeasurement, Vec<DomainName>) {
+        assert!(
+            self.config.poison_domain.as_ref() != Some(listed),
+            "injected measurement fault for {listed:?} (PipelineConfig::poison_domain)"
+        );
         let bare = listed.without_www();
         let www = bare.with_www();
         let (www_m, mut touched) = self.measure_name_traced(resolver, &www);
@@ -318,50 +345,26 @@ impl WorldSnapshot {
         if ranking.is_empty() {
             return (Vec::new(), Vec::new());
         }
-        let threads = self.config.worker_threads();
-        let chunk = ranking.len().div_ceil(threads).max(1);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (i, part) in ranking.chunks(chunk).enumerate() {
-                let base = i * chunk;
-                handles.push(scope.spawn(move || {
-                    // One resolver per worker, reused across its shard.
-                    let resolver = self.resolver();
-                    let mut measured = Vec::with_capacity(part.len());
-                    let mut skipped = Vec::new();
-                    for (k, name) in part.iter().enumerate() {
-                        let rank = base + k;
-                        let guarded = catch_unwind(AssertUnwindSafe(|| {
-                            self.measure_domain_with(&resolver, rank, name)
-                        }));
-                        match guarded {
-                            Ok(m) => measured.push(m),
-                            Err(_) => skipped.push(rank),
-                        }
-                    }
-                    (measured, skipped)
-                }));
+        // Plan: the ranking itself is the work list (rank == index).
+        // Execute: one resolver per worker, work-stealing over the
+        // ranks, per-domain panic isolation. Commit: fold the outcomes
+        // in rank order — a `None` slot is a panicked measurement and
+        // becomes a skipped rank.
+        let outcomes = ripki_par::run_indexed(
+            self.config.worker_threads(),
+            ranking,
+            |_| self.resolver(),
+            |resolver, rank, name| self.measure_domain_with(resolver, rank, name),
+        );
+        let mut domains = Vec::with_capacity(ranking.len());
+        let mut skipped = Vec::new();
+        for (rank, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Some(m) => domains.push(m),
+                None => skipped.push(rank),
             }
-            let mut domains = Vec::with_capacity(ranking.len());
-            let mut skipped = Vec::new();
-            for (i, handle) in handles.into_iter().enumerate() {
-                match handle.join() {
-                    Ok((measured, shard_skipped)) => {
-                        domains.extend(measured);
-                        skipped.extend(shard_skipped);
-                    }
-                    Err(_) => {
-                        // A panic escaped the per-domain guard (e.g.
-                        // inside the guard bookkeeping itself): count
-                        // the whole shard as skipped.
-                        let base = i * chunk;
-                        let len = ranking[base..].len().min(chunk);
-                        skipped.extend(base..base + len);
-                    }
-                }
-            }
-            (domains, skipped)
-        })
+        }
+        (domains, skipped)
     }
 }
 
@@ -631,11 +634,19 @@ struct RpkiState {
 impl RpkiState {
     /// Validate `repository` (or re-validate the held one when `None`)
     /// as of `now`, reusing every publication point whose inputs did
-    /// not change.
-    fn apply(&mut self, repository: Option<&Arc<Repository>>, now: SimTime) -> VrpDelta {
+    /// not change. `threads` sizes the validator's parallel execute
+    /// stage — always [`PipelineConfig::worker_threads`], so all planes
+    /// share one knob.
+    fn apply(
+        &mut self,
+        repository: Option<&Arc<Repository>>,
+        now: SimTime,
+        threads: usize,
+    ) -> VrpDelta {
         if let Some(repo) = repository {
             self.repository = Arc::clone(repo);
         }
+        self.validator.set_worker_threads(threads);
         self.validator.apply(&self.repository, now)
     }
 }
@@ -663,7 +674,7 @@ impl StudyEngine {
             validator: IncrementalValidator::new(ValidationOptions::default()),
             repository: Arc::new(repository.clone()),
         };
-        rpki.apply(None, config.now);
+        rpki.apply(None, config.now, config.worker_threads());
         let snapshot = WorldSnapshot::assemble(
             1,
             zones,
@@ -708,7 +719,7 @@ impl StudyEngine {
         config.now = now;
         let mut rpki = self.rpki.lock().expect("engine rpki lock poisoned");
         let repository = Arc::new(repository.clone());
-        let vrp_delta = rpki.apply(Some(&repository), now);
+        let vrp_delta = rpki.apply(Some(&repository), now, config.worker_threads());
         let next = Self::next_snapshot(&old, &rpki, &vrp_delta, old.epoch + 1, config);
         let delta = EpochDelta {
             from_epoch: old.epoch,
@@ -856,7 +867,11 @@ impl StudyEngine {
         let rpki_work = batch.repository.is_some() || batch.now != old.config.now;
         let (changed_vrps, announced, withdrawn, rpki_stats, rpki_rejected) = if rpki_work {
             let mut rpki = self.rpki.lock().expect("engine rpki lock poisoned");
-            let vrp_delta = rpki.apply(batch.repository.as_ref(), batch.now);
+            let vrp_delta = rpki.apply(
+                batch.repository.as_ref(),
+                batch.now,
+                config.worker_threads(),
+            );
             (
                 (!vrp_delta.is_empty()).then(|| rpki.validator.vrps()),
                 vrp_delta.announced.iter().map(triple).collect::<Vec<_>>(),
@@ -951,36 +966,62 @@ impl StudyEngine {
         }
         let index = index_guard.as_mut().expect("index just built");
 
-        // Re-measure only the affected ranks against the new snapshot.
+        // Plan: resolve the affected ranks (already in ascending rank
+        // order from the BTreeSet) to their result positions and listed
+        // names — an independent work list that borrows nothing mutable.
         let position: HashMap<usize, usize> = results
             .domains
             .iter()
             .enumerate()
             .map(|(i, d)| (d.rank, i))
             .collect();
-        let resolver = next.resolver();
+        let work: Vec<(usize, usize, DomainName)> = affected
+            .into_iter()
+            .filter_map(|rank| {
+                position
+                    .get(&rank)
+                    .map(|&pos| (rank, pos, results.domains[pos].listed.clone()))
+            })
+            .collect();
+
+        // Execute: measure every planned rank against the new snapshot,
+        // one resolver per worker, each item a pure (measurement,
+        // touched-set) outcome.
+        let outcomes = ripki_par::run_indexed(
+            next.config.worker_threads(),
+            &work,
+            |_| next.resolver(),
+            |resolver, _, (rank, _, listed)| next.measure_domain_traced(resolver, *rank, listed),
+        );
+
+        // Commit: fold the outcomes in plan order — deterministic at
+        // any thread count. A panicked measurement (a `None` slot)
+        // keeps the rank's previous measurement and postings and is
+        // recorded as skipped; the next batch that reaches it will try
+        // again.
         let mut pairs_changed = 0;
         let mut remeasured = 0;
-        for rank in affected {
-            let Some(&pos) = position.get(&rank) else {
+        for ((rank, pos, _), outcome) in work.iter().zip(outcomes) {
+            let Some((measured, touched)) = outcome else {
+                results.skipped.push(*rank);
                 continue;
             };
-            let listed = results.domains[pos].listed.clone();
-            let (measured, touched) = next.measure_domain_traced(&resolver, rank, &listed);
             for (old_m, new_m) in [
-                (&results.domains[pos].www, &measured.www),
-                (&results.domains[pos].bare, &measured.bare),
+                (&results.domains[*pos].www, &measured.www),
+                (&results.domains[*pos].bare, &measured.bare),
             ] {
                 let key = |p: &PairState| (p.prefix, p.origin, p.state);
                 let before: BTreeSet<_> = old_m.pairs.iter().map(key).collect();
                 let after: BTreeSet<_> = new_m.pairs.iter().map(key).collect();
                 pairs_changed += before.symmetric_difference(&after).count();
             }
-            index.remove(rank);
-            index.insert(rank, DomainIndex::postings(&measured, touched));
-            results.domains[pos] = measured;
+            index.remove(*rank);
+            index.insert(*rank, DomainIndex::postings(&measured, touched));
+            results.domains[*pos] = measured;
             remeasured += 1;
         }
+        results.skipped.sort_unstable();
+        results.skipped.dedup();
         index.epoch = next.epoch;
 
         results.epoch = next.epoch;

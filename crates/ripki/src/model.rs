@@ -128,24 +128,36 @@ pub struct PipelineConfig {
     /// [`worker_threads`](Self::worker_threads).
     pub threads: usize,
     /// When an incremental `apply_events` finds more affected ranks
-    /// than this, it abandons the serial per-rank re-measure and falls
-    /// back to the sharded full-run path (`None` = always incremental).
-    /// A massive churn batch re-measured serially would be slower than
-    /// a parallel full run; the two paths are equivalence-tested.
+    /// than this, it abandons the per-rank re-measure and falls back to
+    /// the sharded full-run path (`None` = always incremental). A
+    /// massive churn batch re-measured rank by rank would be slower
+    /// than a full run; the two paths are equivalence-tested.
     pub full_remeasure_threshold: Option<usize>,
+    /// Test-only fault hook: measuring this listed domain panics,
+    /// exercising the skip-and-count isolation path that a real
+    /// measurement bug would hit. `None` (the default) in production.
+    pub poison_domain: Option<DomainName>,
 }
 
 impl PipelineConfig {
-    /// The worker count a study run will actually use.
+    /// The worker count every parallel plane actually uses — the
+    /// sharded full run, the incremental validator's execute stage, and
+    /// the incremental re-measure all read this one knob.
     ///
-    /// An explicit `threads` value is taken at face value — callers who
-    /// ask for 256 workers get 256. Only the auto-detected path
-    /// (`threads == 0`) is clamped to 64: `available_parallelism` on
-    /// very wide machines would otherwise spawn far more workers than
-    /// the sharding can keep busy.
+    /// The `RIPKI_THREADS` environment variable, when set to a positive
+    /// integer, overrides the configured value (`RIPKI_THREADS=0`
+    /// forces auto-detection). Otherwise an explicit `threads` value is
+    /// taken at face value — callers who ask for 256 workers get 256.
+    /// Only the auto-detected path (`threads == 0`) is clamped to 64:
+    /// `available_parallelism` on very wide machines would otherwise
+    /// spawn far more workers than the sharding can keep busy.
     pub fn worker_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
+        let configured = std::env::var("RIPKI_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(self.threads);
+        if configured > 0 {
+            configured
         } else {
             std::thread::available_parallelism()
                 .map_or(4, std::num::NonZero::get)
@@ -163,6 +175,7 @@ impl Default for PipelineConfig {
             now: SimTime::start_of_study(),
             threads: 0,
             full_remeasure_threshold: None,
+            poison_domain: None,
         }
     }
 }

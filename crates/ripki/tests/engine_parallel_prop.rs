@@ -1,0 +1,276 @@
+//! Thread count must never change study output, only wall-clock time.
+//!
+//! Both engine apply paths — the sharded full run and the incremental
+//! `apply_events` re-measure — are plan/execute/commit refactors whose
+//! commit stage folds worker outcomes in plan order. This file pins
+//! that contract from the outside:
+//!
+//! * `parallel_engine_equals_serial_engine` drives two engines with the
+//!   identical churn stream at 1 and 4 worker threads and demands a
+//!   byte-identical `StudyResults` and an identical `EpochDelta`
+//!   (announce/withdraw sets *and* validator work stats) at every step.
+//! * the `poison_domain` tests inject a panicking measurement and check
+//!   the skip-and-count discipline: exactly the poisoned rank is
+//!   skipped, every other domain's measurement is unaffected, and the
+//!   outcome is the same at any thread count.
+//!
+//! Note on `RIPKI_THREADS`: the env override (CI's thread matrix) may
+//! force both engines to the same worker count, in which case the
+//! equality check degenerates to self-consistency — still sound, and
+//! the plain (env-free) run of this suite compares 1 vs 4 for real.
+
+use proptest::prelude::*;
+use ripki::engine::StudyEngine;
+use ripki::pipeline::PipelineConfig;
+use ripki_bgp::path::AsPath;
+use ripki_bgp::rib::{Rib, RibEntry};
+use ripki_dns::zone::ZoneStore;
+use ripki_dns::{DomainName, RecordData};
+use ripki_net::Asn;
+use ripki_rpki::repo::RepositoryBuilder;
+use ripki_rpki::resources::Resources;
+use ripki_rpki::roa::RoaPrefix;
+use ripki_rpki::time::{Duration, SimTime};
+use ripki_websim::churn::{ChurnConfig, ChurnStream, EpochChurn, WorldEvent};
+use ripki_websim::{Scenario, ScenarioConfig};
+
+proptest! {
+    // Two incremental engines per case (no from-scratch reference
+    // rebuilds), so this can afford a few more cases than the
+    // incremental-vs-full property next door.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_engine_equals_serial_engine(
+        domains in 150usize..250,
+        seed in 0u64..1_000_000,
+        churn_seed in 0u64..1_000_000,
+        epochs in 2u64..5,
+        knobs in (
+            0usize..5, // zone_edits
+            0usize..4, // cname_retargets
+            0usize..4, // rib_announces
+            0usize..3, // rib_withdrawals
+            0usize..3, // roa_additions
+            0usize..3, // roa_expirations
+            0usize..2, // roa_revocations
+            0usize..2, // key_rollovers
+        ),
+    ) {
+        let (
+            zone_edits,
+            cname_retargets,
+            rib_announces,
+            rib_withdrawals,
+            roa_additions,
+            roa_expirations,
+            roa_revocations,
+            key_rollovers,
+        ) = knobs;
+        let scenario = Scenario::build(ScenarioConfig {
+            seed,
+            ..ScenarioConfig::with_domains(domains)
+        });
+        let config = |threads: usize| PipelineConfig {
+            bogus_dns_ppm: scenario.config.bogus_dns_ppm,
+            now: scenario.now,
+            threads,
+            ..Default::default()
+        };
+        let serial = StudyEngine::new(
+            scenario.zones.clone(),
+            scenario.rib.clone(),
+            &scenario.repository,
+            config(1),
+        );
+        let parallel = StudyEngine::new(
+            scenario.zones.clone(),
+            scenario.rib.clone(),
+            &scenario.repository,
+            config(4),
+        );
+        let mut serial_results = serial.run(&scenario.ranking);
+        let mut parallel_results = parallel.run(&scenario.ranking);
+        prop_assert!(serial_results.skipped.is_empty());
+        // Epoch, VRP counters, domains, skipped: everything but must
+        // match from the very first full run onward.
+        prop_assert_eq!(&serial_results, &parallel_results);
+
+        let mut stream = ChurnStream::new(&scenario, ChurnConfig {
+            seed: churn_seed,
+            zone_edits,
+            cname_retargets,
+            rib_announces,
+            rib_withdrawals,
+            roa_additions,
+            roa_expirations,
+            roa_revocations,
+            key_rollovers,
+        });
+        for step in 0..epochs {
+            let batch = stream.next_epoch();
+            let serial_delta = serial.apply_events(&batch, &mut serial_results);
+            let parallel_delta = parallel.apply_events(&batch, &mut parallel_results);
+            prop_assert_eq!(
+                &serial_delta, &parallel_delta,
+                "EpochDelta diverges at step {}", step
+            );
+            prop_assert_eq!(
+                &serial_results, &parallel_results,
+                "StudyResults diverge at step {}", step
+            );
+        }
+    }
+}
+
+fn n(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+/// The engine unit tests' hand-built world, restated through the public
+/// API: four domains, two of which share a CDN tail, one valid ROA.
+fn world() -> (ZoneStore, Rib, RepositoryBuilder, SimTime) {
+    let mut zones = ZoneStore::new();
+    zones.add_addr(n("covered.example"), "85.1.2.3".parse().unwrap());
+    zones.add_cname(n("www.covered.example"), n("covered.example"));
+    zones.add_addr(n("plain.example"), "9.9.1.1".parse().unwrap());
+    zones.add_addr(n("www.plain.example"), "9.9.1.1".parse().unwrap());
+    zones.add_cname(n("cdn-a.example"), n("edge.cdn.example"));
+    zones.add_cname(n("www.cdn-a.example"), n("edge.cdn.example"));
+    zones.add_cname(n("cdn-b.example"), n("edge.cdn.example"));
+    zones.add_cname(n("www.cdn-b.example"), n("edge.cdn.example"));
+    zones.add_addr(n("edge.cdn.example"), "85.3.0.1".parse().unwrap());
+
+    let mut rib = Rib::new();
+    for (pfx, origin) in [
+        ("85.1.0.0/16", 100u32),
+        ("85.3.0.0/16", 300),
+        ("9.9.0.0/16", 9),
+        ("77.7.0.0/16", 77),
+    ] {
+        rib.insert(RibEntry {
+            prefix: pfx.parse().unwrap(),
+            path: AsPath::sequence([64601, origin]),
+            peer: Asn::new(64496),
+        });
+    }
+
+    let mut b = RepositoryBuilder::new(1, SimTime::EPOCH);
+    let ta = b.add_trust_anchor(
+        "RIPE",
+        Resources::from_prefixes(vec!["80.0.0.0/4".parse().unwrap()]),
+    );
+    let isp = b
+        .add_ca(
+            ta,
+            "ISP-1",
+            Resources::from_prefixes(vec!["85.0.0.0/8".parse().unwrap()]),
+        )
+        .unwrap();
+    b.add_roa(
+        isp,
+        Asn::new(100),
+        vec![RoaPrefix::exact("85.1.0.0/16".parse().unwrap())],
+    )
+    .unwrap();
+    (zones, rib, b, SimTime::EPOCH + Duration::days(1))
+}
+
+fn ranking() -> Vec<DomainName> {
+    vec![
+        n("covered.example"),
+        n("plain.example"),
+        n("cdn-a.example"),
+        n("cdn-b.example"),
+    ]
+}
+
+#[test]
+fn poisoned_domain_is_skipped_in_full_run_at_any_thread_count() {
+    let (zones, rib, mut b, now) = world();
+    let repo = b.snapshot();
+    for threads in [1usize, 4] {
+        let config = PipelineConfig {
+            bogus_dns_ppm: 0,
+            now,
+            threads,
+            poison_domain: Some(n("cdn-a.example")),
+            ..Default::default()
+        };
+        let engine = StudyEngine::new(zones.clone(), rib.clone(), &repo, config);
+        let results = engine.run(&ranking());
+        // Exactly the poisoned rank is missing; everyone else measured.
+        assert_eq!(results.skipped, vec![2], "threads={threads}");
+        let measured: Vec<usize> = results.domains.iter().map(|d| d.rank).collect();
+        assert_eq!(measured, vec![0, 1, 3], "threads={threads}");
+        // And a try_run refuses to publish the partial study.
+        assert!(engine.try_run(&ranking()).is_err(), "threads={threads}");
+
+        // The healthy domains match an unpoisoned engine's output bit
+        // for bit: the panic never leaked into a neighbour's slot.
+        let clean = StudyEngine::new(
+            zones.clone(),
+            rib.clone(),
+            &repo,
+            PipelineConfig {
+                bogus_dns_ppm: 0,
+                now,
+                threads,
+                ..Default::default()
+            },
+        )
+        .run(&ranking());
+        for d in &results.domains {
+            assert_eq!(Some(d), clean.domains.iter().find(|c| c.rank == d.rank));
+        }
+    }
+}
+
+#[test]
+fn poisoned_domain_is_skipped_in_incremental_remeasure() {
+    let (zones, rib, mut b, now) = world();
+    let repo = b.snapshot();
+    for threads in [1usize, 4] {
+        // Measure clean, then poison cdn-a for the re-measure epochs:
+        // build the study with a healthy engine, hand the results to a
+        // poisoned one at the same epoch.
+        let clean_config = PipelineConfig {
+            bogus_dns_ppm: 0,
+            now,
+            threads,
+            ..Default::default()
+        };
+        let poisoned_config = PipelineConfig {
+            poison_domain: Some(n("cdn-a.example")),
+            ..clean_config.clone()
+        };
+        let engine = StudyEngine::new(zones.clone(), rib.clone(), &repo, poisoned_config);
+        // Build the baseline with a clean engine — full run would skip
+        // the poisoned domain, leaving nothing to compare against.
+        let mut results =
+            StudyEngine::new(zones.clone(), rib.clone(), &repo, clean_config).run(&ranking());
+        assert!(results.skipped.is_empty());
+        let before_cdn_a = results.domains[2].clone();
+
+        // Retarget the shared CDN tail: cdn-a and cdn-b are affected.
+        // cdn-b re-measures; cdn-a panics, keeps its stale measurement,
+        // and is recorded as skipped.
+        let batch = EpochChurn {
+            events: vec![WorldEvent::ZoneEdit {
+                name: n("edge.cdn.example"),
+                records: vec![RecordData::from_addr("77.7.7.7".parse().unwrap())],
+            }],
+            repository: None,
+            now,
+        };
+        let delta = engine.apply_events(&batch, &mut results);
+        assert_eq!(delta.domains_remeasured, 1, "threads={threads}");
+        assert_eq!(results.skipped, vec![2], "threads={threads}");
+        assert_eq!(
+            results.domains[2], before_cdn_a,
+            "threads={threads}: a skipped rank must keep its last good measurement"
+        );
+        // cdn-b actually moved to the retargeted address space.
+        assert_eq!(results.domains[3].bare.pairs[0].origin, Asn::new(77));
+    }
+}

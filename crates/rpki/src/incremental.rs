@@ -30,6 +30,25 @@
 //! cert, dirtying the whole subtree; an expiry sweep moves `now` out of
 //! some points' eras and only those are revisited.
 //!
+//! ## Plan / execute / commit
+//!
+//! Each [`apply`](IncrementalValidator::apply) is a breadth-first wave
+//! sweep in three stages per wave:
+//!
+//! 1. **Plan** (serial): diff the frontier's CA certificates and
+//!    publication-point fingerprints against the cache, splitting it
+//!    into reused entries and an independent dirty work list.
+//! 2. **Execute** (parallel): revalidate the dirty points over the
+//!    work-stealing pool (`ripki-par`), each item a pure
+//!    `(CA cert, point) → CachedPoint` computation with no shared
+//!    mutable state. A panicking item is isolated: its point alone is
+//!    marked skipped ([`ApplyStats::points_skipped`]) and revalidated on
+//!    the next pass.
+//! 3. **Commit** (serial): fold outcomes back in frontier order —
+//!    VRP refcounts, the point cache, the next wave's frontier. Commit
+//!    order is the plan order, so parallel ≡ serial byte-for-byte;
+//!    thread count can change wall-clock time only, never results.
+//!
 //! ## Fingerprints are republication detectors
 //!
 //! Content fingerprints ([`Fingerprint`]) fold object *identities*
@@ -43,17 +62,28 @@
 //! Each CA key is assumed reachable from at most one trust anchor (true
 //! of every builder-produced repository); a key shared between anchor
 //! hierarchies would thrash its single cache slot.
+//!
+//! ## The event log is maintained, not replayed
+//!
+//! Every cached point pre-renders its event stream into chunks split at
+//! child-descent positions (`Arc`-shared, so relinearization is pointer
+//! work). Whenever a pass changes any point or trust anchor, the flat
+//! log is re-linearized from the cached tree in O(points); an unchanged
+//! pass leaves it untouched. [`report`](IncrementalValidator::report)
+//! therefore just concatenates the maintained chunks and reads the VRP
+//! set off the refcount table — there is no full-rebuild replay path.
 
 use crate::cert::Cert;
 use crate::repo::{Fingerprint, Repository};
 use crate::time::{Era, SimTime};
 use crate::validate::{
     ca_accept_event, missing_point_event, trust_anchor_event, validate_point, PointItem,
-    ValidationOptions, ValidationReport, Vrp,
+    PointOutcome, ValidationEvent, ValidationOptions, ValidationReport, Vrp,
 };
 use ripki_crypto::keystore::KeyId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Work accounting for one [`IncrementalValidator::apply`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,6 +97,10 @@ pub struct ApplyStats {
     /// Individual object decisions recomputed (trust anchors, CA certs,
     /// ROAs, point-level CRL/manifest verdicts).
     pub objects_validated: usize,
+    /// Points whose revalidation panicked on the execute stage and were
+    /// skipped (their subtree is withdrawn until the next pass).
+    #[serde(default)]
+    pub points_skipped: usize,
 }
 
 impl ApplyStats {
@@ -100,15 +134,21 @@ impl VrpDelta {
 struct CachedTa {
     fingerprint: Fingerprint,
     era: Era,
-    event: crate::validate::ValidationEvent,
-    /// The anchor certificate, kept so [`IncrementalValidator::report`]
-    /// can replay the walk without the repository.
+    event: ValidationEvent,
+    /// The anchor certificate, kept so the log linearization can start
+    /// the descent without the repository.
     cert: Cert,
     name: String,
     usable: bool,
 }
 
 /// Cached outcome for one publication point (or its absence).
+///
+/// The point's event stream is pre-rendered into `chunks`: `chunks[i]`
+/// holds the events up to and including child `i`'s accept event, and
+/// the final chunk holds the trailing events. Rendering once at
+/// validation time makes relinearizing the whole log after a change
+/// pure `Arc`-pointer work.
 #[derive(Debug, Clone)]
 struct CachedPoint {
     ta_name: String,
@@ -118,9 +158,123 @@ struct CachedPoint {
     /// publication point exists for this CA".
     content_fp: Option<Fingerprint>,
     era: Era,
-    items: Vec<PointItem>,
+    /// Pre-rendered event chunks; `chunks.len() == children.len() + 1`
+    /// for validated points, empty for skipped ones.
+    chunks: Vec<Arc<Vec<ValidationEvent>>>,
+    /// Child CA certificates in walk order, interleaved with `chunks`.
+    children: Vec<Cert>,
     vrps: Vec<Vrp>,
     rejected: usize,
+    /// Object decisions this entry cost to compute (what a revalidation
+    /// adds to [`ApplyStats::objects_validated`]).
+    objects: usize,
+    /// The execute stage panicked on this point: it holds no outcome,
+    /// is never reusable, and is invisible in the event log.
+    skipped: bool,
+}
+
+impl CachedPoint {
+    fn from_outcome(
+        ta_name: &str,
+        ca_fp: Fingerprint,
+        content_fp: Option<Fingerprint>,
+        outcome: PointOutcome,
+    ) -> CachedPoint {
+        let rejected = outcome
+            .items
+            .iter()
+            .filter(|i| matches!(i, PointItem::Event(e) if e.rejected.is_some()))
+            .count();
+        let objects = outcome.items.len();
+        let (chunks, children) = render_chunks(&outcome.items, ta_name);
+        CachedPoint {
+            ta_name: ta_name.to_string(),
+            ca_fp,
+            content_fp,
+            era: outcome.era,
+            chunks,
+            children,
+            vrps: outcome.vrps,
+            rejected,
+            objects,
+            skipped: false,
+        }
+    }
+
+    fn missing(ta_name: &str, ca_fp: Fingerprint, ca_cert: &Cert) -> CachedPoint {
+        CachedPoint {
+            ta_name: ta_name.to_string(),
+            ca_fp,
+            content_fp: None,
+            era: Era::unbounded(),
+            chunks: vec![Arc::new(vec![missing_point_event(ta_name, ca_cert)])],
+            children: Vec::new(),
+            vrps: Vec::new(),
+            rejected: 1,
+            objects: 0,
+            skipped: false,
+        }
+    }
+
+    fn skipped(
+        ta_name: String,
+        ca_fp: Fingerprint,
+        content_fp: Option<Fingerprint>,
+    ) -> CachedPoint {
+        CachedPoint {
+            ta_name,
+            ca_fp,
+            content_fp,
+            era: Era::unbounded(),
+            chunks: Vec::new(),
+            children: Vec::new(),
+            vrps: Vec::new(),
+            rejected: 0,
+            objects: 0,
+            skipped: true,
+        }
+    }
+}
+
+/// Render a point's items into event chunks split at child descents
+/// (each child's accept event closes its chunk), plus the child list.
+fn render_chunks(
+    items: &[PointItem],
+    ta_name: &str,
+) -> (Vec<Arc<Vec<ValidationEvent>>>, Vec<Cert>) {
+    let mut chunks = Vec::new();
+    let mut children = Vec::new();
+    let mut current: Vec<ValidationEvent> = Vec::new();
+    for item in items {
+        match item {
+            PointItem::Event(e) => current.push(e.clone()),
+            PointItem::Child(child) => {
+                current.push(ca_accept_event(ta_name, child));
+                chunks.push(Arc::new(std::mem::take(&mut current)));
+                children.push((**child).clone());
+            }
+        }
+    }
+    chunks.push(Arc::new(current));
+    (chunks, children)
+}
+
+/// One frontier entry after the plan stage classified it.
+enum Planned {
+    /// Cached outcome still valid: committed untouched.
+    Reused(KeyId, CachedPoint),
+    /// No publication point for this CA — the verdict involves no
+    /// crypto, so it is computed at plan time.
+    Missing(KeyId, CachedPoint, Option<CachedPoint>),
+    /// Inputs changed: revalidated on the (parallel) execute stage.
+    Dirty {
+        ca_id: KeyId,
+        cert: Cert,
+        ta_name: String,
+        ca_fp: Fingerprint,
+        content_fp: Option<Fingerprint>,
+        old: Option<CachedPoint>,
+    },
 }
 
 /// A validator that carries per-publication-point outcome caches across
@@ -128,12 +282,20 @@ struct CachedPoint {
 #[derive(Debug, Clone)]
 pub struct IncrementalValidator {
     options: ValidationOptions,
+    /// Worker threads for the execute stage (1 = fully serial inline).
+    threads: usize,
     tas: Vec<CachedTa>,
     points: HashMap<KeyId, CachedPoint>,
     /// Reference-counted VRP multiset: distinct ROAs may assert the same
     /// payload, and one leaving must not withdraw the other's.
     vrp_counts: BTreeMap<Vrp, usize>,
     rejected: usize,
+    /// The maintained flat event log: the cached tree linearized in walk
+    /// order, `Arc`-sharing each point's pre-rendered chunks. Rebuilt in
+    /// O(points) only by passes that changed something.
+    log_pieces: Vec<Arc<Vec<ValidationEvent>>>,
+    /// Test-only fault hook: points whose revalidation panics.
+    poisoned: HashSet<KeyId>,
 }
 
 impl Default for IncrementalValidator {
@@ -147,11 +309,41 @@ impl IncrementalValidator {
     pub fn new(options: ValidationOptions) -> IncrementalValidator {
         IncrementalValidator {
             options,
+            threads: 1,
             tas: Vec::new(),
             points: HashMap::new(),
             vrp_counts: BTreeMap::new(),
             rejected: 0,
+            log_pieces: Vec::new(),
+            poisoned: HashSet::new(),
         }
+    }
+
+    /// Set the worker-thread count for the parallel execute stage
+    /// (clamped to at least 1; 1 = fully serial). Thread count never
+    /// changes results — the parallel ≡ serial equivalence is
+    /// property-tested in `tests/incremental_prop.rs`.
+    pub fn set_worker_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The execute stage's current worker-thread count.
+    pub fn worker_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Test-only fault hook: make the execute stage panic when it
+    /// (re)validates `point`, exercising the skip-and-count isolation
+    /// path. Has no effect while the point's cached outcome is reusable.
+    #[doc(hidden)]
+    pub fn poison_point_for_tests(&mut self, point: KeyId) {
+        self.poisoned.insert(point);
+    }
+
+    /// Clear the test-only fault hook.
+    #[doc(hidden)]
+    pub fn clear_poison_for_tests(&mut self) {
+        self.poisoned.clear();
     }
 
     /// Current validated VRP set, deduplicated and sorted.
@@ -167,6 +359,12 @@ impl IncrementalValidator {
     /// Validate `repo` as of `now`, reusing every cached publication
     /// point whose inputs are unchanged, and return the VRP delta
     /// relative to the previous call.
+    ///
+    /// Runs as a breadth-first wave sweep: each wave plans serially
+    /// (fingerprint diffing), executes the dirty points in parallel
+    /// (over [`worker_threads`](Self::worker_threads) workers), and
+    /// commits serially in plan order — so the outcome is byte-for-byte
+    /// independent of the thread count.
     pub fn apply(&mut self, repo: &Repository, now: SimTime) -> VrpDelta {
         let mut stats = ApplyStats::default();
         // VRP presence before this pass first touched the entry, recorded
@@ -178,7 +376,13 @@ impl IncrementalValidator {
         // the rest are dead and release their VRPs.
         let mut prev = std::mem::take(&mut self.points);
         let prev_tas = std::mem::take(&mut self.tas);
+        // Whether anything in the cached tree changed this pass — only
+        // then is the maintained flat log relinearized.
+        let mut log_dirty = false;
 
+        // Trust-anchor stage, serial: one signature check per anchor at
+        // worst, and the anchors seed the first wave's frontier.
+        let mut frontier: Vec<(Cert, String)> = Vec::new();
         for ta in &repo.trust_anchors {
             let fp = ta.fingerprint();
             let cached = prev_tas
@@ -188,6 +392,7 @@ impl IncrementalValidator {
                 Some(c) => c.clone(),
                 None => {
                     stats.objects_validated += 1;
+                    log_dirty = true;
                     let mut era = Era::unbounded();
                     let event = trust_anchor_event(ta, now, &mut era);
                     CachedTa {
@@ -200,26 +405,149 @@ impl IncrementalValidator {
                     }
                 }
             };
-            let usable = entry.usable;
-            let cert = entry.cert.clone();
-            let name = entry.name.clone();
+            if entry.usable {
+                frontier.push((entry.cert.clone(), entry.name.clone()));
+            }
             self.tas.push(entry);
-            if usable {
-                self.walk(
-                    repo,
-                    &mut prev,
-                    &cert,
-                    &name,
-                    now,
-                    &mut visited,
-                    &mut stats,
-                    &mut touched,
-                );
+        }
+        // Anchor removals and reorders change the log even when every
+        // surviving anchor hit the cache.
+        if self.tas.len() != prev_tas.len()
+            || self
+                .tas
+                .iter()
+                .zip(&prev_tas)
+                .any(|(a, b)| a.fingerprint != b.fingerprint)
+        {
+            log_dirty = true;
+        }
+
+        while !frontier.is_empty() {
+            // --- Plan (serial): diff the frontier against the cache. ---
+            let mut plan: Vec<Planned> = Vec::with_capacity(frontier.len());
+            for (cert, ta_name) in frontier.drain(..) {
+                let ca_id = cert.subject_key_id();
+                if !visited.insert(ca_id) {
+                    continue;
+                }
+                stats.points_total += 1;
+                let mut ca_fp = Fingerprint::new();
+                cert.fold_fingerprint(&mut ca_fp);
+                let pp = repo.points.get(&ca_id);
+                let content_fp = pp.map(super::repo::PublicationPoint::quick_fingerprint);
+                let prev_entry = prev.remove(&ca_id);
+                let reusable = prev_entry.as_ref().is_some_and(|c| {
+                    !c.skipped
+                        && c.ta_name == ta_name
+                        && c.ca_fp == ca_fp
+                        && c.content_fp == content_fp
+                        && c.era.contains(now)
+                });
+                if reusable {
+                    stats.points_reused += 1;
+                    plan.push(Planned::Reused(
+                        ca_id,
+                        prev_entry.expect("reusable entry exists"),
+                    ));
+                } else {
+                    stats.points_revalidated += 1;
+                    if pp.is_some() {
+                        plan.push(Planned::Dirty {
+                            ca_id,
+                            cert,
+                            ta_name,
+                            ca_fp,
+                            content_fp,
+                            old: prev_entry,
+                        });
+                    } else {
+                        let entry = CachedPoint::missing(&ta_name, ca_fp, &cert);
+                        plan.push(Planned::Missing(ca_id, entry, prev_entry));
+                    }
+                }
+            }
+
+            // --- Execute (parallel): pure (cert, point) → outcome. ---
+            let dirty: Vec<&Planned> = plan
+                .iter()
+                .filter(|p| matches!(p, Planned::Dirty { .. }))
+                .collect();
+            let options = self.options;
+            let poisoned = &self.poisoned;
+            let outcomes = ripki_par::run_indexed(
+                self.threads,
+                &dirty,
+                |_| (),
+                |(), _, p| {
+                    let Planned::Dirty {
+                        ca_id,
+                        cert,
+                        ta_name,
+                        ca_fp,
+                        content_fp,
+                        ..
+                    } = p
+                    else {
+                        unreachable!("execute stage only sees dirty work items");
+                    };
+                    assert!(
+                        !poisoned.contains(ca_id),
+                        "publication point poisoned for tests"
+                    );
+                    let pp = repo
+                        .points
+                        .get(ca_id)
+                        .expect("planned dirty point has a publication point");
+                    let outcome = validate_point(cert, pp, ta_name, now, options);
+                    CachedPoint::from_outcome(ta_name, *ca_fp, *content_fp, outcome)
+                },
+            );
+
+            // --- Commit (serial, plan order): fold outcomes back. ---
+            let mut outcome_iter = outcomes.into_iter();
+            for planned in plan {
+                match planned {
+                    Planned::Reused(ca_id, entry) => {
+                        for child in &entry.children {
+                            frontier.push((child.clone(), entry.ta_name.clone()));
+                        }
+                        self.points.insert(ca_id, entry);
+                    }
+                    Planned::Missing(ca_id, entry, old) => {
+                        log_dirty = true;
+                        self.commit_fresh(ca_id, entry, old, &mut frontier, &mut touched);
+                    }
+                    Planned::Dirty {
+                        ca_id,
+                        ta_name,
+                        ca_fp,
+                        content_fp,
+                        old,
+                        ..
+                    } => {
+                        log_dirty = true;
+                        let entry = match outcome_iter
+                            .next()
+                            .expect("one execute outcome per dirty item")
+                        {
+                            Some(entry) => {
+                                stats.objects_validated += entry.objects;
+                                entry
+                            }
+                            None => {
+                                stats.points_skipped += 1;
+                                CachedPoint::skipped(ta_name, ca_fp, content_fp)
+                            }
+                        };
+                        self.commit_fresh(ca_id, entry, old, &mut frontier, &mut touched);
+                    }
+                }
             }
         }
 
         // Points no longer reachable: withdraw their VRPs.
         for (_, dead) in prev.drain() {
+            log_dirty = true;
             self.release_vrps(&dead.vrps, &mut touched);
         }
 
@@ -229,6 +557,10 @@ impl IncrementalValidator {
             .filter(|t| t.event.rejected.is_some())
             .count()
             + self.points.values().map(|p| p.rejected).sum::<usize>();
+
+        if log_dirty {
+            self.relinearize_log();
+        }
 
         let mut delta = VrpDelta {
             stats,
@@ -247,88 +579,24 @@ impl IncrementalValidator {
         delta
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn walk(
+    /// Commit one freshly computed (or skipped) entry: swap the VRP
+    /// refcounts, extend the next wave's frontier, install the entry.
+    fn commit_fresh(
         &mut self,
-        repo: &Repository,
-        prev: &mut HashMap<KeyId, CachedPoint>,
-        ca_cert: &Cert,
-        ta_name: &str,
-        now: SimTime,
-        visited: &mut HashSet<KeyId>,
-        stats: &mut ApplyStats,
+        ca_id: KeyId,
+        entry: CachedPoint,
+        old: Option<CachedPoint>,
+        frontier: &mut Vec<(Cert, String)>,
         touched: &mut HashMap<Vrp, bool>,
     ) {
-        let ca_id = ca_cert.subject_key_id();
-        if !visited.insert(ca_id) {
-            return;
+        if let Some(old) = old {
+            self.release_vrps(&old.vrps, touched);
         }
-        stats.points_total += 1;
-        let mut ca_fp = Fingerprint::new();
-        ca_cert.fold_fingerprint(&mut ca_fp);
-        let pp = repo.points.get(&ca_id);
-        let content_fp = pp.map(super::repo::PublicationPoint::quick_fingerprint);
-
-        let prev_entry = prev.remove(&ca_id);
-        let reusable = prev_entry.as_ref().is_some_and(|c| {
-            c.ta_name == ta_name
-                && c.ca_fp == ca_fp
-                && c.content_fp == content_fp
-                && c.era.contains(now)
-        });
-        let entry = if reusable {
-            stats.points_reused += 1;
-            prev_entry.unwrap()
-        } else {
-            stats.points_revalidated += 1;
-            let fresh = match pp {
-                None => CachedPoint {
-                    ta_name: ta_name.to_string(),
-                    ca_fp,
-                    content_fp: None,
-                    era: Era::unbounded(),
-                    items: vec![PointItem::Event(missing_point_event(ta_name, ca_cert))],
-                    vrps: Vec::new(),
-                    rejected: 1,
-                },
-                Some(pp) => {
-                    let outcome = validate_point(ca_cert, pp, ta_name, now, self.options);
-                    stats.objects_validated += outcome.items.len();
-                    let rejected = outcome
-                        .items
-                        .iter()
-                        .filter(|i| matches!(i, PointItem::Event(e) if e.rejected.is_some()))
-                        .count();
-                    CachedPoint {
-                        ta_name: ta_name.to_string(),
-                        ca_fp,
-                        content_fp,
-                        era: outcome.era,
-                        items: outcome.items,
-                        vrps: outcome.vrps,
-                        rejected,
-                    }
-                }
-            };
-            if let Some(old) = prev_entry {
-                self.release_vrps(&old.vrps, touched);
-            }
-            self.acquire_vrps(&fresh.vrps, touched);
-            fresh
-        };
-
-        let children: Vec<Cert> = entry
-            .items
-            .iter()
-            .filter_map(|i| match i {
-                PointItem::Child(c) => Some((**c).clone()),
-                PointItem::Event(_) => None,
-            })
-            .collect();
+        self.acquire_vrps(&entry.vrps, touched);
+        for child in &entry.children {
+            frontier.push((child.clone(), entry.ta_name.clone()));
+        }
         self.points.insert(ca_id, entry);
-        for child in children {
-            self.walk(repo, prev, &child, ta_name, now, visited, stats, touched);
-        }
     }
 
     fn acquire_vrps(&mut self, vrps: &[Vrp], touched: &mut HashMap<Vrp, bool>) {
@@ -353,51 +621,63 @@ impl IncrementalValidator {
         }
     }
 
-    /// Reconstruct the [`ValidationReport`] a full `validate_with` run
-    /// would produce for the last applied `(repo, now)` — identical event
-    /// order and VRP set — from the cache alone.
-    pub fn report(&self) -> ValidationReport {
-        let mut report = ValidationReport::default();
-        let mut vrps: HashSet<Vrp> = HashSet::new();
+    /// Rebuild the maintained flat log from the cached tree: a
+    /// depth-first descent (matching the full validator's walk order)
+    /// that clones chunk `Arc`s, never events — O(points), not
+    /// O(events).
+    fn relinearize_log(&mut self) {
+        let mut pieces: Vec<Arc<Vec<ValidationEvent>>> = Vec::with_capacity(self.log_pieces.len());
+        let mut seen: HashSet<KeyId> = HashSet::new();
         for ta in &self.tas {
-            report.log.push(ta.event.clone());
-            if !ta.usable {
-                continue;
+            pieces.push(Arc::new(vec![ta.event.clone()]));
+            if ta.usable {
+                Self::linearize(&self.points, &ta.cert, &mut seen, &mut pieces);
             }
-            let mut visited: HashSet<KeyId> = HashSet::new();
-            self.replay(&ta.cert, &ta.name, &mut report, &mut vrps, &mut visited);
         }
-        let mut sorted: Vec<Vrp> = vrps.into_iter().collect();
-        sorted.sort();
-        report.vrps = sorted;
-        report
+        self.log_pieces = pieces;
     }
 
-    fn replay(
-        &self,
+    fn linearize(
+        points: &HashMap<KeyId, CachedPoint>,
         ca_cert: &Cert,
-        ta_name: &str,
-        report: &mut ValidationReport,
-        vrps: &mut HashSet<Vrp>,
-        visited: &mut HashSet<KeyId>,
+        seen: &mut HashSet<KeyId>,
+        pieces: &mut Vec<Arc<Vec<ValidationEvent>>>,
     ) {
         let ca_id = ca_cert.subject_key_id();
-        if !visited.insert(ca_id) {
+        if !seen.insert(ca_id) {
             return;
         }
-        let Some(entry) = self.points.get(&ca_id) else {
+        let Some(entry) = points.get(&ca_id) else {
             return;
         };
-        for item in &entry.items {
-            match item {
-                PointItem::Event(event) => report.log.push(event.clone()),
-                PointItem::Child(child) => {
-                    report.log.push(ca_accept_event(ta_name, child));
-                    self.replay(child, ta_name, report, vrps, visited);
-                }
+        for (i, chunk) in entry.chunks.iter().enumerate() {
+            if !chunk.is_empty() {
+                pieces.push(Arc::clone(chunk));
+            }
+            if let Some(child) = entry.children.get(i) {
+                Self::linearize(points, child, seen, pieces);
             }
         }
-        vrps.extend(entry.vrps.iter().copied());
+    }
+
+    /// The [`ValidationReport`] a full `validate_with` run would produce
+    /// for the last applied `(repo, now)` — identical event order and
+    /// VRP set — assembled from the incrementally maintained log and the
+    /// VRP refcount table. No walk is replayed and nothing is
+    /// revalidated; the cost is one clone of the event stream.
+    ///
+    /// A point skipped by panic isolation is absent from the log until a
+    /// later pass revalidates it.
+    pub fn report(&self) -> ValidationReport {
+        let total: usize = self.log_pieces.iter().map(|c| c.len()).sum();
+        let mut log = Vec::with_capacity(total);
+        for chunk in &self.log_pieces {
+            log.extend(chunk.iter().cloned());
+        }
+        ValidationReport {
+            vrps: self.vrps(),
+            log,
+        }
     }
 }
 
@@ -656,5 +936,68 @@ mod tests {
         let delta = inc.apply(&repo, now);
         assert_eq!(delta.announced.len(), 1);
         assert_equiv(&inc, &repo, now);
+    }
+
+    /// Two-CA world for the panic-isolation cases below.
+    fn poisoned_world() -> (RepositoryBuilder, KeyId, KeyId) {
+        let mut b = RepositoryBuilder::new(5, SimTime::EPOCH);
+        let ta = b.add_trust_anchor("RIPE", res(&["80.0.0.0/4"]));
+        let isp1 = b.add_ca(ta, "ISP-1", res(&["85.0.0.0/8"])).unwrap();
+        let isp2 = b.add_ca(ta, "ISP-2", res(&["86.0.0.0/8"])).unwrap();
+        b.add_roa(
+            isp1,
+            Asn::new(100),
+            vec![RoaPrefix::exact(p("85.1.0.0/16"))],
+        )
+        .unwrap();
+        b.add_roa(
+            isp2,
+            Asn::new(200),
+            vec![RoaPrefix::exact(p("86.1.0.0/16"))],
+        )
+        .unwrap();
+        (b, isp1, isp2)
+    }
+
+    /// A poisoned work item marks only its own publication point as
+    /// skipped: siblings still validate, the skipped point's VRPs are
+    /// withdrawn, and the next (healthy) pass recovers them.
+    #[test]
+    fn poisoned_point_is_skipped_and_recovered() {
+        let now = SimTime::EPOCH + Duration::days(1);
+        let (mut b, _isp1, isp2) = poisoned_world();
+        for threads in [1usize, 4] {
+            let mut inc = IncrementalValidator::default();
+            inc.set_worker_threads(threads);
+            inc.apply(&b.snapshot(), now);
+            assert_eq!(inc.vrps().len(), 2);
+
+            // Dirty both CAs (republish) with ISP-2 poisoned: only its
+            // point skips, ISP-1 revalidates normally.
+            b.republish(isp2).unwrap();
+            inc.poison_point_for_tests(isp2);
+            let repo = b.snapshot();
+            let delta = inc.apply(&repo, now);
+            assert_eq!(delta.stats.points_skipped, 1, "threads={threads}");
+            assert_eq!(delta.withdrawn.len(), 1, "threads={threads}");
+            assert_eq!(delta.withdrawn[0].asn, Asn::new(200));
+            assert_eq!(inc.vrps().len(), 1);
+            // The skipped point is invisible in the maintained log; the
+            // healthy siblings still match the full pass's prefix.
+            let replay = inc.report();
+            assert!(replay
+                .log
+                .iter()
+                .all(|e| !e.object.contains("ISP-2") || e.object.contains("CA cert")));
+
+            // Healthy pass: the skipped entry is never reusable, so the
+            // point revalidates and its VRP comes back.
+            inc.clear_poison_for_tests();
+            let delta = inc.apply(&repo, now);
+            assert_eq!(delta.stats.points_skipped, 0);
+            assert_eq!(delta.announced.len(), 1);
+            assert_eq!(delta.announced[0].asn, Asn::new(200));
+            assert_equiv(&inc, &repo, now);
+        }
     }
 }

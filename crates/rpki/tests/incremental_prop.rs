@@ -241,6 +241,45 @@ proptest! {
             prev = check_step(&mut inc, &repo, world.now, &prev);
         }
     }
+
+    /// Parallel ≡ serial: the same churn stream applied at 1 thread and
+    /// at 4 threads produces byte-identical results at every step — the
+    /// full [`VrpDelta`] (announce/withdraw sets *and* work stats), the
+    /// maintained event log, and the VRP view. The commit stage folds
+    /// execute outcomes in plan order, so thread count must only ever
+    /// change wall-clock time.
+    #[test]
+    fn parallel_apply_equals_serial_apply(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec(op_strategy(), 1..12),
+    ) {
+        let mut world = World::build(seed);
+        let mut repo = world.builder.snapshot();
+        let mut serial = IncrementalValidator::default();
+        serial.set_worker_threads(1);
+        let mut parallel = IncrementalValidator::default();
+        parallel.set_worker_threads(4);
+
+        let mut step = 0usize;
+        let mut check = |repo: &Repository, now| {
+            let serial_delta = serial.apply(repo, now);
+            let parallel_delta = parallel.apply(repo, now);
+            prop_assert_eq!(&serial_delta, &parallel_delta, "VrpDelta diverges at step {}", step);
+            let serial_report = serial.report();
+            let parallel_report = parallel.report();
+            prop_assert_eq!(&serial_report.vrps, &parallel_report.vrps, "VRPs diverge at step {}", step);
+            prop_assert_eq!(&serial_report.log, &parallel_report.log, "event logs diverge at step {}", step);
+            prop_assert_eq!(serial.rejected_count(), parallel.rejected_count());
+            step += 1;
+        };
+        check(&repo, world.now);
+        for op in &ops {
+            if world.apply(op) {
+                repo = world.builder.snapshot();
+            }
+            check(&repo, world.now);
+        }
+    }
 }
 
 /// Deterministic companion: one stream exercising every invalidation

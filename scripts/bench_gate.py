@@ -21,6 +21,12 @@ numbers compared directly; "lower" metrics are per-unit latencies whose
 reciprocal is the throughput. Absolute floors (FLOORS) encode acceptance
 criteria that must hold regardless of the baseline, e.g. the incremental
 validator's >= 10x speedup over a full validation pass.
+
+A bench JSON may carry a "scaling" section (per-thread-count timings
+from the parallel execute stage, plus the host's cpu count). Scaling
+rows are printed for the record but never gated: the gated metrics stay
+the single-threaded top-level numbers, so the gate is comparable across
+hosts with different core budgets.
 """
 
 import argparse
@@ -129,6 +135,17 @@ def main():
             print(f"{bench}/{metric}: {value:.4g} (floor {floor}, {verdict})")
             if value < floor:
                 failures.append(f"{bench}/{metric}: {value:.4g} < floor {floor}")
+
+        scaling = fresh.get("scaling")
+        if isinstance(scaling, dict):
+            print(f"{bench}/scaling (informational, not gated): "
+                  f"host cpus {scaling.get('cpus')}")
+            for row in scaling.get("threads", []):
+                cells = ", ".join(
+                    f"{k} {v:.4g}" if isinstance(v, float) else f"{k} {v}"
+                    for k, v in row.items()
+                )
+                print(f"  {cells}")
 
     if failures:
         print("\nbench gate FAILED:", file=sys.stderr)
