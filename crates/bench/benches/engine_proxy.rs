@@ -1,0 +1,178 @@
+//! Delta propagation through the proxy fabric vs snapshot rebuilds.
+//!
+//! The fabric's reason to exist: one epoch of ROA churn touches a
+//! handful of VRPs out of tens of thousands, so a hop that gossips
+//! `PayloadUpdate`s with deltas and applies them incrementally
+//! (`CacheServer::install_update` taking the delta fast path) should
+//! beat a hop that re-ships and re-installs the full snapshot every
+//! epoch by a wide margin — that gap is what lets a chain of proxies
+//! track the validator in lockstep without N× the validator's work.
+//!
+//! Both timed paths walk the same wiring — publish into a [`Gossip`],
+//! receive on a [`Subscription`], install into an RTR [`CacheServer`] —
+//! and differ only in whether the update carries its delta. Besides the
+//! Criterion comparison, the bench writes a machine-readable summary
+//! (mean per-epoch propagation cost on each path, speedup) to
+//! `results/BENCH_proxy.json` so the acceptance number survives the
+//! run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki_net::Asn;
+use ripki_payload::{PayloadUpdate, VrpDelta, VrpPayload, VrpTriple};
+use ripki_proxy::Gossip;
+use ripki_rtr::CacheServer;
+use std::time::Instant;
+
+/// Size of the steady-state VRP set (order of a mid-size RIR's ROAs).
+const VRPS: usize = 60_000;
+/// Churn epochs propagated per timed round.
+const EPOCHS: usize = 64;
+/// VRPs announced + withdrawn per epoch (RiPKI-scale churn: a few
+/// operators editing ROAs between validation runs).
+const DELTA_VRPS: usize = 10;
+
+fn vrp(i: u32, asn: u32) -> VrpTriple {
+    // Unique /24s spread over 10.0.0.0/8 and 11.0.0.0/8.
+    let prefix = format!("{}.{}.{}.0/24", 10 + (i >> 16), (i >> 8) & 0xff, i & 0xff);
+    VrpTriple {
+        prefix: prefix.parse().expect("synthesized prefix"),
+        max_length: 24,
+        asn: Asn::new(asn),
+    }
+}
+
+/// The epoch sequence: a big base set, then `EPOCHS` deltas each
+/// announcing and withdrawing `DELTA_VRPS / 2` VRPs.
+fn build_epochs() -> Vec<VrpPayload> {
+    let base: Vec<VrpTriple> = (0..VRPS as u32)
+        .map(|i| vrp(i, 64_496 + (i % 97)))
+        .collect();
+    let mut payloads = vec![VrpPayload::new(1, base)];
+    let mut fresh = VRPS as u32;
+    for e in 0..EPOCHS as u32 {
+        let prev = payloads.last().expect("non-empty");
+        let announced: Vec<VrpTriple> = (0..DELTA_VRPS as u32 / 2)
+            .map(|k| {
+                fresh += 1;
+                vrp(fresh, 65_000 + k)
+            })
+            .collect();
+        let withdrawn: Vec<VrpTriple> = prev
+            .vrps()
+            .iter()
+            .skip((e as usize * 131) % (VRPS / 2))
+            .take(DELTA_VRPS / 2)
+            .copied()
+            .collect();
+        let delta = VrpDelta::new(prev.epoch(), prev.epoch() + 1, announced, withdrawn);
+        let next = prev.apply(&delta).expect("delta chains from prev");
+        payloads.push(next);
+    }
+    payloads
+}
+
+/// The per-epoch updates a publisher would gossip. On the fabric's
+/// incremental path each update carries its delta (the engine emits
+/// deltas natively and upstream hops forward them); the strawman ships
+/// snapshot-only updates. Construction happens at the *publisher*, so
+/// it stays outside the per-hop propagation measurement below.
+fn build_updates(payloads: &[VrpPayload], delta: bool) -> Vec<PayloadUpdate> {
+    payloads
+        .windows(2)
+        .map(|pair| {
+            if delta {
+                PayloadUpdate::from_previous(&pair[0], pair[1].clone())
+            } else {
+                PayloadUpdate::snapshot(pair[1].clone())
+            }
+        })
+        .collect()
+}
+
+/// One hop of the fabric: publish each epoch's update into a gossip
+/// channel, receive it on a subscription, install it into an RTR
+/// cache. Returns the mean seconds per epoch. Updates carrying a delta
+/// take `install_update`'s incremental fast path; snapshot-only ones
+/// force the full set rebuild.
+fn propagate(base: &VrpPayload, updates: &[PayloadUpdate]) -> f64 {
+    let gossip = Gossip::new();
+    let mut sub = gossip.subscribe();
+    let cache = CacheServer::new(0x5EED);
+    // Seed the hop with the base set outside the timed region, as a
+    // long-lived proxy would be.
+    gossip.publish(PayloadUpdate::snapshot(base.clone()));
+    let seed = sub.recv().expect("base epoch");
+    assert!(cache.install_update(&seed));
+
+    let t0 = Instant::now();
+    for update in updates {
+        assert!(gossip.publish(update.clone()));
+        let update = sub.recv().expect("published epoch");
+        assert!(cache.install_update(&update));
+    }
+    t0.elapsed().as_secs_f64() / updates.len() as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let payloads = build_epochs();
+    let final_epoch = payloads.last().expect("non-empty").epoch();
+    let base = &payloads[0];
+    let delta_updates = build_updates(&payloads, true);
+    let snapshot_updates = build_updates(&payloads, false);
+
+    // Warm both paths once, then take the acceptance measurement.
+    propagate(base, &delta_updates);
+    propagate(base, &snapshot_updates);
+    let rounds = 4;
+    let mut delta_s = 0.0;
+    let mut snapshot_s = 0.0;
+    for _ in 0..rounds {
+        delta_s += propagate(base, &delta_updates);
+        snapshot_s += propagate(base, &snapshot_updates);
+    }
+    let delta_s = delta_s / f64::from(rounds);
+    let snapshot_s = snapshot_s / f64::from(rounds);
+    let speedup = snapshot_s / delta_s.max(f64::EPSILON);
+
+    println!("\n=== proxy fabric: delta propagation vs snapshot rebuild ===");
+    println!(
+        "{VRPS} vrps, {EPOCHS} epochs (final {final_epoch}), ~{DELTA_VRPS} vrps changed/epoch"
+    );
+    println!(
+        "delta path {:.4} ms/epoch, snapshot path {:.3} ms/epoch, speedup {speedup:.1}x",
+        delta_s * 1e3,
+        snapshot_s * 1e3,
+    );
+
+    let mut json = serde_json::Map::new();
+    let num = |v: f64| serde_json::to_value(&v).expect("f64 serializes");
+    let count = |v: usize| serde_json::to_value(&v).expect("usize serializes");
+    json.insert("bench".into(), "engine_proxy".into());
+    json.insert("vrps".into(), count(VRPS));
+    json.insert("epochs".into(), count(EPOCHS));
+    json.insert("delta_vrps_per_epoch".into(), count(DELTA_VRPS));
+    json.insert("delta_propagation_ms".into(), num(delta_s * 1e3));
+    json.insert("snapshot_rebuild_ms".into(), num(snapshot_s * 1e3));
+    json.insert("speedup".into(), num(speedup));
+    let json = serde_json::Value::Object(json);
+    let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(results_dir).ok();
+    let path = format!("{results_dir}/BENCH_proxy.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    let mut group = c.benchmark_group("engine_proxy");
+    group.sample_size(10);
+    group.bench_function("delta_propagation", |b| {
+        b.iter(|| propagate(base, &delta_updates))
+    });
+    group.bench_function("snapshot_rebuild", |b| {
+        b.iter(|| propagate(base, &snapshot_updates))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -94,6 +94,13 @@ USAGE:
       measure a synthetic world and serve it over the HTTP query plane
       (validity API, VRP exports, domain lookups, Prometheus metrics),
       optionally alongside an RTR cache, applying E churn epochs live
+  ripki-cli proxy --config FILE [--exit-after-drain BOOL]
+      run a VRP distribution fabric (units → combinators → targets)
+      declared in FILE; targets keep serving after finite units drain
+      (--exit-after-drain only returns for engine-rooted pipelines)
+  ripki-cli rtr-probe --connect ADDR [--timeout-ms MS]
+      sync once against an RTR cache and print its session, serial,
+      and payload summary (epoch, VRP count, digest)
   ripki-cli help
       this text";
 
@@ -158,6 +165,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "rtr-serve" => cmd_rtr_serve(&flags, out),
         "longitudinal" => cmd_longitudinal(&flags, out),
         "serve" => cmd_serve(&flags, out),
+        "proxy" => cmd_proxy(&flags, out),
+        "rtr-probe" => cmd_rtr_probe(&flags, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -727,6 +736,10 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             let batch = stream.next_epoch();
             let events = batch.events.len();
             let delta = engine.apply_events(&batch, &mut results);
+            // The epoch exists the moment the engine commits it; the
+            // announcement lets `/status` report lag while the (possibly
+            // slow) view build below is still running.
+            shared.announce_epoch(delta.to_epoch);
             // HTTP views and RTR serials advance in lockstep with the
             // engine's epoch — the serving plane's consistency contract.
             shared.publish(make_view(engine.snapshot(), &results));
@@ -757,6 +770,53 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+fn cmd_proxy(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = PathBuf::from(flags.require("config")?);
+    let exit_after_drain: bool = flags.get_parsed("exit-after-drain", false)?;
+    let text = std::fs::read_to_string(&path)?;
+    writeln!(out, "starting distribution fabric from {}", path.display())?;
+    out.flush()?;
+    // Fabric threads outlive this call's borrow of `out`, so the fabric
+    // logs straight to stdout — in the binary that is the same stream,
+    // and the multi-process chain test (and CI smoke) greps those lines.
+    let log = ripki_proxy::Log::to(Box::new(std::io::stdout()));
+    let mut manager =
+        ripki_proxy::Manager::from_toml(&text, &log).map_err(|e| CliError::Data(e.to_string()))?;
+    manager.drain();
+    if exit_after_drain {
+        manager.shutdown();
+        writeln!(out, "fabric drained; exiting")?;
+        return Ok(());
+    }
+    writeln!(out, "fabric drained; serving final state, ctrl-c to stop")?;
+    out.flush()?;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_rtr_probe(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = flags.require("connect")?;
+    let timeout_ms: u64 = flags.get_parsed("timeout-ms", 3_000)?;
+    let stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(timeout_ms)))?;
+    let mut client = ripki_rtr::Client::new(stream);
+    client
+        .sync()
+        .map_err(|e| CliError::Data(format!("rtr sync against {addr} failed: {e}")))?;
+    let (session, serial) = client
+        .state()
+        .ok_or_else(|| CliError::Data(format!("cache at {addr} sent no data")))?;
+    let payload = client
+        .payload()
+        .ok_or_else(|| CliError::Data(format!("cache at {addr} sent no data")))?;
+    writeln!(
+        out,
+        "rtr-probe {addr}: session {session:#06x} serial {serial} in lockstep with {payload}",
+    )?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1042,6 +1102,86 @@ mod tests {
             assert_eq!(a.bare.pairs, b.bare.pairs, "rank {}", a.rank);
             assert_eq!(a.www.pairs, b.www.pairs, "rank {}", a.rank);
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rtr_probe_reports_cache_state() {
+        let cache = std::sync::Arc::new(ripki_rtr::CacheServer::new(0xBEEF));
+        cache.install_snapshot(
+            3,
+            [VrpTriple {
+                prefix: "10.0.0.0/24".parse().unwrap(),
+                max_length: 24,
+                asn: Asn::new(64496),
+            }],
+        );
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let cache = std::sync::Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let (conn, _) = listener.accept().expect("accept");
+                let _ = cache.serve_connection(conn);
+            })
+        };
+        let text = run_ok(&["rtr-probe", "--connect", &addr.to_string()]);
+        assert!(text.contains("session 0xbeef"), "{text}");
+        assert!(text.contains("serial 3"), "{text}");
+        assert!(text.contains("epoch 3 (1 vrps"), "{text}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn proxy_rejects_bad_configs() {
+        let mut out = Vec::new();
+        let args: Vec<String> = vec!["proxy".into()];
+        assert!(matches!(run(&args, &mut out), Err(CliError::BadFlag(_))));
+
+        let args: Vec<String> = vec![
+            "proxy".into(),
+            "--config".into(),
+            "/nonexistent.toml".into(),
+        ];
+        assert!(matches!(run(&args, &mut out), Err(CliError::Io(_))));
+
+        let dir = scratch();
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = dir.join("broken.toml");
+        std::fs::write(&config, "[units.a]\ntype = \"flux\"\n").unwrap();
+        let args: Vec<String> = vec![
+            "proxy".into(),
+            "--config".into(),
+            config.to_str().unwrap().into(),
+        ];
+        match run(&args, &mut out) {
+            Err(CliError::Data(message)) => {
+                assert!(message.contains("unknown type"), "{message}");
+            }
+            other => panic!("expected a data error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn proxy_engine_pipeline_drains_and_exits() {
+        let dir = scratch();
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = dir.join("proxy.toml");
+        std::fs::write(
+            &config,
+            "[units.world]\ntype = \"engine\"\ndomains = 40\nepochs = 1\n\
+             \n[targets.cache]\ntype = \"rtr\"\nlisten = \"127.0.0.1:0\"\nunit = \"world\"\n",
+        )
+        .unwrap();
+        let text = run_ok(&[
+            "proxy",
+            "--config",
+            config.to_str().unwrap(),
+            "--exit-after-drain",
+            "true",
+        ]);
+        assert!(text.contains("fabric drained; exiting"), "{text}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -131,9 +131,15 @@ impl fmt::Display for Rule {
 }
 
 /// The modules allowed to write epoch fields directly. They carry the
-/// monotonicity assertions every other caller inherits by construction.
+/// monotonicity assertions every other caller inherits by construction:
+/// the engine commits epochs, the payload crate's constructors stamp
+/// them onto the wire currency, and the proxy gossip channel enforces
+/// forward motion at every fabric hop.
 pub fn is_blessed_epoch_module(path: &str) -> bool {
-    path == "crates/ripki/src/engine.rs"
+    matches!(
+        path,
+        "crates/ripki/src/engine.rs" | "crates/payload/src/lib.rs" | "crates/proxy/src/comms.rs"
+    )
 }
 
 /// Convert an OS path (relative to the workspace root) to the canonical
@@ -178,6 +184,9 @@ mod tests {
         assert!(Rule::PrintOutput.applies_to("crates/ripki/src/engine.rs"));
 
         assert!(!Rule::EpochWrite.applies_to("crates/ripki/src/engine.rs"));
+        assert!(!Rule::EpochWrite.applies_to("crates/payload/src/lib.rs"));
+        assert!(!Rule::EpochWrite.applies_to("crates/proxy/src/comms.rs"));
         assert!(Rule::EpochWrite.applies_to("crates/serve/src/view.rs"));
+        assert!(Rule::EpochWrite.applies_to("crates/proxy/src/units.rs"));
     }
 }

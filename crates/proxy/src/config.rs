@@ -1,0 +1,335 @@
+//! The pipeline declaration: a TOML-subset `proxy.toml` parser.
+//!
+//! The fabric is declared RTRTR-style as named *units* (ingest +
+//! transform) and *targets* (fan-out), wired by name:
+//!
+//! ```toml
+//! [units.engine]
+//! type = "engine"          # local study engine
+//! domains = 200
+//! epochs = 5
+//!
+//! [units.feed]
+//! type = "any"             # failover combinator
+//! sources = ["engine"]
+//!
+//! [targets.rtr]
+//! type = "rtr"
+//! listen = "127.0.0.1:0"
+//! unit = "feed"
+//! ```
+//!
+//! The container has no TOML crate, so this parses the subset the
+//! fabric needs: `[units.NAME]` / `[targets.NAME]` section headers,
+//! `key = value` entries with string / integer / boolean / string-array
+//! values, `#` comments, and nothing else. Unknown syntax is an error —
+//! a typo in an operator's pipeline must never silently drop a hop.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A scalar or string-list value in a pipeline declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer literal.
+    Int(u64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An array of quoted strings.
+    List(Vec<String>),
+}
+
+/// One declared section: its `key = value` entries.
+pub type Table = BTreeMap<String, Value>;
+
+/// A parsed pipeline declaration, section order preserved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProxyConfig {
+    /// Ingest and transform stages, in declaration order.
+    pub units: Vec<(String, Table)>,
+    /// Fan-out stages, in declaration order.
+    pub targets: Vec<(String, Table)>,
+}
+
+/// A declaration that cannot be a pipeline, with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line the problem was found on (0 for whole-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proxy config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl ProxyConfig {
+    /// Parse a `proxy.toml` document.
+    pub fn parse(text: &str) -> Result<ProxyConfig, ConfigError> {
+        let mut config = ProxyConfig::default();
+        // (is_unit, index into units/targets) of the open section.
+        let mut open: Option<(bool, usize)> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(lineno, format!("unterminated section header {line:?}")))?
+                    .trim();
+                let (kind, name) = header.split_once('.').ok_or_else(|| {
+                    err(
+                        lineno,
+                        format!("expected [units.NAME] or [targets.NAME], got [{header}]"),
+                    )
+                })?;
+                let name = name.trim();
+                if name.is_empty()
+                    || !name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+                {
+                    return Err(err(lineno, format!("invalid section name {name:?}")));
+                }
+                let bucket = match kind.trim() {
+                    "units" => &mut config.units,
+                    "targets" => &mut config.targets,
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("unknown section kind {other:?} (expected units or targets)"),
+                        ))
+                    }
+                };
+                if bucket.iter().any(|(n, _)| n == name) {
+                    return Err(err(lineno, format!("duplicate section [{header}]")));
+                }
+                bucket.push((name.to_string(), Table::new()));
+                open = Some((kind.trim() == "units", bucket.len() - 1));
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, format!("expected key = value, got {line:?}")))?;
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(err(lineno, "empty key"));
+            }
+            let value = parse_value(value.trim(), lineno)?;
+            let Some((is_unit, index)) = open else {
+                return Err(err(
+                    lineno,
+                    "entry before any [units.*]/[targets.*] section",
+                ));
+            };
+            let table = if is_unit {
+                &mut config.units[index].1
+            } else {
+                &mut config.targets[index].1
+            };
+            if table.insert(key.to_string(), value).is_some() {
+                return Err(err(lineno, format!("duplicate key {key:?}")));
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Drop a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(raw: &str, lineno: usize) -> Result<Value, ConfigError> {
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = raw.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| err(lineno, format!("unterminated string {raw:?}")))?;
+        if inner.contains('"') {
+            return Err(err(lineno, format!("embedded quote in string {raw:?}")));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if let Some(inner) = raw.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| err(lineno, format!("unterminated array {raw:?}")))?
+            .trim();
+        let mut items = Vec::new();
+        if !inner.is_empty() {
+            for item in inner.split(',') {
+                match parse_value(item.trim(), lineno)? {
+                    Value::Str(s) => items.push(s),
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("arrays may only hold strings, got {other:?}"),
+                        ))
+                    }
+                }
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    raw.parse::<u64>()
+        .map(Value::Int)
+        .map_err(|_| err(lineno, format!("unparseable value {raw:?}")))
+}
+
+/// Typed accessors over a section's table, with consistent errors.
+pub struct Section<'a> {
+    /// The section's display name (`units.engine`, `targets.rtr`).
+    pub name: String,
+    table: &'a Table,
+}
+
+impl<'a> Section<'a> {
+    /// Wrap a table under its display name.
+    pub fn new(kind: &str, name: &str, table: &'a Table) -> Section<'a> {
+        Section {
+            name: format!("{kind}.{name}"),
+            table,
+        }
+    }
+
+    fn missing(&self, key: &str, want: &str) -> ConfigError {
+        err(0, format!("[{}] needs {want} `{key}`", self.name))
+    }
+
+    /// A required string entry.
+    pub fn str(&self, key: &str) -> Result<&'a str, ConfigError> {
+        match self.table.get(key) {
+            Some(Value::Str(s)) => Ok(s),
+            _ => Err(self.missing(key, "a string")),
+        }
+    }
+
+    /// An optional string entry.
+    pub fn str_opt(&self, key: &str) -> Option<&'a str> {
+        match self.table.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// An integer entry with a default.
+    pub fn int_or(&self, key: &str, default: u64) -> Result<u64, ConfigError> {
+        match self.table.get(key) {
+            Some(Value::Int(n)) => Ok(*n),
+            None => Ok(default),
+            Some(_) => Err(self.missing(key, "an integer")),
+        }
+    }
+
+    /// A required string-array entry.
+    pub fn list(&self, key: &str) -> Result<&'a [String], ConfigError> {
+        match self.table.get(key) {
+            Some(Value::List(items)) => Ok(items),
+            _ => Err(self.missing(key, "a string array")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_pipeline() {
+        let text = r#"
+# two-hop demo
+[units.engine]
+type = "engine"   # local validator
+domains = 150
+epochs = 3
+exit-after-epochs = true
+
+[units.feed]
+type = "any"
+sources = ["engine"]
+
+[targets.rtr]
+type = "rtr"
+listen = "127.0.0.1:0"
+unit = "feed"
+"#;
+        let config = ProxyConfig::parse(text).expect("parse");
+        assert_eq!(config.units.len(), 2);
+        assert_eq!(config.targets.len(), 1);
+        let (name, engine) = &config.units[0];
+        assert_eq!(name, "engine");
+        assert_eq!(engine.get("type"), Some(&Value::Str("engine".into())));
+        assert_eq!(engine.get("domains"), Some(&Value::Int(150)));
+        assert_eq!(engine.get("exit-after-epochs"), Some(&Value::Bool(true)));
+        let (_, feed) = &config.units[1];
+        assert_eq!(
+            feed.get("sources"),
+            Some(&Value::List(vec!["engine".into()]))
+        );
+        let (name, rtr) = &config.targets[0];
+        assert_eq!(name, "rtr");
+        assert_eq!(rtr.get("unit"), Some(&Value::Str("feed".into())));
+    }
+
+    #[test]
+    fn rejects_malformed_declarations() {
+        for bad in [
+            "key = \"before any section\"",
+            "[units.engine",
+            "[pipelines.x]\n",
+            "[units.engine]\ntype",
+            "[units.engine]\ntype = \"a\nb\"",
+            "[units.engine]\nn = [1, 2]",
+            "[units.a]\n[units.a]",
+            "[units.a]\nk = \"x\"\nk = \"y\"",
+            "[units.bad name]",
+        ] {
+            assert!(ProxyConfig::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn section_accessors_type_check() {
+        let config =
+            ProxyConfig::parse("[units.u]\ns = \"x\"\nn = 5\nl = [\"a\", \"b\"]").expect("parse");
+        let section = Section::new("units", "u", &config.units[0].1);
+        assert_eq!(section.str("s").expect("str"), "x");
+        assert_eq!(section.int_or("n", 0).expect("int"), 5);
+        assert_eq!(section.int_or("absent", 7).expect("default"), 7);
+        assert_eq!(section.list("l").expect("list"), ["a", "b"]);
+        assert!(section.str("n").is_err());
+        assert!(section.list("s").is_err());
+        assert_eq!(section.str_opt("absent"), None);
+    }
+}

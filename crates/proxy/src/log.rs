@@ -1,0 +1,72 @@
+//! A shared line logger injected by the embedding binary.
+//!
+//! The fabric never prints on its own (ripki-lint R4 reserves stdout
+//! for the CLI): every unit, combinator, and target writes through a
+//! [`Log`] handed in by whoever started the manager — the CLI passes
+//! stdout, in-process tests pass a captured buffer or a sink.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A cloneable, thread-safe line sink.
+#[derive(Clone)]
+pub struct Log {
+    sink: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl fmt::Debug for Log {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Log")
+    }
+}
+
+impl Log {
+    /// Log through an arbitrary writer.
+    pub fn to(sink: Box<dyn Write + Send>) -> Log {
+        Log {
+            sink: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// Discard everything (tests and benches).
+    pub fn sink() -> Log {
+        Log::to(Box::new(std::io::sink()))
+    }
+
+    /// Write one line and flush it, so piped readers (the multi-process
+    /// chain test greps our output live) see it immediately. Logging is
+    /// best-effort: a dead sink never takes the fabric down.
+    pub fn line(&self, msg: &fmt::Arguments<'_>) {
+        let mut sink = self.sink.lock().expect("log sink poisoned");
+        let _ = writeln!(sink, "{msg}");
+        let _ = sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("capture").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lines_are_written_and_flushed() {
+        let capture = Capture::default();
+        let log = Log::to(Box::new(capture.clone()));
+        log.line(&format_args!("hello {}", 7));
+        let text = String::from_utf8(capture.0.lock().expect("capture").clone()).expect("utf8");
+        assert_eq!(text, "hello 7\n");
+    }
+}

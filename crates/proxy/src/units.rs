@@ -1,0 +1,548 @@
+//! Ingest units and combinators: everything that *produces* payload
+//! updates into the fabric.
+//!
+//! Units run as plain threads (workspace policy: `std::net` + threads,
+//! no async) publishing into a [`Gossip`]; combinators subscribe to
+//! other units' gossip and publish their own. All of them poll a shared
+//! shutdown flag between blocking steps, so the manager can stop a
+//! pipeline without killing the process.
+
+use crate::comms::{Gossip, Subscription, Wait};
+use crate::log::Log;
+use ripki::engine::StudyEngine;
+use ripki::pipeline::PipelineConfig;
+use ripki_payload::{PayloadUpdate, VrpDelta, VrpPayload};
+use ripki_rtr::{Backoff, PersistentClient};
+use ripki_websim::churn::{ChurnConfig, ChurnStream};
+use ripki_websim::{Scenario, ScenarioConfig};
+use std::collections::BTreeSet;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// How combinators pace their source polling.
+const COMBINATOR_TICK: Duration = Duration::from_millis(2);
+
+/// The local-validator unit: a study engine plus its churn stream,
+/// publishing one payload per epoch.
+#[derive(Debug, Clone)]
+pub struct EngineUnitConfig {
+    /// Ranked domains in the simulated world.
+    pub domains: usize,
+    /// World seed.
+    pub seed: u64,
+    /// Churn seed.
+    pub churn_seed: u64,
+    /// Churn epochs to publish after the initial one (the unit closes
+    /// its gossip when done).
+    pub epochs: u64,
+    /// Pause between epochs.
+    pub interval: Duration,
+}
+
+/// Run a local study engine as an ingest unit. Publishes the initial
+/// validation epoch, then `epochs` churn epochs (each with its exact
+/// engine delta attached), then closes the gossip.
+pub fn run_engine_unit(
+    name: &str,
+    config: &EngineUnitConfig,
+    gossip: &Gossip,
+    log: &Log,
+    shutdown: &AtomicBool,
+) {
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: config.seed,
+        ..ScenarioConfig::with_domains(config.domains)
+    });
+    let engine = StudyEngine::new(
+        scenario.zones.clone(),
+        scenario.rib.clone(),
+        &scenario.repository,
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now: scenario.now,
+            ..Default::default()
+        },
+    );
+    let mut results = engine.run(&scenario.ranking);
+    let snapshot = engine.snapshot();
+    let payload = VrpPayload::new(snapshot.epoch(), snapshot.vrps().iter().copied());
+    log.line(&format_args!(
+        "unit {name} (engine): epoch {} validated ({})",
+        payload.epoch(),
+        payload,
+    ));
+    gossip.publish(PayloadUpdate::snapshot(payload));
+
+    let mut stream = ChurnStream::new(
+        &scenario,
+        ChurnConfig {
+            seed: config.churn_seed,
+            ..ChurnConfig::default()
+        },
+    );
+    for _ in 0..config.epochs {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        std::thread::sleep(config.interval);
+        let batch = stream.next_epoch();
+        let delta = engine.apply_events(&batch, &mut results);
+        let snapshot = engine.snapshot();
+        let payload = VrpPayload::new(snapshot.epoch(), snapshot.vrps().iter().copied());
+        log.line(&format_args!(
+            "unit {name} (engine): epoch {} validated ({})",
+            payload.epoch(),
+            payload,
+        ));
+        let delta = VrpDelta::new(
+            delta.to_epoch - 1,
+            delta.to_epoch,
+            delta.announced,
+            delta.withdrawn,
+        );
+        gossip.publish(PayloadUpdate {
+            payload,
+            delta: Some(delta),
+        });
+    }
+    log.line(&format_args!("unit {name} (engine): finished"));
+    gossip.close();
+}
+
+/// The RTR ingest unit: a reconnecting router-side client feeding an
+/// upstream cache's serials into the fabric as epochs.
+#[derive(Debug, Clone)]
+pub struct RtrUnitConfig {
+    /// Upstream cache address (`host:port`).
+    pub connect: String,
+    /// Serial-notify poll interval (also the socket read timeout).
+    pub poll: Duration,
+}
+
+/// Run an RTR client unit until shutdown. Connection drops are ridden
+/// out by [`PersistentClient`] (incremental resume, capped backoff);
+/// every new serial is published with the delta from the previously
+/// published payload attached.
+pub fn run_rtr_unit(
+    name: &str,
+    config: &RtrUnitConfig,
+    gossip: &Gossip,
+    log: &Log,
+    shutdown: &AtomicBool,
+) {
+    let addr = config.connect.clone();
+    let poll = config.poll;
+    let mut client = PersistentClient::new(move || {
+        let stream = TcpStream::connect(&addr)?;
+        // The read timeout doubles as the notify poll interval: an idle
+        // poll_notify call returns after at most one `poll`.
+        stream.set_read_timeout(Some(poll))?;
+        Ok(stream)
+    })
+    .with_backoff(Backoff::new(
+        Duration::from_millis(50),
+        Duration::from_secs(2),
+    ));
+    let mut previous: Option<VrpPayload> = None;
+
+    while !shutdown.load(Ordering::SeqCst) {
+        match client.sync() {
+            Ok(_) => {}
+            Err(e) => {
+                log.line(&format_args!("unit {name} (rtr): sync failed: {e}"));
+                std::thread::sleep(config.poll);
+                continue;
+            }
+        }
+        if let Some(payload) = client.payload() {
+            let newer = previous
+                .as_ref()
+                .is_none_or(|prev| payload.epoch() > prev.epoch());
+            if newer {
+                log.line(&format_args!(
+                    "unit {name} (rtr): synced {payload} from {}",
+                    config.connect,
+                ));
+                let update = match &previous {
+                    Some(prev) if payload.epoch() > prev.epoch() => {
+                        PayloadUpdate::from_previous(prev, payload.clone())
+                    }
+                    _ => PayloadUpdate::snapshot(payload.clone()),
+                };
+                previous = Some(payload);
+                gossip.publish(update);
+            }
+        }
+        // Idle until the cache pushes a Serial Notify (or the poll
+        // timeout passes — then loop to re-check shutdown; a dead
+        // connection surfaces here and the next sync reconnects).
+        while !shutdown.load(Ordering::SeqCst) {
+            match client.poll_notify() {
+                Ok(Some(_)) => break,
+                Ok(None) => {
+                    if !client.is_connected() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    log.line(&format_args!("unit {name} (rtr): notify poll failed: {e}"));
+                    break;
+                }
+            }
+        }
+    }
+    gossip.close();
+}
+
+/// The JSON-over-HTTP ingest unit: polls a `/vrps.json` endpoint with
+/// conditional requests.
+#[derive(Debug, Clone)]
+pub struct JsonUnitConfig {
+    /// Export URL (`http://host:port/vrps.json`).
+    pub url: String,
+    /// Poll interval.
+    pub poll: Duration,
+}
+
+/// Run a JSON polling unit until shutdown. Sends `If-None-Match` with
+/// the last seen `ETag`, so an unchanged epoch costs a 304 and no body.
+pub fn run_json_unit(
+    name: &str,
+    config: &JsonUnitConfig,
+    gossip: &Gossip,
+    log: &Log,
+    shutdown: &AtomicBool,
+) {
+    let mut etag: Option<String> = None;
+    let mut previous: Option<VrpPayload> = None;
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut conditional = Vec::new();
+        if let Some(tag) = &etag {
+            conditional.push(("if-none-match", tag.as_str()));
+        }
+        match crate::http::get(
+            &config.url,
+            &conditional,
+            config.poll.max(Duration::from_millis(250)),
+        ) {
+            Ok(response) if response.status == 304 => {}
+            Ok(response) if response.status == 200 => {
+                let parsed = std::str::from_utf8(&response.body)
+                    .map_err(|_| "non-UTF-8 body".to_string())
+                    .and_then(|text| {
+                        ripki_payload::json::parse_vrps_json(text).map_err(|e| e.to_string())
+                    });
+                match parsed {
+                    Ok(payload) => {
+                        let newer = previous
+                            .as_ref()
+                            .is_none_or(|prev| payload.epoch() > prev.epoch());
+                        if newer {
+                            etag = response.header("etag").map(str::to_string);
+                            log.line(&format_args!(
+                                "unit {name} (json): fetched {payload} from {}",
+                                config.url,
+                            ));
+                            let update = match &previous {
+                                Some(prev) if payload.epoch() > prev.epoch() => {
+                                    PayloadUpdate::from_previous(prev, payload.clone())
+                                }
+                                _ => PayloadUpdate::snapshot(payload.clone()),
+                            };
+                            previous = Some(payload);
+                            gossip.publish(update);
+                        }
+                    }
+                    Err(e) => {
+                        log.line(&format_args!("unit {name} (json): bad payload: {e}"));
+                    }
+                }
+            }
+            Ok(response) => {
+                log.line(&format_args!(
+                    "unit {name} (json): unexpected status {} from {}",
+                    response.status, config.url,
+                ));
+            }
+            Err(e) => {
+                log.line(&format_args!("unit {name} (json): fetch failed: {e}"));
+            }
+        }
+        std::thread::sleep(config.poll);
+    }
+    gossip.close();
+}
+
+/// The set-level operation a combinator applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combinator {
+    /// Forward the newest epoch any source offers (failover: when the
+    /// preferred source stalls, a newer epoch from any other flows).
+    /// Sources must share an epoch space — e.g. the same origin over
+    /// different transports.
+    Any,
+    /// The union of every source's newest set. The output epoch is the
+    /// sum of the source epochs: it advances whenever any source does,
+    /// and never regresses because each source is monotonic.
+    Merge,
+    /// The VRPs the first source serves that the second does not
+    /// (shadow-deployment comparison). Output epoch as for `Merge`.
+    Diff,
+}
+
+impl Combinator {
+    /// Parse a config `type` string.
+    pub fn from_kind(kind: &str) -> Option<Combinator> {
+        match kind {
+            "any" => Some(Combinator::Any),
+            "merge" => Some(Combinator::Merge),
+            "diff" => Some(Combinator::Diff),
+            _ => None,
+        }
+    }
+}
+
+/// Run a combinator over its source subscriptions until every source
+/// closes (or shutdown). Output updates carry a delta from the previous
+/// output payload, so in-lockstep receivers stay incremental.
+pub fn run_combinator(
+    name: &str,
+    kind: Combinator,
+    mut sources: Vec<Subscription>,
+    gossip: &Gossip,
+    log: &Log,
+    shutdown: &AtomicBool,
+) {
+    let mut latest: Vec<Option<VrpPayload>> = sources.iter().map(|_| None).collect();
+    let mut open: Vec<bool> = sources.iter().map(|_| true).collect();
+    let mut newest_arrival: Option<PayloadUpdate> = None;
+    let mut previous_out: Option<VrpPayload> = None;
+    while !shutdown.load(Ordering::SeqCst) && open.iter().any(|&o| o) {
+        let mut changed = false;
+        for (i, source) in sources.iter_mut().enumerate() {
+            if !open[i] {
+                continue;
+            }
+            // Bounded wait on the first open source paces the loop;
+            // the rest are drained without blocking.
+            let update = if changed {
+                source.try_recv().map_or(Wait::TimedOut, Wait::Update)
+            } else {
+                source.recv_timeout(COMBINATOR_TICK)
+            };
+            match update {
+                Wait::Update(update) => {
+                    let is_newest = newest_arrival
+                        .as_ref()
+                        .is_none_or(|held| update.epoch() > held.epoch());
+                    if is_newest {
+                        newest_arrival = Some(update.clone());
+                    }
+                    latest[i] = Some(update.payload);
+                    changed = true;
+                }
+                Wait::TimedOut => {}
+                Wait::Closed => {
+                    open[i] = false;
+                }
+            }
+        }
+        if !changed {
+            continue;
+        }
+        let out = match kind {
+            Combinator::Any => newest_arrival.clone().map(|update| update.payload),
+            Combinator::Merge => combined(&latest, |a, b| a.union(b).copied().collect()),
+            Combinator::Diff => combined(&latest, |a, b| a.difference(b).copied().collect()),
+        };
+        let Some(payload) = out else { continue };
+        let advanced = previous_out
+            .as_ref()
+            .is_none_or(|prev| payload.epoch() > prev.epoch());
+        if !advanced {
+            continue;
+        }
+        let update = match (&kind, &previous_out, &newest_arrival) {
+            // `any` forwards the arrival's own delta when it chains
+            // from what we previously emitted (lockstep fast path).
+            (Combinator::Any, Some(prev), Some(arrival))
+                if arrival
+                    .delta
+                    .as_ref()
+                    .is_some_and(|d| d.from_epoch == prev.epoch()) =>
+            {
+                PayloadUpdate {
+                    payload: payload.clone(),
+                    delta: arrival.delta.clone(),
+                }
+            }
+            (_, Some(prev), _) => PayloadUpdate::from_previous(prev, payload.clone()),
+            _ => PayloadUpdate::snapshot(payload.clone()),
+        };
+        log.line(&format_args!(
+            "unit {name} ({kind:?}): epoch {} out ({payload})",
+            payload.epoch(),
+        ));
+        previous_out = Some(payload);
+        gossip.publish(update);
+    }
+    log.line(&format_args!("unit {name} ({kind:?}): sources drained"));
+    gossip.close();
+}
+
+/// Apply a binary set operation left-to-right across every source's
+/// newest payload; the output epoch is the sum of source epochs.
+/// `None` until every source has reported at least once (emitting a
+/// union with a missing source would publish a *shrunken* set later,
+/// which downstream RTR clients would see as mass withdrawals).
+fn combined(
+    latest: &[Option<VrpPayload>],
+    op: fn(
+        &BTreeSet<ripki_payload::VrpTriple>,
+        &BTreeSet<ripki_payload::VrpTriple>,
+    ) -> BTreeSet<ripki_payload::VrpTriple>,
+) -> Option<VrpPayload> {
+    let mut payloads = latest.iter();
+    let first = payloads.next()?.as_ref()?;
+    let mut set = first.vrps().clone();
+    let mut epoch = first.epoch();
+    for payload in payloads {
+        let payload = payload.as_ref()?;
+        set = op(&set, payload.vrps());
+        epoch += payload.epoch();
+    }
+    Some(VrpPayload::new(epoch, set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripki_net::Asn;
+    use ripki_payload::VrpTriple;
+    use std::sync::Arc;
+
+    fn vrp(prefix: &str, asn: u32) -> VrpTriple {
+        VrpTriple {
+            prefix: prefix.parse().expect("prefix"),
+            max_length: 24,
+            asn: Asn::new(asn),
+        }
+    }
+
+    fn run_combinator_once(kind: Combinator, feeds: Vec<Vec<VrpPayload>>) -> Vec<PayloadUpdate> {
+        let inputs: Vec<Gossip> = feeds.iter().map(|_| Gossip::new()).collect();
+        let sources = inputs.iter().map(Gossip::subscribe).collect();
+        let output = Gossip::new();
+        let mut collected = output.subscribe();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let log = Log::sink();
+        let handle = {
+            let output = output.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                run_combinator("t", kind, sources, &output, &log, &shutdown);
+            })
+        };
+        for (gossip, payloads) in inputs.iter().zip(feeds) {
+            for payload in payloads {
+                gossip.publish(PayloadUpdate::snapshot(payload));
+                // Give the combinator a tick to drain each publish so
+                // single-slot overwrites do not hide intermediate
+                // epochs from this test's expectations.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        for gossip in &inputs {
+            gossip.close();
+        }
+        handle.join().expect("combinator thread");
+        let mut updates = Vec::new();
+        while let Some(update) = collected.try_recv() {
+            updates.push(update);
+        }
+        updates
+    }
+
+    #[test]
+    fn any_forwards_the_newest_epoch() {
+        let updates = run_combinator_once(
+            Combinator::Any,
+            vec![
+                vec![VrpPayload::new(1, [vrp("10.0.0.0/24", 1)])],
+                vec![VrpPayload::new(3, [vrp("11.0.0.0/24", 2)])],
+            ],
+        );
+        let last = updates.last().expect("an update");
+        assert_eq!(last.epoch(), 3);
+        assert!(last.payload.vrps().contains(&vrp("11.0.0.0/24", 2)));
+    }
+
+    #[test]
+    fn merge_unions_and_sums_epochs() {
+        let updates = run_combinator_once(
+            Combinator::Merge,
+            vec![
+                vec![VrpPayload::new(2, [vrp("10.0.0.0/24", 1)])],
+                vec![VrpPayload::new(5, [vrp("11.0.0.0/24", 2)])],
+            ],
+        );
+        let last = updates.last().expect("an update");
+        assert_eq!(last.epoch(), 7, "epoch is the sum of source epochs");
+        assert_eq!(last.payload.len(), 2);
+    }
+
+    #[test]
+    fn diff_subtracts_the_second_source() {
+        let updates = run_combinator_once(
+            Combinator::Diff,
+            vec![
+                vec![VrpPayload::new(
+                    2,
+                    [vrp("10.0.0.0/24", 1), vrp("11.0.0.0/24", 2)],
+                )],
+                vec![VrpPayload::new(3, [vrp("11.0.0.0/24", 2)])],
+            ],
+        );
+        let last = updates.last().expect("an update");
+        assert_eq!(
+            last.payload.vrps().iter().copied().collect::<Vec<_>>(),
+            [vrp("10.0.0.0/24", 1)]
+        );
+    }
+
+    #[test]
+    fn merge_waits_for_every_source() {
+        // Only one of two sources has reported: no output yet.
+        let updates = run_combinator_once(
+            Combinator::Merge,
+            vec![vec![VrpPayload::new(2, [vrp("10.0.0.0/24", 1)])], vec![]],
+        );
+        assert!(updates.is_empty(), "partial unions must not be published");
+    }
+
+    #[test]
+    fn engine_unit_publishes_initial_and_churn_epochs() {
+        let gossip = Gossip::new();
+        let mut sub = gossip.subscribe();
+        let shutdown = AtomicBool::new(false);
+        run_engine_unit(
+            "e",
+            &EngineUnitConfig {
+                domains: 40,
+                seed: 7,
+                churn_seed: 9,
+                epochs: 2,
+                interval: Duration::ZERO,
+            },
+            &gossip,
+            &Log::sink(),
+            &shutdown,
+        );
+        let mut epochs = Vec::new();
+        while let Some(update) = sub.recv() {
+            epochs.push(update.epoch());
+        }
+        assert_eq!(*epochs.last().expect("epochs"), 3, "1 initial + 2 churn");
+    }
+}

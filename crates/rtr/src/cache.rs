@@ -9,6 +9,7 @@
 use crate::pdu::{read_pdu, ErrorCode, Pdu, PduError};
 use ripki_bgp::rov::VrpTriple;
 use ripki_net::IpPrefix;
+use ripki_payload::{PayloadUpdate, VrpDelta, VrpPayload};
 use std::collections::{BTreeSet, VecDeque};
 use std::io::{Read, Write};
 use std::sync::Mutex;
@@ -214,6 +215,53 @@ impl CacheServer {
             st.history.pop_front();
         }
         true
+    }
+
+    /// Install a [`PayloadUpdate`] from the distribution fabric: the
+    /// delta path when the update chains contiguously from the cache's
+    /// serial, the snapshot path otherwise. This is the single entry
+    /// point proxy targets use, so every hop shares one resync policy.
+    ///
+    /// Returns `true` when the cache state changed (serial advanced).
+    pub fn install_update(&self, update: &PayloadUpdate) -> bool {
+        if let Some(delta) = &update.delta {
+            if self.apply_vrp_delta(delta) {
+                return true;
+            }
+        }
+        self.install_payload(&update.payload)
+    }
+
+    /// Install a full payload snapshot under its serial (see
+    /// [`install_snapshot`](Self::install_snapshot) for the delta-vs-
+    /// reset rules the serial jump decides).
+    pub fn install_payload(&self, payload: &VrpPayload) -> bool {
+        self.install_snapshot(payload.serial(), payload.vrps().iter().copied())
+    }
+
+    /// Stream a payload delta into the cache. Succeeds only when the
+    /// delta chains contiguously in serial space (see
+    /// [`apply_delta`](Self::apply_delta)); epochs are mapped to RTR
+    /// serials by truncation, matching [`VrpPayload::serial`].
+    pub fn apply_vrp_delta(&self, delta: &VrpDelta) -> bool {
+        // A delta whose epoch step is not exactly +1 cannot be serial-
+        // contiguous either; `apply_delta` would refuse it, but checking
+        // here keeps the truncation from aliasing a 2^32-epoch jump
+        // onto a plausible-looking serial step.
+        if delta.to_epoch != delta.from_epoch.wrapping_add(1) {
+            return false;
+        }
+        self.apply_delta(delta.to_epoch as u32, &delta.announced, &delta.withdrawn)
+    }
+
+    /// The currently served set as an epoch-stamped payload, or `None`
+    /// before the first install. The epoch is the serial widened to
+    /// `u64` — exact for every engine-fed cache (engine epochs are the
+    /// serials) and still monotonic for self-incrementing ones.
+    pub fn payload(&self) -> Option<VrpPayload> {
+        let st = self.state.lock().expect("rtr cache state poisoned");
+        st.has_data
+            .then(|| VrpPayload::new(u64::from(st.serial), st.current.iter().copied()))
     }
 
     /// Current serial.
@@ -740,6 +788,52 @@ mod tests {
         assert!(cache.install_snapshot(3, [vrp("10.0.0.0/16", 16, 1)]));
         assert!(!cache.install_snapshot(3, [vrp("11.0.0.0/16", 16, 2)]));
         assert_eq!(cache.vrp_count(), 1);
+    }
+
+    #[test]
+    fn install_update_prefers_delta_falls_back_to_snapshot() {
+        let cache = CacheServer::new(7);
+        let p3 = VrpPayload::new(3, [vrp("10.0.0.0/16", 16, 1)]);
+        assert!(cache.install_payload(&p3));
+        assert_eq!(cache.serial(), 3);
+        assert_eq!(cache.payload(), Some(p3.clone()));
+
+        // Contiguous update: the delta path applies and routers at
+        // serial 3 sync incrementally.
+        let p4 = VrpPayload::new(4, [vrp("10.0.0.0/16", 16, 1), vrp("11.0.0.0/16", 16, 2)]);
+        let update = PayloadUpdate::from_previous(&p3, p4.clone());
+        assert!(update.delta.is_some());
+        assert!(cache.install_update(&update));
+        assert_eq!(cache.payload(), Some(p4.clone()));
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 3,
+        });
+        assert_eq!(out.len(), 3); // response + announce 11/16 + EOD
+        assert!(matches!(out.last(), Some(Pdu::EndOfData { serial: 4, .. })));
+
+        // Epoch jump: the delta cannot chain, the snapshot path takes
+        // over, and stale routers are forced through a Cache Reset.
+        let p9 = VrpPayload::new(9, [vrp("12.0.0.0/16", 16, 3)]);
+        let jump = PayloadUpdate::from_previous(&p4, p9.clone());
+        assert!(cache.install_update(&jump));
+        assert_eq!(cache.payload(), Some(p9));
+        let out = cache.handle_query(&Pdu::SerialQuery {
+            session_id: 7,
+            serial: 4,
+        });
+        assert_eq!(out, vec![Pdu::CacheReset]);
+
+        // Same-epoch replay is a no-op.
+        let replay = PayloadUpdate::snapshot(VrpPayload::new(9, [vrp("13.0.0.0/16", 16, 4)]));
+        assert!(!cache.install_update(&replay));
+        assert_eq!(cache.vrp_count(), 1);
+    }
+
+    #[test]
+    fn payload_is_none_before_first_install() {
+        let cache = CacheServer::new(7);
+        assert_eq!(cache.payload(), None);
     }
 
     #[test]

@@ -5,13 +5,25 @@
 //! after a Cache Reset) or a Serial Query, applies the announce/withdraw
 //! records, and hands back a summary. The resulting VRP set plugs
 //! straight into [`ripki_bgp::rov::RouteOriginValidator`].
+//!
+//! For proxy duty — where the client is a long-lived ingest unit, not a
+//! one-shot test fixture — the plain [`Client`] is wrapped by
+//! [`PersistentClient`]: it owns a connect factory instead of a single
+//! stream, survives connection drops by carrying the
+//! `(session_id, serial)` context and VRP set across reconnects (so a
+//! resumed session issues an incremental Serial Query, not a full
+//! refetch), backs off with capped exponential delays, and degrades to
+//! a full resync only when the cache forces one (Cache Reset after a
+//! serial gap, or a session id change after a cache restart).
 
 use crate::pdu::{read_pdu, ErrorCode, Pdu, PduError};
 use ripki_bgp::rov::{RouteOriginValidator, VrpTriple};
 use ripki_net::{IpPrefix, Ipv4Prefix, Ipv6Prefix};
+use ripki_payload::VrpPayload;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::io::{Read, Write};
+use std::time::Duration;
 
 /// Client-side failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +126,29 @@ impl<S: Read + Write> Client<S> {
         }
     }
 
+    /// Wrap a freshly connected stream, resuming from context salvaged
+    /// off a dead connection (see [`Client::into_state`]). With a
+    /// `Some` state the first [`sync`](Self::sync) issues an
+    /// incremental Serial Query instead of refetching the full set —
+    /// the cache decides whether the gap is still bridgeable or forces
+    /// a Cache Reset.
+    pub fn resume(stream: S, state: Option<(u16, u32)>, vrps: BTreeSet<VrpTriple>) -> Client<S> {
+        Client {
+            stream,
+            buf: Vec::new(),
+            state,
+            vrps,
+            notified_serial: None,
+        }
+    }
+
+    /// Tear the client down, salvaging the `(session_id, serial)`
+    /// context and VRP set for a future [`Client::resume`] on a new
+    /// connection.
+    pub fn into_state(self) -> (Option<(u16, u32)>, BTreeSet<VrpTriple>) {
+        (self.state, self.vrps)
+    }
+
     /// The `(session_id, serial)` pair, once synchronized.
     pub fn state(&self) -> Option<(u16, u32)> {
         self.state
@@ -144,6 +179,15 @@ impl<S: Read + Write> Client<S> {
     /// Build an origin validator from the current VRP set.
     pub fn to_validator(&self) -> RouteOriginValidator {
         RouteOriginValidator::from_vrps(self.vrps.iter().copied())
+    }
+
+    /// The current VRP set as an epoch-stamped payload (`None` before
+    /// the first sync). The epoch is the RTR serial widened to `u64`,
+    /// mirroring [`VrpPayload::serial`]'s truncation in the other
+    /// direction.
+    pub fn payload(&self) -> Option<VrpPayload> {
+        self.state
+            .map(|(_, serial)| VrpPayload::new(u64::from(serial), self.vrps.iter().copied()))
     }
 
     /// Absorb unsolicited Serial Notifies sitting in the transport
@@ -285,6 +329,11 @@ impl<S: Read + Write> Client<S> {
                     }
                     break serial;
                 }
+                // The cache noticed mid-response that it cannot finish
+                // the delta (history evicted under it, serial wrapped):
+                // discard everything staged and start over via Reset
+                // Query, exactly as for an up-front Cache Reset.
+                Pdu::CacheReset => return Ok(None),
                 Pdu::ErrorReport { code, text, .. } => {
                     return Err(ClientError::CacheError { code, text })
                 }
@@ -314,6 +363,243 @@ impl<S: Read + Write> Client<S> {
             announced,
             withdrawn,
         }))
+    }
+}
+
+/// Capped exponential backoff schedule for reconnect attempts.
+///
+/// Pure duration bookkeeping — it never sleeps or reads a clock itself,
+/// so callers stay testable with zero delays.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    current: Duration,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and doubling up to `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            current: base,
+        }
+    }
+
+    /// The delay to wait before the next attempt; doubles the
+    /// following one (capped).
+    pub fn next_delay(&mut self) -> Duration {
+        let delay = self.current;
+        self.current = self.current.saturating_mul(2).min(self.cap);
+        delay
+    }
+
+    /// Return to the base delay after a successful attempt.
+    pub fn reset(&mut self) {
+        self.current = self.base;
+    }
+}
+
+impl Default for Backoff {
+    /// 100 ms doubling to a 5 s ceiling.
+    fn default() -> Backoff {
+        Backoff::new(Duration::from_millis(100), Duration::from_secs(5))
+    }
+}
+
+/// A reconnecting RTR client for proxy duty: owns a connect factory
+/// instead of a single stream and keeps the `(session_id, serial)`
+/// context plus VRP set alive across connection drops.
+///
+/// Recovery policy per failure class:
+///
+/// - **Transport errors** (connect refused, mid-exchange EOF): the
+///   context is salvaged with [`Client::into_state`], the next
+///   connection resumes with [`Client::resume`], and the retry waits
+///   out a capped exponential [`Backoff`]. A resumed session issues an
+///   incremental Serial Query — not a full refetch — so a blip costs
+///   one delta, not the whole set.
+/// - **Cache restart** (session id changed in-band, or the cache
+///   rejects our session as corrupt data): the salvaged context is
+///   void; it is discarded and the next connection starts from a Reset
+///   Query.
+/// - **Everything else** (genuine protocol violations, error reports
+///   like "no data available") is surfaced to the caller unchanged.
+pub struct PersistentClient<S: Read + Write, F: FnMut() -> std::io::Result<S>> {
+    connect: F,
+    client: Option<Client<S>>,
+    /// Context carried while between connections; authoritative only
+    /// when `client` is `None`.
+    state: Option<(u16, u32)>,
+    vrps: BTreeSet<VrpTriple>,
+    backoff: Backoff,
+    max_attempts: u32,
+    sleep: fn(Duration),
+}
+
+impl<S: Read + Write, F: FnMut() -> std::io::Result<S>> PersistentClient<S, F> {
+    /// A persistent client around a connect factory. No connection is
+    /// made until the first [`sync`](Self::sync).
+    pub fn new(connect: F) -> PersistentClient<S, F> {
+        PersistentClient {
+            connect,
+            client: None,
+            state: None,
+            vrps: BTreeSet::new(),
+            backoff: Backoff::default(),
+            max_attempts: 8,
+            sleep: std::thread::sleep,
+        }
+    }
+
+    /// Replace the reconnect backoff schedule (tests use zero delays).
+    pub fn with_backoff(mut self, backoff: Backoff) -> PersistentClient<S, F> {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Cap on consecutive failed attempts within one
+    /// [`sync`](Self::sync) before the last error is surfaced
+    /// (default 8).
+    pub fn with_max_attempts(mut self, n: u32) -> PersistentClient<S, F> {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// The `(session_id, serial)` pair, once synchronized — survives
+    /// between connections.
+    pub fn state(&self) -> Option<(u16, u32)> {
+        self.client.as_ref().map_or(self.state, Client::state)
+    }
+
+    /// The VRPs currently held — survive between connections.
+    pub fn vrps(&self) -> &BTreeSet<VrpTriple> {
+        self.client.as_ref().map_or(&self.vrps, Client::vrps)
+    }
+
+    /// The current VRP set as an epoch-stamped payload (`None` before
+    /// the first successful sync).
+    pub fn payload(&self) -> Option<VrpPayload> {
+        match &self.client {
+            Some(client) => client.payload(),
+            None => self
+                .state
+                .map(|(_, serial)| VrpPayload::new(u64::from(serial), self.vrps.iter().copied())),
+        }
+    }
+
+    /// Whether a connection is currently established.
+    pub fn is_connected(&self) -> bool {
+        self.client.is_some()
+    }
+
+    /// Drop the current connection (if any), salvaging the sync
+    /// context for the next one.
+    pub fn disconnect(&mut self) {
+        if let Some(client) = self.client.take() {
+            let (state, vrps) = client.into_state();
+            self.state = state;
+            self.vrps = vrps;
+        }
+    }
+
+    /// Absorb unsolicited Serial Notifies without issuing a query (see
+    /// [`Client::poll_notify`]). `Ok(None)` when not connected or
+    /// nothing was pending; a dead connection is torn down (context
+    /// salvaged) and reported as nothing pending — the next
+    /// [`sync`](Self::sync) reconnects.
+    pub fn poll_notify(&mut self) -> Result<Option<u32>, ClientError> {
+        let Some(client) = self.client.as_mut() else {
+            return Ok(None);
+        };
+        match client.poll_notify() {
+            Ok(latest) => Ok(latest),
+            Err(ClientError::Pdu(PduError::Io(_))) => {
+                self.disconnect();
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Synchronize with the cache, transparently (re)connecting and
+    /// retrying per the recovery policy above. Fails only after
+    /// `max_attempts` consecutive recoverable failures or on the first
+    /// unrecoverable error.
+    pub fn sync(&mut self) -> Result<SyncOutcome, ClientError> {
+        let mut failures = 0u32;
+        loop {
+            if self.client.is_none() {
+                match (self.connect)() {
+                    Ok(stream) => {
+                        self.client = Some(Client::resume(
+                            stream,
+                            self.state,
+                            std::mem::take(&mut self.vrps),
+                        ));
+                    }
+                    Err(e) => {
+                        let err = ClientError::Pdu(PduError::Io(e.to_string()));
+                        failures += 1;
+                        if failures >= self.max_attempts {
+                            return Err(err);
+                        }
+                        (self.sleep)(self.backoff.next_delay());
+                        continue;
+                    }
+                }
+            }
+            let client = self.client.as_mut().expect("connected above");
+            match client.sync() {
+                Ok(outcome) => {
+                    self.backoff.reset();
+                    return Ok(outcome);
+                }
+                Err(err @ ClientError::Pdu(PduError::Io(_))) => {
+                    // Connection died: salvage context, retry on a
+                    // fresh connection with an incremental query.
+                    self.disconnect();
+                    failures += 1;
+                    if failures >= self.max_attempts {
+                        return Err(err);
+                    }
+                    (self.sleep)(self.backoff.next_delay());
+                }
+                Err(err @ ClientError::ProtocolViolation("session id changed mid-session")) => {
+                    // The cache restarted under us; our incremental
+                    // context is void. Start over from nothing.
+                    self.client = None;
+                    self.state = None;
+                    self.vrps.clear();
+                    failures += 1;
+                    if failures >= self.max_attempts {
+                        return Err(err);
+                    }
+                    (self.sleep)(self.backoff.next_delay());
+                }
+                Err(
+                    err @ ClientError::CacheError {
+                        code: ErrorCode::CorruptData,
+                        ..
+                    },
+                ) if self.state().is_some() => {
+                    // The cache rejected the session we presented
+                    // (RFC 6810 answers a foreign session id with
+                    // Corrupt Data): same story as an in-band session
+                    // change.
+                    self.client = None;
+                    self.state = None;
+                    self.vrps.clear();
+                    failures += 1;
+                    if failures >= self.max_attempts {
+                        return Err(err);
+                    }
+                    (self.sleep)(self.backoff.next_delay());
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -472,5 +758,282 @@ mod tests {
         c1.sync().unwrap();
         c2.sync().unwrap();
         assert_eq!(c1.vrps(), c2.vrps());
+    }
+
+    /// The resume-after-serial-gap scenario: a dropped connection no
+    /// longer loses the `(session_id, serial)` context. The salvaged
+    /// state rides over to a fresh connection and the next sync is an
+    /// incremental Serial Query covering exactly the missed serials.
+    #[test]
+    fn resume_after_serial_gap_is_incremental() {
+        let cache = Arc::new(CacheServer::new(11));
+        cache.update([vrp("10.0.0.0/16", 16, 1), vrp("11.0.0.0/16", 16, 2)]);
+        let (mut client, _h) = connect(cache.clone());
+        client.sync().unwrap();
+
+        // Connection drops; the world moves on by two serials.
+        let (state, vrps) = client.into_state();
+        assert_eq!(state, Some((11, 1)));
+        cache.update([
+            vrp("10.0.0.0/16", 16, 1),
+            vrp("11.0.0.0/16", 16, 2),
+            vrp("12.0.0.0/16", 16, 3),
+        ]);
+        cache.update([
+            vrp("10.0.0.0/16", 16, 1),
+            vrp("12.0.0.0/16", 16, 3),
+            vrp("13.0.0.0/16", 16, 4),
+        ]);
+
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        let cache2 = cache.clone();
+        let _h2 = std::thread::spawn(move || {
+            let _ = cache2.serve_connection(b);
+        });
+        let mut resumed = Client::resume(a, state, vrps);
+        let outcome = resumed.sync().unwrap();
+        // Only the gap's delta crosses the wire, not the full set.
+        assert_eq!(
+            outcome,
+            SyncOutcome::Updated {
+                serial: 3,
+                announced: 2,
+                withdrawn: 1
+            }
+        );
+        assert_eq!(resumed.state(), Some((11, 3)));
+        assert_eq!(resumed.vrps().len(), 3);
+        assert_eq!(
+            resumed.payload().unwrap(),
+            cache.payload().unwrap(),
+            "resumed set is byte-identical to the cache's"
+        );
+    }
+
+    /// A transcript stream: reads come from a canned PDU script,
+    /// writes vanish. Lets a test exercise server behaviors the real
+    /// `CacheServer` never emits (e.g. a mid-response Cache Reset).
+    struct Scripted(std::io::Cursor<Vec<u8>>);
+
+    impl std::io::Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.0.read(buf)
+        }
+    }
+
+    impl std::io::Write for Scripted {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn cache_reset_mid_stream_discards_staged_records() {
+        let good = vrp("11.0.0.0/16", 16, 2);
+        let mut script = Vec::new();
+        // First exchange: the cache starts answering, then bails with
+        // a mid-stream Cache Reset. The staged 10/16 must NOT apply.
+        script.extend(Pdu::CacheResponse { session_id: 7 }.encode());
+        script.extend(
+            Pdu::Ipv4Prefix {
+                announce: true,
+                prefix_len: 16,
+                max_len: 16,
+                prefix: "10.0.0.0".parse().unwrap(),
+                asn: Asn::new(1),
+            }
+            .encode(),
+        );
+        script.extend(Pdu::CacheReset.encode());
+        // Recovery exchange (the client's follow-up Reset Query).
+        script.extend(Pdu::CacheResponse { session_id: 7 }.encode());
+        script.extend(
+            Pdu::Ipv4Prefix {
+                announce: true,
+                prefix_len: 16,
+                max_len: 16,
+                prefix: "11.0.0.0".parse().unwrap(),
+                asn: Asn::new(2),
+            }
+            .encode(),
+        );
+        script.extend(
+            Pdu::EndOfData {
+                session_id: 7,
+                serial: 5,
+            }
+            .encode(),
+        );
+
+        let mut client = Client::new(Scripted(std::io::Cursor::new(script)));
+        let outcome = client.sync().unwrap();
+        assert_eq!(
+            outcome,
+            SyncOutcome::Updated {
+                serial: 5,
+                announced: 1,
+                withdrawn: 0
+            }
+        );
+        assert_eq!(client.vrps().iter().copied().collect::<Vec<_>>(), [good]);
+        assert_eq!(client.state(), Some((7, 5)));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_millis(400));
+        assert_eq!(b.next_delay(), Duration::from_millis(100));
+        assert_eq!(b.next_delay(), Duration::from_millis(200));
+        assert_eq!(b.next_delay(), Duration::from_millis(400));
+        assert_eq!(b.next_delay(), Duration::from_millis(400), "capped");
+        b.reset();
+        assert_eq!(b.next_delay(), Duration::from_millis(100));
+    }
+
+    type SharedEnds = Arc<std::sync::Mutex<Vec<UnixStream>>>;
+
+    /// A connect factory over `cache`: each call makes a socketpair,
+    /// serves the far end from a thread, and parks a clone of it in
+    /// `ends` so the test can sever the connection server-side.
+    fn factory(
+        cache: Arc<CacheServer>,
+        ends: SharedEnds,
+        connects: Arc<std::sync::atomic::AtomicUsize>,
+    ) -> impl FnMut() -> std::io::Result<UnixStream> {
+        move || {
+            connects.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let (a, b) = UnixStream::pair()?;
+            ends.lock().unwrap().push(b.try_clone()?);
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                let _ = cache.serve_connection(b);
+            });
+            Ok(a)
+        }
+    }
+
+    fn sever_newest(ends: &SharedEnds) {
+        let end = ends.lock().unwrap().pop().expect("an open connection");
+        end.shutdown(std::net::Shutdown::Both).expect("shutdown");
+    }
+
+    #[test]
+    fn persistent_client_resumes_incrementally_after_drop() {
+        let cache = Arc::new(CacheServer::new(11));
+        cache.update([vrp("10.0.0.0/16", 16, 1), vrp("11.0.0.0/16", 16, 2)]);
+        let ends: SharedEnds = Arc::default();
+        let connects = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut pc = PersistentClient::new(factory(cache.clone(), ends.clone(), connects.clone()))
+            .with_backoff(Backoff::new(Duration::ZERO, Duration::ZERO));
+        let first = pc.sync().unwrap();
+        assert_eq!(
+            first,
+            SyncOutcome::Updated {
+                serial: 1,
+                announced: 2,
+                withdrawn: 0
+            }
+        );
+
+        // The cache side drops the connection, then publishes serial 2.
+        sever_newest(&ends);
+        cache.update([
+            vrp("10.0.0.0/16", 16, 1),
+            vrp("11.0.0.0/16", 16, 2),
+            vrp("12.0.0.0/16", 16, 3),
+        ]);
+        let second = pc.sync().unwrap();
+        assert_eq!(
+            second,
+            SyncOutcome::Updated {
+                serial: 2,
+                announced: 1,
+                withdrawn: 0
+            },
+            "resumed sync carries only the delta, not a refetch"
+        );
+        assert_eq!(pc.state(), Some((11, 2)));
+        assert_eq!(pc.vrps().len(), 3);
+        assert_eq!(connects.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn persistent_client_discards_context_on_cache_restart() {
+        // The "cache" restarts between connections: a new session id
+        // and a fresh serial space.
+        let before = Arc::new(CacheServer::new(5));
+        before.update([vrp("10.0.0.0/16", 16, 1)]);
+        let after = Arc::new(CacheServer::new(9));
+        after.update([vrp("12.0.0.0/16", 16, 3)]);
+
+        let ends: SharedEnds = Arc::default();
+        let connects = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut pc = {
+            let (before, after) = (before.clone(), after.clone());
+            let (ends, connects) = (ends.clone(), connects.clone());
+            PersistentClient::new(move || {
+                let n = connects.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let cache = if n == 0 {
+                    before.clone()
+                } else {
+                    after.clone()
+                };
+                let (a, b) = UnixStream::pair()?;
+                ends.lock().unwrap().push(b.try_clone()?);
+                std::thread::spawn(move || {
+                    let _ = cache.serve_connection(b);
+                });
+                Ok(a)
+            })
+            .with_backoff(Backoff::new(Duration::ZERO, Duration::ZERO))
+        };
+        pc.sync().unwrap();
+        assert_eq!(pc.state(), Some((5, 1)));
+
+        sever_newest(&ends);
+        let outcome = pc.sync().unwrap();
+        // The restarted cache rejects session 5; the client discards
+        // its context and resyncs from scratch against session 9.
+        assert_eq!(
+            outcome,
+            SyncOutcome::Updated {
+                serial: 1,
+                announced: 1,
+                withdrawn: 0
+            }
+        );
+        assert_eq!(pc.state(), Some((9, 1)));
+        assert_eq!(
+            pc.vrps().iter().copied().collect::<Vec<_>>(),
+            [vrp("12.0.0.0/16", 16, 3)]
+        );
+        assert_eq!(
+            connects.load(std::sync::atomic::Ordering::SeqCst),
+            3,
+            "resume attempt plus the post-restart full resync"
+        );
+    }
+
+    #[test]
+    fn persistent_client_gives_up_after_max_attempts() {
+        let attempts = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = attempts.clone();
+        let mut pc = PersistentClient::<UnixStream, _>::new(move || {
+            counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "refused",
+            ))
+        })
+        .with_backoff(Backoff::new(Duration::ZERO, Duration::ZERO))
+        .with_max_attempts(3);
+        match pc.sync() {
+            Err(ClientError::Pdu(PduError::Io(msg))) => assert!(msg.contains("refused")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(attempts.load(std::sync::atomic::Ordering::SeqCst), 3);
     }
 }

@@ -34,5 +34,5 @@ pub mod client;
 pub mod pdu;
 
 pub use cache::CacheServer;
-pub use client::{Client, SyncOutcome};
+pub use client::{Backoff, Client, ClientError, PersistentClient, SyncOutcome};
 pub use pdu::{ErrorCode, Pdu, PduError, PROTOCOL_VERSION};

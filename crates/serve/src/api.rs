@@ -75,49 +75,15 @@ pub fn validity(view: &EpochView, prefix: &IpPrefix, origin: Asn) -> Value {
 
 /// `GET /vrps.json` — stream the epoch's full VRP set in Routinator's
 /// export shape (`metadata` + `roas` with camel-case `maxLength`).
+/// Delegates to the shared payload codec, so a proxy chained behind
+/// this endpoint re-serves the bytes identically.
 pub fn write_vrps_json(view: &EpochView, w: &mut dyn Write) -> io::Result<u64> {
-    let mut written = 0u64;
-    let mut put = |w: &mut dyn Write, s: &str| -> io::Result<()> {
-        w.write_all(s.as_bytes())?;
-        written += s.len() as u64;
-        Ok(())
-    };
-    let snapshot = view.snapshot();
-    put(
-        w,
-        &format!(
-            "{{\"metadata\":{{\"epoch\":{},\"vrp_count\":{},\"rpki_rejected\":{}}},\"roas\":[",
-            view.epoch(),
-            snapshot.vrps().len(),
-            snapshot.rpki_rejected(),
-        ),
-    )?;
-    for (i, vrp) in snapshot.vrps().iter().enumerate() {
-        let sep = if i == 0 { "" } else { "," };
-        put(
-            w,
-            &format!(
-                "{sep}{{\"asn\":\"{}\",\"prefix\":\"{}\",\"maxLength\":{},\"ta\":\"sim\"}}",
-                vrp.asn, vrp.prefix, vrp.max_length
-            ),
-        )?;
-    }
-    put(w, "]}\n")?;
-    Ok(written)
+    ripki_payload::json::write_vrps_json(view.payload(), Some(view.snapshot().rpki_rejected()), w)
 }
 
 /// `GET /vrps.csv` — the same export as RTR-client-style CSV.
 pub fn write_vrps_csv(view: &EpochView, w: &mut dyn Write) -> io::Result<u64> {
-    let mut written = 0u64;
-    let header = "ASN,IP Prefix,Max Length,Trust Anchor\n";
-    w.write_all(header.as_bytes())?;
-    written += header.len() as u64;
-    for vrp in view.snapshot().vrps() {
-        let line = format!("{},{},{},sim\n", vrp.asn, vrp.prefix, vrp.max_length);
-        w.write_all(line.as_bytes())?;
-        written += line.len() as u64;
-    }
-    Ok(written)
+    ripki_payload::json::write_vrps_csv(view.payload(), w)
 }
 
 fn name_measurement_value(view: &EpochView, m: &NameMeasurement) -> Value {
@@ -184,10 +150,21 @@ pub fn domain(view: &EpochView, name: &ripki_dns::DomainName) -> Option<Value> {
     Some(Value::Object(root))
 }
 
-/// `GET /status` — one-look liveness summary.
-pub fn status(view: &EpochView, uptime_seconds: f64, requests_total: u64) -> Value {
+/// `GET /status` — one-look liveness summary. `worker_threads` is the
+/// effective pool size actually handling connections and `epoch_lag`
+/// the distance between the served epoch and the newest epoch known to
+/// exist upstream (0 when fully caught up) — the two numbers an
+/// operator needs to tell "quiet" from "stuck".
+pub fn status(
+    view: &EpochView,
+    uptime_seconds: f64,
+    requests_total: u64,
+    worker_threads: usize,
+    epoch_lag: u64,
+) -> Value {
     let mut root = Map::new();
     root.insert("epoch".into(), view.epoch().into());
+    root.insert("epoch_lag".into(), epoch_lag.into());
     root.insert("vrps".into(), view.snapshot().vrps().len().into());
     root.insert(
         "rpki_rejected".into(),
@@ -196,5 +173,6 @@ pub fn status(view: &EpochView, uptime_seconds: f64, requests_total: u64) -> Val
     root.insert("domains".into(), view.results().domains.len().into());
     root.insert("uptime_seconds".into(), uptime_seconds.into());
     root.insert("requests_total".into(), requests_total.into());
+    root.insert("worker_threads".into(), worker_threads.into());
     Value::Object(root)
 }

@@ -212,7 +212,7 @@ fn handle_connection(
         // lint: allow(wall-clock) request-latency measurement — see the
         // justification on the error path above.
         let started = Instant::now();
-        let (endpoint, response) = route(view, metrics, &request);
+        let (endpoint, response) = route(view, metrics, &request, config);
         metrics.record(endpoint, response.status, started.elapsed());
         if !matches!(response.write_to(&mut stream, keep_alive), Ok(true)) {
             return;
@@ -222,7 +222,12 @@ fn handle_connection(
 
 /// Dispatch one request to its handler. Returns the endpoint label for
 /// accounting together with the response.
-fn route(view: &SharedView, metrics: &Metrics, request: &Request) -> (Endpoint, Response) {
+fn route(
+    view: &SharedView,
+    metrics: &Metrics,
+    request: &Request,
+    config: &ServerConfig,
+) -> (Endpoint, Response) {
     if request.method != "GET" {
         return (
             Endpoint::Other,
@@ -255,10 +260,16 @@ fn route(view: &SharedView, metrics: &Metrics, request: &Request) -> (Endpoint, 
             )
         }
         "/status" => {
+            // Lag is computed against the epoch pinned above, not a
+            // re-read — the reported pair (epoch, epoch_lag) must be
+            // consistent within one response.
+            let lag = view.newest_epoch().saturating_sub(current.epoch());
             let payload = api::status(
                 &current,
                 metrics.uptime().as_secs_f64(),
                 metrics.total_requests(),
+                config.workers,
+                lag,
             );
             (Endpoint::Status, Response::json(200, &payload))
         }

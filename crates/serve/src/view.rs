@@ -14,13 +14,16 @@ use ripki::exposure::{exposure_curve, ExposureConfig};
 use ripki::pipeline::{DomainMeasurement, StudyResults};
 use ripki_bgp::topology::Topology;
 use ripki_dns::DomainName;
+use ripki_payload::VrpPayload;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// One epoch of the world, packaged for serving.
 pub struct EpochView {
     snapshot: Arc<WorldSnapshot>,
     results: Arc<StudyResults>,
+    payload: VrpPayload,
     by_name: HashMap<DomainName, usize>,
     topology: Option<Arc<Topology>>,
     exposure: ExposureConfig,
@@ -53,9 +56,15 @@ impl EpochView {
             by_name.insert(bare, i);
             by_name.insert(d.listed.clone(), i);
         }
+        // Built once per view, shared from then on: the VRP exports and
+        // any co-hosted RTR/proxy plane all serve this one canonically
+        // ordered payload, so equal epochs are byte-identical across
+        // every wire form.
+        let payload = VrpPayload::new(snapshot.epoch(), snapshot.vrps().iter().copied());
         EpochView {
             snapshot,
             results,
+            payload,
             by_name,
             topology,
             exposure,
@@ -66,6 +75,12 @@ impl EpochView {
     /// The epoch both halves of the view share.
     pub fn epoch(&self) -> u64 {
         self.snapshot.epoch()
+    }
+
+    /// The epoch's VRP set as the crate-neutral payload every serving
+    /// plane shares (built once in [`EpochView::new`]).
+    pub fn payload(&self) -> &VrpPayload {
+        &self.payload
     }
 
     /// The underlying world snapshot.
@@ -162,14 +177,39 @@ impl EpochView {
 /// The swap point between the study engine and the request handlers.
 pub struct SharedView {
     inner: RwLock<Arc<EpochView>>,
+    /// Newest epoch known to exist anywhere upstream (announced via
+    /// [`SharedView::announce_epoch`] before the view for it is built,
+    /// and by every publish). `/status` reports the distance between
+    /// this and the served epoch as `epoch_lag`.
+    newest: AtomicU64,
 }
 
 impl SharedView {
     /// Start serving `view`.
     pub fn new(view: EpochView) -> SharedView {
+        let newest = AtomicU64::new(view.epoch());
         SharedView {
             inner: RwLock::new(Arc::new(view)),
+            newest,
         }
+    }
+
+    /// Record that epoch `epoch` exists upstream (validated by the
+    /// engine, gossiped by a proxy) even though its view may not be
+    /// built yet. Monotonic: older announcements never lower the mark.
+    pub fn announce_epoch(&self, epoch: u64) {
+        self.newest.fetch_max(epoch, Ordering::SeqCst);
+    }
+
+    /// The newest epoch announced or published so far.
+    pub fn newest_epoch(&self) -> u64 {
+        self.newest.load(Ordering::SeqCst)
+    }
+
+    /// How far the served view trails the newest announced epoch
+    /// (0 when fully caught up).
+    pub fn epoch_lag(&self) -> u64 {
+        self.newest_epoch().saturating_sub(self.current().epoch())
     }
 
     /// The view requests should answer from right now. The returned
@@ -204,6 +244,7 @@ impl SharedView {
             guard.epoch(),
             view.epoch()
         );
+        self.newest.fetch_max(view.epoch(), Ordering::SeqCst);
         *guard = Arc::new(view);
     }
 }

@@ -275,6 +275,27 @@ fn metrics_and_status_expose_the_epoch() {
         root.get("domains").and_then(serde_json::Value::as_u128),
         Some(150)
     );
+    let workers = root
+        .get("worker_threads")
+        .and_then(serde_json::Value::as_u128)
+        .expect("worker_threads reported");
+    assert!(workers > 0, "effective pool size must be non-zero");
+    assert_eq!(
+        root.get("epoch_lag").and_then(serde_json::Value::as_u128),
+        Some(0),
+        "served view is the newest epoch known"
+    );
+
+    // Announcing a newer upstream epoch (validated but not yet built
+    // into a view) surfaces as lag until the publish catches up.
+    fx.server.view().announce_epoch(4);
+    let json = get(addr, "/status").json();
+    let root = json.as_object().unwrap().clone();
+    assert_eq!(
+        root.get("epoch_lag").and_then(serde_json::Value::as_u128),
+        Some(3),
+        "serving epoch 1 while epoch 4 exists upstream"
+    );
 }
 
 #[test]

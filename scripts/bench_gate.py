@@ -16,6 +16,10 @@ the checked-in files aside BEFORE running the benches and point
     python3 scripts/bench_gate.py --baseline-dir /tmp/bench-baselines \
         results/BENCH_incremental.json
 
+A missing baseline file is a configuration error, not a skip: the gate
+exits 2 naming the file, unless --allow-missing-baseline is passed for
+an explicit bootstrap run.
+
 Each bench declares its metrics below. "higher" metrics are throughput
 numbers compared directly; "lower" metrics are per-unit latencies whose
 reciprocal is the throughput. Absolute floors (FLOORS) encode acceptance
@@ -38,6 +42,7 @@ import sys
 METRICS = {
     "engine_incremental": [("incremental_ms_per_epoch", "lower")],
     "engine_validate": [("incremental_ms_per_epoch", "lower")],
+    "engine_proxy": [("delta_propagation_ms", "lower")],
     "serve_throughput": [
         ("validity_req_per_s", "higher"),
         ("vrps_json_req_per_s", "higher"),
@@ -48,6 +53,7 @@ METRICS = {
 FLOORS = {
     "engine_incremental": [("speedup", 10.0)],
     "engine_validate": [("speedup", 10.0)],
+    "engine_proxy": [("speedup", 10.0)],
 }
 
 
@@ -84,6 +90,12 @@ def main():
         default=0.70,
         help="minimum fresh/baseline throughput ratio (default %(default)s)",
     )
+    parser.add_argument(
+        "--allow-missing-baseline",
+        action="store_true",
+        help="tolerate a missing baseline file (bootstrap runs only); "
+        "without this flag a missing baseline exits 2",
+    )
     args = parser.parse_args()
 
     failures = []
@@ -93,8 +105,21 @@ def main():
             args.baseline_dir, os.path.basename(fresh_path)
         )
         if not os.path.exists(baseline_path):
+            # A silently skipped ratio check looks exactly like a pass,
+            # so a missing baseline is a loud configuration error: CI
+            # forgot to copy the checked-in file aside, or the baseline
+            # was never committed. Bootstrap runs opt out explicitly.
+            if not args.allow_missing_baseline:
+                print(
+                    f"bench gate: missing baseline {baseline_path} for "
+                    f"{fresh_path} (copy the checked-in results/ file into "
+                    "the baseline dir, or pass --allow-missing-baseline "
+                    "for a bootstrap run)",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
             print(f"{fresh_path}: no baseline at {baseline_path}, skipping "
-                  "ratio check (first run?)")
+                  "ratio check (--allow-missing-baseline)")
             baseline = None
         else:
             baseline_bench, baseline = load(baseline_path)
