@@ -1,0 +1,202 @@
+//! Incremental counterfactual application vs full engine rebuild.
+//!
+//! The `whatif` runner's reason to exist: a counterfactual scenario
+//! ("the top CDN signs ROAs for all its prefixes") compiles into one
+//! synthetic churn epoch, and `StudyEngine::apply_events` carries it
+//! through the same incremental plane real churn takes — the validator
+//! revisits only the publication points the lever touched, and the
+//! reverse indices re-measure only the ranks the new VRPs can reach. A
+//! naive runner would instead rebuild a second engine against the
+//! counterfactual repository and re-run the whole study; the gap
+//! between the two is what makes interactive what-if exploration
+//! feasible at paper scale.
+//!
+//! Besides the Criterion comparison, the bench writes a
+//! machine-readable summary (mean counterfactual apply cost, full
+//! rebuild cost, speedup) to `results/BENCH_whatif.json` so the
+//! acceptance number survives the run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripki::engine::StudyEngine;
+use ripki::pipeline::PipelineConfig;
+use ripki_bench::Study;
+use ripki_net::PrefixSet;
+use ripki_rpki::{Resources, RoaPrefix};
+use ripki_websim::allocation::RIR_NAMES;
+use ripki_websim::churn::{EpochChurn, WorldEvent};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counterfactual epochs applied per timed round (alternating the
+/// lever on and off, so every application does real validator work).
+const ROUNDS: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let study = Study::at_bench_scale();
+    let scenario = &study.scenario;
+    let domains = study.results.domains.len();
+
+    // Compile the canonical lever — the top CDN signs ROAs for every
+    // prefix it announces — by evolving the still-open issuing program
+    // that produced the scenario's repository (untouched CAs re-issue
+    // byte-identically, so the delta is exactly the lever's ROAs).
+    let (idx, op) = scenario
+        .operators
+        .iter()
+        .enumerate()
+        .find(|(_, op)| op.name == "Akamai")
+        .expect("the operator model always includes the top CDN");
+    let (mut builder, _) = scenario.issuing_builder();
+    let ca_name = format!("{}-{}", op.name, idx);
+    let ca = match builder.find_ca(&ca_name) {
+        Some(ca) => ca,
+        None => {
+            let ta = builder
+                .find_ca(RIR_NAMES[op.rir])
+                .expect("the issuing program created all five RIR trust anchors");
+            let resources = Resources {
+                prefixes: PrefixSet::from_prefixes(
+                    scenario
+                        .holdings
+                        .iter()
+                        .filter(|h| h.operator == idx)
+                        .map(|h| h.prefix),
+                ),
+                ..Default::default()
+            };
+            builder
+                .add_ca(ta, &ca_name, resources)
+                .expect("CDN holdings are within its RIR's resources")
+        }
+    };
+    let mut signs = Vec::new();
+    let mut revokes = Vec::new();
+    for h in scenario.holdings.iter().filter(|h| h.operator == idx) {
+        builder
+            .add_roa(
+                ca,
+                h.asn,
+                vec![RoaPrefix::up_to(h.prefix, h.deepest_announced)],
+            )
+            .expect("holding prefixes are within the CDN's CA resources");
+        signs.push(WorldEvent::RoaAdded {
+            prefix: h.prefix,
+            asn: h.asn,
+        });
+        revokes.push(WorldEvent::RoaRevoked {
+            prefix: h.prefix,
+            asn: h.asn,
+        });
+    }
+    let roas_signed = signs.len();
+    let whatif_repo = Arc::new(builder.snapshot());
+    let baseline_repo = Arc::new(scenario.repository.clone());
+    let to_whatif = EpochChurn {
+        events: signs,
+        repository: Some(Arc::clone(&whatif_repo)),
+        now: scenario.now,
+    };
+    let back = EpochChurn {
+        events: revokes,
+        repository: Some(Arc::clone(&baseline_repo)),
+        now: scenario.now,
+    };
+
+    let engine = &study.engine;
+    let mut results = study.results.clone();
+    // First applications build the reverse indices and seed the
+    // incremental validator; pay that outside the timed region, as a
+    // long-lived what-if session would.
+    engine.apply_events(&to_whatif, &mut results);
+    engine.apply_events(&back, &mut results);
+
+    // Instant-based acceptance measurement: mean counterfactual apply
+    // cost (lever on, lever off, repeated) vs one full rebuild + re-run
+    // against the counterfactual repository.
+    let mut remeasured = 0usize;
+    let t0 = Instant::now();
+    for i in 0..ROUNDS {
+        let batch = if i % 2 == 0 { &to_whatif } else { &back };
+        let delta = engine.apply_events(batch, &mut results);
+        remeasured += delta.domains_remeasured;
+    }
+    let incremental_s = t0.elapsed().as_secs_f64() / ROUNDS as f64;
+    let mean_remeasured = remeasured as f64 / ROUNDS as f64;
+
+    let t0 = Instant::now();
+    let rebuilt = StudyEngine::new(
+        scenario.zones.clone(),
+        scenario.rib.clone(),
+        whatif_repo.as_ref(),
+        PipelineConfig {
+            bogus_dns_ppm: scenario.config.bogus_dns_ppm,
+            now: scenario.now,
+            ..Default::default()
+        },
+    );
+    let full = rebuilt.run(&scenario.ranking);
+    let full_s = t0.elapsed().as_secs_f64();
+    assert_eq!(full.domains.len(), domains);
+    let speedup = full_s / incremental_s.max(f64::EPSILON);
+
+    println!("\n=== whatif: incremental counterfactual vs full rebuild ===");
+    println!(
+        "{domains} domains, lever signs {roas_signed} ROAs, \
+         ~{mean_remeasured:.0} domains re-measured/application"
+    );
+    println!(
+        "incremental {:.2} ms/application, full rebuild {:.1} ms, speedup {speedup:.1}x",
+        incremental_s * 1e3,
+        full_s * 1e3,
+    );
+
+    let mut json = serde_json::Map::new();
+    let num = |v: f64| serde_json::to_value(&v).expect("f64 serializes");
+    let count = |v: usize| serde_json::to_value(&v).expect("usize serializes");
+    json.insert("bench".into(), "engine_whatif".into());
+    json.insert("domains".into(), count(domains));
+    json.insert("roas_signed".into(), count(roas_signed));
+    json.insert("mean_domains_remeasured".into(), num(mean_remeasured));
+    json.insert(
+        "incremental_counterfactual_ms".into(),
+        num(incremental_s * 1e3),
+    );
+    json.insert("full_rebuild_ms".into(), num(full_s * 1e3));
+    json.insert("speedup".into(), num(speedup));
+    let json = serde_json::Value::Object(json);
+    let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(results_dir).ok();
+    let path = format!("{results_dir}/BENCH_whatif.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    let mut group = c.benchmark_group("engine_whatif");
+    group.sample_size(10);
+    group.bench_function("incremental_counterfactual", |b| {
+        b.iter(|| {
+            engine.apply_events(&to_whatif, &mut results);
+            engine.apply_events(&back, &mut results);
+        });
+    });
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            let rebuilt = StudyEngine::new(
+                scenario.zones.clone(),
+                scenario.rib.clone(),
+                whatif_repo.as_ref(),
+                PipelineConfig {
+                    bogus_dns_ppm: scenario.config.bogus_dns_ppm,
+                    now: scenario.now,
+                    ..Default::default()
+                },
+            );
+            rebuilt.run(&scenario.ranking)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -85,15 +85,30 @@ USAGE:
       validate, then serve the VRPs over RPKI-to-Router (RFC 6810)
   ripki-cli longitudinal [--domains N] [--seed S] [--epochs E]
                          [--churn-seed C] [--stride K] [--threads T]
+                         [--slurm FILE]
       replay E epochs of world churn through the incremental engine
       and report validation outcome + hijack exposure over time
       (--threads 0 = auto-detect; the RIPKI_THREADS env var overrides)
   ripki-cli serve [--domains N] [--seed S] [--listen ADDR]
                   [--rtr-listen ADDR] [--epochs E] [--epoch-interval-ms MS]
                   [--churn-seed C] [--stride K] [--exit-after-churn BOOL]
+                  [--slurm FILE]
       measure a synthetic world and serve it over the HTTP query plane
       (validity API, VRP exports, domain lookups, Prometheus metrics),
-      optionally alongside an RTR cache, applying E churn epochs live
+      optionally alongside an RTR cache, applying E churn epochs live;
+      --slurm layers RFC 8416 local exceptions over every serving plane
+  ripki-cli whatif [--domains N] [--seed S] [--stride K] [--bin B]
+                   [--rov F] [--threads T] [--out FILE]
+                   [--scenario SPEC]...
+      run a ROV-deployment counterfactual: measure the baseline hijack
+      exposure curve, compile the declarative scenario levers into one
+      synthetic churn epoch, re-measure, and report capture-rate deltas
+      per rank bin (CSV written to FILE). SPEC is one of
+        cdn-signs:NAME         CDN NAME signs ROAs for all its prefixes
+        top-k-drop-invalid:K   operators of the top-K ranks drop Invalids
+        revoke-class:CLASS     revoke every ROA issued by operators of
+                               CLASS (isp|webhoster|cdn|enterprise)
+      with no --scenario the run reproduces the baseline exactly
   ripki-cli proxy --config FILE [--exit-after-drain BOOL]
       run a VRP distribution fabric (units → combinators → targets)
       declared in FILE; targets keep serving after finite units drain
@@ -136,6 +151,16 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every occurrence of a repeatable flag, in argument order
+    /// (`--scenario a --scenario b`).
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
     fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
@@ -164,6 +189,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "study" => cmd_study(&flags, out),
         "rtr-serve" => cmd_rtr_serve(&flags, out),
         "longitudinal" => cmd_longitudinal(&flags, out),
+        "whatif" => cmd_whatif(&flags, out),
         "serve" => cmd_serve(&flags, out),
         "proxy" => cmd_proxy(&flags, out),
         "rtr-probe" => cmd_rtr_probe(&flags, out),
@@ -459,12 +485,62 @@ fn cmd_rtr_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Load and compile the `--slurm` exception file when the flag is
+/// given, echoing its warnings (ignored BGPsec stanzas and the like).
+fn load_exceptions(
+    flags: &Flags,
+    out: &mut dyn Write,
+) -> Result<Option<ripki_slurm::ExceptionSet>, CliError> {
+    let Some(path) = flags.get("slurm") else {
+        return Ok(None);
+    };
+    let file =
+        ripki_slurm::SlurmFile::load(Path::new(path)).map_err(|e| CliError::Data(e.to_string()))?;
+    for warning in &file.warnings {
+        writeln!(out, "slurm: warning: {warning}")?;
+    }
+    let exceptions = file.compile();
+    writeln!(out, "slurm: loaded {path} ({exceptions})")?;
+    Ok(Some(exceptions))
+}
+
+/// The engine snapshot's VRPs with the exception layer applied, as the
+/// canonical payload (so every serving plane agrees byte-for-byte).
+fn excepted_payload(
+    exceptions: Option<&ripki_slurm::ExceptionSet>,
+    epoch: u64,
+    vrps: &[VrpTriple],
+) -> ripki_payload::VrpPayload {
+    let payload = ripki_payload::VrpPayload::new(epoch, vrps.iter().copied());
+    match exceptions {
+        Some(x) => x.excepted(&payload),
+        None => payload,
+    }
+}
+
+/// Map an engine epoch delta through the exception layer: filtered or
+/// asserted VRPs never churn on the wire.
+fn excepted_delta(
+    exceptions: &ripki_slurm::ExceptionSet,
+    from_epoch: u64,
+    to_epoch: u64,
+    announced: &[VrpTriple],
+    withdrawn: &[VrpTriple],
+) -> ripki_payload::VrpDelta {
+    exceptions.map_delta(&ripki_payload::VrpDelta::new(
+        from_epoch,
+        to_epoch,
+        announced.to_vec(),
+        withdrawn.to_vec(),
+    ))
+}
+
 /// One row of the longitudinal report: aggregate validation outcome and
 /// hijack exposure of the measured domains at one epoch.
 fn longitudinal_row(
     scenario: &Scenario,
     results: &ripki::StudyResults,
-    vrps: &[VrpTriple],
+    served: &ripki_payload::VrpPayload,
     exposure_cfg: &ExposureConfig,
 ) -> (f64, f64, f64) {
     let (mut valid, mut covered, mut total) = (0usize, 0usize, 0usize);
@@ -486,7 +562,7 @@ fn longitudinal_row(
             n as f64 / total as f64
         }
     };
-    let validator = RouteOriginValidator::from_vrps(vrps.iter().copied());
+    let validator = RouteOriginValidator::from_vrps(served.vrps().iter().copied());
     let exposures = exposure_curve(
         &results.domains,
         &scenario.topology,
@@ -512,6 +588,7 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
         out,
         "longitudinal study: {domains} domains, seed {seed}, {epochs} epochs of churn"
     )?;
+    let exceptions = load_exceptions(flags, out)?;
 
     let scenario = Scenario::build(ScenarioConfig {
         seed,
@@ -541,7 +618,8 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
     let cache = ripki_rtr::CacheServer::new(0x1715);
     {
         let snapshot = engine.snapshot();
-        cache.install_snapshot(snapshot.epoch() as u32, snapshot.vrps().iter().copied());
+        let served = excepted_payload(exceptions.as_ref(), snapshot.epoch(), snapshot.vrps());
+        cache.install_snapshot(served.serial(), served.vrps().iter().copied());
     }
     let exposure_cfg = ExposureConfig {
         stride: stride.max(1),
@@ -562,8 +640,9 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
                      withdrawn: usize|
      -> Result<(), CliError> {
         let snapshot = engine.snapshot();
+        let served = excepted_payload(exceptions.as_ref(), snapshot.epoch(), snapshot.vrps());
         let (valid, covered, capture) =
-            longitudinal_row(&scenario, results, snapshot.vrps(), &exposure_cfg);
+            longitudinal_row(&scenario, results, &served, &exposure_cfg);
         writeln!(
             out,
             "{:>5} {:>7} {:>6} {:>5} {:>5} {:>6} {:>6.1}% {:>6.1}% {:>8.1}%",
@@ -572,7 +651,7 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
             remeasured,
             announced,
             withdrawn,
-            snapshot.vrps().len(),
+            served.len(),
             valid * 100.0,
             covered * 100.0,
             capture * 100.0,
@@ -604,11 +683,27 @@ fn cmd_longitudinal(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> 
                 inc_epochs += 1;
             }
         }
-        // Stream the epoch's churn into the cache; a serial mismatch
-        // (e.g. a wrapped counter) falls back to a full reinstall.
-        if !cache.apply_delta(delta.to_epoch as u32, &delta.announced, &delta.withdrawn) {
+        // Stream the epoch's churn into the cache — through the
+        // exception layer when one is loaded, so excepted VRPs never
+        // churn on the wire. A serial mismatch (e.g. a wrapped counter)
+        // falls back to a full (excepted) reinstall.
+        let applied = match &exceptions {
+            Some(x) => {
+                let mapped = excepted_delta(
+                    x,
+                    delta.from_epoch,
+                    delta.to_epoch,
+                    &delta.announced,
+                    &delta.withdrawn,
+                );
+                cache.apply_delta(mapped.to_epoch as u32, &mapped.announced, &mapped.withdrawn)
+            }
+            None => cache.apply_delta(delta.to_epoch as u32, &delta.announced, &delta.withdrawn),
+        };
+        if !applied {
             let snapshot = engine.snapshot();
-            cache.install_snapshot(snapshot.epoch() as u32, snapshot.vrps().iter().copied());
+            let served = excepted_payload(exceptions.as_ref(), snapshot.epoch(), snapshot.vrps());
+            cache.install_snapshot(served.serial(), served.vrps().iter().copied());
         }
         print_row(
             out,
@@ -652,6 +747,7 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let exit_after_churn: bool = flags.get_parsed("exit-after-churn", false)?;
 
     writeln!(out, "measuring world: {domains} domains, seed {seed}")?;
+    let exceptions = load_exceptions(flags, out)?;
     let scenario = Scenario::build(ScenarioConfig {
         seed,
         ..ScenarioConfig::with_domains(domains)
@@ -673,12 +769,16 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         ..Default::default()
     };
     let make_view = |snapshot, results: &ripki::StudyResults| {
-        EpochView::new(
+        let view = EpochView::new(
             snapshot,
             Arc::new(results.clone()),
             Some(Arc::clone(&topology)),
             exposure_cfg.clone(),
-        )
+        );
+        match &exceptions {
+            Some(x) => view.with_exceptions(x),
+            None => view,
+        }
     };
 
     let shared = Arc::new(SharedView::new(make_view(engine.snapshot(), &results)));
@@ -688,16 +788,18 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         "HTTP query plane on http://{} — epoch {}, {} VRPs, {} domains",
         server.addr(),
         engine.epoch(),
-        engine.snapshot().vrps().len(),
+        shared.current().payload().len(),
         results.domains.len(),
     )?;
 
-    // Optional RTR cache side by side, fed by the same delta stream.
+    // Optional RTR cache side by side, fed by the same delta stream
+    // (exception-layered like every other serving plane).
     let rtr_cache = match flags.get("rtr-listen") {
         Some(rtr_listen) => {
             let cache = Arc::new(ripki_rtr::CacheServer::new(0x1715));
             let snapshot = engine.snapshot();
-            cache.install_snapshot(snapshot.epoch() as u32, snapshot.vrps().iter().copied());
+            let served = excepted_payload(exceptions.as_ref(), snapshot.epoch(), snapshot.vrps());
+            cache.install_snapshot(served.serial(), served.vrps().iter().copied());
             let listener = std::net::TcpListener::bind(rtr_listen)?;
             writeln!(
                 out,
@@ -744,10 +846,30 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             // engine's epoch — the serving plane's consistency contract.
             shared.publish(make_view(engine.snapshot(), &results));
             if let Some(cache) = &rtr_cache {
-                if !cache.apply_delta(delta.to_epoch as u32, &delta.announced, &delta.withdrawn) {
+                let applied = match &exceptions {
+                    Some(x) => {
+                        let mapped = excepted_delta(
+                            x,
+                            delta.from_epoch,
+                            delta.to_epoch,
+                            &delta.announced,
+                            &delta.withdrawn,
+                        );
+                        cache.apply_delta(
+                            mapped.to_epoch as u32,
+                            &mapped.announced,
+                            &mapped.withdrawn,
+                        )
+                    }
+                    None => {
+                        cache.apply_delta(delta.to_epoch as u32, &delta.announced, &delta.withdrawn)
+                    }
+                };
+                if !applied {
                     let snapshot = engine.snapshot();
-                    cache
-                        .install_snapshot(snapshot.epoch() as u32, snapshot.vrps().iter().copied());
+                    let served =
+                        excepted_payload(exceptions.as_ref(), snapshot.epoch(), snapshot.vrps());
+                    cache.install_snapshot(served.serial(), served.vrps().iter().copied());
                 }
             }
             writeln!(
@@ -816,6 +938,338 @@ fn cmd_rtr_probe(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         out,
         "rtr-probe {addr}: session {session:#06x} serial {serial} in lockstep with {payload}",
     )?;
+    Ok(())
+}
+
+// ---- counterfactual scenario runner ----------------------------------------
+
+/// A declarative counterfactual lever, parsed from `--scenario`.
+enum WhatIf {
+    /// CDN `name` signs ROAs for every prefix it announces.
+    CdnSigns(String),
+    /// Operators hosting the top-`k` ranks deploy ROV (drop Invalids).
+    TopKDropInvalid(usize),
+    /// Every ROA issued by operators of this class is revoked.
+    RevokeClass(ripki_websim::operators::OperatorClass),
+}
+
+fn parse_whatif(spec: &str) -> Result<WhatIf, CliError> {
+    use ripki_websim::operators::OperatorClass;
+    let bad = |why: &str| CliError::BadFlag(format!("--scenario {spec}: {why}"));
+    let (kind, arg) = spec
+        .split_once(':')
+        .ok_or_else(|| bad("expected KIND:ARG"))?;
+    match kind {
+        "cdn-signs" => Ok(WhatIf::CdnSigns(arg.to_string())),
+        "top-k-drop-invalid" => {
+            let k: usize = arg.parse().map_err(|_| bad("K must be a number"))?;
+            Ok(WhatIf::TopKDropInvalid(k))
+        }
+        "revoke-class" => {
+            let class = match arg.to_ascii_lowercase().as_str() {
+                "isp" => OperatorClass::Isp,
+                "webhoster" => OperatorClass::Webhoster,
+                "cdn" => OperatorClass::Cdn,
+                "enterprise" => OperatorClass::Enterprise,
+                _ => return Err(bad("class must be isp|webhoster|cdn|enterprise")),
+            };
+            Ok(WhatIf::RevokeClass(class))
+        }
+        _ => Err(bad(
+            "kind must be cdn-signs|top-k-drop-invalid|revoke-class",
+        )),
+    }
+}
+
+/// The scenario levers compiled against one built world: a synthetic
+/// churn epoch (events + evolved repository) plus exposure-side knobs.
+struct CompiledWhatIf {
+    events: Vec<ripki_websim::churn::WorldEvent>,
+    repository: Option<std::sync::Arc<ripki_rpki::Repository>>,
+    extra_deployers: Vec<Asn>,
+}
+
+fn compile_whatif(
+    specs: &[WhatIf],
+    scenario: &Scenario,
+    results: &ripki::StudyResults,
+    out: &mut dyn Write,
+) -> Result<CompiledWhatIf, CliError> {
+    use ripki_websim::churn::WorldEvent;
+    use ripki_websim::operators::OperatorClass;
+    use std::collections::{BTreeSet, HashMap};
+
+    let mut events = Vec::new();
+    let mut extra: BTreeSet<Asn> = BTreeSet::new();
+    // RPKI levers evolve the still-open deterministic issuing program
+    // that produced `scenario.repository`: untouched CAs re-issue
+    // byte-identically, so the engine's incremental validator sees only
+    // the counterfactual's own additions/revocations as the delta.
+    let mut builder: Option<ripki_rpki::RepositoryBuilder> = None;
+
+    for spec in specs {
+        match spec {
+            WhatIf::CdnSigns(name) => {
+                let (idx, op) = scenario
+                    .operators
+                    .iter()
+                    .enumerate()
+                    .find(|(_, op)| {
+                        op.class == OperatorClass::Cdn && op.name.eq_ignore_ascii_case(name)
+                    })
+                    .ok_or_else(|| {
+                        CliError::BadFlag(format!("--scenario cdn-signs:{name}: unknown CDN"))
+                    })?;
+                let b = builder.get_or_insert_with(|| scenario.issuing_builder().0);
+                let ca_name = format!("{}-{}", op.name, idx);
+                let err = |e: ripki_rpki::repo::BuildError| {
+                    CliError::Data(format!("cdn-signs:{name}: {e}"))
+                };
+                let ca = match b.find_ca(&ca_name) {
+                    Some(ca) => ca,
+                    None => {
+                        let ta = b
+                            .find_ca(ripki_websim::allocation::RIR_NAMES[op.rir])
+                            .expect("the issuing program created all five RIR trust anchors");
+                        let resources = ripki_rpki::Resources {
+                            prefixes: ripki_net::PrefixSet::from_prefixes(
+                                scenario
+                                    .holdings
+                                    .iter()
+                                    .filter(|h| h.operator == idx)
+                                    .map(|h| h.prefix),
+                            ),
+                            ..Default::default()
+                        };
+                        b.add_ca(ta, &ca_name, resources).map_err(err)?
+                    }
+                };
+                let mut signed = 0usize;
+                for h in scenario.holdings.iter().filter(|h| h.operator == idx) {
+                    b.add_roa(
+                        ca,
+                        h.asn,
+                        vec![ripki_rpki::RoaPrefix::up_to(h.prefix, h.deepest_announced)],
+                    )
+                    .map_err(err)?;
+                    events.push(WorldEvent::RoaAdded {
+                        prefix: h.prefix,
+                        asn: h.asn,
+                    });
+                    signed += 1;
+                }
+                writeln!(
+                    out,
+                    "lever: CDN {} signs ROAs for {signed} prefixes",
+                    op.name
+                )?;
+            }
+            WhatIf::TopKDropInvalid(k) => {
+                let owner: HashMap<Asn, usize> = scenario
+                    .holdings
+                    .iter()
+                    .map(|h| (h.asn, h.operator))
+                    .collect();
+                let mut ops: BTreeSet<usize> = BTreeSet::new();
+                let mut asns: BTreeSet<Asn> = BTreeSet::new();
+                for d in results.domains.iter().filter(|d| d.rank < *k) {
+                    for p in d.bare.pairs.iter().chain(&d.www.pairs) {
+                        match owner.get(&p.origin) {
+                            // The whole operator flips the knob, not
+                            // just the one AS a domain happened to hit.
+                            Some(op) => {
+                                ops.insert(*op);
+                            }
+                            None => {
+                                asns.insert(p.origin);
+                            }
+                        }
+                    }
+                }
+                for op in &ops {
+                    asns.extend(scenario.operators[*op].asns.iter().copied());
+                }
+                writeln!(
+                    out,
+                    "lever: operators of the top-{k} ranks drop Invalids \
+                     ({} operators, {} ASes)",
+                    ops.len(),
+                    asns.len(),
+                )?;
+                extra.extend(asns);
+            }
+            WhatIf::RevokeClass(class) => {
+                let b = builder.get_or_insert_with(|| scenario.issuing_builder().0);
+                let mut revoked = 0usize;
+                for (idx, op) in scenario
+                    .operators
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, op)| op.class == *class)
+                {
+                    let Some(ca) = b.find_ca(&format!("{}-{}", op.name, idx)) else {
+                        continue; // never adopted: nothing to revoke
+                    };
+                    for (ca_id, serial, _) in b.list_roas() {
+                        if ca_id == ca {
+                            b.revoke(ca, serial).map_err(|e| {
+                                CliError::Data(format!("revoke-class:{class}: {e}"))
+                            })?;
+                            revoked += 1;
+                        }
+                    }
+                    for h in scenario.holdings.iter().filter(|h| h.operator == idx) {
+                        events.push(WorldEvent::RoaRevoked {
+                            prefix: h.prefix,
+                            asn: h.asn,
+                        });
+                    }
+                }
+                writeln!(out, "lever: revoke {class} ROAs ({revoked} revoked)")?;
+            }
+        }
+    }
+    let repository = builder.map(|mut b| std::sync::Arc::new(b.snapshot()));
+    Ok(CompiledWhatIf {
+        events,
+        repository,
+        extra_deployers: extra.into_iter().collect(),
+    })
+}
+
+fn cmd_whatif(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    use ripki::exposure::binned;
+    use ripki_websim::churn::EpochChurn;
+
+    let domains: usize = flags.get_parsed("domains", 2_000)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let stride: usize = flags.get_parsed("stride", 25)?;
+    let threads: usize = flags.get_parsed("threads", 0)?;
+    let rov: f64 = flags.get_parsed("rov", ExposureConfig::default().rov_deployment)?;
+    let bin: usize = flags.get_parsed("bin", domains.div_ceil(10).max(1))?;
+    let out_path = PathBuf::from(
+        flags
+            .get("out")
+            .map_or_else(|| format!("results/whatif_{domains}.csv"), String::from),
+    );
+    let specs: Vec<WhatIf> = flags
+        .get_all("scenario")
+        .into_iter()
+        .map(parse_whatif)
+        .collect::<Result<_, _>>()?;
+
+    writeln!(
+        out,
+        "what-if study: {domains} domains, seed {seed}, {} scenario lever(s)",
+        specs.len()
+    )?;
+    let scenario = Scenario::build(ScenarioConfig {
+        seed,
+        ..ScenarioConfig::with_domains(domains)
+    });
+    let engine = StudyEngine::new(
+        scenario.zones.clone(),
+        scenario.rib.clone(),
+        &scenario.repository,
+        PipelineConfig {
+            bogus_dns_ppm: 0,
+            now: scenario.now,
+            threads,
+            ..Default::default()
+        },
+    );
+    let mut results = engine.run(&scenario.ranking);
+
+    let exposure_cfg = ExposureConfig {
+        rov_deployment: rov,
+        stride: stride.max(1),
+        ..Default::default()
+    };
+    let baseline_snapshot = engine.snapshot();
+    let baseline = exposure_curve(
+        &results.domains,
+        &scenario.topology,
+        baseline_snapshot.validator(),
+        &exposure_cfg,
+    );
+    writeln!(
+        out,
+        "baseline: epoch {}, {} VRPs, {} domains sampled for exposure",
+        baseline_snapshot.epoch(),
+        baseline_snapshot.vrp_count(),
+        baseline.len(),
+    )?;
+
+    let compiled = compile_whatif(&specs, &scenario, &results, out)?;
+    if compiled.repository.is_some() {
+        // One synthetic churn epoch carries the whole counterfactual
+        // through the same incremental path real churn takes — no
+        // engine rebuild, no full revalidation.
+        let batch = EpochChurn {
+            events: compiled.events,
+            repository: compiled.repository,
+            now: scenario.now,
+        };
+        let delta = engine.apply_events(&batch, &mut results);
+        writeln!(
+            out,
+            "counterfactual epoch {} -> {}: +{} -{} VRPs, {} domains re-measured",
+            delta.from_epoch,
+            delta.to_epoch,
+            delta.announced.len(),
+            delta.withdrawn.len(),
+            delta.domains_remeasured,
+        )?;
+    }
+    let counter_cfg = ExposureConfig {
+        extra_deployers: compiled.extra_deployers,
+        ..exposure_cfg
+    };
+    let counter_snapshot = engine.snapshot();
+    let counterfactual = exposure_curve(
+        &results.domains,
+        &scenario.topology,
+        counter_snapshot.validator(),
+        &counter_cfg,
+    );
+
+    let base_bins = binned(&baseline, domains, bin);
+    let cf_bins = binned(&counterfactual, domains, bin);
+    writeln!(
+        out,
+        "{:>14} {:>10} {:>10} {:>9}",
+        "rank_bin_start", "baseline", "whatif", "delta"
+    )?;
+    let mut csv = String::from("rank_bin_start,baseline_capture,whatif_capture,delta\n");
+    for (i, (b, c)) in base_bins.means.iter().zip(&cf_bins.means).enumerate() {
+        let start = i * bin;
+        let (Some(b), Some(c)) = (b, c) else {
+            writeln!(out, "{start:>14} {:>10} {:>10} {:>9}", "-", "-", "-")?;
+            continue;
+        };
+        writeln!(out, "{start:>14} {b:>10.6} {c:>10.6} {:>+9.6}", c - b)?;
+        csv.push_str(&format!("{start},{b:.6},{c:.6},{:.6}\n", c - b));
+    }
+    if let (Some(b), Some(c)) = (
+        base_bins.means.first().copied().flatten(),
+        cf_bins.means.first().copied().flatten(),
+    ) {
+        writeln!(
+            out,
+            "top-bin capture: baseline {b:.6} -> whatif {c:.6} (delta {:+.6})",
+            c - b
+        )?;
+    }
+    if let (Some(b), Some(c)) = (base_bins.overall_mean(), cf_bins.overall_mean()) {
+        writeln!(out, "exposure delta (overall): {:+.6}", c - b)?;
+    }
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out_path, csv)?;
+    writeln!(out, "wrote {}", out_path.display())?;
     Ok(())
 }
 
@@ -1053,6 +1507,201 @@ mod tests {
     }
 
     #[test]
+    fn serve_applies_slurm_exceptions_across_planes() {
+        use std::io::Read as _;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        // Pick a real VRP out of the same world `serve` will build, so
+        // the SLURM file can filter something that actually exists.
+        let scenario = Scenario::build(ScenarioConfig {
+            seed: 3,
+            ..ScenarioConfig::with_domains(200)
+        });
+        let report = validate(&scenario.repository, scenario.now);
+        let victim = *report.vrps.first().expect("world has VRPs");
+        let dir = scratch();
+        std::fs::create_dir_all(&dir).unwrap();
+        let slurm_path = dir.join("exceptions.json");
+        std::fs::write(
+            &slurm_path,
+            format!(
+                r#"{{
+                    "slurmVersion": 1,
+                    "validationOutputFilters": {{
+                        "prefixFilters": [{{ "prefix": "{}", "asn": "{}" }}]
+                    }},
+                    "locallyAddedAssertions": {{
+                        "prefixAssertions": [{{ "prefix": "198.51.100.0/24", "asn": 64496 }}]
+                    }}
+                }}"#,
+                victim.prefix, victim.asn,
+            ),
+        )
+        .unwrap();
+
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let mut thread_buf = buf.clone();
+        let slurm_arg = slurm_path.to_str().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let args: Vec<String> = [
+                "serve",
+                "--domains",
+                "200",
+                "--seed",
+                "3",
+                "--listen",
+                "127.0.0.1:0",
+                "--rtr-listen",
+                "127.0.0.1:0",
+                "--epochs",
+                "2",
+                "--epoch-interval-ms",
+                "700",
+                "--exit-after-churn",
+                "true",
+                "--slurm",
+                &slurm_arg,
+            ]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+            run(&args, &mut thread_buf)
+        });
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let (http_addr, rtr_addr) = loop {
+            assert!(std::time::Instant::now() < deadline, "serve never started");
+            let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+            let http = text
+                .lines()
+                .find_map(|l| l.split_once("http://").map(|(_, r)| r))
+                .and_then(|r| r.split_whitespace().next().map(str::to_string));
+            let rtr = text
+                .lines()
+                .find(|l| l.starts_with("RTR cache on "))
+                .and_then(|l| l.split_whitespace().nth(3).map(str::to_string));
+            match (http, rtr) {
+                (Some(h), Some(r)) => break (h, r),
+                _ => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        };
+
+        let get = |path: &str| -> String {
+            let mut stream = std::net::TcpStream::connect(&http_addr).unwrap();
+            stream
+                .write_all(
+                    format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+                        .as_bytes(),
+                )
+                .unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        };
+
+        // The JSON export serves the excepted set: asserted VRP in,
+        // filtered VRP out.
+        let export = get("/vrps.json");
+        assert!(export.contains("198.51.100.0/24"), "{export}");
+        assert!(
+            !export.contains(&victim.prefix.to_string()),
+            "filtered VRP still exported: {}",
+            victim.prefix
+        );
+
+        // The validity API agrees with the export.
+        let verdict = get("/api/v1/validity/AS64496/198.51.100.0/24");
+        assert!(verdict.contains("\"state\":\"valid\""), "{verdict}");
+
+        // Status and metrics surface the exception counts.
+        let status = get("/status");
+        assert!(status.contains("\"slurm_asserted\":1"), "{status}");
+        assert!(status.contains("\"slurm_filtered\":"), "{status}");
+        let metrics = get("/metrics");
+        assert!(
+            metrics.contains("ripki_serve_slurm_asserted 1"),
+            "{metrics}"
+        );
+
+        // The RTR cache serves the same excepted set.
+        let conn = std::net::TcpStream::connect(&rtr_addr).unwrap();
+        let mut client = ripki_rtr::Client::new(conn);
+        client.sync().expect("RTR sync");
+        let asserted = VrpTriple {
+            prefix: "198.51.100.0/24".parse().unwrap(),
+            max_length: 24,
+            asn: Asn::new(64496),
+        };
+        assert!(
+            client.vrps().contains(&asserted),
+            "assertion missing in RTR"
+        );
+        let victim_triple = VrpTriple {
+            prefix: victim.prefix,
+            max_length: victim.max_length,
+            asn: victim.asn,
+        };
+        assert!(
+            !client.vrps().contains(&victim_triple),
+            "filtered VRP still in RTR"
+        );
+
+        handle.join().unwrap().expect("serve exits cleanly");
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("slurm: loaded"), "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn longitudinal_applies_slurm_exceptions() {
+        let dir = scratch();
+        std::fs::create_dir_all(&dir).unwrap();
+        let slurm_path = dir.join("exceptions.json");
+        std::fs::write(
+            &slurm_path,
+            r#"{
+                "slurmVersion": 1,
+                "locallyAddedAssertions": {
+                    "prefixAssertions": [{ "prefix": "198.51.100.0/24", "asn": 64496 }]
+                }
+            }"#,
+        )
+        .unwrap();
+        let text = run_ok(&[
+            "longitudinal",
+            "--domains",
+            "300",
+            "--seed",
+            "5",
+            "--epochs",
+            "2",
+            "--stride",
+            "25",
+            "--threads",
+            "2",
+            "--slurm",
+            slurm_path.to_str().unwrap(),
+        ]);
+        assert!(text.contains("slurm: loaded"), "{text}");
+        assert!(text.contains("1 assertions"), "{text}");
+        // The excepted set chains through the RTR cache epoch by epoch.
+        assert!(text.contains("final epoch 3, RTR serial 3"), "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn study_from_files_matches_in_memory_study() {
         let dir = scratch();
         let dir_s = dir.to_str().unwrap();
@@ -1183,5 +1832,198 @@ mod tests {
         ]);
         assert!(text.contains("fabric drained; exiting"), "{text}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The two numbers of a `"... baseline X -> whatif Y ..."` line.
+    fn capture_pair(output: &str, prefix: &str) -> (f64, f64) {
+        let line = output
+            .lines()
+            .find(|l| l.starts_with(prefix))
+            .unwrap_or_else(|| panic!("no {prefix:?} line in {output}"));
+        let nums: Vec<f64> = line
+            .split_whitespace()
+            .filter_map(|w| w.trim_start_matches('(').parse().ok())
+            .collect();
+        (nums[0], nums[1])
+    }
+
+    #[test]
+    fn whatif_empty_scenario_reproduces_baseline() {
+        let dir = scratch();
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("whatif.csv");
+        let output = run_ok(&[
+            "whatif",
+            "--domains",
+            "400",
+            "--seed",
+            "5",
+            "--stride",
+            "5",
+            "--bin",
+            "100",
+            "--out",
+            csv.to_str().unwrap(),
+        ]);
+        assert!(
+            output.contains("exposure delta (overall): +0.000000"),
+            "{output}"
+        );
+        let written = std::fs::read_to_string(&csv).unwrap();
+        let mut lines = written.lines();
+        assert_eq!(
+            lines.next(),
+            Some("rank_bin_start,baseline_capture,whatif_capture,delta")
+        );
+        let mut rows = 0;
+        for line in lines {
+            assert!(
+                line.ends_with(",0.000000"),
+                "empty scenario must reproduce the baseline exactly: {line}"
+            );
+            rows += 1;
+        }
+        assert_eq!(rows, 4, "400 domains / bin 100");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn whatif_top_cdn_signing_lowers_top_bin_capture() {
+        let dir = scratch();
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("whatif.csv");
+        let output = run_ok(&[
+            "whatif",
+            "--domains",
+            "400",
+            "--seed",
+            "5",
+            "--stride",
+            "5",
+            "--bin",
+            "100",
+            "--scenario",
+            "cdn-signs:Akamai",
+            "--out",
+            csv.to_str().unwrap(),
+        ]);
+        assert!(
+            output.contains("lever: CDN Akamai signs ROAs for"),
+            "{output}"
+        );
+        // The counterfactual rode one incremental churn epoch (announce
+        // only — untouched CAs re-issued identically, nothing withdrawn).
+        assert!(output.contains("counterfactual epoch 1 -> 2:"), "{output}");
+        assert!(output.contains("-0 VRPs"), "{output}");
+        let (baseline, whatif) = capture_pair(&output, "top-bin capture:");
+        assert!(
+            whatif < baseline,
+            "signing the top CDN's prefixes must strictly lower top-bin \
+             capture: {baseline} -> {whatif}\n{output}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn whatif_revoking_a_class_raises_exposure() {
+        let dir = scratch();
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("whatif.csv");
+        let output = run_ok(&[
+            "whatif",
+            "--domains",
+            "400",
+            "--seed",
+            "5",
+            "--stride",
+            "5",
+            "--bin",
+            "100",
+            "--scenario",
+            "revoke-class:webhoster",
+            "--out",
+            csv.to_str().unwrap(),
+        ]);
+        assert!(output.contains("lever: revoke webhoster ROAs"), "{output}");
+        assert!(
+            !output.contains("(0 revoked)"),
+            "the adoption model always produces webhoster ROAs: {output}"
+        );
+        let delta_line = output
+            .lines()
+            .find(|l| l.starts_with("exposure delta (overall):"))
+            .unwrap();
+        let delta: f64 = delta_line
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|_| panic!("unparsable delta in {delta_line:?}"));
+        assert!(
+            delta > 0.0,
+            "revoking a class's ROAs must raise exposure: {output}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn whatif_top_k_lever_reports_deployers() {
+        let dir = scratch();
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("whatif.csv");
+        let output = run_ok(&[
+            "whatif",
+            "--domains",
+            "400",
+            "--seed",
+            "5",
+            "--stride",
+            "5",
+            "--bin",
+            "100",
+            "--scenario",
+            "top-k-drop-invalid:100",
+            "--out",
+            csv.to_str().unwrap(),
+        ]);
+        assert!(
+            output.contains("lever: operators of the top-100 ranks drop Invalids"),
+            "{output}"
+        );
+        // A pure exposure-side lever runs no churn epoch at all.
+        assert!(!output.contains("counterfactual epoch"), "{output}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn whatif_rejects_malformed_scenarios() {
+        for spec in [
+            "nonsense",
+            "cdn-signs",
+            "top-k-drop-invalid:many",
+            "revoke-class:bank",
+        ] {
+            let args: Vec<String> = ["whatif", "--scenario", spec]
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
+            let mut out = Vec::new();
+            assert!(
+                matches!(run(&args, &mut out), Err(CliError::BadFlag(_))),
+                "spec {spec:?} must be rejected"
+            );
+        }
+        let args: Vec<String> = [
+            "whatif",
+            "--domains",
+            "100",
+            "--scenario",
+            "cdn-signs:NoSuchCdn",
+        ]
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&args, &mut out), Err(CliError::BadFlag(_))));
     }
 }

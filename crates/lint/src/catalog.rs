@@ -7,7 +7,7 @@ use std::fmt;
 use std::path::Path;
 
 /// Version of the rule set encoded below.
-pub const CATALOG_VERSION: u32 = 1;
+pub const CATALOG_VERSION: u32 = 2;
 
 /// The enforced invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -133,12 +133,17 @@ impl fmt::Display for Rule {
 /// The modules allowed to write epoch fields directly. They carry the
 /// monotonicity assertions every other caller inherits by construction:
 /// the engine commits epochs, the payload crate's constructors stamp
-/// them onto the wire currency, and the proxy gossip channel enforces
-/// forward motion at every fabric hop.
+/// them onto the wire currency, the proxy gossip channel enforces
+/// forward motion at every fabric hop, and the SLURM crate maps deltas
+/// between epoch spaces (exception reloads shift epochs by a constant
+/// offset) under its own forward-motion assertion.
 pub fn is_blessed_epoch_module(path: &str) -> bool {
     matches!(
         path,
-        "crates/ripki/src/engine.rs" | "crates/payload/src/lib.rs" | "crates/proxy/src/comms.rs"
+        "crates/ripki/src/engine.rs"
+            | "crates/payload/src/lib.rs"
+            | "crates/proxy/src/comms.rs"
+            | "crates/slurm/src/lib.rs"
     )
 }
 
@@ -186,6 +191,7 @@ mod tests {
         assert!(!Rule::EpochWrite.applies_to("crates/ripki/src/engine.rs"));
         assert!(!Rule::EpochWrite.applies_to("crates/payload/src/lib.rs"));
         assert!(!Rule::EpochWrite.applies_to("crates/proxy/src/comms.rs"));
+        assert!(!Rule::EpochWrite.applies_to("crates/slurm/src/lib.rs"));
         assert!(Rule::EpochWrite.applies_to("crates/serve/src/view.rs"));
         assert!(Rule::EpochWrite.applies_to("crates/proxy/src/units.rs"));
     }

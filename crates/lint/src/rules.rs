@@ -802,6 +802,30 @@ mod tests {
     }
 
     #[test]
+    fn slurm_epoch_writes_blessed_under_its_assert() {
+        // The fixture mirrors ripki-slurm's delta mapping: epochs
+        // copied verbatim into a struct literal, guarded by the
+        // module's own forward-motion assertion.
+        let shift = "fn shift(d: Delta, off: u64) -> Delta {\n\
+                     \x20   assert!(d.to_epoch > d.from_epoch, \"forward\");\n\
+                     \x20   Delta { from_epoch: d.from_epoch + off, to_epoch: d.to_epoch + off }\n\
+                     }";
+        assert!(
+            violations("crates/slurm/src/lib.rs", shift).is_empty(),
+            "slurm is a blessed epoch module"
+        );
+        // The same writes anywhere else stay violations.
+        assert_eq!(violations("crates/proxy/src/units.rs", shift).len(), 2);
+        // And the blessing is a bargain: drop the assert and the slurm
+        // module itself gets flagged.
+        let unguarded =
+            "fn shift(d: Delta) -> Delta { Delta { from_epoch: d.from_epoch, to_epoch: 0 } }";
+        let v = violations("crates/slurm/src/lib.rs", unguarded);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("monotonicity assertion"));
+    }
+
+    #[test]
     fn blessed_module_must_assert() {
         let good = "fn publish(old: u64, new_epoch: u64) { assert!(new_epoch > old, \"epoch\"); }";
         let bad = "fn publish(e: u64) -> u64 { e + 1 }";

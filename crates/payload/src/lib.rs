@@ -331,11 +331,41 @@ pub mod json {
 
     /// Parse failures from [`parse_vrps_json`].
     #[derive(Debug, Clone, PartialEq, Eq)]
-    pub struct ParseError(pub String);
+    pub enum ParseError {
+        /// Lexically or structurally broken document.
+        Malformed(String),
+        /// The same VRP appeared twice in `roas`. A VRP set has no
+        /// duplicates; a producer that emits them is corrupt, and
+        /// rejecting beats silently deduplicating its output.
+        DuplicateVrp {
+            /// Index of the second occurrence in `roas`.
+            index: usize,
+            /// The duplicated record, rendered `ASN prefix-maxlen`.
+            record: String,
+        },
+        /// `metadata` carried both an `epoch` and a disagreeing
+        /// `serial` — two overlapping serial claims leave the document
+        /// with no well-defined epoch.
+        ConflictingSerial {
+            /// The `metadata.epoch` value.
+            epoch: u64,
+            /// The disagreeing `metadata.serial` value.
+            serial: u64,
+        },
+    }
 
     impl std::fmt::Display for ParseError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            write!(f, "vrps.json: {}", self.0)
+            match self {
+                ParseError::Malformed(s) => write!(f, "vrps.json: {s}"),
+                ParseError::DuplicateVrp { index, record } => {
+                    write!(f, "vrps.json: roas[{index}]: duplicate VRP {record}")
+                }
+                ParseError::ConflictingSerial { epoch, serial } => write!(
+                    f,
+                    "vrps.json: metadata: serial {serial} conflicts with epoch {epoch}"
+                ),
+            }
         }
     }
 
@@ -346,41 +376,65 @@ pub mod json {
     /// unknown fields are ignored, malformed records are an error, not
     /// a skip — a proxy must never silently drop VRPs.
     pub fn parse_vrps_json(text: &str) -> Result<VrpPayload, ParseError> {
+        use std::collections::BTreeSet;
+        let malformed = |s: String| ParseError::Malformed(s);
         let root: serde_json::Value =
-            serde_json::from_str(text).map_err(|e| ParseError(format!("invalid JSON: {e}")))?;
+            serde_json::from_str(text).map_err(|e| malformed(format!("invalid JSON: {e}")))?;
         let field = |v: &serde_json::Value, key: &str| -> Option<serde_json::Value> {
             v.as_object().and_then(|m| m.get(key)).cloned()
         };
-        let epoch = field(&root, "metadata")
-            .and_then(|m| field(&m, "epoch"))
+        let metadata = field(&root, "metadata");
+        let epoch = metadata
+            .as_ref()
+            .and_then(|m| field(m, "epoch"))
             .and_then(|v| v.as_u128())
             .and_then(|n| u64::try_from(n).ok())
-            .ok_or_else(|| ParseError("missing metadata.epoch".into()))?;
+            .ok_or_else(|| malformed("missing metadata.epoch".into()))?;
+        // A producer that also stamps a `serial` must agree with its own
+        // epoch; two overlapping serial claims are garbage, not data.
+        if let Some(serial) = metadata
+            .as_ref()
+            .and_then(|m| field(m, "serial"))
+            .and_then(|v| v.as_u128())
+            .and_then(|n| u64::try_from(n).ok())
+        {
+            if serial != epoch {
+                return Err(ParseError::ConflictingSerial { epoch, serial });
+            }
+        }
         let roas = field(&root, "roas")
             .and_then(|v| v.as_array().map(<[serde_json::Value]>::to_vec))
-            .ok_or_else(|| ParseError("missing roas array".into()))?;
+            .ok_or_else(|| malformed("missing roas array".into()))?;
         let mut vrps = Vec::with_capacity(roas.len());
+        let mut seen: BTreeSet<VrpTriple> = BTreeSet::new();
         for (i, roa) in roas.iter().enumerate() {
             let asn = field(roa, "asn")
                 .and_then(|v| v.as_str().map(str::to_string))
-                .ok_or_else(|| ParseError(format!("roas[{i}]: missing asn")))?;
+                .ok_or_else(|| malformed(format!("roas[{i}]: missing asn")))?;
             let prefix = field(roa, "prefix")
                 .and_then(|v| v.as_str().map(str::to_string))
-                .ok_or_else(|| ParseError(format!("roas[{i}]: missing prefix")))?;
+                .ok_or_else(|| malformed(format!("roas[{i}]: missing prefix")))?;
             let max_length = field(roa, "maxLength")
                 .and_then(|v| v.as_u128())
-                .ok_or_else(|| ParseError(format!("roas[{i}]: missing maxLength")))?;
+                .ok_or_else(|| malformed(format!("roas[{i}]: missing maxLength")))?;
             let max_length = u8::try_from(max_length)
-                .map_err(|_| ParseError(format!("roas[{i}]: maxLength {max_length} > 255")))?;
-            vrps.push(VrpTriple {
+                .map_err(|_| malformed(format!("roas[{i}]: maxLength {max_length} > 255")))?;
+            let vrp = VrpTriple {
                 prefix: prefix
                     .parse()
-                    .map_err(|e| ParseError(format!("roas[{i}]: prefix {prefix:?}: {e}")))?,
+                    .map_err(|e| malformed(format!("roas[{i}]: prefix {prefix:?}: {e}")))?,
                 max_length,
                 asn: asn
                     .parse()
-                    .map_err(|e| ParseError(format!("roas[{i}]: asn {asn:?}: {e}")))?,
-            });
+                    .map_err(|e| malformed(format!("roas[{i}]: asn {asn:?}: {e}")))?,
+            };
+            if !seen.insert(vrp) {
+                return Err(ParseError::DuplicateVrp {
+                    index: i,
+                    record: format!("{asn} {prefix}-{max_length}"),
+                });
+            }
+            vrps.push(vrp);
         }
         Ok(VrpPayload::new(epoch, vrps))
     }

@@ -12,9 +12,10 @@ use crate::config::{ConfigError, ProxyConfig, Section};
 use crate::log::Log;
 use crate::targets::{start_http_target, start_rtr_target, TargetHandle};
 use crate::units::{
-    run_combinator, run_engine_unit, run_json_unit, run_rtr_unit, Combinator, EngineUnitConfig,
-    JsonUnitConfig, RtrUnitConfig,
+    run_combinator, run_engine_unit, run_json_unit, run_rtr_unit, run_slurm_unit, Combinator,
+    EngineUnitConfig, JsonUnitConfig, RtrUnitConfig, SlurmUnitConfig,
 };
+use ripki_slurm::SlurmFile;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
@@ -68,7 +69,23 @@ enum UnitPlan {
     Engine(EngineUnitConfig),
     Rtr(RtrUnitConfig),
     Json(JsonUnitConfig),
+    Slurm(SlurmUnitConfig, String),
     Combinator(Combinator, Vec<String>),
+}
+
+/// Check that `source` names another declared unit.
+fn check_source(config: &ProxyConfig, name: &str, source: &str) -> Result<(), FabricError> {
+    if source == name {
+        return Err(wiring_error(format!(
+            "[units.{name}] lists itself as a source",
+        )));
+    }
+    if !config.units.iter().any(|(n, _)| n == source) {
+        return Err(wiring_error(format!(
+            "[units.{name}] references undeclared unit {source:?}",
+        )));
+    }
+    Ok(())
 }
 
 enum TargetKind {
@@ -112,11 +129,28 @@ fn plan_units(config: &ProxyConfig) -> Result<Vec<(String, UnitPlan)>, FabricErr
                 url: section.str("url")?.to_string(),
                 poll: Duration::from_millis(section.int_or("poll-ms", 200)?),
             }),
+            "slurm" => {
+                let file = std::path::PathBuf::from(section.str("file")?);
+                // Fail the whole pipeline now if the exception file is
+                // malformed — a typo must never silently change which
+                // routes get dropped (the unit re-loads at spawn and on
+                // every mtime change).
+                SlurmFile::load(&file).map_err(|e| wiring_error(format!("[units.{name}]: {e}")))?;
+                let source = section.str("source")?.to_string();
+                check_source(config, name, &source)?;
+                UnitPlan::Slurm(
+                    SlurmUnitConfig {
+                        file,
+                        poll: Duration::from_millis(section.int_or("poll-ms", 100)?),
+                    },
+                    source,
+                )
+            }
             combinator => {
                 let Some(kind) = Combinator::from_kind(combinator) else {
                     return Err(wiring_error(format!(
                         "[units.{name}] has unknown type {combinator:?} \
-                         (expected engine, rtr, json, any, merge, or diff)",
+                         (expected engine, rtr, json, slurm, any, merge, or diff)",
                     )));
                 };
                 let sources = section.list("sources")?.to_vec();
@@ -126,16 +160,7 @@ fn plan_units(config: &ProxyConfig) -> Result<Vec<(String, UnitPlan)>, FabricErr
                     )));
                 }
                 for source in &sources {
-                    if source == name {
-                        return Err(wiring_error(format!(
-                            "[units.{name}] lists itself as a source",
-                        )));
-                    }
-                    if !config.units.iter().any(|(n, _)| n == source) {
-                        return Err(wiring_error(format!(
-                            "[units.{name}] references undeclared unit {source:?}",
-                        )));
-                    }
+                    check_source(config, name, source)?;
                 }
                 UnitPlan::Combinator(kind, sources)
             }
@@ -251,6 +276,12 @@ impl Manager {
                 UnitPlan::Json(unit) => manager.service.push(std::thread::spawn(move || {
                     run_json_unit(&name, &unit, &gossip, &log, &shutdown_flag);
                 })),
+                UnitPlan::Slurm(unit, source) => {
+                    let source = gossips[&source].subscribe();
+                    manager.finite.push(std::thread::spawn(move || {
+                        run_slurm_unit(&name, &unit, source, &gossip, &log, &shutdown_flag);
+                    }));
+                }
                 UnitPlan::Combinator(kind, sources) => {
                     let sources = sources
                         .iter()

@@ -73,15 +73,30 @@ pub fn start_rtr_target(
         let shutdown = Arc::clone(shutdown);
         let name = name.to_string();
         std::thread::spawn(move || {
+            let mut resyncs: u64 = 0;
             loop {
                 match sub.recv_timeout(IDLE_POLL) {
                     Wait::Update(update) => {
-                        let incremental = cache.install_update(&update);
+                        // A delta that fails to chain onto the cache's
+                        // serial (stale base after a missed epoch) must
+                        // become an explicit, counted snapshot re-sync —
+                        // never a silent skip.
+                        let mode = match &update.delta {
+                            Some(delta) if cache.apply_vrp_delta(delta) => String::from("delta"),
+                            Some(_) => {
+                                cache.install_payload(&update.payload);
+                                resyncs += 1;
+                                format!("snapshot resync #{resyncs}")
+                            }
+                            None => {
+                                cache.install_payload(&update.payload);
+                                String::from("snapshot")
+                            }
+                        };
                         log.line(&format_args!(
-                            "target {name} (rtr): serial {} in lockstep with {} [{}]",
+                            "target {name} (rtr): serial {} in lockstep with {} [{mode}]",
                             cache.serial(),
                             update.payload,
-                            if incremental { "delta" } else { "snapshot" },
                         ));
                     }
                     Wait::TimedOut => {
@@ -130,6 +145,9 @@ struct HttpState {
     payload: Mutex<Option<VrpPayload>>,
     updates_total: AtomicU64,
     requests_total: AtomicU64,
+    /// Updates whose delta did not chain onto the held epoch — each one
+    /// is a full re-sync the operator should be able to see.
+    resyncs_total: AtomicU64,
 }
 
 impl HttpState {
@@ -204,6 +222,11 @@ fn route(state: &HttpState, request: &Request) -> Response {
                 // Relaxed: point-in-time counter reads for reporting.
                 state.requests_total.load(Ordering::Relaxed).into(),
             );
+            root.insert(
+                "resyncs_total".into(),
+                // Relaxed: point-in-time counter reads for reporting.
+                state.resyncs_total.load(Ordering::Relaxed).into(),
+            );
             Response::json(200, &Value::Object(root))
         }
         "/metrics" => {
@@ -211,12 +234,14 @@ fn route(state: &HttpState, request: &Request) -> Response {
                 "# TYPE ripki_proxy_epoch gauge\nripki_proxy_epoch {}\n\
                  # TYPE ripki_proxy_vrps gauge\nripki_proxy_vrps {}\n\
                  # TYPE ripki_proxy_updates_total counter\nripki_proxy_updates_total {}\n\
-                 # TYPE ripki_proxy_requests_total counter\nripki_proxy_requests_total {}\n",
+                 # TYPE ripki_proxy_requests_total counter\nripki_proxy_requests_total {}\n\
+                 # TYPE ripki_proxy_resyncs_total counter\nripki_proxy_resyncs_total {}\n",
                 payload.epoch(),
                 payload.len(),
                 // Relaxed: point-in-time counter reads for reporting.
                 state.updates_total.load(Ordering::Relaxed),
                 state.requests_total.load(Ordering::Relaxed), // Relaxed: as above
+                state.resyncs_total.load(Ordering::Relaxed),  // Relaxed: as above
             );
             Response::text(200, text)
         }
@@ -273,6 +298,7 @@ pub fn start_http_target(
         payload: Mutex::new(None),
         updates_total: AtomicU64::new(0),
         requests_total: AtomicU64::new(0),
+        resyncs_total: AtomicU64::new(0),
     });
 
     let consume = {
@@ -284,12 +310,28 @@ pub fn start_http_target(
             loop {
                 match sub.recv_timeout(IDLE_POLL) {
                     Wait::Update(update) => {
+                        // A delta that does not chain onto the held
+                        // epoch (stale base after a missed epoch) is an
+                        // explicit, counted re-sync — never silent.
+                        let mut held = state.payload.lock().expect("http target state poisoned");
+                        let mode = match (&update.delta, held.as_ref()) {
+                            (Some(delta), Some(prev)) if delta.from_epoch == prev.epoch() => {
+                                String::from("delta")
+                            }
+                            (Some(_), Some(_)) => {
+                                // Relaxed: standalone monotonic counter
+                                // for reporting.
+                                let n = state.resyncs_total.fetch_add(1, Ordering::Relaxed) + 1;
+                                format!("snapshot resync #{n}")
+                            }
+                            _ => String::from("snapshot"),
+                        };
                         log.line(&format_args!(
-                            "target {name} (http): in lockstep with {}",
+                            "target {name} (http): in lockstep with {} [{mode}]",
                             update.payload,
                         ));
-                        *state.payload.lock().expect("http target state poisoned") =
-                            Some(update.payload);
+                        *held = Some(update.payload);
+                        drop(held);
                         // Relaxed: standalone monotonic counter; the
                         // payload itself is published under the mutex.
                         state.updates_total.fetch_add(1, Ordering::Relaxed);
@@ -468,5 +510,145 @@ mod tests {
     #[test]
     fn session_ids_differ_per_target_name() {
         assert_ne!(session_id("rtr-a"), session_id("rtr-b"));
+    }
+
+    /// A log sink tests can read back.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Capture {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().expect("capture").clone()).expect("utf8 log")
+        }
+    }
+
+    impl std::io::Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("capture").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn http_target_counts_a_resync_when_a_unit_resumes_mid_stream() {
+        // Simulates a feeding unit killed during epoch 2 and resumed at
+        // epoch 3: the target holds epoch 1 and receives a 2→3 delta it
+        // cannot chain. That must be an explicit, counted re-sync.
+        let gossip = Gossip::new();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = start_http_target(
+            "t",
+            "127.0.0.1:0",
+            gossip.subscribe(),
+            &Log::sink(),
+            &shutdown,
+        )
+        .expect("bind");
+        let base = format!("http://{}", handle.addr);
+
+        let p1 = ripki_payload::VrpPayload::new(1, [vrp("10.0.0.0/24", 64496)]);
+        gossip.publish(PayloadUpdate::snapshot(p1));
+        wait_for_epoch(&format!("{base}/vrps.json"), 1);
+
+        // The unit died at epoch 2; its resumed self diffs 2→3.
+        let p2 = ripki_payload::VrpPayload::new(
+            2,
+            [vrp("10.0.0.0/24", 64496), vrp("10.1.0.0/24", 64497)],
+        );
+        let p3 = ripki_payload::VrpPayload::new(
+            3,
+            [vrp("10.0.0.0/24", 64496), vrp("10.2.0.0/24", 64498)],
+        );
+        gossip.publish(PayloadUpdate::from_previous(&p2, p3.clone()));
+        let served = wait_for_epoch(&format!("{base}/vrps.json"), 3);
+        assert_eq!(served, p3, "resync serves the snapshot, never a skip");
+
+        let status = crate::http::get(&format!("{base}/status"), &[], Duration::from_secs(1))
+            .expect("status");
+        let text = std::str::from_utf8(&status.body).expect("utf8");
+        assert!(text.contains("\"resyncs_total\":1"), "status: {text}");
+        let metrics = crate::http::get(&format!("{base}/metrics"), &[], Duration::from_secs(1))
+            .expect("metrics");
+        let text = std::str::from_utf8(&metrics.body).expect("utf8");
+        assert!(
+            text.contains("ripki_proxy_resyncs_total 1"),
+            "metrics: {text}"
+        );
+
+        // A chaining 3→4 delta is incremental again: the counter stays.
+        let p4 = ripki_payload::VrpPayload::new(4, [vrp("10.0.0.0/24", 64496)]);
+        gossip.publish(PayloadUpdate::from_previous(&p3, p4));
+        wait_for_epoch(&format!("{base}/vrps.json"), 4);
+        let status = crate::http::get(&format!("{base}/status"), &[], Duration::from_secs(1))
+            .expect("status");
+        let text = std::str::from_utf8(&status.body).expect("utf8");
+        assert!(text.contains("\"resyncs_total\":1"), "status: {text}");
+
+        gossip.close();
+        shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(handle.addr);
+        handle
+            .consume
+            .expect("consume handle")
+            .join()
+            .expect("consume");
+        handle
+            .accept
+            .expect("accept handle")
+            .join()
+            .expect("accept");
+    }
+
+    #[test]
+    fn rtr_target_resyncs_explicitly_on_an_unchained_delta() {
+        let capture = Capture::default();
+        let log = Log::to(Box::new(capture.clone()));
+        let gossip = Gossip::new();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = start_rtr_target("r", "127.0.0.1:0", gossip.subscribe(), &log, &shutdown)
+            .expect("bind");
+
+        let p1 = ripki_payload::VrpPayload::new(1, [vrp("10.0.0.0/24", 64496)]);
+        gossip.publish(PayloadUpdate::snapshot(p1));
+        for _ in 0..100 {
+            if capture.text().contains("serial 1 in lockstep") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        // Killed during epoch 2, resumed at 3: the 2→3 delta cannot
+        // chain onto serial 1 and must fall back to a counted snapshot.
+        let p2 = ripki_payload::VrpPayload::new(2, [vrp("10.1.0.0/24", 64497)]);
+        let p3 = ripki_payload::VrpPayload::new(3, [vrp("10.2.0.0/24", 64498)]);
+        gossip.publish(PayloadUpdate::from_previous(&p2, p3.clone()));
+        gossip.close();
+        handle
+            .consume
+            .expect("consume handle")
+            .join()
+            .expect("consume");
+        let text = capture.text();
+        assert!(text.contains("[snapshot resync #1]"), "log: {text}");
+
+        // The cache still converged on the full epoch-3 set.
+        let stream = TcpStream::connect(handle.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        let mut client = ripki_rtr::Client::new(stream);
+        client.sync().expect("sync");
+        assert_eq!(client.payload().expect("payload"), p3);
+
+        shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(handle.addr);
+        handle
+            .accept
+            .expect("accept handle")
+            .join()
+            .expect("accept");
     }
 }

@@ -13,12 +13,14 @@ use ripki::engine::StudyEngine;
 use ripki::pipeline::PipelineConfig;
 use ripki_payload::{PayloadUpdate, VrpDelta, VrpPayload};
 use ripki_rtr::{Backoff, PersistentClient};
+use ripki_slurm::{SlurmApplier, SlurmFile};
 use ripki_websim::churn::{ChurnConfig, ChurnStream};
 use ripki_websim::{Scenario, ScenarioConfig};
 use std::collections::BTreeSet;
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 /// How combinators pace their source polling.
 const COMBINATOR_TICK: Duration = Duration::from_millis(2);
@@ -274,6 +276,121 @@ pub fn run_json_unit(
     gossip.close();
 }
 
+/// The SLURM exception unit: RFC 8416 local filters/assertions applied
+/// over a single source, with mtime-based hot reload of the file.
+#[derive(Debug, Clone)]
+pub struct SlurmUnitConfig {
+    /// Path to the RFC 8416 SLURM JSON file.
+    pub file: PathBuf,
+    /// Pace of the source wait (doubles as the mtime poll interval).
+    pub poll: Duration,
+}
+
+fn slurm_mtime(path: &Path) -> Option<SystemTime> {
+    std::fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+fn load_slurm(name: &str, path: &Path, log: &Log) -> Result<ripki_slurm::ExceptionSet, String> {
+    let file = SlurmFile::load(path).map_err(|e| e.to_string())?;
+    for warning in &file.warnings {
+        log.line(&format_args!("unit {name} (slurm): warning: {warning}"));
+    }
+    Ok(file.compile())
+}
+
+/// Run a SLURM exception unit until its source closes (or shutdown).
+/// Every source update is re-published with the exceptions applied —
+/// delta-aware when the source delta chains (`[delta]`), via a counted
+/// snapshot re-sync when it does not (`[snapshot resync #N]`, never a
+/// silent skip). Editing the file hot-reloads it and publishes the
+/// re-excepted set at a **new** epoch.
+pub fn run_slurm_unit(
+    name: &str,
+    config: &SlurmUnitConfig,
+    mut source: Subscription,
+    gossip: &Gossip,
+    log: &Log,
+    shutdown: &AtomicBool,
+) {
+    let exceptions = match load_slurm(name, &config.file, log) {
+        Ok(exceptions) => exceptions,
+        Err(e) => {
+            // The manager validated the file at plan time; losing it
+            // between plan and spawn degrades to a pass-through, loudly.
+            log.line(&format_args!(
+                "unit {name} (slurm): {e}; passing payloads through unfiltered",
+            ));
+            ripki_slurm::ExceptionSet::empty()
+        }
+    };
+    log.line(&format_args!(
+        "unit {name} (slurm): loaded {} ({exceptions})",
+        config.file.display(),
+    ));
+    let mut applier = SlurmApplier::new(exceptions);
+    let mut mtime = slurm_mtime(&config.file);
+    while !shutdown.load(Ordering::SeqCst) {
+        // Hot reload: a changed mtime swaps the exception set and
+        // republishes the held base at a fresh epoch.
+        let current = slurm_mtime(&config.file);
+        if current != mtime {
+            mtime = current;
+            match load_slurm(name, &config.file, log) {
+                Ok(exceptions) => {
+                    log.line(&format_args!(
+                        "unit {name} (slurm): reloaded {} ({exceptions})",
+                        config.file.display(),
+                    ));
+                    if let Some(out) = applier.reload(exceptions) {
+                        publish_slurm(name, &applier, out, gossip, log);
+                    }
+                }
+                Err(e) => {
+                    log.line(&format_args!(
+                        "unit {name} (slurm): reload failed ({e}); keeping previous exceptions",
+                    ));
+                }
+            }
+        }
+        match source.recv_timeout(config.poll) {
+            Wait::Update(update) => {
+                if let Some(out) = applier.ingest(&update) {
+                    publish_slurm(name, &applier, out, gossip, log);
+                }
+            }
+            Wait::TimedOut => {}
+            Wait::Closed => break,
+        }
+    }
+    log.line(&format_args!("unit {name} (slurm): source drained"));
+    gossip.close();
+}
+
+fn publish_slurm(
+    name: &str,
+    applier: &SlurmApplier,
+    out: ripki_slurm::AppliedUpdate,
+    gossip: &Gossip,
+    log: &Log,
+) {
+    let stats = applier.stats();
+    let mode = if out.incremental {
+        "delta".to_string()
+    } else if out.resync {
+        format!("snapshot resync #{}", applier.resyncs())
+    } else {
+        "snapshot".to_string()
+    };
+    log.line(&format_args!(
+        "unit {name} (slurm): epoch {} out ({}) [{mode}] ({} filtered, {} asserted)",
+        out.update.epoch(),
+        out.update.payload,
+        stats.filtered,
+        stats.asserted,
+    ));
+    gossip.publish(out.update);
+}
+
 /// The set-level operation a combinator applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Combinator {
@@ -519,6 +636,157 @@ mod tests {
             vec![vec![VrpPayload::new(2, [vrp("10.0.0.0/24", 1)])], vec![]],
         );
         assert!(updates.is_empty(), "partial unions must not be published");
+    }
+
+    /// Write a throwaway SLURM file under the OS temp dir.
+    fn slurm_file(name: &str, body: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("ripki-proxy-{}-{name}.json", std::process::id()));
+        std::fs::write(&path, body).expect("write slurm file");
+        path
+    }
+
+    /// Wait out idle polls until the unit publishes.
+    fn recv_update(sub: &mut Subscription) -> PayloadUpdate {
+        for _ in 0..200 {
+            match sub.recv_timeout(Duration::from_millis(50)) {
+                Wait::Update(update) => return update,
+                Wait::TimedOut => {}
+                Wait::Closed => panic!("slurm unit closed without publishing"),
+            }
+        }
+        panic!("slurm unit never published");
+    }
+
+    const UNIT_SLURM: &str = r#"{
+        "slurmVersion": 1,
+        "validationOutputFilters": {
+            "prefixFilters": [{ "prefix": "10.0.0.0/24", "comment": "drop" }],
+            "bgpsecFilters": []
+        },
+        "locallyAddedAssertions": {
+            "prefixAssertions": [{ "prefix": "192.0.2.0/24", "asn": 64500 }],
+            "bgpsecAssertions": []
+        }
+    }"#;
+
+    #[test]
+    fn slurm_unit_applies_exceptions_delta_aware() {
+        let file = slurm_file("delta-aware", UNIT_SLURM);
+        let source = Gossip::new();
+        let output = Gossip::new();
+        let mut out = output.subscribe();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let config = SlurmUnitConfig {
+                file: file.clone(),
+                poll: Duration::from_millis(10),
+            };
+            let sub = source.subscribe();
+            let output = output.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                run_slurm_unit("s", &config, sub, &output, &Log::sink(), &shutdown);
+            })
+        };
+
+        let p1 = VrpPayload::new(1, [vrp("10.0.0.0/24", 64496), vrp("10.1.0.0/24", 64497)]);
+        source.publish(PayloadUpdate::snapshot(p1.clone()));
+        let first = recv_update(&mut out);
+        assert_eq!(first.epoch(), 1);
+        assert!(
+            !first.payload.vrps().contains(&vrp("10.0.0.0/24", 64496)),
+            "filtered VRP must not pass"
+        );
+        assert!(
+            first.payload.vrps().contains(&vrp("192.0.2.0/24", 64500)),
+            "asserted VRP must appear"
+        );
+
+        // A chaining churn delta stays incremental: the output carries a
+        // mapped delta, not a rebuilt snapshot.
+        let p2 = VrpPayload::new(
+            2,
+            [
+                vrp("10.0.0.0/24", 64496),
+                vrp("10.1.0.0/24", 64497),
+                vrp("10.2.0.0/24", 64498),
+            ],
+        );
+        source.publish(PayloadUpdate::from_previous(&p1, p2));
+        let second = recv_update(&mut out);
+        assert_eq!(second.epoch(), 2);
+        let delta = second.delta.expect("delta-aware output");
+        assert_eq!((delta.from_epoch, delta.to_epoch), (1, 2));
+        assert_eq!(delta.announced, [vrp("10.2.0.0/24", 64498)]);
+        assert!(
+            second.payload.vrps().contains(&vrp("192.0.2.0/24", 64500)),
+            "assertion survives churn"
+        );
+
+        source.close();
+        handle.join().expect("slurm unit thread");
+        let _ = std::fs::remove_file(file);
+    }
+
+    #[test]
+    fn slurm_unit_hot_reloads_at_a_new_epoch() {
+        let file = slurm_file("hot-reload", UNIT_SLURM);
+        let source = Gossip::new();
+        let output = Gossip::new();
+        let mut out = output.subscribe();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let config = SlurmUnitConfig {
+                file: file.clone(),
+                poll: Duration::from_millis(10),
+            };
+            let sub = source.subscribe();
+            let output = output.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                run_slurm_unit("s", &config, sub, &output, &Log::sink(), &shutdown);
+            })
+        };
+
+        let p1 = VrpPayload::new(1, [vrp("10.0.0.0/24", 64496), vrp("10.1.0.0/24", 64497)]);
+        source.publish(PayloadUpdate::snapshot(p1.clone()));
+        let first = recv_update(&mut out);
+        assert_eq!(first.epoch(), 1);
+        assert!(!first.payload.vrps().contains(&vrp("10.0.0.0/24", 64496)));
+
+        // Rewrite the file without the filter: the unit must republish
+        // the held base at a NEW epoch, with the dropped VRP restored.
+        std::thread::sleep(Duration::from_millis(50));
+        std::fs::write(&file, r#"{ "slurmVersion": 1 }"#).expect("rewrite slurm file");
+        let reloaded = recv_update(&mut out);
+        assert_eq!(reloaded.epoch(), 2, "reload publishes a fresh epoch");
+        assert!(
+            reloaded.payload.vrps().contains(&vrp("10.0.0.0/24", 64496)),
+            "former filter no longer applies"
+        );
+        assert!(
+            !reloaded
+                .payload
+                .vrps()
+                .contains(&vrp("192.0.2.0/24", 64500)),
+            "former assertion no longer applies"
+        );
+        let delta = reloaded.delta.expect("reload chains from the held epoch");
+        assert_eq!((delta.from_epoch, delta.to_epoch), (1, 2));
+
+        // Source deltas keep chaining after the reload, shifted by the
+        // reload's epoch offset.
+        let p2 = VrpPayload::new(2, [vrp("10.0.0.0/24", 64496)]);
+        source.publish(PayloadUpdate::from_previous(&p1, p2));
+        let shifted = recv_update(&mut out);
+        assert_eq!(shifted.epoch(), 3);
+        let delta = shifted.delta.expect("still delta-aware after reload");
+        assert_eq!((delta.from_epoch, delta.to_epoch), (2, 3));
+
+        source.close();
+        handle.join().expect("slurm unit thread");
+        let _ = std::fs::remove_file(file);
     }
 
     #[test]

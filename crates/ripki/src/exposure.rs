@@ -32,6 +32,12 @@ pub struct ExposureConfig {
     pub stride: usize,
     /// Seed for attacker/deployment selection.
     pub seed: u64,
+    /// ASes that filter Invalids regardless of the sampled
+    /// `rov_deployment` fraction — counterfactual levers ("operators of
+    /// the top-k ranks drop Invalid routes") layered on top of the same
+    /// deterministic base deployment so baseline and what-if runs stay
+    /// comparable.
+    pub extra_deployers: Vec<Asn>,
 }
 
 impl Default for ExposureConfig {
@@ -41,6 +47,7 @@ impl Default for ExposureConfig {
             attackers_per_domain: 3,
             stride: 50,
             seed: 7,
+            extra_deployers: Vec::new(),
         }
     }
 }
@@ -75,7 +82,8 @@ pub fn exposure_curve(
     let mut asns: Vec<Asn> = topology.asns().collect();
     asns.shuffle(&mut rng);
     let n_deploy = ((asns.len() as f64) * config.rov_deployment).round() as usize;
-    let deployed: BTreeSet<Asn> = asns.iter().take(n_deploy).copied().collect();
+    let mut deployed: BTreeSet<Asn> = asns.iter().take(n_deploy).copied().collect();
+    deployed.extend(config.extra_deployers.iter().copied());
     // Attacker pool: stub ASes.
     let stubs: Vec<Asn> = topology
         .iter()
@@ -175,6 +183,7 @@ mod tests {
             attackers_per_domain: 4,
             stride: 1,
             seed: 1,
+            ..Default::default()
         };
         let exposures = exposure_curve(&domains, &topo, &validator, &config);
         assert_eq!(exposures.len(), 2);
@@ -201,9 +210,39 @@ mod tests {
             attackers_per_domain: 3,
             stride: 1,
             seed: 2,
+            ..Default::default()
         };
         let exposures = exposure_curve(&domains, &topo, &validator, &config);
         assert!(exposures[0].capture_rate > 0.0, "ROA without ROV is inert");
+    }
+
+    #[test]
+    fn extra_deployers_filter_on_top_of_the_sampled_fraction() {
+        let topo = topology();
+        let prefix: IpPrefix = "85.1.0.0/16".parse().unwrap();
+        let validator = RouteOriginValidator::from_vrps([VrpTriple {
+            prefix,
+            max_length: 16,
+            asn: Asn::new(10_000),
+        }]);
+        let domains = vec![dm(0, "85.1.0.0/16", 10_000, RpkiState::Valid)];
+        let base = ExposureConfig {
+            rov_deployment: 0.0,
+            attackers_per_domain: 3,
+            stride: 1,
+            seed: 2,
+            ..Default::default()
+        };
+        let exposed = exposure_curve(&domains, &topo, &validator, &base);
+        // Same config, but every AS additionally drops Invalids: the
+        // counterfactual lever alone must flip the outcome.
+        let config = ExposureConfig {
+            extra_deployers: topo.asns().collect(),
+            ..base
+        };
+        let defended = exposure_curve(&domains, &topo, &validator, &config);
+        assert!(exposed[0].capture_rate > 0.0);
+        assert_eq!(defended[0].capture_rate, 0.0, "extra deployers filter");
     }
 
     #[test]

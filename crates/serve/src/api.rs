@@ -41,7 +41,9 @@ fn vrp_list(vrps: &[VrpTriple]) -> Value {
 /// `GET /api/v1/validity` — the RFC 6811 verdict for one announcement,
 /// with the covering VRPs partitioned by why they did or did not match.
 pub fn validity(view: &EpochView, prefix: &IpPrefix, origin: Asn) -> Value {
-    let detail: ValidityDetail = view.snapshot().validity(prefix, origin);
+    // Answered from the view's effective validator, so a configured
+    // SLURM exception layer changes verdicts and exports in lockstep.
+    let detail: ValidityDetail = view.validity(prefix, origin);
 
     let mut route = Map::new();
     route.insert("origin_asn".into(), origin.to_string().into());
@@ -165,11 +167,17 @@ pub fn status(
     let mut root = Map::new();
     root.insert("epoch".into(), view.epoch().into());
     root.insert("epoch_lag".into(), epoch_lag.into());
-    root.insert("vrps".into(), view.snapshot().vrps().len().into());
+    // The served payload, not the raw snapshot: with a SLURM exception
+    // layer the two differ and the exports serve the former.
+    root.insert("vrps".into(), view.payload().len().into());
     root.insert(
         "rpki_rejected".into(),
         view.snapshot().rpki_rejected().into(),
     );
+    if let Some(stats) = view.slurm_stats() {
+        root.insert("slurm_filtered".into(), stats.filtered.into());
+        root.insert("slurm_asserted".into(), stats.asserted.into());
+    }
     root.insert("domains".into(), view.results().domains.len().into());
     root.insert("uptime_seconds".into(), uptime_seconds.into());
     root.insert("requests_total".into(), requests_total.into());

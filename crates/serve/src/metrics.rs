@@ -206,8 +206,34 @@ impl Metrics {
     /// come from the *current* epoch view so the scrape shows which
     /// world version the answers reflect.
     pub fn render(&self, epoch: u64, vrp_count: usize) -> String {
+        self.render_with_exceptions(epoch, vrp_count, None)
+    }
+
+    /// [`Metrics::render`] with the SLURM exception-layer gauges
+    /// appended when a layer is configured (`(filtered, asserted)`
+    /// VRP counts from the current view).
+    pub fn render_with_exceptions(
+        &self,
+        epoch: u64,
+        vrp_count: usize,
+        slurm: Option<(usize, usize)>,
+    ) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(4096);
+        if let Some((filtered, asserted)) = slurm {
+            let _ = writeln!(
+                out,
+                "# HELP ripki_serve_slurm_filtered VRPs removed by RFC 8416 local filters."
+            );
+            let _ = writeln!(out, "# TYPE ripki_serve_slurm_filtered gauge");
+            let _ = writeln!(out, "ripki_serve_slurm_filtered {filtered}");
+            let _ = writeln!(
+                out,
+                "# HELP ripki_serve_slurm_asserted VRPs added by RFC 8416 local assertions."
+            );
+            let _ = writeln!(out, "# TYPE ripki_serve_slurm_asserted gauge");
+            let _ = writeln!(out, "ripki_serve_slurm_asserted {asserted}");
+        }
         let _ = writeln!(
             out,
             "# HELP ripki_serve_epoch Epoch of the currently served world view."

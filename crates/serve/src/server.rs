@@ -248,7 +248,11 @@ fn route(
             vrp_export("text/csv", &current, request, api::write_vrps_csv),
         ),
         "/metrics" => {
-            let text = metrics.render(current.epoch(), current.snapshot().vrps().len());
+            let text = metrics.render_with_exceptions(
+                current.epoch(),
+                current.payload().len(),
+                current.slurm_stats().map(|s| (s.filtered, s.asserted)),
+            );
             (
                 Endpoint::Metrics,
                 Response {

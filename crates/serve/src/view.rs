@@ -12,9 +12,12 @@
 use ripki::engine::WorldSnapshot;
 use ripki::exposure::{exposure_curve, ExposureConfig};
 use ripki::pipeline::{DomainMeasurement, StudyResults};
+use ripki_bgp::rov::{RouteOriginValidator, ValidityDetail};
 use ripki_bgp::topology::Topology;
 use ripki_dns::DomainName;
+use ripki_net::{Asn, IpPrefix};
 use ripki_payload::VrpPayload;
+use ripki_slurm::{ExceptionSet, SlurmStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -28,6 +31,10 @@ pub struct EpochView {
     topology: Option<Arc<Topology>>,
     exposure: ExposureConfig,
     exposure_memo: Mutex<HashMap<usize, Option<(f64, bool)>>>,
+    /// RFC 8416 local-exception layer: when present, `payload` holds
+    /// the excepted set, this validator answers validity queries from
+    /// it, and the stats say how far it diverges from the snapshot.
+    slurm: Option<(RouteOriginValidator, SlurmStats)>,
 }
 
 impl EpochView {
@@ -69,7 +76,42 @@ impl EpochView {
             topology,
             exposure,
             exposure_memo: Mutex::new(HashMap::new()),
+            slurm: None,
         }
+    }
+
+    /// Layer RFC 8416 local exceptions over this view: the served
+    /// payload becomes the excepted set (same epoch), and validity and
+    /// exposure queries answer from a validator built over it — so
+    /// `/vrps.{json,csv}`, `/api/v1/validity`, and any co-hosted RTR
+    /// cache fed from [`EpochView::payload`] all agree.
+    pub fn with_exceptions(mut self, exceptions: &ExceptionSet) -> EpochView {
+        let (payload, stats) = exceptions.excepted_with_stats(&self.payload);
+        let validator = RouteOriginValidator::from_vrps(payload.vrps().iter().copied());
+        self.payload = payload;
+        self.slurm = Some((validator, stats));
+        self
+    }
+
+    /// How the local-exception layer changed this epoch's set, when one
+    /// is configured: `(filtered, asserted)` VRP counts.
+    pub fn slurm_stats(&self) -> Option<SlurmStats> {
+        self.slurm.as_ref().map(|(_, stats)| *stats)
+    }
+
+    /// The validator queries answer from: the exception-layered one
+    /// when configured, the snapshot's otherwise.
+    pub fn validator(&self) -> &RouteOriginValidator {
+        self.slurm
+            .as_ref()
+            .map_or_else(|| self.snapshot.validator(), |(validator, _)| validator)
+    }
+
+    /// Full RFC 6811 verdict for one announcement, answered from the
+    /// same VRP set the exports serve (exception-layered when
+    /// configured).
+    pub fn validity(&self, prefix: &IpPrefix, origin: Asn) -> ValidityDetail {
+        self.validator().validity(prefix, origin)
     }
 
     /// The epoch both halves of the view share.
@@ -132,7 +174,7 @@ impl EpochView {
         let computed = exposure_curve(
             std::slice::from_ref(domain),
             topology,
-            self.snapshot.validator(),
+            self.validator(),
             &cfg,
         )
         .first()

@@ -1,0 +1,85 @@
+//! The SLURM example from RFC 8416 §3.5 — the same file Routinator's
+//! documentation walks through — parsed and checked member by member.
+
+use ripki_bgp::rov::VrpTriple;
+use ripki_net::Asn;
+use ripki_payload::VrpPayload;
+use ripki_slurm::SlurmFile;
+use std::path::Path;
+
+fn vrp(prefix: &str, ml: u8, asn: u32) -> VrpTriple {
+    VrpTriple {
+        prefix: prefix.parse().expect("test prefix"),
+        max_length: ml,
+        asn: Asn::new(asn),
+    }
+}
+
+fn example() -> SlurmFile {
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/rfc8416-example.json"
+    ));
+    SlurmFile::load(path).expect("fixture parses")
+}
+
+#[test]
+fn example_file_parses_with_bgpsec_warnings() {
+    let file = example();
+    assert_eq!(file.filters.len(), 3);
+    assert_eq!(file.assertions.len(), 2);
+    // Both BGPsec sections are ignored, loudly.
+    assert_eq!(file.warnings.len(), 2);
+    assert!(file.warnings[0].contains("3 bgpsecFilters"));
+    assert!(file.warnings[1].contains("1 bgpsecAssertions"));
+    assert_eq!(
+        file.filters[0].comment.as_deref(),
+        Some("All VRPs encompassed by prefix")
+    );
+}
+
+#[test]
+fn example_filters_match_documented_semantics() {
+    let ex = example().compile();
+    // "All VRPs encompassed by prefix": covered-by, not exact match.
+    assert!(ex.filters_out(&vrp("192.0.2.0/24", 24, 64499)));
+    assert!(ex.filters_out(&vrp("192.0.2.128/25", 25, 64499)));
+    // "All VRPs matching ASN" regardless of prefix.
+    assert!(ex.filters_out(&vrp("203.0.113.0/24", 24, 64496)));
+    // Both members must match for the combined rule.
+    assert!(ex.filters_out(&vrp("198.51.100.0/24", 24, 64497)));
+    assert!(!ex.filters_out(&vrp("198.51.100.0/24", 24, 64498)));
+    assert!(!ex.filters_out(&vrp("203.0.113.0/24", 24, 64499)));
+}
+
+#[test]
+fn example_assertions_become_vrps() {
+    let ex = example().compile();
+    // maxPrefixLength defaults to the prefix length when absent.
+    assert!(ex.asserted().contains(&vrp("198.51.100.0/24", 24, 64496)));
+    // Uppercase 2001:DB8::/32 from the RFC text parses; maxPrefixLength 48 sticks.
+    assert!(ex.asserted().contains(&vrp("2001:db8::/32", 48, 64496)));
+    assert_eq!(ex.assertion_count(), 2);
+}
+
+#[test]
+fn example_applied_to_a_payload_drops_and_adds() {
+    let ex = example().compile();
+    let base = VrpPayload::new(
+        9,
+        [
+            vrp("192.0.2.0/24", 24, 64499),   // filtered by prefix
+            vrp("203.0.113.0/24", 24, 64496), // filtered by asn
+            vrp("203.0.113.0/24", 24, 64499), // survives
+        ],
+    );
+    let excepted = ex.excepted(&base);
+    assert_eq!(excepted.epoch(), 9);
+    // One survivor plus the two assertions — note the 198.51.100.0/24
+    // AS64496 assertion survives even though AS64496 is filtered:
+    // assertions are local truth, not subject to the filters.
+    assert_eq!(excepted.len(), 3);
+    assert!(excepted.vrps().contains(&vrp("203.0.113.0/24", 24, 64499)));
+    assert!(excepted.vrps().contains(&vrp("198.51.100.0/24", 24, 64496)));
+    assert!(excepted.vrps().contains(&vrp("2001:db8::/32", 48, 64496)));
+}

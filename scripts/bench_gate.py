@@ -43,6 +43,7 @@ METRICS = {
     "engine_incremental": [("incremental_ms_per_epoch", "lower")],
     "engine_validate": [("incremental_ms_per_epoch", "lower")],
     "engine_proxy": [("delta_propagation_ms", "lower")],
+    "engine_whatif": [("incremental_counterfactual_ms", "lower")],
     "serve_throughput": [
         ("validity_req_per_s", "higher"),
         ("vrps_json_req_per_s", "higher"),
@@ -54,6 +55,10 @@ FLOORS = {
     "engine_incremental": [("speedup", 10.0)],
     "engine_validate": [("speedup", 10.0)],
     "engine_proxy": [("speedup", 10.0)],
+    # A counterfactual rides one incremental churn epoch instead of a
+    # full engine rebuild + re-run; 5x is a deliberately loose floor
+    # (observed gaps are far larger at bench scale).
+    "engine_whatif": [("speedup", 5.0)],
 }
 
 
