@@ -92,11 +92,18 @@ USAGE:
   ripki-cli serve [--domains N] [--seed S] [--listen ADDR]
                   [--rtr-listen ADDR] [--epochs E] [--epoch-interval-ms MS]
                   [--churn-seed C] [--stride K] [--exit-after-churn BOOL]
-                  [--slurm FILE]
+                  [--slurm FILE] [--http-workers W] [--max-conns N]
+                  [--idle-timeout-ms MS] [--read-deadline-ms MS]
+                  [--write-stall-ms MS]
       measure a synthetic world and serve it over the HTTP query plane
       (validity API, VRP exports, domain lookups, Prometheus metrics),
       optionally alongside an RTR cache, applying E churn epochs live;
-      --slurm layers RFC 8416 local exceptions over every serving plane
+      --slurm layers RFC 8416 local exceptions over every serving plane.
+      The HTTP plane is a poll(2) event loop: --max-conns sets the
+      connection watermark (LRA idle shedding beyond it),
+      --idle-timeout-ms drops silent keep-alive peers,
+      --read-deadline-ms bounds slow-loris partial reads (408), and
+      --write-stall-ms drops stalled writers
   ripki-cli whatif [--domains N] [--seed S] [--stride K] [--bin B]
                    [--rov F] [--threads T] [--out FILE]
                    [--scenario SPEC]...
@@ -475,14 +482,14 @@ fn cmd_rtr_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         listener.local_addr()?,
         cache.session_id(),
     )?;
-    for conn in listener.incoming().flatten() {
-        let cache = cache.clone();
-        std::thread::spawn(move || {
-            // TCP transport: serve with unsolicited Serial Notify.
-            let _ = cache.serve_tcp_with_notify(conn, std::time::Duration::from_secs(1));
-        });
+    // Non-blocking accept front end (watermark + shutdown-aware poll);
+    // each admitted session still gets a synchronous serving thread
+    // with unsolicited Serial Notify.
+    let _listener =
+        ripki_rtr::RtrListener::spawn(listener, cache, ripki_rtr::ListenerConfig::default())?;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
     }
-    Ok(())
 }
 
 /// Load and compile the `--slurm` exception file when the flag is
@@ -746,6 +753,29 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let stride: usize = flags.get_parsed("stride", 50)?;
     let exit_after_churn: bool = flags.get_parsed("exit-after-churn", false)?;
 
+    // Event-loop tunables; defaults mirror `ServerConfig::default()`.
+    let defaults = ServerConfig::default();
+    let http_workers: usize = flags.get_parsed("http-workers", defaults.workers)?;
+    let max_conns: usize = flags.get_parsed("max-conns", defaults.max_connections)?;
+    let idle_timeout_ms: u64 =
+        flags.get_parsed("idle-timeout-ms", defaults.read_timeout.as_millis() as u64)?;
+    let read_deadline_ms: u64 = flags.get_parsed(
+        "read-deadline-ms",
+        defaults.read_deadline.as_millis() as u64,
+    )?;
+    let write_stall_ms: u64 = flags.get_parsed(
+        "write-stall-ms",
+        defaults.write_stall_timeout.as_millis() as u64,
+    )?;
+    let server_config = ServerConfig {
+        workers: http_workers.max(1),
+        read_timeout: std::time::Duration::from_millis(idle_timeout_ms.max(1)),
+        max_connections: max_conns.max(1),
+        read_deadline: std::time::Duration::from_millis(read_deadline_ms.max(1)),
+        write_stall_timeout: std::time::Duration::from_millis(write_stall_ms.max(1)),
+        ..defaults
+    };
+
     writeln!(out, "measuring world: {domains} domains, seed {seed}")?;
     let exceptions = load_exceptions(flags, out)?;
     let scenario = Scenario::build(ScenarioConfig {
@@ -782,7 +812,7 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     };
 
     let shared = Arc::new(SharedView::new(make_view(engine.snapshot(), &results)));
-    let mut server = Server::start(listen, Arc::clone(&shared), ServerConfig::default())?;
+    let mut server = Server::start(listen, Arc::clone(&shared), server_config)?;
     writeln!(
         out,
         "HTTP query plane on http://{} — epoch {}, {} VRPs, {} domains",
@@ -808,19 +838,14 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
                 cache.session_id(),
                 cache.serial(),
             )?;
-            let accept_cache = Arc::clone(&cache);
-            std::thread::Builder::new()
-                .name("ripki-rtr-accept".into())
-                .spawn(move || {
-                    for conn in listener.incoming().flatten() {
-                        let cache = Arc::clone(&accept_cache);
-                        std::thread::spawn(move || {
-                            let _ = cache
-                                .serve_tcp_with_notify(conn, std::time::Duration::from_secs(1));
-                        });
-                    }
-                })?;
-            Some(cache)
+            // Same non-blocking accept discipline as the HTTP plane:
+            // shutdown-aware poll loop with a session watermark.
+            let rtr_listener = ripki_rtr::RtrListener::spawn(
+                listener,
+                Arc::clone(&cache),
+                ripki_rtr::ListenerConfig::default(),
+            )?;
+            Some((cache, rtr_listener))
         }
         None => None,
     };
@@ -845,7 +870,7 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             // HTTP views and RTR serials advance in lockstep with the
             // engine's epoch — the serving plane's consistency contract.
             shared.publish(make_view(engine.snapshot(), &results));
-            if let Some(cache) = &rtr_cache {
+            if let Some((cache, _)) = &rtr_cache {
                 let applied = match &exceptions {
                     Some(x) => {
                         let mapped = excepted_delta(
@@ -885,10 +910,56 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
 
     if exit_after_churn {
         server.shutdown();
+        if let Some((_, mut rtr_listener)) = rtr_cache {
+            rtr_listener.shutdown();
+        }
         writeln!(out, "exiting after churn (epoch {})", engine.epoch())?;
         return Ok(());
     }
     writeln!(out, "serving; ctrl-c to stop")?;
+    out.flush()?;
+    wait_for_shutdown_signal();
+    writeln!(out, "shutdown signal received; draining in-flight requests")?;
+    server.shutdown();
+    if let Some((_, mut rtr_listener)) = rtr_cache {
+        rtr_listener.shutdown();
+    }
+    writeln!(out, "drained; exiting cleanly")?;
+    Ok(())
+}
+
+/// Park the calling thread until SIGTERM or SIGINT arrives. The handler
+/// performs a single atomic store — async-signal-safe — so `serve` can
+/// drain its event loop on shutdown instead of dying mid-response.
+#[cfg(unix)]
+fn wait_for_shutdown_signal() {
+    use std::os::raw::c_int;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_signum: c_int) {
+        // Release: pairs with the Acquire load in the wait loop, so the
+        // waiter observes everything sequenced before the signal.
+        REQUESTED.store(true, Ordering::Release);
+    }
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+    extern "C" {
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+    // SAFETY: the handler only performs an atomic store (async-signal-
+    // safe), and the function pointer lives for the whole process.
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+    // Acquire: pairs with the Release store in the signal handler.
+    while !REQUESTED.load(Ordering::Acquire) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+#[cfg(not(unix))]
+fn wait_for_shutdown_signal() {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }

@@ -7,16 +7,18 @@ use std::fmt;
 use std::path::Path;
 
 /// Version of the rule set encoded below.
-pub const CATALOG_VERSION: u32 = 2;
+pub const CATALOG_VERSION: u32 = 3;
 
 /// The enforced invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// R1: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
     /// `unimplemented!` and no `[]` indexing on the serving request path
-    /// (`crates/serve/src/**`) or in the RTR PDU codec
-    /// (`crates/rtr/src/pdu.rs`). A malformed request or PDU must map to
-    /// a typed error, never a worker panic.
+    /// (`crates/serve/src/**`, which includes the poll(2) reactor and
+    /// connection state machines), in the RTR PDU codec
+    /// (`crates/rtr/src/pdu.rs`), or in the RTR accept front end
+    /// (`crates/rtr/src/listener.rs`). A malformed request or PDU must
+    /// map to a typed error, never a worker or reactor panic.
     NoPanic,
     /// R2: `SystemTime::now` / `Instant::now` only inside
     /// `ripki_rpki::time` (the simulation clock) and the `cli` / `bench`
@@ -77,7 +79,8 @@ impl Rule {
         match self {
             Rule::NoPanic => {
                 "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! or [] indexing \
-                 on the serve request path and the RTR PDU codec"
+                 on the serve request path (reactor included), the RTR PDU codec, and the \
+                 RTR accept front end"
             }
             Rule::WallClock => {
                 "SystemTime::now/Instant::now only in ripki_rpki::time and the cli/bench crates"
@@ -105,7 +108,9 @@ impl Rule {
     pub fn applies_to(self, path: &str) -> bool {
         match self {
             Rule::NoPanic => {
-                path.starts_with("crates/serve/src/") || path == "crates/rtr/src/pdu.rs"
+                path.starts_with("crates/serve/src/")
+                    || path == "crates/rtr/src/pdu.rs"
+                    || path == "crates/rtr/src/listener.rs"
             }
             Rule::WallClock => {
                 path != "crates/rpki/src/time.rs"
@@ -175,7 +180,10 @@ mod tests {
     #[test]
     fn scopes_match_the_catalog() {
         assert!(Rule::NoPanic.applies_to("crates/serve/src/http.rs"));
+        assert!(Rule::NoPanic.applies_to("crates/serve/src/reactor.rs"));
+        assert!(Rule::NoPanic.applies_to("crates/serve/src/conn.rs"));
         assert!(Rule::NoPanic.applies_to("crates/rtr/src/pdu.rs"));
+        assert!(Rule::NoPanic.applies_to("crates/rtr/src/listener.rs"));
         assert!(!Rule::NoPanic.applies_to("crates/rtr/src/cache.rs"));
         assert!(!Rule::NoPanic.applies_to("crates/rpki/src/validate.rs"));
 

@@ -60,7 +60,7 @@ fn violating_fixture_fails_with_exact_diagnostics() {
     }
     assert_eq!(
         lines.next(),
-        Some("ripki-lint: 7 file(s), 8 violation(s) [R1 3, R2 1, R3 1, R4 1, R5 2], 0 allow(s) (catalog v2)"),
+        Some("ripki-lint: 7 file(s), 8 violation(s) [R1 3, R2 1, R3 1, R4 1, R5 2], 0 allow(s) (catalog v3)"),
         "full output:\n{text}"
     );
     assert_eq!(lines.next(), None, "trailing output:\n{text}");
@@ -72,7 +72,7 @@ fn violating_fixture_json_report_is_structured() {
     assert_eq!(output.status.code(), Some(1));
     let json: Value = serde_json::from_str(&stdout(&output)).expect("valid JSON");
     assert_eq!(json["clean"], Value::from(false));
-    assert_eq!(json["catalog_version"], Value::from(2));
+    assert_eq!(json["catalog_version"], Value::from(3));
     assert_eq!(json["files_scanned"], Value::from(7));
     assert_eq!(json["violations"].as_array().map(<[Value]>::len), Some(8));
     assert_eq!(json["violations_by_rule"]["no-panic"], Value::from(3));
@@ -113,7 +113,7 @@ fn allowed_fixture_passes_and_audits_every_entry() {
         "{text}"
     );
     assert!(
-        text.contains("ripki-lint: 5 file(s), 0 violation(s), 5 allow(s) (catalog v2)"),
+        text.contains("ripki-lint: 5 file(s), 0 violation(s), 5 allow(s) (catalog v3)"),
         "{text}"
     );
 }
@@ -124,7 +124,7 @@ fn clean_fixture_passes_silently() {
     assert_eq!(output.status.code(), Some(0));
     assert_eq!(
         stdout(&output),
-        "ripki-lint: 2 file(s), 0 violation(s), 0 allow(s) (catalog v2)\n"
+        "ripki-lint: 2 file(s), 0 violation(s), 0 allow(s) (catalog v3)\n"
     );
     let json_run = check("clean", &["--format", "json"]);
     let json: Value = serde_json::from_str(&stdout(&json_run)).expect("valid JSON");
@@ -158,7 +158,7 @@ fn rules_subcommand_lists_the_catalog() {
     let output = run(&["rules"]);
     assert_eq!(output.status.code(), Some(0));
     let text = stdout(&output);
-    assert!(text.contains("rule catalog v2:"), "{text}");
+    assert!(text.contains("rule catalog v3:"), "{text}");
     for code in ["R1", "R2", "R3", "R4", "R5"] {
         assert!(text.contains(code), "missing {code} in:\n{text}");
     }

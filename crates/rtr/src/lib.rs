@@ -31,8 +31,10 @@
 
 pub mod cache;
 pub mod client;
+pub mod listener;
 pub mod pdu;
 
 pub use cache::CacheServer;
 pub use client::{Backoff, Client, ClientError, PersistentClient, SyncOutcome};
+pub use listener::{ListenerConfig, RtrListener};
 pub use pdu::{ErrorCode, Pdu, PduError, PROTOCOL_VERSION};

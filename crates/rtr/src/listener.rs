@@ -1,0 +1,324 @@
+//! Non-blocking accept front end for the RTR cache.
+//!
+//! The serving planes share one accept discipline: readiness-driven,
+//! shutdown-aware, watermark-capped. The HTTP side gets it from
+//! `ripki-serve`'s reactor; this module gives the side RTR cache the
+//! same behaviour without inverting the crate layering (rtr sits below
+//! serve), using its own minimal `poll(2)` binding — `std` links the
+//! platform libc, so the symbol resolves without any new dependency.
+//!
+//! RTR sessions themselves stay synchronous (one long-lived connection
+//! with strictly alternating phases, per the crate's no-async policy):
+//! each accepted session runs [`CacheServer::serve_tcp_with_notify`] on
+//! its own thread. What changes is the front:
+//!
+//! * accept never blocks — the acceptor polls with a bounded timeout
+//!   and re-checks its shutdown flag every interval, so a stop request
+//!   takes effect without the connect-to-self trick;
+//! * a `max_sessions` watermark bounds the session-thread count; at the
+//!   watermark newcomers are refused immediately (their connection is
+//!   dropped before the RTR handshake, which a compliant router treats
+//!   as a cache failure and retries against per RFC 6810 §6).
+
+use crate::cache::CacheServer;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::raw::{c_int, c_ulong};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+#[repr(C)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Wait until `fd` is readable or `timeout` passes. Returns whether the
+/// descriptor became ready; `EINTR` retries, other errors map to ready
+/// (the subsequent `accept` will surface them properly).
+fn wait_readable(fd: RawFd, timeout: Duration) -> bool {
+    let mut entry = PollFd {
+        fd,
+        events: POLLIN,
+        revents: 0,
+    };
+    let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as c_int;
+    loop {
+        // SAFETY: `entry` is a live stack value passed with length 1;
+        // the kernel only writes its `revents` field.
+        let rc = unsafe { poll(std::ptr::addr_of_mut!(entry), 1, timeout_ms) };
+        if rc >= 0 {
+            return rc > 0;
+        }
+        if io::Error::last_os_error().kind() != io::ErrorKind::Interrupted {
+            return true;
+        }
+    }
+}
+
+/// Tunables of the RTR accept front end.
+#[derive(Debug, Clone)]
+pub struct ListenerConfig {
+    /// Concurrent RTR sessions allowed; newcomers beyond the watermark
+    /// are refused before the handshake.
+    pub max_sessions: usize,
+    /// How often the acceptor re-checks its shutdown flag while no
+    /// connection is arriving.
+    pub poll_interval: Duration,
+    /// Serial-Notify poll interval handed to each session (see
+    /// [`CacheServer::serve_tcp_with_notify`]).
+    pub session_poll: Duration,
+}
+
+impl Default for ListenerConfig {
+    fn default() -> ListenerConfig {
+        ListenerConfig {
+            max_sessions: 1024,
+            poll_interval: Duration::from_millis(200),
+            session_poll: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A running RTR accept loop; dropping it (or calling
+/// [`RtrListener::shutdown`]) stops accepting and joins the acceptor.
+/// Live sessions drain on their own as routers disconnect.
+pub struct RtrListener {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    sessions: Arc<AtomicUsize>,
+    refused: Arc<AtomicUsize>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl RtrListener {
+    /// Take ownership of a bound listener and start accepting RTR
+    /// sessions for `cache`.
+    pub fn spawn(
+        listener: TcpListener,
+        cache: Arc<CacheServer>,
+        config: ListenerConfig,
+    ) -> io::Result<RtrListener> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sessions = Arc::new(AtomicUsize::new(0));
+        let refused = Arc::new(AtomicUsize::new(0));
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let sessions = Arc::clone(&sessions);
+            let refused = Arc::clone(&refused);
+            std::thread::Builder::new()
+                .name("ripki-rtr-accept".into())
+                .spawn(move || accept_loop(listener, cache, config, shutdown, sessions, refused))?
+        };
+        Ok(RtrListener {
+            addr,
+            shutdown,
+            sessions,
+            refused,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// RTR sessions currently being served.
+    pub fn session_count(&self) -> usize {
+        // Relaxed: an independent statistic; readers tolerate slack.
+        self.sessions.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused at the `max_sessions` watermark so far.
+    pub fn refused_count(&self) -> usize {
+        // Relaxed: an independent statistic; readers tolerate slack.
+        self.refused.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join the acceptor thread. Established
+    /// sessions keep running until their routers disconnect.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RtrListener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    cache: Arc<CacheServer>,
+    config: ListenerConfig,
+    shutdown: Arc<AtomicBool>,
+    sessions: Arc<AtomicUsize>,
+    refused: Arc<AtomicUsize>,
+) {
+    let interval = config.poll_interval.max(Duration::from_millis(10));
+    while !shutdown.load(Ordering::SeqCst) {
+        if !wait_readable(listener.as_raw_fd(), interval) {
+            continue; // timeout: re-check the shutdown flag
+        }
+        loop {
+            match listener.accept() {
+                Ok((conn, _)) => {
+                    // Relaxed suffices for the watermark: the counter is
+                    // the only shared state and an off-by-one admission
+                    // under a race is harmless.
+                    if sessions.load(Ordering::Relaxed) >= config.max_sessions.max(1) {
+                        // Relaxed: independent statistic, see above.
+                        refused.fetch_add(1, Ordering::Relaxed);
+                        drop(conn); // refused before the handshake
+                        continue;
+                    }
+                    // The session thread does blocking I/O again; undo
+                    // the inherited non-blocking mode where it applies.
+                    let _ = conn.set_nonblocking(false);
+                    // Relaxed: independent statistic, see above.
+                    sessions.fetch_add(1, Ordering::Relaxed);
+                    let cache = Arc::clone(&cache);
+                    let session_gauge = Arc::clone(&sessions);
+                    let poll = config.session_poll;
+                    let spawned = std::thread::Builder::new()
+                        .name("ripki-rtr-session".into())
+                        .spawn(move || {
+                            let _ = cache.serve_tcp_with_notify(conn, poll);
+                            // Relaxed: independent statistic, see above.
+                            session_gauge.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    if spawned.is_err() {
+                        // Thread exhaustion: treat like a watermark
+                        // refusal (the accepted stream already dropped
+                        // with the failed spawn's closure).
+                        // Relaxed: independent statistic, see above.
+                        sessions.fetch_sub(1, Ordering::Relaxed);
+                        // Relaxed: independent statistic, see above.
+                        refused.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+// Tests may panic freely; the `unwrap_used` deny targets serving code.
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, SyncOutcome};
+    use ripki_bgp::rov::VrpTriple;
+    use std::net::TcpStream;
+
+    fn cache_with_vrps() -> Arc<CacheServer> {
+        let cache = Arc::new(CacheServer::new(0x2222));
+        let vrp = VrpTriple {
+            asn: "AS65000".parse().unwrap(),
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            max_length: 24,
+        };
+        cache.install_snapshot(1, [vrp]);
+        cache
+    }
+
+    #[test]
+    fn listener_serves_a_full_rtr_sync() {
+        let cache = cache_with_vrps();
+        let bound = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut listener =
+            RtrListener::spawn(bound, Arc::clone(&cache), ListenerConfig::default()).unwrap();
+        let stream = TcpStream::connect(listener.addr()).unwrap();
+        let mut client = Client::new(stream);
+        let SyncOutcome::Updated { serial, .. } = client.sync().unwrap();
+        assert_eq!(serial, 1);
+        assert_eq!(client.vrps().len(), 1);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn watermark_refuses_extra_sessions_but_keeps_serving() {
+        let cache = cache_with_vrps();
+        let bound = TcpListener::bind("127.0.0.1:0").unwrap();
+        let config = ListenerConfig {
+            max_sessions: 1,
+            poll_interval: Duration::from_millis(20),
+            ..ListenerConfig::default()
+        };
+        let mut listener = RtrListener::spawn(bound, Arc::clone(&cache), config).unwrap();
+        // First session occupies the single slot.
+        let stream = TcpStream::connect(listener.addr()).unwrap();
+        let mut client = Client::new(stream);
+        let SyncOutcome::Updated { .. } = client.sync().unwrap();
+        assert_eq!(client.vrps().len(), 1);
+        // While it is held open (the client keeps the socket), a second
+        // connection must be refused: its socket closes without a
+        // single RTR PDU arriving.
+        let mut second = TcpStream::connect(listener.addr()).unwrap();
+        second
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            use std::io::Read;
+            let mut byte = [0u8; 1];
+            match second.read(&mut byte) {
+                Ok(0) => break, // refused: clean close, no PDU
+                Ok(_) => panic!("refused session received data"),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "refusal did not surface in time"
+                    );
+                }
+                Err(_) => break, // reset also counts as refusal
+            }
+        }
+        assert!(listener.refused_count() >= 1);
+        // The original session still works after the refusal.
+        let SyncOutcome::Updated { serial, .. } = client.sync().unwrap();
+        assert_eq!(serial, 1);
+        drop(client);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_promptly_without_a_wakeup_connection() {
+        let cache = cache_with_vrps();
+        let bound = TcpListener::bind("127.0.0.1:0").unwrap();
+        let config = ListenerConfig {
+            poll_interval: Duration::from_millis(20),
+            ..ListenerConfig::default()
+        };
+        let mut listener = RtrListener::spawn(bound, cache, config).unwrap();
+        let started = std::time::Instant::now();
+        listener.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "shutdown must not wait for a connection"
+        );
+    }
+}

@@ -28,6 +28,12 @@ pub struct Fixture {
 
 /// Build a `domains`-sized scenario, measure it, and serve it.
 pub fn serve_scenario(domains: usize, seed: u64) -> Fixture {
+    serve_scenario_config(domains, seed, ServerConfig::default())
+}
+
+/// [`serve_scenario`] with explicit server tunables — how the
+/// backpressure tests shrink deadlines, watermarks, and send buffers.
+pub fn serve_scenario_config(domains: usize, seed: u64, config: ServerConfig) -> Fixture {
     let scenario = Scenario::build(ScenarioConfig {
         seed,
         ..ScenarioConfig::with_domains(domains)
@@ -53,12 +59,8 @@ pub fn serve_scenario(domains: usize, seed: u64) -> Fixture {
             ..Default::default()
         },
     );
-    let server = Server::start(
-        "127.0.0.1:0",
-        Arc::new(SharedView::new(view)),
-        ServerConfig::default(),
-    )
-    .expect("bind test server");
+    let server = Server::start("127.0.0.1:0", Arc::new(SharedView::new(view)), config)
+        .expect("bind test server");
     Fixture {
         scenario,
         engine,

@@ -153,16 +153,20 @@ pub fn domain(view: &EpochView, name: &ripki_dns::DomainName) -> Option<Value> {
 }
 
 /// `GET /status` — one-look liveness summary. `worker_threads` is the
-/// effective pool size actually handling connections and `epoch_lag`
-/// the distance between the served epoch and the newest epoch known to
+/// effective pool size actually handling requests and `epoch_lag` the
+/// distance between the served epoch and the newest epoch known to
 /// exist upstream (0 when fully caught up) — the two numbers an
-/// operator needs to tell "quiet" from "stuck".
+/// operator needs to tell "quiet" from "stuck". `open_connections` and
+/// `admission_window` expose the reactor's live backpressure state.
+#[allow(clippy::too_many_arguments)]
 pub fn status(
     view: &EpochView,
     uptime_seconds: f64,
     requests_total: u64,
     worker_threads: usize,
     epoch_lag: u64,
+    open_connections: u64,
+    admission_window: u64,
 ) -> Value {
     let mut root = Map::new();
     root.insert("epoch".into(), view.epoch().into());
@@ -182,5 +186,7 @@ pub fn status(
     root.insert("uptime_seconds".into(), uptime_seconds.into());
     root.insert("requests_total".into(), requests_total.into());
     root.insert("worker_threads".into(), worker_threads.into());
+    root.insert("open_connections".into(), open_connections.into());
+    root.insert("admission_window".into(), admission_window.into());
     Value::Object(root)
 }

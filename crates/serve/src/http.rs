@@ -502,6 +502,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         414 => "URI Too Long",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",

@@ -1,10 +1,23 @@
 //! # ripki-serve
 //!
-//! The epoch-consistent HTTP query plane over the study engine: a
-//! synchronous, thread-pooled HTTP/1.1 server (`std::net` + threads,
-//! per the workspace's no-async policy) exposing the live study state
-//! that until now was only reachable through the CLI's batch reports
-//! and the RTR binary protocol.
+//! The epoch-consistent HTTP query plane over the study engine: an
+//! event-driven HTTP/1.1 server built on a hand-rolled `poll(2)`
+//! reactor (`std::net` + one reactor thread + a small worker pool — no
+//! async runtime, per the workspace's offline-build policy) exposing
+//! the live study state that until now was only reachable through the
+//! CLI's batch reports and the RTR binary protocol.
+//!
+//! The moving parts:
+//!
+//! * [`reactor`] — the readiness loop owning non-blocking accept, all
+//!   socket reads/writes, deadlines, and backpressure (admission
+//!   window, ready-queue shed, connection watermark, lingering close).
+//! * [`conn`] — the pure per-connection HTTP/1.1 state machine:
+//!   incremental head parsing, bounded body draining, pipelining with
+//!   in-order responses, close/shed framing.
+//! * [`pool`] — worker threads running handlers off the reactor thread
+//!   and handing serialised responses back through a wake-on-push
+//!   completion queue.
 //!
 //! Endpoints:
 //!
@@ -25,9 +38,11 @@
 //! lockstep; `DESIGN.md` § "The serving plane" states the contract.
 
 pub mod api;
+pub mod conn;
 pub mod http;
 pub mod metrics;
 pub mod pool;
+pub mod reactor;
 pub mod server;
 pub mod view;
 

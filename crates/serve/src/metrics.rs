@@ -143,6 +143,12 @@ pub struct Metrics {
     endpoints: [EndpointStats; Endpoint::ALL.len()],
     connections: AtomicU64,
     connections_rejected: AtomicU64,
+    open_connections: AtomicU64,
+    admission_window: AtomicU64,
+    connections_shed: AtomicU64,
+    requests_shed: AtomicU64,
+    read_timeouts: AtomicU64,
+    write_stall_timeouts: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -162,6 +168,12 @@ impl Metrics {
             endpoints: Default::default(),
             connections: AtomicU64::new(0),
             connections_rejected: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            admission_window: AtomicU64::new(0),
+            connections_shed: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            read_timeouts: AtomicU64::new(0),
+            write_stall_timeouts: AtomicU64::new(0),
         }
     }
 
@@ -190,6 +202,58 @@ impl Metrics {
     /// Account one connection turned away by the full queue (503).
     pub fn connection_rejected(&self) {
         bump(&self.connections_rejected, 1);
+    }
+
+    /// Publish the reactor's current open-connection count.
+    pub fn set_open_connections(&self, n: u64) {
+        // Relaxed: independent statistic, see the policy note above.
+        self.open_connections.store(n, Ordering::Relaxed);
+    }
+
+    /// Open connections as last published by the reactor.
+    pub fn open_connections(&self) -> u64 {
+        read(&self.open_connections)
+    }
+
+    /// Publish the reactor's current admission-window size.
+    pub fn set_admission_window(&self, n: u64) {
+        // Relaxed: independent statistic, see the policy note above.
+        self.admission_window.store(n, Ordering::Relaxed);
+    }
+
+    /// The load-adaptive admission window as last published.
+    pub fn admission_window(&self) -> u64 {
+        read(&self.admission_window)
+    }
+
+    /// Account one idle connection shed at the max-connection watermark.
+    pub fn connection_shed(&self) {
+        bump(&self.connections_shed, 1);
+    }
+
+    /// Account one queued request shed with a close-framed 503.
+    pub fn request_shed(&self) {
+        bump(&self.requests_shed, 1);
+    }
+
+    /// Account one read deadline firing (slow-loris or silent idle peer).
+    pub fn read_timeout(&self) {
+        bump(&self.read_timeouts, 1);
+    }
+
+    /// Read-deadline expiries so far.
+    pub fn read_timeouts(&self) -> u64 {
+        read(&self.read_timeouts)
+    }
+
+    /// Account one stalled-write connection being dropped.
+    pub fn write_stall_timeout(&self) {
+        bump(&self.write_stall_timeouts, 1);
+    }
+
+    /// Write-stall expiries so far.
+    pub fn write_stall_timeouts(&self) -> u64 {
+        read(&self.write_stall_timeouts)
     }
 
     /// Total requests across all endpoints.
@@ -275,6 +339,66 @@ impl Metrics {
             out,
             "ripki_http_connections_rejected_total {}",
             read(&self.connections_rejected)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ripki_http_open_connections Connections currently held by the reactor."
+        );
+        let _ = writeln!(out, "# TYPE ripki_http_open_connections gauge");
+        let _ = writeln!(
+            out,
+            "ripki_http_open_connections {}",
+            read(&self.open_connections)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ripki_serve_admission_window Load-adaptive concurrent-dispatch window."
+        );
+        let _ = writeln!(out, "# TYPE ripki_serve_admission_window gauge");
+        let _ = writeln!(
+            out,
+            "ripki_serve_admission_window {}",
+            read(&self.admission_window)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ripki_http_connections_shed_total Idle connections shed at the max-connection watermark."
+        );
+        let _ = writeln!(out, "# TYPE ripki_http_connections_shed_total counter");
+        let _ = writeln!(
+            out,
+            "ripki_http_connections_shed_total {}",
+            read(&self.connections_shed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ripki_http_requests_shed_total Requests answered 503 by ready-queue overflow shedding."
+        );
+        let _ = writeln!(out, "# TYPE ripki_http_requests_shed_total counter");
+        let _ = writeln!(
+            out,
+            "ripki_http_requests_shed_total {}",
+            read(&self.requests_shed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ripki_http_read_timeouts_total Read deadlines fired (slow-loris or idle peers)."
+        );
+        let _ = writeln!(out, "# TYPE ripki_http_read_timeouts_total counter");
+        let _ = writeln!(
+            out,
+            "ripki_http_read_timeouts_total {}",
+            read(&self.read_timeouts)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ripki_http_write_stall_timeouts_total Connections dropped for stalled writes."
+        );
+        let _ = writeln!(out, "# TYPE ripki_http_write_stall_timeouts_total counter");
+        let _ = writeln!(
+            out,
+            "ripki_http_write_stall_timeouts_total {}",
+            read(&self.write_stall_timeouts)
         );
         let _ = writeln!(
             out,
@@ -375,5 +499,34 @@ mod tests {
             "{text}"
         );
         assert_eq!(m.total_requests(), 3);
+    }
+
+    #[test]
+    fn render_exposes_backpressure_gauges_and_counters() {
+        let m = Metrics::new();
+        m.set_open_connections(12);
+        m.set_admission_window(7);
+        m.connection_shed();
+        m.request_shed();
+        m.request_shed();
+        m.read_timeout();
+        m.write_stall_timeout();
+        let text = m.render(1, 0);
+        assert!(text.contains("ripki_http_open_connections 12"), "{text}");
+        assert!(text.contains("ripki_serve_admission_window 7"), "{text}");
+        assert!(
+            text.contains("ripki_http_connections_shed_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("ripki_http_requests_shed_total 2"), "{text}");
+        assert!(text.contains("ripki_http_read_timeouts_total 1"), "{text}");
+        assert!(
+            text.contains("ripki_http_write_stall_timeouts_total 1"),
+            "{text}"
+        );
+        assert_eq!(m.open_connections(), 12);
+        assert_eq!(m.admission_window(), 7);
+        assert_eq!(m.read_timeouts(), 1);
+        assert_eq!(m.write_stall_timeouts(), 1);
     }
 }

@@ -1,0 +1,960 @@
+//! The readiness-driven event loop behind [`crate::Server`].
+//!
+//! One reactor thread owns every socket: a hand-rolled `poll(2)` FFI
+//! binding (the workspace vendors no libc crate, and `std` already
+//! links the platform libc, so the symbol resolves without new
+//! dependencies) multiplexes the non-blocking listener, a wake pipe
+//! fed by the worker pool, and every live connection. Per-connection
+//! protocol state lives in [`crate::conn::ConnMachine`]; request
+//! handlers run on the [`crate::pool::WorkerPool`] and hand serialised
+//! responses back through the completion queue, so the reactor thread
+//! never computes a response body.
+//!
+//! Backpressure and shedding, in order of application:
+//!
+//! 1. **Pipeline bound** — a connection holding `pipeline_depth`
+//!    parsed-but-unanswered requests loses read interest; TCP pushes
+//!    back on the peer.
+//! 2. **Admission window** — dispatch to workers is capped by a window
+//!    resized from observed handler latency (AIMD against
+//!    `target_latency`), so queueing delay stays bounded instead of
+//!    growing with offered load.
+//! 3. **Ready-queue shed** — when more than `queue_depth` connections
+//!    wait for dispatch, the newest waiter is answered `503` with
+//!    `Connection: close` *after* its pipeline position (never
+//!    mid-stream), and the connection winds down cleanly.
+//! 4. **Connection watermark** — at `max_connections`, accepting a
+//!    newcomer first sheds the least-recently-active *idle* connection;
+//!    if every connection is mid-request, the newcomer itself is
+//!    refused with a best-effort 503.
+//! 5. **Deadlines** — slow-loris reads (partial head older than
+//!    `read_deadline`) get `408` and a close; stalled writes and silent
+//!    idle peers are dropped after their timeouts.
+//!
+//! Closes that may race with unread client bytes (sheds, parse errors,
+//! unread bodies) are *lingering*: the reactor half-closes, then drains
+//! the socket briefly so the final response is not destroyed by an RST
+//! — the fix for the old acceptor-side 503 poisoning keep-alive
+//! clients mid-pipeline.
+
+use crate::conn::{error_bytes, ConnConfig, ConnMachine};
+use crate::metrics::Metrics;
+use crate::pool::{Completion, Job, Wake, WorkerPool};
+use crate::server::ServerConfig;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ------------------------------------------------------------- poll(2)
+
+/// One entry of a `poll(2)` set — the C `struct pollfd` layout.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// Requested readiness events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Kernel-reported readiness, valid after [`poll_fds`] returns.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Watch `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+/// Data may be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Data may be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid descriptor (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Block until a watched descriptor is ready or `timeout_ms` passes
+/// (`-1` blocks indefinitely, `0` polls). Returns how many entries have
+/// non-zero `revents`. Retries on `EINTR`.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid exclusively-borrowed slice, its
+        // length is passed as `nfds`, and the kernel only writes the
+        // `revents` fields within those bounds.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Shrink (or grow) a socket's kernel send buffer. Used by the
+/// write-stall tests to make a stalled peer observable quickly; a
+/// `None` config leaves the kernel default. No-op off Linux.
+pub fn set_send_buffer(stream: &TcpStream, bytes: usize) -> io::Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        const SOL_SOCKET: c_int = 1;
+        const SO_SNDBUF: c_int = 7;
+        extern "C" {
+            fn setsockopt(
+                fd: c_int,
+                level: c_int,
+                optname: c_int,
+                optval: *const std::ffi::c_void,
+                optlen: u32,
+            ) -> c_int;
+        }
+        let value: c_int = bytes.min(i32::MAX as usize) as c_int;
+        // SAFETY: the fd is owned by `stream` and stays open across the
+        // call; optval points at a live c_int of the advertised length.
+        let rc = unsafe {
+            setsockopt(
+                stream.as_raw_fd(),
+                SOL_SOCKET,
+                SO_SNDBUF,
+                std::ptr::addr_of!(value).cast(),
+                std::mem::size_of::<c_int>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (stream, bytes);
+    }
+    Ok(())
+}
+
+/// Re-issue `listen(2)` with a deeper accept backlog than the `std`
+/// default of 128. On a loaded single-core host a connect storm can
+/// queue hundreds of handshakes between two reactor time slices; with
+/// the stock backlog the kernel starts dropping SYNs and every affected
+/// client stalls for a full retransmit timeout. Linux permits adjusting
+/// the backlog on an already-listening socket (clamped to
+/// `net.core.somaxconn`); elsewhere this is a no-op.
+pub fn set_accept_backlog(listener: &TcpListener, backlog: usize) -> io::Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        extern "C" {
+            fn listen(fd: c_int, backlog: c_int) -> c_int;
+        }
+        let depth: c_int = backlog.min(i32::MAX as usize) as c_int;
+        // SAFETY: the fd is owned by `listener`, stays open across the
+        // call, and is already in the listening state.
+        let rc = unsafe { listen(listener.as_raw_fd(), depth) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (listener, backlog);
+    }
+    Ok(())
+}
+
+/// Wakes the reactor by writing one byte to its wake pipe. `WouldBlock`
+/// means a wake is already pending — exactly as good.
+pub struct SocketWaker(pub UnixStream);
+
+impl Wake for SocketWaker {
+    fn wake(&self) {
+        let _ = (&self.0).write(&[1]);
+    }
+}
+
+// ----------------------------------------------------------- admission
+
+/// Load-adaptive concurrency: the number of requests allowed in flight
+/// across all connections, resized from an EWMA of handler latency
+/// (additive increase while under `target`, multiplicative decrease
+/// while over — AIMD, so bursts shrink the window fast and calm traffic
+/// regrows it slowly).
+struct Admission {
+    window: usize,
+    min: usize,
+    max: usize,
+    target_micros: f64,
+    ewma_micros: f64,
+}
+
+impl Admission {
+    fn new(min: usize, max: usize, target: Duration) -> Admission {
+        let min = min.max(1);
+        let max = max.max(min);
+        Admission {
+            window: max.min(min.max(max / 2)),
+            min,
+            max,
+            target_micros: (target.as_micros() as f64).max(1.0),
+            ewma_micros: 0.0,
+        }
+    }
+
+    fn on_completion(&mut self, latency: Duration) {
+        let micros = latency.as_micros() as f64;
+        self.ewma_micros = if self.ewma_micros == 0.0 {
+            micros
+        } else {
+            0.8 * self.ewma_micros + 0.2 * micros
+        };
+        if self.ewma_micros > self.target_micros {
+            let cut = (self.window / 4).max(1);
+            self.window = self.window.saturating_sub(cut).max(self.min);
+        } else if self.window < self.max {
+            self.window += 1;
+        }
+    }
+}
+
+// ------------------------------------------------------------- reactor
+
+/// How long a lingering close keeps draining the peer.
+const LINGER: Duration = Duration::from_millis(500);
+/// Most bytes read from one connection per loop turn (fairness bound).
+const READ_BURST: usize = 64 * 1024;
+/// Upper bound on one poll sleep, so flag changes are noticed even
+/// without a wake byte.
+const MAX_POLL_MS: i32 = 500;
+/// How often idle connections join the poll set while engaged ones keep
+/// the loop busy. `poll(2)` is O(fds) per call, so a plane holding tens
+/// of thousands of quiet keep-alive sockets must not rescan all of them
+/// on every turn: engaged connections (buffered input, queued or
+/// in-flight requests, pending output, lingering closes) are polled
+/// every iteration, idle ones at this bounded cadence — and whenever
+/// nothing is engaged the sweep covers everyone with a long timeout, so
+/// a quiescent plane still wakes on the first byte with no added
+/// latency.
+const IDLE_SCAN: Duration = Duration::from_millis(10);
+/// Accept backlog requested at startup (see [`set_accept_backlog`]).
+const ACCEPT_BACKLOG: usize = 4096;
+
+struct Conn {
+    stream: TcpStream,
+    machine: ConnMachine,
+    last_active: Instant,
+    /// Slow-loris deadline, armed while a message is partially read.
+    read_deadline: Option<Instant>,
+    /// Write-stall deadline, armed when a write would block.
+    write_deadline: Option<Instant>,
+    /// Lingering-close deadline; the socket only drains when set.
+    linger_until: Option<Instant>,
+    in_ready: bool,
+}
+
+impl Conn {
+    /// Connections with work in progress — buffered input, queued or
+    /// in-flight requests, unflushed output, or a lingering close —
+    /// are polled on every loop turn; purely idle keep-alive peers wait
+    /// for the next [`IDLE_SCAN`] sweep instead.
+    fn engaged(&self) -> bool {
+        !self.machine.is_idle() || self.linger_until.is_some()
+    }
+}
+
+/// Everything the event loop owns. Constructed by `Server::start`, run
+/// on a dedicated thread until the shutdown flag is observed and the
+/// drain completes.
+pub(crate) struct Reactor {
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    pool: WorkerPool,
+    completions: Arc<crate::pool::CompletionQueue>,
+    conns: HashMap<u64, Conn>,
+    /// Tokens of engaged connections (see [`Conn::engaged`]): the hot
+    /// poll set, maintained incrementally at every state-transition
+    /// point so no per-turn pass over all connections is needed. The
+    /// sweep turns are the safety net — a token missing here is still
+    /// polled and deadline-checked at [`IDLE_SCAN`] cadence.
+    engaged: std::collections::HashSet<u64>,
+    next_token: u64,
+    ready: std::collections::VecDeque<u64>,
+    in_flight: usize,
+    admission: Admission,
+    config: ServerConfig,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    drain_deadline: Option<Instant>,
+    /// Next time idle connections join the poll set (see [`IDLE_SCAN`]).
+    next_idle_scan: Instant,
+    shed_response: Vec<u8>,
+    timeout_response: Vec<u8>,
+}
+
+impl Reactor {
+    pub(crate) fn new(
+        listener: TcpListener,
+        wake_rx: UnixStream,
+        pool: WorkerPool,
+        completions: Arc<crate::pool::CompletionQueue>,
+        config: ServerConfig,
+        metrics: Arc<Metrics>,
+        shutdown: Arc<AtomicBool>,
+    ) -> Reactor {
+        // Best effort: a refused deepening leaves the std default, which
+        // only costs retransmit stalls under connect storms.
+        let _ = set_accept_backlog(&listener, ACCEPT_BACKLOG);
+        let admission = Admission::new(
+            config.admission_min,
+            config.effective_admission_max(),
+            config.target_latency,
+        );
+        metrics.set_admission_window(admission.window as u64);
+        Reactor {
+            listener: Some(listener),
+            wake_rx,
+            pool,
+            completions,
+            conns: HashMap::new(),
+            engaged: std::collections::HashSet::new(),
+            next_token: 1,
+            ready: std::collections::VecDeque::new(),
+            in_flight: 0,
+            admission,
+            config,
+            metrics,
+            shutdown,
+            drain_deadline: None,
+            // lint: allow(wall-clock) sweep scheduling — poll cadence is
+            // real time by definition.
+            next_idle_scan: Instant::now(),
+            shed_response: error_bytes(503, "server overloaded"),
+            timeout_response: error_bytes(408, "request timed out"),
+        }
+    }
+
+    /// The event loop. Returns once shutdown has drained (or force-
+    /// closed) every connection and the workers have exited.
+    pub(crate) fn run(mut self) {
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut tokens: Vec<u64> = Vec::new();
+        loop {
+            // Acquire: pairs with the Release store in shutdown() so the
+            // reactor sees everything written before the flag flip.
+            if self.shutdown.load(Ordering::Acquire) && self.drain_deadline.is_none() {
+                self.begin_drain();
+            }
+            if self.drain_deadline.is_some() && self.conns.is_empty() {
+                break;
+            }
+
+            fds.clear();
+            tokens.clear();
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+            if let Some(listener) = &self.listener {
+                fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+            }
+            let fixed = fds.len();
+            // lint: allow(wall-clock) sweep scheduling — poll cadence is
+            // real time by definition.
+            let now = Instant::now();
+            // Full sweep: on the idle-scan cadence while engaged
+            // connections keep the loop hot, or on every turn once
+            // nothing is engaged (the sweep then doubles as the long
+            // blocking poll, so idle peers wake the loop immediately).
+            let full = self.engaged.is_empty() || now >= self.next_idle_scan;
+            if full {
+                self.next_idle_scan = now + IDLE_SCAN;
+                for (token, conn) in &self.conns {
+                    push_interest(&mut fds, &mut tokens, *token, conn);
+                }
+            } else {
+                for token in &self.engaged {
+                    if let Some(conn) = self.conns.get(token) {
+                        push_interest(&mut fds, &mut tokens, *token, conn);
+                    }
+                }
+            }
+
+            let mut timeout_ms = self.poll_timeout_ms();
+            if !full {
+                // A hot-only poll must yield by the next idle sweep.
+                let until_scan = self
+                    .next_idle_scan
+                    .saturating_duration_since(now)
+                    .as_millis()
+                    .min(MAX_POLL_MS as u128) as i32;
+                timeout_ms = timeout_ms.min(until_scan.max(1));
+            }
+            if poll_fds(&mut fds, timeout_ms).is_err() {
+                // EINTR is retried inside poll_fds; any other failure
+                // here is unrecoverable for the loop — treat it as a
+                // shutdown request rather than spinning.
+                // Release: pairs with the Acquire load above.
+                self.shutdown.store(true, Ordering::Release);
+                continue;
+            }
+
+            if fds.first().is_some_and(|f| f.revents != 0) {
+                self.drain_wake_pipe();
+            }
+            self.drain_completions();
+            if self.listener.is_some() && fds.get(1).is_some_and(|f| f.revents != 0) {
+                self.accept_ready();
+            }
+            for (slot, token) in tokens.iter().enumerate() {
+                let Some(revents) = fds.get(fixed + slot).map(|f| f.revents) else {
+                    continue;
+                };
+                if revents == 0 {
+                    continue;
+                }
+                self.handle_conn_event(*token, revents);
+            }
+            self.enforce_deadlines(full);
+            self.dispatch();
+            self.metrics.set_open_connections(self.conns.len() as u64);
+        }
+        // Close the queue; workers finish their in-flight handlers.
+        self.pool.shutdown();
+        self.metrics.set_open_connections(0);
+    }
+
+    // -------------------------------------------------------- plumbing
+
+    fn poll_timeout_ms(&self) -> i32 {
+        // lint: allow(wall-clock) deadline arithmetic — the reactor's
+        // timers are defined against the monotonic clock; the injected
+        // study clock does not tick in real time.
+        let now = Instant::now();
+        let mut nearest: Option<Instant> = self.drain_deadline;
+        // Idle peers only carry the idle timeout, which the sweep turns
+        // enforce with up to MAX_POLL_MS of slack; scanning only the
+        // engaged set keeps every loop turn O(engaged) rather than
+        // O(connections).
+        for token in &self.engaged {
+            let Some(conn) = self.conns.get(token) else {
+                continue;
+            };
+            for deadline in [conn.read_deadline, conn.write_deadline, conn.linger_until]
+                .into_iter()
+                .flatten()
+            {
+                nearest = Some(match nearest {
+                    Some(n) if n <= deadline => n,
+                    _ => deadline,
+                });
+            }
+        }
+        match nearest {
+            Some(at) => {
+                let ms = at.saturating_duration_since(now).as_millis();
+                (ms.min(MAX_POLL_MS as u128) as i32).max(0)
+            }
+            None => MAX_POLL_MS,
+        }
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut sink = [0u8; 256];
+        loop {
+            match self.wake_rx.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break, // WouldBlock: pipe drained
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        for completion in self.completions.drain() {
+            self.apply_completion(completion);
+        }
+    }
+
+    fn apply_completion(&mut self, completion: Completion) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.admission.on_completion(completion.latency);
+        self.metrics
+            .set_admission_window(self.admission.window as u64);
+        let Some(conn) = self.conns.get_mut(&completion.conn) else {
+            return; // connection died while the handler ran
+        };
+        conn.machine
+            .complete(&completion.bytes, completion.keep_alive);
+        // lint: allow(wall-clock) activity timestamping for the idle
+        // timer — monotonic elapsed time, same as the deadlines above.
+        conn.last_active = Instant::now();
+        self.after_machine_progress(completion.conn);
+        self.sync_engagement(completion.conn);
+    }
+
+    /// Re-evaluate a connection after its machine advanced: flush
+    /// output opportunistically, queue it for dispatch or shed it, and
+    /// close it when done.
+    fn after_machine_progress(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.machine.has_output() && !write_some(conn) {
+            self.close_now(token);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        // Arm or clear the slow-loris deadline from the parser state.
+        if conn.machine.mid_message() {
+            if conn.read_deadline.is_none() {
+                // lint: allow(wall-clock) deadline arithmetic — see
+                // poll_timeout_ms.
+                conn.read_deadline = Some(Instant::now() + self.config.read_deadline);
+            }
+        } else {
+            conn.read_deadline = None;
+        }
+        if conn.machine.done() {
+            self.finish(token);
+            return;
+        }
+        if self
+            .conns
+            .get(&token)
+            .is_some_and(|c| c.machine.dispatchable() && !c.in_ready)
+        {
+            if self.ready.len() >= self.config.queue_depth.max(1) {
+                // Ready queue over the bound: shed this connection's
+                // next request with a close-framed 503.
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    if conn.machine.shed_next(&self.shed_response) {
+                        self.metrics.request_shed();
+                        self.metrics
+                            .record(crate::metrics::Endpoint::Other, 503, Duration::ZERO);
+                        self.after_flush_or_close(token);
+                    }
+                }
+            } else if let Some(conn) = self.conns.get_mut(&token) {
+                conn.in_ready = true;
+                self.ready.push_back(token);
+            }
+        }
+    }
+
+    /// Try to flush and, if the machine is finished, close.
+    fn after_flush_or_close(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.machine.has_output() && !write_some(conn) {
+            self.close_now(token);
+            return;
+        }
+        if self.conns.get(&token).is_some_and(|c| c.machine.done()) {
+            self.finish(token);
+        }
+    }
+
+    // ---------------------------------------------------------- accept
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => self.admit_connection(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn admit_connection(&mut self, stream: TcpStream) {
+        if self.conns.len() >= self.config.max_connections.max(1) {
+            // Watermark: make room by shedding the least-recently-
+            // active idle connection; if everyone is mid-request, the
+            // newcomer is the one refused.
+            if let Some(victim) = self.least_recently_active_idle() {
+                self.metrics.connection_shed();
+                self.close_now(victim);
+            } else {
+                self.metrics.connection_rejected();
+                let mut stream = stream;
+                let _ = stream.set_nonblocking(true);
+                let _ = stream.write(&self.shed_response);
+                return;
+            }
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if let Some(bytes) = self.config.send_buffer_bytes {
+            let _ = set_send_buffer(&stream, bytes);
+        }
+        self.metrics.connection_opened();
+        let token = self.next_token;
+        self.next_token += 1;
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                machine: ConnMachine::new(ConnConfig {
+                    max_requests: self.config.max_requests_per_connection,
+                    pipeline_depth: self.config.pipeline_depth,
+                }),
+                // lint: allow(wall-clock) activity timestamping — see
+                // apply_completion.
+                last_active: Instant::now(),
+                read_deadline: None,
+                write_deadline: None,
+                linger_until: None,
+                in_ready: false,
+            },
+        );
+        self.sync_engagement(token);
+    }
+
+    fn least_recently_active_idle(&self) -> Option<u64> {
+        self.conns
+            .iter()
+            .filter(|(_, c)| c.machine.is_idle() && c.linger_until.is_none())
+            .min_by_key(|(_, c)| c.last_active)
+            .map(|(token, _)| *token)
+    }
+
+    // ------------------------------------------------------ connection
+
+    fn handle_conn_event(&mut self, token: u64, revents: i16) {
+        if revents & (POLLERR | POLLNVAL) != 0 {
+            self.close_now(token);
+            return;
+        }
+        if revents & (POLLIN | POLLHUP) != 0 && !self.read_ready(token) {
+            return; // connection closed during the read
+        }
+        if revents & POLLOUT != 0 {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.write_deadline = None;
+            if !write_some(conn) {
+                self.close_now(token);
+                return;
+            }
+        }
+        self.after_flush_or_close(token);
+        if self.conns.contains_key(&token) {
+            self.after_machine_progress(token);
+        }
+        self.sync_engagement(token);
+    }
+
+    /// Drain readable bytes into the machine. Returns `false` when the
+    /// connection was torn down.
+    fn read_ready(&mut self, token: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        let mut chunk = [0u8; 16 * 1024];
+        let mut total = 0usize;
+        let lingering = conn.linger_until.is_some();
+        loop {
+            if !lingering && !conn.machine.wants_read() {
+                break;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    if lingering {
+                        self.drop_conn(token);
+                        return false;
+                    }
+                    if let Some(status) = conn.machine.on_eof() {
+                        self.metrics.record(
+                            crate::metrics::Endpoint::Other,
+                            status,
+                            Duration::ZERO,
+                        );
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    // lint: allow(wall-clock) activity timestamping —
+                    // see apply_completion.
+                    conn.last_active = Instant::now();
+                    total += n;
+                    if !lingering {
+                        let data = chunk.get(..n).unwrap_or(&chunk);
+                        if let Some(status) = conn.machine.on_bytes(data) {
+                            self.metrics.record(
+                                crate::metrics::Endpoint::Other,
+                                status,
+                                Duration::ZERO,
+                            );
+                        }
+                    }
+                    if total >= READ_BURST {
+                        break; // fairness: let other connections run
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.drop_conn(token);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------- deadlines
+
+    /// `full` marks a sweep turn: only then are idle connections
+    /// examined (their sole deadline is the idle timeout, which
+    /// tolerates sweep-cadence slack); hot turns check engaged
+    /// connections only, keeping this O(engaged) rather than
+    /// O(connections).
+    fn enforce_deadlines(&mut self, full: bool) {
+        // lint: allow(wall-clock) deadline arithmetic — see
+        // poll_timeout_ms.
+        let now = Instant::now();
+        let force_close_all = self.drain_deadline.is_some_and(|d| now >= d);
+        let idle_after = self.config.read_timeout;
+        // Hot turns only examine the engaged set, so deadline
+        // enforcement costs O(engaged) per turn; the sweep walks
+        // everything and is the only place idle timeouts fire.
+        let candidates: Vec<u64> = if full || force_close_all {
+            self.conns.keys().copied().collect()
+        } else {
+            self.engaged.iter().copied().collect()
+        };
+        let expired: Vec<(u64, Expiry)> = candidates
+            .iter()
+            .filter_map(|token| {
+                let conn = self.conns.get(token)?;
+                if force_close_all {
+                    return Some((*token, Expiry::Force));
+                }
+                if conn.linger_until.is_some_and(|d| now >= d) {
+                    return Some((*token, Expiry::Force));
+                }
+                if conn.read_deadline.is_some_and(|d| now >= d) {
+                    return Some((*token, Expiry::SlowRead));
+                }
+                if conn.write_deadline.is_some_and(|d| now >= d) {
+                    return Some((*token, Expiry::WriteStall));
+                }
+                if conn.machine.is_idle() && now >= conn.last_active + idle_after {
+                    return Some((*token, Expiry::Idle));
+                }
+                None
+            })
+            .collect();
+        for (token, why) in expired {
+            match why {
+                Expiry::Force => self.drop_conn(token),
+                Expiry::SlowRead => {
+                    self.metrics.read_timeout();
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.read_deadline = None;
+                        conn.machine.abort_input(self.timeout_response.clone());
+                    }
+                    self.after_flush_or_close(token);
+                    self.sync_engagement(token);
+                }
+                Expiry::WriteStall => {
+                    self.metrics.write_stall_timeout();
+                    self.drop_conn(token);
+                }
+                Expiry::Idle => {
+                    self.metrics.read_timeout();
+                    self.drop_conn(token);
+                }
+            }
+        }
+        // Arm write-stall deadlines for connections with queued output
+        // that made no progress this turn. Queued output implies
+        // engagement, so hot turns skip idle peers here too; a deadline
+        // left behind by output drained elsewhere is cleared on the
+        // next sweep, long before it could fire.
+        for token in &candidates {
+            let Some(conn) = self.conns.get_mut(token) else {
+                continue;
+            };
+            if conn.machine.has_output() {
+                if conn.write_deadline.is_none() {
+                    conn.write_deadline = Some(now + self.config.write_stall_timeout);
+                }
+            } else {
+                conn.write_deadline = None;
+            }
+        }
+    }
+
+    // -------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self) {
+        while self.in_flight < self.admission.window {
+            let Some(token) = self.ready.pop_front() else {
+                break;
+            };
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            conn.in_ready = false;
+            let Some(pending) = conn.machine.next_job() else {
+                self.sync_engagement(token);
+                continue;
+            };
+            self.in_flight += 1;
+            let job = Job {
+                conn: token,
+                request: pending.request,
+                keep_alive: pending.keep_alive,
+            };
+            if let Err(job) = self.pool.execute(job) {
+                // Channel full or closed (only reachable when the
+                // window was configured past the channel capacity, or
+                // during teardown): answer 503 inline.
+                self.in_flight = self.in_flight.saturating_sub(1);
+                self.metrics.request_shed();
+                self.metrics
+                    .record(crate::metrics::Endpoint::Other, 503, Duration::ZERO);
+                let _ = job;
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.machine.complete(&self.shed_response, false);
+                }
+                self.after_flush_or_close(token);
+            }
+            self.sync_engagement(token);
+        }
+    }
+
+    // -------------------------------------------------------- shutdown
+
+    fn begin_drain(&mut self) {
+        // Stop accepting; the bound port frees immediately.
+        self.listener = None;
+        // lint: allow(wall-clock) deadline arithmetic — see
+        // poll_timeout_ms.
+        self.drain_deadline = Some(Instant::now() + self.config.shutdown_grace);
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if conn.machine.is_idle() && conn.linger_until.is_none() {
+                    self.drop_conn(token);
+                } else {
+                    conn.machine.begin_drain();
+                    self.after_flush_or_close(token);
+                }
+            }
+            self.sync_engagement(token);
+        }
+    }
+
+    // ----------------------------------------------------------- close
+
+    /// The machine reports `done()`: close, lingering when unread
+    /// client bytes could turn the close into an RST.
+    fn finish(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.machine.needs_linger() && conn.linger_until.is_none() {
+            // Half-close: the peer sees FIN (and our final response),
+            // while we keep draining whatever it already sent.
+            let _ = conn.stream.shutdown(Shutdown::Write);
+            // lint: allow(wall-clock) deadline arithmetic — see
+            // poll_timeout_ms.
+            conn.linger_until = Some(Instant::now() + LINGER);
+        } else if conn.linger_until.is_none() {
+            self.drop_conn(token);
+        }
+    }
+
+    /// Abrupt close (I/O error, shed victim, expired linger).
+    fn close_now(&mut self, token: u64) {
+        self.drop_conn(token);
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        self.conns.remove(&token);
+        self.engaged.remove(&token);
+        self.ready.retain(|t| *t != token);
+    }
+
+    /// Reconcile the hot poll set with the connection's actual state.
+    /// Called wherever a connection is touched (I/O event, completion,
+    /// deadline action, accept, dispatch) — the places engagement can
+    /// change. A missed transition is not fatal: the idle sweep
+    /// re-polls every connection within [`IDLE_SCAN`].
+    fn sync_engagement(&mut self, token: u64) {
+        if self.conns.get(&token).is_some_and(Conn::engaged) {
+            self.engaged.insert(token);
+        } else {
+            self.engaged.remove(&token);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Expiry {
+    Force,
+    SlowRead,
+    WriteStall,
+    Idle,
+}
+
+/// Append `conn`'s poll interest (if any) to the fd and token lists.
+fn push_interest(fds: &mut Vec<PollFd>, tokens: &mut Vec<u64>, token: u64, conn: &Conn) {
+    let mut events = 0i16;
+    if conn.machine.wants_read() || conn.linger_until.is_some() {
+        events |= POLLIN;
+    }
+    if conn.machine.has_output() {
+        events |= POLLOUT;
+    }
+    if events != 0 {
+        fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+        tokens.push(token);
+    }
+}
+
+/// Write as much queued output as the socket accepts. Returns `false`
+/// when the connection is dead.
+fn write_some(conn: &mut Conn) -> bool {
+    while conn.machine.has_output() {
+        match conn.stream.write(conn.machine.writable()) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.machine.advance_write(n);
+                // lint: allow(wall-clock) activity timestamping — see
+                // apply_completion.
+                conn.last_active = Instant::now();
+                conn.write_deadline = None;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}

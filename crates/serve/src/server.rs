@@ -1,23 +1,26 @@
-//! The TCP front end: accept loop, routing, keep-alive, shutdown.
+//! The TCP front end: configuration, routing, and lifecycle of the
+//! event-driven serving plane.
 //!
-//! One acceptor thread hands connections to the bounded [`ThreadPool`]
-//! (`crate::pool`); when the pool refuses, the acceptor answers 503
-//! inline and closes — load shedding happens before any per-request
-//! allocation. Handlers resolve the [`SharedView`] once per request, so
-//! each response is computed against one pinned epoch no matter how
-//! many publishes land while it runs.
+//! `Server::start` binds a non-blocking listener and spawns one reactor
+//! thread (see [`crate::reactor`]) plus a small worker pool
+//! ([`crate::pool`]). The reactor owns every socket; workers only ever
+//! see parsed requests and produce fully serialised responses, which
+//! the reactor writes back under `POLLOUT` interest. Handlers resolve
+//! the [`SharedView`] once per request, so each response is computed
+//! against one pinned epoch no matter how many publishes land while it
+//! runs.
 
 use crate::api;
-use crate::http::{
-    body_disposition, drain_body, read_request, Body, BodyDisposition, Request, Response,
-};
+use crate::http::{Body, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
-use crate::pool::ThreadPool;
+use crate::pool::{CompletionQueue, Handler, WorkerPool};
+use crate::reactor::{Reactor, SocketWaker};
 use crate::view::SharedView;
 use ripki_dns::DomainName;
 use ripki_net::{Asn, IpPrefix};
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -26,17 +29,42 @@ use std::time::{Duration, Instant};
 /// Tunables of the serving front end.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections.
+    /// Worker threads executing request handlers.
     pub workers: usize,
-    /// Connections allowed to queue behind busy workers before new
-    /// arrivals are shed with 503.
+    /// Connections allowed to wait for dispatch before the newest
+    /// waiter's request is shed with a close-framed 503.
     pub queue_depth: usize,
-    /// Per-read socket timeout; a silent keep-alive peer is dropped
-    /// after this long.
+    /// Idle timeout: a silent keep-alive peer with nothing queued is
+    /// dropped after this long.
     pub read_timeout: Duration,
     /// Requests served on one connection before it is closed (bounds
-    /// how long a single peer can pin a worker).
+    /// how long a single peer can pin server state).
     pub max_requests_per_connection: usize,
+    /// Hard cap on concurrently open connections; at the watermark the
+    /// least-recently-active idle connection is shed to admit a
+    /// newcomer (the newcomer is refused if nobody is idle).
+    pub max_connections: usize,
+    /// Slow-loris deadline: a connection holding a partially-read
+    /// message longer than this is answered 408 and closed.
+    pub read_deadline: Duration,
+    /// A connection whose queued response bytes make no progress for
+    /// this long is dropped.
+    pub write_stall_timeout: Duration,
+    /// Parsed-but-unanswered requests one connection may hold before
+    /// it loses read interest (HTTP/1.1 pipelining bound).
+    pub pipeline_depth: usize,
+    /// Floor of the load-adaptive admission window.
+    pub admission_min: usize,
+    /// Ceiling of the admission window; `0` means `workers * 2`.
+    pub admission_max: usize,
+    /// Handler-latency target the admission controller steers toward.
+    pub target_latency: Duration,
+    /// How long a graceful shutdown waits for in-flight requests to
+    /// drain before force-closing stragglers.
+    pub shutdown_grace: Duration,
+    /// Kernel send-buffer override per connection (`None` keeps the
+    /// default); shrunk by tests to make write stalls observable.
+    pub send_buffer_bytes: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -46,16 +74,40 @@ impl Default for ServerConfig {
             queue_depth: 64,
             read_timeout: Duration::from_secs(5),
             max_requests_per_connection: 1024,
+            max_connections: 4096,
+            read_deadline: Duration::from_secs(5),
+            write_stall_timeout: Duration::from_secs(5),
+            pipeline_depth: 4,
+            admission_min: 1,
+            admission_max: 0,
+            target_latency: Duration::from_millis(25),
+            shutdown_grace: Duration::from_secs(3),
+            send_buffer_bytes: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The admission-window ceiling with the `0 = workers * 2` default
+    /// resolved. Also sizes the worker job channel, so a window within
+    /// the ceiling can always dispatch without blocking.
+    pub fn effective_admission_max(&self) -> usize {
+        if self.admission_max == 0 {
+            self.workers.max(1) * 2
+        } else {
+            self.admission_max
         }
     }
 }
 
 /// A running server; dropping it (or calling [`shutdown`]
-/// (Server::shutdown)) stops the acceptor and joins every worker.
+/// (Server::shutdown)) drains in-flight requests and joins the reactor
+/// and every worker.
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
+    wake: UnixStream,
     metrics: Arc<Metrics>,
     view: Arc<SharedView>,
 }
@@ -68,25 +120,43 @@ impl Server {
         config: ServerConfig,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        // Build the pool here so a thread-spawn failure surfaces as an
-        // `Err` from `start` instead of a panic inside the acceptor.
-        let pool = ThreadPool::new(config.workers, config.queue_depth)?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
         let metrics = Arc::new(Metrics::new());
         let shutdown = Arc::new(AtomicBool::new(false));
-        let acceptor = {
-            let view = Arc::clone(&view);
-            let metrics = Arc::clone(&metrics);
-            let shutdown = Arc::clone(&shutdown);
-            let config = config.clone();
-            std::thread::Builder::new()
-                .name("ripki-serve-accept".into())
-                .spawn(move || accept_loop(listener, pool, view, metrics, shutdown, config))?
-        };
+        let completions = Arc::new(CompletionQueue::new(Box::new(SocketWaker(
+            wake_tx.try_clone()?,
+        ))));
+        let handler = request_handler(Arc::clone(&view), Arc::clone(&metrics), config.clone());
+        // Channel capacity = the admission ceiling, so dispatch within
+        // the window never finds the channel full. Built here so a
+        // thread-spawn failure surfaces as an `Err` from `start`.
+        let pool = WorkerPool::new(
+            config.workers,
+            config.effective_admission_max(),
+            handler,
+            Arc::clone(&completions),
+        )?;
+        let reactor = Reactor::new(
+            listener,
+            wake_rx,
+            pool,
+            completions,
+            config,
+            Arc::clone(&metrics),
+            Arc::clone(&shutdown),
+        );
+        let handle = std::thread::Builder::new()
+            .name("ripki-serve-reactor".into())
+            .spawn(move || reactor.run())?;
         Ok(Server {
             addr,
             shutdown,
-            acceptor: Some(acceptor),
+            reactor: Some(handle),
+            wake: wake_tx,
             metrics,
             view,
         })
@@ -107,15 +177,16 @@ impl Server {
         &self.view
     }
 
-    /// Stop accepting, drain the workers, and join the acceptor.
+    /// Stop accepting, drain in-flight requests (bounded by
+    /// `shutdown_grace`), and join the reactor and workers.
     pub fn shutdown(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The acceptor blocks in `accept`; a throwaway connection to
-        // ourselves wakes it so it can observe the flag and exit.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.acceptor.take() {
+        // The reactor may be parked in poll(); a wake byte makes it
+        // observe the flag immediately.
+        let _ = (&self.wake).write(&[1]);
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
     }
@@ -127,97 +198,23 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    mut pool: ThreadPool,
-    view: Arc<SharedView>,
-    metrics: Arc<Metrics>,
-    shutdown: Arc<AtomicBool>,
-    config: ServerConfig,
-) {
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(mut stream) = stream else { continue };
-        metrics.connection_opened();
-        // The worker gets a duplicated handle so that, on queue
-        // overflow, the acceptor still owns one to write the 503 on.
-        let Ok(worker_stream) = stream.try_clone() else {
-            continue;
-        };
-        let view = Arc::clone(&view);
-        let job_metrics = Arc::clone(&metrics);
-        let job_shutdown = Arc::clone(&shutdown);
-        let job_config = config.clone();
-        let submit = pool.try_execute(move || {
-            handle_connection(
-                worker_stream,
-                &view,
-                &job_metrics,
-                &job_shutdown,
-                &job_config,
-            );
-        });
-        if submit.is_err() {
-            metrics.connection_rejected();
-            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-            let _ = Response::error(503, "server overloaded").write_to(&mut stream, false);
-        }
-    }
-    pool.shutdown();
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    view: &SharedView,
-    metrics: &Metrics,
-    shutdown: &AtomicBool,
-    config: &ServerConfig,
-) {
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut stream = stream;
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    for _ in 0..config.max_requests_per_connection {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let request = match read_request(&mut stream, &mut buf) {
-            Ok(Ok(Some(request))) => request,
-            Ok(Ok(None)) => return, // clean close between requests
-            Ok(Err(e)) => {
-                // lint: allow(wall-clock) request-latency measurement —
-                // Instant is the right clock for elapsed time and the
-                // injected study clock does not tick in real time.
-                let started = Instant::now();
-                let response = Response::from_http_error(&e);
-                metrics.record(Endpoint::Other, response.status, started.elapsed());
-                let _ = response.write_to(&mut stream, false);
-                return;
-            }
-            Err(_) => return, // socket error / read timeout
-        };
-        // No endpoint reads bodies (everything is a GET), but closing
-        // on every announced body wastes connections: small ones are
-        // drained off the stream so the next pipelined request parses
-        // cleanly; chunked or oversized ones still cost the connection.
-        let disposition = body_disposition(&request);
-        let keep_alive = request.keep_alive() && disposition != BodyDisposition::Close;
-        if let BodyDisposition::Drain(len) = disposition {
-            if drain_body(&mut stream, &mut buf, len).is_err() {
-                return; // peer vanished mid-body; nothing to answer
-            }
-        }
-        // lint: allow(wall-clock) request-latency measurement — see the
-        // justification on the error path above.
+/// Build the worker-side handler: route the request, serialise the
+/// response, account the latency. Returns the bytes plus the final
+/// keep-alive verdict (streamed bodies are close-delimited and always
+/// downgrade).
+fn request_handler(view: Arc<SharedView>, metrics: Arc<Metrics>, config: ServerConfig) -> Handler {
+    Arc::new(move |request: &Request, want_keep: bool| {
+        // lint: allow(wall-clock) request-latency measurement — Instant
+        // is the right clock for elapsed time and the injected study
+        // clock does not tick in real time.
         let started = Instant::now();
-        let (endpoint, response) = route(view, metrics, &request, config);
-        metrics.record(endpoint, response.status, started.elapsed());
-        if !matches!(response.write_to(&mut stream, keep_alive), Ok(true)) {
-            return;
-        }
-    }
+        let (endpoint, response) = route(&view, &metrics, request, &config);
+        let status = response.status;
+        let mut bytes: Vec<u8> = Vec::with_capacity(512);
+        let keep = matches!(response.write_to(&mut bytes, want_keep), Ok(true));
+        metrics.record(endpoint, status, started.elapsed());
+        (bytes, keep)
+    })
 }
 
 /// Dispatch one request to its handler. Returns the endpoint label for
@@ -274,6 +271,8 @@ fn route(
                 metrics.total_requests(),
                 config.workers,
                 lag,
+                metrics.open_connections(),
+                metrics.admission_window(),
             );
             (Endpoint::Status, Response::json(200, &payload))
         }

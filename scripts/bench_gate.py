@@ -22,9 +22,10 @@ an explicit bootstrap run.
 
 Each bench declares its metrics below. "higher" metrics are throughput
 numbers compared directly; "lower" metrics are per-unit latencies whose
-reciprocal is the throughput. Absolute floors (FLOORS) encode acceptance
-criteria that must hold regardless of the baseline, e.g. the incremental
-validator's >= 10x speedup over a full validation pass.
+reciprocal is the throughput. Absolute floors (FLOORS) and ceilings
+(CEILINGS) encode acceptance criteria that must hold regardless of the
+baseline, e.g. the incremental validator's >= 10x speedup over a full
+validation pass, or the serve load harness's p99 latency bound.
 
 A bench JSON may carry a "scaling" section (per-thread-count timings
 from the parallel execute stage, plus the host's cpu count). Scaling
@@ -48,6 +49,7 @@ METRICS = {
         ("validity_req_per_s", "higher"),
         ("vrps_json_req_per_s", "higher"),
     ],
+    "serve_load": [("req_per_s", "higher")],
 }
 
 # bench name -> [(metric, minimum value)]
@@ -59,6 +61,23 @@ FLOORS = {
     # full engine rebuild + re-run; 5x is a deliberately loose floor
     # (observed gaps are far larger at bench scale).
     "engine_whatif": [("speedup", 5.0)],
+    # The event-loop acceptance bar (PR 9): at least 10k concurrent
+    # keep-alive sessions, every one of them visible to the server
+    # (open_connections gauge), and sustained throughput no worse than
+    # the retired per-connection-thread implementation's baseline.
+    "serve_load": [
+        ("concurrent_sessions", 10_000),
+        ("server_open_connections", 10_000),
+        ("throughput_vs_threadpool", 1.0),
+    ],
+}
+
+# bench name -> [(metric, maximum value)]. Absolute latency ceilings —
+# the load harness reports the server-side p99 interpolated from the
+# /metrics histogram; an event loop that holds 10k sockets by making
+# every request wait would pass the throughput floor and fail here.
+CEILINGS = {
+    "serve_load": [("p99_seconds", 0.25)],
 }
 
 
@@ -165,6 +184,20 @@ def main():
             print(f"{bench}/{metric}: {value:.4g} (floor {floor}, {verdict})")
             if value < floor:
                 failures.append(f"{bench}/{metric}: {value:.4g} < floor {floor}")
+
+        for metric, ceiling in CEILINGS.get(bench, []):
+            value = fresh.get(metric)
+            if value is None:
+                failures.append(f"{bench}: fresh run is missing {metric!r}")
+                continue
+            verdict = "ok" if value <= ceiling else "ABOVE CEILING"
+            print(
+                f"{bench}/{metric}: {value:.4g} (ceiling {ceiling}, {verdict})"
+            )
+            if value > ceiling:
+                failures.append(
+                    f"{bench}/{metric}: {value:.4g} > ceiling {ceiling}"
+                )
 
         scaling = fresh.get("scaling")
         if isinstance(scaling, dict):
