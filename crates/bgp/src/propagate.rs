@@ -147,7 +147,9 @@ pub fn propagate(
     while !frontier.is_empty() {
         let mut candidates: BTreeMap<Asn, Route> = BTreeMap::new();
         for u in &frontier {
-            let u_route = routes.get(u).expect("frontier members are routed").clone();
+            let Some(u_route) = routes.get(u).cloned() else {
+                continue;
+            };
             let Some(node) = topology.node(*u) else {
                 continue;
             };
@@ -223,7 +225,9 @@ pub fn propagate(
                 heap: &mut BinaryHeap<Reverse<(usize, u32, u32)>>,
                 pending: &mut BTreeMap<(usize, u32, u32), Route>,
                 u: Asn| {
-        let u_route = routes.get(&u).expect("seed must be routed").clone();
+        let Some(u_route) = routes.get(&u).cloned() else {
+            return;
+        };
         let Some(node) = topology.node(u) else { return };
         for v in &node.customers {
             if routes.contains_key(v) {

@@ -7,7 +7,15 @@ use std::fmt;
 use std::path::Path;
 
 /// Version of the rule set encoded below.
-pub const CATALOG_VERSION: u32 = 3;
+///
+/// v4: R1 became transitive panic-reachability over the workspace call
+/// graph (flagging both the in-scope call site and the out-of-scope
+/// panic site); R2 admits the monotonic `Instant::now` inside
+/// `crates/serve/**` (a real-time serving plane measures deadlines —
+/// `SystemTime` stays confined); R6 (no blocking reachable from a
+/// reactor turn) and R7 (consistent lock acquisition order) were added
+/// on the same graph.
+pub const CATALOG_VERSION: u32 = 4;
 
 /// The enforced invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,13 +25,17 @@ pub enum Rule {
     /// (`crates/serve/src/**`, which includes the poll(2) reactor and
     /// connection state machines), in the RTR PDU codec
     /// (`crates/rtr/src/pdu.rs`), or in the RTR accept front end
-    /// (`crates/rtr/src/listener.rs`). A malformed request or PDU must
-    /// map to a typed error, never a worker or reactor panic.
+    /// (`crates/rtr/src/listener.rs`) — *including transitively*: a
+    /// helper anywhere in the workspace that can panic and is reachable
+    /// from an in-scope function is flagged at the panic site and at
+    /// the in-scope call that reaches it. A malformed request or PDU
+    /// must map to a typed error, never a worker or reactor panic.
     NoPanic,
-    /// R2: `SystemTime::now` / `Instant::now` only inside
-    /// `ripki_rpki::time` (the simulation clock) and the `cli` / `bench`
-    /// crates. Everything else must take time as a parameter so study
-    /// runs stay deterministic and replayable.
+    /// R2: `SystemTime::now` only inside `ripki_rpki::time` (the
+    /// simulation clock) and the `cli` / `bench` crates; `Instant::now`
+    /// additionally allowed in `crates/serve/**` (monotonic deadline
+    /// arithmetic on a real-time plane). Everything else must take time
+    /// as a parameter so study runs stay deterministic and replayable.
     WallClock,
     /// R3: every `Ordering::Relaxed` / `Acquire` / `Release` / `AcqRel`
     /// carries a same-line or immediately-preceding comment saying why
@@ -39,15 +51,28 @@ pub enum Rule {
     /// assert monotonicity; everywhere else must go through those
     /// constructors/setters.
     EpochWrite,
+    /// R6: nothing that can block — `thread::sleep`, channel
+    /// `recv`/`recv_timeout`, `join`, condvar `wait`, blocking
+    /// `accept`/`connect` — is reachable from `Reactor::turn` outside
+    /// the blessed poll/idle-sweep sites. One blocked turn stalls every
+    /// connection on the reactor at once.
+    NoBlocking,
+    /// R7: the workspace lock set (struct fields of `Mutex`/`RwLock`
+    /// type in `serve`/`par`/`proxy`) is acquired in one consistent
+    /// order; any path that holds lock A while (transitively) taking
+    /// lock B, when another path orders them B-then-A, is flagged.
+    LockOrder,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 7] = [
     Rule::NoPanic,
     Rule::WallClock,
     Rule::AtomicOrder,
     Rule::PrintOutput,
     Rule::EpochWrite,
+    Rule::NoBlocking,
+    Rule::LockOrder,
 ];
 
 impl Rule {
@@ -60,10 +85,12 @@ impl Rule {
             Rule::AtomicOrder => "atomic-order",
             Rule::PrintOutput => "print-output",
             Rule::EpochWrite => "epoch-write",
+            Rule::NoBlocking => "no-blocking",
+            Rule::LockOrder => "lock-order",
         }
     }
 
-    /// Short catalog code (`R1`..`R5`).
+    /// Short catalog code (`R1`..`R7`).
     pub fn code(self) -> &'static str {
         match self {
             Rule::NoPanic => "R1",
@@ -71,6 +98,8 @@ impl Rule {
             Rule::AtomicOrder => "R3",
             Rule::PrintOutput => "R4",
             Rule::EpochWrite => "R5",
+            Rule::NoBlocking => "R6",
+            Rule::LockOrder => "R7",
         }
     }
 
@@ -80,10 +109,11 @@ impl Rule {
             Rule::NoPanic => {
                 "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! or [] indexing \
                  on the serve request path (reactor included), the RTR PDU codec, and the \
-                 RTR accept front end"
+                 RTR accept front end — directly or via any workspace function they reach"
             }
             Rule::WallClock => {
-                "SystemTime::now/Instant::now only in ripki_rpki::time and the cli/bench crates"
+                "SystemTime::now only in ripki_rpki::time and the cli/bench crates; \
+                 Instant::now additionally allowed in crates/serve (monotonic deadlines)"
             }
             Rule::AtomicOrder => {
                 "every Ordering::Relaxed/Acquire/Release/AcqRel needs a same-line or \
@@ -94,6 +124,16 @@ impl Rule {
                 "epoch/from_epoch/to_epoch fields are written only in the blessed engine \
                  module, which must assert epoch monotonicity"
             }
+            Rule::NoBlocking => {
+                "no thread::sleep, channel recv, join, condvar wait, or blocking \
+                 accept/connect reachable from Reactor::turn outside the blessed \
+                 poll/idle-sweep sites"
+            }
+            Rule::LockOrder => {
+                "the serve/par/proxy Mutex/RwLock field set is acquired in one global \
+                 order; a path holding A then taking B while another takes B then A is \
+                 a deadlock seed"
+            }
         }
     }
 
@@ -103,8 +143,10 @@ impl Rule {
     }
 
     /// Does this rule apply to the (workspace-relative, `/`-separated)
-    /// file at all? Test code is additionally exempted per-region by the
-    /// checker; this is the file-level scope.
+    /// file at all? Test code is additionally exempted per-item by the
+    /// parser; this is the file-level scope. The graph rules (R1
+    /// transitive, R6, R7) root in these scopes but may *report* inside
+    /// any workspace file their chains reach.
     pub fn applies_to(self, path: &str) -> bool {
         match self {
             Rule::NoPanic => {
@@ -125,6 +167,15 @@ impl Rule {
                     && !path.starts_with("crates/lint/")
             }
             Rule::EpochWrite => !is_blessed_epoch_module(path),
+            // R6 roots in the reactor; R7 collects locks from the
+            // concurrent crates. Reporting sites follow chains, so the
+            // file-level scope is where *analysis roots* live.
+            Rule::NoBlocking => path.starts_with("crates/serve/src/"),
+            Rule::LockOrder => {
+                path.starts_with("crates/serve/src/")
+                    || path.starts_with("crates/par/src/")
+                    || path.starts_with("crates/proxy/src/")
+            }
         }
     }
 }
@@ -151,6 +202,58 @@ pub fn is_blessed_epoch_module(path: &str) -> bool {
             | "crates/slurm/src/lib.rs"
     )
 }
+
+/// R6 analysis roots: `(file suffix, impl type, fn name)` of the
+/// functions one reactor turn executes. `Reactor::turn` is the per-
+/// iteration body `Reactor::run` loops over; `run` itself is *not* a
+/// root because its post-loop teardown legitimately joins the pool.
+pub const REACTOR_ROOTS: &[(&str, Option<&str>, &str)] =
+    &[("crates/serve/src/reactor.rs", Some("Reactor"), "turn")];
+
+/// R6 blessed sites: functions allowed to contain (or reach) op shapes
+/// that look blocking, with the reason they are safe on the reactor.
+///
+/// `poll_fds` is the event source — blocking in `poll(2)` with a
+/// timeout *is* the reactor idle state. The readiness handlers
+/// (`read_ready`, `write_some`, `accept_ready`, `drain_wake_pipe`)
+/// only ever touch fds already reported ready, in nonblocking mode.
+/// `CompletionQueue::drain`/`push` hold a lock for a bounded O(len)
+/// splice that the loom lane models.
+pub const REACTOR_BLESSED: &[(&str, Option<&str>, &str)] = &[
+    ("crates/serve/src/reactor.rs", None, "poll_fds"),
+    ("crates/serve/src/reactor.rs", Some("Reactor"), "read_ready"),
+    ("crates/serve/src/reactor.rs", None, "write_some"),
+    (
+        "crates/serve/src/reactor.rs",
+        Some("Reactor"),
+        "accept_ready",
+    ),
+    (
+        "crates/serve/src/reactor.rs",
+        Some("Reactor"),
+        "drain_wake_pipe",
+    ),
+    ("crates/serve/src/pool.rs", Some("CompletionQueue"), "drain"),
+    ("crates/serve/src/pool.rs", Some("CompletionQueue"), "push"),
+];
+
+/// Method names R6 treats as potentially blocking when reached from a
+/// reactor root. `lock`/`read`/`write` are deliberately *absent*:
+/// bounded lock hand-offs are R7's domain (order, not duration), and
+/// readiness-mode IO is blessed at the fn granularity above.
+pub const BLOCKING_METHODS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "join",
+    "wait",
+    "wait_timeout",
+    "accept",
+    "connect",
+];
+
+/// Free-fn / path tails R6 treats as blocking (`thread::sleep`,
+/// `TcpStream::connect`, …).
+pub const BLOCKING_PATHS: &[&str] = &["sleep", "park", "park_timeout"];
 
 /// Convert an OS path (relative to the workspace root) to the canonical
 /// `/`-separated form the scopes above match on.
@@ -202,5 +305,11 @@ mod tests {
         assert!(!Rule::EpochWrite.applies_to("crates/slurm/src/lib.rs"));
         assert!(Rule::EpochWrite.applies_to("crates/serve/src/view.rs"));
         assert!(Rule::EpochWrite.applies_to("crates/proxy/src/units.rs"));
+
+        assert!(Rule::NoBlocking.applies_to("crates/serve/src/reactor.rs"));
+        assert!(!Rule::NoBlocking.applies_to("crates/par/src/lib.rs"));
+        assert!(Rule::LockOrder.applies_to("crates/par/src/lib.rs"));
+        assert!(Rule::LockOrder.applies_to("crates/proxy/src/comms.rs"));
+        assert!(!Rule::LockOrder.applies_to("crates/rpki/src/validate.rs"));
     }
 }

@@ -220,10 +220,14 @@ fn lex_quote(cursor: &mut Cursor) -> TokenKind {
     cursor.bump(); // the opening '
     match cursor.peek() {
         Some(b'\\') => {
-            // Escape sequence: definitely a char literal.
-            cursor.bump();
-            // `\x7f`, `\u{…}`, `\n`, `\'` … consume to the closing quote.
-            consume_quoted(cursor, b'\'');
+            // Escape sequence: definitely a char literal. The old
+            // scanner handed off to `consume_quoted` *after* eating the
+            // backslash, so `'\''` ended at the escaped quote and the
+            // real closing quote leaked into the stream (and `'\\'`
+            // swallowed code up to the next apostrophe). Consume the
+            // escape payload explicitly instead.
+            cursor.bump(); // the backslash
+            consume_char_escape_and_close(cursor);
             TokenKind::Literal
         }
         Some(c) if is_ident_start(c) => {
@@ -259,6 +263,35 @@ fn lex_quote(cursor: &mut Cursor) -> TokenKind {
     }
 }
 
+/// The cursor sits on the first byte of a char-literal escape payload
+/// (the backslash is already consumed). Consume the payload — one byte
+/// for `\n`-style escapes, the hex digits of `\x7f`, the braced group
+/// of `\u{…}` — and then the closing quote if present.
+fn consume_char_escape_and_close(cursor: &mut Cursor) {
+    match cursor.bump() {
+        Some(b'x') => {
+            // Up to two hex digits.
+            for _ in 0..2 {
+                if cursor.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                    cursor.bump();
+                }
+            }
+        }
+        Some(b'u') if cursor.peek() == Some(b'{') => {
+            while let Some(c) = cursor.bump() {
+                if c == b'}' {
+                    break;
+                }
+            }
+        }
+        // `\n`, `\'`, `\\`, … — the single escaped byte is consumed.
+        _ => {}
+    }
+    if cursor.peek() == Some(b'\'') {
+        cursor.bump();
+    }
+}
+
 /// Consume a quoted run up to an unescaped `close` byte (which is also
 /// consumed). The opening delimiter must already be consumed.
 fn consume_quoted(cursor: &mut Cursor, close: u8) {
@@ -281,8 +314,8 @@ fn consume_quoted(cursor: &mut Cursor, close: u8) {
 fn starts_prefixed_string(cursor: &mut Cursor) -> bool {
     let b0 = cursor.peek();
     let mut offset = 1;
-    // Optional second prefix byte: `br`, `rb` (not real, but harmless).
-    if b0 == Some(b'b') && cursor.peek_at(1) == Some(b'r') {
+    // Optional second prefix byte: `br"…"` and `cr"…"` raw variants.
+    if matches!(b0, Some(b'b' | b'c')) && cursor.peek_at(1) == Some(b'r') {
         offset = 2;
     }
     let raw = b0 == Some(b'r') || offset == 2;
@@ -298,13 +331,13 @@ fn starts_prefixed_string(cursor: &mut Cursor) -> bool {
             cursor.bump(); // b
             cursor.bump(); // '
             if cursor.peek() == Some(b'\\') {
-                cursor.bump();
-                cursor.bump();
+                cursor.bump(); // the backslash
+                consume_char_escape_and_close(cursor);
             } else {
                 cursor.bump();
-            }
-            if cursor.peek() == Some(b'\'') {
-                cursor.bump();
+                if cursor.peek() == Some(b'\'') {
+                    cursor.bump();
+                }
             }
             return true;
         }
@@ -449,5 +482,100 @@ mod tests {
         let toks = tokenize("abc.unwrap()");
         let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).expect("token");
         assert_eq!((unwrap.line, unwrap.column), (1, 5));
+    }
+
+    /// Regression: `'\''` used to end at the escaped quote, leaking the
+    /// real closing quote as a stray token that swallowed following
+    /// code; `'\\'` ran to the next apostrophe anywhere in the file.
+    #[test]
+    fn escaped_quote_and_backslash_char_literals_end_exactly() {
+        let toks = tokenize(r"let q = '\''; let b = '\\'; x.unwrap()");
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec![r"'\''", r"'\\'"]);
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).expect("unwrap");
+        assert_eq!((unwrap.line, unwrap.column), (1, 31));
+    }
+
+    /// Regression: hex and unicode escapes in char / byte-char literals
+    /// must consume their full payload, not just one byte.
+    #[test]
+    fn hex_and_unicode_char_escapes() {
+        let toks = tokenize(r"let a = '\x7f'; let b = '\u{1F600}'; let c = b'\xFF'; done()");
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec![r"'\x7f'", r"'\u{1F600}'", r"b'\xFF'"]);
+        let done = toks.iter().find(|t| t.is_ident("done")).expect("done");
+        assert_eq!((done.line, done.column), (1, 55));
+    }
+
+    /// A multi-line raw string is one literal and the line/column of the
+    /// token after it is exact (positions feed `path:line:col`
+    /// diagnostics, so drift here mislocates every later finding).
+    #[test]
+    fn multiline_raw_string_keeps_positions_exact() {
+        let src = "let s = r#\"line one\n  panic!(\"inside\")\nlast\"#;\nafter.unwrap()";
+        let toks = tokenize(src);
+        assert!(
+            !toks.iter().any(|t| t.is_ident("panic")),
+            "panic! inside a raw string must stay literal"
+        );
+        let after = toks.iter().find(|t| t.is_ident("after")).expect("after");
+        assert_eq!((after.line, after.column), (4, 1));
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).expect("unwrap");
+        assert_eq!((unwrap.line, unwrap.column), (4, 7));
+    }
+
+    /// Raw strings whose body contains a quote followed by *fewer*
+    /// hashes than the delimiter must keep scanning.
+    #[test]
+    fn raw_string_with_inner_quote_hash_runs() {
+        let src = r####"let s = r##"inner "# quote"##; tail()"####;
+        let toks = tokenize(src);
+        let lit = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Literal)
+            .expect("literal");
+        assert_eq!(lit.text, r####"r##"inner "# quote"##"####);
+        let tail = toks.iter().find(|t| t.is_ident("tail")).expect("tail");
+        assert_eq!((tail.line, tail.column), (1, 32));
+    }
+
+    /// `cr#"…"#` C-string raw literals (Rust 1.77) lex as one literal
+    /// instead of `cr` + stray punctuation.
+    #[test]
+    fn c_string_raw_literals() {
+        let toks = tokenize(r###"let s = cr#"unwrap()"#; done()"###);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    /// Nested block comments spanning lines: the token after the
+    /// comment carries the exact post-comment position.
+    #[test]
+    fn nested_multiline_block_comment_positions() {
+        let src = "/* outer\n /* inner\n  */ still outer\n*/  after.unwrap()";
+        let toks = tokenize(src);
+        let comment = toks.first().expect("comment token");
+        assert_eq!(comment.kind, TokenKind::BlockComment);
+        assert_eq!((comment.line, comment.column), (1, 1));
+        let after = toks.iter().find(|t| t.is_ident("after")).expect("after");
+        assert_eq!((after.line, after.column), (4, 5));
+    }
+
+    /// An unterminated nested block comment degrades to one trailing
+    /// comment token instead of panicking or looping.
+    #[test]
+    fn unterminated_nested_block_comment_degrades() {
+        let toks = tokenize("ident /* outer /* inner */ never closed");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokenKind::Ident);
+        assert_eq!(toks[1].kind, TokenKind::BlockComment);
     }
 }

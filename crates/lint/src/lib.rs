@@ -13,7 +13,9 @@
 //! `scripts/check.sh` and the CI `static-analysis` job).
 
 pub mod catalog;
+pub mod graph;
 pub mod lex;
+pub mod parse;
 pub mod report;
 pub mod rules;
 
@@ -27,19 +29,25 @@ use std::path::{Path, PathBuf};
 /// directories are exempt wholesale — the rules target shipping code —
 /// and `vendor/` holds offline stand-ins for external crates, which are
 /// not ours to lint.
+///
+/// Two phases: every file is lexed and parsed into the shared
+/// [`rules::CheckSet`] first, then the per-file rules and the
+/// call-graph rules (transitive R1, R6, R7) run over the assembled
+/// workspace.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
     let mut files = Vec::new();
     collect_sources(root, &mut files)?;
     files.sort();
+    let mut set = rules::CheckSet::default();
     let mut report = Report::default();
     for path in files {
         let source = fs::read_to_string(root.join(&path))?;
-        let canonical = catalog::canonical(&path);
-        let file_report = rules::check_file(&canonical, &source);
-        report.violations.extend(file_report.violations);
-        report.allows.extend(file_report.allows);
+        set.add_file(&catalog::canonical(&path), &source);
         report.files_scanned += 1;
     }
+    let (violations, allows) = set.run();
+    report.violations = violations;
+    report.allows = allows;
     report
         .violations
         .sort_by(|a, b| (&a.path, a.line, a.column).cmp(&(&b.path, b.line, b.column)));

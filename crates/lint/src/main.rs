@@ -1,5 +1,5 @@
-//! CLI entry point: `ripki-lint check [--root DIR] [--format text|json]`
-//! and `ripki-lint rules`.
+//! CLI entry point: `ripki-lint check [--root DIR] [--format text|json]`,
+//! `ripki-lint bench [--root DIR] [--out FILE]`, and `ripki-lint rules`.
 //!
 //! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
 
@@ -7,17 +7,21 @@ use ripki_lint::catalog::{ALL_RULES, CATALOG_VERSION};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "\
 ripki-lint — workspace invariant checker
 
 USAGE:
     ripki-lint check [--root DIR] [--format text|json]
+    ripki-lint bench [--root DIR] [--out FILE] [--iters N]
     ripki-lint rules
 
 OPTIONS:
     --root DIR       workspace root to scan (default: current directory)
     --format FORMAT  `text` (default) or `json`
+    --out FILE       bench JSON output (default: results/BENCH_lint.json)
+    --iters N        bench iterations; the best wall time is kept (default: 3)
 ";
 
 /// Write to stdout without panicking when the reader has gone away
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => run_check(&args[1..]),
+        Some("bench") => run_bench(&args[1..]),
         Some("rules") => {
             let mut text = format!("rule catalog v{CATALOG_VERSION}:\n");
             for rule in ALL_RULES {
@@ -104,4 +109,88 @@ fn run_check(args: &[String]) -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+/// Time the full two-phase workspace scan (lex + parse + link + all
+/// seven rules) and write the bench JSON `scripts/bench_gate.py` gates
+/// on. The scan repeats `--iters` times and keeps the best wall time:
+/// the gate bounds the *tool's* cost, not the host's page-cache state.
+fn run_bench(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut out = PathBuf::from("results/BENCH_lint.json");
+    let mut iters: u32 = 3;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("ripki-lint: --root needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(value);
+                i += 2;
+            }
+            "--out" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("ripki-lint: --out needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                out = PathBuf::from(value);
+                i += 2;
+            }
+            "--iters" => {
+                let Some(parsed) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("ripki-lint: --iters needs a positive integer\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                iters = parsed;
+                i += 2;
+            }
+            other => {
+                eprintln!("ripki-lint: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if iters == 0 {
+        eprintln!("ripki-lint: --iters needs a positive integer\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut best_ms = f64::INFINITY;
+    let mut files_scanned = 0usize;
+    let mut violations = 0usize;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let report = match ripki_lint::check_workspace(&root) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("ripki-lint: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(elapsed_ms);
+        files_scanned = report.files_scanned;
+        violations = report.violations.len();
+    }
+
+    let json = format!(
+        "{{\"bench\":\"lint_workspace\",\"catalog_version\":{CATALOG_VERSION},\
+         \"wall_ms\":{best_ms:.3},\"files_scanned\":{files_scanned},\
+         \"violations\":{violations},\"iters\":{iters}}}\n"
+    );
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("ripki-lint: cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    emit(&format!(
+        "lint_workspace: {files_scanned} file(s) in {best_ms:.1} ms \
+         (best of {iters}) -> {}\n",
+        out.display()
+    ));
+    ExitCode::SUCCESS
 }

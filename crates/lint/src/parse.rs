@@ -1,0 +1,1408 @@
+//! A recursive-descent item-tree parser over the [`crate::lex`] token
+//! stream.
+//!
+//! The offline build has no `syn`, so this is a purpose-built parser:
+//! it recovers exactly the structure the rule catalog needs — modules,
+//! functions (with their `impl`/`trait` owner and `#[cfg(test)]`
+//! masking), `use` declarations, lock-typed struct fields — and distils
+//! each function body into a flat stream of [`Op`]s (calls, method
+//! calls, macro uses, index expressions, atomic-ordering mentions,
+//! epoch field writes, block open/close markers). Everything the rules
+//! and the call graph ask is answered from this tree, so string
+//! literals, comments, and doc examples can never false-positive: they
+//! were never tokens to begin with, and test items are masked at item
+//! granularity rather than by brace-counting heuristics.
+//!
+//! The parser is deliberately tolerant: unknown constructs advance one
+//! token, unterminated groups end at EOF. A lint tool must degrade on
+//! weird-but-compiling code, not crash.
+
+use crate::lex::{Token, TokenKind};
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every function (and function-like initializer) with its body ops.
+    pub fns: Vec<FnDef>,
+    /// Flattened `use` declarations: binding name → full path.
+    pub uses: Vec<UseDecl>,
+    /// Struct fields typed `Mutex<…>` / `RwLock<…>` — the lock set R7
+    /// orders.
+    pub lock_fields: Vec<LockField>,
+}
+
+/// One `use` binding after tree flattening: `use a::b::{c as d};`
+/// yields `name: "d", path: ["a","b","c"]`; a glob import yields
+/// `name: "*"` with the module path.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// The name the import binds in this file (`*` for globs).
+    pub name: String,
+    /// Full path segments, including the final one.
+    pub path: Vec<String>,
+}
+
+/// A struct field holding a lock.
+#[derive(Debug, Clone)]
+pub struct LockField {
+    /// The struct that owns the field.
+    pub owner: String,
+    /// Field name.
+    pub field: String,
+    /// `Mutex` or `RwLock` — decides which acquisition methods count.
+    pub kind: LockKind,
+}
+
+/// Which lock primitive a field holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `std::sync::Mutex` — acquired by `.lock()`.
+    Mutex,
+    /// `std::sync::RwLock` — acquired by `.read()` / `.write()`.
+    RwLock,
+}
+
+/// One function definition (or const/static initializer, which gets a
+/// synthetic `FnDef` so top-level expressions are still checked).
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name (const/static items keep their item name).
+    pub name: String,
+    /// Inline-module chain within the file (`mod a { mod b { … } }` →
+    /// `["a","b"]`).
+    pub module: Vec<String>,
+    /// `impl Type { … }` / `trait Type { … }` owner, if any.
+    pub impl_type: Option<String>,
+    /// Under `#[cfg(test)]` / `#[test]` (directly or via an enclosing
+    /// module) — rules skip these.
+    pub is_test: bool,
+    /// 1-based position of the `fn` name token.
+    pub line: usize,
+    /// 1-based byte column of the `fn` name token.
+    pub column: usize,
+    /// The distilled body.
+    pub ops: Vec<Op>,
+}
+
+/// Receiver shape of a method call, as far as tokens reveal it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// `self.method()`.
+    SelfRecv,
+    /// `self.field.method()` (possibly deeper: the *last* field name).
+    Field(String),
+    /// `ident.method()` on a local/param.
+    Var(String),
+    /// Anything else (`expr().method()`, chains, literals).
+    Expr,
+}
+
+/// One body event, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `a::b::f(…)` — path segments as written (turbofish stripped).
+    Call {
+        /// Path segments.
+        path: Vec<String>,
+        /// Position of the final segment.
+        line: usize,
+        /// Byte column of the final segment.
+        column: usize,
+    },
+    /// `recv.name(…)`.
+    Method {
+        /// Method name.
+        name: String,
+        /// Receiver shape.
+        recv: Recv,
+        /// Position of the method name.
+        line: usize,
+        /// Byte column of the method name.
+        column: usize,
+    },
+    /// `name!(…)` — body tokens still scanned for nested ops.
+    MacroUse {
+        /// Macro name.
+        name: String,
+        /// For `assert*!`: did the argument list mention an epoch-ish
+        /// identifier? (R5's blessed-module contract.)
+        epoch_assert: bool,
+        /// Position of the macro name.
+        line: usize,
+        /// Byte column of the macro name.
+        column: usize,
+    },
+    /// `expr[…]` indexing.
+    Index {
+        /// Position of the `[`.
+        line: usize,
+        /// Byte column of the `[`.
+        column: usize,
+    },
+    /// `Ordering::Relaxed` and friends (never `cmp::Ordering`
+    /// variants — only the four atomic names are recorded).
+    OrderingUse {
+        /// `Relaxed` / `Acquire` / `Release` / `AcqRel`.
+        name: String,
+        /// Position of the variant name.
+        line: usize,
+        /// Byte column of the variant name.
+        column: usize,
+    },
+    /// An epoch-bearing field written: struct-literal init or
+    /// place-expression assignment.
+    FieldWrite {
+        /// The field (`epoch` / `from_epoch` / `to_epoch`).
+        name: String,
+        /// Position of the field name.
+        line: usize,
+        /// Byte column of the field name.
+        column: usize,
+    },
+    /// `{` — scopes lock guards for R7.
+    BlockOpen,
+    /// `}`.
+    BlockClose,
+}
+
+/// Keywords that cannot be call-path segments or index-expression
+/// bases.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "trait", "true", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// Epoch-bearing fields R5 guards.
+pub const EPOCH_FIELDS: &[&str] = &["epoch", "from_epoch", "to_epoch"];
+
+/// Parse one file's significant-token stream (comments already
+/// stripped) into its item tree.
+pub fn parse_file(sig: &[Token]) -> ParsedFile {
+    let mut parser = Parser {
+        toks: sig,
+        pos: 0,
+        out: ParsedFile::default(),
+    };
+    parser.items(&mut Vec::new(), None, false);
+    parser.out
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    out: ParsedFile,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + offset)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip a balanced group opened by the token at `self.pos` (which
+    /// must be `open`). Leaves the cursor after the matching close;
+    /// unterminated groups end at EOF.
+    fn skip_group(&mut self, open: char, close: char) {
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Skip a generics group `<…>` starting at the current `<`. `>`
+    /// that is part of `->` does not close (closure/Fn bounds inside
+    /// generics carry arrows).
+    fn skip_generics(&mut self) {
+        let mut depth = 0usize;
+        let mut prev_minus = false;
+        while let Some(t) = self.bump() {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !prev_minus {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+            prev_minus = t.is_punct('-');
+        }
+    }
+
+    /// Item loop for one brace scope (file, inline module, impl/trait
+    /// body).
+    fn items(&mut self, module: &mut Vec<String>, impl_type: Option<&str>, in_test: bool) {
+        loop {
+            // Per-item attribute run, tracking test gating.
+            let mut item_test = in_test;
+            loop {
+                let Some(t) = self.peek() else { return };
+                if t.is_punct('}') {
+                    self.bump();
+                    return;
+                }
+                if t.is_punct('#') {
+                    self.bump();
+                    // Inner attribute `#![…]` or outer `#[…]`.
+                    if self.peek().is_some_and(|t| t.is_punct('!')) {
+                        self.bump();
+                    }
+                    if self.peek().is_some_and(|t| t.is_punct('[')) {
+                        let start = self.pos;
+                        self.skip_group('[', ']');
+                        if attr_is_test(&self.toks[start..self.pos]) {
+                            item_test = true;
+                        }
+                    }
+                    continue;
+                }
+                break;
+            }
+            // Visibility / qualifier prefix.
+            while let Some(t) = self.peek() {
+                match t.text.as_str() {
+                    "pub" => {
+                        self.bump();
+                        if self.peek().is_some_and(|t| t.is_punct('(')) {
+                            self.skip_group('(', ')');
+                        }
+                    }
+                    "unsafe" | "async" | "default" => {
+                        self.bump();
+                    }
+                    "extern"
+                        if self
+                            .peek_at(1)
+                            .is_some_and(|t| t.kind == TokenKind::Literal) =>
+                    {
+                        // `extern "C" fn` qualifier or `extern "C" { … }`
+                        // block — consume the ABI string, decide below.
+                        self.bump();
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            let Some(t) = self.peek() else { return };
+            match t.text.as_str() {
+                "use" => {
+                    self.bump();
+                    self.parse_use();
+                }
+                "mod" => {
+                    self.bump();
+                    let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                    match self.peek() {
+                        Some(t) if t.is_punct('{') => {
+                            self.bump();
+                            module.push(name);
+                            self.items(module, impl_type, item_test);
+                            module.pop();
+                        }
+                        _ => {
+                            // `mod name;` — a file module, listed by the
+                            // workspace walk on its own.
+                            self.skip_to_semi();
+                        }
+                    }
+                }
+                "fn" => {
+                    self.bump();
+                    self.parse_fn(module, impl_type, item_test);
+                }
+                "impl" => {
+                    self.bump();
+                    let ty = self.parse_impl_header();
+                    if self.peek().is_some_and(|t| t.is_punct('{')) {
+                        self.bump();
+                        self.items(module, ty.as_deref(), item_test);
+                    }
+                }
+                "trait" => {
+                    self.bump();
+                    let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                    // Skip generics / bounds up to the body.
+                    while let Some(t) = self.peek() {
+                        if t.is_punct('{') {
+                            self.bump();
+                            self.items(module, Some(&name), item_test);
+                            break;
+                        }
+                        if t.is_punct(';') {
+                            self.bump();
+                            break;
+                        }
+                        if t.is_punct('<') {
+                            self.skip_generics();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                }
+                "struct" => {
+                    self.bump();
+                    self.parse_struct();
+                }
+                "enum" | "union" => {
+                    self.bump();
+                    self.skip_to_body_or_semi();
+                }
+                "const" | "static" => {
+                    // `const fn` was already handled by the qualifier
+                    // loop? No — `const` is consumed here; check for fn.
+                    self.bump();
+                    if self.peek().is_some_and(|t| t.is_ident("fn")) {
+                        self.bump();
+                        self.parse_fn(module, impl_type, item_test);
+                    } else if self.peek().is_some_and(|t| t.is_ident("mut")) {
+                        self.bump();
+                        self.parse_const(module, impl_type, item_test);
+                    } else {
+                        self.parse_const(module, impl_type, item_test);
+                    }
+                }
+                "type" => {
+                    self.bump();
+                    self.skip_to_semi();
+                }
+                "macro_rules" => {
+                    // `macro_rules! name { … }` — token soup, skip it
+                    // entirely so rule patterns never fire inside.
+                    self.bump();
+                    if self.peek().is_some_and(|t| t.is_punct('!')) {
+                        self.bump();
+                    }
+                    self.bump(); // the macro name
+                    if self.peek().is_some_and(|t| t.is_punct('{')) {
+                        self.skip_group('{', '}');
+                    } else {
+                        self.skip_to_semi();
+                    }
+                }
+                "extern" => {
+                    // `extern { … }` foreign block (ABI string already
+                    // eaten above when present): declarations only.
+                    self.bump();
+                    if self.peek().is_some_and(|t| t.kind == TokenKind::Literal) {
+                        self.bump();
+                    }
+                    if self.peek().is_some_and(|t| t.is_punct('{')) {
+                        self.skip_group('{', '}');
+                    }
+                }
+                _ => {
+                    // `extern "C" { … }` whose `extern`+ABI were eaten
+                    // by the qualifier loop lands here on `{`.
+                    if t.is_punct('{') {
+                        self.skip_group('{', '}');
+                    } else {
+                        self.bump();
+                    }
+                }
+            }
+        }
+    }
+
+    fn skip_to_semi(&mut self) {
+        while let Some(t) = self.bump() {
+            if t.is_punct(';') {
+                return;
+            }
+            if t.is_punct('{') {
+                // Shouldn't happen mid-`use`, but never run away.
+                self.pos -= 1;
+                self.skip_group('{', '}');
+            }
+        }
+    }
+
+    fn skip_to_body_or_semi(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') {
+                self.skip_group('{', '}');
+                return;
+            }
+            if t.is_punct(';') {
+                self.bump();
+                return;
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// `use a::b::{c, d as e, f::*};` → flattened [`UseDecl`]s.
+    fn parse_use(&mut self) {
+        let mut prefix: Vec<String> = Vec::new();
+        self.parse_use_tree(&mut prefix);
+        if self.peek().is_some_and(|t| t.is_punct(';')) {
+            self.bump();
+        }
+    }
+
+    fn parse_use_tree(&mut self, prefix: &mut Vec<String>) {
+        let depth_at_entry = prefix.len();
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct(';') || t.is_punct(',') || t.is_punct('}') {
+                // A path ending without `as` binds its last segment.
+                if prefix.len() > depth_at_entry || depth_at_entry > 0 {
+                    if let Some(last) = prefix.last().cloned() {
+                        let name = if last == "self" {
+                            prefix.pop();
+                            prefix.last().cloned().unwrap_or_default()
+                        } else {
+                            last
+                        };
+                        if !name.is_empty() {
+                            self.out.uses.push(UseDecl {
+                                name,
+                                path: prefix.clone(),
+                            });
+                        }
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+                return;
+            }
+            if t.kind == TokenKind::Ident && t.text == "as" {
+                self.bump();
+                let alias = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                self.out.uses.push(UseDecl {
+                    name: alias,
+                    path: prefix.clone(),
+                });
+                prefix.truncate(depth_at_entry);
+                // Consume nothing further; terminator handled above.
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                prefix.push(t.text.clone());
+                self.bump();
+                continue;
+            }
+            if t.is_punct(':') {
+                self.bump();
+                if self.peek().is_some_and(|t| t.is_punct(':')) {
+                    self.bump();
+                }
+                continue;
+            }
+            if t.is_punct('*') {
+                self.bump();
+                self.out.uses.push(UseDecl {
+                    name: "*".into(),
+                    path: prefix.clone(),
+                });
+                prefix.truncate(depth_at_entry);
+                continue;
+            }
+            if t.is_punct('{') {
+                self.bump();
+                loop {
+                    match self.peek() {
+                        Some(t) if t.is_punct('}') => {
+                            self.bump();
+                            break;
+                        }
+                        Some(t) if t.is_punct(',') => {
+                            self.bump();
+                        }
+                        Some(_) => self.parse_use_tree(prefix),
+                        None => break,
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+                // After a brace group the tree is complete up to the
+                // terminator.
+                continue;
+            }
+            // Anything else (stray punctuation): advance.
+            self.bump();
+        }
+    }
+
+    /// After `impl`: `impl<T> Trait for Type<T> { … }` → `Some("Type")`.
+    fn parse_impl_header(&mut self) -> Option<String> {
+        if self.peek().is_some_and(|t| t.is_punct('<')) {
+            self.skip_generics();
+        }
+        let mut last_ident: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+                continue;
+            }
+            if t.kind == TokenKind::Ident && t.text == "for" {
+                saw_for = true;
+                self.bump();
+                continue;
+            }
+            if t.kind == TokenKind::Ident && t.text == "where" {
+                // Bounds until the body; idents in here are not the type.
+                while let Some(t) = self.peek() {
+                    if t.is_punct('{') || t.is_punct(';') {
+                        break;
+                    }
+                    if t.is_punct('<') {
+                        self.skip_generics();
+                    } else {
+                        self.bump();
+                    }
+                }
+                continue;
+            }
+            if t.kind == TokenKind::Ident && !KEYWORDS.contains(&t.text.as_str()) {
+                if saw_for {
+                    after_for = Some(t.text.clone());
+                } else {
+                    last_ident = Some(t.text.clone());
+                }
+            }
+            self.bump();
+        }
+        after_for.or(last_ident)
+    }
+
+    /// After `struct`: record lock-typed fields, skip the rest.
+    fn parse_struct(&mut self) {
+        let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct('<') {
+                self.skip_generics();
+                continue;
+            }
+            if t.is_punct(';') {
+                self.bump();
+                return;
+            }
+            if t.is_punct('(') {
+                self.skip_group('(', ')');
+                continue;
+            }
+            if t.is_punct('{') {
+                let start = self.pos;
+                self.skip_group('{', '}');
+                self.scan_struct_fields(&name, start + 1, self.pos.saturating_sub(1));
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Scan a struct body token range for `field: Mutex<…>` /
+    /// `field: RwLock<…>` declarations (possibly behind `Arc<…>` — an
+    /// `Arc<Mutex<…>>` field is still a lock the struct owns).
+    fn scan_struct_fields(&mut self, owner: &str, start: usize, end: usize) {
+        let toks = &self.toks[start.min(end)..end];
+        let mut i = 0;
+        while i + 2 < toks.len() {
+            let is_field = toks[i].kind == TokenKind::Ident
+                && toks[i + 1].is_punct(':')
+                && !toks[i + 2].is_punct(':');
+            if is_field {
+                // Look ahead through the type tokens (to the next
+                // top-level comma) for a lock head.
+                let mut depth = 0usize;
+                let mut j = i + 2;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct('<') {
+                        depth += 1;
+                    } else if t.is_punct('>') {
+                        depth = depth.saturating_sub(1);
+                    } else if t.is_punct(',') && depth == 0 {
+                        break;
+                    } else if t.kind == TokenKind::Ident {
+                        let kind = match t.text.as_str() {
+                            "Mutex" => Some(LockKind::Mutex),
+                            "RwLock" => Some(LockKind::RwLock),
+                            _ => None,
+                        };
+                        if let Some(kind) = kind {
+                            self.out.lock_fields.push(LockField {
+                                owner: owner.to_string(),
+                                field: toks[i].text.clone(),
+                                kind,
+                            });
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// After `const`/`static` (and optional `mut`): synthesize a
+    /// [`FnDef`] from the initializer expression so `Ordering::` uses
+    /// and epoch writes in top-level items are still seen.
+    fn parse_const(&mut self, module: &[String], impl_type: Option<&str>, in_test: bool) {
+        let Some(name_tok) = self.bump() else { return };
+        let (name, line, column) = (name_tok.text.clone(), name_tok.line, name_tok.column);
+        // Type: from `:` to the `=` (or `;` for const declarations in
+        // traits), at bracket depth zero.
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if depth == 0 && t.is_punct('=') {
+                self.bump();
+                break;
+            }
+            if depth == 0 && t.is_punct(';') {
+                self.bump();
+                return;
+            }
+            match () {
+                () if t.is_punct('[') || t.is_punct('(') => depth += 1,
+                () if t.is_punct(']') || t.is_punct(')') => depth -= 1,
+                () if t.is_punct('<') => {
+                    self.skip_generics();
+                    continue;
+                }
+                () => {}
+            }
+            self.bump();
+        }
+        let start = self.pos;
+        // Initializer runs to the `;` at depth zero.
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if depth == 0 && t.is_punct(';') {
+                break;
+            }
+            match () {
+                () if t.is_punct('[') || t.is_punct('(') || t.is_punct('{') => depth += 1,
+                () if t.is_punct(']') || t.is_punct(')') || t.is_punct('}') => depth -= 1,
+                () => {}
+            }
+            self.bump();
+        }
+        let ops = extract_ops(&self.toks[start..self.pos]);
+        if self.peek().is_some_and(|t| t.is_punct(';')) {
+            self.bump();
+        }
+        self.out.fns.push(FnDef {
+            name,
+            module: module.to_vec(),
+            impl_type: impl_type.map(str::to_string),
+            is_test: in_test,
+            line,
+            column,
+            ops,
+        });
+    }
+
+    /// After `fn`: name, generics, params, return type, body.
+    fn parse_fn(&mut self, module: &[String], impl_type: Option<&str>, in_test: bool) {
+        let Some(name_tok) = self.bump() else { return };
+        let (name, line, column) = (name_tok.text.clone(), name_tok.line, name_tok.column);
+        if self.peek().is_some_and(|t| t.is_punct('<')) {
+            self.skip_generics();
+        }
+        if self.peek().is_some_and(|t| t.is_punct('(')) {
+            self.skip_group('(', ')');
+        }
+        // Return type / where clause: to the body `{` or a `;`
+        // (trait/extern declaration), skipping bracketed groups so
+        // `-> [u8; 4]` or `-> impl Fn() -> T` cannot derail.
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_punct(';') {
+                self.bump();
+                return; // declaration only — no body, no ops
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+            } else if t.is_punct('(') {
+                self.skip_group('(', ')');
+            } else if t.is_punct('[') {
+                self.skip_group('[', ']');
+            } else {
+                self.bump();
+            }
+        }
+        let start = self.pos;
+        self.skip_group('{', '}');
+        // Body ops exclude the outer braces (they would add a spurious
+        // block level).
+        let ops = extract_ops(&self.toks[start + 1..self.pos.saturating_sub(1)]);
+        self.out.fns.push(FnDef {
+            name,
+            module: module.to_vec(),
+            impl_type: impl_type.map(str::to_string),
+            is_test: in_test,
+            line,
+            column,
+            ops,
+        });
+    }
+}
+
+/// Does an attribute body (tokens from `[` to `]` inclusive) gate on
+/// tests? Matches `#[test]`, `#[cfg(test)]`, `#[cfg(any(test,…))]`,
+/// `#[tokio::test]`, ….
+fn attr_is_test(body: &[Token]) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if body[i].is_ident("test") {
+            return true;
+        }
+        if body[i].is_ident("cfg") {
+            if let Some(open) = body.get(i + 1) {
+                if open.is_punct('(') {
+                    return body[i + 1..].iter().any(|t| t.is_ident("test"));
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Distil a body token slice into [`Op`]s.
+pub fn extract_ops(toks: &[Token]) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokenKind::Punct if t.is_punct('{') => {
+                ops.push(Op::BlockOpen);
+                i += 1;
+            }
+            TokenKind::Punct if t.is_punct('}') => {
+                ops.push(Op::BlockClose);
+                i += 1;
+            }
+            TokenKind::Punct if t.is_punct('[') => {
+                // `expr[…]` indexing: the previous token ends an
+                // operand. Attribute bodies were consumed at item level;
+                // array literals/types follow `=`/`:`/operators and are
+                // excluded by the operand test.
+                let indexes = i > 0
+                    && match toks[i - 1].kind {
+                        TokenKind::Ident => !KEYWORDS.contains(&toks[i - 1].text.as_str()),
+                        TokenKind::Punct => toks[i - 1].is_punct(')') || toks[i - 1].is_punct(']'),
+                        _ => false,
+                    };
+                if indexes {
+                    ops.push(Op::Index {
+                        line: t.line,
+                        column: t.column,
+                    });
+                }
+                i += 1;
+            }
+            TokenKind::Punct if t.is_punct('|') && i > 0 && closure_opens_after(&toks[i - 1]) => {
+                // Closure parameter list: type annotations in here are
+                // declarations, not struct-literal writes. Skip to the
+                // closing `|` (no nesting inside a parameter list).
+                let mut j = i + 1;
+                while j < toks.len() && !toks[j].is_punct('|') {
+                    j += 1;
+                }
+                i = j + 1;
+            }
+            TokenKind::Ident if t.text == "fn" => {
+                // Nested fn / `extern { fn … ; }` declaration inside a
+                // body: skip the declaration head so the name is not
+                // mistaken for a call; its body (if any) continues as
+                // ops of the enclosing fn.
+                i += 1;
+                if i < toks.len() && toks[i].kind == TokenKind::Ident {
+                    i += 1;
+                }
+                i = skip_group_at(toks, i, '<', '>');
+                i = skip_group_at(toks, i, '(', ')');
+            }
+            TokenKind::Ident if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) => {
+                let epoch_assert = t.text.starts_with("assert") && {
+                    // Peek the macro group for an epoch-ish identifier.
+                    let open = i + 2;
+                    let close = match toks.get(open) {
+                        Some(o) if o.is_punct('(') => matching_at(toks, open, '(', ')'),
+                        Some(o) if o.is_punct('[') => matching_at(toks, open, '[', ']'),
+                        Some(o) if o.is_punct('{') => matching_at(toks, open, '{', '}'),
+                        _ => None,
+                    };
+                    close.is_some_and(|end| {
+                        toks[open..end]
+                            .iter()
+                            .any(|t| t.kind == TokenKind::Ident && t.text.contains("epoch"))
+                    })
+                };
+                ops.push(Op::MacroUse {
+                    name: t.text.clone(),
+                    epoch_assert,
+                    line: t.line,
+                    column: t.column,
+                });
+                // Continue scanning *inside* the macro body: calls in
+                // `assert!(f(x))` are real calls.
+                i += 2;
+            }
+            TokenKind::Ident
+                if toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                    && !(i > 0 && toks[i - 1].is_punct('.')) =>
+            {
+                // Path head `a::…` — walk the whole path. A
+                // `.name::<…>` turbofish method is NOT a path head; the
+                // arm below owns it.
+                let (op, next) = scan_path(toks, i);
+                if let Some(op) = op {
+                    ops.push(op);
+                }
+                i = next;
+            }
+            TokenKind::Ident if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) => {
+                // Bare call `f(…)` — unless it is a method call
+                // (`.f(…)`) or a definition keyword precedes.
+                let is_method = i > 0 && toks[i - 1].is_punct('.');
+                if is_method {
+                    ops.push(method_op(toks, i));
+                } else if !KEYWORDS.contains(&t.text.as_str())
+                    && !t.text.starts_with(char::is_uppercase)
+                {
+                    ops.push(Op::Call {
+                        path: vec![t.text.clone()],
+                        line: t.line,
+                        column: t.column,
+                    });
+                }
+                i += 1;
+            }
+            TokenKind::Ident
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && method_with_turbofish(toks, i).is_some() =>
+            {
+                // `.collect::<…>(…)` — method with a turbofish.
+                ops.push(method_op(toks, i));
+                i = method_with_turbofish(toks, i).unwrap_or(i + 1);
+            }
+            TokenKind::Ident if EPOCH_FIELDS.contains(&t.text.as_str()) => {
+                if let Some(op) = epoch_write_op(toks, i) {
+                    ops.push(op);
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    ops
+}
+
+/// For `.name::<…>(` at `i` (the name), return the index just past the
+/// turbofish (at the `(`), or `None` when this is not that shape.
+fn method_with_turbofish(toks: &[Token], i: usize) -> Option<usize> {
+    if !(toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct('<')))
+    {
+        return None;
+    }
+    let after = skip_group_at(toks, i + 3, '<', '>');
+    toks.get(after)
+        .is_some_and(|t| t.is_punct('('))
+        .then_some(after)
+}
+
+/// Build the [`Op::Method`] for the name token at `i` (preceded by
+/// `.`), reconstructing the receiver chain.
+fn method_op(toks: &[Token], i: usize) -> Op {
+    let t = &toks[i];
+    // Walk the receiver chain backwards: `self`/ident (`.` ident)* `.`.
+    let mut chain: Vec<String> = Vec::new();
+    let mut j = i - 1; // the `.`
+    let mut simple = true;
+    loop {
+        if j == 0 {
+            simple = false;
+            break;
+        }
+        let prev = &toks[j - 1];
+        if prev.kind == TokenKind::Ident && !KEYWORDS.contains(&prev.text.as_str())
+            || prev.is_ident("self")
+        {
+            chain.push(prev.text.clone());
+            if j >= 2 && toks[j - 2].is_punct('.') {
+                j -= 2;
+                continue;
+            }
+            break;
+        }
+        simple = false;
+        break;
+    }
+    chain.reverse();
+    let recv = if !simple || chain.is_empty() {
+        Recv::Expr
+    } else if chain.len() == 1 && chain[0] == "self" {
+        Recv::SelfRecv
+    } else if chain[0] == "self" {
+        Recv::Field(chain.last().cloned().unwrap_or_default())
+    } else if chain.len() == 1 {
+        Recv::Var(chain[0].clone())
+    } else {
+        // `a.b.method()` — treat the outermost field as the receiver
+        // name (the lock analysis matches field names).
+        Recv::Field(chain.last().cloned().unwrap_or_default())
+    };
+    Op::Method {
+        name: t.text.clone(),
+        recv,
+        line: t.line,
+        column: t.column,
+    }
+}
+
+/// Scan a `::`-path starting at the ident at `i`. Returns the op (a
+/// [`Op::Call`] when the path ends in `(`, an [`Op::OrderingUse`] for
+/// atomic orderings, otherwise `None`) and the index to resume at.
+fn scan_path(toks: &[Token], start: usize) -> (Option<Op>, usize) {
+    let mut segs: Vec<(usize, String)> = Vec::new();
+    let mut i = start;
+    loop {
+        match toks.get(i) {
+            Some(t) if t.kind == TokenKind::Ident => {
+                segs.push((i, t.text.clone()));
+                i += 1;
+            }
+            _ => break,
+        }
+        if toks.get(i).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            i += 2;
+            // Turbofish in the middle or at the end: `f::<T>(…)`.
+            if toks.get(i).is_some_and(|t| t.is_punct('<')) {
+                i = skip_group_at(toks, i, '<', '>');
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    let resume = i;
+    let Some((last_idx, last)) = segs.last().cloned() else {
+        return (None, start + 1);
+    };
+    // `Ordering::Relaxed` and friends: an ordering mention, never a
+    // call. Guard against `cmp::Ordering::Less` by the variant list.
+    if segs.len() >= 2
+        && matches!(last.as_str(), "Relaxed" | "Acquire" | "Release" | "AcqRel")
+        && segs[segs.len() - 2].1 == "Ordering"
+    {
+        let t = &toks[last_idx];
+        return (
+            Some(Op::OrderingUse {
+                name: last,
+                line: t.line,
+                column: t.column,
+            }),
+            resume,
+        );
+    }
+    // A call only when the path is immediately applied and the final
+    // segment is lowercase (uppercase-final paths are tuple-struct /
+    // enum-variant constructors, which cannot panic or block).
+    let applied = toks.get(resume).is_some_and(|t| t.is_punct('('));
+    if applied && !last.starts_with(char::is_uppercase) {
+        let t = &toks[last_idx];
+        return (
+            Some(Op::Call {
+                path: segs.into_iter().map(|(_, s)| s).collect(),
+                line: t.line,
+                column: t.column,
+            }),
+            resume,
+        );
+    }
+    (None, resume)
+}
+
+/// Is the epoch-field ident at `i` a write? Struct-literal init
+/// (`epoch: value`, not a path or type ascription context) or
+/// place-expression assignment (`x.epoch = …`, `+=`, `-=`).
+fn epoch_write_op(toks: &[Token], i: usize) -> Option<Op> {
+    let t = &toks[i];
+    let field_init = toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+        && !toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        && !(i > 0 && toks[i - 1].is_punct(':'));
+    let assigned = i > 0
+        && toks[i - 1].is_punct('.')
+        && match (toks.get(i + 1), toks.get(i + 2)) {
+            (Some(eq), Some(after)) if eq.is_punct('=') => {
+                !after.is_punct('=') && !after.is_punct('>')
+            }
+            (Some(op), Some(eq)) if eq.is_punct('=') => op.is_punct('+') || op.is_punct('-'),
+            _ => false,
+        };
+    (field_init || assigned).then(|| Op::FieldWrite {
+        name: t.text.clone(),
+        line: t.line,
+        column: t.column,
+    })
+}
+
+/// Can a `|` after this token open a closure parameter list?
+fn closure_opens_after(prev: &Token) -> bool {
+    match prev.kind {
+        TokenKind::Punct => matches!(
+            prev.text.as_str(),
+            "(" | "," | "{" | "=" | ";" | ":" | ">" | "&"
+        ),
+        TokenKind::Ident => matches!(prev.text.as_str(), "move" | "return" | "else"),
+        _ => false,
+    }
+}
+
+/// Index just past the group opened at `open_idx` (which must hold
+/// `open`; returns `open_idx` unchanged otherwise). `<…>` groups treat
+/// `->`'s `>` as non-closing.
+fn skip_group_at(toks: &[Token], open_idx: usize, open: char, close: char) -> usize {
+    if !toks.get(open_idx).is_some_and(|t| t.is_punct(open)) {
+        return open_idx;
+    }
+    let mut depth = 0usize;
+    let mut prev_minus = false;
+    let mut i = open_idx;
+    while let Some(t) = toks.get(i) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) && !(open == '<' && prev_minus) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        prev_minus = t.is_punct('-');
+        i += 1;
+    }
+    i
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+fn matching_at(toks: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::tokenize;
+
+    fn parse(src: &str) -> ParsedFile {
+        let sig: Vec<Token> = tokenize(src)
+            .into_iter()
+            .filter(|t| !t.is_comment())
+            .collect();
+        parse_file(&sig)
+    }
+
+    #[test]
+    fn fn_items_with_modules_and_impls() {
+        let file = parse(
+            "fn top() {}\n\
+             mod inner { pub fn nested() {} }\n\
+             impl Reactor { fn run(&mut self) { self.turn(); } }\n\
+             impl Wake for SocketWaker { fn wake(&self) {} }\n",
+        );
+        let names: Vec<(String, Vec<String>, Option<String>)> = file
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.module.clone(), f.impl_type.clone()))
+            .collect();
+        assert_eq!(names[0], ("top".into(), vec![], None));
+        assert_eq!(names[1], ("nested".into(), vec!["inner".into()], None));
+        assert_eq!(names[2], ("run".into(), vec![], Some("Reactor".into())));
+        assert_eq!(
+            names[3],
+            ("wake".into(), vec![], Some("SocketWaker".into()))
+        );
+        assert!(matches!(
+            file.fns[2].ops.as_slice(),
+            [Op::Method { name, recv: Recv::SelfRecv, .. }] if name == "turn"
+        ));
+    }
+
+    #[test]
+    fn test_items_are_masked_exactly() {
+        let file = parse(
+            "#[cfg(test)]\nmod tests { fn helper() {} #[test] fn case() {} }\n\
+             #[test]\nfn standalone() {}\nfn shipping() {}\n",
+        );
+        let by_name = |n: &str| file.fns.iter().find(|f| f.name == n).expect(n);
+        assert!(by_name("helper").is_test);
+        assert!(by_name("case").is_test);
+        assert!(by_name("standalone").is_test);
+        assert!(!by_name("shipping").is_test);
+    }
+
+    #[test]
+    fn use_trees_flatten_with_aliases_and_globs() {
+        let file = parse(
+            "use std::sync::{Arc, Mutex as Mx};\nuse crate::engine::*;\nuse ripki_payload::json;\n",
+        );
+        let find = |n: &str| {
+            file.uses
+                .iter()
+                .find(|u| u.name == n)
+                .map(|u| u.path.join("::"))
+        };
+        assert_eq!(find("Arc"), Some("std::sync::Arc".into()));
+        assert_eq!(find("Mx"), Some("std::sync::Mutex".into()));
+        assert_eq!(find("*"), Some("crate::engine".into()));
+        assert_eq!(find("json"), Some("ripki_payload::json".into()));
+    }
+
+    #[test]
+    fn body_ops_cover_calls_methods_macros_and_indexing() {
+        let file = parse(
+            "fn f(b: &[u8]) -> u8 {\n    helper(b);\n    ripki_payload::json::encode(b);\n    \
+             b.first().copied().unwrap_or(0);\n    panic!(\"boom\");\n    b[0]\n}\n",
+        );
+        let ops = &file.fns[0].ops;
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::Call { path, .. } if path == &vec!["helper".to_string()])));
+        assert!(ops.iter().any(
+            |o| matches!(o, Op::Call { path, .. } if path.join("::") == "ripki_payload::json::encode")
+        ));
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::Method { name, .. } if name == "unwrap_or")));
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::MacroUse { name, .. } if name == "panic")));
+        assert!(ops.iter().any(|o| matches!(o, Op::Index { .. })));
+    }
+
+    #[test]
+    fn params_and_types_produce_no_index_ops() {
+        let file = parse("fn f(buf: [u8; 4]) -> [u8; 2] { let _x: [u8; 1] = [0; 1]; [0, 0] }");
+        assert!(
+            !file.fns[0]
+                .ops
+                .iter()
+                .any(|o| matches!(o, Op::Index { .. })),
+            "{:?}",
+            file.fns[0].ops
+        );
+    }
+
+    #[test]
+    fn variant_constructors_are_not_calls() {
+        let file = parse("fn f() -> Option<u8> { Some(1).or(None); Ok::<u8, ()>(2).ok() }");
+        assert!(
+            !file.fns[0].ops.iter().any(|o| matches!(o, Op::Call { .. })),
+            "{:?}",
+            file.fns[0].ops
+        );
+    }
+
+    #[test]
+    fn receiver_chains_resolve_to_shapes() {
+        let file = parse(
+            "impl R { fn f(&self, q: Q) { self.step(); self.queue.lock(); q.lock(); a().b(); } }",
+        );
+        let methods: Vec<(String, Recv)> = file.fns[0]
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Method { name, recv, .. } => Some((name.clone(), recv.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(methods[0], ("step".into(), Recv::SelfRecv));
+        assert_eq!(methods[1], ("lock".into(), Recv::Field("queue".into())));
+        assert_eq!(methods[2], ("lock".into(), Recv::Var("q".into())));
+        assert_eq!(methods[3], ("b".into(), Recv::Expr));
+    }
+
+    #[test]
+    fn lock_fields_are_recorded() {
+        let file = parse(
+            "pub struct Q { queue: Mutex<VecDeque<u8>>, view: RwLock<Arc<V>>, n: usize }\n\
+             struct W { shared: Arc<Mutex<Vec<u8>>> }\n",
+        );
+        let locks: Vec<(String, String, LockKind)> = file
+            .lock_fields
+            .iter()
+            .map(|l| (l.owner.clone(), l.field.clone(), l.kind))
+            .collect();
+        assert_eq!(
+            locks,
+            vec![
+                ("Q".into(), "queue".into(), LockKind::Mutex),
+                ("Q".into(), "view".into(), LockKind::RwLock),
+                ("W".into(), "shared".into(), LockKind::Mutex),
+            ]
+        );
+    }
+
+    #[test]
+    fn ordering_uses_and_epoch_writes() {
+        let file = parse(
+            "fn f(c: &AtomicU64, r: &mut R) {\n    c.load(Ordering::Relaxed);\n    \
+             let _ = std::cmp::Ordering::Less;\n    r.epoch = 9;\n    \
+             let d = Delta { from_epoch: 1, to_epoch: 2 };\n}\n",
+        );
+        let ops = &file.fns[0].ops;
+        let orderings: Vec<&str> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::OrderingUse { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(orderings, vec!["Relaxed"]);
+        let writes: Vec<&str> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::FieldWrite { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes, vec!["epoch", "from_epoch", "to_epoch"]);
+    }
+
+    #[test]
+    fn closure_params_and_struct_decls_are_not_writes() {
+        let file = parse(
+            "pub struct Delta { pub from_epoch: u64, pub to_epoch: u64 }\n\
+             fn f() { let g = |epoch: u64, n: usize| epoch + n as u64; g(1, 2); }\n\
+             fn stamp(epoch: u64) -> u64 { epoch }\n",
+        );
+        for f in &file.fns {
+            assert!(
+                !f.ops.iter().any(|o| matches!(o, Op::FieldWrite { .. })),
+                "{}: {:?}",
+                f.name,
+                f.ops
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_asserts_are_detected() {
+        let file = parse(
+            "fn publish(old: u64, new_epoch: u64) { assert!(new_epoch > old, \"forward\"); }\n\
+             fn plain() { assert!(true); }\n",
+        );
+        assert!(matches!(
+            file.fns[0].ops.first(),
+            Some(Op::MacroUse {
+                epoch_assert: true,
+                ..
+            })
+        ));
+        assert!(matches!(
+            file.fns[1].ops.first(),
+            Some(Op::MacroUse {
+                epoch_assert: false,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn const_initializers_get_synthetic_fns() {
+        let file = parse("const SHED: u64 = make_shed(503);\nstatic mut N: usize = 0;\n");
+        assert_eq!(file.fns.len(), 2);
+        assert_eq!(file.fns[0].name, "SHED");
+        assert!(file.fns[0]
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::Call { path, .. } if path == &vec!["make_shed".to_string()])));
+    }
+
+    #[test]
+    fn extern_blocks_and_macro_rules_are_skipped() {
+        let file = parse(
+            "extern \"C\" { fn poll(fds: *mut PollFd, n: u64, t: i32) -> i32; }\n\
+             macro_rules! boom { () => { panic!(\"in macro def\") }; }\n\
+             fn f() { }\n",
+        );
+        assert_eq!(file.fns.len(), 1);
+        assert_eq!(file.fns[0].name, "f");
+        assert!(file.fns[0].ops.is_empty());
+    }
+
+    #[test]
+    fn nested_extern_fn_decl_inside_body_is_not_a_call() {
+        let file = parse(
+            "fn outer() {\n    extern \"C\" { fn setsockopt(fd: i32) -> i32; }\n    \
+             let rc = unsafe { setsockopt(1) };\n}\n",
+        );
+        let calls: Vec<String> = file.fns[0]
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Call { path, .. } => Some(path.join("::")),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(calls, vec!["setsockopt"]);
+    }
+
+    #[test]
+    fn turbofish_calls_and_methods() {
+        let file = parse("fn f(v: Vec<u8>) { v.iter().collect::<Vec<_>>(); parse::<u64>(\"4\"); }");
+        let ops = &file.fns[0].ops;
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::Method { name, .. } if name == "collect")));
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::Call { path, .. } if path == &vec!["parse".to_string()])));
+    }
+}

@@ -1,32 +1,30 @@
-//! The R1–R5 checks, evaluated over one file's token stream.
+//! The R1–R7 checks, evaluated over the parsed item tree and the
+//! workspace call graph.
 //!
-//! Shared machinery first: test-region masking (rules exempt
-//! `#[cfg(test)]` / `#[test]` items), the `// lint: allow(<rule>)`
-//! escape hatch, and the comment-adjacency query R3 uses. Each check is
-//! then a linear scan over the significant (non-comment) tokens.
+//! The per-file rules (direct R1, R2–R5) walk each function's [`Op`]
+//! stream — string literals, comments, and doc examples were never
+//! tokens, and `#[cfg(test)]` items are masked at item granularity by
+//! the parser, so the classic heuristic false positives are impossible
+//! by construction. The graph rules (transitive R1, R6, R7) run over
+//! the assembled [`Workspace`]: BFS reachability from the rule's roots,
+//! with diagnostics that print the call chain.
+//!
+//! The `// lint: allow(<rule>) <justification>` escape hatch is
+//! unchanged: same line or the contiguous comment block directly above,
+//! justification required, unused entries are themselves violations.
 
-use crate::catalog::{is_blessed_epoch_module, Rule};
-use crate::lex::{tokenize, Token, TokenKind};
+use crate::catalog::{
+    is_blessed_epoch_module, Rule, BLOCKING_METHODS, BLOCKING_PATHS, REACTOR_BLESSED, REACTOR_ROOTS,
+};
+use crate::graph::{FnId, FnNode, LockOrder, Workspace};
+use crate::lex::{tokenize, Token};
+use crate::parse::{parse_file, Op};
 use crate::report::{AllowEntry, Violation};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
 
-/// Identifiers that can precede `[` without making it an index
-/// expression (`&mut [T]`, `for x in [..]`, `return [..]`, …).
-const NON_INDEX_KEYWORDS: &[&str] = &[
-    "as", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "fn",
-    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
-    "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while", "yield",
-];
-
-/// Tokens plus derived file-level facts the checks query.
+/// Per-file facts the checks and the allow machinery query.
 struct FileView {
-    /// Significant (non-comment) tokens in order.
-    sig: Vec<Token>,
-    /// Byte-true flag per significant token: inside a test item.
-    in_test: Vec<bool>,
-    /// For R5: inside a struct/enum/union/trait body or fn parameter
-    /// list, where `name: Type` is declaration syntax, not a field write.
-    in_decl: Vec<bool>,
     /// Lines that contain at least one comment token.
     comment_lines: BTreeSet<usize>,
     /// Lines that contain at least one significant token.
@@ -44,7 +42,8 @@ struct ParsedAllow {
     used: std::cell::Cell<bool>,
 }
 
-/// Result of checking one file.
+/// Result of checking one file (compat surface for unit tests; the
+/// workspace walk uses [`CheckSet`] directly).
 pub struct FileReport {
     /// Rule violations (allow-suppressed candidates excluded).
     pub violations: Vec<Violation>,
@@ -52,79 +51,19 @@ pub struct FileReport {
     pub allows: Vec<AllowEntry>,
 }
 
-/// Run every applicable rule over `source` as `path` (workspace-relative,
-/// `/`-separated).
-pub fn check_file(path: &str, source: &str) -> FileReport {
-    let view = FileView::build(source);
-    let mut violations = Vec::new();
-
-    for rule in crate::catalog::ALL_RULES {
-        if rule.applies_to(path) {
-            match rule {
-                Rule::NoPanic => check_no_panic(&view, path, &mut violations),
-                Rule::WallClock => check_wall_clock(&view, path, &mut violations),
-                Rule::AtomicOrder => check_atomic_order(&view, path, &mut violations),
-                Rule::PrintOutput => check_print_output(&view, path, &mut violations),
-                Rule::EpochWrite => check_epoch_write(&view, path, &mut violations),
-            }
-        }
-    }
-    if is_blessed_epoch_module(path) {
-        check_blessed_epoch_asserts(&view, path, &mut violations);
-    }
-
-    // Allow-list hygiene: unknown rule ids, missing justifications, and
-    // entries that suppress nothing are themselves violations — the
-    // escape hatch must stay audited.
-    for (line, id) in &view.bad_allows {
-        violations.push(Violation {
-            rule: "allow-syntax".into(),
-            path: path.into(),
-            line: *line,
-            column: 1,
-            message: format!("allow comment names unknown rule `{id}`"),
-        });
-    }
-    let mut allows = Vec::new();
-    for allow in &view.allows {
-        if allow.justification.is_empty() {
-            violations.push(Violation {
-                rule: allow.rule.id().into(),
-                path: path.into(),
-                line: allow.line,
-                column: 1,
-                message: format!(
-                    "allow({}) entry has no written justification",
-                    allow.rule.id()
-                ),
-            });
-        } else if !allow.used.get() {
-            violations.push(Violation {
-                rule: allow.rule.id().into(),
-                path: path.into(),
-                line: allow.line,
-                column: 1,
-                message: format!(
-                    "allow({}) entry suppresses nothing — remove the stale escape hatch",
-                    allow.rule.id()
-                ),
-            });
-        }
-        allows.push(AllowEntry {
-            rule: allow.rule.id().into(),
-            path: path.into(),
-            line: allow.line,
-            justification: allow.justification.clone(),
-            used: allow.used.get(),
-        });
-    }
-
-    violations.sort_by_key(|a| (a.line, a.column));
-    FileReport { violations, allows }
+/// The whole-workspace analysis: parsed files feeding one call graph.
+#[derive(Default)]
+pub struct CheckSet {
+    views: Vec<(String, FileView)>,
+    view_by_path: HashMap<PathBuf, usize>,
+    ws: Workspace,
+    crate_names: BTreeSet<String>,
 }
 
-impl FileView {
-    fn build(source: &str) -> FileView {
+impl CheckSet {
+    /// Add one source file. `path` is workspace-relative and
+    /// `/`-separated (see [`crate::catalog::canonical`]).
+    pub fn add_file(&mut self, path: &str, source: &str) {
         let tokens = tokenize(source);
         let mut comment_lines = BTreeSet::new();
         let mut code_lines = BTreeSet::new();
@@ -140,19 +79,662 @@ impl FileView {
                 sig.push(token);
             }
         }
-        let in_test = mask_test_items(&sig);
-        let in_decl = mask_decl_positions(&sig);
-        FileView {
-            sig,
-            in_test,
-            in_decl,
-            comment_lines,
-            code_lines,
-            allows,
-            bad_allows,
+        let parsed = parse_file(&sig);
+        let krate = crate_of(path);
+        self.crate_names.insert(krate.clone());
+        self.ws.add_file(Path::new(path), &krate, parsed);
+        self.view_by_path
+            .insert(PathBuf::from(path), self.views.len());
+        self.views.push((
+            path.to_string(),
+            FileView {
+                comment_lines,
+                code_lines,
+                allows,
+                bad_allows,
+            },
+        ));
+    }
+
+    /// Run every rule and the allow audit. Violations are unsorted;
+    /// the caller orders them.
+    pub fn run(mut self) -> (Vec<Violation>, Vec<AllowEntry>) {
+        self.ws.link(&self.crate_names);
+        let mut out = Vec::new();
+        self.check_file_rules(&mut out);
+        self.check_transitive_panics(&mut out);
+        self.check_reactor_blocking(&mut out);
+        self.check_lock_order(&mut out);
+        let allows = self.finish_allows(&mut out);
+        (out, allows)
+    }
+
+    fn view_of(&self, path: &Path) -> Option<&FileView> {
+        self.view_by_path.get(path).map(|&i| &self.views[i].1)
+    }
+
+    /// Emit unless an adjacent allow entry for `rule` suppresses it.
+    fn emit(
+        &self,
+        rule: Rule,
+        path: &Path,
+        line: usize,
+        column: usize,
+        message: String,
+        out: &mut Vec<Violation>,
+    ) {
+        if let Some(view) = self.view_of(path) {
+            if view.consume_allow(rule, line) {
+                return;
+            }
+        }
+        out.push(Violation {
+            rule: rule.id().into(),
+            path: path.to_string_lossy().into_owned(),
+            line,
+            column,
+            message,
+        });
+    }
+
+    // -------------------------------------------------- per-file rules
+
+    fn check_file_rules(&self, out: &mut Vec<Violation>) {
+        for id in 0..self.ws.fns.len() {
+            let node = &self.ws.fns[id];
+            if node.def.is_test {
+                continue;
+            }
+            let path_str = node.path.to_string_lossy().into_owned();
+            let view = self.view_of(&node.path);
+            let r1 = Rule::NoPanic.applies_to(&path_str);
+            let r2 = Rule::WallClock.applies_to(&path_str);
+            let r4 = Rule::PrintOutput.applies_to(&path_str);
+            let r5 = Rule::EpochWrite.applies_to(&path_str);
+            for op in &node.def.ops {
+                match op {
+                    Op::Method {
+                        name, line, column, ..
+                    } if r1 && matches!(name.as_str(), "unwrap" | "expect") => {
+                        self.emit(
+                            Rule::NoPanic,
+                            &node.path,
+                            *line,
+                            *column,
+                            format!(
+                                "`.{name}()` on the panic-free path — return a typed error instead"
+                            ),
+                            out,
+                        );
+                    }
+                    Op::MacroUse {
+                        name, line, column, ..
+                    } if r1 && is_panic_macro(name) => {
+                        self.emit(
+                            Rule::NoPanic,
+                            &node.path,
+                            *line,
+                            *column,
+                            format!("`{name}!` on the panic-free path"),
+                            out,
+                        );
+                    }
+                    Op::Index { line, column } if r1 => {
+                        self.emit(
+                            Rule::NoPanic,
+                            &node.path,
+                            *line,
+                            *column,
+                            "`[…]` indexing can panic — use `.get(…)`/`split_at_checked` or \
+                             justify"
+                                .to_string(),
+                            out,
+                        );
+                    }
+                    Op::Call { path, line, column } if r2 => {
+                        if let Some(clock) = wall_clock_type(path) {
+                            // A real-time serving plane measures
+                            // deadlines: the monotonic clock is part of
+                            // its job. The wall clock stays confined.
+                            let serve_instant =
+                                clock == "Instant" && path_str.starts_with("crates/serve/");
+                            if !serve_instant {
+                                self.emit(
+                                    Rule::WallClock,
+                                    &node.path,
+                                    *line,
+                                    *column,
+                                    format!(
+                                        "`{clock}::now()` outside ripki_rpki::time — take the \
+                                         clock as a parameter"
+                                    ),
+                                    out,
+                                );
+                            }
+                        }
+                    }
+                    Op::OrderingUse { name, line, column } => {
+                        let justified = view.is_some_and(|v| v.has_adjacent_comment(*line));
+                        if !justified {
+                            self.emit(
+                                Rule::AtomicOrder,
+                                &node.path,
+                                *line,
+                                *column,
+                                format!(
+                                    "`Ordering::{name}` without a same-line or preceding \
+                                     justification comment"
+                                ),
+                                out,
+                            );
+                        }
+                    }
+                    Op::MacroUse {
+                        name, line, column, ..
+                    } if r4
+                        && matches!(
+                            name.as_str(),
+                            "println" | "eprintln" | "print" | "eprint" | "dbg"
+                        ) =>
+                    {
+                        self.emit(
+                            Rule::PrintOutput,
+                            &node.path,
+                            *line,
+                            *column,
+                            format!("`{name}!` in a library crate — report through return values"),
+                            out,
+                        );
+                    }
+                    Op::FieldWrite { name, line, column } if r5 => {
+                        self.emit(
+                            Rule::EpochWrite,
+                            &node.path,
+                            *line,
+                            *column,
+                            format!(
+                                "`{name}` written outside the blessed engine module — epochs \
+                                 must move through the asserting constructors"
+                            ),
+                            out,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // The blessed modules' side of the R5 bargain: their non-test
+        // code must actually carry an epoch assertion.
+        for (path_str, _) in &self.views {
+            if !is_blessed_epoch_module(path_str) {
+                continue;
+            }
+            let upheld = self.ws.fns.iter().any(|n| {
+                n.path.to_string_lossy() == *path_str
+                    && !n.def.is_test
+                    && n.def.ops.iter().any(|op| {
+                        matches!(
+                            op,
+                            Op::MacroUse { name, epoch_assert: true, .. }
+                                if name.starts_with("assert")
+                        )
+                    })
+            });
+            if !upheld {
+                out.push(Violation {
+                    rule: Rule::EpochWrite.id().into(),
+                    path: path_str.clone(),
+                    line: 1,
+                    column: 1,
+                    message: "blessed epoch module carries no epoch monotonicity assertion".into(),
+                });
+            }
         }
     }
 
+    // ------------------------------------------------ R1 (transitive)
+
+    /// A panic in *any* workspace function reachable from the
+    /// panic-free scope is flagged at the panic site and at the
+    /// in-scope call that first leaves the scope toward it. Indexing is
+    /// deliberately direct-scope-only: the hot path must not index, but
+    /// a bounds-checked slice walk deep in the engine is that crate's
+    /// own business.
+    fn check_transitive_panics(&self, out: &mut Vec<Violation>) {
+        let in_scope = |node: &FnNode| Rule::NoPanic.applies_to(&node.path.to_string_lossy());
+        let roots: Vec<FnId> = (0..self.ws.fns.len())
+            .filter(|&id| in_scope(&self.ws.fns[id]) && !self.ws.fns[id].def.is_test)
+            .collect();
+        if roots.is_empty() {
+            return;
+        }
+        let pred = self.ws.reach(&roots);
+        let mut reached: Vec<FnId> = pred.keys().copied().collect();
+        reached.sort_unstable();
+        for id in reached {
+            let node = &self.ws.fns[id];
+            if in_scope(node) {
+                continue; // direct pass owns in-scope sites
+            }
+            let sites: Vec<(&str, usize, usize)> = node
+                .def
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Method {
+                        name, line, column, ..
+                    } if matches!(name.as_str(), "unwrap" | "expect") => {
+                        Some((name.as_str(), *line, *column))
+                    }
+                    Op::MacroUse {
+                        name, line, column, ..
+                    } if is_panic_macro(name) => Some((name.as_str(), *line, *column)),
+                    _ => None,
+                })
+                .collect();
+            if sites.is_empty() {
+                continue;
+            }
+            let chain = self.ws.chain_text(&pred, id);
+            for (what, line, column) in &sites {
+                self.emit(
+                    Rule::NoPanic,
+                    &node.path,
+                    *line,
+                    *column,
+                    format!(
+                        "`{what}` can panic and is reachable from the panic-free path: {chain}"
+                    ),
+                    out,
+                );
+            }
+            // The in-scope call site: the last in-scope fn on the
+            // chain, at the op that resolves to the next hop.
+            if let Some((caller, callee)) = self.scope_exit_edge(&pred, id, &in_scope) {
+                let caller_node = &self.ws.fns[caller];
+                if let Some((line, column)) = self.op_position_of_edge(caller, callee) {
+                    self.emit(
+                        Rule::NoPanic,
+                        &caller_node.path,
+                        line,
+                        column,
+                        format!(
+                            "call into `{}` reaches a panic site at {}:{} ({})",
+                            self.ws.fn_label(callee),
+                            node.path.to_string_lossy(),
+                            sites[0].1,
+                            chain
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Walk the predecessor chain of `id` back to its root and return
+    /// the edge where the chain last leaves the rule scope.
+    fn scope_exit_edge(
+        &self,
+        pred: &HashMap<FnId, FnId>,
+        id: FnId,
+        in_scope: &dyn Fn(&FnNode) -> bool,
+    ) -> Option<(FnId, FnId)> {
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(&p) = pred.get(&cur) {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse(); // root … id
+        for w in chain.windows(2).rev() {
+            if in_scope(&self.ws.fns[w[0]]) && !in_scope(&self.ws.fns[w[1]]) {
+                return Some((w[0], w[1]));
+            }
+        }
+        None
+    }
+
+    /// Source position of the op in `caller` that resolves to `callee`.
+    fn op_position_of_edge(&self, caller: FnId, callee: FnId) -> Option<(usize, usize)> {
+        for op in &self.ws.fns[caller].def.ops {
+            if self.ws.resolve_op(caller, op, &self.crate_names) == Some(callee) {
+                match op {
+                    Op::Call { line, column, .. } | Op::Method { line, column, .. } => {
+                        return Some((*line, *column));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------- R6
+
+    /// Nothing blocking reachable from a reactor turn. Roots and
+    /// blessed sites come from the catalog; traversal stops at blessed
+    /// fns (their bodies are the sanctioned poll/idle-sweep sites).
+    fn check_reactor_blocking(&self, out: &mut Vec<Violation>) {
+        let roots: Vec<FnId> = REACTOR_ROOTS
+            .iter()
+            .filter_map(|(suffix, ty, name)| self.ws.find_fn(suffix, *ty, name))
+            .collect();
+        if roots.is_empty() {
+            return;
+        }
+        let blessed: BTreeSet<FnId> = REACTOR_BLESSED
+            .iter()
+            .filter_map(|(suffix, ty, name)| self.ws.find_fn(suffix, *ty, name))
+            .collect();
+        let pred = self.ws.reach_excluding(&roots, &blessed);
+        let locks = self.ws.transitive_locks();
+        let mut reached: Vec<FnId> = pred.keys().copied().collect();
+        reached.sort_unstable();
+        for id in reached {
+            let node = &self.ws.fns[id];
+            let chain = self.ws.chain_text(&pred, id);
+            let mut held: Vec<(String, usize)> = Vec::new();
+            let mut depth = 0usize;
+            for op in &node.def.ops {
+                match op {
+                    Op::BlockOpen => depth += 1,
+                    Op::BlockClose => {
+                        depth = depth.saturating_sub(1);
+                        held.retain(|(_, d)| *d <= depth);
+                    }
+                    Op::Method {
+                        name,
+                        recv,
+                        line,
+                        column,
+                    } => {
+                        if BLOCKING_METHODS.contains(&name.as_str()) {
+                            self.emit(
+                                Rule::NoBlocking,
+                                &node.path,
+                                *line,
+                                *column,
+                                format!(
+                                    "blocking `.{name}()` reachable from the reactor: {chain} \
+                                     — one blocked turn stalls every connection"
+                                ),
+                                out,
+                            );
+                        }
+                        if let Some(lock) = self.ws.lock_acquired(node, name, recv) {
+                            held.push((lock, depth));
+                        } else if let Some(callee) = self.ws.resolve_op(id, op, &self.crate_names) {
+                            self.flag_handoff_under_lock(
+                                node, &held, callee, &locks, *line, *column, &chain, out,
+                            );
+                        }
+                    }
+                    Op::Call { line, column, path } => {
+                        if path
+                            .last()
+                            .is_some_and(|l| BLOCKING_PATHS.contains(&l.as_str()))
+                        {
+                            self.emit(
+                                Rule::NoBlocking,
+                                &node.path,
+                                *line,
+                                *column,
+                                format!(
+                                    "blocking `{}` reachable from the reactor: {chain} — one \
+                                     blocked turn stalls every connection",
+                                    path.join("::")
+                                ),
+                                out,
+                            );
+                        } else if let Some(callee) = self.ws.resolve_op(id, op, &self.crate_names) {
+                            self.flag_handoff_under_lock(
+                                node, &held, callee, &locks, *line, *column, &chain, out,
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// On the reactor path, a lock held across a call into a function
+    /// that itself takes locks is a hand-off under lock: the reactor
+    /// thread's critical section now includes someone else's.
+    #[allow(clippy::too_many_arguments)]
+    fn flag_handoff_under_lock(
+        &self,
+        node: &FnNode,
+        held: &[(String, usize)],
+        callee: FnId,
+        locks: &[BTreeSet<String>],
+        line: usize,
+        column: usize,
+        chain: &str,
+        out: &mut Vec<Violation>,
+    ) {
+        if held.is_empty() || locks[callee].is_empty() {
+            return;
+        }
+        let held_names: Vec<&str> = held.iter().map(|(l, _)| l.as_str()).collect();
+        self.emit(
+            Rule::NoBlocking,
+            &node.path,
+            line,
+            column,
+            format!(
+                "`{}` held across call into `{}` (which takes `{}`) on the reactor path: {chain}",
+                held_names.join("`, `"),
+                self.ws.fn_label(callee),
+                locks[callee]
+                    .iter()
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .join("`, `"),
+            ),
+            out,
+        );
+    }
+
+    // ------------------------------------------------------------- R7
+
+    /// One global acquisition order over the serve/par/proxy lock set.
+    /// Guard lifetime is approximated as held-to-end-of-enclosing-block;
+    /// calls made under a lock order that lock against everything the
+    /// callee transitively acquires.
+    fn check_lock_order(&self, out: &mut Vec<Violation>) {
+        let in_scope = |lock: &str| {
+            let owner = lock.split('.').next().unwrap_or(lock);
+            self.ws
+                .lock_owner_paths
+                .get(owner)
+                .is_some_and(|p| Rule::LockOrder.applies_to(&p.to_string_lossy()))
+        };
+        let locks = self.ws.transitive_locks();
+        let mut order = LockOrder::default();
+        for id in 0..self.ws.fns.len() {
+            let node = &self.ws.fns[id];
+            if node.def.is_test {
+                continue;
+            }
+            let mut held: Vec<(String, usize)> = Vec::new();
+            let mut depth = 0usize;
+            for op in &node.def.ops {
+                match op {
+                    Op::BlockOpen => depth += 1,
+                    Op::BlockClose => {
+                        depth = depth.saturating_sub(1);
+                        held.retain(|(_, d)| *d <= depth);
+                    }
+                    Op::Method {
+                        name,
+                        recv,
+                        line,
+                        column,
+                    } => {
+                        if let Some(lock) = self.ws.lock_acquired(node, name, recv) {
+                            if in_scope(&lock) {
+                                for (h, _) in &held {
+                                    order.record(
+                                        h,
+                                        &lock,
+                                        &node.path,
+                                        *line,
+                                        *column,
+                                        self.ws.fn_label(id),
+                                    );
+                                }
+                                held.push((lock, depth));
+                            }
+                        } else if let Some(callee) = self.ws.resolve_op(id, op, &self.crate_names) {
+                            for (h, _) in &held {
+                                for l in &locks[callee] {
+                                    if in_scope(l) {
+                                        order.record(
+                                            h,
+                                            l,
+                                            &node.path,
+                                            *line,
+                                            *column,
+                                            self.ws.fn_label(id),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Op::Call { line, column, .. } => {
+                        if let Some(callee) = self.ws.resolve_op(id, op, &self.crate_names) {
+                            for (h, _) in &held {
+                                for l in &locks[callee] {
+                                    if in_scope(l) {
+                                        order.record(
+                                            h,
+                                            l,
+                                            &node.path,
+                                            *line,
+                                            *column,
+                                            self.ws.fn_label(id),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for ((a, b), (path, line, column, via)) in order.cycles() {
+            self.emit(
+                Rule::LockOrder,
+                path,
+                *line,
+                *column,
+                format!(
+                    "lock order inversion: `{via}` takes `{a}` then `{b}`, but another path \
+                     orders `{b}` before `{a}` — pick one global order"
+                ),
+                out,
+            );
+        }
+    }
+
+    // ------------------------------------------------------ allow audit
+
+    fn finish_allows(&self, out: &mut Vec<Violation>) -> Vec<AllowEntry> {
+        let mut allows = Vec::new();
+        for (path, view) in &self.views {
+            for (line, id) in &view.bad_allows {
+                out.push(Violation {
+                    rule: "allow-syntax".into(),
+                    path: path.clone(),
+                    line: *line,
+                    column: 1,
+                    message: format!("allow comment names unknown rule `{id}`"),
+                });
+            }
+            for allow in &view.allows {
+                if allow.justification.is_empty() {
+                    out.push(Violation {
+                        rule: allow.rule.id().into(),
+                        path: path.clone(),
+                        line: allow.line,
+                        column: 1,
+                        message: format!(
+                            "allow({}) entry has no written justification",
+                            allow.rule.id()
+                        ),
+                    });
+                } else if !allow.used.get() {
+                    out.push(Violation {
+                        rule: allow.rule.id().into(),
+                        path: path.clone(),
+                        line: allow.line,
+                        column: 1,
+                        message: format!(
+                            "allow({}) entry suppresses nothing — remove the stale escape hatch",
+                            allow.rule.id()
+                        ),
+                    });
+                }
+                allows.push(AllowEntry {
+                    rule: allow.rule.id().into(),
+                    path: path.clone(),
+                    line: allow.line,
+                    justification: allow.justification.clone(),
+                    used: allow.used.get(),
+                });
+            }
+        }
+        allows
+    }
+}
+
+/// Run every applicable rule over one file in isolation (unit-test
+/// surface; workspace analysis adds the graph rules across files).
+pub fn check_file(path: &str, source: &str) -> FileReport {
+    let mut set = CheckSet::default();
+    set.add_file(path, source);
+    let (mut violations, allows) = set.run();
+    violations.sort_by_key(|a| (a.line, a.column));
+    FileReport { violations, allows }
+}
+
+/// `crates/serve/src/…` → `ripki_serve` (the importable crate name);
+/// the root package's `src/` → `ripki_repro`.
+fn crate_of(path: &str) -> String {
+    let mut comps = path.split('/');
+    if comps.next() == Some("crates") {
+        match comps.next() {
+            Some("ripki") => "ripki".to_string(),
+            Some("net-types") => "ripki_net".to_string(),
+            Some(dir) => format!("ripki_{}", dir.replace('-', "_")),
+            None => "ripki_repro".to_string(),
+        }
+    } else {
+        "ripki_repro".to_string()
+    }
+}
+
+fn is_panic_macro(name: &str) -> bool {
+    matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+}
+
+/// `…::Instant::now` / `…::SystemTime::now` → the clock type.
+fn wall_clock_type(path: &[String]) -> Option<&'static str> {
+    match path {
+        [.., ty, last] if last == "now" && ty == "Instant" => Some("Instant"),
+        [.., ty, last] if last == "now" && ty == "SystemTime" => Some("SystemTime"),
+        _ => None,
+    }
+}
+
+impl FileView {
     /// Is there a comment on `line`, or on the contiguous run of
     /// comment-only lines directly above it?
     fn has_adjacent_comment(&self, line: usize) -> bool {
@@ -175,9 +757,8 @@ impl FileView {
         false
     }
 
-    /// Find an unused-or-used allow entry for `rule` adjacent to `line`
-    /// (same line or the contiguous comment block directly above) and
-    /// mark it used.
+    /// Find an allow entry for `rule` adjacent to `line` (same line or
+    /// the contiguous comment block directly above) and mark it used.
     fn consume_allow(&self, rule: Rule, line: usize) -> bool {
         let mut candidate_lines: Vec<usize> = vec![line];
         let mut l = line;
@@ -236,442 +817,6 @@ fn parse_allow_comment(
     }
 }
 
-/// Mark every significant token inside a `#[cfg(test)]` or `#[test]`
-/// item body. Attributes are matched structurally: `#` `[` … `]`, then
-/// (skipping further attributes and item keywords) the region masked is
-/// the braces of the item that follows.
-fn mask_test_items(sig: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; sig.len()];
-    let mut i = 0;
-    while i < sig.len() {
-        if sig[i].is_punct('#') && i + 1 < sig.len() && sig[i + 1].is_punct('[') {
-            let Some(attr_end) = matching(sig, i + 1, '[', ']') else {
-                break;
-            };
-            if attr_is_test(&sig[i + 2..attr_end]) {
-                // Skip any further attributes between this one and the item.
-                let mut j = attr_end + 1;
-                while j + 1 < sig.len() && sig[j].is_punct('#') && sig[j + 1].is_punct('[') {
-                    match matching(sig, j + 1, '[', ']') {
-                        Some(e) => j = e + 1,
-                        None => return mask,
-                    }
-                }
-                // Mask to the end of the item: the matching `}` of the
-                // first `{` before a terminating `;` at depth zero.
-                let mut k = j;
-                let mut done = false;
-                while k < sig.len() && !done {
-                    if sig[k].is_punct('{') {
-                        let end = matching(sig, k, '{', '}').unwrap_or(sig.len() - 1);
-                        for slot in mask.iter_mut().take(end + 1).skip(i) {
-                            *slot = true;
-                        }
-                        i = end;
-                        done = true;
-                    } else if sig[k].is_punct(';') {
-                        // `#[cfg(test)] use …;` — nothing to mask.
-                        i = k;
-                        done = true;
-                    } else {
-                        k += 1;
-                    }
-                }
-            }
-        }
-        i += 1;
-    }
-    mask
-}
-
-/// Does the attribute body (tokens between `[` and `]`) gate on tests?
-/// Matches `test`, `cfg(test)`, `cfg(any(test, …))`, `tokio::test`, ….
-fn attr_is_test(body: &[Token]) -> bool {
-    let mut i = 0;
-    while i < body.len() {
-        if body[i].is_ident("test") {
-            return true;
-        }
-        if body[i].is_ident("cfg") {
-            // Only a `test` ident *inside* the cfg predicate counts.
-            if let Some(open) = body[i + 1..].first() {
-                if open.is_punct('(') {
-                    return body[i + 1..].iter().any(|t| t.is_ident("test"));
-                }
-            }
-        }
-        i += 1;
-    }
-    false
-}
-
-/// Mark tokens where `name: Type` is declaration syntax rather than a
-/// struct-literal field write: struct/enum/union/trait bodies and `fn`
-/// parameter lists.
-fn mask_decl_positions(sig: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; sig.len()];
-    let mut i = 0;
-    while i < sig.len() {
-        let tok = &sig[i];
-        if tok.kind == TokenKind::Ident
-            && matches!(tok.text.as_str(), "struct" | "enum" | "union" | "trait")
-        {
-            // Find the body `{` (or `(` for tuple structs, or `;`).
-            let mut j = i + 1;
-            while j < sig.len() {
-                if sig[j].is_punct('{') {
-                    if let Some(end) = matching(sig, j, '{', '}') {
-                        for slot in mask.iter_mut().take(end + 1).skip(j) {
-                            *slot = true;
-                        }
-                        i = end;
-                    }
-                    break;
-                }
-                if sig[j].is_punct('(') {
-                    if let Some(end) = matching(sig, j, '(', ')') {
-                        for slot in mask.iter_mut().take(end + 1).skip(j) {
-                            *slot = true;
-                        }
-                        i = end;
-                    }
-                    break;
-                }
-                if sig[j].is_punct(';') {
-                    i = j;
-                    break;
-                }
-                j += 1;
-            }
-        } else if tok.is_ident("fn") {
-            // Mask the parameter list.
-            let mut j = i + 1;
-            while j < sig.len() && !sig[j].is_punct('(') {
-                j += 1;
-            }
-            if j < sig.len() {
-                if let Some(end) = matching(sig, j, '(', ')') {
-                    for slot in mask.iter_mut().take(end + 1).skip(j) {
-                        *slot = true;
-                    }
-                    i = end;
-                }
-            }
-        } else if tok.is_punct('|') && i > 0 && is_closure_open(&sig[i - 1]) {
-            // Closure parameter list `|epoch: u64, …|` — annotations in
-            // here are declarations, not writes. `|` opens a closure
-            // when the preceding token cannot end an expression
-            // (otherwise it is bitwise-or / pattern-or).
-            let mut j = i + 1;
-            while j < sig.len() && !sig[j].is_punct('|') {
-                j += 1;
-            }
-            if j < sig.len() {
-                for slot in mask.iter_mut().take(j + 1).skip(i) {
-                    *slot = true;
-                }
-                i = j;
-            }
-        }
-        i += 1;
-    }
-    mask
-}
-
-/// Can a `|` after this token open a closure parameter list? Yes when
-/// the token cannot terminate an expression (after an operand, `|` is
-/// bitwise-or or a pattern alternative instead).
-fn is_closure_open(prev: &Token) -> bool {
-    match prev.kind {
-        TokenKind::Punct => matches!(
-            prev.text.as_str(),
-            "(" | "," | "{" | "=" | ";" | ":" | ">" | "&"
-        ),
-        TokenKind::Ident => matches!(prev.text.as_str(), "move" | "return" | "else"),
-        _ => false,
-    }
-}
-
-/// Index of the token closing the bracket opened at `open_idx`.
-fn matching(sig: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
-    let mut depth = 0usize;
-    for (i, tok) in sig.iter().enumerate().skip(open_idx) {
-        if tok.is_punct(open) {
-            depth += 1;
-        } else if tok.is_punct(close) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(i);
-            }
-        }
-    }
-    None
-}
-
-fn emit(
-    view: &FileView,
-    rule: Rule,
-    path: &str,
-    token: &Token,
-    message: String,
-    out: &mut Vec<Violation>,
-) {
-    if view.consume_allow(rule, token.line) {
-        return;
-    }
-    out.push(Violation {
-        rule: rule.id().into(),
-        path: path.into(),
-        line: token.line,
-        column: token.column,
-        message,
-    });
-}
-
-// ------------------------------------------------------------------ R1
-
-fn check_no_panic(view: &FileView, path: &str, out: &mut Vec<Violation>) {
-    let sig = &view.sig;
-    for i in 0..sig.len() {
-        if view.in_test[i] {
-            continue;
-        }
-        let tok = &sig[i];
-        // `.unwrap()` / `.expect(…)`
-        if tok.kind == TokenKind::Ident
-            && matches!(tok.text.as_str(), "unwrap" | "expect")
-            && i > 0
-            && sig[i - 1].is_punct('.')
-            && sig.get(i + 1).is_some_and(|t| t.is_punct('('))
-        {
-            emit(
-                view,
-                Rule::NoPanic,
-                path,
-                tok,
-                format!(
-                    "`.{}()` on the panic-free path — return a typed error instead",
-                    tok.text
-                ),
-                out,
-            );
-            continue;
-        }
-        // panic-family macros
-        if tok.kind == TokenKind::Ident
-            && matches!(
-                tok.text.as_str(),
-                "panic" | "unreachable" | "todo" | "unimplemented"
-            )
-            && sig.get(i + 1).is_some_and(|t| t.is_punct('!'))
-        {
-            emit(
-                view,
-                Rule::NoPanic,
-                path,
-                tok,
-                format!("`{}!` on the panic-free path", tok.text),
-                out,
-            );
-            continue;
-        }
-        // `expr[…]` indexing (can panic on out-of-range)
-        if tok.is_punct('[') && i > 0 {
-            let prev = &sig[i - 1];
-            let indexes = match prev.kind {
-                TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
-                TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
-                _ => false,
-            };
-            if indexes {
-                emit(
-                    view,
-                    Rule::NoPanic,
-                    path,
-                    tok,
-                    "`[…]` indexing can panic — use `.get(…)`/`split_at_checked` or justify"
-                        .to_string(),
-                    out,
-                );
-            }
-        }
-    }
-}
-
-// ------------------------------------------------------------------ R2
-
-fn check_wall_clock(view: &FileView, path: &str, out: &mut Vec<Violation>) {
-    let sig = &view.sig;
-    for i in 3..sig.len() {
-        if view.in_test[i] {
-            continue;
-        }
-        if sig[i].is_ident("now")
-            && sig[i - 1].is_punct(':')
-            && sig[i - 2].is_punct(':')
-            && sig[i - 3].kind == TokenKind::Ident
-            && matches!(sig[i - 3].text.as_str(), "Instant" | "SystemTime")
-        {
-            emit(
-                view,
-                Rule::WallClock,
-                path,
-                &sig[i],
-                format!(
-                    "`{}::now()` outside ripki_rpki::time — take the clock as a parameter",
-                    sig[i - 3].text
-                ),
-                out,
-            );
-        }
-    }
-}
-
-// ------------------------------------------------------------------ R3
-
-fn check_atomic_order(view: &FileView, path: &str, out: &mut Vec<Violation>) {
-    let sig = &view.sig;
-    for i in 3..sig.len() {
-        if view.in_test[i] {
-            continue;
-        }
-        if sig[i].kind == TokenKind::Ident
-            && matches!(
-                sig[i].text.as_str(),
-                "Relaxed" | "Acquire" | "Release" | "AcqRel"
-            )
-            && sig[i - 1].is_punct(':')
-            && sig[i - 2].is_punct(':')
-            && sig[i - 3].is_ident("Ordering")
-        {
-            if view.has_adjacent_comment(sig[i].line) {
-                continue;
-            }
-            emit(
-                view,
-                Rule::AtomicOrder,
-                path,
-                &sig[i],
-                format!(
-                    "`Ordering::{}` without a same-line or preceding justification comment",
-                    sig[i].text
-                ),
-                out,
-            );
-        }
-    }
-}
-
-// ------------------------------------------------------------------ R4
-
-fn check_print_output(view: &FileView, path: &str, out: &mut Vec<Violation>) {
-    let sig = &view.sig;
-    for i in 0..sig.len() {
-        if view.in_test[i] {
-            continue;
-        }
-        if sig[i].kind == TokenKind::Ident
-            && matches!(
-                sig[i].text.as_str(),
-                "println" | "eprintln" | "print" | "eprint" | "dbg"
-            )
-            && sig.get(i + 1).is_some_and(|t| t.is_punct('!'))
-        {
-            emit(
-                view,
-                Rule::PrintOutput,
-                path,
-                &sig[i],
-                format!(
-                    "`{}!` in a library crate — report through return values",
-                    sig[i].text
-                ),
-                out,
-            );
-        }
-    }
-}
-
-// ------------------------------------------------------------------ R5
-
-const EPOCH_FIELDS: &[&str] = &["epoch", "from_epoch", "to_epoch"];
-
-fn check_epoch_write(view: &FileView, path: &str, out: &mut Vec<Violation>) {
-    let sig = &view.sig;
-    for i in 0..sig.len() {
-        if view.in_test[i] || view.in_decl[i] {
-            continue;
-        }
-        let tok = &sig[i];
-        if tok.kind != TokenKind::Ident || !EPOCH_FIELDS.contains(&tok.text.as_str()) {
-            continue;
-        }
-        // Struct-literal field init: `epoch: value` (not a `::` path,
-        // not preceded by one either).
-        let field_init = sig.get(i + 1).is_some_and(|t| t.is_punct(':'))
-            && !sig.get(i + 2).is_some_and(|t| t.is_punct(':'))
-            && !(i > 0 && sig[i - 1].is_punct(':'));
-        // Assignment through a place expression: `x.epoch = …` / `+=`.
-        let assigned = i > 0
-            && sig[i - 1].is_punct('.')
-            && match (sig.get(i + 1), sig.get(i + 2)) {
-                (Some(eq), Some(after)) if eq.is_punct('=') => {
-                    !after.is_punct('=') && !after.is_punct('>')
-                }
-                (Some(op), Some(eq)) if eq.is_punct('=') => op.is_punct('+') || op.is_punct('-'),
-                _ => false,
-            };
-        if field_init || assigned {
-            emit(
-                view,
-                Rule::EpochWrite,
-                path,
-                tok,
-                format!(
-                    "`{}` written outside the blessed engine module — epochs must move \
-                     through the asserting constructors",
-                    tok.text
-                ),
-                out,
-            );
-        }
-    }
-}
-
-/// The blessed module's side of the R5 bargain: its non-test code must
-/// actually carry an epoch assertion.
-fn check_blessed_epoch_asserts(view: &FileView, path: &str, out: &mut Vec<Violation>) {
-    let sig = &view.sig;
-    for i in 0..sig.len() {
-        if view.in_test[i] {
-            continue;
-        }
-        if sig[i].kind == TokenKind::Ident
-            && sig[i].text.starts_with("assert")
-            && sig.get(i + 1).is_some_and(|t| t.is_punct('!'))
-        {
-            // Look inside the macro call for an epoch-ish identifier.
-            if let Some(open) = sig[i + 1..].iter().position(|t| t.is_punct('(')) {
-                if let Some(end) = matching(sig, i + 1 + open, '(', ')') {
-                    if sig[i..=end]
-                        .iter()
-                        .any(|t| t.kind == TokenKind::Ident && t.text.contains("epoch"))
-                    {
-                        return; // contract upheld
-                    }
-                }
-            }
-        }
-    }
-    out.push(Violation {
-        rule: Rule::EpochWrite.id().into(),
-        path: path.into(),
-        line: 1,
-        column: 1,
-        message: "blessed epoch module carries no epoch monotonicity assertion".into(),
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -703,6 +848,14 @@ mod tests {
             "fn f(x: Option<u8>) { x.unwrap(); }",
         );
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn panic_in_string_literal_or_comment_is_invisible() {
+        let src = "fn f() -> &'static str {\n    // a panic! here is just prose\n    \
+                   \"otherwise we panic!(now)\"\n}\n\
+                   /// Example: `x.unwrap()` would panic!(here)\nfn g() {}\n";
+        assert!(violations(SERVE_PATH, src).is_empty());
     }
 
     #[test]
@@ -747,6 +900,16 @@ mod tests {
         assert_eq!(violations("crates/ripki/src/stats.rs", src).len(), 1);
         assert!(violations("crates/rpki/src/time.rs", src).is_empty());
         assert!(violations("crates/cli/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_gets_the_monotonic_clock_but_not_the_wall_clock() {
+        let mono = "fn f() { let _ = Instant::now(); }";
+        let wall = "fn f() { let _ = SystemTime::now(); }";
+        assert!(violations("crates/serve/src/reactor.rs", mono).is_empty());
+        assert_eq!(violations("crates/serve/src/reactor.rs", wall).len(), 1);
+        // The carve-out is serve-only.
+        assert_eq!(violations("crates/ripki/src/stats.rs", mono).len(), 1);
     }
 
     #[test]
@@ -833,5 +996,128 @@ mod tests {
         let v = violations("crates/ripki/src/engine.rs", bad);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("monotonicity assertion"));
+    }
+
+    // ------------------------------------------ graph rules, in-memory
+
+    fn run_set(files: &[(&str, &str)]) -> Vec<Violation> {
+        let mut set = CheckSet::default();
+        for (path, src) in files {
+            set.add_file(path, src);
+        }
+        let (mut v, _) = set.run();
+        v.sort_by(|a, b| (&a.path, a.line, a.column).cmp(&(&b.path, b.line, b.column)));
+        v
+    }
+
+    #[test]
+    fn transitive_panic_two_hops_cross_crate() {
+        let v = run_set(&[
+            (
+                "crates/serve/src/http.rs",
+                "use ripki_payload::json;\nfn respond(b: &[u8]) { json::encode(b); }\n",
+            ),
+            (
+                "crates/payload/src/json.rs",
+                "pub fn encode(b: &[u8]) { deep(b); }\nfn deep(b: &[u8]) { \
+                 b.first().unwrap(); }\n",
+            ),
+        ]);
+        // Two findings: the panic site in payload, the call site in serve.
+        assert_eq!(v.len(), 2, "{v:?}");
+        let panic_site = v
+            .iter()
+            .find(|x| x.path.contains("payload"))
+            .expect("panic site");
+        assert!(panic_site.message.contains("respond -> encode -> deep"));
+        let call_site = v
+            .iter()
+            .find(|x| x.path.contains("serve"))
+            .expect("call site");
+        assert!(call_site.message.contains("reaches a panic site"));
+    }
+
+    #[test]
+    fn unreachable_panic_outside_scope_is_clean() {
+        let v = run_set(&[
+            (
+                "crates/serve/src/http.rs",
+                "fn respond(b: &[u8]) -> usize { b.len() }\n",
+            ),
+            (
+                "crates/payload/src/json.rs",
+                "pub fn never_called(b: &[u8]) { b.first().unwrap(); }\n",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn reactor_blocking_two_hops_down() {
+        let v = run_set(&[
+            (
+                "crates/serve/src/reactor.rs",
+                "impl Reactor { pub fn turn(&mut self) -> bool { helper(); true } }\n\
+                 fn helper() { ripki_par::throttle(); }\n",
+            ),
+            (
+                "crates/par/src/lib.rs",
+                "pub fn throttle() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-blocking");
+        assert!(v[0].message.contains("Reactor::turn -> helper -> throttle"));
+    }
+
+    #[test]
+    fn blessed_reactor_sites_are_not_traversed() {
+        let v = run_set(&[(
+            "crates/serve/src/reactor.rs",
+            "impl Reactor { pub fn turn(&mut self) -> bool { \
+             self.drain_wake_pipe(); poll_fds(); true } \
+             fn drain_wake_pipe(&mut self) { self.pipe_reader.recv(); } }\n\
+             fn poll_fds() { unsafe_poll_wait(); }\nfn unsafe_poll_wait() {}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lock_order_inversion_is_flagged_and_consistent_order_is_clean() {
+        let inverted = run_set(&[(
+            "crates/serve/src/view.rs",
+            "pub struct A { alpha: Mutex<u8> }\npub struct B { beta: Mutex<u8> }\n\
+             impl A { fn forward(&self, b: &B) { let _g = self.alpha.lock(); \
+             let _h = b.beta.lock(); } }\n\
+             impl B { fn backward(&self, a: &A) { let _g = self.beta.lock(); \
+             let _h = a.alpha.lock(); } }\n",
+        )]);
+        assert_eq!(inverted.len(), 1, "{inverted:?}");
+        assert_eq!(inverted[0].rule, "lock-order");
+        assert!(inverted[0].message.contains("lock order inversion"));
+
+        let consistent = run_set(&[(
+            "crates/serve/src/view.rs",
+            "pub struct A { alpha: Mutex<u8> }\npub struct B { beta: Mutex<u8> }\n\
+             impl A { fn one(&self, b: &B) { let _g = self.alpha.lock(); \
+             let _h = b.beta.lock(); } \
+             fn two(&self, b: &B) { let _g = self.alpha.lock(); let _h = b.beta.lock(); } }\n",
+        )]);
+        assert!(consistent.is_empty(), "{consistent:?}");
+    }
+
+    #[test]
+    fn scoped_guard_release_breaks_the_order_edge() {
+        // The first lock is dropped (block closed) before the second is
+        // taken: no edge, no inversion even against a reversed pair.
+        let v = run_set(&[(
+            "crates/serve/src/view.rs",
+            "pub struct A { alpha: Mutex<u8> }\npub struct B { beta: Mutex<u8> }\n\
+             impl A { fn forward(&self, b: &B) { { let _g = self.alpha.lock(); } \
+             let _h = b.beta.lock(); } }\n\
+             impl B { fn backward(&self, a: &A) { { let _g = self.beta.lock(); } \
+             let _h = a.alpha.lock(); } }\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
     }
 }

@@ -60,7 +60,7 @@ fn violating_fixture_fails_with_exact_diagnostics() {
     }
     assert_eq!(
         lines.next(),
-        Some("ripki-lint: 7 file(s), 8 violation(s) [R1 3, R2 1, R3 1, R4 1, R5 2], 0 allow(s) (catalog v3)"),
+        Some("ripki-lint: 7 file(s), 8 violation(s) [R1 3, R2 1, R3 1, R4 1, R5 2], 0 allow(s) (catalog v4)"),
         "full output:\n{text}"
     );
     assert_eq!(lines.next(), None, "trailing output:\n{text}");
@@ -72,7 +72,7 @@ fn violating_fixture_json_report_is_structured() {
     assert_eq!(output.status.code(), Some(1));
     let json: Value = serde_json::from_str(&stdout(&output)).expect("valid JSON");
     assert_eq!(json["clean"], Value::from(false));
-    assert_eq!(json["catalog_version"], Value::from(3));
+    assert_eq!(json["catalog_version"], Value::from(4));
     assert_eq!(json["files_scanned"], Value::from(7));
     assert_eq!(json["violations"].as_array().map(<[Value]>::len), Some(8));
     assert_eq!(json["violations_by_rule"]["no-panic"], Value::from(3));
@@ -113,7 +113,7 @@ fn allowed_fixture_passes_and_audits_every_entry() {
         "{text}"
     );
     assert!(
-        text.contains("ripki-lint: 5 file(s), 0 violation(s), 5 allow(s) (catalog v3)"),
+        text.contains("ripki-lint: 5 file(s), 0 violation(s), 5 allow(s) (catalog v4)"),
         "{text}"
     );
 }
@@ -124,13 +124,101 @@ fn clean_fixture_passes_silently() {
     assert_eq!(output.status.code(), Some(0));
     assert_eq!(
         stdout(&output),
-        "ripki-lint: 2 file(s), 0 violation(s), 0 allow(s) (catalog v3)\n"
+        "ripki-lint: 2 file(s), 0 violation(s), 0 allow(s) (catalog v4)\n"
     );
     let json_run = check("clean", &["--format", "json"]);
     let json: Value = serde_json::from_str(&stdout(&json_run)).expect("valid JSON");
     assert_eq!(json["clean"], Value::from(true));
     assert_eq!(json["violations"].as_array().map(<[Value]>::len), Some(0));
     assert_eq!(json["allows"].as_array().map(<[Value]>::len), Some(0));
+}
+
+#[test]
+fn transitive_fixture_flags_call_site_and_panic_site() {
+    let output = check("transitive", &[]);
+    assert_eq!(output.status.code(), Some(1));
+    let text = stdout(&output);
+    let expected = [
+        // Panic site: out of scope for direct R1, reached 2 hops and
+        // one crate boundary away from in-scope `respond`.
+        "crates/bgp/src/lib.rs:10:30: R1[no-panic]: `expect` can panic and is \
+         reachable from the panic-free path: respond -> frame_len -> decode_header",
+        // Call site: the in-scope edge where the chain leaves serve.
+        "crates/serve/src/handler.rs:8:5: R1[no-panic]: call into `frame_len` \
+         reaches a panic site at crates/bgp/src/lib.rs:10 \
+         (respond -> frame_len -> decode_header)",
+    ];
+    let mut lines = text.lines();
+    for want in expected {
+        assert_eq!(lines.next(), Some(want), "full output:\n{text}");
+    }
+    assert_eq!(
+        lines.next(),
+        Some("ripki-lint: 2 file(s), 2 violation(s) [R1 2], 0 allow(s) (catalog v4)"),
+        "full output:\n{text}"
+    );
+    // `unreferenced_helper` has the same `.expect` shape but no caller
+    // on the panic-free path: exactly two diagnostics, not three.
+    assert_eq!(lines.next(), None, "trailing output:\n{text}");
+}
+
+#[test]
+fn reactor_blocking_fixture_follows_two_hops_but_not_blessed_sites() {
+    let output = check("reactor_blocking", &[]);
+    assert_eq!(output.status.code(), Some(1));
+    let text = stdout(&output);
+    assert_eq!(
+        text.lines().next(),
+        Some(
+            "crates/par/src/lib.rs:4:18: R6[no-blocking]: blocking `std::thread::sleep` \
+             reachable from the reactor: Reactor::turn -> Reactor::service -> \
+             wait_for_workers — one blocked turn stalls every connection"
+        ),
+        "full output:\n{text}"
+    );
+    // The blessed `poll_fds` also blocks (park_timeout) and is also
+    // called from `turn`, but R6 must not traverse it: one finding.
+    assert!(
+        text.contains("1 violation(s) [R6 1]"),
+        "full output:\n{text}"
+    );
+    assert!(!text.contains("park_timeout"), "full output:\n{text}");
+}
+
+#[test]
+fn lock_order_fixture_flags_inversion_but_not_scoped_release() {
+    let output = check("lock_order", &[]);
+    assert_eq!(output.status.code(), Some(1));
+    let text = stdout(&output);
+    assert_eq!(
+        text.lines().next(),
+        Some(
+            "crates/proxy/src/gossip.rs:17:40: R7[lock-order]: lock order inversion: \
+             `Gossip::broadcast` takes `Gossip.peers` then `Gossip.journal`, but \
+             another path orders `Gossip.journal` before `Gossip.peers` — pick one \
+             global order"
+        ),
+        "full output:\n{text}"
+    );
+    // `snapshot` touches both locks but releases the first before
+    // taking the second; it must not add a third direction or a second
+    // diagnostic.
+    assert!(
+        text.contains("1 violation(s) [R7 1]"),
+        "full output:\n{text}"
+    );
+}
+
+#[test]
+fn fp_r1_fixture_is_clean_despite_panic_shaped_text() {
+    // Panics in #[cfg(test)] code, string literals, comments, and doc
+    // examples — the false positives the PR 5 token heuristic emitted.
+    let output = check("fp_r1", &[]);
+    assert_eq!(output.status.code(), Some(0));
+    assert_eq!(
+        stdout(&output),
+        "ripki-lint: 1 file(s), 0 violation(s), 0 allow(s) (catalog v4)\n"
+    );
 }
 
 #[test]
@@ -158,8 +246,8 @@ fn rules_subcommand_lists_the_catalog() {
     let output = run(&["rules"]);
     assert_eq!(output.status.code(), Some(0));
     let text = stdout(&output);
-    assert!(text.contains("rule catalog v3:"), "{text}");
-    for code in ["R1", "R2", "R3", "R4", "R5"] {
+    assert!(text.contains("rule catalog v4:"), "{text}");
+    for code in ["R1", "R2", "R3", "R4", "R5", "R6", "R7"] {
         assert!(text.contains(code), "missing {code} in:\n{text}");
     }
 }

@@ -1,0 +1,35 @@
+//! Fixture lock set: `broadcast` and `audit` take the same two locks
+//! in opposite orders — the classic ABBA deadlock R7 exists to catch.
+//! `snapshot` releases the first guard (scope exit) before taking the
+//! second, so it contributes no ordering edge: the would-have-been
+//! false positive of a cruder "both locks mentioned" heuristic.
+
+use std::sync::Mutex;
+
+pub struct Gossip {
+    peers: Mutex<Vec<u32>>,
+    journal: Mutex<Vec<String>>,
+}
+
+impl Gossip {
+    pub fn broadcast(&self, note: &str) {
+        let peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+        let mut journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        journal.push(format!("{note} -> {} peers", peers.len()));
+    }
+
+    pub fn audit(&self) -> usize {
+        let journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        let peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+        journal.len() + peers.len()
+    }
+
+    pub fn snapshot(&self) -> usize {
+        let count = {
+            let peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+            peers.len()
+        };
+        let journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        count + journal.len()
+    }
+}

@@ -1,0 +1,5 @@
+//! Out-of-crate helper: blocking two hops below `Reactor::turn`.
+
+pub fn wait_for_workers() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

@@ -1,0 +1,29 @@
+//! Fixture reactor: R6 roots at `Reactor::turn` in this exact file and
+//! walks the call graph. `service` is an innocent-looking hop; the
+//! blocking call is two levels down in another crate. `poll_fds` is on
+//! the blessed list — the one place the loop is *supposed* to park.
+
+use ripki_par::wait_for_workers;
+
+pub struct Reactor {
+    pub draining: bool,
+}
+
+impl Reactor {
+    pub fn turn(&mut self) -> bool {
+        poll_fds(10);
+        self.service();
+        !self.draining
+    }
+
+    fn service(&mut self) {
+        wait_for_workers();
+    }
+}
+
+/// Blessed poll site: blocks by design, and R6 must not traverse it.
+fn poll_fds(timeout_ms: i32) {
+    if timeout_ms > 0 {
+        std::thread::park_timeout(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,17 @@
+//! Out-of-scope crate: R1 does not lint this file directly, but a
+//! panic site here is reachable from `ripki_serve::respond` two hops
+//! away — the call-graph pass must surface both ends of the chain.
+
+pub fn frame_len(buf: &[u8]) -> usize {
+    decode_header(buf)
+}
+
+fn decode_header(buf: &[u8]) -> usize {
+    usize::from(*buf.first().expect("non-empty frame"))
+}
+
+/// Same shape, never called from in-scope code: reachability must not
+/// flag panic sites nothing on the panic-free path can reach.
+pub fn unreferenced_helper(buf: &[u8]) -> usize {
+    usize::from(*buf.first().expect("dead code"))
+}

@@ -1,0 +1,9 @@
+//! In-scope entry point: R1 applies to everything under
+//! `crates/serve/src/`, and the exact analysis follows calls out of
+//! scope.
+
+use ripki_bgp::frame_len;
+
+pub fn respond(buf: &[u8]) -> usize {
+    frame_len(buf)
+}

@@ -65,6 +65,17 @@ fn vrp_pdu(vrp: &VrpTriple, announce: bool) -> Pdu {
 }
 
 impl CacheServer {
+    /// Lock the state, recovering from poisoning. Every mutation under
+    /// this lock either completes before unlock or replaces the state
+    /// wholesale, so the last consistent snapshot is always servable —
+    /// and serving it beats propagating a worker's panic into the RTR
+    /// accept loop (R1: the serving plane never panics).
+    fn state_lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// A fresh cache with no data (Serial/Reset queries answer
     /// "No Data Available" until the first [`update`](Self::update)).
     pub fn new(session_id: u16) -> CacheServer {
@@ -94,7 +105,7 @@ impl CacheServer {
     /// Reset and refetches the full set (RFC 8210 §5.1 / RFC 1982).
     pub fn update<I: IntoIterator<Item = VrpTriple>>(&self, vrps: I) -> u32 {
         let new: BTreeSet<VrpTriple> = vrps.into_iter().collect();
-        let mut st = self.state.lock().expect("rtr cache state poisoned");
+        let mut st = self.state_lock();
         let announced: Vec<VrpTriple> = new.difference(&st.current).copied().collect();
         let withdrawn: Vec<VrpTriple> = st.current.difference(&new).copied().collect();
         let wrapped = st.serial == u32::MAX;
@@ -138,7 +149,7 @@ impl CacheServer {
         vrps: I,
     ) -> bool {
         let new: BTreeSet<VrpTriple> = vrps.into_iter().collect();
-        let mut st = self.state.lock().expect("rtr cache state poisoned");
+        let mut st = self.state_lock();
         if st.has_data && serial == st.serial {
             return false;
         }
@@ -189,7 +200,7 @@ impl CacheServer {
         announced: &[VrpTriple],
         withdrawn: &[VrpTriple],
     ) -> bool {
-        let mut st = self.state.lock().expect("rtr cache state poisoned");
+        let mut st = self.state_lock();
         let wraps = st.serial == u32::MAX;
         if !st.has_data || wraps || to_serial != st.serial.wrapping_add(1) {
             return false;
@@ -259,37 +270,30 @@ impl CacheServer {
     /// `u64` — exact for every engine-fed cache (engine epochs are the
     /// serials) and still monotonic for self-incrementing ones.
     pub fn payload(&self) -> Option<VrpPayload> {
-        let st = self.state.lock().expect("rtr cache state poisoned");
+        let st = self.state_lock();
         st.has_data
             .then(|| VrpPayload::new(u64::from(st.serial), st.current.iter().copied()))
     }
 
     /// Current serial.
     pub fn serial(&self) -> u32 {
-        self.state.lock().expect("rtr cache state poisoned").serial
+        self.state_lock().serial
     }
 
     /// Session id.
     pub fn session_id(&self) -> u16 {
-        self.state
-            .lock()
-            .expect("rtr cache state poisoned")
-            .session_id
+        self.state_lock().session_id
     }
 
     /// Number of VRPs currently served.
     pub fn vrp_count(&self) -> usize {
-        self.state
-            .lock()
-            .expect("rtr cache state poisoned")
-            .current
-            .len()
+        self.state_lock().current.len()
     }
 
     /// Compute the response PDUs for one router query. Pure function of
     /// the current state — the unit-testable heart of the server.
     pub fn handle_query(&self, query: &Pdu) -> Vec<Pdu> {
-        let st = self.state.lock().expect("rtr cache state poisoned");
+        let st = self.state_lock();
         match query {
             Pdu::ResetQuery => {
                 if !st.has_data {
@@ -379,7 +383,7 @@ impl CacheServer {
 
     /// The Serial Notify PDU for the current state, if any data exists.
     pub fn notify_pdu(&self) -> Option<Pdu> {
-        let st = self.state.lock().expect("rtr cache state poisoned");
+        let st = self.state_lock();
         st.has_data.then_some(Pdu::SerialNotify {
             session_id: st.session_id,
             serial: st.serial,

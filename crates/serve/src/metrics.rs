@@ -161,9 +161,6 @@ impl Metrics {
     /// Fresh metrics; uptime counts from here.
     pub fn new() -> Metrics {
         Metrics {
-            // lint: allow(wall-clock) uptime baseline — Instant is the
-            // monotonic clock this gauge is defined against, and the
-            // injected study clock has no notion of process start.
             started: Instant::now(),
             endpoints: Default::default(),
             connections: AtomicU64::new(0),

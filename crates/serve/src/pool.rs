@@ -197,9 +197,6 @@ fn worker_loop(
         };
         match job {
             Ok(job) => {
-                // lint: allow(wall-clock) handler-latency measurement —
-                // Instant is the right clock for elapsed time and the
-                // admission window is sized from it.
                 let started = Instant::now();
                 let (bytes, keep_alive) = handler(&job.request, job.keep_alive);
                 completions.push(Completion {

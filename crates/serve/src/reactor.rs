@@ -340,8 +340,6 @@ impl Reactor {
             metrics,
             shutdown,
             drain_deadline: None,
-            // lint: allow(wall-clock) sweep scheduling — poll cadence is
-            // real time by definition.
             next_idle_scan: Instant::now(),
             shed_response: error_bytes(503, "server overloaded"),
             timeout_response: error_bytes(408, "request timed out"),
@@ -353,94 +351,103 @@ impl Reactor {
     pub(crate) fn run(mut self) {
         let mut fds: Vec<PollFd> = Vec::new();
         let mut tokens: Vec<u64> = Vec::new();
-        loop {
-            // Acquire: pairs with the Release store in shutdown() so the
-            // reactor sees everything written before the flag flip.
-            if self.shutdown.load(Ordering::Acquire) && self.drain_deadline.is_none() {
-                self.begin_drain();
-            }
-            if self.drain_deadline.is_some() && self.conns.is_empty() {
-                break;
-            }
-
-            fds.clear();
-            tokens.clear();
-            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
-            if let Some(listener) = &self.listener {
-                fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
-            }
-            let fixed = fds.len();
-            // lint: allow(wall-clock) sweep scheduling — poll cadence is
-            // real time by definition.
-            let now = Instant::now();
-            // Full sweep: on the idle-scan cadence while engaged
-            // connections keep the loop hot, or on every turn once
-            // nothing is engaged (the sweep then doubles as the long
-            // blocking poll, so idle peers wake the loop immediately).
-            let full = self.engaged.is_empty() || now >= self.next_idle_scan;
-            if full {
-                self.next_idle_scan = now + IDLE_SCAN;
-                for (token, conn) in &self.conns {
-                    push_interest(&mut fds, &mut tokens, *token, conn);
-                }
-            } else {
-                for token in &self.engaged {
-                    if let Some(conn) = self.conns.get(token) {
-                        push_interest(&mut fds, &mut tokens, *token, conn);
-                    }
-                }
-            }
-
-            let mut timeout_ms = self.poll_timeout_ms();
-            if !full {
-                // A hot-only poll must yield by the next idle sweep.
-                let until_scan = self
-                    .next_idle_scan
-                    .saturating_duration_since(now)
-                    .as_millis()
-                    .min(MAX_POLL_MS as u128) as i32;
-                timeout_ms = timeout_ms.min(until_scan.max(1));
-            }
-            if poll_fds(&mut fds, timeout_ms).is_err() {
-                // EINTR is retried inside poll_fds; any other failure
-                // here is unrecoverable for the loop — treat it as a
-                // shutdown request rather than spinning.
-                // Release: pairs with the Acquire load above.
-                self.shutdown.store(true, Ordering::Release);
-                continue;
-            }
-
-            if fds.first().is_some_and(|f| f.revents != 0) {
-                self.drain_wake_pipe();
-            }
-            self.drain_completions();
-            if self.listener.is_some() && fds.get(1).is_some_and(|f| f.revents != 0) {
-                self.accept_ready();
-            }
-            for (slot, token) in tokens.iter().enumerate() {
-                let Some(revents) = fds.get(fixed + slot).map(|f| f.revents) else {
-                    continue;
-                };
-                if revents == 0 {
-                    continue;
-                }
-                self.handle_conn_event(*token, revents);
-            }
-            self.enforce_deadlines(full);
-            self.dispatch();
-            self.metrics.set_open_connections(self.conns.len() as u64);
-        }
+        while self.turn(&mut fds, &mut tokens) {}
         // Close the queue; workers finish their in-flight handlers.
+        // Joining them here is legal precisely because this is *after*
+        // the last turn: lint R6 roots at turn(), not run().
         self.pool.shutdown();
         self.metrics.set_open_connections(0);
+    }
+
+    /// One reactor turn: rebuild the interest set, poll, then service
+    /// readiness, completions, deadlines, and dispatch. Everything
+    /// reachable from here runs with every connection's latency on the
+    /// line — lint rule R6 (no-blocking) roots its reachability
+    /// analysis at this function. Returns `false` once shutdown has
+    /// drained (or force-closed) every connection.
+    ///
+    /// `fds`/`tokens` are caller-owned scratch so their capacity
+    /// survives across turns.
+    pub(crate) fn turn(&mut self, fds: &mut Vec<PollFd>, tokens: &mut Vec<u64>) -> bool {
+        // Acquire: pairs with the Release store in shutdown() so the
+        // reactor sees everything written before the flag flip.
+        if self.shutdown.load(Ordering::Acquire) && self.drain_deadline.is_none() {
+            self.begin_drain();
+        }
+        if self.drain_deadline.is_some() && self.conns.is_empty() {
+            return false;
+        }
+
+        fds.clear();
+        tokens.clear();
+        fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+        if let Some(listener) = &self.listener {
+            fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+        }
+        let fixed = fds.len();
+        let now = Instant::now();
+        // Full sweep: on the idle-scan cadence while engaged
+        // connections keep the loop hot, or on every turn once
+        // nothing is engaged (the sweep then doubles as the long
+        // blocking poll, so idle peers wake the loop immediately).
+        let full = self.engaged.is_empty() || now >= self.next_idle_scan;
+        if full {
+            self.next_idle_scan = now + IDLE_SCAN;
+            for (token, conn) in &self.conns {
+                push_interest(fds, tokens, *token, conn);
+            }
+        } else {
+            for token in &self.engaged {
+                if let Some(conn) = self.conns.get(token) {
+                    push_interest(fds, tokens, *token, conn);
+                }
+            }
+        }
+
+        let mut timeout_ms = self.poll_timeout_ms();
+        if !full {
+            // A hot-only poll must yield by the next idle sweep.
+            let until_scan = self
+                .next_idle_scan
+                .saturating_duration_since(now)
+                .as_millis()
+                .min(MAX_POLL_MS as u128) as i32;
+            timeout_ms = timeout_ms.min(until_scan.max(1));
+        }
+        if poll_fds(fds, timeout_ms).is_err() {
+            // EINTR is retried inside poll_fds; any other failure
+            // here is unrecoverable for the loop — treat it as a
+            // shutdown request rather than spinning.
+            // Release: pairs with the Acquire load above.
+            self.shutdown.store(true, Ordering::Release);
+            return true;
+        }
+
+        if fds.first().is_some_and(|f| f.revents != 0) {
+            self.drain_wake_pipe();
+        }
+        self.drain_completions();
+        if self.listener.is_some() && fds.get(1).is_some_and(|f| f.revents != 0) {
+            self.accept_ready();
+        }
+        for (slot, token) in tokens.iter().enumerate() {
+            let Some(revents) = fds.get(fixed + slot).map(|f| f.revents) else {
+                continue;
+            };
+            if revents == 0 {
+                continue;
+            }
+            self.handle_conn_event(*token, revents);
+        }
+        self.enforce_deadlines(full);
+        self.dispatch();
+        self.metrics.set_open_connections(self.conns.len() as u64);
+        true
     }
 
     // -------------------------------------------------------- plumbing
 
     fn poll_timeout_ms(&self) -> i32 {
-        // lint: allow(wall-clock) deadline arithmetic — the reactor's
-        // timers are defined against the monotonic clock; the injected
-        // study clock does not tick in real time.
         let now = Instant::now();
         let mut nearest: Option<Instant> = self.drain_deadline;
         // Idle peers only carry the idle timeout, which the sweep turns
@@ -498,8 +505,6 @@ impl Reactor {
         };
         conn.machine
             .complete(&completion.bytes, completion.keep_alive);
-        // lint: allow(wall-clock) activity timestamping for the idle
-        // timer — monotonic elapsed time, same as the deadlines above.
         conn.last_active = Instant::now();
         self.after_machine_progress(completion.conn);
         self.sync_engagement(completion.conn);
@@ -522,8 +527,6 @@ impl Reactor {
         // Arm or clear the slow-loris deadline from the parser state.
         if conn.machine.mid_message() {
             if conn.read_deadline.is_none() {
-                // lint: allow(wall-clock) deadline arithmetic — see
-                // poll_timeout_ms.
                 conn.read_deadline = Some(Instant::now() + self.config.read_deadline);
             }
         } else {
@@ -620,8 +623,6 @@ impl Reactor {
                     max_requests: self.config.max_requests_per_connection,
                     pipeline_depth: self.config.pipeline_depth,
                 }),
-                // lint: allow(wall-clock) activity timestamping — see
-                // apply_completion.
                 last_active: Instant::now(),
                 read_deadline: None,
                 write_deadline: None,
@@ -696,8 +697,6 @@ impl Reactor {
                     break;
                 }
                 Ok(n) => {
-                    // lint: allow(wall-clock) activity timestamping —
-                    // see apply_completion.
                     conn.last_active = Instant::now();
                     total += n;
                     if !lingering {
@@ -733,8 +732,6 @@ impl Reactor {
     /// connections only, keeping this O(engaged) rather than
     /// O(connections).
     fn enforce_deadlines(&mut self, full: bool) {
-        // lint: allow(wall-clock) deadline arithmetic — see
-        // poll_timeout_ms.
         let now = Instant::now();
         let force_close_all = self.drain_deadline.is_some_and(|d| now >= d);
         let idle_after = self.config.read_timeout;
@@ -853,8 +850,6 @@ impl Reactor {
     fn begin_drain(&mut self) {
         // Stop accepting; the bound port frees immediately.
         self.listener = None;
-        // lint: allow(wall-clock) deadline arithmetic — see
-        // poll_timeout_ms.
         self.drain_deadline = Some(Instant::now() + self.config.shutdown_grace);
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
         for token in tokens {
@@ -882,8 +877,6 @@ impl Reactor {
             // Half-close: the peer sees FIN (and our final response),
             // while we keep draining whatever it already sent.
             let _ = conn.stream.shutdown(Shutdown::Write);
-            // lint: allow(wall-clock) deadline arithmetic — see
-            // poll_timeout_ms.
             conn.linger_until = Some(Instant::now() + LINGER);
         } else if conn.linger_until.is_none() {
             self.drop_conn(token);
@@ -946,8 +939,6 @@ fn write_some(conn: &mut Conn) -> bool {
             Ok(0) => return false,
             Ok(n) => {
                 conn.machine.advance_write(n);
-                // lint: allow(wall-clock) activity timestamping — see
-                // apply_completion.
                 conn.last_active = Instant::now();
                 conn.write_deadline = None;
             }

@@ -204,9 +204,6 @@ impl Drop for Server {
 /// downgrade).
 fn request_handler(view: Arc<SharedView>, metrics: Arc<Metrics>, config: ServerConfig) -> Handler {
     Arc::new(move |request: &Request, want_keep: bool| {
-        // lint: allow(wall-clock) request-latency measurement — Instant
-        // is the right clock for elapsed time and the injected study
-        // clock does not tick in real time.
         let started = Instant::now();
         let (endpoint, response) = route(&view, &metrics, request, &config);
         let status = response.status;

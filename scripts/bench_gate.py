@@ -50,6 +50,7 @@ METRICS = {
         ("vrps_json_req_per_s", "higher"),
     ],
     "serve_load": [("req_per_s", "higher")],
+    "lint_workspace": [("wall_ms", "lower")],
 }
 
 # bench name -> [(metric, minimum value)]
@@ -70,6 +71,10 @@ FLOORS = {
         ("server_open_connections", 10_000),
         ("throughput_vs_threadpool", 1.0),
     ],
+    # The linter must actually be scanning the workspace: a refactor
+    # that silently drops source directories from collection would
+    # otherwise read as a (fast, clean) pass.
+    "lint_workspace": [("files_scanned", 100)],
 }
 
 # bench name -> [(metric, maximum value)]. Absolute latency ceilings —
@@ -78,6 +83,11 @@ FLOORS = {
 # every request wait would pass the throughput floor and fail here.
 CEILINGS = {
     "serve_load": [("p99_seconds", 0.25)],
+    # The exact analysis (lex + parse + call graph + reachability) must
+    # stay cheap enough to sit in scripts/check.sh on every run: ~60 ms
+    # release on the 107-file workspace today, 2 s is the absolute
+    # budget before the tool stops being a pre-commit check.
+    "lint_workspace": [("wall_ms", 2000.0)],
 }
 
 
